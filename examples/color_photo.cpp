@@ -1,0 +1,54 @@
+// Color backlight scaling: the §2 color-LCD path on an RGB photograph.
+//
+// Usage:
+//   color_photo [input.ppm] [max_distortion_percent]
+//
+// Runs HEBS on the photo's luma, applies the shared transformation to
+// all three sub-pixel channels, reports luma distortion, chromaticity
+// drift and power saving, and writes before/after PPM files.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/color.h"
+#include "image/pnm_io.h"
+#include "image/synthetic.h"
+#include "power/lcd_power.h"
+
+int main(int argc, char** argv) {
+  using namespace hebs;
+  try {
+    image::RgbImage img;
+    std::string name = "Peppers(synthetic,color)";
+    if (argc > 1) {
+      img = image::read_ppm(argv[1]);
+      name = argv[1];
+    } else {
+      img = image::make_usid_color(image::UsidId::kPeppers, 256);
+    }
+    const double budget = argc > 2 ? std::atof(argv[2]) : 10.0;
+
+    const auto platform = power::LcdSubsystemPower::lp064v1();
+    const core::ColorHebsResult result =
+        core::color_hebs_exact(img, budget, {}, platform);
+
+    std::printf("Color backlight scaling\n");
+    std::printf("  image               : %s (%dx%d RGB)\n", name.c_str(),
+                img.width(), img.height());
+    std::printf("  distortion budget   : %.1f %% (on luma)\n", budget);
+    std::printf("  backlight factor    : %.3f\n", result.luma.point.beta);
+    std::printf("  luma distortion     : %.2f %%\n",
+                result.distortion_percent);
+    std::printf("  chromaticity drift  : %.4f (normalized)\n",
+                result.hue_error);
+    std::printf("  power saving        : %.2f %%\n", result.saving_percent);
+
+    image::write_ppm(img, "color_original.ppm");
+    image::write_ppm(result.transformed, "color_displayed.ppm");
+    std::printf("  wrote color_original.ppm / color_displayed.ppm\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,96 @@
+// Hardware explorer: programs the hierarchical reference-voltage ladder
+// (Fig. 5b) from a HEBS result and dumps everything an LCD-driver
+// engineer would want to see — node voltages (Eq. 10), the realized
+// grayscale-voltage transfer, the effective displayed-luminance
+// transform, and the software-vs-hardware deployment comparison.
+//
+// Usage:
+//   hardware_explorer [bands] [dac_bits]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/hebs.h"
+#include "display/lcd_subsystem.h"
+#include "image/synthetic.h"
+#include "quality/metrics.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hebs;
+  try {
+    display::HierarchicalLadderOptions ladder_opts;
+    ladder_opts.bands = argc > 1 ? std::atoi(argv[1]) : 8;
+    ladder_opts.dac_bits = argc > 2 ? std::atoi(argv[2]) : 8;
+
+    const auto platform = power::LcdSubsystemPower::lp064v1();
+    const auto img = image::make_usid(image::UsidId::kSplash, 128);
+    const auto r = core::hebs_exact(img, 10.0, {}, platform);
+
+    std::printf("HEBS operating point for 'Splash' (budget 10%%):\n");
+    std::printf("  range [%d, %d], beta %.3f, %d segments\n\n",
+                r.target.g_min, r.target.g_max, r.point.beta,
+                r.lambda.segment_count());
+
+    // Program the ladder per Eq. 10 and dump the node voltages.
+    display::HierarchicalLadder ladder(ladder_opts);
+    ladder.program(r.lambda, r.point.beta);
+    std::printf("Programmed node voltages (k = %d, %d-bit DAC, Vdd = "
+                "%.1f V):\n",
+                ladder_opts.bands, ladder_opts.dac_bits, ladder_opts.vdd);
+    util::ConsoleTable nodes({"node i", "pixel pos", "V_i (V)",
+                              "lambda(x)/beta * Vdd (ideal V)"});
+    for (std::size_t i = 0; i < ladder.node_voltages().size(); ++i) {
+      const double x =
+          static_cast<double>(i) / static_cast<double>(ladder_opts.bands);
+      const double ideal = std::min(
+          ladder_opts.vdd, r.lambda(x) / r.point.beta * ladder_opts.vdd);
+      nodes.add_row({std::to_string(i), util::ConsoleTable::num(x, 3),
+                     util::ConsoleTable::num(ladder.node_voltages()[i], 3),
+                     util::ConsoleTable::num(ideal, 3)});
+    }
+    std::printf("%s\n", nodes.to_string().c_str());
+
+    // Realized transfer at a few levels.
+    const auto transfer = ladder.transfer();
+    const auto effective = ladder.effective_transform(r.point.beta);
+    util::ConsoleTable realized({"level", "v(X) volts", "t(X)",
+                                 "displayed lum", "requested lambda"});
+    for (int level = 0; level <= 255; level += 32) {
+      const double x = level / 255.0;
+      realized.add_row({std::to_string(level),
+                        util::ConsoleTable::num(transfer.voltage(level), 3),
+                        util::ConsoleTable::num(
+                            transfer.transmittance(level), 3),
+                        util::ConsoleTable::num(effective(x), 3),
+                        util::ConsoleTable::num(r.lambda(x), 3)});
+    }
+    std::printf("Realized grayscale-voltage transfer:\n%s\n",
+                realized.to_string().c_str());
+
+    // Deployment comparison: software pixel remap vs hardware ladder.
+    display::LcdSubsystem sw(platform, ladder_opts);
+    display::LcdSubsystem hw(platform, ladder_opts);
+    sw.configure(r.lambda, r.point.beta,
+                 display::DeploymentMode::kSoftwareTransform);
+    hw.configure(r.lambda, r.point.beta,
+                 display::DeploymentMode::kHardwareLadder);
+    const auto lum_sw = sw.display(img);
+    const auto lum_hw = hw.display(img);
+    std::printf("Deployment comparison (software remap vs ladder):\n");
+    std::printf("  luminance RMS difference : %.5f\n",
+                std::sqrt(quality::mse(lum_sw.luminance, lum_hw.luminance)));
+    std::printf("  software path power      : %.3f W\n",
+                lum_sw.power.total());
+    std::printf("  hardware path power      : %.3f W\n",
+                lum_hw.power.total());
+    std::printf("\nThe hardware path touches no pixels: the video buffer\n"
+                "still holds the original image; only %d reference\n"
+                "voltages changed (the paper's minimal-change claim).\n",
+                ladder_opts.bands + 1);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,183 @@
+// hebs_cli — command-line driver for the HEBS library.
+//
+// Subcommands:
+//   transform <in.pgm> <out.pgm> [--dmax P | --range R] [--segments M]
+//             [--metric NAME]
+//       Backlight-scale one image; prints the operating point.
+//   characterize <curve.csv> [--size N]
+//       Runs the offline characterization on the synthetic album and
+//       writes the distortion characteristic curve.
+//   apply-curve <in.pgm> <out.pgm> <curve.csv> --dmax P
+//       The deployed Fig. 4 flow: curve lookup, no metric at runtime.
+//   info <in.pgm>
+//       Histogram statistics of an image.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/distortion_curve.h"
+#include "core/hebs.h"
+#include "histogram/histogram.h"
+#include "image/pnm_io.h"
+#include "image/synthetic.h"
+#include "power/lcd_power.h"
+
+namespace {
+
+using namespace hebs;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  hebs_cli transform <in.pgm> <out.pgm> [--dmax P | --range R]\n"
+      "           [--segments M] [--metric UIQI+HVS|UIQI|SSIM|SSIM+HVS|\n"
+      "            RMSE|ContrastFidelity|MS-SSIM]\n"
+      "  hebs_cli characterize <curve.csv> [--size N]\n"
+      "  hebs_cli apply-curve <in.pgm> <out.pgm> <curve.csv> --dmax P\n"
+      "  hebs_cli info <in.pgm>\n");
+  return 2;
+}
+
+bool parse_metric(const std::string& name, quality::Metric& out) {
+  const quality::Metric all[] = {
+      quality::Metric::kUiqiHvs, quality::Metric::kUiqi,
+      quality::Metric::kSsim,    quality::Metric::kSsimHvs,
+      quality::Metric::kRmse,    quality::Metric::kContrastFidelity,
+      quality::Metric::kMsSsim};
+  for (quality::Metric m : all) {
+    if (name == quality::metric_name(m)) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+void report(const core::HebsResult& r) {
+  std::printf("range [%d, %d]  beta %.3f  segments %d\n", r.target.g_min,
+              r.target.g_max, r.point.beta, r.lambda.segment_count());
+  std::printf("distortion %.2f %%  saving %.2f %%  power %.2f -> %.2f W\n",
+              r.evaluation.distortion_percent,
+              r.evaluation.saving_percent,
+              r.evaluation.reference_power.total(),
+              r.evaluation.power.total());
+}
+
+int cmd_transform(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string in_path = argv[2];
+  const std::string out_path = argv[3];
+  double dmax = 10.0;
+  int range = 0;
+  core::HebsOptions opts;
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--dmax" && i + 1 < argc) {
+      dmax = std::atof(argv[++i]);
+    } else if (flag == "--range" && i + 1 < argc) {
+      range = std::atoi(argv[++i]);
+    } else if (flag == "--segments" && i + 1 < argc) {
+      opts.segments = std::atoi(argv[++i]);
+    } else if (flag == "--metric" && i + 1 < argc) {
+      if (!parse_metric(argv[++i], opts.distortion.metric)) {
+        std::fprintf(stderr, "unknown metric '%s'\n", argv[i]);
+        return 2;
+      }
+    } else {
+      return usage();
+    }
+  }
+  const auto img = image::read_pgm(in_path);
+  const auto platform = power::LcdSubsystemPower::lp064v1();
+  const core::HebsResult r =
+      range > 0 ? core::hebs_at_range(img, range, opts, platform)
+                : core::hebs_exact(img, dmax, opts, platform);
+  report(r);
+  image::write_pgm(r.evaluation.transformed, out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_characterize(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string curve_path = argv[2];
+  int size = 96;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
+      size = std::atoi(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  const auto album = image::usid_album(size);
+  const auto ranges = core::DistortionCurve::default_ranges();
+  const auto curve = core::DistortionCurve::characterize(
+      album, ranges, {}, power::LcdSubsystemPower::lp064v1());
+  curve.save(curve_path);
+  std::printf("characterized %zu images x %zu ranges -> %s\n",
+              album.size(), ranges.size(), curve_path.c_str());
+  for (double budget : {5.0, 10.0, 20.0}) {
+    std::printf("  D_max %.0f%% -> min range %d\n", budget,
+                curve.min_range_for(budget));
+  }
+  return 0;
+}
+
+int cmd_apply_curve(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string in_path = argv[2];
+  const std::string out_path = argv[3];
+  const std::string curve_path = argv[4];
+  double dmax = 10.0;
+  for (int i = 5; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dmax") == 0 && i + 1 < argc) {
+      dmax = std::atof(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  const auto img = image::read_pgm(in_path);
+  const auto curve = core::DistortionCurve::load(curve_path);
+  const auto platform = power::LcdSubsystemPower::lp064v1();
+  const core::HebsResult r =
+      core::hebs_with_curve(img, dmax, curve, {}, platform);
+  report(r);
+  image::write_pgm(r.evaluation.transformed, out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto img = image::read_pgm(argv[2]);
+  const auto hist = histogram::Histogram::from_image(img);
+  std::printf("%s: %dx%d\n", argv[2], img.width(), img.height());
+  std::printf("  levels [%d, %d], dynamic range %d\n", hist.min_level(),
+              hist.max_level(), hist.dynamic_range());
+  std::printf("  mean %.1f  stddev %.1f  entropy %.2f bits\n", hist.mean(),
+              std::sqrt(hist.variance()), hist.entropy_bits());
+  std::printf("  percentiles: p5=%d p50=%d p95=%d\n",
+              hist.percentile_level(0.05), hist.percentile_level(0.50),
+              hist.percentile_level(0.95));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "transform") return cmd_transform(argc, argv);
+    if (cmd == "characterize") return cmd_characterize(argc, argv);
+    if (cmd == "apply-curve") return cmd_apply_curve(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

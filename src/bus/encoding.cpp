@@ -1,0 +1,207 @@
+#include "bus/encoding.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace hebs::bus {
+
+std::vector<std::uint16_t> RawEncoder::encode(
+    std::span<const std::uint8_t> pixels) const {
+  return {pixels.begin(), pixels.end()};
+}
+
+std::vector<std::uint8_t> RawEncoder::decode(
+    std::span<const std::uint16_t> words) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(words.size());
+  for (std::uint16_t w : words) {
+    out.push_back(static_cast<std::uint8_t>(w & 0xFF));
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> GrayCodeEncoder::encode(
+    std::span<const std::uint8_t> pixels) const {
+  std::vector<std::uint16_t> out;
+  out.reserve(pixels.size());
+  for (std::uint8_t p : pixels) {
+    out.push_back(static_cast<std::uint16_t>(p ^ (p >> 1)));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> GrayCodeEncoder::decode(
+    std::span<const std::uint16_t> words) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(words.size());
+  for (std::uint16_t w : words) {
+    std::uint8_t value = static_cast<std::uint8_t>(w & 0xFF);
+    for (int shift = 1; shift < 8; shift <<= 1) {
+      value ^= static_cast<std::uint8_t>(value >> shift);
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> DifferentialEncoder::encode(
+    std::span<const std::uint8_t> pixels) const {
+  std::vector<std::uint16_t> out;
+  out.reserve(pixels.size());
+  std::uint8_t prev = 0;
+  for (std::uint8_t p : pixels) {
+    out.push_back(static_cast<std::uint16_t>(p ^ prev));
+    prev = p;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> DifferentialEncoder::decode(
+    std::span<const std::uint16_t> words) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(words.size());
+  std::uint8_t prev = 0;
+  for (std::uint16_t w : words) {
+    prev = static_cast<std::uint8_t>(prev ^ (w & 0xFF));
+    out.push_back(prev);
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> BusInvertEncoder::encode(
+    std::span<const std::uint8_t> pixels) const {
+  std::vector<std::uint16_t> out;
+  out.reserve(pixels.size());
+  std::uint16_t prev_wires = 0;
+  for (std::uint8_t p : pixels) {
+    const auto plain = static_cast<std::uint16_t>(p);
+    const auto inverted =
+        static_cast<std::uint16_t>((~p & 0xFF) | 0x100);  // wire 8 = flag
+    const int cost_plain =
+        std::popcount(static_cast<unsigned>(plain ^ prev_wires));
+    const int cost_inv =
+        std::popcount(static_cast<unsigned>(inverted ^ prev_wires));
+    const std::uint16_t chosen = cost_inv < cost_plain ? inverted : plain;
+    out.push_back(chosen);
+    prev_wires = chosen;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BusInvertEncoder::decode(
+    std::span<const std::uint16_t> words) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(words.size());
+  for (std::uint16_t w : words) {
+    const bool inverted = (w & 0x100) != 0;
+    const auto payload = static_cast<std::uint8_t>(w & 0xFF);
+    out.push_back(inverted ? static_cast<std::uint8_t>(~payload) : payload);
+  }
+  return out;
+}
+
+int LiwtEncoder::intra_transitions(std::uint16_t word, int width) {
+  int transitions = 0;
+  for (int b = 1; b < width; ++b) {
+    const int cur = (word >> b) & 1;
+    const int prev = (word >> (b - 1)) & 1;
+    if (cur != prev) ++transitions;
+  }
+  return transitions;
+}
+
+LiwtEncoder::LiwtEncoder(const std::vector<std::uint64_t>& value_frequency) {
+  HEBS_REQUIRE(value_frequency.empty() || value_frequency.size() == 256,
+               "frequency table must have 256 entries");
+  // Order the 1024 codewords by intra-word transition count (the cost
+  // ref [3] minimizes), then numerically for determinism.
+  std::vector<std::uint16_t> codes(1024);
+  std::iota(codes.begin(), codes.end(), 0);
+  std::stable_sort(codes.begin(), codes.end(),
+                   [](std::uint16_t a, std::uint16_t b) {
+                     return intra_transitions(a, 10) <
+                            intra_transitions(b, 10);
+                   });
+  // Order values by descending frequency (uniform -> identity order).
+  std::vector<int> values(256);
+  std::iota(values.begin(), values.end(), 0);
+  if (!value_frequency.empty()) {
+    std::stable_sort(values.begin(), values.end(),
+                     [&value_frequency](int a, int b) {
+                       return value_frequency[static_cast<std::size_t>(a)] >
+                              value_frequency[static_cast<std::size_t>(b)];
+                     });
+  }
+  from_code_.assign(1024, -1);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::uint16_t code = codes[i];
+    to_code_[static_cast<std::size_t>(values[i])] = code;
+    from_code_[code] = values[i];
+  }
+}
+
+std::vector<std::uint16_t> LiwtEncoder::encode(
+    std::span<const std::uint8_t> pixels) const {
+  std::vector<std::uint16_t> out;
+  out.reserve(pixels.size());
+  for (std::uint8_t p : pixels) {
+    out.push_back(to_code_[p]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> LiwtEncoder::decode(
+    std::span<const std::uint16_t> words) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(words.size());
+  for (std::uint16_t w : words) {
+    HEBS_REQUIRE(w < 1024, "codeword outside the 10-bit bus");
+    const int value = from_code_[w];
+    if (value < 0) {
+      throw util::IoError("unused LIWT codeword on the bus");
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+  }
+  return out;
+}
+
+BusStats measure(std::span<const std::uint16_t> words, int width) {
+  HEBS_REQUIRE(width >= 1 && width <= 16, "bus width must be 1..16");
+  BusStats stats;
+  stats.bus_width = width;
+  stats.words = words.size();
+  std::uint16_t prev = 0;
+  for (std::uint16_t w : words) {
+    stats.inter_word_transitions +=
+        static_cast<std::uint64_t>(
+            std::popcount(static_cast<unsigned>((w ^ prev) &
+                                                ((1u << width) - 1))));
+    stats.intra_word_transitions += static_cast<std::uint64_t>(
+        LiwtEncoder::intra_transitions(w, width));
+    prev = w;
+  }
+  return stats;
+}
+
+BusStats transmit(const hebs::image::GrayImage& frame,
+                  const BusEncoder& encoder) {
+  HEBS_REQUIRE(!frame.empty(), "cannot transmit an empty frame");
+  BusStats total;
+  total.bus_width = encoder.bus_width();
+  for (int y = 0; y < frame.height(); ++y) {
+    const auto row = frame.pixels().subspan(
+        static_cast<std::size_t>(y) * frame.width(),
+        static_cast<std::size_t>(frame.width()));
+    const auto words = encoder.encode(row);
+    const BusStats line = measure(words, encoder.bus_width());
+    total.inter_word_transitions += line.inter_word_transitions;
+    total.intra_word_transitions += line.intra_word_transitions;
+    total.words += line.words;
+  }
+  return total;
+}
+
+}  // namespace hebs::bus

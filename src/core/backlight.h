@@ -1,0 +1,37 @@
+// Backlight scaling factor computation.
+//
+// After GHE compresses the image into [0, g_max], full brightness
+// compensation spreads transmittances by 1/β (Eq. 10), so the displayed
+// luminance of level y is β·(y/β) = y as long as y <= β.  The deepest
+// dimming that avoids clipping is therefore β = g_max/255 — the
+// transmissivity-limited optimum the HEBS flow (Fig. 4) derives from the
+// minimum admissible dynamic range.
+#pragma once
+
+#include "image/image.h"
+#include "util/error.h"
+
+namespace hebs::core {
+
+/// β for a transformed image whose brightest level is `g_max_level`.
+/// `min_beta` guards the CCFL's lower operating limit.
+inline double beta_for_gmax(int g_max_level, double min_beta = 0.0) {
+  HEBS_REQUIRE(g_max_level >= 1 && g_max_level <= hebs::image::kMaxPixel,
+               "g_max must be in [1, 255]");
+  HEBS_REQUIRE(min_beta >= 0.0 && min_beta <= 1.0,
+               "min_beta must be in [0, 1]");
+  const double beta =
+      static_cast<double>(g_max_level) / hebs::image::kMaxPixel;
+  return beta < min_beta ? min_beta : beta;
+}
+
+/// Largest brightest-level a backlight factor can display without
+/// clipping: the inverse of beta_for_gmax.
+inline int gmax_for_beta(double beta) {
+  HEBS_REQUIRE(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+  const int level =
+      static_cast<int>(beta * hebs::image::kMaxPixel);
+  return level < 1 ? 1 : level;
+}
+
+}  // namespace hebs::core

@@ -1,0 +1,75 @@
+#include "core/color.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::core {
+
+hebs::image::RgbImage apply_to_color(const hebs::image::RgbImage& image,
+                                     const OperatingPoint& point) {
+  HEBS_REQUIRE(!image.empty(), "cannot transform an empty image");
+  HEBS_REQUIRE(point.beta > 0.0 && point.beta <= 1.0,
+               "beta must be in (0, 1]");
+  // Per-level displayed luminance, shared by all channels.
+  std::array<std::uint8_t, hebs::image::kLevels> lut{};
+  for (int level = 0; level < hebs::image::kLevels; ++level) {
+    const double x = static_cast<double>(level) / hebs::image::kMaxPixel;
+    const double lum = std::min(
+        point.beta, util::clamp01(point.luminance_transform(x)));
+    lut[static_cast<std::size_t>(level)] = static_cast<std::uint8_t>(
+        std::lround(lum * hebs::image::kMaxPixel));
+  }
+  hebs::image::RgbImage out(image.width(), image.height());
+  const auto src = image.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = lut[src[i]];
+  }
+  return out;
+}
+
+double chromaticity_error(const hebs::image::RgbImage& a,
+                          const hebs::image::RgbImage& b) {
+  HEBS_REQUIRE(!a.empty() && !b.empty(), "chromaticity of empty image");
+  HEBS_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+               "chromaticity needs equal-size images");
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      const auto pa = a.get(x, y);
+      const auto pb = b.get(x, y);
+      const double sum_a = pa.r + pa.g + pa.b;
+      const double sum_b = pb.r + pb.g + pb.b;
+      if (sum_a < 1.0 || sum_b < 1.0) continue;  // black: no chroma
+      acc += std::abs(pa.r / sum_a - pb.r / sum_b) +
+             std::abs(pa.g / sum_a - pb.g / sum_b) +
+             std::abs(pa.b / sum_a - pb.b / sum_b);
+      ++counted;
+    }
+  }
+  return counted > 0 ? acc / static_cast<double>(counted) : 0.0;
+}
+
+ColorHebsResult color_hebs_exact(
+    const hebs::image::RgbImage& image, double d_max_percent,
+    const HebsOptions& opts,
+    const hebs::power::LcdSubsystemPower& power_model) {
+  HEBS_REQUIRE(!image.empty(), "HEBS of an empty image");
+  ColorHebsResult result;
+  const hebs::image::GrayImage luma = image.to_luma();
+  result.luma = hebs_exact(luma, d_max_percent, opts, power_model);
+  result.transformed = apply_to_color(image, result.luma.point);
+  result.distortion_percent = result.luma.evaluation.distortion_percent;
+  result.saving_percent = result.luma.evaluation.saving_percent;
+
+  // Hue error: clipping against β compresses bright channels more than
+  // dim ones within a pixel, rotating its chromaticity.
+  result.hue_error = chromaticity_error(image, result.transformed);
+  return result;
+}
+
+}  // namespace hebs::core

@@ -1,0 +1,70 @@
+// The Dynamic Backlight Scaling (DBS) problem framing (§3 of the paper).
+//
+//   Given an original image F and a maximum tolerable distortion D_max,
+//   find the backlight factor β and pixel transformation Φ minimizing
+//   the LCD-subsystem power P(F', β) subject to D(F, F') <= D_max.
+//
+// Every dimming technique in the paper — HEBS, DLS [4] and CBCS [5] — is
+// a policy for this problem.  To compare them on equal footing we
+// normalize each to an *operating point*: the backlight factor β plus the
+// effective displayed-luminance transform ψ, where ψ(x) is the normalized
+// luminance the viewer perceives for original pixel x (ψ combines the
+// pixel transformation with the backlight scaling and any hardware
+// clipping: I' = β·t(Φ(x)) = ψ(x)).  Distortion is then D(F, ψ(F)) and
+// power follows from β and the driven transmittances ψ(x)/β.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "image/image.h"
+#include "power/lcd_power.h"
+#include "quality/distortion.h"
+#include "transform/pwl.h"
+
+namespace hebs::core {
+
+/// A complete backlight-scaling decision for one image.
+struct OperatingPoint {
+  /// Effective displayed-luminance transform ψ (normalized domain).
+  hebs::transform::PwlCurve luminance_transform;
+  /// Backlight scaling factor β in (0, 1].
+  double beta = 1.0;
+};
+
+/// The do-nothing operating point: identity transform at full backlight.
+OperatingPoint identity_operating_point();
+
+/// Everything measured about an operating point on a concrete image.
+struct EvaluatedPoint {
+  OperatingPoint point;
+  /// ψ(F) quantized to 8 bits — the paper's transformed image F'.
+  hebs::image::GrayImage transformed;
+  double distortion_percent = 0.0;
+  double saving_percent = 0.0;
+  hebs::power::PowerBreakdown power;   ///< power at the operating point
+  hebs::power::PowerBreakdown reference_power;  ///< original at β = 1
+};
+
+/// Measures distortion and power of `point` on `original`.
+EvaluatedPoint evaluate_operating_point(
+    const hebs::image::GrayImage& original, const OperatingPoint& point,
+    const hebs::power::LcdSubsystemPower& power_model,
+    const hebs::quality::DistortionOptions& distortion = {});
+
+/// Abstract DBS policy: picks an operating point given a distortion
+/// budget.  Implementations: HebsPolicy (core), DLS and CBCS baselines.
+class DbsPolicy {
+ public:
+  virtual ~DbsPolicy() = default;
+
+  /// Human-readable policy name for tables.
+  virtual std::string name() const = 0;
+
+  /// Chooses an operating point with distortion <= `d_max_percent`
+  /// (as measured by the policy's configured metric), minimizing power.
+  virtual OperatingPoint choose(const hebs::image::GrayImage& image,
+                                double d_max_percent) const = 0;
+};
+
+}  // namespace hebs::core

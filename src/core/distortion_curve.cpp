@@ -1,0 +1,162 @@
+#include "core/distortion_curve.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/hebs.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::core {
+
+DistortionCurve::DistortionCurve(fit::Poly average, fit::Poly worst_case,
+                                 int range_lo, int range_hi)
+    : average_(std::move(average)),
+      worst_case_(std::move(worst_case)),
+      range_lo_(range_lo),
+      range_hi_(range_hi) {
+  HEBS_REQUIRE(range_lo >= 1 && range_hi <= hebs::image::kMaxPixel &&
+                   range_lo < range_hi,
+               "invalid characterized range interval");
+}
+
+std::vector<int> DistortionCurve::default_ranges() {
+  // Ten target ranges spanning the useful dimming region, as in §5.1c.
+  return {40, 60, 80, 100, 120, 140, 160, 180, 220, 250};
+}
+
+DistortionCurve DistortionCurve::characterize(
+    const std::vector<hebs::image::NamedImage>& album,
+    std::span<const int> ranges, const HebsOptions& opts,
+    const hebs::power::LcdSubsystemPower& power_model,
+    std::vector<CharacterizationPoint>* points_out) {
+  HEBS_REQUIRE(!album.empty(), "characterization needs images");
+  HEBS_REQUIRE(ranges.size() >= 4, "characterization needs >= 4 ranges");
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<CharacterizationPoint> points;
+  xs.reserve(album.size() * ranges.size());
+  ys.reserve(album.size() * ranges.size());
+  for (const auto& named : album) {
+    for (int range : ranges) {
+      const HebsResult r =
+          hebs_at_range(named.image, range, opts, power_model);
+      xs.push_back(static_cast<double>(range));
+      ys.push_back(r.evaluation.distortion_percent);
+      points.push_back(
+          {named.name, range, r.evaluation.distortion_percent});
+    }
+  }
+  if (points_out != nullptr) *points_out = std::move(points);
+
+  const auto [lo_it, hi_it] = std::minmax_element(ranges.begin(), ranges.end());
+  // Quadratic fits, like the smooth decaying curves of Fig. 7.
+  fit::Poly average = fit::polyfit(xs, ys, 2);
+  fit::Poly worst =
+      fit::fit_upper_envelope(xs, ys, 2, static_cast<int>(ranges.size()));
+  return DistortionCurve(std::move(average), std::move(worst), *lo_it,
+                         *hi_it);
+}
+
+double DistortionCurve::average_distortion(int range) const {
+  const double r = util::clamp(static_cast<double>(range),
+                               static_cast<double>(range_lo_),
+                               static_cast<double>(range_hi_));
+  return std::max(0.0, average_(r));
+}
+
+double DistortionCurve::worst_distortion(int range) const {
+  const double r = util::clamp(static_cast<double>(range),
+                               static_cast<double>(range_lo_),
+                               static_cast<double>(range_hi_));
+  return std::max(0.0, worst_case_(r));
+}
+
+void DistortionCurve::save(const std::string& path) const {
+  util::CsvWriter csv(path);
+  csv.write_row({"curve", "range_lo", "range_hi", "c0", "c1", "c2"});
+  auto row = [&csv, this](const char* name, const fit::Poly& poly) {
+    HEBS_REQUIRE(poly.coeffs.size() == 3,
+                 "only quadratic curves are persisted");
+    csv.write_row({name, std::to_string(range_lo_),
+                   std::to_string(range_hi_),
+                   util::CsvWriter::num(poly.coeffs[0]),
+                   util::CsvWriter::num(poly.coeffs[1]),
+                   util::CsvWriter::num(poly.coeffs[2])});
+  };
+  row("average", average_);
+  row("worst_case", worst_case_);
+}
+
+DistortionCurve DistortionCurve::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::IoError("cannot open distortion curve: " + path);
+  std::string line;
+  std::getline(in, line);  // header
+  fit::Poly average;
+  fit::Poly worst;
+  int lo = 0;
+  int hi = 0;
+  bool have_average = false;
+  bool have_worst = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string name;
+    std::string cell;
+    std::getline(row, name, ',');
+    fit::Poly poly;
+    poly.coeffs.resize(3);
+    try {
+      std::getline(row, cell, ',');
+      lo = std::stoi(cell);
+      std::getline(row, cell, ',');
+      hi = std::stoi(cell);
+      for (double& c : poly.coeffs) {
+        if (!std::getline(row, cell, ',')) {
+          throw util::IoError("truncated curve row in " + path);
+        }
+        c = std::stod(cell);
+      }
+    } catch (const std::logic_error&) {
+      throw util::IoError("malformed distortion curve row in " + path);
+    }
+    if (name == "average") {
+      average = std::move(poly);
+      have_average = true;
+    } else if (name == "worst_case") {
+      worst = std::move(poly);
+      have_worst = true;
+    } else {
+      throw util::IoError("unknown curve name '" + name + "' in " + path);
+    }
+  }
+  if (!have_average || !have_worst) {
+    throw util::IoError("distortion curve file missing rows: " + path);
+  }
+  return DistortionCurve(std::move(average), std::move(worst), lo, hi);
+}
+
+int DistortionCurve::min_range_for(double d_max_percent,
+                                   bool worst_case) const {
+  HEBS_REQUIRE(d_max_percent >= 0.0, "distortion budget must be >= 0");
+  // Scan from the widest range downward; stop at the first prediction
+  // that exceeds the budget.  This is robust to mild non-monotonicity of
+  // the fitted polynomial at the interval edges.
+  int smallest_feasible = range_hi_;
+  for (int r = range_hi_; r >= range_lo_; --r) {
+    const double predicted =
+        worst_case ? worst_distortion(r) : average_distortion(r);
+    if (predicted <= d_max_percent) {
+      smallest_feasible = r;
+    } else {
+      break;
+    }
+  }
+  return smallest_feasible;
+}
+
+}  // namespace hebs::core

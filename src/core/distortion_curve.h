@@ -1,0 +1,85 @@
+// The distortion characteristic curve — §3 and §5.1c of the paper.
+//
+// HEBS avoids evaluating the (expensive, perception-aware) distortion
+// function at runtime: offline, each benchmark image is compressed to a
+// sweep of target dynamic ranges, the distortion of each transformed
+// image is recorded, and regression yields an empirical curve mapping
+// target dynamic range -> expected distortion.  The paper fits two
+// curves (Fig. 7): the "entire dataset" (average) fit and a "worst-case"
+// fit (upper envelope).  At runtime, a distortion budget is turned into
+// the minimum admissible dynamic range by inverting the curve.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fit/regression.h"
+#include "image/synthetic.h"
+#include "power/lcd_power.h"
+
+namespace hebs::core {
+
+struct HebsOptions;  // defined in core/hebs.h
+
+/// One characterization sample: image x target range -> distortion.
+struct CharacterizationPoint {
+  std::string image_name;
+  int range = 0;
+  double distortion_percent = 0.0;
+};
+
+/// The fitted range -> distortion curves and their inversion.
+class DistortionCurve {
+ public:
+  /// Builds from already-fitted polynomials valid on [range_lo, range_hi].
+  DistortionCurve(fit::Poly average, fit::Poly worst_case, int range_lo,
+                  int range_hi);
+
+  /// Runs the full offline characterization: every image in `album` is
+  /// pushed through the HEBS pipeline at every range in `ranges`; the
+  /// per-point distortions are fitted (quadratic average fit, quadratic
+  /// upper-envelope worst-case fit).  `points_out`, when non-null,
+  /// receives the raw scatter (the dots of Fig. 7).
+  static DistortionCurve characterize(
+      const std::vector<hebs::image::NamedImage>& album,
+      std::span<const int> ranges, const HebsOptions& opts,
+      const hebs::power::LcdSubsystemPower& power_model,
+      std::vector<CharacterizationPoint>* points_out = nullptr);
+
+  /// The default range sweep used for characterization (ten target
+  /// ranges, as in the paper: "set to ten different values").
+  static std::vector<int> default_ranges();
+
+  /// Predicted average-case distortion at a target range (clamped >= 0).
+  double average_distortion(int range) const;
+
+  /// Predicted worst-case distortion at a target range (clamped >= 0).
+  double worst_distortion(int range) const;
+
+  /// Smallest range whose predicted distortion (worst-case by default)
+  /// stays within the budget for this and all larger ranges.  Returns
+  /// range_hi when even the widest characterized range misses the budget.
+  int min_range_for(double d_max_percent, bool worst_case = true) const;
+
+  int range_lo() const noexcept { return range_lo_; }
+  int range_hi() const noexcept { return range_hi_; }
+  const fit::Poly& average_fit() const noexcept { return average_; }
+  const fit::Poly& worst_case_fit() const noexcept { return worst_case_; }
+
+  /// Persists the fitted curves (CSV: one row per polynomial) so the
+  /// expensive offline characterization can ship with a device image.
+  void save(const std::string& path) const;
+
+  /// Loads a curve previously written by `save`.  Throws IoError on
+  /// malformed files.
+  static DistortionCurve load(const std::string& path);
+
+ private:
+  fit::Poly average_;
+  fit::Poly worst_case_;
+  int range_lo_;
+  int range_hi_;
+};
+
+}  // namespace hebs::core

@@ -1,0 +1,94 @@
+#include "core/ghe.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace hebs::core {
+
+hebs::transform::PwlCurve ghe_transform(
+    const hebs::histogram::Histogram& hist, const GheTarget& target) {
+  HEBS_REQUIRE(!hist.empty(), "GHE of an empty histogram");
+  HEBS_REQUIRE(target.g_min >= 0 && target.g_max <= hebs::image::kMaxPixel &&
+                   target.g_min < target.g_max,
+               "invalid GHE target range");
+
+  const auto cum = hist.cumulative_counts();
+  const double lo = static_cast<double>(target.g_min) / hebs::image::kMaxPixel;
+  const double hi = static_cast<double>(target.g_max) / hebs::image::kMaxPixel;
+
+  // Eq. 7 uses the *exclusive* cumulative sum Σ_{k<i} h(x_k): the darkest
+  // populated level maps exactly to g_min and the slope after level i is
+  // proportional to h(x_i).  We normalize by N - h(max_level) (instead of
+  // N) so the brightest populated level lands exactly on g_max — the
+  // range-tight variant that makes β = g_max/255 achievable without
+  // slack.
+  const int min_level = hist.min_level();
+  const int max_level = hist.max_level();
+  const auto total = static_cast<double>(hist.total());
+  const double denom =
+      total - static_cast<double>(hist.count(max_level));
+
+  std::vector<hebs::transform::CurvePoint> pts;
+  pts.reserve(static_cast<std::size_t>(hebs::image::kLevels));
+  for (int level = 0; level < hebs::image::kLevels; ++level) {
+    const double x = static_cast<double>(level) / hebs::image::kMaxPixel;
+    double rank;
+    if (denom <= 0.0) {
+      // Degenerate single-level histogram: send the populated level (and
+      // everything above) to the top of the target range.
+      rank = level >= min_level ? 1.0 : 0.0;
+    } else {
+      // Exclusive cumulative sum: counts strictly below this level.
+      const double excl =
+          level == 0
+              ? 0.0
+              : static_cast<double>(cum[static_cast<std::size_t>(level - 1)]);
+      rank = std::min(1.0, excl / denom);
+    }
+    // Levels with no pixels inherit the previous rank, yielding the flat
+    // bands the hierarchical ladder exploits.
+    pts.push_back({x, lo + (hi - lo) * rank});
+  }
+  return hebs::transform::PwlCurve(std::move(pts));
+}
+
+hebs::transform::Lut ghe_lut(const hebs::histogram::Histogram& hist,
+                             const GheTarget& target) {
+  return ghe_transform(hist, target).to_lut();
+}
+
+hebs::transform::Lut ghe_lut_fixed_point(
+    const hebs::histogram::Histogram& hist, const GheTarget& target) {
+  HEBS_REQUIRE(!hist.empty(), "GHE of an empty histogram");
+  HEBS_REQUIRE(target.g_min >= 0 && target.g_max <= hebs::image::kMaxPixel &&
+                   target.g_min < target.g_max,
+               "invalid GHE target range");
+
+  const auto cum = hist.cumulative_counts();
+  const int min_level = hist.min_level();
+  const int max_level = hist.max_level();
+  const std::uint64_t denom = hist.total() - hist.count(max_level);
+  const auto span = static_cast<std::uint64_t>(target.range());
+
+  hebs::transform::Lut lut;
+  for (int level = 0; level < hebs::image::kLevels; ++level) {
+    std::uint64_t offset;  // scaled rank in [0, span]
+    if (denom == 0) {
+      offset = level >= min_level ? span : 0;
+    } else {
+      const std::uint64_t excl =
+          level == 0 ? 0 : cum[static_cast<std::size_t>(level - 1)];
+      const std::uint64_t clipped = std::min(excl, denom);
+      // Round-to-nearest integer division; products stay < 2^63 for any
+      // 8-bit image up to ~2^54 pixels.
+      offset = (clipped * span + denom / 2) / denom;
+    }
+    lut[level] =
+        static_cast<std::uint8_t>(static_cast<std::uint64_t>(target.g_min) +
+                                  offset);
+  }
+  return lut;
+}
+
+}  // namespace hebs::core

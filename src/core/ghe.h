@@ -1,0 +1,50 @@
+// Global Histogram Equalization (GHE) — §4 of the paper.
+//
+//   GHE problem: given the original image's cumulative histogram H, find
+//   a monotonic transformation Φ: G -> G minimizing
+//   ∫ |U(Φ(x)) - H(x)| dx, where U is the cumulative uniform
+//   distribution on [g_min, g_max]  (Eq. 4).
+//
+// The minimizer is the classic CDF remapping (Eq. 5), whose discrete form
+// (Eq. 7) is
+//
+//   Φ(x_i) = g_min + (g_max - g_min) · H(x_i)/N,
+//
+// i.e. each level moves to its cumulative rank scaled into the target
+// range.  The result equalizes the histogram toward uniform over
+// [g_min, g_max] — compressing the dynamic range to R = g_max - g_min
+// while spending the error budget on the sparsest grayscale levels.
+#pragma once
+
+#include "histogram/histogram.h"
+#include "transform/pwl.h"
+
+namespace hebs::core {
+
+/// Target range of the equalized image, in 8-bit levels.
+struct GheTarget {
+  int g_min = 0;
+  int g_max = 255;
+
+  /// Dynamic range g_max - g_min.
+  int range() const noexcept { return g_max - g_min; }
+};
+
+/// Solves the GHE problem (Eq. 7): the exact monotonic transformation Φ
+/// as a normalized PWL curve with one breakpoint per pixel level.
+/// Requires a non-empty histogram and 0 <= g_min < g_max <= 255.
+hebs::transform::PwlCurve ghe_transform(
+    const hebs::histogram::Histogram& hist, const GheTarget& target);
+
+/// Convenience: Φ as a 256-entry lookup table.
+hebs::transform::Lut ghe_lut(const hebs::histogram::Histogram& hist,
+                             const GheTarget& target);
+
+/// Integer-only GHE (the "efficient hardware realization" arithmetic):
+/// computes the same Eq. 7 lookup table using only 64-bit integer
+/// multiply/divide — the operations a small LCD-controller datapath
+/// has.  Agrees with `ghe_lut` within one gray level on every entry.
+hebs::transform::Lut ghe_lut_fixed_point(
+    const hebs::histogram::Histogram& hist, const GheTarget& target);
+
+}  // namespace hebs::core

@@ -1,0 +1,109 @@
+#include "core/lhe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::core {
+
+hebs::histogram::Histogram clip_histogram(
+    const hebs::histogram::Histogram& hist, double clip_limit) {
+  if (clip_limit <= 0.0 || hist.empty()) return hist;
+  const double uniform_mass =
+      static_cast<double>(hist.total()) /
+      hebs::histogram::Histogram::kBins;
+  const auto cap =
+      static_cast<std::uint64_t>(std::ceil(clip_limit * uniform_mass));
+  std::vector<std::uint64_t> counts(hebs::histogram::Histogram::kBins);
+  std::uint64_t excess = 0;
+  for (int i = 0; i < hebs::histogram::Histogram::kBins; ++i) {
+    const std::uint64_t c = hist.count(i);
+    counts[static_cast<std::size_t>(i)] = std::min(c, cap);
+    excess += c - counts[static_cast<std::size_t>(i)];
+  }
+  // Redistribute the clipped mass uniformly; the remainder goes to the
+  // first bins so the total is exactly preserved.
+  const std::uint64_t share = excess / hebs::histogram::Histogram::kBins;
+  std::uint64_t remainder = excess % hebs::histogram::Histogram::kBins;
+  for (auto& c : counts) {
+    c += share;
+    if (remainder > 0) {
+      ++c;
+      --remainder;
+    }
+  }
+  return hebs::histogram::Histogram::from_counts(counts);
+}
+
+hebs::image::GrayImage lhe_apply(const hebs::image::GrayImage& image,
+                                 const GheTarget& target,
+                                 const LheOptions& opts) {
+  HEBS_REQUIRE(!image.empty(), "LHE of an empty image");
+  HEBS_REQUIRE(opts.tiles >= 1, "need at least one tile");
+  HEBS_REQUIRE(image.width() >= opts.tiles && image.height() >= opts.tiles,
+               "more tiles than pixels");
+
+  const int tiles = opts.tiles;
+  // Per-tile equalization LUT (as a float curve evaluated per level).
+  std::vector<hebs::transform::PwlCurve> tile_curve;
+  tile_curve.reserve(static_cast<std::size_t>(tiles) * tiles);
+  const double tile_w =
+      static_cast<double>(image.width()) / tiles;
+  const double tile_h =
+      static_cast<double>(image.height()) / tiles;
+  for (int ty = 0; ty < tiles; ++ty) {
+    for (int tx = 0; tx < tiles; ++tx) {
+      const int x0 = static_cast<int>(tx * tile_w);
+      const int y0 = static_cast<int>(ty * tile_h);
+      const int x1 = tx + 1 == tiles ? image.width()
+                                     : static_cast<int>((tx + 1) * tile_w);
+      const int y1 = ty + 1 == tiles
+                         ? image.height()
+                         : static_cast<int>((ty + 1) * tile_h);
+      hebs::histogram::Histogram hist;
+      for (int y = y0; y < y1; ++y) {
+        for (int x = x0; x < x1; ++x) {
+          hist.add(image(x, y));
+        }
+      }
+      tile_curve.push_back(
+          ghe_transform(clip_histogram(hist, opts.clip_limit), target));
+    }
+  }
+
+  // Bilinear interpolation between the four surrounding tile centers.
+  auto curve_at = [&](int tx, int ty) -> const hebs::transform::PwlCurve& {
+    tx = std::clamp(tx, 0, tiles - 1);
+    ty = std::clamp(ty, 0, tiles - 1);
+    return tile_curve[static_cast<std::size_t>(ty) * tiles + tx];
+  };
+
+  hebs::image::GrayImage out(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    // Position in tile-center coordinates.
+    const double fy = (y + 0.5) / tile_h - 0.5;
+    const int ty0 = static_cast<int>(std::floor(fy));
+    const double wy = fy - std::floor(fy);
+    for (int x = 0; x < image.width(); ++x) {
+      const double fx = (x + 0.5) / tile_w - 0.5;
+      const int tx0 = static_cast<int>(std::floor(fx));
+      const double wx = fx - std::floor(fx);
+      const double xn =
+          static_cast<double>(image(x, y)) / hebs::image::kMaxPixel;
+      const double v00 = curve_at(tx0, ty0)(xn);
+      const double v10 = curve_at(tx0 + 1, ty0)(xn);
+      const double v01 = curve_at(tx0, ty0 + 1)(xn);
+      const double v11 = curve_at(tx0 + 1, ty0 + 1)(xn);
+      const double v = util::lerp(util::lerp(v00, v10, wx),
+                                  util::lerp(v01, v11, wx), wy);
+      out(x, y) = static_cast<std::uint8_t>(
+          std::lround(util::clamp01(v) * hebs::image::kMaxPixel));
+    }
+  }
+  return out;
+}
+
+}  // namespace hebs::core

@@ -1,0 +1,43 @@
+// Local (tiled) histogram equalization — the paper's §6 future work:
+// "alternative ... histogram equalization methods will be evaluated".
+//
+// Global HE spends one transformation on the whole frame; local HE
+// computes a GHE transform per tile and bilinearly interpolates between
+// neighbouring tiles' transforms (the CLAHE construction), so each
+// region's contrast budget is allocated from its own statistics.  An
+// optional clip limit caps any single level's histogram mass before
+// equalization, bounding noise amplification in flat tiles.
+//
+// Hardware note: the resulting transform varies across the screen, which
+// a single reference-voltage ladder cannot realize — this variant is a
+// software-path-only extension (per-region ladders or per-scanline
+// reprogramming would be needed).  The LHE ablation benchmark quantifies
+// what that extra hardware would buy.
+#pragma once
+
+#include "core/ghe.h"
+#include "image/image.h"
+
+namespace hebs::core {
+
+/// Tunables of the local equalization.
+struct LheOptions {
+  /// Tiles per axis (1 degenerates to global GHE).
+  int tiles = 4;
+  /// Histogram clip limit as a multiple of the uniform bin mass; mass
+  /// above the cap is redistributed equally (<= 0 disables clipping).
+  double clip_limit = 4.0;
+};
+
+/// Applies local histogram equalization toward the target range and
+/// returns the displayed image (pixel values in [g_min, g_max]).
+hebs::image::GrayImage lhe_apply(const hebs::image::GrayImage& image,
+                                 const GheTarget& target,
+                                 const LheOptions& opts = {});
+
+/// Clips a histogram at `clip_limit` times the uniform bin mass and
+/// redistributes the excess uniformly (total preserved).
+hebs::histogram::Histogram clip_histogram(
+    const hebs::histogram::Histogram& hist, double clip_limit);
+
+}  // namespace hebs::core

@@ -1,0 +1,137 @@
+#include "core/plc.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace hebs::core {
+
+namespace {
+
+/// O(1) chord-error oracle over a point list, built on prefix sums.
+///
+/// For the chord from p_j to p_i, the error at an interior point p_k is
+/// d_k = (y_k - y_j) - s (x_k - x_j) with s the chord slope; the summed
+/// squared error expands into prefix sums of y, y², x, x², xy and cross
+/// terms, all precomputable.
+class ChordError {
+ public:
+  explicit ChordError(const std::vector<hebs::transform::CurvePoint>& pts)
+      : pts_(pts),
+        sx_(pts.size() + 1, 0.0),
+        sy_(pts.size() + 1, 0.0),
+        sxx_(pts.size() + 1, 0.0),
+        syy_(pts.size() + 1, 0.0),
+        sxy_(pts.size() + 1, 0.0) {
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      sx_[k + 1] = sx_[k] + pts[k].x;
+      sy_[k + 1] = sy_[k] + pts[k].y;
+      sxx_[k + 1] = sxx_[k] + pts[k].x * pts[k].x;
+      syy_[k + 1] = syy_[k] + pts[k].y * pts[k].y;
+      sxy_[k + 1] = sxy_[k] + pts[k].x * pts[k].y;
+    }
+  }
+
+  /// Squared error of approximating points j..i by the chord p_j -> p_i.
+  double operator()(std::size_t j, std::size_t i) const {
+    const auto& pj = pts_[j];
+    const auto& pi = pts_[i];
+    const double s = (pi.y - pj.y) / (pi.x - pj.x);
+    // Range sums over k in [j, i].
+    const double n = static_cast<double>(i - j + 1);
+    const double sum_x = sx_[i + 1] - sx_[j];
+    const double sum_y = sy_[i + 1] - sy_[j];
+    const double sum_xx = sxx_[i + 1] - sxx_[j];
+    const double sum_yy = syy_[i + 1] - syy_[j];
+    const double sum_xy = sxy_[i + 1] - sxy_[j];
+    // Sum over k of ((y_k - y_j) - s (x_k - x_j))^2
+    //  = Σ dy²  - 2 s Σ dx dy + s² Σ dx²
+    const double sum_dyy =
+        sum_yy - 2.0 * pj.y * sum_y + n * pj.y * pj.y;
+    const double sum_dxx =
+        sum_xx - 2.0 * pj.x * sum_x + n * pj.x * pj.x;
+    const double sum_dxy = sum_xy - pj.x * sum_y - pj.y * sum_x +
+                           n * pj.x * pj.y;
+    const double err = sum_dyy - 2.0 * s * sum_dxy + s * s * sum_dxx;
+    return err > 0.0 ? err : 0.0;  // guard fp cancellation
+  }
+
+ private:
+  const std::vector<hebs::transform::CurvePoint>& pts_;
+  std::vector<double> sx_, sy_, sxx_, syy_, sxy_;
+};
+
+}  // namespace
+
+PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
+  HEBS_REQUIRE(segments >= 1, "need at least one segment");
+  const auto& pts = exact.points();
+  const std::size_t n = pts.size();
+  HEBS_REQUIRE(n >= 2, "cannot coarsen a degenerate curve");
+
+  PlcResult result;
+  if (static_cast<std::size_t>(segments) >= n - 1) {
+    result.curve = exact;
+    result.mse = 0.0;
+    result.breakpoint_indices.resize(n);
+    for (std::size_t i = 0; i < n; ++i) result.breakpoint_indices[i] = i;
+    return result;
+  }
+
+  const ChordError chord(pts);
+  const auto m = static_cast<std::size_t>(segments);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // best[i][s]: minimal squared error of approximating points 0..i with s
+  // segments ending exactly at point i.  parent[i][s] reconstructs the
+  // chosen breakpoints.
+  std::vector<std::vector<double>> best(
+      n, std::vector<double>(m + 1, kInf));
+  std::vector<std::vector<std::size_t>> parent(
+      n, std::vector<std::size_t>(m + 1, 0));
+  best[0][0] = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t max_s = std::min(m, i);
+    for (std::size_t s = 1; s <= max_s; ++s) {
+      for (std::size_t j = s - 1; j < i; ++j) {
+        if (best[j][s - 1] == kInf) continue;
+        const double candidate = best[j][s - 1] + chord(j, i);
+        if (candidate < best[i][s]) {
+          best[i][s] = candidate;
+          parent[i][s] = j;
+        }
+      }
+    }
+  }
+
+  // The approximation may use fewer than m segments if that is already
+  // optimal (extra segments can only help, so take the best s <= m).
+  std::size_t best_s = m;
+  for (std::size_t s = 1; s <= m; ++s) {
+    if (best[n - 1][s] < best[n - 1][best_s]) best_s = s;
+  }
+  HEBS_REQUIRE(best[n - 1][best_s] < kInf, "PLC DP failed to reach the end");
+
+  std::vector<std::size_t> chosen;
+  std::size_t i = n - 1;
+  std::size_t s = best_s;
+  while (true) {
+    chosen.push_back(i);
+    if (s == 0) break;
+    i = parent[i][s];
+    --s;
+  }
+  std::reverse(chosen.begin(), chosen.end());
+
+  std::vector<hebs::transform::CurvePoint> qpts;
+  qpts.reserve(chosen.size());
+  for (std::size_t idx : chosen) qpts.push_back(pts[idx]);
+
+  result.curve = hebs::transform::PwlCurve(std::move(qpts));
+  result.mse = best[n - 1][best_s] / static_cast<double>(n);
+  result.breakpoint_indices = std::move(chosen);
+  return result;
+}
+
+}  // namespace hebs::core

@@ -1,0 +1,103 @@
+#include "core/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/backlight.h"
+#include "histogram/histogram_ops.h"
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::core {
+
+VideoBacklightController::VideoBacklightController(
+    VideoOptions opts, hebs::power::LcdSubsystemPower power_model)
+    : opts_(std::move(opts)), power_model_(std::move(power_model)) {
+  HEBS_REQUIRE(opts_.d_max_percent >= 0.0, "distortion budget must be >= 0");
+  HEBS_REQUIRE(opts_.max_beta_step > 0.0, "beta step must be positive");
+  HEBS_REQUIRE(opts_.ema_alpha > 0.0 && opts_.ema_alpha <= 1.0,
+               "ema_alpha must be in (0, 1]");
+}
+
+void VideoBacklightController::reset() {
+  prev_beta_.reset();
+  prev_hist_.reset();
+}
+
+FrameDecision VideoBacklightController::process(
+    const hebs::image::GrayImage& frame) {
+  FrameDecision decision;
+
+  // Per-frame optimum via the exact HEBS search.
+  const HebsResult raw =
+      hebs_exact(frame, opts_.d_max_percent, opts_.hebs, power_model_);
+  decision.raw_beta = raw.point.beta;
+
+  // Scene-cut detection from histogram change.
+  const auto hist = hebs::histogram::Histogram::from_image(frame);
+  decision.scene_cut =
+      prev_hist_.has_value() &&
+      hebs::histogram::l1_distance(*prev_hist_, hist) >
+          opts_.scene_cut_threshold;
+
+  double applied_beta = decision.raw_beta;
+  if (prev_beta_.has_value() && !decision.scene_cut) {
+    // Pull toward the raw optimum, capped by the flicker rate limit.
+    const double target = util::lerp(*prev_beta_, decision.raw_beta,
+                                     opts_.ema_alpha);
+    applied_beta = util::clamp(target, *prev_beta_ - opts_.max_beta_step,
+                               *prev_beta_ + opts_.max_beta_step);
+    applied_beta = util::clamp(applied_beta, 0.0, 1.0);
+  }
+  decision.beta = applied_beta;
+
+  // Re-derive the transform for the applied β.  Two candidates: (a)
+  // compress the frame into the range the applied backlight displays
+  // without clipping, and (b) keep the per-frame optimal Λ and accept
+  // top clipping at the applied β (the concurrent-scaling trade).  Keep
+  // whichever distorts less.
+  const int applied_range =
+      std::max(opts_.hebs.min_range, gmax_for_beta(applied_beta));
+  const HebsResult compressed =
+      hebs_at_range(frame, applied_range, opts_.hebs, power_model_);
+  const OperatingPoint compress_point{compressed.lambda, applied_beta};
+  const auto compress_eval = evaluate_operating_point(
+      frame, compress_point, power_model_, opts_.hebs.distortion);
+  const OperatingPoint keep_point{raw.point.luminance_transform,
+                                  applied_beta};
+  const auto keep_eval = evaluate_operating_point(
+      frame, keep_point, power_model_, opts_.hebs.distortion);
+  if (keep_eval.distortion_percent < compress_eval.distortion_percent) {
+    decision.point = keep_point;
+    decision.evaluation = keep_eval;
+  } else {
+    decision.point = compress_point;
+    decision.evaluation = compress_eval;
+  }
+
+  prev_beta_ = applied_beta;
+  prev_hist_ = hist;
+  return decision;
+}
+
+std::vector<FrameDecision> VideoBacklightController::process_clip(
+    const std::vector<hebs::image::GrayImage>& frames) {
+  std::vector<FrameDecision> decisions;
+  decisions.reserve(frames.size());
+  for (const auto& frame : frames) {
+    decisions.push_back(process(frame));
+  }
+  return decisions;
+}
+
+double VideoBacklightController::max_flicker_step(
+    const std::vector<FrameDecision>& clip) {
+  double worst = 0.0;
+  for (std::size_t i = 1; i < clip.size(); ++i) {
+    if (clip[i].scene_cut) continue;
+    worst = std::max(worst, std::abs(clip[i].beta - clip[i - 1].beta));
+  }
+  return worst;
+}
+
+}  // namespace hebs::core

@@ -1,0 +1,77 @@
+// Frame-adaptive backlight scaling for video — the paper's future-work
+// direction, implemented as an extension.
+//
+// Running HEBS independently per frame makes β track scene statistics,
+// but abrupt β changes between visually similar frames read as backlight
+// flicker.  The controller therefore rate-limits β transitions (with an
+// exponential-moving-average target) while letting β jump freely across
+// detected scene cuts, where the viewer expects a brightness change.
+// Scene cuts are detected from the histogram L1 distance between
+// consecutive frames.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/dbs.h"
+#include "core/hebs.h"
+
+namespace hebs::core {
+
+/// Tunables of the video backlight controller.
+struct VideoOptions {
+  /// Per-frame distortion budget.
+  double d_max_percent = 10.0;
+  /// HEBS pipeline options.
+  HebsOptions hebs;
+  /// Maximum |Δβ| between consecutive frames outside scene cuts.
+  double max_beta_step = 0.04;
+  /// EMA coefficient pulling β toward the per-frame optimum (0..1].
+  double ema_alpha = 0.5;
+  /// Histogram L1 distance (0..2) above which a scene cut is declared.
+  double scene_cut_threshold = 0.5;
+};
+
+/// What the controller decided for one frame.
+struct FrameDecision {
+  /// β the per-frame HEBS optimization asked for.
+  double raw_beta = 1.0;
+  /// β actually applied after flicker control.
+  double beta = 1.0;
+  /// Whether this frame was treated as a scene cut.
+  bool scene_cut = false;
+  /// The applied operating point (Λ re-derived for the applied β).
+  OperatingPoint point;
+  /// Measured distortion/power at the applied point.
+  EvaluatedPoint evaluation;
+};
+
+/// Stateful per-frame controller.
+class VideoBacklightController {
+ public:
+  VideoBacklightController(VideoOptions opts,
+                           hebs::power::LcdSubsystemPower power_model =
+                               hebs::power::LcdSubsystemPower::lp064v1());
+
+  /// Processes the next frame of the stream.
+  FrameDecision process(const hebs::image::GrayImage& frame);
+
+  /// Processes a whole clip and returns one decision per frame.
+  std::vector<FrameDecision> process_clip(
+      const std::vector<hebs::image::GrayImage>& frames);
+
+  /// Resets stream state (β history and previous histogram).
+  void reset();
+
+  /// Flicker metric over a processed clip: the largest |Δβ| between
+  /// consecutive non-scene-cut frames.
+  static double max_flicker_step(const std::vector<FrameDecision>& clip);
+
+ private:
+  VideoOptions opts_;
+  hebs::power::LcdSubsystemPower power_model_;
+  std::optional<double> prev_beta_;
+  std::optional<hebs::histogram::Histogram> prev_hist_;
+};
+
+}  // namespace hebs::core

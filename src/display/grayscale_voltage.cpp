@@ -1,0 +1,60 @@
+#include "display/grayscale_voltage.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::display {
+
+GrayscaleVoltage::GrayscaleVoltage(std::vector<double> node_voltages,
+                                   double vdd)
+    : nodes_(std::move(node_voltages)), vdd_(vdd) {
+  HEBS_REQUIRE(vdd_ > 0.0, "vdd must be positive");
+  HEBS_REQUIRE(nodes_.size() >= 2, "a ladder needs at least two nodes");
+  for (double v : nodes_) {
+    HEBS_REQUIRE(v >= 0.0 && v <= vdd_ + 1e-9,
+                 "node voltage outside [0, vdd]");
+  }
+}
+
+GrayscaleVoltage GrayscaleVoltage::linear(int taps, double vdd) {
+  HEBS_REQUIRE(taps >= 2, "a ladder needs at least two taps");
+  std::vector<double> nodes(static_cast<std::size_t>(taps));
+  for (int i = 0; i < taps; ++i) {
+    nodes[static_cast<std::size_t>(i)] =
+        vdd * static_cast<double>(i) / (taps - 1);
+  }
+  return {std::move(nodes), vdd};
+}
+
+double GrayscaleVoltage::voltage(int level) const {
+  HEBS_REQUIRE(level >= 0 && level <= hebs::image::kMaxPixel,
+               "level out of range");
+  const double pos = static_cast<double>(level) / hebs::image::kMaxPixel *
+                     static_cast<double>(nodes_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  if (lo + 1 >= nodes_.size()) return nodes_.back();
+  const double t = pos - static_cast<double>(lo);
+  return util::lerp(nodes_[lo], nodes_[lo + 1], t);
+}
+
+hebs::transform::PwlCurve GrayscaleVoltage::curve() const {
+  std::vector<hebs::transform::CurvePoint> pts;
+  pts.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    pts.push_back({static_cast<double>(i) /
+                       static_cast<double>(nodes_.size() - 1),
+                   nodes_[i] / vdd_});
+  }
+  return hebs::transform::PwlCurve(std::move(pts));
+}
+
+bool GrayscaleVoltage::is_monotonic() const noexcept {
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i] < nodes_[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace hebs::display

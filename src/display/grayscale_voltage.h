@@ -1,0 +1,56 @@
+// Grayscale-voltage transfer function of an LCD source driver.
+//
+// §2 of the paper: the source driver converts each 8-bit pixel value X
+// into a grayscale voltage v(X) by mixing a small set of reference
+// voltages (taps); the cell transmittance t(X) is linear in v(X).  The
+// taps come from a resistor-divider ladder, so v(X) is piecewise linear
+// with one segment per tap interval.  This class models that mapping:
+// node voltages at equally spaced pixel positions, linear interpolation
+// between them.
+#pragma once
+
+#include <vector>
+
+#include "transform/pwl.h"
+
+namespace hebs::display {
+
+/// Default driver supply voltage (volts) — typical for LCD reference
+/// drivers such as the AD8511 cited by the paper.
+inline constexpr double kDefaultVdd = 10.0;
+
+/// Piecewise-linear level-to-voltage transfer defined by node voltages at
+/// equally spaced pixel levels.
+class GrayscaleVoltage {
+ public:
+  /// `node_voltages` holds k+1 voltages at pixel positions i*255/k.
+  /// All must lie in [0, vdd]; at least two nodes are required.
+  GrayscaleVoltage(std::vector<double> node_voltages, double vdd);
+
+  /// The ideal linear driver: v(X) = X/255 * vdd with `taps` nodes.
+  static GrayscaleVoltage linear(int taps = 11, double vdd = kDefaultVdd);
+
+  /// Voltage for one pixel level (0..255).
+  double voltage(int level) const;
+
+  /// Cell transmittance for one level: t = v / vdd in [0, 1].
+  double transmittance(int level) const { return voltage(level) / vdd_; }
+
+  /// The normalized transfer curve y(x) = v(255 x)/vdd as a PWL curve.
+  hebs::transform::PwlCurve curve() const;
+
+  /// True when node voltages are non-decreasing — required for the
+  /// displayed gray-level ordering to be preserved.
+  bool is_monotonic() const noexcept;
+
+  double vdd() const noexcept { return vdd_; }
+  const std::vector<double>& node_voltages() const noexcept {
+    return nodes_;
+  }
+
+ private:
+  std::vector<double> nodes_;
+  double vdd_;
+};
+
+}  // namespace hebs::display

@@ -1,0 +1,75 @@
+#include "display/lcd_subsystem.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::display {
+
+LcdSubsystem::LcdSubsystem(hebs::power::LcdSubsystemPower power_model,
+                           const HierarchicalLadderOptions& ladder_opts)
+    : power_model_(std::move(power_model)), ladder_(ladder_opts) {}
+
+LcdSubsystem LcdSubsystem::lp064v1() {
+  return {hebs::power::LcdSubsystemPower::lp064v1(), {}};
+}
+
+void LcdSubsystem::configure(const hebs::transform::PwlCurve& lambda,
+                             double beta, DeploymentMode mode) {
+  HEBS_REQUIRE(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+  beta_ = beta;
+  mode_ = mode;
+  if (mode == DeploymentMode::kHardwareLadder) {
+    ladder_.program(lambda, beta);
+  } else {
+    ladder_.reset();
+    // Software path: the video controller applies the backlight-
+    // compensated transform min(1, lambda(x)/beta) pixel by pixel.
+    hebs::transform::Lut lut;
+    for (int level = 0; level < hebs::transform::Lut::kSize; ++level) {
+      const double x =
+          static_cast<double>(level) / hebs::image::kMaxPixel;
+      const double y = util::clamp01(lambda(x) / beta);
+      lut[level] = static_cast<std::uint8_t>(
+          std::lround(y * hebs::image::kMaxPixel));
+    }
+    software_lut_ = lut;
+  }
+}
+
+void LcdSubsystem::reset() {
+  beta_ = 1.0;
+  mode_ = DeploymentMode::kSoftwareTransform;
+  software_lut_ = hebs::transform::Lut();
+  ladder_.reset();
+}
+
+DisplayResult LcdSubsystem::display(
+    const hebs::image::GrayImage& frame) const {
+  DisplayResult result;
+  result.beta = beta_;
+  if (mode_ == DeploymentMode::kHardwareLadder) {
+    const LcdPanel panel(ladder_.transfer());
+    result.luminance = panel.render(frame, beta_);
+    // Panel power depends on the transmittance actually driven, which in
+    // hardware mode includes the 1/beta voltage spread.
+    const auto hist = hebs::histogram::Histogram::from_image(frame);
+    double panel_watts = 0.0;
+    for (int level = 0; level < hebs::histogram::Histogram::kBins; ++level) {
+      panel_watts += power_model_.panel().pixel_power(
+                         util::clamp01(panel.transmittance(level))) *
+                     static_cast<double>(hist.count(level));
+    }
+    panel_watts /= static_cast<double>(hist.total());
+    result.power.ccfl_watts = power_model_.ccfl().power(beta_);
+    result.power.panel_watts = panel_watts;
+  } else {
+    const hebs::image::GrayImage remapped = software_lut_.apply(frame);
+    result.luminance = software_render(frame, software_lut_, beta_);
+    result.power = power_model_.frame_power(remapped, beta_);
+  }
+  return result;
+}
+
+}  // namespace hebs::display

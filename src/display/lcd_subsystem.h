@@ -1,0 +1,79 @@
+// End-to-end LCD subsystem model (Figure 1a of the paper).
+//
+// Ties the pieces together: a backlight-scaling configuration (pixel
+// transformation Λ + backlight factor β) deployed either as a software
+// pixel remap or as a hardware ladder reprogramming, the resulting
+// displayed luminance, and the power drawn while displaying.  This is the
+// object the examples and benchmarks drive.
+#pragma once
+
+#include <optional>
+
+#include "display/panel_sim.h"
+#include "display/reference_driver.h"
+#include "power/lcd_power.h"
+#include "transform/pwl.h"
+
+namespace hebs::display {
+
+/// Where the pixel transformation is applied.
+enum class DeploymentMode {
+  /// The video controller remaps pixels through the LUT; the ladder stays
+  /// linear. Costs per-pixel work each frame (the drawback the paper
+  /// attributes to [4]).
+  kSoftwareTransform,
+  /// Original pixels; the hierarchical reference ladder is reprogrammed
+  /// per Eq. 10. No per-pixel work — the paper's preferred realization.
+  kHardwareLadder,
+};
+
+/// What the subsystem produced for one frame.
+struct DisplayResult {
+  hebs::image::FloatImage luminance;       ///< what the viewer perceives
+  hebs::power::PowerBreakdown power;       ///< CCFL + panel wattage
+  double beta = 1.0;                       ///< backlight factor used
+};
+
+/// A complete display subsystem with a programmable backlight and ladder.
+class LcdSubsystem {
+ public:
+  LcdSubsystem(hebs::power::LcdSubsystemPower power_model,
+               const HierarchicalLadderOptions& ladder_opts = {});
+
+  /// The paper's platform with default ladder options.
+  static LcdSubsystem lp064v1();
+
+  /// Configures the backlight-scaling operating point.  `lambda` is the
+  /// (already backlight-uncompensated) pixel transformation; the ladder
+  /// applies the 1/beta spread internally in hardware mode, while
+  /// software mode remaps pixels by the compensated LUT
+  /// min(1, lambda(x)/beta).
+  void configure(const hebs::transform::PwlCurve& lambda, double beta,
+                 DeploymentMode mode);
+
+  /// Returns to identity transform at full backlight.
+  void reset();
+
+  /// Displays one frame under the current configuration.
+  DisplayResult display(const hebs::image::GrayImage& frame) const;
+
+  /// Current backlight factor.
+  double beta() const noexcept { return beta_; }
+
+  DeploymentMode mode() const noexcept { return mode_; }
+
+  const HierarchicalLadder& ladder() const noexcept { return ladder_; }
+
+  const hebs::power::LcdSubsystemPower& power_model() const noexcept {
+    return power_model_;
+  }
+
+ private:
+  hebs::power::LcdSubsystemPower power_model_;
+  HierarchicalLadder ladder_;
+  hebs::transform::Lut software_lut_;  // compensated LUT (software mode)
+  double beta_ = 1.0;
+  DeploymentMode mode_ = DeploymentMode::kSoftwareTransform;
+};
+
+}  // namespace hebs::display

@@ -1,0 +1,53 @@
+#include "display/panel_sim.h"
+
+#include <array>
+
+#include "util/error.h"
+
+namespace hebs::display {
+
+LcdPanel::LcdPanel(GrayscaleVoltage transfer)
+    : transfer_(std::move(transfer)) {}
+
+hebs::image::FloatImage LcdPanel::render(const hebs::image::GrayImage& frame,
+                                         double backlight) const {
+  HEBS_REQUIRE(backlight >= 0.0 && backlight <= 1.0,
+               "backlight factor must be in [0, 1]");
+  HEBS_REQUIRE(!frame.empty(), "cannot render an empty frame");
+  // Precompute per-level transmittance once; pixels then index the table.
+  std::array<double, hebs::image::kLevels> lum{};
+  for (int level = 0; level < hebs::image::kLevels; ++level) {
+    lum[static_cast<std::size_t>(level)] =
+        backlight * transfer_.transmittance(level);
+  }
+  hebs::image::FloatImage out(frame.width(), frame.height());
+  auto dst = out.values();
+  const auto src = frame.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = lum[src[i]];
+  }
+  return out;
+}
+
+hebs::image::FloatImage software_render(const hebs::image::GrayImage& frame,
+                                        const hebs::transform::Lut& lut,
+                                        double backlight) {
+  HEBS_REQUIRE(backlight >= 0.0 && backlight <= 1.0,
+               "backlight factor must be in [0, 1]");
+  HEBS_REQUIRE(!frame.empty(), "cannot render an empty frame");
+  hebs::image::FloatImage out(frame.width(), frame.height());
+  auto dst = out.values();
+  const auto src = frame.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = backlight * static_cast<double>(lut[src[i]]) /
+             hebs::image::kMaxPixel;
+  }
+  return out;
+}
+
+hebs::image::FloatImage reference_render(
+    const hebs::image::GrayImage& frame) {
+  return software_render(frame, hebs::transform::Lut(), 1.0);
+}
+
+}  // namespace hebs::display

@@ -1,0 +1,52 @@
+// TFT-LCD panel luminance simulation.
+//
+// §2, Eq. 1a/1b: the luminance of a displayed pixel is I(X) = b · t(X) —
+// backlight factor times cell transmittance.  The simulator renders the
+// luminance raster a viewer would perceive, for either deployment path:
+//
+//  * hardware path — original pixels driven through a (possibly
+//    reprogrammed) reference ladder: I = b · v(X)/vdd;
+//  * software path — pixels remapped by a LUT and driven through the
+//    ideal linear ladder: I = b · lut(X)/255.
+//
+// Comparing the two rasters is how the integration tests verify that the
+// ladder programming (Eq. 10) reproduces the pixel-domain algorithm.
+#pragma once
+
+#include "display/grayscale_voltage.h"
+#include "image/image.h"
+#include "transform/lut.h"
+
+namespace hebs::display {
+
+/// Panel driven by an explicit grayscale-voltage transfer.
+class LcdPanel {
+ public:
+  explicit LcdPanel(GrayscaleVoltage transfer);
+
+  /// Luminance raster at backlight factor `backlight` in [0, 1].
+  hebs::image::FloatImage render(const hebs::image::GrayImage& frame,
+                                 double backlight) const;
+
+  /// Per-level transmittance actually driven (includes any 1/β spread
+  /// programmed into the ladder) — the value the panel power model needs.
+  double transmittance(int level) const {
+    return transfer_.transmittance(level);
+  }
+
+  const GrayscaleVoltage& transfer() const noexcept { return transfer_; }
+
+ private:
+  GrayscaleVoltage transfer_;
+};
+
+/// Software path: luminance of LUT-remapped pixels on an ideal linear
+/// panel, I = backlight * lut(X)/255.
+hebs::image::FloatImage software_render(const hebs::image::GrayImage& frame,
+                                        const hebs::transform::Lut& lut,
+                                        double backlight);
+
+/// Reference rendering of the unmodified image at full backlight.
+hebs::image::FloatImage reference_render(const hebs::image::GrayImage& frame);
+
+}  // namespace hebs::display

@@ -1,0 +1,78 @@
+#include "display/tft_matrix.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::display {
+
+TftMatrix::TftMatrix(int width, int height, const TftMatrixOptions& opts)
+    : width_(width), height_(height), opts_(opts) {
+  HEBS_REQUIRE(width > 0 && height > 0, "matrix dimensions must be positive");
+  HEBS_REQUIRE(opts.hold_retention > 0.0 && opts.hold_retention <= 1.0,
+               "hold retention must be in (0, 1]");
+  HEBS_REQUIRE(opts.lc_response > 0.0 && opts.lc_response <= 1.0,
+               "LC response must be in (0, 1]");
+  HEBS_REQUIRE(opts.rows_per_frame >= 1, "must scan at least one row");
+  held_.assign(static_cast<std::size_t>(width) * height, 0.0);
+  transmittance_.assign(held_.size(), 0.0);
+}
+
+void TftMatrix::scan_frame(const hebs::image::GrayImage& frame,
+                           const GrayscaleVoltage& driver) {
+  HEBS_REQUIRE(frame.width() == width_ && frame.height() == height_,
+               "frame size does not match the matrix");
+  // Per-level normalized target voltage (the source-driver output).
+  std::array<double, hebs::image::kLevels> target{};
+  for (int level = 0; level < hebs::image::kLevels; ++level) {
+    target[static_cast<std::size_t>(level)] =
+        driver.voltage(level) / driver.vdd();
+  }
+
+  // Droop first: every cell loses a little charge over the frame time.
+  for (double& v : held_) v *= opts_.hold_retention;
+
+  // Scan: refresh up to rows_per_frame rows, wrapping across frames.
+  const int rows_to_scan = std::min(opts_.rows_per_frame, height_);
+  for (int r = 0; r < rows_to_scan; ++r) {
+    const int y = (next_row_ + r) % height_;
+    for (int x = 0; x < width_; ++x) {
+      held_[static_cast<std::size_t>(y) * width_ + x] =
+          target[frame(x, y)];
+    }
+  }
+  next_row_ = (next_row_ + rows_to_scan) % height_;
+
+  // LC relaxation toward the held voltage (t ∝ v for the linear cell).
+  for (std::size_t i = 0; i < transmittance_.size(); ++i) {
+    transmittance_[i] +=
+        opts_.lc_response * (held_[i] - transmittance_[i]);
+  }
+  ++frames_;
+}
+
+hebs::image::FloatImage TftMatrix::emitted(double backlight) const {
+  HEBS_REQUIRE(backlight >= 0.0 && backlight <= 1.0,
+               "backlight factor must be in [0, 1]");
+  hebs::image::FloatImage out(width_, height_);
+  auto dst = out.values();
+  for (std::size_t i = 0; i < transmittance_.size(); ++i) {
+    dst[i] = backlight * util::clamp01(transmittance_[i]);
+  }
+  return out;
+}
+
+double TftMatrix::transmittance(int x, int y) const {
+  HEBS_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_,
+               "cell coordinates out of range");
+  return transmittance_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+double TftMatrix::held_voltage(int x, int y) const {
+  HEBS_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_,
+               "cell coordinates out of range");
+  return held_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+}  // namespace hebs::display

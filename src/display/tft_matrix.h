@@ -1,0 +1,80 @@
+// TFT matrix addressing and cell-charging dynamics — §2 / Fig. 1b-1c.
+//
+// The paper describes the electrical structure under the transfer
+// functions: each pixel is a liquid-crystal cell with a storage
+// capacitor charged through a TFT when its row is scanned.  Gate bus
+// lines enable one row at a time; source bus lines drive the grayscale
+// voltage onto the selected row's cells.  A cell therefore samples its
+// target voltage once per frame and holds (with slight droop) until the
+// next scan; the LC transmittance itself responds with a first-order
+// lag (the LC response time), which is what produces motion ghosting.
+//
+// This module simulates that pipeline at frame granularity:
+//   * row-sequential scan with a per-frame scan budget,
+//   * storage-capacitor droop between refreshes,
+//   * first-order LC transmittance response toward the held voltage.
+// It lets the tests demonstrate that reprogramming the reference ladder
+// (HEBS's realization) needs no extra scan bandwidth — the voltages
+// change, the addressing does not.
+#pragma once
+
+#include <vector>
+
+#include "display/grayscale_voltage.h"
+#include "image/image.h"
+
+namespace hebs::display {
+
+/// Electrical/timing parameters of the panel matrix.
+struct TftMatrixOptions {
+  /// Fraction of the written cell voltage retained over one frame time
+  /// (storage-capacitor droop; 1 = ideal hold).
+  double hold_retention = 0.995;
+  /// LC response: fraction of the remaining distance to the target
+  /// transmittance covered per frame (1 = instant, smaller = ghosting).
+  double lc_response = 0.8;
+  /// Rows scanned per frame; must cover the panel height for a full
+  /// refresh each frame (partial scan models a slow controller).
+  int rows_per_frame = 1 << 20;
+};
+
+/// Frame-granularity simulation of the scanned TFT matrix.
+class TftMatrix {
+ public:
+  TftMatrix(int width, int height, const TftMatrixOptions& opts = {});
+
+  /// Presents a new frame: rows are scanned in order (continuing from
+  /// where the previous scan stopped if rows_per_frame < height), cells
+  /// on scanned rows sample the driver voltage for their pixel value,
+  /// unscanned rows droop, and every cell's transmittance relaxes
+  /// toward its held voltage.
+  void scan_frame(const hebs::image::GrayImage& frame,
+                  const GrayscaleVoltage& driver);
+
+  /// Luminance raster currently emitted at backlight factor b:
+  /// I = b * transmittance.
+  hebs::image::FloatImage emitted(double backlight) const;
+
+  /// Current transmittance of one cell (0..1).
+  double transmittance(int x, int y) const;
+
+  /// Held cell voltage of one cell, normalized by vdd.
+  double held_voltage(int x, int y) const;
+
+  /// Number of full frames scanned so far.
+  int frames_scanned() const noexcept { return frames_; }
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+ private:
+  int width_;
+  int height_;
+  TftMatrixOptions opts_;
+  int next_row_ = 0;
+  int frames_ = 0;
+  std::vector<double> held_;            // normalized held voltage
+  std::vector<double> transmittance_;   // current LC state
+};
+
+}  // namespace hebs::display

@@ -1,0 +1,257 @@
+#include "fit/regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::fit {
+
+double Poly::operator()(double x) const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = acc * x + coeffs[i];
+  }
+  return acc;
+}
+
+Poly Poly::derivative() const {
+  if (coeffs.size() <= 1) return Poly{{0.0}};
+  Poly d;
+  d.coeffs.resize(coeffs.size() - 1);
+  for (std::size_t i = 1; i < coeffs.size(); ++i) {
+    d.coeffs[i - 1] = coeffs[i] * static_cast<double>(i);
+  }
+  return d;
+}
+
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b) {
+  const std::size_t n = b.size();
+  HEBS_REQUIRE(a.size() == n * n, "matrix must be n x n");
+  auto at = [&a, n](std::size_t r, std::size_t c) -> double& {
+    return a[r * n + c];
+  };
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(at(r, col)) > std::abs(at(pivot, col))) pivot = r;
+    }
+    if (std::abs(at(pivot, col)) < 1e-12) {
+      throw util::InvalidArgument("singular matrix in linear solve");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(at(pivot, c), at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = at(r, col) / at(col, col);
+      for (std::size_t c = col; c < n; ++c) at(r, c) -= factor * at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= at(r, c) * x[c];
+    x[r] = acc / at(r, r);
+  }
+  return x;
+}
+
+Poly polyfit(std::span<const double> xs, std::span<const double> ys,
+             int degree) {
+  HEBS_REQUIRE(degree >= 0, "degree must be non-negative");
+  HEBS_REQUIRE(xs.size() == ys.size(), "polyfit needs equal-size spans");
+  HEBS_REQUIRE(xs.size() > static_cast<std::size_t>(degree),
+               "polyfit needs more samples than the degree");
+  const std::size_t m = static_cast<std::size_t>(degree) + 1;
+  // Normal equations: (X^T X) c = X^T y with X the Vandermonde matrix.
+  std::vector<double> xtx(m * m, 0.0);
+  std::vector<double> xty(m, 0.0);
+  // Power sums S_k = sum x^k for k = 0 .. 2*degree.
+  std::vector<double> power_sums(2 * m - 1, 0.0);
+  for (double x : xs) {
+    double p = 1.0;
+    for (auto& s : power_sums) {
+      s += p;
+      p *= x;
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) xtx[r * m + c] = power_sums[r + c];
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double p = 1.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      xty[r] += p * ys[i];
+      p *= xs[i];
+    }
+  }
+  Poly out;
+  out.coeffs = solve_linear_system(std::move(xtx), std::move(xty));
+  return out;
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  HEBS_REQUIRE(xs.size() == ys.size(), "fit_line needs equal-size spans");
+  HEBS_REQUIRE(xs.size() >= 2, "fit_line needs at least two points");
+  const double mx = util::mean(xs);
+  const double my = util::mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  LineFit f;
+  if (sxx < 1e-15) {
+    // Vertical stack of points: fall back to a flat line at the mean.
+    f.slope = 0.0;
+    f.intercept = my;
+  } else {
+    f.slope = sxy / sxx;
+    f.intercept = my - f.slope * mx;
+  }
+  f.r_squared = r_squared(xs, ys, [&f](double x) { return f(x); });
+  return f;
+}
+
+TwoPieceLinear fit_two_piece(std::span<const double> xs,
+                             std::span<const double> ys, int min_points) {
+  HEBS_REQUIRE(xs.size() == ys.size(), "fit_two_piece needs equal sizes");
+  HEBS_REQUIRE(min_points >= 2, "each piece needs at least two points");
+  HEBS_REQUIRE(xs.size() >= 2 * static_cast<std::size_t>(min_points),
+               "not enough samples for two pieces");
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    HEBS_REQUIRE(xs[i] >= xs[i - 1], "xs must be sorted ascending");
+  }
+
+  auto piece_sse = [](std::span<const double> px, std::span<const double> py,
+                      const LineFit& f) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < px.size(); ++i) {
+      const double d = py[i] - f(px[i]);
+      acc += d * d;
+    }
+    return acc;
+  };
+
+  TwoPieceLinear best;
+  best.sse = std::numeric_limits<double>::infinity();
+  const auto n = xs.size();
+  for (std::size_t split = static_cast<std::size_t>(min_points);
+       split + static_cast<std::size_t>(min_points) <= n; ++split) {
+    const auto lx = xs.subspan(0, split);
+    const auto ly = ys.subspan(0, split);
+    const auto hx = xs.subspan(split);
+    const auto hy = ys.subspan(split);
+    const LineFit lo = fit_line(lx, ly);
+    const LineFit hi = fit_line(hx, hy);
+    const double sse = piece_sse(lx, ly, lo) + piece_sse(hx, hy, hi);
+    if (sse < best.sse) {
+      best.lo = lo;
+      best.hi = hi;
+      best.sse = sse;
+      // Continuity point of the two lines if they intersect inside the
+      // gap, otherwise the midpoint between the bordering samples.
+      const double denom = lo.slope - hi.slope;
+      const double gap_lo = xs[split - 1];
+      const double gap_hi = xs[split];
+      double bp = (gap_lo + gap_hi) / 2.0;
+      if (std::abs(denom) > 1e-12) {
+        const double ix = (hi.intercept - lo.intercept) / denom;
+        if (ix >= gap_lo && ix <= gap_hi) bp = ix;
+      }
+      best.breakpoint = bp;
+    }
+  }
+  return best;
+}
+
+double r_squared(std::span<const double> xs, std::span<const double> ys,
+                 const std::function<double(double)>& model) {
+  HEBS_REQUIRE(xs.size() == ys.size(), "r_squared needs equal sizes");
+  HEBS_REQUIRE(!xs.empty(), "r_squared needs samples");
+  const double my = util::mean(ys);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - model(xs[i]);
+    ss_res += e * e;
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  if (ss_tot < 1e-15) return ss_res < 1e-15 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+Poly fit_upper_envelope(std::span<const double> xs,
+                        std::span<const double> ys, int degree, int buckets) {
+  HEBS_REQUIRE(xs.size() == ys.size(), "envelope fit needs equal sizes");
+  HEBS_REQUIRE(buckets >= degree + 1, "need more buckets than coefficients");
+  HEBS_REQUIRE(!xs.empty(), "envelope fit needs samples");
+  const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double width = std::max(hi - lo, 1e-12);
+
+  std::vector<double> bucket_x(static_cast<std::size_t>(buckets), 0.0);
+  std::vector<double> bucket_max(static_cast<std::size_t>(buckets),
+                                 -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    auto b = static_cast<std::size_t>((xs[i] - lo) / width *
+                                      static_cast<double>(buckets));
+    if (b >= static_cast<std::size_t>(buckets)) {
+      b = static_cast<std::size_t>(buckets) - 1;
+    }
+    if (ys[i] > bucket_max[b]) {
+      bucket_max[b] = ys[i];
+      bucket_x[b] = xs[i];
+    }
+  }
+  std::vector<double> ex;
+  std::vector<double> ey;
+  for (std::size_t b = 0; b < static_cast<std::size_t>(buckets); ++b) {
+    if (bucket_max[b] > -std::numeric_limits<double>::infinity()) {
+      ex.push_back(bucket_x[b]);
+      ey.push_back(bucket_max[b]);
+    }
+  }
+  HEBS_REQUIRE(ex.size() > static_cast<std::size_t>(degree),
+               "too few populated buckets for the envelope degree");
+  return polyfit(ex, ey, degree);
+}
+
+double invert_monotone(const std::function<double(double)>& f, double target,
+                       double lo, double hi, int iterations) {
+  HEBS_REQUIRE(lo <= hi, "invalid bracket");
+  double flo = f(lo);
+  double fhi = f(hi);
+  const bool increasing = fhi >= flo;
+  // Clamp when the target is outside the attainable range.
+  if (increasing) {
+    if (target <= flo) return lo;
+    if (target >= fhi) return hi;
+  } else {
+    if (target >= flo) return lo;
+    if (target <= fhi) return hi;
+  }
+  double a = lo;
+  double b = hi;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = (a + b) / 2.0;
+    const double fm = f(mid);
+    const bool go_right = increasing ? (fm < target) : (fm > target);
+    if (go_right) {
+      a = mid;
+    } else {
+      b = mid;
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace hebs::fit

@@ -1,0 +1,97 @@
+// Regression and curve-fitting utilities.
+//
+// The paper leans on MATLAB's curve-fitting toolbox in three places:
+// the two-piece linear CCFL power model (Fig. 6a), the quadratic TFT
+// panel model (Fig. 6b), and the "entire dataset" / "worst-case" fits of
+// the distortion characteristic curve (Fig. 7).  This module provides
+// the equivalent numerics: ordinary least squares through a dense normal-
+// equation solve, a breakpoint-searching two-piece linear fit, and upper-
+// envelope fitting.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace hebs::fit {
+
+/// A polynomial c0 + c1 x + c2 x^2 + ...
+struct Poly {
+  std::vector<double> coeffs;
+
+  /// Evaluates the polynomial with Horner's scheme.
+  double operator()(double x) const noexcept;
+
+  /// Degree (coeffs.size() - 1); -1 for an empty polynomial.
+  int degree() const noexcept { return static_cast<int>(coeffs.size()) - 1; }
+
+  /// First derivative polynomial.
+  Poly derivative() const;
+};
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting.  `a` is row-major n x n.  Throws InvalidArgument on a
+/// (numerically) singular matrix.
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b);
+
+/// Least-squares polynomial fit of the given degree (normal equations).
+/// Requires xs.size() == ys.size() > degree.
+Poly polyfit(std::span<const double> xs, std::span<const double> ys,
+             int degree);
+
+/// Result of a straight-line fit y = slope x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  double operator()(double x) const noexcept {
+    return slope * x + intercept;
+  }
+};
+
+/// Ordinary least squares line fit. Requires at least two points.
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// A continuous two-piece linear model with a free breakpoint:
+///   y = lo(x)  for x <= breakpoint
+///   y = hi(x)  for x >  breakpoint
+/// This is the form of the paper's CCFL power model (Eq. 11), where the
+/// breakpoint is the saturation threshold C_s.
+struct TwoPieceLinear {
+  double breakpoint = 0.0;
+  LineFit lo;
+  LineFit hi;
+  double sse = 0.0;  ///< total squared error of the fit
+
+  double operator()(double x) const noexcept {
+    return x <= breakpoint ? lo(x) : hi(x);
+  }
+};
+
+/// Fits a two-piece linear model by exhaustively trying every admissible
+/// breakpoint between samples (each piece keeps >= `min_points` samples)
+/// and keeping the split with the smallest total squared error.
+/// The xs must be sorted ascending.
+TwoPieceLinear fit_two_piece(std::span<const double> xs,
+                             std::span<const double> ys, int min_points = 3);
+
+/// Coefficient of determination of `model` against the samples.
+double r_squared(std::span<const double> xs, std::span<const double> ys,
+                 const std::function<double(double)>& model);
+
+/// Fits a polynomial to the *upper envelope* of a scatter: samples are
+/// bucketed by x into `buckets` equal-width bins, the max y of each
+/// non-empty bin is taken, and a polynomial is fitted through those
+/// maxima.  This reproduces the paper's "worst-case fit" of Fig. 7.
+Poly fit_upper_envelope(std::span<const double> xs,
+                        std::span<const double> ys, int degree, int buckets);
+
+/// Finds x in [lo, hi] with f(x) = target by bisection, assuming f is
+/// monotone on the interval (either direction).  Returns the clamped
+/// endpoint when the target lies outside f's range on [lo, hi].
+double invert_monotone(const std::function<double(double)>& f, double target,
+                       double lo, double hi, int iterations = 80);
+
+}  // namespace hebs::fit

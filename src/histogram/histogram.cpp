@@ -1,0 +1,126 @@
+#include "histogram/histogram.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hebs::histogram {
+
+Histogram Histogram::from_image(const hebs::image::GrayImage& img) {
+  Histogram h;
+  for (std::uint8_t p : img.pixels()) {
+    ++h.counts_[p];
+  }
+  h.total_ = img.size();
+  return h;
+}
+
+Histogram Histogram::from_counts(std::span<const std::uint64_t> counts) {
+  HEBS_REQUIRE(counts.size() == static_cast<std::size_t>(kBins),
+               "histogram needs exactly 256 bins");
+  Histogram h;
+  for (int i = 0; i < kBins; ++i) {
+    h.counts_[static_cast<std::size_t>(i)] = counts[static_cast<std::size_t>(i)];
+    h.total_ += counts[static_cast<std::size_t>(i)];
+  }
+  return h;
+}
+
+std::uint64_t Histogram::count(int level) const {
+  HEBS_REQUIRE(level >= 0 && level < kBins, "level out of range");
+  return counts_[static_cast<std::size_t>(level)];
+}
+
+void Histogram::add(int level, std::uint64_t n) {
+  HEBS_REQUIRE(level >= 0 && level < kBins, "level out of range");
+  counts_[static_cast<std::size_t>(level)] += n;
+  total_ += n;
+}
+
+double Histogram::pdf(int level) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(level)) / static_cast<double>(total_);
+}
+
+double Histogram::cdf(int level) const {
+  HEBS_REQUIRE(level >= 0 && level < kBins, "level out of range");
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (int i = 0; i <= level; ++i) acc += counts_[static_cast<std::size_t>(i)];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::vector<std::uint64_t> Histogram::cumulative_counts() const {
+  std::vector<std::uint64_t> cum(kBins);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < kBins; ++i) {
+    acc += counts_[static_cast<std::size_t>(i)];
+    cum[static_cast<std::size_t>(i)] = acc;
+  }
+  return cum;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (int i = 0; i < kBins; ++i) {
+    acc += static_cast<double>(i) *
+           static_cast<double>(counts_[static_cast<std::size_t>(i)]);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+double Histogram::variance() const {
+  if (total_ == 0) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (int i = 0; i < kBins; ++i) {
+    const double d = static_cast<double>(i) - m;
+    acc += d * d * static_cast<double>(counts_[static_cast<std::size_t>(i)]);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+double Histogram::entropy_bits() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (int i = 0; i < kBins; ++i) {
+    const double p = pdf(i);
+    if (p > 0.0) acc -= p * std::log2(p);
+  }
+  return acc;
+}
+
+int Histogram::min_level() const noexcept {
+  for (int i = 0; i < kBins; ++i) {
+    if (counts_[static_cast<std::size_t>(i)] > 0) return i;
+  }
+  return -1;
+}
+
+int Histogram::max_level() const noexcept {
+  for (int i = kBins - 1; i >= 0; --i) {
+    if (counts_[static_cast<std::size_t>(i)] > 0) return i;
+  }
+  return -1;
+}
+
+int Histogram::dynamic_range() const noexcept {
+  const int lo = min_level();
+  if (lo < 0) return 0;
+  return max_level() - lo;
+}
+
+int Histogram::percentile_level(double p) const {
+  HEBS_REQUIRE(total_ > 0, "percentile of empty histogram");
+  HEBS_REQUIRE(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
+  const auto threshold = static_cast<double>(total_) * p;
+  std::uint64_t acc = 0;
+  for (int i = 0; i < kBins; ++i) {
+    acc += counts_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(acc) >= threshold) return i;
+  }
+  return kBins - 1;
+}
+
+}  // namespace hebs::histogram

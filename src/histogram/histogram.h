@@ -1,0 +1,84 @@
+// Image histogram and cumulative-distribution machinery.
+//
+// The paper's GHE formulation (Eqs. 4-7) works on the marginal histogram
+// h(x) and the cumulative histogram H(x) of 8-bit pixel values.  This
+// class owns the 256-bin counts and provides the statistics every other
+// module needs (CDF lookups, percentiles, dynamic range, entropy).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "image/image.h"
+
+namespace hebs::histogram {
+
+/// A 256-bin histogram of 8-bit pixel values.
+class Histogram {
+ public:
+  static constexpr int kBins = hebs::image::kLevels;
+
+  /// All-zero histogram.
+  Histogram() = default;
+
+  /// Builds the histogram of a grayscale image.
+  static Histogram from_image(const hebs::image::GrayImage& img);
+
+  /// Builds from explicit per-bin counts (size must be kBins).
+  static Histogram from_counts(std::span<const std::uint64_t> counts);
+
+  /// Count in one bin; `level` must be in [0, 255].
+  std::uint64_t count(int level) const;
+
+  /// Adds `n` samples at `level`.
+  void add(int level, std::uint64_t n = 1);
+
+  /// Total number of samples (N in the paper).
+  std::uint64_t total() const noexcept { return total_; }
+
+  bool empty() const noexcept { return total_ == 0; }
+
+  /// Marginal probability of a level: h(x)/N. Zero for an empty histogram.
+  double pdf(int level) const;
+
+  /// Normalized cumulative distribution H(x)/N over levels <= `level`.
+  /// Zero for an empty histogram.
+  double cdf(int level) const;
+
+  /// Raw cumulative counts, one entry per level.
+  std::vector<std::uint64_t> cumulative_counts() const;
+
+  /// Mean pixel level.
+  double mean() const;
+
+  /// Population variance of pixel levels.
+  double variance() const;
+
+  /// Shannon entropy of the level distribution, in bits.
+  double entropy_bits() const;
+
+  /// Lowest populated level, or -1 when empty.
+  int min_level() const noexcept;
+
+  /// Highest populated level, or -1 when empty.
+  int max_level() const noexcept;
+
+  /// max_level - min_level (0 for empty or single-level histograms).
+  int dynamic_range() const noexcept;
+
+  /// Smallest level whose CDF reaches p (p in [0,1]). Requires non-empty.
+  int percentile_level(double p) const;
+
+  /// Underlying counts.
+  std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+
+  bool operator==(const Histogram& other) const = default;
+
+ private:
+  std::array<std::uint64_t, kBins> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hebs::histogram

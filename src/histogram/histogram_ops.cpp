@@ -1,0 +1,110 @@
+#include "histogram/histogram_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hebs::histogram {
+
+Histogram truncate(const Histogram& h, int lo, int hi) {
+  HEBS_REQUIRE(lo >= 0 && hi < Histogram::kBins && lo <= hi,
+               "invalid truncation bounds");
+  std::vector<std::uint64_t> counts(Histogram::kBins, 0);
+  for (int i = 0; i < Histogram::kBins; ++i) {
+    const int target = std::clamp(i, lo, hi);
+    counts[static_cast<std::size_t>(target)] += h.count(i);
+  }
+  return Histogram::from_counts(counts);
+}
+
+Histogram smooth(const Histogram& h, int radius) {
+  HEBS_REQUIRE(radius >= 0, "smoothing radius must be non-negative");
+  if (radius == 0) return h;
+  std::vector<double> smoothed(Histogram::kBins, 0.0);
+  for (int i = 0; i < Histogram::kBins; ++i) {
+    double acc = 0.0;
+    int n = 0;
+    for (int k = -radius; k <= radius; ++k) {
+      const int j = i + k;
+      if (j >= 0 && j < Histogram::kBins) {
+        acc += static_cast<double>(h.count(j));
+        ++n;
+      }
+    }
+    smoothed[static_cast<std::size_t>(i)] = acc / n;
+  }
+  // Quantize while preserving the total count: floor everything, then give
+  // the rounding remainder to the largest bin.
+  std::vector<std::uint64_t> counts(Histogram::kBins, 0);
+  std::uint64_t assigned = 0;
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < smoothed.size(); ++i) {
+    counts[i] = static_cast<std::uint64_t>(smoothed[i]);
+    assigned += counts[i];
+    if (smoothed[i] > smoothed[peak]) peak = i;
+  }
+  if (h.total() > assigned) counts[peak] += h.total() - assigned;
+  return Histogram::from_counts(counts);
+}
+
+double l1_distance(const Histogram& a, const Histogram& b) {
+  double acc = 0.0;
+  for (int i = 0; i < Histogram::kBins; ++i) {
+    acc += std::abs(a.pdf(i) - b.pdf(i));
+  }
+  return acc;
+}
+
+double chi_square_distance(const Histogram& a, const Histogram& b) {
+  double acc = 0.0;
+  for (int i = 0; i < Histogram::kBins; ++i) {
+    const double pa = a.pdf(i);
+    const double pb = b.pdf(i);
+    const double denom = pa + pb;
+    if (denom > 0.0) acc += (pa - pb) * (pa - pb) / denom;
+  }
+  return acc;
+}
+
+double emd_distance(const Histogram& a, const Histogram& b) {
+  double acc = 0.0;
+  double ca = 0.0;
+  double cb = 0.0;
+  for (int i = 0; i < Histogram::kBins; ++i) {
+    ca += a.pdf(i);
+    cb += b.pdf(i);
+    acc += std::abs(ca - cb);
+  }
+  return acc;
+}
+
+double cumulative_uniform(double x, int g_min, int g_max, double n) {
+  if (x < g_min) return 0.0;
+  if (x > g_max) return n;
+  if (g_max == g_min) return n;
+  return n * (x - g_min) / (g_max - g_min);
+}
+
+double uniform_equalization_objective(const Histogram& h,
+                                      std::span<const int> phi, int g_min,
+                                      int g_max) {
+  HEBS_REQUIRE(phi.size() == static_cast<std::size_t>(Histogram::kBins),
+               "phi must map all 256 levels");
+  HEBS_REQUIRE(g_min >= 0 && g_max < Histogram::kBins && g_min <= g_max,
+               "invalid target range");
+  if (h.empty()) return 0.0;
+  const auto cum = h.cumulative_counts();
+  const auto n = static_cast<double>(h.total());
+  double acc = 0.0;
+  for (int x = 0; x < Histogram::kBins; ++x) {
+    const double u =
+        cumulative_uniform(static_cast<double>(phi[static_cast<std::size_t>(x)]),
+                           g_min, g_max, n);
+    acc +=
+        std::abs(u - static_cast<double>(cum[static_cast<std::size_t>(x)]));
+  }
+  return acc / (n * Histogram::kBins);
+}
+
+}  // namespace hebs::histogram

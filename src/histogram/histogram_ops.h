@@ -1,0 +1,44 @@
+// Operations on histograms: truncation (the mechanism behind the CBCS
+// baseline), smoothing, distance measures, and the uniformity objective
+// of the paper's Eq. 4.
+#pragma once
+
+#include "histogram/histogram.h"
+
+namespace hebs::histogram {
+
+/// Saturates all mass below `lo` into bin `lo` and above `hi` into bin
+/// `hi` — the both-ends truncation of reference [5].
+Histogram truncate(const Histogram& h, int lo, int hi);
+
+/// Moving-average smoothing over bins with the given radius; total count
+/// is preserved up to rounding (the remainder is added to the peak bin).
+Histogram smooth(const Histogram& h, int radius);
+
+/// L1 distance between the normalized marginal distributions, in [0, 2].
+double l1_distance(const Histogram& a, const Histogram& b);
+
+/// Chi-square distance between normalized marginals:
+/// sum (pa-pb)^2 / (pa+pb) over non-empty bins. In [0, 2].
+double chi_square_distance(const Histogram& a, const Histogram& b);
+
+/// 1-D earth mover's distance between normalized marginals, which for
+/// sorted scalar distributions equals the L1 distance between CDFs
+/// (summed over bins, normalized per-bin).  Units: pixel levels.
+double emd_distance(const Histogram& a, const Histogram& b);
+
+/// The paper's Eq. 4 objective evaluated for a transformation `phi`
+/// (a 256-entry level map): integral over levels of
+/// |U(phi(x)) - H(x)| where U is the cumulative uniform distribution on
+/// [g_min, g_max].  Lower is better; the GHE solver minimizes this.
+/// Returned value is normalized by (N * number of levels) so it is
+/// comparable across image sizes.
+double uniform_equalization_objective(const Histogram& h,
+                                      std::span<const int> phi, int g_min,
+                                      int g_max);
+
+/// Cumulative uniform distribution U(x) on [g_min, g_max] scaled to total
+/// `n` samples (footnote 3 of the paper).
+double cumulative_uniform(double x, int g_min, int g_max, double n);
+
+}  // namespace hebs::histogram

@@ -1,0 +1,72 @@
+#include "histogram/streaming.h"
+
+#include <cmath>
+
+#include "histogram/histogram_ops.h"
+#include "util/error.h"
+
+namespace hebs::histogram {
+
+StreamingHistogram::StreamingHistogram(const StreamingOptions& opts)
+    : opts_(opts) {
+  HEBS_REQUIRE(opts.decimation >= 1, "decimation must be >= 1");
+  HEBS_REQUIRE(opts.blend > 0.0 && opts.blend <= 1.0,
+               "blend must be in (0, 1]");
+}
+
+void StreamingHistogram::ingest(const hebs::image::GrayImage& frame) {
+  HEBS_REQUIRE(!frame.empty(), "cannot ingest an empty frame");
+  std::array<double, Histogram::kBins> sample{};
+  const auto pixels = frame.pixels();
+  std::size_t sampled = 0;
+  for (std::size_t i = static_cast<std::size_t>(phase_); i < pixels.size();
+       i += static_cast<std::size_t>(opts_.decimation)) {
+    sample[pixels[i]] += 1.0;
+    ++sampled;
+  }
+  // Rotate the phase so a static scene is fully covered over time.
+  phase_ = (phase_ + 1) % opts_.decimation;
+  if (sampled == 0) return;
+
+  // Scale the sample up to full-frame counts, then blend.
+  const double scale =
+      static_cast<double>(pixels.size()) / static_cast<double>(sampled);
+  const double keep = frames_ == 0 ? 0.0 : 1.0 - opts_.blend;
+  const double add = frames_ == 0 ? 1.0 : opts_.blend;
+  for (int i = 0; i < Histogram::kBins; ++i) {
+    weights_[static_cast<std::size_t>(i)] =
+        keep * weights_[static_cast<std::size_t>(i)] +
+        add * sample[static_cast<std::size_t>(i)] * scale;
+  }
+  last_frame_pixels_ = pixels.size();
+  ++frames_;
+}
+
+Histogram StreamingHistogram::estimate() const {
+  std::vector<std::uint64_t> counts(Histogram::kBins, 0);
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  if (total <= 0.0 || last_frame_pixels_ == 0) {
+    return Histogram::from_counts(counts);
+  }
+  // Normalize to the last frame's pixel count; remainder to the peak.
+  std::uint64_t assigned = 0;
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    const double share = weights_[i] / total;
+    counts[i] = static_cast<std::uint64_t>(
+        share * static_cast<double>(last_frame_pixels_));
+    assigned += counts[i];
+    if (weights_[i] > weights_[peak]) peak = i;
+  }
+  if (last_frame_pixels_ > assigned) {
+    counts[peak] += last_frame_pixels_ - assigned;
+  }
+  return Histogram::from_counts(counts);
+}
+
+double StreamingHistogram::estimation_error(const Histogram& exact) const {
+  return l1_distance(estimate(), exact);
+}
+
+}  // namespace hebs::histogram

@@ -1,0 +1,56 @@
+// Streaming/decimated histogram estimation.
+//
+// §2 notes that backlight-scaling policies need "an image histogram
+// estimator ... for calculating the statistics of the input image".  A
+// real video controller cannot afford to touch every pixel of every
+// frame; it samples the stream.  This module provides a decimating
+// estimator (every Nth pixel with a per-frame phase rotation so static
+// content is eventually fully covered) plus an exponential forget
+// factor for temporal adaptation, and quantifies the estimation error
+// the policies inherit.
+#pragma once
+
+#include <cstdint>
+
+#include "histogram/histogram.h"
+
+namespace hebs::histogram {
+
+/// Options for the streaming estimator.
+struct StreamingOptions {
+  /// Sample every Nth pixel (1 = exact).
+  int decimation = 16;
+  /// Exponential forgetting: each new frame's histogram carries this
+  /// weight against the accumulated estimate (1 = only newest frame).
+  double blend = 0.25;
+};
+
+/// Accumulates a decimated, temporally blended histogram estimate.
+class StreamingHistogram {
+ public:
+  explicit StreamingHistogram(const StreamingOptions& opts = {});
+
+  /// Ingests one frame: samples every `decimation`-th pixel starting at
+  /// a rotating phase, then blends into the running estimate.
+  void ingest(const hebs::image::GrayImage& frame);
+
+  /// Current estimate, scaled to the last frame's pixel count so it is
+  /// directly comparable with an exact histogram.
+  Histogram estimate() const;
+
+  /// Frames ingested so far.
+  int frames() const noexcept { return frames_; }
+
+  /// L1 distance between the estimate's and an exact histogram's
+  /// normalized distributions (0 = perfect).
+  double estimation_error(const Histogram& exact) const;
+
+ private:
+  StreamingOptions opts_;
+  std::array<double, Histogram::kBins> weights_{};
+  std::uint64_t last_frame_pixels_ = 0;
+  int phase_ = 0;
+  int frames_ = 0;
+};
+
+}  // namespace hebs::histogram

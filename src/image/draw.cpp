@@ -1,0 +1,191 @@
+#include "image/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathutil.h"
+
+namespace hebs::image {
+
+namespace {
+// Clips v to the raster's x range.
+int clip_x(const GrayImage& img, int v) {
+  return std::clamp(v, 0, img.width());
+}
+int clip_y(const GrayImage& img, int v) {
+  return std::clamp(v, 0, img.height());
+}
+}  // namespace
+
+std::uint8_t to_pixel(double v) noexcept {
+  return static_cast<std::uint8_t>(
+      std::lround(util::clamp01(v) * kMaxPixel));
+}
+
+void fill_rect(GrayImage& img, int x0, int y0, int x1, int y1, double v) {
+  const std::uint8_t p = to_pixel(v);
+  for (int y = clip_y(img, y0); y < clip_y(img, y1); ++y) {
+    for (int x = clip_x(img, x0); x < clip_x(img, x1); ++x) {
+      img(x, y) = p;
+    }
+  }
+}
+
+void fill_circle(GrayImage& img, double cx, double cy, double r, double v) {
+  fill_ellipse(img, cx, cy, r, r, v);
+}
+
+void fill_ellipse(GrayImage& img, double cx, double cy, double rx, double ry,
+                  double v) {
+  if (rx <= 0 || ry <= 0) return;
+  const std::uint8_t p = to_pixel(v);
+  const int y0 = clip_y(img, static_cast<int>(std::floor(cy - ry)));
+  const int y1 = clip_y(img, static_cast<int>(std::ceil(cy + ry)) + 1);
+  const int x0 = clip_x(img, static_cast<int>(std::floor(cx - rx)));
+  const int x1 = clip_x(img, static_cast<int>(std::ceil(cx + rx)) + 1);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const double dx = (x - cx) / rx;
+      const double dy = (y - cy) / ry;
+      if (dx * dx + dy * dy <= 1.0) img(x, y) = p;
+    }
+  }
+}
+
+void gradient_h(GrayImage& img, double v0, double v1) {
+  for (int x = 0; x < img.width(); ++x) {
+    const double t =
+        img.width() > 1 ? static_cast<double>(x) / (img.width() - 1) : 0.0;
+    const std::uint8_t p = to_pixel(util::lerp(v0, v1, t));
+    for (int y = 0; y < img.height(); ++y) img(x, y) = p;
+  }
+}
+
+void gradient_v(GrayImage& img, double v0, double v1) {
+  for (int y = 0; y < img.height(); ++y) {
+    const double t =
+        img.height() > 1 ? static_cast<double>(y) / (img.height() - 1) : 0.0;
+    const std::uint8_t p = to_pixel(util::lerp(v0, v1, t));
+    for (int x = 0; x < img.width(); ++x) img(x, y) = p;
+  }
+}
+
+void gradient_radial(GrayImage& img, double cx, double cy, double r,
+                     double v0, double v1) {
+  if (r <= 0) return;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const double d = std::hypot(x - cx, y - cy) / r;
+      img(x, y) = to_pixel(util::lerp(v0, v1, util::clamp01(d)));
+    }
+  }
+}
+
+void add_gaussian_blob(GrayImage& img, double cx, double cy, double sigma,
+                       double amp) {
+  if (sigma <= 0) return;
+  const double inv2s2 = 1.0 / (2.0 * sigma * sigma);
+  // 3-sigma support is visually indistinguishable from the full kernel.
+  const double support = 3.0 * sigma;
+  const int y0 = clip_y(img, static_cast<int>(std::floor(cy - support)));
+  const int y1 = clip_y(img, static_cast<int>(std::ceil(cy + support)) + 1);
+  const int x0 = clip_x(img, static_cast<int>(std::floor(cx - support)));
+  const int x1 = clip_x(img, static_cast<int>(std::ceil(cx + support)) + 1);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const double d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+      const double add = amp * std::exp(-d2 * inv2s2);
+      img(x, y) = to_pixel(img(x, y) / 255.0 + add);
+    }
+  }
+}
+
+void checkerboard(GrayImage& img, int cell, double v0, double v1) {
+  if (cell < 1) cell = 1;
+  const std::uint8_t p0 = to_pixel(v0);
+  const std::uint8_t p1 = to_pixel(v1);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      img(x, y) = (((x / cell) + (y / cell)) % 2 == 0) ? p0 : p1;
+    }
+  }
+}
+
+void add_gaussian_noise(GrayImage& img, double sigma, util::Rng& rng) {
+  for (auto& p : img.pixels()) {
+    const double v = p / 255.0 + rng.gaussian(0.0, sigma);
+    p = to_pixel(v);
+  }
+}
+
+void add_salt_pepper(GrayImage& img, double fraction, util::Rng& rng) {
+  for (auto& p : img.pixels()) {
+    if (rng.uniform() < fraction) {
+      p = rng.uniform() < 0.5 ? 0 : kMaxPixel;
+    }
+  }
+}
+
+void vignette(GrayImage& img, double edge) {
+  const double cx = (img.width() - 1) / 2.0;
+  const double cy = (img.height() - 1) / 2.0;
+  const double rmax = std::hypot(cx, cy);
+  if (rmax <= 0) return;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const double d = std::hypot(x - cx, y - cy) / rmax;
+      const double gain = util::lerp(1.0, edge, d * d);
+      img(x, y) = to_pixel(img(x, y) / 255.0 * gain);
+    }
+  }
+}
+
+void box_blur(GrayImage& img, int radius, int passes) {
+  if (radius < 1 || img.empty()) return;
+  const int w = img.width();
+  const int h = img.height();
+  std::vector<double> a(img.size());
+  std::vector<double> b(img.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = img.pixels()[i];
+
+  auto idx = [w](int x, int y) {
+    return static_cast<std::size_t>(y) * w + x;
+  };
+  for (int pass = 0; pass < passes; ++pass) {
+    // Horizontal pass with a sliding-window sum (clamped borders).
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+          acc += a[idx(std::clamp(x + k, 0, w - 1), y)];
+        }
+        b[idx(x, y)] = acc / (2 * radius + 1);
+      }
+    }
+    // Vertical pass.
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+          acc += b[idx(x, std::clamp(y + k, 0, h - 1))];
+        }
+        a[idx(x, y)] = acc / (2 * radius + 1);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    img.pixels()[i] = to_pixel(a[i] / 255.0);
+  }
+}
+
+void stretch_to_range(GrayImage& img, double lo, double hi) {
+  const auto mm = img.min_max();
+  if (mm.max == mm.min) return;
+  const double span = static_cast<double>(mm.max - mm.min);
+  for (auto& p : img.pixels()) {
+    const double t = (p - mm.min) / span;
+    p = to_pixel(util::lerp(lo, hi, t));
+  }
+}
+
+}  // namespace hebs::image

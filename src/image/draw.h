@@ -1,0 +1,65 @@
+// Drawing primitives used to compose the synthetic benchmark images.
+//
+// All coordinates are pixel coordinates; primitives clip against the image
+// bounds.  Shading helpers take normalized values in [0, 1] and convert to
+// 8-bit internally so generators can reason in the same normalized space
+// as the rest of the library.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.h"
+#include "util/rng.h"
+
+namespace hebs::image {
+
+/// Converts a normalized value in [0,1] to an 8-bit pixel (with clamping).
+std::uint8_t to_pixel(double v) noexcept;
+
+/// Fills an axis-aligned rectangle [x0,x1) x [y0,y1).
+void fill_rect(GrayImage& img, int x0, int y0, int x1, int y1, double v);
+
+/// Fills a solid circle of radius r centered at (cx, cy).
+void fill_circle(GrayImage& img, double cx, double cy, double r, double v);
+
+/// Fills a solid axis-aligned ellipse.
+void fill_ellipse(GrayImage& img, double cx, double cy, double rx, double ry,
+                  double v);
+
+/// Horizontal linear gradient from v0 (left) to v1 (right).
+void gradient_h(GrayImage& img, double v0, double v1);
+
+/// Vertical linear gradient from v0 (top) to v1 (bottom).
+void gradient_v(GrayImage& img, double v0, double v1);
+
+/// Radial gradient: v0 at (cx, cy) fading to v1 at distance r.
+void gradient_radial(GrayImage& img, double cx, double cy, double r,
+                     double v0, double v1);
+
+/// Adds a smooth Gaussian blob of amplitude `amp` (can be negative) with
+/// the given standard deviation, centered at (cx, cy).
+void add_gaussian_blob(GrayImage& img, double cx, double cy, double sigma,
+                       double amp);
+
+/// Checkerboard with the given cell size alternating v0/v1.
+void checkerboard(GrayImage& img, int cell, double v0, double v1);
+
+/// Adds zero-mean Gaussian noise with std dev `sigma` (normalized units).
+void add_gaussian_noise(GrayImage& img, double sigma, util::Rng& rng);
+
+/// Adds salt-and-pepper noise: `fraction` of pixels forced to 0 or 255.
+void add_salt_pepper(GrayImage& img, double fraction, util::Rng& rng);
+
+/// Multiplies the image by a radial vignette (1 at center, `edge` at the
+/// corners).
+void vignette(GrayImage& img, double edge);
+
+/// Separable box blur with the given radius (>= 1), applied `passes`
+/// times; three passes approximate a Gaussian.
+void box_blur(GrayImage& img, int radius, int passes = 1);
+
+/// Remaps pixel values affinely so the histogram spans exactly [lo, hi]
+/// (normalized).  No-op when the image is constant.
+void stretch_to_range(GrayImage& img, double lo, double hi);
+
+}  // namespace hebs::image

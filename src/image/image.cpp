@@ -1,0 +1,119 @@
+#include "image/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::image {
+
+GrayImage::GrayImage(int width, int height, std::uint8_t fill)
+    : width_(width), height_(height) {
+  HEBS_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+  pixels_.assign(static_cast<std::size_t>(width) * height, fill);
+}
+
+std::uint8_t GrayImage::at(int x, int y) const {
+  HEBS_REQUIRE(contains(x, y), "pixel coordinates out of bounds");
+  return (*this)(x, y);
+}
+
+void GrayImage::set(int x, int y, std::uint8_t v) {
+  HEBS_REQUIRE(contains(x, y), "pixel coordinates out of bounds");
+  (*this)(x, y) = v;
+}
+
+void GrayImage::fill(std::uint8_t v) noexcept {
+  std::fill(pixels_.begin(), pixels_.end(), v);
+}
+
+double GrayImage::mean() const noexcept {
+  if (pixels_.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::uint8_t p : pixels_) acc += p;
+  return acc / static_cast<double>(pixels_.size());
+}
+
+GrayImage::MinMax GrayImage::min_max() const noexcept {
+  if (pixels_.empty()) return {};
+  const auto [lo, hi] = std::minmax_element(pixels_.begin(), pixels_.end());
+  return {*lo, *hi};
+}
+
+int GrayImage::dynamic_range() const noexcept {
+  const MinMax mm = min_max();
+  return mm.max - mm.min;
+}
+
+FloatImage::FloatImage(int width, int height, double fill)
+    : width_(width), height_(height) {
+  HEBS_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+  values_.assign(static_cast<std::size_t>(width) * height, fill);
+}
+
+double FloatImage::mean() const noexcept {
+  return util::mean(values_);
+}
+
+FloatImage FloatImage::from_gray(const GrayImage& g) {
+  FloatImage out(g.width(), g.height());
+  const auto src = g.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    out.values_[i] = static_cast<double>(src[i]) / kMaxPixel;
+  }
+  return out;
+}
+
+GrayImage FloatImage::to_gray() const {
+  GrayImage out(width_, height_);
+  auto dst = out.pixels();
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double v = util::clamp01(values_[i]);
+    dst[i] = static_cast<std::uint8_t>(std::lround(v * kMaxPixel));
+  }
+  return out;
+}
+
+RgbImage::RgbImage(int width, int height) : width_(width), height_(height) {
+  HEBS_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+  data_.assign(static_cast<std::size_t>(width) * height * 3, 0);
+}
+
+RgbImage::Pixel RgbImage::get(int x, int y) const noexcept {
+  const std::size_t i = (static_cast<std::size_t>(y) * width_ + x) * 3;
+  return {data_[i], data_[i + 1], data_[i + 2]};
+}
+
+void RgbImage::set(int x, int y, Pixel p) noexcept {
+  const std::size_t i = (static_cast<std::size_t>(y) * width_ + x) * 3;
+  data_[i] = p.r;
+  data_[i + 1] = p.g;
+  data_[i + 2] = p.b;
+}
+
+GrayImage RgbImage::to_luma() const {
+  GrayImage out(width_, height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Pixel p = get(x, y);
+      const double luma = 0.299 * p.r + 0.587 * p.g + 0.114 * p.b;
+      out(x, y) = static_cast<std::uint8_t>(
+          util::clamp(std::round(luma), 0.0, 255.0));
+    }
+  }
+  return out;
+}
+
+RgbImage RgbImage::from_gray(const GrayImage& g) {
+  RgbImage out(g.width(), g.height());
+  for (int y = 0; y < g.height(); ++y) {
+    for (int x = 0; x < g.width(); ++x) {
+      const std::uint8_t v = g(x, y);
+      out.set(x, y, {v, v, v});
+    }
+  }
+  return out;
+}
+
+}  // namespace hebs::image

@@ -1,0 +1,155 @@
+// Core image types.
+//
+// `GrayImage` is the 8-bit grayscale frame the HEBS pipeline operates on
+// (the paper assumes 8-bit color depth; color images are handled per
+// channel or via luma).  `FloatImage` stores normalized luminance in
+// [0, 1] and is produced by the display simulator, where displayed
+// luminance I = b * t(X) is a real number.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hebs::image {
+
+/// Number of representable grayscale levels for 8-bit pixels.
+inline constexpr int kLevels = 256;
+
+/// Maximum 8-bit pixel value.
+inline constexpr int kMaxPixel = 255;
+
+/// An 8-bit single-channel raster image, row-major.
+class GrayImage {
+ public:
+  /// Empty 0x0 image.
+  GrayImage() = default;
+
+  /// Creates a width x height image with every pixel set to `fill`.
+  GrayImage(int width, int height, std::uint8_t fill = 0);
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+  /// Total number of pixels.
+  std::size_t size() const noexcept { return pixels_.size(); }
+  bool empty() const noexcept { return pixels_.empty(); }
+
+  /// Unchecked pixel access (x = column, y = row).
+  std::uint8_t operator()(int x, int y) const noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  std::uint8_t& operator()(int x, int y) noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Bounds-checked pixel access; throws InvalidArgument when outside.
+  std::uint8_t at(int x, int y) const;
+  void set(int x, int y, std::uint8_t v);
+
+  /// True when (x, y) lies inside the raster.
+  bool contains(int x, int y) const noexcept {
+    return x >= 0 && y >= 0 && x < width_ && y < height_;
+  }
+
+  /// Raw pixel storage, row-major.
+  std::span<const std::uint8_t> pixels() const noexcept { return pixels_; }
+  std::span<std::uint8_t> pixels() noexcept { return pixels_; }
+
+  /// Sets every pixel to `v`.
+  void fill(std::uint8_t v) noexcept;
+
+  /// Mean pixel value in [0, 255]; 0 for an empty image.
+  double mean() const noexcept;
+
+  /// Minimum and maximum pixel values; {0, 0} for an empty image.
+  struct MinMax {
+    std::uint8_t min = 0;
+    std::uint8_t max = 0;
+  };
+  MinMax min_max() const noexcept;
+
+  /// Dynamic range max - min; 0 for an empty image.
+  int dynamic_range() const noexcept;
+
+  bool operator==(const GrayImage& other) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// A normalized-luminance raster (values nominally in [0, 1]), row-major.
+class FloatImage {
+ public:
+  FloatImage() = default;
+  FloatImage(int width, int height, double fill = 0.0);
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  double operator()(int x, int y) const noexcept {
+    return values_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  double& operator()(int x, int y) noexcept {
+    return values_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  std::span<const double> values() const noexcept { return values_; }
+  std::span<double> values() noexcept { return values_; }
+
+  /// Mean luminance; 0 for an empty image.
+  double mean() const noexcept;
+
+  /// Converts normalized pixel values X/255 into a FloatImage.
+  static FloatImage from_gray(const GrayImage& g);
+
+  /// Quantizes back to 8 bits with rounding and clamping.
+  GrayImage to_gray() const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<double> values_;
+};
+
+/// An 8-bit RGB image, row-major interleaved.
+class RgbImage {
+ public:
+  RgbImage() = default;
+  RgbImage(int width, int height);
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  struct Pixel {
+    std::uint8_t r = 0;
+    std::uint8_t g = 0;
+    std::uint8_t b = 0;
+    bool operator==(const Pixel&) const = default;
+  };
+
+  Pixel get(int x, int y) const noexcept;
+  void set(int x, int y, Pixel p) noexcept;
+
+  std::span<const std::uint8_t> data() const noexcept { return data_; }
+  std::span<std::uint8_t> data() noexcept { return data_; }
+
+  /// ITU-R BT.601 luma extraction (the standard for SDTV-era content,
+  /// matching the paper's 2005 context).
+  GrayImage to_luma() const;
+
+  /// Replicates a grayscale image into all three channels.
+  static RgbImage from_gray(const GrayImage& g);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace hebs::image

@@ -1,0 +1,72 @@
+#include "image/noise.h"
+
+#include <cmath>
+
+#include "image/draw.h"
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::image {
+
+namespace {
+// Quintic smoothstep keeps the noise C1-continuous across lattice cells.
+double smooth(double t) noexcept {
+  return t * t * t * (t * (t * 6.0 - 15.0) + 10.0);
+}
+}  // namespace
+
+double ValueNoise::lattice(std::int64_t xi, std::int64_t yi) const noexcept {
+  std::uint64_t h = seed_;
+  h ^= static_cast<std::uint64_t>(xi) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(yi) * 0xc2b2ae3d27d4eb4fULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double ValueNoise::sample(double x, double y) const noexcept {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const auto xi = static_cast<std::int64_t>(fx);
+  const auto yi = static_cast<std::int64_t>(fy);
+  const double tx = smooth(x - fx);
+  const double ty = smooth(y - fy);
+  const double v00 = lattice(xi, yi);
+  const double v10 = lattice(xi + 1, yi);
+  const double v01 = lattice(xi, yi + 1);
+  const double v11 = lattice(xi + 1, yi + 1);
+  const double a = util::lerp(v00, v10, tx);
+  const double b = util::lerp(v01, v11, tx);
+  return util::lerp(a, b, ty);
+}
+
+double ValueNoise::fbm(double x, double y, int octaves,
+                       double gain) const noexcept {
+  double amp = 1.0;
+  double freq = 1.0;
+  double acc = 0.0;
+  double norm = 0.0;
+  for (int o = 0; o < octaves; ++o) {
+    acc += amp * sample(x * freq, y * freq);
+    norm += amp;
+    amp *= gain;
+    freq *= 2.0;
+  }
+  return norm > 0 ? acc / norm : 0.0;
+}
+
+void fill_fbm(GrayImage& img, std::uint64_t seed, double scale, int octaves,
+              double lo, double hi) {
+  HEBS_REQUIRE(scale > 0, "noise scale must be positive");
+  HEBS_REQUIRE(octaves >= 1, "need at least one octave");
+  const ValueNoise noise(seed);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const double v = noise.fbm(x / scale, y / scale, octaves);
+      img(x, y) = to_pixel(util::lerp(lo, hi, v));
+    }
+  }
+}
+
+}  // namespace hebs::image

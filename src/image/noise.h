@@ -1,0 +1,39 @@
+// Coherent value noise for natural-looking synthetic textures.
+//
+// Fractal Brownian motion over seeded lattice value noise gives the
+// broadband texture (Baboon fur, tree foliage, water) that makes the
+// synthetic album exercise the same windowed-statistics paths of the UIQI
+// metric as photographic content.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace hebs::image {
+
+/// Deterministic lattice value-noise field.
+class ValueNoise {
+ public:
+  explicit ValueNoise(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// Noise value in [0, 1] at continuous coordinates, smooth (C1) in x/y.
+  double sample(double x, double y) const noexcept;
+
+  /// Fractal Brownian motion: `octaves` octaves of `sample`, each at
+  /// double frequency and `gain` amplitude. Output in [0, 1].
+  double fbm(double x, double y, int octaves, double gain = 0.5) const noexcept;
+
+ private:
+  /// Hash of lattice point (xi, yi) to [0, 1].
+  double lattice(std::int64_t xi, std::int64_t yi) const noexcept;
+
+  std::uint64_t seed_;
+};
+
+/// Fills `img` with fBm noise scaled to [lo, hi]; `scale` is the feature
+/// size in pixels of the base octave.
+void fill_fbm(GrayImage& img, std::uint64_t seed, double scale, int octaves,
+              double lo, double hi);
+
+}  // namespace hebs::image

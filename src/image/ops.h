@@ -1,0 +1,26 @@
+// Geometric image operations: crop, flips, rotation, bilinear resize.
+//
+// Standard raster utilities a display stack needs (scaler in the video
+// controller, multi-resolution evaluation in the benchmarks).
+#pragma once
+
+#include "image/image.h"
+
+namespace hebs::image {
+
+/// Extracts the rectangle [x0, x0+w) x [y0, y0+h); must lie inside.
+GrayImage crop(const GrayImage& img, int x0, int y0, int w, int h);
+
+/// Mirrors left-right.
+GrayImage flip_horizontal(const GrayImage& img);
+
+/// Mirrors top-bottom.
+GrayImage flip_vertical(const GrayImage& img);
+
+/// Rotates 90 degrees clockwise (width and height swap).
+GrayImage rotate90(const GrayImage& img);
+
+/// Bilinear resize to the given dimensions (both >= 1).
+GrayImage resize_bilinear(const GrayImage& img, int new_w, int new_h);
+
+}  // namespace hebs::image

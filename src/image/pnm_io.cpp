@@ -1,0 +1,176 @@
+#include "image/pnm_io.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hebs::image {
+
+namespace {
+
+void write_header(std::ostream& out, const char* magic, int w, int h) {
+  out << magic << '\n' << w << ' ' << h << '\n' << 255 << '\n';
+}
+
+/// Reads the next whitespace/comment-delimited token of a PNM header.
+std::string next_token(std::istream& in) {
+  std::string tok;
+  for (;;) {
+    const int c = in.peek();
+    if (c == EOF) break;
+    if (c == '#') {  // comment runs to end of line
+      in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      continue;
+    }
+    if (std::isspace(c) != 0) {
+      in.get();
+      if (!tok.empty()) break;
+      continue;
+    }
+    tok += static_cast<char>(in.get());
+  }
+  return tok;
+}
+
+int parse_int(std::istream& in, const std::string& what) {
+  const std::string tok = next_token(in);
+  if (tok.empty()) throw util::IoError("truncated PNM header: missing " + what);
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(tok, &pos);
+    if (pos != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    throw util::IoError("malformed PNM " + what + ": '" + tok + "'");
+  }
+}
+
+struct PnmHeader {
+  std::string magic;
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+};
+
+PnmHeader read_header(std::istream& in, const std::string& path) {
+  PnmHeader h;
+  h.magic = next_token(in);
+  if (h.magic != "P2" && h.magic != "P3" && h.magic != "P5" &&
+      h.magic != "P6") {
+    throw util::IoError("unsupported PNM magic '" + h.magic + "' in " + path);
+  }
+  h.width = parse_int(in, "width");
+  h.height = parse_int(in, "height");
+  h.maxval = parse_int(in, "maxval");
+  if (h.width <= 0 || h.height <= 0) {
+    throw util::IoError("non-positive PNM dimensions in " + path);
+  }
+  if (h.maxval <= 0 || h.maxval > 255) {
+    throw util::IoError("unsupported PNM maxval (must be 1..255) in " + path);
+  }
+  return h;
+}
+
+std::uint8_t scale_to_255(int raw, int maxval) {
+  return static_cast<std::uint8_t>((raw * 255 + maxval / 2) / maxval);
+}
+
+}  // namespace
+
+void write_pgm(const GrayImage& img, const std::string& path) {
+  HEBS_REQUIRE(!img.empty(), "cannot write an empty image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
+  write_header(out, "P5", img.width(), img.height());
+  out.write(reinterpret_cast<const char*>(img.pixels().data()),
+            static_cast<std::streamsize>(img.size()));
+  if (!out) throw util::IoError("write failed: " + path);
+}
+
+void write_pgm_ascii(const GrayImage& img, const std::string& path) {
+  HEBS_REQUIRE(!img.empty(), "cannot write an empty image");
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
+  write_header(out, "P2", img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out << static_cast<int>(img(x, y))
+          << (x + 1 == img.width() ? '\n' : ' ');
+    }
+  }
+  if (!out) throw util::IoError("write failed: " + path);
+}
+
+void write_ppm(const RgbImage& img, const std::string& path) {
+  HEBS_REQUIRE(!img.empty(), "cannot write an empty image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
+  write_header(out, "P6", img.width(), img.height());
+  out.write(reinterpret_cast<const char*>(img.data().data()),
+            static_cast<std::streamsize>(img.data().size()));
+  if (!out) throw util::IoError("write failed: " + path);
+}
+
+GrayImage read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open for reading: " + path);
+  const PnmHeader h = read_header(in, path);
+  if (h.magic != "P2" && h.magic != "P5") {
+    throw util::IoError("not a PGM file: " + path);
+  }
+  GrayImage img(h.width, h.height);
+  auto dst = img.pixels();
+  if (h.magic == "P5") {
+    std::vector<char> buf(img.size());
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (in.gcount() != static_cast<std::streamsize>(buf.size())) {
+      throw util::IoError("truncated PGM pixel data in " + path);
+    }
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      dst[i] = scale_to_255(static_cast<std::uint8_t>(buf[i]), h.maxval);
+    }
+  } else {
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      const int v = parse_int(in, "pixel");
+      if (v < 0 || v > h.maxval) {
+        throw util::IoError("PGM pixel out of range in " + path);
+      }
+      dst[i] = scale_to_255(v, h.maxval);
+    }
+  }
+  return img;
+}
+
+RgbImage read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open for reading: " + path);
+  const PnmHeader h = read_header(in, path);
+  if (h.magic != "P3" && h.magic != "P6") {
+    throw util::IoError("not a PPM file: " + path);
+  }
+  RgbImage img(h.width, h.height);
+  auto dst = img.data();
+  if (h.magic == "P6") {
+    std::vector<char> buf(dst.size());
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (in.gcount() != static_cast<std::streamsize>(buf.size())) {
+      throw util::IoError("truncated PPM pixel data in " + path);
+    }
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      dst[i] = scale_to_255(static_cast<std::uint8_t>(buf[i]), h.maxval);
+    }
+  } else {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      const int v = parse_int(in, "pixel");
+      if (v < 0 || v > h.maxval) {
+        throw util::IoError("PPM pixel out of range in " + path);
+      }
+      dst[i] = scale_to_255(v, h.maxval);
+    }
+  }
+  return img;
+}
+
+}  // namespace hebs::image

@@ -1,0 +1,30 @@
+// PNM (PGM/PPM) image file I/O.
+//
+// The benchmark harness and examples persist before/after images so a
+// human can inspect the backlight-scaled results.  Binary (P5/P6) and
+// ASCII (P2/P3) variants are supported, which covers everything the USC
+// SIPI database ships as after conversion.
+#pragma once
+
+#include <string>
+
+#include "image/image.h"
+
+namespace hebs::image {
+
+/// Writes a grayscale image as binary PGM (P5).
+void write_pgm(const GrayImage& img, const std::string& path);
+
+/// Writes a grayscale image as ASCII PGM (P2).
+void write_pgm_ascii(const GrayImage& img, const std::string& path);
+
+/// Writes an RGB image as binary PPM (P6).
+void write_ppm(const RgbImage& img, const std::string& path);
+
+/// Reads a PGM file (P2 or P5). Throws IoError on malformed input.
+GrayImage read_pgm(const std::string& path);
+
+/// Reads a PPM file (P3 or P6). Throws IoError on malformed input.
+RgbImage read_ppm(const std::string& path);
+
+}  // namespace hebs::image

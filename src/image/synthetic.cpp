@@ -1,0 +1,549 @@
+#include "image/synthetic.h"
+
+#include <cmath>
+
+#include "image/draw.h"
+#include "image/noise.h"
+#include "util/error.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace hebs::image {
+
+namespace {
+
+// Per-image master seeds; fixed so the album is bit-reproducible.
+constexpr std::uint64_t kSeedBase = 0x48454253'2005ULL;  // "HEBS" 2005
+
+std::uint64_t seed_for(UsidId id) {
+  return kSeedBase + 0x1000ULL * static_cast<std::uint64_t>(id);
+}
+
+double frac(int v, int size) { return static_cast<double>(v) / size; }
+
+// --- Individual scene generators -----------------------------------------
+//
+// Each generator documents the histogram character it is engineered to
+// reproduce.  `s` is the image side length in pixels.
+
+// Lena: portrait — smooth mid-tone skin areas, diagonal hat band, soft
+// background.  Histogram: broad, mid-heavy, few true blacks/whites.
+GrayImage gen_lena(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kLena));
+  gradient_radial(img, s * 0.3, s * 0.25, s * 1.2, 0.75, 0.35);
+  // Hat: diagonal band across the upper-left.
+  for (int y = 0; y < s; ++y) {
+    for (int x = 0; x < s; ++x) {
+      const double d = frac(x, s) + frac(y, s);
+      if (d < 0.55 && d > 0.25) {
+        img(x, y) = to_pixel(0.55 + 0.18 * std::sin(12.0 * d));
+      }
+    }
+  }
+  // Face and shoulder as soft elliptical mid-tones.
+  fill_ellipse(img, s * 0.55, s * 0.5, s * 0.18, s * 0.24, 0.72);
+  add_gaussian_blob(img, s * 0.5, s * 0.45, s * 0.06, -0.15);  // eye shadow
+  add_gaussian_blob(img, s * 0.62, s * 0.47, s * 0.05, -0.12);
+  fill_ellipse(img, s * 0.52, s * 0.85, s * 0.3, s * 0.18, 0.6);
+  box_blur(img, std::max(1, s / 128), 2);
+  add_gaussian_noise(img, 0.015, rng);
+  stretch_to_range(img, 0.1, 0.93);
+  return img;
+}
+
+// Autumn: landscape — bright sky band above warm textured foliage.
+// Histogram: bimodal (sky highs, foliage mids).
+GrayImage gen_autumn(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kAutumn));
+  gradient_v(img, 0.9, 0.75);  // sky
+  GrayImage foliage(s, s);
+  fill_fbm(foliage, seed_for(UsidId::kAutumn) + 1, s / 10.0, 5, 0.25, 0.65);
+  const int horizon = static_cast<int>(s * 0.35);
+  for (int y = horizon; y < s; ++y) {
+    for (int x = 0; x < s; ++x) img(x, y) = foliage(x, y);
+  }
+  // Tree trunks.
+  for (int i = 0; i < 5; ++i) {
+    const int x0 = static_cast<int>(s * (0.12 + 0.18 * i));
+    fill_rect(img, x0, horizon - s / 8, x0 + std::max(2, s / 64), s, 0.15);
+  }
+  add_gaussian_noise(img, 0.01, rng);
+  return img;
+}
+
+// Football: night game — dark field, bright ball and floodlit spots.
+// Histogram: dark-dominated with a bright tail.
+GrayImage gen_football(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kFootball));
+  fill_fbm(img, seed_for(UsidId::kFootball) + 1, s / 6.0, 4, 0.1, 0.3);
+  fill_ellipse(img, s * 0.55, s * 0.55, s * 0.22, s * 0.13, 0.78);
+  // Lacing highlights.
+  for (int i = 0; i < 6; ++i) {
+    fill_rect(img, static_cast<int>(s * (0.45 + 0.035 * i)),
+              static_cast<int>(s * 0.53), static_cast<int>(s * (0.455 + 0.035 * i)),
+              static_cast<int>(s * 0.58), 0.95);
+  }
+  add_gaussian_blob(img, s * 0.2, s * 0.2, s * 0.08, 0.5);  // floodlight
+  add_gaussian_noise(img, 0.02, rng);
+  return img;
+}
+
+// Peppers: large smooth vegetables with specular highlights.
+// Histogram: multimodal (one mode per pepper shade).
+GrayImage gen_peppers(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kPeppers));
+  img.fill(to_pixel(0.25));
+  const double shades[] = {0.35, 0.55, 0.75, 0.45, 0.65};
+  for (int i = 0; i < 5; ++i) {
+    const double cx = s * rng.uniform(0.2, 0.8);
+    const double cy = s * rng.uniform(0.2, 0.8);
+    const double rx = s * rng.uniform(0.14, 0.26);
+    const double ry = s * rng.uniform(0.14, 0.26);
+    fill_ellipse(img, cx, cy, rx, ry, shades[i]);
+    add_gaussian_blob(img, cx - rx * 0.3, cy - ry * 0.3, s * 0.03, 0.3);
+  }
+  box_blur(img, std::max(1, s / 170), 1);
+  add_gaussian_noise(img, 0.012, rng);
+  return img;
+}
+
+// Greens: close-up foliage — narrow mid-range texture.
+// Histogram: compact single mode (low native dynamic range).
+GrayImage gen_greens(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kGreens));
+  fill_fbm(img, seed_for(UsidId::kGreens) + 1, s / 16.0, 5, 0.3, 0.7);
+  vignette(img, 0.8);
+  add_gaussian_noise(img, 0.01, rng);
+  return img;
+}
+
+// Pears: smooth bright fruit on a soft gradient table.
+// Histogram: bright-leaning smooth modes.
+GrayImage gen_pears(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kPears));
+  gradient_v(img, 0.55, 0.3);
+  for (int i = 0; i < 3; ++i) {
+    const double cx = s * (0.25 + 0.25 * i);
+    const double cy = s * 0.55;
+    fill_ellipse(img, cx, cy, s * 0.11, s * 0.15, 0.68 + 0.08 * i);
+    add_gaussian_blob(img, cx - s * 0.03, cy - s * 0.05, s * 0.03, 0.22);
+  }
+  box_blur(img, std::max(1, s / 128), 1);
+  add_gaussian_noise(img, 0.012, rng);
+  return img;
+}
+
+// Onion: concentric ring structure plus companion vegetables.
+// Histogram: oscillatory mid-range coverage.
+GrayImage gen_onion(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kOnion));
+  img.fill(to_pixel(0.3));
+  const double cx = s * 0.5;
+  const double cy = s * 0.55;
+  for (int y = 0; y < s; ++y) {
+    for (int x = 0; x < s; ++x) {
+      const double r = std::hypot(x - cx, y - cy);
+      if (r < s * 0.32) {
+        img(x, y) =
+            to_pixel(0.5 + 0.25 * std::sin(r / (s * 0.02)) *
+                               std::exp(-r / (s * 0.4)));
+      }
+    }
+  }
+  fill_ellipse(img, s * 0.15, s * 0.8, s * 0.1, s * 0.07, 0.62);
+  fill_ellipse(img, s * 0.85, s * 0.78, s * 0.09, s * 0.06, 0.45);
+  add_gaussian_noise(img, 0.012, rng);
+  return img;
+}
+
+// Trees: winter trees — textured sky with dark branch structure.
+// Histogram: broad with a dark mode.
+GrayImage gen_trees(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kTrees));
+  fill_fbm(img, seed_for(UsidId::kTrees) + 1, s / 4.0, 3, 0.6, 0.85);
+  for (int t = 0; t < 7; ++t) {
+    const int x0 = static_cast<int>(s * (0.08 + 0.13 * t));
+    fill_rect(img, x0, s / 4, x0 + std::max(2, s / 80), s, 0.12);
+    // Branches as thin diagonals.
+    for (int b = 0; b < 8; ++b) {
+      const int by = s / 4 + b * s / 12;
+      for (int k = 0; k < s / 10; ++k) {
+        const int bx = x0 + ((b % 2 == 0) ? k : -k);
+        if (img.contains(bx, by - k / 3)) {
+          img(bx, by - k / 3) = to_pixel(0.18);
+        }
+      }
+    }
+  }
+  add_gaussian_noise(img, 0.015, rng);
+  return img;
+}
+
+// West (Westconcord aerial): bright roads over mid-tone blocks.
+// Histogram: mids plus a strong bright line component.
+GrayImage gen_west(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kWest));
+  fill_fbm(img, seed_for(UsidId::kWest) + 1, s / 8.0, 4, 0.3, 0.6);
+  // Blocks (fields / roofs).
+  for (int i = 0; i < 12; ++i) {
+    const int x0 = rng.uniform_int(0, s - s / 6);
+    const int y0 = rng.uniform_int(0, s - s / 6);
+    fill_rect(img, x0, y0, x0 + rng.uniform_int(s / 16, s / 6),
+              y0 + rng.uniform_int(s / 16, s / 6),
+              rng.uniform(0.35, 0.7));
+  }
+  // Roads: one horizontal, one vertical, one diagonal, all bright.
+  fill_rect(img, 0, static_cast<int>(s * 0.42), s,
+            static_cast<int>(s * 0.42) + std::max(2, s / 48), 0.9);
+  fill_rect(img, static_cast<int>(s * 0.68), 0,
+            static_cast<int>(s * 0.68) + std::max(2, s / 48), s, 0.88);
+  for (int k = 0; k < s; ++k) {
+    for (int wline = 0; wline < std::max(2, s / 64); ++wline) {
+      const int x = k;
+      const int y = s - 1 - k + wline;
+      if (img.contains(x, y)) img(x, y) = to_pixel(0.85);
+    }
+  }
+  add_gaussian_noise(img, 0.012, rng);
+  return img;
+}
+
+// Pout: the classic low-contrast portrait — everything squeezed into a
+// narrow mid-dark band.  Histogram: very narrow (the canonical histogram-
+// equalization demo).
+GrayImage gen_pout(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kPout));
+  gradient_v(img, 0.5, 0.42);
+  fill_ellipse(img, s * 0.5, s * 0.4, s * 0.2, s * 0.26, 0.55);
+  fill_ellipse(img, s * 0.5, s * 0.9, s * 0.32, s * 0.3, 0.47);
+  add_gaussian_blob(img, s * 0.44, s * 0.36, s * 0.04, -0.06);
+  add_gaussian_blob(img, s * 0.56, s * 0.36, s * 0.04, -0.06);
+  box_blur(img, std::max(1, s / 128), 2);
+  add_gaussian_noise(img, 0.01, rng);
+  stretch_to_range(img, 0.29, 0.62);  // enforce the narrow-histogram look
+  return img;
+}
+
+// Sail: bright sky and water with white sails — bright-dominated.
+GrayImage gen_sail(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kSail));
+  gradient_v(img, 0.95, 0.7);
+  const int horizon = static_cast<int>(s * 0.55);
+  GrayImage water(s, s);
+  fill_fbm(water, seed_for(UsidId::kSail) + 1, s / 20.0, 4, 0.55, 0.8);
+  for (int y = horizon; y < s; ++y) {
+    for (int x = 0; x < s; ++x) img(x, y) = water(x, y);
+  }
+  // Sails: bright triangles.
+  for (int t = 0; t < 3; ++t) {
+    const int bx = static_cast<int>(s * (0.25 + 0.25 * t));
+    const int h = s / 5;
+    for (int k = 0; k < h; ++k) {
+      fill_rect(img, bx - k / 3, horizon - h + k, bx + k / 2,
+                horizon - h + k + 1, 0.97);
+    }
+    fill_rect(img, bx, horizon - h, bx + std::max(1, s / 128), horizon, 0.2);
+  }
+  add_gaussian_noise(img, 0.008, rng);
+  return img;
+}
+
+// Splash: dark background, bright crown splash — extreme dark dominance.
+GrayImage gen_splash(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kSplash));
+  gradient_radial(img, s * 0.5, s * 0.6, s * 0.9, 0.18, 0.04);
+  // Crown droplets.
+  for (int i = 0; i < 14; ++i) {
+    const double ang = 2.0 * 3.14159265 * i / 14.0;
+    const double cx = s * 0.5 + s * 0.22 * std::cos(ang);
+    const double cy = s * 0.55 + s * 0.1 * std::sin(ang);
+    fill_circle(img, cx, cy, s * 0.02, 0.85);
+  }
+  fill_ellipse(img, s * 0.5, s * 0.62, s * 0.2, s * 0.05, 0.75);
+  add_gaussian_blob(img, s * 0.5, s * 0.45, s * 0.05, 0.6);
+  box_blur(img, std::max(1, s / 170), 1);
+  add_gaussian_noise(img, 0.015, rng);
+  return img;
+}
+
+// Girl: mid-key portrait with soft background.
+GrayImage gen_girl(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kGirl));
+  gradient_h(img, 0.45, 0.6);
+  fill_ellipse(img, s * 0.5, s * 0.42, s * 0.17, s * 0.22, 0.7);
+  fill_ellipse(img, s * 0.5, s * 0.95, s * 0.3, s * 0.35, 0.52);
+  fill_ellipse(img, s * 0.5, s * 0.24, s * 0.2, s * 0.12, 0.25);  // hair
+  add_gaussian_blob(img, s * 0.44, s * 0.4, s * 0.035, -0.1);
+  add_gaussian_blob(img, s * 0.56, s * 0.4, s * 0.035, -0.1);
+  box_blur(img, std::max(1, s / 128), 2);
+  add_gaussian_noise(img, 0.012, rng);
+  return img;
+}
+
+// Baboon: the canonical broadband texture — full-range, high local
+// variance everywhere, nearly flat histogram.
+GrayImage gen_baboon(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kBaboon));
+  fill_fbm(img, seed_for(UsidId::kBaboon) + 1, s / 48.0, 6, 0.05, 0.95);
+  // Bright nose ridge.
+  fill_ellipse(img, s * 0.5, s * 0.6, s * 0.08, s * 0.25, 0.8);
+  add_gaussian_noise(img, 0.04, rng);
+  stretch_to_range(img, 0.0, 1.0);
+  return img;
+}
+
+// TreeA: lone tree silhouette against bright sky — strongly bimodal.
+GrayImage gen_tree_a(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kTreeA));
+  gradient_v(img, 0.92, 0.8);
+  fill_rect(img, static_cast<int>(s * 0.48), static_cast<int>(s * 0.45),
+            static_cast<int>(s * 0.52), s, 0.1);
+  // Canopy as clustered dark blobs.
+  for (int i = 0; i < 30; ++i) {
+    const double cx = s * rng.uniform(0.3, 0.7);
+    const double cy = s * rng.uniform(0.2, 0.5);
+    fill_circle(img, cx, cy, s * rng.uniform(0.03, 0.08), 0.15);
+  }
+  fill_rect(img, 0, static_cast<int>(s * 0.88), s, s, 0.35);  // ground
+  add_gaussian_noise(img, 0.012, rng);
+  return img;
+}
+
+// HouseA: geometric architecture — large flat regions, spiky histogram.
+GrayImage gen_house_a(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kHouseA));
+  gradient_v(img, 0.85, 0.8);                               // sky
+  fill_rect(img, 0, static_cast<int>(s * 0.75), s, s, 0.4);  // lawn
+  fill_rect(img, static_cast<int>(s * 0.2), static_cast<int>(s * 0.4),
+            static_cast<int>(s * 0.8), static_cast<int>(s * 0.78), 0.65);
+  // Roof.
+  for (int k = 0; k < static_cast<int>(s * 0.15); ++k) {
+    fill_rect(img, static_cast<int>(s * 0.18) + k,
+              static_cast<int>(s * 0.4) - k,
+              static_cast<int>(s * 0.82) - k,
+              static_cast<int>(s * 0.4) - k + 1, 0.3);
+  }
+  // Windows and door.
+  for (int wcol = 0; wcol < 3; ++wcol) {
+    fill_rect(img, static_cast<int>(s * (0.26 + 0.18 * wcol)),
+              static_cast<int>(s * 0.48),
+              static_cast<int>(s * (0.34 + 0.18 * wcol)),
+              static_cast<int>(s * 0.58), 0.2);
+  }
+  fill_rect(img, static_cast<int>(s * 0.45), static_cast<int>(s * 0.6),
+            static_cast<int>(s * 0.55), static_cast<int>(s * 0.78), 0.25);
+  add_gaussian_noise(img, 0.008, rng);
+  return img;
+}
+
+// GirlB: low-key portrait — darker overall than Girl.
+GrayImage gen_girl_b(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kGirlB));
+  gradient_radial(img, s * 0.5, s * 0.4, s, 0.4, 0.1);
+  fill_ellipse(img, s * 0.5, s * 0.45, s * 0.16, s * 0.2, 0.55);
+  fill_ellipse(img, s * 0.5, s * 0.95, s * 0.28, s * 0.3, 0.3);
+  add_gaussian_blob(img, s * 0.45, s * 0.42, s * 0.03, -0.12);
+  add_gaussian_blob(img, s * 0.55, s * 0.42, s * 0.03, -0.12);
+  box_blur(img, std::max(1, s / 128), 2);
+  add_gaussian_noise(img, 0.015, rng);
+  return img;
+}
+
+// Testpat: synthetic test pattern — ramps, bars, checkerboard.  Histogram:
+// a near-uniform component (ramps) plus strong spikes (flat bars).
+GrayImage gen_testpat(int s) {
+  GrayImage img(s, s);
+  // Top third: horizontal ramp covering the full range.
+  GrayImage ramp(s, std::max(1, s / 3));
+  gradient_h(ramp, 0.0, 1.0);
+  for (int y = 0; y < ramp.height(); ++y) {
+    for (int x = 0; x < s; ++x) img(x, y) = ramp(x, y);
+  }
+  // Middle third: grayscale step bars.
+  const int y0 = s / 3;
+  const int y1 = 2 * s / 3;
+  const int bars = 8;
+  for (int b = 0; b < bars; ++b) {
+    fill_rect(img, b * s / bars, y0, (b + 1) * s / bars, y1,
+              static_cast<double>(b) / (bars - 1));
+  }
+  // Bottom third: checkerboard + vertical ramp quadrant.
+  GrayImage lower(s, s - y1);
+  checkerboard(lower, std::max(1, s / 16), 0.2, 0.8);
+  for (int y = 0; y < lower.height(); ++y) {
+    for (int x = 0; x < s; ++x) img(x, y + y1) = lower(x, y);
+  }
+  for (int y = y1; y < s; ++y) {
+    for (int x = 2 * s / 3; x < s; ++x) {
+      img(x, y) = to_pixel(static_cast<double>(y - y1) / (s - y1));
+    }
+  }
+  return img;
+}
+
+// Elaine: portrait with broad tonal coverage.
+GrayImage gen_elaine(int s) {
+  GrayImage img(s, s);
+  util::Rng rng(seed_for(UsidId::kElaine));
+  gradient_radial(img, s * 0.4, s * 0.35, s * 1.1, 0.7, 0.25);
+  fill_ellipse(img, s * 0.52, s * 0.45, s * 0.19, s * 0.24, 0.66);
+  fill_ellipse(img, s * 0.52, s * 0.23, s * 0.22, s * 0.14, 0.35);  // hair
+  fill_ellipse(img, s * 0.5, s * 0.92, s * 0.34, s * 0.3, 0.55);
+  add_gaussian_blob(img, s * 0.46, s * 0.43, s * 0.04, -0.1);
+  add_gaussian_blob(img, s * 0.6, s * 0.43, s * 0.04, -0.1);
+  add_gaussian_blob(img, s * 0.25, s * 0.75, s * 0.08, 0.25);
+  box_blur(img, std::max(1, s / 128), 1);
+  add_gaussian_noise(img, 0.02, rng);
+  stretch_to_range(img, 0.05, 0.95);
+  return img;
+}
+
+}  // namespace
+
+std::string_view usid_name(UsidId id) noexcept {
+  switch (id) {
+    case UsidId::kLena: return "Lena";
+    case UsidId::kAutumn: return "Autumn";
+    case UsidId::kFootball: return "Football";
+    case UsidId::kPeppers: return "Peppers";
+    case UsidId::kGreens: return "Greens";
+    case UsidId::kPears: return "Pears";
+    case UsidId::kOnion: return "Onion";
+    case UsidId::kTrees: return "Trees";
+    case UsidId::kWest: return "West";
+    case UsidId::kPout: return "Pout";
+    case UsidId::kSail: return "Sail";
+    case UsidId::kSplash: return "Splash";
+    case UsidId::kGirl: return "Girl";
+    case UsidId::kBaboon: return "Baboon";
+    case UsidId::kTreeA: return "TreeA";
+    case UsidId::kHouseA: return "HouseA";
+    case UsidId::kGirlB: return "GirlB";
+    case UsidId::kTestpat: return "Testpat";
+    case UsidId::kElaine: return "Elaine";
+  }
+  return "Unknown";
+}
+
+GrayImage make_usid(UsidId id, int size) {
+  HEBS_REQUIRE(size >= 16, "benchmark images need size >= 16");
+  switch (id) {
+    case UsidId::kLena: return gen_lena(size);
+    case UsidId::kAutumn: return gen_autumn(size);
+    case UsidId::kFootball: return gen_football(size);
+    case UsidId::kPeppers: return gen_peppers(size);
+    case UsidId::kGreens: return gen_greens(size);
+    case UsidId::kPears: return gen_pears(size);
+    case UsidId::kOnion: return gen_onion(size);
+    case UsidId::kTrees: return gen_trees(size);
+    case UsidId::kWest: return gen_west(size);
+    case UsidId::kPout: return gen_pout(size);
+    case UsidId::kSail: return gen_sail(size);
+    case UsidId::kSplash: return gen_splash(size);
+    case UsidId::kGirl: return gen_girl(size);
+    case UsidId::kBaboon: return gen_baboon(size);
+    case UsidId::kTreeA: return gen_tree_a(size);
+    case UsidId::kHouseA: return gen_house_a(size);
+    case UsidId::kGirlB: return gen_girl_b(size);
+    case UsidId::kTestpat: return gen_testpat(size);
+    case UsidId::kElaine: return gen_elaine(size);
+  }
+  throw util::InvalidArgument("unknown UsidId");
+}
+
+std::vector<NamedImage> usid_album(int size) {
+  std::vector<NamedImage> album;
+  album.reserve(kAllUsidIds.size());
+  for (UsidId id : kAllUsidIds) {
+    album.push_back({std::string(usid_name(id)), make_usid(id, size)});
+  }
+  return album;
+}
+
+std::vector<NamedImage> usid_figure8_subset(int size) {
+  const std::array<UsidId, 6> subset = {
+      UsidId::kLena,   UsidId::kPeppers, UsidId::kBaboon,
+      UsidId::kSplash, UsidId::kSail,    UsidId::kTestpat,
+  };
+  std::vector<NamedImage> out;
+  out.reserve(subset.size());
+  for (UsidId id : subset) {
+    out.push_back({std::string(usid_name(id)), make_usid(id, size)});
+  }
+  return out;
+}
+
+RgbImage make_usid_color(UsidId id, int size) {
+  const GrayImage luma = make_usid(id, size);
+  // Two low-frequency chroma fields steer the red/blue balance; green
+  // follows so that BT.601 luma stays close to the grayscale original.
+  const ValueNoise chroma_u(seed_for(id) + 0xC01);
+  const ValueNoise chroma_v(seed_for(id) + 0xC02);
+  RgbImage out(size, size);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const double base = luma(x, y) / 255.0;
+      const double u =
+          0.25 * (chroma_u.fbm(x / (size / 4.0), y / (size / 4.0), 2) - 0.5);
+      const double v =
+          0.25 * (chroma_v.fbm(x / (size / 4.0), y / (size / 4.0), 2) - 0.5);
+      const double r = util::clamp01(base + u);
+      const double b = util::clamp01(base + v);
+      // Solve 0.299 r + 0.587 g + 0.114 b = base for g, clamped.
+      const double g =
+          util::clamp01((base - 0.299 * r - 0.114 * b) / 0.587);
+      out.set(x, y, {to_pixel(r), to_pixel(g), to_pixel(b)});
+    }
+  }
+  return out;
+}
+
+std::vector<GrayImage> make_video_clip(int frames, int size,
+                                       std::uint64_t seed) {
+  HEBS_REQUIRE(frames >= 1, "clip needs at least one frame");
+  HEBS_REQUIRE(size >= 16, "clip frames need size >= 16");
+  std::vector<GrayImage> clip;
+  clip.reserve(static_cast<std::size_t>(frames));
+  const ValueNoise noise(seed);
+  for (int f = 0; f < frames; ++f) {
+    GrayImage frame(size, size);
+    // A panning textured scene whose overall brightness breathes slowly,
+    // with an abrupt "scene cut" to a darker setting two-thirds in.
+    const double pan = 0.08 * f;
+    const bool second_scene = f >= 2 * frames / 3;
+    const double base = second_scene ? 0.25 : 0.55;
+    const double breathe =
+        0.12 * std::sin(2.0 * 3.14159265 * f / std::max(8, frames / 2));
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        const double v = noise.fbm((x + pan * size) / (size / 8.0),
+                                   y / (size / 8.0), 4);
+        frame(x, y) = to_pixel(base + breathe + 0.35 * (v - 0.5));
+      }
+    }
+    // A bright moving object.
+    const double ox = size * (0.2 + 0.6 * f / std::max(1, frames - 1));
+    add_gaussian_blob(frame, ox, size * 0.5, size * 0.06, 0.4);
+    clip.push_back(std::move(frame));
+  }
+  return clip;
+}
+
+}  // namespace hebs::image

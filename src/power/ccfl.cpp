@@ -1,0 +1,54 @@
+#include "power/ccfl.h"
+
+#include <algorithm>
+
+#include "fit/regression.h"
+#include "util/error.h"
+
+namespace hebs::power {
+
+CcflModel::CcflModel(const Coefficients& coeffs) : coeffs_(coeffs) {
+  HEBS_REQUIRE(coeffs.c_s > 0.0 && coeffs.c_s < 1.0,
+               "saturation knee must lie inside (0, 1)");
+  HEBS_REQUIRE(coeffs.a_lin > 0.0 && coeffs.a_sat > 0.0,
+               "power must increase with backlight factor");
+}
+
+CcflModel CcflModel::lp064v1() {
+  return CcflModel({.c_s = 0.8234,
+                    .a_lin = 1.9600,
+                    .c_lin = -0.2372,
+                    .a_sat = 6.9440,
+                    .c_sat = -4.3240});
+}
+
+CcflModel CcflModel::fit(std::span<const double> betas,
+                         std::span<const double> watts) {
+  const fit::TwoPieceLinear two_piece = fit::fit_two_piece(betas, watts);
+  return CcflModel({.c_s = two_piece.breakpoint,
+                    .a_lin = two_piece.lo.slope,
+                    .c_lin = two_piece.lo.intercept,
+                    .a_sat = two_piece.hi.slope,
+                    .c_sat = two_piece.hi.intercept});
+}
+
+double CcflModel::power(double beta) const {
+  HEBS_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must be in [0, 1]");
+  const double p = beta <= coeffs_.c_s
+                       ? coeffs_.a_lin * beta + coeffs_.c_lin
+                       : coeffs_.a_sat * beta + coeffs_.c_sat;
+  return std::max(p, 0.0);
+}
+
+double CcflModel::beta_at_power(double watts) const {
+  HEBS_REQUIRE(watts >= 0.0, "power must be non-negative");
+  if (watts >= full_power()) return 1.0;
+  // Invert the saturation piece first (it covers the highest powers).
+  const double knee_power = power(coeffs_.c_s);
+  if (watts > knee_power) {
+    return std::clamp((watts - coeffs_.c_sat) / coeffs_.a_sat, 0.0, 1.0);
+  }
+  return std::clamp((watts - coeffs_.c_lin) / coeffs_.a_lin, 0.0, 1.0);
+}
+
+}  // namespace hebs::power

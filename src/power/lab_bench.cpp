@@ -1,0 +1,80 @@
+#include "power/lab_bench.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/ccfl.h"
+#include "power/tft_panel.h"
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::power {
+
+namespace {
+
+// Softplus-style blend of the two affine CCFL pieces; `sharpness`
+// controls how crisp the saturation knee is (higher = crisper).
+double soft_knee_ccfl(double beta, const CcflModel::Coefficients& c,
+                      double sharpness) {
+  const double lin = c.a_lin * beta + c.c_lin;
+  const double sat = c.a_sat * beta + c.c_sat;
+  // log-sum-exp max approximation keeps the curve smooth and monotone.
+  const double m = std::max(lin, sat);
+  const double blended =
+      m + std::log(std::exp((lin - m) * sharpness) +
+                   std::exp((sat - m) * sharpness)) /
+              sharpness;
+  return std::max(blended, 0.0);
+}
+
+}  // namespace
+
+std::vector<Sample> measure_ccfl(const BenchOptions& opts, double beta_min) {
+  HEBS_REQUIRE(opts.points >= 8, "need at least 8 sweep points");
+  HEBS_REQUIRE(beta_min > 0.0 && beta_min < 1.0, "invalid sweep start");
+  util::Rng rng(opts.seed);
+  const auto coeffs = CcflModel::lp064v1().coefficients();
+  std::vector<Sample> samples;
+  samples.reserve(static_cast<std::size_t>(opts.points));
+  for (double beta :
+       util::linspace(beta_min, 1.0, static_cast<std::size_t>(opts.points))) {
+    const double truth = soft_knee_ccfl(beta, coeffs, 60.0);
+    const double measured =
+        std::max(0.0, truth + rng.gaussian(0.0, opts.noise_watts));
+    samples.push_back({beta, measured});
+  }
+  return samples;
+}
+
+std::vector<Sample> measure_panel(const BenchOptions& opts) {
+  HEBS_REQUIRE(opts.points >= 4, "need at least 4 sweep points");
+  util::Rng rng(opts.seed + 1);
+  const TftPanelModel panel = TftPanelModel::lp064v1();
+  std::vector<Sample> samples;
+  samples.reserve(static_cast<std::size_t>(opts.points));
+  for (double t :
+       util::linspace(0.1, 1.0, static_cast<std::size_t>(opts.points))) {
+    const double truth = panel.pixel_power(t);
+    const double measured =
+        std::max(0.0, truth + rng.gaussian(0.0, opts.noise_watts));
+    samples.push_back({t, measured});
+  }
+  return samples;
+}
+
+void split_samples(const std::vector<Sample>& samples,
+                   std::vector<double>& xs, std::vector<double>& ys) {
+  std::vector<Sample> sorted = samples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Sample& a, const Sample& b) { return a.x < b.x; });
+  xs.clear();
+  ys.clear();
+  xs.reserve(sorted.size());
+  ys.reserve(sorted.size());
+  for (const Sample& s : sorted) {
+    xs.push_back(s.x);
+    ys.push_back(s.y);
+  }
+}
+
+}  // namespace hebs::power

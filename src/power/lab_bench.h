@@ -1,0 +1,47 @@
+// Synthetic measurement campaign ("lab bench") for the power models.
+//
+// The paper characterizes the LP064V1 by physical current/power
+// measurement (Figures 6a and 6b) and then fits Eq. 11 / Eq. 12.  We do
+// not have the hardware, so this module simulates the bench: it samples
+// a ground-truth device (the published models plus lamp physics
+// perturbations and instrument noise) and the Fig. 6 benchmarks re-fit
+// the models from those samples, reproducing the characterization flow
+// end to end.  See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hebs::power {
+
+/// One measured sample of a device transfer curve.
+struct Sample {
+  double x = 0.0;  ///< independent variable (β or transmittance)
+  double y = 0.0;  ///< measured power in watts
+};
+
+/// Options for the simulated measurement campaigns.
+struct BenchOptions {
+  int points = 25;            ///< number of samples across the sweep
+  double noise_watts = 0.01;  ///< 1-sigma instrument noise
+  std::uint64_t seed = 65;    ///< RNG seed (65 = the app-note number
+                              ///< of ref [13], for flavor)
+};
+
+/// Sweeps the backlight factor over [beta_min, 1] and "measures" CCFL
+/// power with instrument noise.  Ground truth is the LP064V1 model with
+/// a mild soft-knee blending (real lamps do not have a perfectly sharp
+/// saturation corner).
+std::vector<Sample> measure_ccfl(const BenchOptions& opts = {},
+                                 double beta_min = 0.05);
+
+/// Sweeps panel global transmittance over [0.1, 1] and "measures" panel
+/// power with instrument noise around the LP064V1 quadratic.
+std::vector<Sample> measure_panel(const BenchOptions& opts = {});
+
+/// Splits samples into x and y vectors (sorted by x) for the fitters.
+void split_samples(const std::vector<Sample>& samples,
+                   std::vector<double>& xs, std::vector<double>& ys);
+
+}  // namespace hebs::power

@@ -1,0 +1,63 @@
+#include "power/lcd_power.h"
+
+#include "util/error.h"
+
+namespace hebs::power {
+
+LcdSubsystemPower::LcdSubsystemPower(CcflModel ccfl, TftPanelModel panel)
+    : ccfl_(std::move(ccfl)), panel_(std::move(panel)) {}
+
+LcdSubsystemPower LcdSubsystemPower::lp064v1() {
+  return {CcflModel::lp064v1(), TftPanelModel::lp064v1()};
+}
+
+PowerBreakdown LcdSubsystemPower::frame_power(
+    const hebs::image::GrayImage& frame, double beta) const {
+  return frame_power(hebs::histogram::Histogram::from_image(frame), beta);
+}
+
+PowerBreakdown LcdSubsystemPower::frame_power(
+    const hebs::histogram::Histogram& hist, double beta) const {
+  PowerBreakdown p;
+  p.ccfl_watts = ccfl_.power(beta);
+  p.panel_watts = panel_.image_power(hist);
+  return p;
+}
+
+double LcdSubsystemPower::saving_percent(
+    const hebs::image::GrayImage& original,
+    const hebs::image::GrayImage& transformed, double beta) const {
+  return saving_percent(hebs::histogram::Histogram::from_image(original),
+                        hebs::histogram::Histogram::from_image(transformed),
+                        beta);
+}
+
+double LcdSubsystemPower::saving_percent(
+    const hebs::histogram::Histogram& original,
+    const hebs::histogram::Histogram& transformed, double beta) const {
+  return 100.0 * (1.0 - normalized_power(original, transformed, beta));
+}
+
+double LcdSubsystemPower::normalized_power(
+    const hebs::histogram::Histogram& original,
+    const hebs::histogram::Histogram& transformed, double beta) const {
+  const double before = frame_power(original, 1.0).total();
+  const double after = frame_power(transformed, beta).total();
+  HEBS_REQUIRE(before > 0.0, "reference frame consumes no power");
+  return after / before;
+}
+
+double LcdSubsystemPower::clip_energy_joules(
+    const std::vector<hebs::image::GrayImage>& frames,
+    const std::vector<double>& betas, double frame_seconds) const {
+  HEBS_REQUIRE(frames.size() == betas.size(),
+               "one backlight factor per frame required");
+  HEBS_REQUIRE(frame_seconds > 0.0, "frame duration must be positive");
+  double joules = 0.0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    joules += frame_power(frames[i], betas[i]).total() * frame_seconds;
+  }
+  return joules;
+}
+
+}  // namespace hebs::power

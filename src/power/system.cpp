@@ -1,0 +1,55 @@
+#include "power/system.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hebs::power {
+
+SystemPowerProfile SystemPowerProfile::smartbadge() { return {}; }
+
+double SystemPowerProfile::display_fraction(SystemMode mode) const {
+  switch (mode) {
+    case SystemMode::kActive: return display_fraction_active;
+    case SystemMode::kIdle: return display_fraction_idle;
+    case SystemMode::kStandby: return display_fraction_standby;
+  }
+  throw util::InvalidArgument("unknown system mode");
+}
+
+double system_saving_percent(const SystemPowerProfile& profile,
+                             SystemMode mode,
+                             double display_saving_percent) {
+  HEBS_REQUIRE(display_saving_percent >= 0.0 &&
+                   display_saving_percent <= 100.0,
+               "display saving must be a percentage");
+  return profile.display_fraction(mode) * display_saving_percent;
+}
+
+BatteryModel::BatteryModel(double capacity_wh, double reference_watts,
+                           double peukert)
+    : capacity_wh_(capacity_wh),
+      reference_watts_(reference_watts),
+      peukert_(peukert) {
+  HEBS_REQUIRE(capacity_wh > 0.0, "capacity must be positive");
+  HEBS_REQUIRE(reference_watts > 0.0, "reference load must be positive");
+  HEBS_REQUIRE(peukert >= 1.0 && peukert < 2.0,
+               "Peukert exponent must be in [1, 2)");
+}
+
+double BatteryModel::runtime_hours(double watts) const {
+  HEBS_REQUIRE(watts > 0.0, "load must be positive");
+  // Deliverable energy shrinks at loads above the reference rate.
+  const double deliverable =
+      capacity_wh_ * std::pow(reference_watts_ / watts, peukert_ - 1.0);
+  return deliverable / watts;
+}
+
+double BatteryModel::runtime_extension_percent(double watts_before,
+                                               double watts_after) const {
+  const double before = runtime_hours(watts_before);
+  const double after = runtime_hours(watts_after);
+  return 100.0 * (after - before) / before;
+}
+
+}  // namespace hebs::power

@@ -1,0 +1,44 @@
+#include "power/tft_panel.h"
+
+#include "fit/regression.h"
+#include "util/error.h"
+
+namespace hebs::power {
+
+TftPanelModel::TftPanelModel(const Coefficients& coeffs) : coeffs_(coeffs) {
+  HEBS_REQUIRE(coeffs.c > 0.0, "panel must consume power at x = 0");
+}
+
+TftPanelModel TftPanelModel::lp064v1() {
+  return TftPanelModel({.a = 0.02449, .b = 0.04984, .c = 0.993});
+}
+
+TftPanelModel TftPanelModel::fit(std::span<const double> transmittance,
+                                 std::span<const double> watts) {
+  const fit::Poly poly = fit::polyfit(transmittance, watts, 2);
+  return TftPanelModel(
+      {.a = poly.coeffs[2], .b = poly.coeffs[1], .c = poly.coeffs[0]});
+}
+
+double TftPanelModel::pixel_power(double x) const {
+  HEBS_REQUIRE(x >= 0.0 && x <= 1.0, "pixel value must be normalized");
+  return coeffs_.a * x * x + coeffs_.b * x + coeffs_.c;
+}
+
+double TftPanelModel::image_power(const hebs::image::GrayImage& img) const {
+  return image_power(hebs::histogram::Histogram::from_image(img));
+}
+
+double TftPanelModel::image_power(
+    const hebs::histogram::Histogram& hist) const {
+  HEBS_REQUIRE(!hist.empty(), "panel power of an empty histogram");
+  double acc = 0.0;
+  for (int level = 0; level < hebs::histogram::Histogram::kBins; ++level) {
+    const double x =
+        static_cast<double>(level) / hebs::image::kMaxPixel;
+    acc += pixel_power(x) * static_cast<double>(hist.count(level));
+  }
+  return acc / static_cast<double>(hist.total());
+}
+
+}  // namespace hebs::power

@@ -1,0 +1,73 @@
+#include "quality/contrast_fidelity.h"
+
+#include <cmath>
+#include <vector>
+
+#include "quality/window_stats.h"
+#include "util/error.h"
+
+namespace hebs::quality {
+
+namespace {
+
+double fidelity_impl(std::span<const double> a, std::span<const double> b,
+                     int width, int height,
+                     const ContrastFidelityOptions& opts) {
+  HEBS_REQUIRE(opts.block_size >= 2, "block size must be >= 2");
+  HEBS_REQUIRE(opts.stride >= 1, "stride must be >= 1");
+  HEBS_REQUIRE(width >= opts.block_size && height >= opts.block_size,
+               "image smaller than the fidelity window");
+  const PairStats stats(a, b, width, height);
+  double kept = 0.0;
+  double total = 0.0;
+  for (int y = 0; y + opts.block_size <= height; y += opts.stride) {
+    for (int x = 0; x + opts.block_size <= width; x += opts.stride) {
+      const WindowMoments m = stats.window(x, y, opts.block_size);
+      const double sigma_a = std::sqrt(m.var_a);
+      const double sigma_b = std::sqrt(m.var_b);
+      kept += std::min(sigma_a, sigma_b);
+      total += sigma_a;
+    }
+  }
+  // A perfectly flat original has no contrast to lose.
+  return total > 0.0 ? kept / total : 1.0;
+}
+
+}  // namespace
+
+double contrast_fidelity(const hebs::image::GrayImage& original,
+                         const hebs::image::GrayImage& displayed,
+                         const ContrastFidelityOptions& opts) {
+  HEBS_REQUIRE(!original.empty() && !displayed.empty(),
+               "fidelity of empty image");
+  HEBS_REQUIRE(original.width() == displayed.width() &&
+                   original.height() == displayed.height(),
+               "fidelity needs equal-size images");
+  std::vector<double> va(original.size());
+  std::vector<double> vb(displayed.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    va[i] = static_cast<double>(original.pixels()[i]);
+    vb[i] = static_cast<double>(displayed.pixels()[i]);
+  }
+  return fidelity_impl(va, vb, original.width(), original.height(), opts);
+}
+
+double contrast_fidelity(const hebs::image::FloatImage& original,
+                         const hebs::image::FloatImage& displayed,
+                         const ContrastFidelityOptions& opts) {
+  HEBS_REQUIRE(!original.empty() && !displayed.empty(),
+               "fidelity of empty image");
+  HEBS_REQUIRE(original.width() == displayed.width() &&
+                   original.height() == displayed.height(),
+               "fidelity needs equal-size images");
+  return fidelity_impl(original.values(), displayed.values(),
+                       original.width(), original.height(), opts);
+}
+
+double contrast_distortion_percent(const hebs::image::GrayImage& original,
+                                   const hebs::image::GrayImage& displayed,
+                                   const ContrastFidelityOptions& opts) {
+  return (1.0 - contrast_fidelity(original, displayed, opts)) * 100.0;
+}
+
+}  // namespace hebs::quality

@@ -1,0 +1,71 @@
+#include "quality/distortion.h"
+
+#include <cmath>
+
+#include "quality/metrics.h"
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::quality {
+
+const char* metric_name(Metric m) noexcept {
+  switch (m) {
+    case Metric::kUiqiHvs: return "UIQI+HVS";
+    case Metric::kUiqi: return "UIQI";
+    case Metric::kSsim: return "SSIM";
+    case Metric::kSsimHvs: return "SSIM+HVS";
+    case Metric::kRmse: return "RMSE";
+    case Metric::kContrastFidelity: return "ContrastFidelity";
+    case Metric::kMsSsim: return "MS-SSIM";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double index_to_percent(double q) {
+  // Quality indices live in [-1, 1] with 1 = identical.
+  return util::clamp((1.0 - q) / 2.0 * 100.0, 0.0, 100.0);
+}
+
+}  // namespace
+
+double distortion_percent(const hebs::image::FloatImage& reference,
+                          const hebs::image::FloatImage& test,
+                          const DistortionOptions& opts) {
+  switch (opts.metric) {
+    case Metric::kUiqi:
+      return index_to_percent(uiqi(reference, test, opts.uiqi));
+    case Metric::kUiqiHvs:
+      return index_to_percent(uiqi(hvs_transform(reference, opts.hvs),
+                                   hvs_transform(test, opts.hvs),
+                                   opts.uiqi));
+    case Metric::kSsim:
+      return index_to_percent(ssim(reference, test, opts.ssim));
+    case Metric::kSsimHvs:
+      return index_to_percent(ssim(hvs_transform(reference, opts.hvs),
+                                   hvs_transform(test, opts.hvs),
+                                   opts.ssim));
+    case Metric::kRmse: {
+      const double m = std::sqrt(mse(reference, test));
+      return util::clamp(m * 100.0, 0.0, 100.0);
+    }
+    case Metric::kContrastFidelity:
+      return util::clamp(
+          (1.0 - contrast_fidelity(reference, test, opts.contrast)) * 100.0,
+          0.0, 100.0);
+    case Metric::kMsSsim:
+      return index_to_percent(
+          ms_ssim(reference.to_gray(), test.to_gray(), opts.ms_ssim));
+  }
+  throw util::InvalidArgument("unknown distortion metric");
+}
+
+double distortion_percent(const hebs::image::GrayImage& reference,
+                          const hebs::image::GrayImage& test,
+                          const DistortionOptions& opts) {
+  return distortion_percent(hebs::image::FloatImage::from_gray(reference),
+                            hebs::image::FloatImage::from_gray(test), opts);
+}
+
+}  // namespace hebs::quality

@@ -1,0 +1,58 @@
+// Unified distortion front end.
+//
+// Everything downstream (the distortion characteristic curve, the HEBS
+// policy, the baselines, Table 1 and Figures 7/8) quantifies image
+// distortion as a percentage in [0, 100].  This header defines the
+// conversion from each underlying quality metric to that percentage and
+// gives all modules a single switchable entry point, which also powers
+// the metric-ablation benchmark (the paper's stated future work).
+#pragma once
+
+#include "image/image.h"
+#include "quality/contrast_fidelity.h"
+#include "quality/hvs.h"
+#include "quality/ms_ssim.h"
+#include "quality/ssim.h"
+#include "quality/uiqi.h"
+
+namespace hebs::quality {
+
+/// Selectable distortion measures.
+enum class Metric {
+  kUiqiHvs,           ///< paper default: UIQI on HVS-transformed rasters
+  kUiqi,              ///< plain UIQI on pixel values
+  kSsim,              ///< SSIM (ref [6]; the paper's future-work metric)
+  kSsimHvs,           ///< SSIM on HVS-transformed rasters
+  kRmse,              ///< root mean squared pixel error, scaled to percent
+  kContrastFidelity,  ///< (1 - contrast fidelity), the CBCS measure [5]
+  kMsSsim,            ///< multi-scale SSIM (viewing-distance robust)
+};
+
+/// Human-readable metric name (for tables and CSV headers).
+const char* metric_name(Metric m) noexcept;
+
+/// Options for distortion evaluation.
+struct DistortionOptions {
+  Metric metric = Metric::kUiqiHvs;
+  UiqiOptions uiqi;
+  SsimOptions ssim;
+  HvsOptions hvs;
+  ContrastFidelityOptions contrast;
+  MsSsimOptions ms_ssim;
+};
+
+/// Distortion percentage in [0, 100] between a reference image and a
+/// test image; 0 iff identical (up to metric degeneracies).
+/// Index-based metrics (UIQI/SSIM, range [-1, 1]) map as (1 - q)/2 * 100;
+/// RMSE maps as rmse/255 * 100.
+double distortion_percent(const hebs::image::GrayImage& reference,
+                          const hebs::image::GrayImage& test,
+                          const DistortionOptions& opts = {});
+
+/// Distortion between displayed-luminance rasters (used when comparing
+/// what the panel actually emits under backlight scaling).
+double distortion_percent(const hebs::image::FloatImage& reference,
+                          const hebs::image::FloatImage& test,
+                          const DistortionOptions& opts = {});
+
+}  // namespace hebs::quality

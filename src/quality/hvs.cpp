@@ -1,0 +1,85 @@
+#include "quality/hvs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/mathutil.h"
+
+namespace hebs::quality {
+
+double lightness(double y) noexcept {
+  y = util::clamp01(y);
+  // CIE 1976 L*: linear below the (6/29)^3 knee, cube root above.
+  constexpr double kKnee = 216.0 / 24389.0;   // (6/29)^3
+  constexpr double kSlope = 24389.0 / 27.0;   // (29/3)^3
+  const double l =
+      y > kKnee ? 116.0 * std::cbrt(y) - 16.0 : kSlope * y;
+  return l / 100.0;
+}
+
+namespace {
+
+// Separable Gaussian blur on a double raster with clamped borders.
+hebs::image::FloatImage gaussian_blur(const hebs::image::FloatImage& in,
+                                      double sigma) {
+  const int w = in.width();
+  const int h = in.height();
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<double> kernel(static_cast<std::size_t>(2 * radius) + 1);
+  double norm = 0.0;
+  for (int k = -radius; k <= radius; ++k) {
+    const double v = std::exp(-(k * k) / (2.0 * sigma * sigma));
+    kernel[static_cast<std::size_t>(k + radius)] = v;
+    norm += v;
+  }
+  for (auto& v : kernel) v /= norm;
+
+  hebs::image::FloatImage tmp(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        const int xx = std::clamp(x + k, 0, w - 1);
+        acc += kernel[static_cast<std::size_t>(k + radius)] * in(xx, y);
+      }
+      tmp(x, y) = acc;
+    }
+  }
+  hebs::image::FloatImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        const int yy = std::clamp(y + k, 0, h - 1);
+        acc += kernel[static_cast<std::size_t>(k + radius)] * tmp(x, yy);
+      }
+      out(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+hebs::image::FloatImage hvs_transform(const hebs::image::FloatImage& lum,
+                                      const HvsOptions& opts) {
+  hebs::image::FloatImage out(lum.width(), lum.height());
+  const auto src = lum.values();
+  auto dst = out.values();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = opts.lightness_mapping ? lightness(src[i])
+                                    : util::clamp01(src[i]);
+  }
+  if (opts.csf_sigma > 0.0) {
+    out = gaussian_blur(out, opts.csf_sigma);
+  }
+  return out;
+}
+
+hebs::image::FloatImage hvs_transform(const hebs::image::GrayImage& img,
+                                      const HvsOptions& opts) {
+  return hvs_transform(hebs::image::FloatImage::from_gray(img), opts);
+}
+
+}  // namespace hebs::quality

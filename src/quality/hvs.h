@@ -1,0 +1,43 @@
+// Human-visual-system model for distortion measurement.
+//
+// The paper argues (§2, §3) that a correct distortion measure "should
+// appropriately combine the mathematical difference between pixel values
+// ... and the characteristics of the human visual system", citing the
+// transform-then-compare approach of ref [6] with an HVS model from
+// Pratt [9].  This module implements the standard two-stage front end:
+//
+//  1. Luminance -> lightness nonlinearity: CIE L* (cube-root law), which
+//     models Weber-Fechner brightness compression — equal luminance
+//     errors in the dark are more visible than in the bright.
+//  2. An optional Gaussian low-pass prefilter approximating the eye's
+//     contrast sensitivity roll-off at high spatial frequencies.
+//
+// Quality metrics are then evaluated on the transformed rasters.
+#pragma once
+
+#include "image/image.h"
+
+namespace hebs::quality {
+
+/// Parameters of the HVS front end.
+struct HvsOptions {
+  /// Gaussian prefilter sigma in pixels; 0 disables the filter.
+  double csf_sigma = 1.0;
+  /// When false, the L* lightness mapping is skipped.
+  bool lightness_mapping = true;
+};
+
+/// Applies the HVS front end to a normalized-luminance raster; the result
+/// is a normalized "perceived lightness" raster in [0, 1].
+hebs::image::FloatImage hvs_transform(const hebs::image::FloatImage& lum,
+                                      const HvsOptions& opts = {});
+
+/// Convenience overload for 8-bit images (treated as normalized
+/// luminance X/255).
+hebs::image::FloatImage hvs_transform(const hebs::image::GrayImage& img,
+                                      const HvsOptions& opts = {});
+
+/// CIE L* lightness of a normalized luminance value, scaled to [0, 1].
+double lightness(double y) noexcept;
+
+}  // namespace hebs::quality

@@ -1,0 +1,84 @@
+#include "quality/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "transform/lut.h"
+#include "util/error.h"
+
+namespace hebs::quality {
+
+namespace {
+void require_compatible(const hebs::image::GrayImage& a,
+                        const hebs::image::GrayImage& b) {
+  HEBS_REQUIRE(!a.empty() && !b.empty(), "metric of empty image");
+  HEBS_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+               "metric needs equal-size images");
+}
+}  // namespace
+
+double mse(const hebs::image::GrayImage& a, const hebs::image::GrayImage& b) {
+  require_compatible(a, b);
+  double acc = 0.0;
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(pa.size());
+}
+
+double rmse(const hebs::image::GrayImage& a,
+            const hebs::image::GrayImage& b) {
+  return std::sqrt(mse(a, b));
+}
+
+double mae(const hebs::image::GrayImage& a, const hebs::image::GrayImage& b) {
+  require_compatible(a, b);
+  double acc = 0.0;
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    acc += std::abs(static_cast<double>(pa[i]) - static_cast<double>(pb[i]));
+  }
+  return acc / static_cast<double>(pa.size());
+}
+
+double psnr(const hebs::image::GrayImage& a,
+            const hebs::image::GrayImage& b) {
+  const double m = mse(a, b);
+  if (m <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+double mse(const hebs::image::FloatImage& a,
+           const hebs::image::FloatImage& b) {
+  HEBS_REQUIRE(!a.empty() && !b.empty(), "metric of empty image");
+  HEBS_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+               "metric needs equal-size images");
+  double acc = 0.0;
+  const auto va = a.values();
+  const auto vb = b.values();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    const double d = va[i] - vb[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(va.size());
+}
+
+double saturated_fraction(const hebs::image::GrayImage& img,
+                          const hebs::transform::Lut& lut) {
+  HEBS_REQUIRE(!img.empty(), "saturated_fraction of empty image");
+  std::size_t saturated = 0;
+  for (std::uint8_t p : img.pixels()) {
+    const std::uint8_t mapped = lut[p];
+    const bool clipped_high = mapped == 255 && p != 255;
+    const bool clipped_low = mapped == 0 && p != 0;
+    if (clipped_high || clipped_low) ++saturated;
+  }
+  return static_cast<double>(saturated) /
+         static_cast<double>(img.size());
+}
+
+}  // namespace hebs::quality

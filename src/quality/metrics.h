@@ -1,0 +1,35 @@
+// Pixelwise error metrics (MSE/RMSE/PSNR/MAE) and the saturated-pixel
+// count used by the DLS baseline's distortion definition (ref [4]:
+// "image distortion ... is evaluated by the percentage of saturated
+// pixels").
+#pragma once
+
+#include "image/image.h"
+#include "transform/transform_fwd.h"
+
+namespace hebs::quality {
+
+/// Mean squared error of pixel values (0..255 scale).
+double mse(const hebs::image::GrayImage& a, const hebs::image::GrayImage& b);
+
+/// Root mean squared error of pixel values (0..255 scale).
+double rmse(const hebs::image::GrayImage& a, const hebs::image::GrayImage& b);
+
+/// Mean absolute error of pixel values (0..255 scale).
+double mae(const hebs::image::GrayImage& a, const hebs::image::GrayImage& b);
+
+/// Peak signal-to-noise ratio in dB (peak = 255). Returns +inf when the
+/// images are identical.
+double psnr(const hebs::image::GrayImage& a, const hebs::image::GrayImage& b);
+
+/// MSE over normalized-luminance rasters.
+double mse(const hebs::image::FloatImage& a, const hebs::image::FloatImage& b);
+
+/// Fraction (0..1) of pixels of `img` that a pixel transformation drives
+/// to full saturation (255) or full black (0) even though the source
+/// pixel was not already there.  This is the distortion proxy used by the
+/// DLS dimming policies of reference [4].
+double saturated_fraction(const hebs::image::GrayImage& img,
+                          const hebs::transform::Lut& lut);
+
+}  // namespace hebs::quality

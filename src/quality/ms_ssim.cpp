@@ -1,0 +1,111 @@
+#include "quality/ms_ssim.h"
+
+#include <cmath>
+#include <vector>
+
+#include "image/ops.h"
+#include "quality/window_stats.h"
+#include "util/error.h"
+
+namespace hebs::quality {
+
+namespace {
+
+// Standard MS-SSIM per-scale exponents (Wang et al. 2003), renormalized
+// over however many scales the image size allows.
+constexpr double kExponents[5] = {0.0448, 0.2856, 0.3001, 0.2363, 0.1333};
+
+/// Mean contrast-structure term (SSIM without the luminance factor) and
+/// mean full SSIM for one scale.
+struct ScaleScores {
+  double contrast_structure = 0.0;
+  double full = 0.0;
+};
+
+ScaleScores scale_scores(const hebs::image::GrayImage& a,
+                         const hebs::image::GrayImage& b,
+                         const SsimOptions& opts) {
+  const double c1 = (opts.k1 * 255.0) * (opts.k1 * 255.0);
+  const double c2 = (opts.k2 * 255.0) * (opts.k2 * 255.0);
+  std::vector<double> va(a.size());
+  std::vector<double> vb(b.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    va[i] = static_cast<double>(a.pixels()[i]);
+    vb[i] = static_cast<double>(b.pixels()[i]);
+  }
+  const PairStats stats(va, vb, a.width(), a.height());
+  ScaleScores scores;
+  std::size_t windows = 0;
+  for (int y = 0; y + opts.block_size <= a.height(); y += opts.stride) {
+    for (int x = 0; x + opts.block_size <= a.width(); x += opts.stride) {
+      const WindowMoments m = stats.window(x, y, opts.block_size);
+      const double cs = (2.0 * m.cov_ab + c2) / (m.var_a + m.var_b + c2);
+      const double lum = (2.0 * m.mean_a * m.mean_b + c1) /
+                         (m.mean_a * m.mean_a + m.mean_b * m.mean_b + c1);
+      scores.contrast_structure += cs;
+      scores.full += lum * cs;
+      ++windows;
+    }
+  }
+  if (windows > 0) {
+    scores.contrast_structure /= static_cast<double>(windows);
+    scores.full /= static_cast<double>(windows);
+  }
+  return scores;
+}
+
+hebs::image::GrayImage downsample2(const hebs::image::GrayImage& img) {
+  return hebs::image::resize_bilinear(img, std::max(1, img.width() / 2),
+                                      std::max(1, img.height() / 2));
+}
+
+}  // namespace
+
+double ms_ssim(const hebs::image::GrayImage& a,
+               const hebs::image::GrayImage& b, const MsSsimOptions& opts) {
+  HEBS_REQUIRE(!a.empty() && !b.empty(), "MS-SSIM of empty image");
+  HEBS_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+               "MS-SSIM needs equal-size images");
+  HEBS_REQUIRE(opts.scales >= 1 && opts.scales <= 5,
+               "scales must be in 1..5");
+
+  // Clamp the scale count so the smallest level still fits one window.
+  int usable = 1;
+  {
+    int w = a.width();
+    int h = a.height();
+    for (int s = 1; s < opts.scales; ++s) {
+      w /= 2;
+      h /= 2;
+      if (w < opts.ssim.block_size || h < opts.ssim.block_size) break;
+      usable = s + 1;
+    }
+  }
+  HEBS_REQUIRE(a.width() >= opts.ssim.block_size &&
+                   a.height() >= opts.ssim.block_size,
+               "image smaller than the SSIM window");
+
+  double exponent_sum = 0.0;
+  for (int s = 0; s < usable; ++s) exponent_sum += kExponents[s];
+
+  hebs::image::GrayImage cur_a = a;
+  hebs::image::GrayImage cur_b = b;
+  double product = 1.0;
+  for (int s = 0; s < usable; ++s) {
+    const ScaleScores scores = scale_scores(cur_a, cur_b, opts.ssim);
+    const double weight = kExponents[s] / exponent_sum;
+    // Coarsest scale contributes the full SSIM (with luminance); finer
+    // scales contribute contrast-structure only, per the standard form.
+    const double term =
+        s + 1 == usable ? scores.full : scores.contrast_structure;
+    // Signed power keeps the score defined for (rare) negative terms.
+    product *= std::copysign(std::pow(std::abs(term), weight), term);
+    if (s + 1 < usable) {
+      cur_a = downsample2(cur_a);
+      cur_b = downsample2(cur_b);
+    }
+  }
+  return product;
+}
+
+}  // namespace hebs::quality

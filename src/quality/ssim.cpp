@@ -1,0 +1,66 @@
+#include "quality/ssim.h"
+
+#include <vector>
+
+#include "quality/window_stats.h"
+#include "util/error.h"
+
+namespace hebs::quality {
+
+namespace {
+
+double ssim_impl(std::span<const double> a, std::span<const double> b,
+                 int width, int height, double dynamic_range,
+                 const SsimOptions& opts) {
+  HEBS_REQUIRE(opts.block_size >= 2, "SSIM block size must be >= 2");
+  HEBS_REQUIRE(opts.stride >= 1, "SSIM stride must be >= 1");
+  HEBS_REQUIRE(width >= opts.block_size && height >= opts.block_size,
+               "image smaller than the SSIM window");
+  const double c1 =
+      (opts.k1 * dynamic_range) * (opts.k1 * dynamic_range);
+  const double c2 =
+      (opts.k2 * dynamic_range) * (opts.k2 * dynamic_range);
+  const PairStats stats(a, b, width, height);
+
+  double acc = 0.0;
+  std::size_t windows = 0;
+  for (int y = 0; y + opts.block_size <= height; y += opts.stride) {
+    for (int x = 0; x + opts.block_size <= width; x += opts.stride) {
+      const WindowMoments m = stats.window(x, y, opts.block_size);
+      const double num = (2.0 * m.mean_a * m.mean_b + c1) *
+                         (2.0 * m.cov_ab + c2);
+      const double den =
+          (m.mean_a * m.mean_a + m.mean_b * m.mean_b + c1) *
+          (m.var_a + m.var_b + c2);
+      acc += num / den;
+      ++windows;
+    }
+  }
+  return windows > 0 ? acc / static_cast<double>(windows) : 1.0;
+}
+
+}  // namespace
+
+double ssim(const hebs::image::GrayImage& a, const hebs::image::GrayImage& b,
+            const SsimOptions& opts) {
+  HEBS_REQUIRE(!a.empty() && !b.empty(), "SSIM of empty image");
+  HEBS_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+               "SSIM needs equal-size images");
+  std::vector<double> va(a.size());
+  std::vector<double> vb(b.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    va[i] = static_cast<double>(a.pixels()[i]);
+    vb[i] = static_cast<double>(b.pixels()[i]);
+  }
+  return ssim_impl(va, vb, a.width(), a.height(), 255.0, opts);
+}
+
+double ssim(const hebs::image::FloatImage& a,
+            const hebs::image::FloatImage& b, const SsimOptions& opts) {
+  HEBS_REQUIRE(!a.empty() && !b.empty(), "SSIM of empty image");
+  HEBS_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+               "SSIM needs equal-size images");
+  return ssim_impl(a.values(), b.values(), a.width(), a.height(), 1.0, opts);
+}
+
+}  // namespace hebs::quality

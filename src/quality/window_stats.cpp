@@ -1,0 +1,71 @@
+#include "quality/window_stats.h"
+
+#include "util/error.h"
+
+namespace hebs::quality {
+
+IntegralImage::IntegralImage(std::span<const double> values, int width,
+                             int height)
+    : width_(width), height_(height) {
+  HEBS_REQUIRE(width > 0 && height > 0, "integral image needs a raster");
+  HEBS_REQUIRE(values.size() ==
+                   static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+               "raster size mismatch");
+  const std::size_t stride = static_cast<std::size_t>(width) + 1;
+  table_.assign(stride * (static_cast<std::size_t>(height) + 1), 0.0);
+  for (int y = 0; y < height; ++y) {
+    double row = 0.0;
+    for (int x = 0; x < width; ++x) {
+      row += values[static_cast<std::size_t>(y) * width + x];
+      table_[(static_cast<std::size_t>(y) + 1) * stride + x + 1] =
+          table_[static_cast<std::size_t>(y) * stride + x + 1] + row;
+    }
+  }
+}
+
+double IntegralImage::rect_sum(int x0, int y0, int x1, int y1) const noexcept {
+  const std::size_t stride = static_cast<std::size_t>(width_) + 1;
+  const auto at = [this, stride](int x, int y) {
+    return table_[static_cast<std::size_t>(y) * stride + x];
+  };
+  return at(x1 + 1, y1 + 1) - at(x0, y1 + 1) - at(x1 + 1, y0) + at(x0, y0);
+}
+
+PairStats::PairStats(std::span<const double> a, std::span<const double> b,
+                     int width, int height)
+    : sum_a_(a, width, height),
+      sum_b_(b, width, height),
+      sum_aa_([&a] {
+        std::vector<double> sq(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) sq[i] = a[i] * a[i];
+        return sq;
+      }(), width, height),
+      sum_bb_([&b] {
+        std::vector<double> sq(b.size());
+        for (std::size_t i = 0; i < b.size(); ++i) sq[i] = b[i] * b[i];
+        return sq;
+      }(), width, height),
+      sum_ab_([&a, &b] {
+        HEBS_REQUIRE(a.size() == b.size(), "paired rasters must match");
+        std::vector<double> prod(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) prod[i] = a[i] * b[i];
+        return prod;
+      }(), width, height) {}
+
+WindowMoments PairStats::window(int x, int y, int block) const noexcept {
+  const int x1 = x + block - 1;
+  const int y1 = y + block - 1;
+  const double n = static_cast<double>(block) * block;
+  WindowMoments m;
+  m.mean_a = sum_a_.rect_sum(x, y, x1, y1) / n;
+  m.mean_b = sum_b_.rect_sum(x, y, x1, y1) / n;
+  m.var_a = sum_aa_.rect_sum(x, y, x1, y1) / n - m.mean_a * m.mean_a;
+  m.var_b = sum_bb_.rect_sum(x, y, x1, y1) / n - m.mean_b * m.mean_b;
+  m.cov_ab = sum_ab_.rect_sum(x, y, x1, y1) / n - m.mean_a * m.mean_b;
+  // Clamp tiny negative variances caused by floating-point cancellation.
+  if (m.var_a < 0.0) m.var_a = 0.0;
+  if (m.var_b < 0.0) m.var_b = 0.0;
+  return m;
+}
+
+}  // namespace hebs::quality

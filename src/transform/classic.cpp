@@ -1,0 +1,35 @@
+#include "transform/classic.h"
+
+#include "util/error.h"
+
+namespace hebs::transform {
+
+PwlCurve identity_curve() { return PwlCurve::identity(); }
+
+PwlCurve brightness_shift_curve(double beta) {
+  HEBS_REQUIRE(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+  const double shift = 1.0 - beta;
+  if (shift == 0.0) return PwlCurve::identity();
+  // Rises with slope one from (0, shift) until it saturates at x = beta.
+  return PwlCurve({{0.0, shift}, {beta, 1.0}, {1.0, 1.0}});
+}
+
+PwlCurve contrast_stretch_curve(double beta) {
+  HEBS_REQUIRE(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+  if (beta == 1.0) return PwlCurve::identity();
+  // Slope 1/beta from the origin, saturating at x = beta.
+  return PwlCurve({{0.0, 0.0}, {beta, 1.0}, {1.0, 1.0}});
+}
+
+PwlCurve single_band_curve(double g_l, double g_u) {
+  HEBS_REQUIRE(g_l >= 0.0 && g_u <= 1.0 && g_l < g_u,
+               "band must satisfy 0 <= g_l < g_u <= 1");
+  std::vector<CurvePoint> pts;
+  if (g_l > 0.0) pts.push_back({0.0, 0.0});
+  pts.push_back({g_l, 0.0});
+  pts.push_back({g_u, 1.0});
+  if (g_u < 1.0) pts.push_back({1.0, 1.0});
+  return PwlCurve(std::move(pts));
+}
+
+}  // namespace hebs::transform

@@ -1,0 +1,26 @@
+// The classic pixel transformation functions of the paper's Figure 2 and
+// Eqs. 2a/2b/3 — the building blocks of the DLS [4] and CBCS [5]
+// baselines.  All take and return normalized pixel values.
+#pragma once
+
+#include "transform/pwl.h"
+
+namespace hebs::transform {
+
+/// Figure 2a — identity: Φ(x, β) = x.
+PwlCurve identity_curve();
+
+/// Figure 2b / Eq. 2a — "backlight luminance dimming with brightness
+/// compensation": Φ(x, β) = min(1, x + 1 - β).  Requires β in (0, 1].
+PwlCurve brightness_shift_curve(double beta);
+
+/// Figure 2c / Eq. 2b — "backlight luminance dimming with contrast
+/// enhancement": Φ(x, β) = min(1, x / β).  Requires β in (0, 1].
+PwlCurve contrast_stretch_curve(double beta);
+
+/// Figure 2d / Eq. 3 — "single-band grayscale spreading": 0 below g_l,
+/// affine c·x + d between g_l and g_u, 1 above g_u, where (g_l, 0) and
+/// (g_u, 1) are the clipping intersections.  Requires 0 <= g_l < g_u <= 1.
+PwlCurve single_band_curve(double g_l, double g_u);
+
+}  // namespace hebs::transform

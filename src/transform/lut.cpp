@@ -1,0 +1,49 @@
+#include "transform/lut.h"
+
+#include <algorithm>
+
+namespace hebs::transform {
+
+Lut::Lut() noexcept {
+  for (int i = 0; i < kSize; ++i) {
+    table_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  }
+}
+
+hebs::image::GrayImage Lut::apply(const hebs::image::GrayImage& img) const {
+  hebs::image::GrayImage out(img.width(), img.height());
+  auto dst = out.pixels();
+  const auto src = img.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = table_[src[i]];
+  }
+  return out;
+}
+
+Lut Lut::then(const Lut& other) const noexcept {
+  Lut out(*this);
+  for (int i = 0; i < kSize; ++i) {
+    out[i] = other[(*this)[i]];
+  }
+  return out;
+}
+
+bool Lut::is_monotonic() const noexcept {
+  for (int i = 1; i < kSize; ++i) {
+    if (table_[static_cast<std::size_t>(i)] <
+        table_[static_cast<std::size_t>(i - 1)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint8_t Lut::min_output() const noexcept {
+  return *std::min_element(table_.begin(), table_.end());
+}
+
+std::uint8_t Lut::max_output() const noexcept {
+  return *std::max_element(table_.begin(), table_.end());
+}
+
+}  // namespace hebs::transform

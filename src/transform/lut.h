@@ -1,0 +1,63 @@
+// Lookup-table pixel transforms.
+//
+// Every pixel transformation function Φ in the paper maps 8-bit levels to
+// 8-bit levels, so it is fully described by a 256-entry lookup table.
+// The LCD controller applies it either in software (pixel remapping) or
+// implicitly through the programmable reference-voltage ladder.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace hebs::transform {
+
+/// A 256-entry level-to-level lookup table.
+class Lut {
+ public:
+  static constexpr int kSize = hebs::image::kLevels;
+
+  /// Identity table.
+  Lut() noexcept;
+
+  /// Builds from an explicit table.
+  explicit Lut(const std::array<std::uint8_t, kSize>& table) noexcept
+      : table_(table) {}
+
+  /// Maps one level.
+  std::uint8_t operator[](int level) const {
+    return table_[static_cast<std::size_t>(level)];
+  }
+
+  /// Mutable entry access.
+  std::uint8_t& operator[](int level) {
+    return table_[static_cast<std::size_t>(level)];
+  }
+
+  /// Applies the table to every pixel of an image.
+  hebs::image::GrayImage apply(const hebs::image::GrayImage& img) const;
+
+  /// Composition: result maps x -> other[(*this)[x]].
+  Lut then(const Lut& other) const noexcept;
+
+  /// True when the table is non-decreasing (the paper requires Φ to be
+  /// monotonic so the displayed ordering of gray levels is preserved).
+  bool is_monotonic() const noexcept;
+
+  /// Smallest and largest output levels.
+  std::uint8_t min_output() const noexcept;
+  std::uint8_t max_output() const noexcept;
+
+  /// Output dynamic range max_output - min_output.
+  int output_range() const noexcept {
+    return max_output() - min_output();
+  }
+
+  bool operator==(const Lut& other) const = default;
+
+ private:
+  std::array<std::uint8_t, kSize> table_;
+};
+
+}  // namespace hebs::transform

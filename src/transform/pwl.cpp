@@ -1,0 +1,88 @@
+#include "transform/pwl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::transform {
+
+PwlCurve::PwlCurve(std::vector<CurvePoint> points)
+    : points_(std::move(points)) {
+  HEBS_REQUIRE(points_.size() >= 2, "a PWL curve needs at least two points");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    HEBS_REQUIRE(points_[i].x > points_[i - 1].x,
+                 "PWL breakpoints must be strictly increasing in x");
+  }
+}
+
+double PwlCurve::operator()(double x) const {
+  HEBS_REQUIRE(points_.size() >= 2, "evaluating an empty PWL curve");
+  if (x <= points_.front().x) return points_.front().y;
+  if (x >= points_.back().x) return points_.back().y;
+  // Binary search for the segment containing x.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double value, const CurvePoint& p) { return value < p.x; });
+  const CurvePoint& hi = *it;
+  const CurvePoint& lo = *(it - 1);
+  const double t = (x - lo.x) / (hi.x - lo.x);
+  return util::lerp(lo.y, hi.y, t);
+}
+
+bool PwlCurve::is_monotonic() const noexcept {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].y < points_[i - 1].y) return false;
+  }
+  return true;
+}
+
+double PwlCurve::min_y() const noexcept {
+  double m = points_.empty() ? 0.0 : points_.front().y;
+  for (const auto& p : points_) m = std::min(m, p.y);
+  return m;
+}
+
+double PwlCurve::max_y() const noexcept {
+  double m = points_.empty() ? 0.0 : points_.front().y;
+  for (const auto& p : points_) m = std::max(m, p.y);
+  return m;
+}
+
+Lut PwlCurve::to_lut() const {
+  Lut lut;
+  for (int i = 0; i < Lut::kSize; ++i) {
+    const double x = static_cast<double>(i) / hebs::image::kMaxPixel;
+    const double y = util::clamp01((*this)(x));
+    lut[i] = static_cast<std::uint8_t>(
+        std::lround(y * hebs::image::kMaxPixel));
+  }
+  return lut;
+}
+
+PwlCurve PwlCurve::from_lut(const Lut& lut) {
+  std::vector<CurvePoint> pts;
+  pts.reserve(Lut::kSize);
+  for (int i = 0; i < Lut::kSize; ++i) {
+    pts.push_back({static_cast<double>(i) / hebs::image::kMaxPixel,
+                   static_cast<double>(lut[i]) / hebs::image::kMaxPixel});
+  }
+  return PwlCurve(std::move(pts));
+}
+
+PwlCurve PwlCurve::identity() {
+  return PwlCurve({{0.0, 0.0}, {1.0, 1.0}});
+}
+
+double PwlCurve::mse_between(const PwlCurve& a, const PwlCurve& b) {
+  double acc = 0.0;
+  for (int i = 0; i < Lut::kSize; ++i) {
+    const double x = static_cast<double>(i) / hebs::image::kMaxPixel;
+    const double d = a(x) - b(x);
+    acc += d * d;
+  }
+  return acc / Lut::kSize;
+}
+
+}  // namespace hebs::transform

@@ -1,0 +1,68 @@
+// Piecewise-linear transfer curves over the normalized pixel domain.
+//
+// The exact GHE transformation Φ is piecewise linear with O(|G|)
+// segments; the PLC stage approximates it by a PwlCurve with few
+// segments, and the hierarchical reference driver realizes such curves
+// in hardware.  x and y are normalized pixel values in [0, 1].
+#pragma once
+
+#include <vector>
+
+#include "transform/lut.h"
+
+namespace hebs::transform {
+
+/// A 2-D point on a transfer curve (normalized coordinates).
+struct CurvePoint {
+  double x = 0.0;
+  double y = 0.0;
+  bool operator==(const CurvePoint&) const = default;
+};
+
+/// A piecewise-linear curve defined by ordered breakpoints.
+class PwlCurve {
+ public:
+  PwlCurve() = default;
+
+  /// Builds from breakpoints; xs must be strictly increasing and the
+  /// first/last x are expected to cover the evaluation domain.
+  explicit PwlCurve(std::vector<CurvePoint> points);
+
+  /// Evaluates by linear interpolation; x outside [front.x, back.x]
+  /// clamps to the end values.
+  double operator()(double x) const;
+
+  const std::vector<CurvePoint>& points() const noexcept { return points_; }
+
+  /// Number of linear segments (points - 1; 0 for degenerate curves).
+  int segment_count() const noexcept {
+    return points_.size() < 2 ? 0 : static_cast<int>(points_.size()) - 1;
+  }
+
+  /// True when y values are non-decreasing with x.
+  bool is_monotonic() const noexcept;
+
+  /// Smallest / largest y over the breakpoints.
+  double min_y() const noexcept;
+  double max_y() const noexcept;
+
+  /// Quantizes the curve to a 256-entry lookup table.
+  Lut to_lut() const;
+
+  /// Reconstructs the exact PWL curve of a lookup table (one breakpoint
+  /// per level).
+  static PwlCurve from_lut(const Lut& lut);
+
+  /// Identity curve y = x on [0, 1].
+  static PwlCurve identity();
+
+  /// Mean squared error between two curves sampled at the 256 level
+  /// centers — the PLC objective of the paper (squared error between
+  /// Φ and Λ).
+  static double mse_between(const PwlCurve& a, const PwlCurve& b);
+
+ private:
+  std::vector<CurvePoint> points_;
+};
+
+}  // namespace hebs::transform

@@ -1,0 +1,7 @@
+// Forward declarations for the transform module.
+#pragma once
+
+namespace hebs::transform {
+class Lut;
+class PwlCurve;
+}  // namespace hebs::transform

@@ -1,0 +1,41 @@
+// Minimal CSV writer used by the benchmark harness to persist series data
+// (one file per paper figure) so plots can be regenerated externally.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hebs::util {
+
+/// Streams rows of comma-separated values to a file.
+///
+/// Values containing commas, quotes or newlines are quoted per RFC 4180.
+/// The file is flushed and closed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws IoError when the file cannot be
+  /// created.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row of string cells.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Writes one row mixing labels and numeric values.
+  void write_row(std::initializer_list<std::string> cells);
+
+  /// Formats a double with enough precision to round-trip.
+  static std::string num(double v);
+
+  /// Path this writer targets.
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace hebs::util

@@ -1,0 +1,57 @@
+// Error handling primitives shared by every hebs module.
+//
+// The library reports contract violations and unrecoverable conditions by
+// throwing `hebs::util::Error` (or a subclass).  The HEBS_REQUIRE macro is
+// the standard way to validate arguments at public API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hebs::util {
+
+/// Base exception for all errors raised by the hebs library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Parsing or I/O of an external resource (PNM file, CSV, ...) failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A hardware-model constraint was violated (e.g. non-monotone ladder
+/// program, voltage above Vdd).
+class HardwareError : public Error {
+ public:
+  explicit HardwareError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": requirement `" + expr + "` failed: " + msg);
+}
+}  // namespace detail
+
+}  // namespace hebs::util
+
+/// Validate a precondition of a public API; throws InvalidArgument with
+/// source location on failure.
+#define HEBS_REQUIRE(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::hebs::util::detail::throw_invalid_argument(#cond, __FILE__,         \
+                                                   __LINE__, (msg));        \
+    }                                                                       \
+  } while (false)

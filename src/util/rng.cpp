@@ -1,0 +1,81 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace hebs::util {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t seq) noexcept
+    : state_(0), inc_((seq << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::uniform() noexcept {
+  // 53-bit mantissa from two draws for a dense [0,1) double.
+  const std::uint64_t hi = next_u32();
+  const std::uint64_t lo = next_u32();
+  const std::uint64_t bits = ((hi << 21) ^ lo) & ((1ULL << 53) - 1);
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+int Rng::uniform_int(int lo, int hi) noexcept {
+  const auto span = static_cast<std::uint32_t>(hi - lo) + 1u;
+  // Lemire's unbiased bounded generation.
+  std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * span;
+  auto l = static_cast<std::uint32_t>(m);
+  if (l < span) {
+    const std::uint32_t t = (0u - span) % span;
+    while (l < t) {
+      m = static_cast<std::uint64_t>(next_u32()) * span;
+      l = static_cast<std::uint32_t>(m);
+    }
+  }
+  return lo + static_cast<int>(m >> 32);
+}
+
+double Rng::gaussian() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::gaussian(double mean, double stddev) noexcept {
+  return mean + stddev * gaussian();
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace hebs::util

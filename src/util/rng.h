@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the reproduction (synthetic image
+// generation, measurement noise in the simulated lab bench, property-test
+// inputs) draws from this generator so that runs are bit-reproducible
+// across platforms.  The core is PCG32 (O'Neill, 2014): small state,
+// excellent statistical quality, trivially seedable.
+#pragma once
+
+#include <cstdint>
+
+namespace hebs::util {
+
+/// PCG32 pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the generator. `seq` selects an independent stream.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t seq = 0xda3e39cb94b95bdbULL) noexcept;
+
+  /// Next raw 32-bit value.
+  std::uint32_t next_u32() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  double gaussian() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// SplitMix64 — used to derive independent seeds from a master seed.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace hebs::util

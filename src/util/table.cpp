@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hebs::util {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HEBS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  HEBS_REQUIRE(cells.size() == headers_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::add_separator() { rows_.emplace_back(); }
+
+std::string ConsoleTable::num(double v, int decimals) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(decimals) << v;
+  return ss.str();
+}
+
+std::string ConsoleTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&widths](const std::vector<std::string>& cells) {
+    std::ostringstream ss;
+    ss << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      ss << ' ' << cell << std::string(widths[c] - cell.size(), ' ')
+         << " |";
+    }
+    ss << '\n';
+    return ss.str();
+  };
+  auto render_separator = [&widths]() {
+    std::ostringstream ss;
+    ss << '+';
+    for (std::size_t w : widths) ss << std::string(w + 2, '-') << '+';
+    ss << '\n';
+    return ss.str();
+  };
+
+  std::ostringstream out;
+  out << render_separator() << render_line(headers_) << render_separator();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out << render_separator();
+    } else {
+      out << render_line(row);
+    }
+  }
+  out << render_separator();
+  return out.str();
+}
+
+}  // namespace hebs::util

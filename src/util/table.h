@@ -1,0 +1,40 @@
+// Console table formatting for benchmark output.
+//
+// Benchmarks print paper-style tables (e.g. Table 1: power saving per image
+// per distortion level).  This helper keeps column alignment readable in a
+// terminal without external dependencies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hebs::util {
+
+/// Accumulates rows and renders an aligned ASCII table.
+class ConsoleTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row (rendered as dashes).
+  void add_separator();
+
+  /// Formats a double with fixed decimals (default 2).
+  static std::string num(double v, int decimals = 2);
+
+  /// Renders the table including a header separator.
+  std::string to_string() const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hebs::util

@@ -1,0 +1,164 @@
+// Tests for the DLS [4] and CBCS [5] baseline policies.
+#include <gtest/gtest.h>
+
+#include "baseline/cbcs.h"
+#include "baseline/dls.h"
+#include "image/synthetic.h"
+#include "quality/metrics.h"
+#include "transform/classic.h"
+#include "util/error.h"
+
+namespace hebs::baseline {
+namespace {
+
+using hebs::core::evaluate_operating_point;
+using hebs::core::OperatingPoint;
+using hebs::image::UsidId;
+
+const hebs::power::LcdSubsystemPower& model() {
+  static const auto m = hebs::power::LcdSubsystemPower::lp064v1();
+  return m;
+}
+
+TEST(Dls, OperatingPointScalesPhiByBeta) {
+  // Brightness mode at β = 0.7: ψ(0) = 0.7·0.3 = 0.21, ψ(0.7) = 0.7.
+  const auto p =
+      dls_operating_point(DlsMode::kBrightnessCompensation, 0.7);
+  EXPECT_NEAR(p.beta, 0.7, 1e-12);
+  EXPECT_NEAR(p.luminance_transform(0.0), 0.21, 1e-9);
+  EXPECT_NEAR(p.luminance_transform(0.7), 0.7, 1e-9);
+  EXPECT_NEAR(p.luminance_transform(1.0), 0.7, 1e-9);
+}
+
+TEST(Dls, ContrastModePreservesDarkLuminance) {
+  // ψ(x) = min(β, x): dark pixels keep exact luminance.
+  const auto p = dls_operating_point(DlsMode::kContrastEnhancement, 0.5);
+  EXPECT_NEAR(p.luminance_transform(0.2), 0.2, 1e-9);
+  EXPECT_NEAR(p.luminance_transform(0.5), 0.5, 1e-9);
+  EXPECT_NEAR(p.luminance_transform(0.9), 0.5, 1e-9);
+}
+
+TEST(Dls, PolicyNamesDistinguishModes) {
+  EXPECT_EQ(DlsPolicy(DlsMode::kBrightnessCompensation).name(),
+            "DLS-brightness");
+  EXPECT_EQ(DlsPolicy(DlsMode::kContrastEnhancement).name(),
+            "DLS-contrast");
+}
+
+TEST(Dls, ChooseMeetsTheDistortionBudget) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 64);
+  for (DlsMode mode : {DlsMode::kBrightnessCompensation,
+                       DlsMode::kContrastEnhancement}) {
+    const DlsPolicy policy(mode);
+    const OperatingPoint p = policy.choose(img, 10.0);
+    const auto eval = evaluate_operating_point(img, p, model());
+    EXPECT_LE(eval.distortion_percent, 10.0 + 0.2)
+        << policy.name();
+  }
+}
+
+TEST(Dls, LooserBudgetDimsDeeper) {
+  const auto img = hebs::image::make_usid(UsidId::kGirl, 64);
+  const DlsPolicy policy(DlsMode::kContrastEnhancement);
+  const double beta_tight = policy.choose(img, 3.0).beta;
+  const double beta_loose = policy.choose(img, 25.0).beta;
+  EXPECT_LT(beta_loose, beta_tight);
+}
+
+TEST(Dls, ZeroBudgetKeepsFullBacklight) {
+  const auto img = hebs::image::make_usid(UsidId::kBaboon, 64);
+  const DlsPolicy policy(DlsMode::kBrightnessCompensation);
+  EXPECT_NEAR(policy.choose(img, 0.0).beta, 1.0, 1e-6);
+}
+
+TEST(Dls, SaturationPolicyRespectsTheClippingBudget) {
+  const auto img = hebs::image::make_usid(UsidId::kSail, 64);
+  const DlsPolicy policy(DlsMode::kContrastEnhancement);
+  const OperatingPoint p = policy.choose_by_saturation(img, 0.05);
+  // Verify via the original measure: saturated fraction of Φ at that β.
+  const auto lut =
+      hebs::transform::contrast_stretch_curve(p.beta).to_lut();
+  EXPECT_LE(hebs::quality::saturated_fraction(img, lut), 0.05 + 0.01);
+}
+
+TEST(Dls, SaturationPolicyDimsDarkImagesAggressively) {
+  // A dark image has few pixels to clip: the policy should dim deeply.
+  const auto img = hebs::image::make_usid(UsidId::kSplash, 64);
+  const DlsPolicy policy(DlsMode::kContrastEnhancement);
+  EXPECT_LT(policy.choose_by_saturation(img, 0.05).beta, 0.7);
+}
+
+TEST(Dls, ValidatesArguments) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 32);
+  const DlsPolicy policy(DlsMode::kBrightnessCompensation);
+  EXPECT_THROW((void)policy.choose(img, -1.0),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW((void)policy.choose_by_saturation(img, 1.5),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW((void)dls_operating_point(DlsMode::kContrastEnhancement, 0.0),
+               hebs::util::InvalidArgument);
+}
+
+TEST(Cbcs, OperatingPointCombinesBandAndBeta) {
+  const auto p = cbcs_operating_point(0.2, 0.8, 0.6);
+  EXPECT_NEAR(p.beta, 0.6, 1e-12);
+  EXPECT_NEAR(p.luminance_transform(0.1), 0.0, 1e-9);   // below band
+  EXPECT_NEAR(p.luminance_transform(0.5), 0.3, 1e-9);   // β·0.5
+  EXPECT_NEAR(p.luminance_transform(0.9), 0.6, 1e-9);   // β·1
+}
+
+TEST(Cbcs, ChooseMeetsTheDistortionBudget) {
+  const auto img = hebs::image::make_usid(UsidId::kPeppers, 64);
+  const CbcsPolicy policy;
+  const OperatingPoint p = policy.choose(img, 12.0);
+  const auto eval = evaluate_operating_point(img, p, model());
+  EXPECT_LE(eval.distortion_percent, 12.0 + 1e-9);
+}
+
+TEST(Cbcs, FindsSavingsOnNarrowHistogramImages) {
+  // Pout's narrow histogram is CBCS's best case: big truncation, deep
+  // dimming.
+  const auto img = hebs::image::make_usid(UsidId::kPout, 64);
+  const CbcsPolicy policy;
+  const OperatingPoint p = policy.choose(img, 10.0);
+  const auto eval = evaluate_operating_point(img, p, model());
+  EXPECT_GT(eval.saving_percent, 20.0);
+}
+
+TEST(Cbcs, ImpossibleBudgetFallsBackToIdentity) {
+  const auto img = hebs::image::make_usid(UsidId::kBaboon, 64);
+  const CbcsPolicy policy;
+  const OperatingPoint p = policy.choose(img, 0.0);
+  EXPECT_NEAR(p.beta, 1.0, 1e-9);
+}
+
+TEST(Cbcs, BeatsOrMatchesDlsOnBandFriendlyImages) {
+  // The paper positions CBCS above DLS; verify on an image with unused
+  // headroom at both histogram ends.
+  const auto img = hebs::image::make_usid(UsidId::kPout, 64);
+  const double budget = 10.0;
+  const CbcsPolicy cbcs;
+  const DlsPolicy dls(DlsMode::kBrightnessCompensation);
+  const auto cbcs_eval =
+      evaluate_operating_point(img, cbcs.choose(img, budget), model());
+  const auto dls_eval =
+      evaluate_operating_point(img, dls.choose(img, budget), model());
+  EXPECT_GE(cbcs_eval.saving_percent + 1.0, dls_eval.saving_percent);
+}
+
+TEST(Cbcs, PolicyNameIsCbcs) {
+  EXPECT_EQ(CbcsPolicy().name(), "CBCS");
+}
+
+TEST(Cbcs, ValidatesArguments) {
+  EXPECT_THROW((void)cbcs_operating_point(0.5, 0.4, 0.5),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW((void)cbcs_operating_point(0.2, 0.8, 0.0),
+               hebs::util::InvalidArgument);
+  CbcsOptions bad;
+  bad.beta_blend.clear();
+  EXPECT_THROW(CbcsPolicy{bad}, hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::baseline

@@ -1,0 +1,221 @@
+// Tests for the display-interface bus encoding substrate (refs [2][3]).
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "bus/encoding.h"
+#include "histogram/histogram.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hebs::bus {
+namespace {
+
+using hebs::image::GrayImage;
+using hebs::image::UsidId;
+
+std::vector<std::uint8_t> random_pixels(std::size_t n, std::uint64_t seed) {
+  hebs::util::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& p : out) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return out;
+}
+
+/// Every encoder must invert itself exactly.
+class EncoderRoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<BusEncoder> make_encoder() const {
+    switch (GetParam()) {
+      case 0: return std::make_unique<RawEncoder>();
+      case 1: return std::make_unique<DifferentialEncoder>();
+      case 2: return std::make_unique<BusInvertEncoder>();
+      case 3: return std::make_unique<GrayCodeEncoder>();
+      default: return std::make_unique<LiwtEncoder>();
+    }
+  }
+};
+
+TEST_P(EncoderRoundTrip, DecodeInvertsEncode) {
+  const auto encoder = make_encoder();
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const auto pixels = random_pixels(512, seed);
+    const auto words = encoder->encode(pixels);
+    const auto back = encoder->decode(words);
+    EXPECT_EQ(back, pixels) << encoder->name();
+  }
+}
+
+TEST_P(EncoderRoundTrip, WordsFitTheBusWidth) {
+  const auto encoder = make_encoder();
+  const auto pixels = random_pixels(256, 7);
+  for (std::uint16_t w : encoder->encode(pixels)) {
+    EXPECT_LT(w, 1u << encoder->bus_width()) << encoder->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, EncoderRoundTrip,
+                         ::testing::Range(0, 5));
+
+TEST(Measure, CountsInterWordFlips) {
+  // 0x00 -> 0xFF flips all 8 wires; 0xFF -> 0xFF flips none.
+  const std::vector<std::uint16_t> words = {0x00, 0xFF, 0xFF};
+  const BusStats stats = measure(words, 8);
+  EXPECT_EQ(stats.inter_word_transitions, 8u);
+  EXPECT_EQ(stats.words, 3u);
+}
+
+TEST(Measure, CountsIntraWordTransitions) {
+  // 0b0101010101 has 9 internal transitions on 10 wires.
+  EXPECT_EQ(LiwtEncoder::intra_transitions(0b0101010101, 10), 9);
+  EXPECT_EQ(LiwtEncoder::intra_transitions(0b0000000000, 10), 0);
+  EXPECT_EQ(LiwtEncoder::intra_transitions(0b1111100000, 10), 1);
+}
+
+TEST(Measure, EnergyWeightsCoupling) {
+  BusStats stats;
+  stats.inter_word_transitions = 10;
+  stats.intra_word_transitions = 4;
+  EXPECT_DOUBLE_EQ(stats.energy(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(stats.energy(0.5), 12.0);
+}
+
+TEST(GrayCode, SmoothRampFlipsOneWirePerStep) {
+  // A ramp changes by 1 per pixel: the Gray code flips exactly one wire
+  // per step, while raw binary flips up to 8 at carry boundaries.
+  std::vector<std::uint8_t> ramp(256);
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto raw = measure(RawEncoder().encode(ramp), 8);
+  const auto gray = measure(GrayCodeEncoder().encode(ramp), 8);
+  EXPECT_EQ(gray.inter_word_transitions, 255u);  // one per step
+  EXPECT_LT(gray.inter_word_transitions, raw.inter_word_transitions);
+}
+
+TEST(GrayCode, AdjacentValuesAlwaysDifferInOneWire) {
+  const GrayCodeEncoder enc;
+  for (int v = 0; v < 255; ++v) {
+    const auto words = enc.encode(std::vector<std::uint8_t>{
+        static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v + 1)});
+    EXPECT_EQ(std::popcount(static_cast<unsigned>(words[0] ^ words[1])), 1)
+        << v;
+  }
+}
+
+TEST(Differential, ConcentratesOnesForSmoothContent) {
+  // XOR deltas of a smooth scanline have few set bits (low coupling).
+  std::vector<std::uint8_t> ramp(256);
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto words = DifferentialEncoder().encode(ramp);
+  std::uint64_t ones = 0;
+  for (std::uint16_t w : words) {
+    ones += static_cast<std::uint64_t>(std::popcount(static_cast<unsigned>(w)));
+  }
+  // Average delta popcount for +1 steps is < 2 bits.
+  EXPECT_LT(ones, 2u * words.size());
+}
+
+TEST(BusInvert, NeverFlipsMoreThanHalfTheBusPlusFlag) {
+  const auto pixels = random_pixels(1024, 11);
+  const auto words = BusInvertEncoder().encode(pixels);
+  std::uint16_t prev = 0;
+  for (std::uint16_t w : words) {
+    const int flips = std::popcount(static_cast<unsigned>((w ^ prev) & 0x1FF));
+    EXPECT_LE(flips, 5);  // <= 4 payload flips + the invert wire
+    prev = w;
+  }
+}
+
+TEST(BusInvert, ReducesTransitionsOnRandomData) {
+  const auto pixels = random_pixels(4096, 13);
+  const auto raw = measure(RawEncoder().encode(pixels), 8);
+  const auto inv = measure(BusInvertEncoder().encode(pixels), 9);
+  EXPECT_LT(inv.inter_word_transitions, raw.inter_word_transitions);
+}
+
+TEST(Liwt, CodewordsHaveFewIntraTransitions) {
+  // 10 wires offer 2 + 18 + 72 = 92 codewords with <= 2 internal
+  // transitions and 168 more with 3, so 256 values fit within <= 3 —
+  // versus up to 7 for raw 8-bit values.
+  const LiwtEncoder encoder;
+  const auto pixels = random_pixels(512, 17);
+  const auto words = encoder.encode(pixels);
+  for (std::uint16_t w : words) {
+    EXPECT_LE(LiwtEncoder::intra_transitions(w, 10), 3);
+  }
+}
+
+TEST(Liwt, FrequencyTrainingFavorsCommonValues) {
+  // Value 200 dominates: it must receive a codeword with zero intra
+  // transitions (all-zeros or all-ones pattern family).
+  std::vector<std::uint64_t> freq(256, 1);
+  freq[200] = 1000000;
+  const LiwtEncoder encoder(freq);
+  const auto words = encoder.encode(std::vector<std::uint8_t>{200});
+  EXPECT_EQ(LiwtEncoder::intra_transitions(words[0], 10), 0);
+}
+
+TEST(Liwt, RejectsForeignCodewords) {
+  const LiwtEncoder encoder;
+  // 0b1010101010 has 9 transitions — far beyond the assigned set.
+  const std::vector<std::uint16_t> bogus = {0b1010101010};
+  EXPECT_THROW((void)encoder.decode(bogus), hebs::util::Error);
+}
+
+TEST(Liwt, ValidatesFrequencyTableSize) {
+  std::vector<std::uint64_t> wrong(100, 1);
+  EXPECT_THROW(LiwtEncoder{wrong}, hebs::util::InvalidArgument);
+}
+
+TEST(Transmit, AccumulatesOverScanlines) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 64);
+  const RawEncoder raw;
+  const BusStats stats = transmit(img, raw);
+  EXPECT_EQ(stats.words, img.size());
+  EXPECT_GT(stats.inter_word_transitions, 0u);
+}
+
+TEST(Transmit, GrayCodeBeatsRawOnNaturalImages) {
+  // The ref [2] premise: spatial locality makes neighbouring pixels
+  // close in value, and the Gray code turns small value distance into
+  // fewer wire flips.  On noisy synthetic stills the margin is modest
+  // but must be strictly positive.
+  const auto img = hebs::image::make_usid(UsidId::kGirl, 64);
+  const auto raw = transmit(img, RawEncoder());
+  const auto gray = transmit(img, GrayCodeEncoder());
+  EXPECT_LT(gray.inter_word_transitions, raw.inter_word_transitions);
+}
+
+TEST(Transmit, DifferentialSavesEnergyOnNaturalImages) {
+  const auto img = hebs::image::make_usid(UsidId::kGirl, 64);
+  const auto raw = transmit(img, RawEncoder());
+  const auto diff = transmit(img, DifferentialEncoder());
+  EXPECT_LT(diff.energy(0.5), raw.energy(0.5) * 0.95);
+}
+
+TEST(Transmit, LiwtCutsCouplingEnergyOnNaturalImages) {
+  const auto img = hebs::image::make_usid(UsidId::kPeppers, 64);
+  const auto hist = hebs::histogram::Histogram::from_image(img);
+  std::vector<std::uint64_t> freq(256);
+  for (int i = 0; i < 256; ++i) {
+    freq[static_cast<std::size_t>(i)] = hist.count(i);
+  }
+  const auto raw = transmit(img, RawEncoder());
+  const auto liwt = transmit(img, LiwtEncoder(freq));
+  EXPECT_LT(liwt.intra_word_transitions,
+            raw.intra_word_transitions / 2);
+}
+
+TEST(Transmit, RejectsEmptyFrames) {
+  GrayImage empty;
+  EXPECT_THROW((void)transmit(empty, RawEncoder()),
+               hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::bus

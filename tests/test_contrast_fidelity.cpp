@@ -1,0 +1,106 @@
+// Tests for the contrast-fidelity measure (ref [5]'s distortion).
+#include <gtest/gtest.h>
+
+#include "image/draw.h"
+#include "image/synthetic.h"
+#include "quality/contrast_fidelity.h"
+#include "quality/distortion.h"
+#include "transform/classic.h"
+#include "util/error.h"
+
+namespace hebs::quality {
+namespace {
+
+using hebs::image::GrayImage;
+using hebs::image::UsidId;
+
+TEST(ContrastFidelity, IdenticalImagesHaveFullFidelity) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 64);
+  EXPECT_NEAR(contrast_fidelity(img, img), 1.0, 1e-12);
+  EXPECT_NEAR(contrast_distortion_percent(img, img), 0.0, 1e-9);
+}
+
+TEST(ContrastFidelity, BrightnessShiftIsForgiven) {
+  // The defining property (and the flaw the paper criticizes in §2):
+  // a uniform brightness shift keeps all window contrast, so fidelity
+  // stays 1 even though the image looks different.
+  const auto img = hebs::image::make_usid(UsidId::kGirl, 64);
+  GrayImage shifted = img;
+  for (auto& p : shifted.pixels()) {
+    p = static_cast<std::uint8_t>(std::min(255, p + 25));
+  }
+  EXPECT_GT(contrast_fidelity(img, shifted), 0.97);
+}
+
+TEST(ContrastFidelity, ContrastCompressionLosesFidelity) {
+  const auto img = hebs::image::make_usid(UsidId::kBaboon, 64);
+  GrayImage compressed = img;
+  const double mean = img.mean();
+  for (auto& p : compressed.pixels()) {
+    p = static_cast<std::uint8_t>(
+        std::clamp(mean + 0.4 * (p - mean), 0.0, 255.0));
+  }
+  const double f = contrast_fidelity(img, compressed);
+  EXPECT_LT(f, 0.6);
+  EXPECT_GT(f, 0.2);
+}
+
+TEST(ContrastFidelity, AmplificationDoesNotScoreAboveOne) {
+  const auto img = hebs::image::make_usid(UsidId::kPout, 64);
+  GrayImage stretched = img;
+  hebs::image::stretch_to_range(stretched, 0.0, 1.0);
+  const double f = contrast_fidelity(img, stretched);
+  EXPECT_LE(f, 1.0 + 1e-12);
+  EXPECT_GT(f, 0.9);  // all original contrast survives
+}
+
+TEST(ContrastFidelity, ClippingDestroysBandContrast) {
+  // A band clip (eq. 3 with a narrow band) flattens out-of-band regions.
+  const auto img = hebs::image::make_usid(UsidId::kTestpat, 64);
+  const auto lut = hebs::transform::single_band_curve(0.4, 0.6).to_lut();
+  const double f = contrast_fidelity(img, lut.apply(img));
+  // Out-of-band regions flatten; in-band contrast is amplified (no extra
+  // credit), so fidelity drops well below the brightness-shift case.
+  EXPECT_LT(f, 0.92);
+  EXPECT_GT(f, 0.3);
+}
+
+TEST(ContrastFidelity, FlatOriginalHasNothingToLose) {
+  const GrayImage flat(16, 16, 100);
+  const GrayImage other(16, 16, 30);
+  EXPECT_DOUBLE_EQ(contrast_fidelity(flat, other), 1.0);
+}
+
+TEST(ContrastFidelity, MetricEnumIntegration) {
+  const auto img = hebs::image::make_usid(UsidId::kTrees, 64);
+  GrayImage shifted = img;
+  for (auto& p : shifted.pixels()) {
+    p = static_cast<std::uint8_t>(std::min(255, p + 30));
+  }
+  DistortionOptions cf;
+  cf.metric = Metric::kContrastFidelity;
+  DistortionOptions uiqi;
+  uiqi.metric = Metric::kUiqiHvs;
+  // §2's criticism quantified: the contrast measure calls the shifted
+  // image nearly perfect while the perceptual metric sees a clearly
+  // larger error.
+  const double d_cf = distortion_percent(img, shifted, cf);
+  const double d_uiqi = distortion_percent(img, shifted, uiqi);
+  EXPECT_LT(d_cf, 1.0);
+  EXPECT_GT(d_uiqi, 3.0 * d_cf);
+  EXPECT_STREQ(metric_name(Metric::kContrastFidelity), "ContrastFidelity");
+}
+
+TEST(ContrastFidelity, ValidatesArguments) {
+  const GrayImage a(16, 16, 0);
+  const GrayImage b(8, 8, 0);
+  EXPECT_THROW((void)contrast_fidelity(a, b),
+               hebs::util::InvalidArgument);
+  ContrastFidelityOptions bad;
+  bad.block_size = 1;
+  EXPECT_THROW((void)contrast_fidelity(a, a, bad),
+               hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::quality

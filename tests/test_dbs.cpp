@@ -1,0 +1,79 @@
+// Tests for the DBS problem framing and operating-point evaluation.
+#include <gtest/gtest.h>
+
+#include "core/dbs.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+
+namespace hebs::core {
+namespace {
+
+using hebs::image::UsidId;
+
+const hebs::power::LcdSubsystemPower& model() {
+  static const auto m = hebs::power::LcdSubsystemPower::lp064v1();
+  return m;
+}
+
+TEST(Dbs, IdentityPointHasZeroDistortionAndZeroSaving) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 64);
+  const auto eval =
+      evaluate_operating_point(img, identity_operating_point(), model());
+  EXPECT_NEAR(eval.distortion_percent, 0.0, 1e-6);
+  EXPECT_NEAR(eval.saving_percent, 0.0, 1e-6);
+  EXPECT_EQ(eval.transformed, img);
+}
+
+TEST(Dbs, DimmingWithCompensationSavesPower) {
+  // ψ(x) = min(0.6, x): contrast-enhanced dimming to β = 0.6.
+  const auto img = hebs::image::make_usid(UsidId::kGirl, 64);
+  OperatingPoint point{
+      hebs::transform::PwlCurve({{0.0, 0.0}, {0.6, 0.6}, {1.0, 0.6}}),
+      0.6};
+  const auto eval = evaluate_operating_point(img, point, model());
+  EXPECT_GT(eval.saving_percent, 15.0);
+  EXPECT_GT(eval.distortion_percent, 0.0);
+  EXPECT_LT(eval.power.total(), eval.reference_power.total());
+}
+
+TEST(Dbs, LuminanceIsClippedByBeta) {
+  // A transform promising more luminance than the backlight can deliver
+  // must be clipped at β (transmittance can't exceed 1).
+  hebs::image::GrayImage img(8, 8, 255);
+  OperatingPoint point{hebs::transform::PwlCurve::identity(), 0.5};
+  const auto eval = evaluate_operating_point(img, point, model());
+  // Every pixel displayed at 0.5 => transformed image is uniformly 128.
+  EXPECT_EQ(eval.transformed(0, 0), 128);
+}
+
+TEST(Dbs, PanelPowerUsesDrivenTransmittance) {
+  // With ψ = β·1 (full transmittance), panel power must equal P(1).
+  hebs::image::GrayImage img(8, 8, 200);
+  OperatingPoint point{
+      hebs::transform::PwlCurve({{0.0, 0.5}, {1.0, 0.5}}), 0.5};
+  const auto eval = evaluate_operating_point(img, point, model());
+  EXPECT_NEAR(eval.power.panel_watts, model().panel().pixel_power(1.0),
+              1e-9);
+}
+
+TEST(Dbs, ReferencePowerIsFullBacklight) {
+  const auto img = hebs::image::make_usid(UsidId::kOnion, 48);
+  const auto eval =
+      evaluate_operating_point(img, identity_operating_point(), model());
+  EXPECT_NEAR(eval.reference_power.ccfl_watts, model().ccfl().power(1.0),
+              1e-12);
+}
+
+TEST(Dbs, ValidatesArguments) {
+  hebs::image::GrayImage empty;
+  EXPECT_THROW(evaluate_operating_point(empty, identity_operating_point(),
+                                        model()),
+               hebs::util::InvalidArgument);
+  const auto img = hebs::image::make_usid(UsidId::kPears, 32);
+  OperatingPoint bad{hebs::transform::PwlCurve::identity(), 0.0};
+  EXPECT_THROW(evaluate_operating_point(img, bad, model()),
+               hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::core

@@ -1,0 +1,230 @@
+// Tests for the display hardware substrate: grayscale-voltage transfer,
+// reference ladders (Fig. 5) and the panel luminance simulator.
+#include <gtest/gtest.h>
+
+#include "display/grayscale_voltage.h"
+#include "display/panel_sim.h"
+#include "display/reference_driver.h"
+#include "image/synthetic.h"
+#include "transform/classic.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hebs::display {
+namespace {
+
+TEST(GrayscaleVoltage, LinearLadderIsLinear) {
+  const auto gv = GrayscaleVoltage::linear(11, 10.0);
+  EXPECT_NEAR(gv.voltage(0), 0.0, 1e-12);
+  EXPECT_NEAR(gv.voltage(255), 10.0, 1e-12);
+  EXPECT_NEAR(gv.voltage(51), 2.0, 1e-9);  // 51/255 * 10 V
+  EXPECT_NEAR(gv.transmittance(128), 128.0 / 255.0, 1e-9);
+  EXPECT_TRUE(gv.is_monotonic());
+}
+
+TEST(GrayscaleVoltage, InterpolatesBetweenNodes) {
+  // Two nodes: 0 V and 10 V; level 128 sits almost halfway.
+  const GrayscaleVoltage gv({0.0, 10.0}, 10.0);
+  EXPECT_NEAR(gv.voltage(128), 10.0 * 128 / 255.0, 1e-9);
+}
+
+TEST(GrayscaleVoltage, CurveIsNormalizedTransfer) {
+  const auto gv = GrayscaleVoltage::linear(5, 8.0);
+  const auto curve = gv.curve();
+  EXPECT_NEAR(curve(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(curve(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(curve(0.5), 0.5, 1e-12);
+}
+
+TEST(GrayscaleVoltage, DetectsNonMonotoneNodes) {
+  const GrayscaleVoltage gv({0.0, 5.0, 3.0, 10.0}, 10.0);
+  EXPECT_FALSE(gv.is_monotonic());
+}
+
+TEST(GrayscaleVoltage, ValidatesNodes) {
+  EXPECT_THROW(GrayscaleVoltage({0.0, 11.0}, 10.0),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW(GrayscaleVoltage({-1.0, 5.0}, 10.0),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW(GrayscaleVoltage({5.0}, 10.0), hebs::util::InvalidArgument);
+  const auto gv = GrayscaleVoltage::linear();
+  EXPECT_THROW((void)gv.voltage(-1), hebs::util::InvalidArgument);
+  EXPECT_THROW((void)gv.voltage(256), hebs::util::InvalidArgument);
+}
+
+TEST(ConventionalLadder, DefaultTransferIsLinear) {
+  const ConventionalLadder ladder;
+  const auto gv = ladder.transfer();
+  for (int level : {0, 64, 128, 192, 255}) {
+    EXPECT_NEAR(gv.transmittance(level), level / 255.0, 1e-9);
+  }
+}
+
+TEST(ConventionalLadder, ClampedTransferRealizesEq3) {
+  // With many taps, the clamped ladder approximates the single-band
+  // spreading curve closely.
+  const ConventionalLadder ladder(101, 10.0);
+  const auto gv = ladder.clamped_transfer(0.2, 0.8);
+  const auto eq3 = hebs::transform::single_band_curve(0.2, 0.8);
+  for (int level = 0; level <= 255; level += 5) {
+    const double x = level / 255.0;
+    EXPECT_NEAR(gv.transmittance(level), eq3(x), 0.02) << "level " << level;
+  }
+}
+
+TEST(ConventionalLadder, ClampedTransferValidatesBand) {
+  const ConventionalLadder ladder;
+  EXPECT_THROW((void)ladder.clamped_transfer(0.8, 0.2),
+               hebs::util::InvalidArgument);
+}
+
+TEST(HierarchicalLadder, DefaultIsIdentityTransfer) {
+  const HierarchicalLadder ladder;
+  const auto t = ladder.transfer();
+  for (int level : {0, 100, 255}) {
+    EXPECT_NEAR(t.transmittance(level), level / 255.0, 0.005);
+  }
+}
+
+TEST(HierarchicalLadder, ProgramAppliesEq10) {
+  // Program the identity transform at β = 0.5: node voltages must be
+  // min(vdd, x/0.5 * vdd) — slope-2 spread with a clamp at half range.
+  HierarchicalLadderOptions opts;
+  opts.bands = 4;
+  opts.dac_bits = 12;
+  HierarchicalLadder ladder(opts);
+  ladder.program(hebs::transform::PwlCurve::identity(), 0.5);
+  const auto& nodes = ladder.node_voltages();
+  ASSERT_EQ(nodes.size(), 5u);
+  EXPECT_NEAR(nodes[0], 0.0, 0.01);
+  EXPECT_NEAR(nodes[1], 5.0, 0.01);   // 0.25/0.5 * 10
+  EXPECT_NEAR(nodes[2], 10.0, 0.01);  // clamped at vdd
+  EXPECT_NEAR(nodes[3], 10.0, 0.01);
+  EXPECT_NEAR(nodes[4], 10.0, 0.01);
+}
+
+TEST(HierarchicalLadder, EffectiveTransformUndoesTheSpread) {
+  // effective(x) = β * v(x)/vdd must reproduce λ wherever no clipping.
+  HierarchicalLadderOptions opts;
+  opts.bands = 16;
+  opts.dac_bits = 12;
+  HierarchicalLadder ladder(opts);
+  const hebs::transform::PwlCurve lambda(
+      {{0.0, 0.0}, {0.5, 0.3}, {1.0, 0.6}});
+  const double beta = 0.6;
+  ladder.program(lambda, beta);
+  const auto effective = ladder.effective_transform(beta);
+  for (double x = 0.0; x <= 1.0; x += 0.125) {
+    EXPECT_NEAR(effective(x), lambda(x), 0.02) << "x=" << x;
+  }
+}
+
+/// Property sweep: for random monotone curves whose maximum stays below
+/// β, the programmed ladder realizes the curve up to grid + DAC error.
+class LadderRealization : public ::testing::TestWithParam<int> {};
+
+TEST_P(LadderRealization, ProgramRealizesMonotoneCurves) {
+  hebs::util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Build a random monotone 5-point curve with max y <= beta.
+  const double beta = rng.uniform(0.4, 0.9);
+  std::vector<hebs::transform::CurvePoint> pts;
+  double y = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const double x = i / 4.0;
+    y += rng.uniform(0.0, beta / 5.0);
+    pts.push_back({x, std::min(y, beta)});
+  }
+  const hebs::transform::PwlCurve lambda(std::move(pts));
+
+  HierarchicalLadderOptions opts;
+  opts.bands = 32;
+  opts.dac_bits = 10;
+  HierarchicalLadder ladder(opts);
+  ladder.program(lambda, beta);
+  const auto effective = ladder.effective_transform(beta);
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    EXPECT_NEAR(effective(x), lambda(x), 0.03)
+        << "seed " << GetParam() << " x " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LadderRealization, ::testing::Range(0, 10));
+
+TEST(HierarchicalLadder, RejectsNonMonotoneCurves) {
+  HierarchicalLadder ladder;
+  const hebs::transform::PwlCurve down({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_THROW(ladder.program(down, 0.5), hebs::util::HardwareError);
+}
+
+TEST(HierarchicalLadder, DacQuantizationBoundsVoltageError) {
+  HierarchicalLadderOptions opts;
+  opts.bands = 8;
+  opts.dac_bits = 6;
+  HierarchicalLadder ladder(opts);
+  const auto lambda = hebs::transform::PwlCurve(
+      {{0.0, 0.0}, {1.0, 0.37}});  // awkward values for a 6-bit DAC
+  ladder.program(lambda, 0.5);
+  const double step = opts.vdd / 63.0;  // 2^6 - 1 codes
+  for (std::size_t i = 0; i < ladder.node_voltages().size(); ++i) {
+    const double x = static_cast<double>(i) / opts.bands;
+    const double ideal = std::min(opts.vdd, lambda(x) / 0.5 * opts.vdd);
+    EXPECT_NEAR(ladder.node_voltages()[i], ideal, step / 2.0 + 1e-9);
+  }
+}
+
+TEST(HierarchicalLadder, ResetRestoresIdentity) {
+  HierarchicalLadder ladder;
+  ladder.program(hebs::transform::PwlCurve({{0.0, 0.0}, {1.0, 0.3}}), 0.4);
+  ladder.reset();
+  const auto t = ladder.transfer();
+  EXPECT_NEAR(t.transmittance(255), 1.0, 1e-9);
+  EXPECT_NEAR(t.transmittance(128), 128.0 / 255.0, 0.005);
+}
+
+TEST(HierarchicalLadder, ValidatesOptionsAndBeta) {
+  HierarchicalLadderOptions bad;
+  bad.bands = 0;
+  EXPECT_THROW(HierarchicalLadder{bad}, hebs::util::InvalidArgument);
+  HierarchicalLadder ladder;
+  EXPECT_THROW(
+      ladder.program(hebs::transform::PwlCurve::identity(), 0.0),
+      hebs::util::InvalidArgument);
+}
+
+TEST(PanelSim, RenderMultipliesBacklightAndTransmittance) {
+  const LcdPanel panel(GrayscaleVoltage::linear());
+  hebs::image::GrayImage img(2, 1);
+  img(0, 0) = 0;
+  img(1, 0) = 255;
+  const auto lum = panel.render(img, 0.6);
+  EXPECT_NEAR(lum(0, 0), 0.0, 1e-9);
+  EXPECT_NEAR(lum(1, 0), 0.6, 1e-9);
+}
+
+TEST(PanelSim, SoftwareRenderMatchesLutMath) {
+  hebs::image::GrayImage img(1, 1, 100);
+  hebs::transform::Lut lut;
+  lut[100] = 200;
+  const auto lum = software_render(img, lut, 0.5);
+  EXPECT_NEAR(lum(0, 0), 0.5 * 200.0 / 255.0, 1e-12);
+}
+
+TEST(PanelSim, ReferenceRenderIsNormalizedOriginal) {
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kPears, 32);
+  const auto lum = reference_render(img);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      EXPECT_NEAR(lum(x, y), img(x, y) / 255.0, 1e-12);
+    }
+  }
+}
+
+TEST(PanelSim, ValidatesBacklightRange) {
+  const LcdPanel panel(GrayscaleVoltage::linear());
+  const hebs::image::GrayImage img(8, 8, 0);
+  EXPECT_THROW((void)panel.render(img, -0.1), hebs::util::InvalidArgument);
+  EXPECT_THROW((void)panel.render(img, 1.1), hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::display

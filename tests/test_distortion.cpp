@@ -1,0 +1,108 @@
+// Tests for the unified distortion front end.
+#include <gtest/gtest.h>
+
+#include "image/draw.h"
+#include "image/synthetic.h"
+#include "quality/distortion.h"
+#include "util/rng.h"
+
+namespace hebs::quality {
+namespace {
+
+using hebs::image::GrayImage;
+
+GrayImage noisy_copy(const GrayImage& img, double sigma,
+                     std::uint64_t seed) {
+  GrayImage out = img;
+  hebs::util::Rng rng(seed);
+  add_gaussian_noise(out, sigma, rng);
+  return out;
+}
+
+/// Sweep every metric: shared contract checks.
+class MetricSweep : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricSweep, IdenticalImagesHaveZeroDistortion) {
+  DistortionOptions opts;
+  opts.metric = GetParam();
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kLena, 64);
+  EXPECT_NEAR(distortion_percent(img, img, opts), 0.0, 1e-6);
+}
+
+TEST_P(MetricSweep, DistortionGrowsWithNoise) {
+  DistortionOptions opts;
+  opts.metric = GetParam();
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kTrees, 64);
+  const double d_small =
+      distortion_percent(img, noisy_copy(img, 0.02, 1), opts);
+  const double d_large =
+      distortion_percent(img, noisy_copy(img, 0.25, 1), opts);
+  EXPECT_LT(d_small, d_large);
+}
+
+TEST_P(MetricSweep, DistortionIsWithinPercentBounds) {
+  DistortionOptions opts;
+  opts.metric = GetParam();
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kSail, 64);
+  const double d = distortion_percent(img, noisy_copy(img, 0.3, 2), opts);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricSweep,
+                         ::testing::Values(Metric::kUiqi, Metric::kUiqiHvs,
+                                           Metric::kSsim, Metric::kSsimHvs,
+                                           Metric::kRmse));
+
+TEST(Distortion, MetricNamesAreDistinct) {
+  EXPECT_STREQ(metric_name(Metric::kUiqiHvs), "UIQI+HVS");
+  EXPECT_STREQ(metric_name(Metric::kUiqi), "UIQI");
+  EXPECT_STREQ(metric_name(Metric::kSsim), "SSIM");
+  EXPECT_STREQ(metric_name(Metric::kSsimHvs), "SSIM+HVS");
+  EXPECT_STREQ(metric_name(Metric::kRmse), "RMSE");
+}
+
+TEST(Distortion, RmseMetricMatchesHandComputation) {
+  GrayImage a(8, 8, 0);
+  GrayImage b(8, 8, 51);  // normalized error 0.2 everywhere
+  DistortionOptions opts;
+  opts.metric = Metric::kRmse;
+  EXPECT_NEAR(distortion_percent(a, b, opts), 20.0, 0.01);
+}
+
+TEST(Distortion, HvsVariantWeighsDarkErrorsMore) {
+  // Add the same absolute luminance error to a dark and a bright image:
+  // the HVS-aware metric must penalize the dark case more.
+  GrayImage dark(64, 64, 30);
+  GrayImage bright(64, 64, 220);
+  GrayImage dark_shift = dark;
+  GrayImage bright_shift = bright;
+  for (auto& p : dark_shift.pixels()) p += 15;
+  for (auto& p : bright_shift.pixels()) p += 15;
+
+  DistortionOptions hvs;
+  hvs.metric = Metric::kUiqiHvs;
+  const double d_dark = distortion_percent(dark, dark_shift, hvs);
+  const double d_bright = distortion_percent(bright, bright_shift, hvs);
+  EXPECT_GT(d_dark, d_bright);
+}
+
+TEST(Distortion, GrayAndFloatPathsAgree) {
+  const auto a = hebs::image::make_usid(hebs::image::UsidId::kOnion, 64);
+  const auto b = noisy_copy(a, 0.1, 3);
+  DistortionOptions opts;
+  opts.metric = Metric::kUiqi;
+  const double d8 = distortion_percent(a, b, opts);
+  const double df =
+      distortion_percent(hebs::image::FloatImage::from_gray(a),
+                         hebs::image::FloatImage::from_gray(b), opts);
+  EXPECT_NEAR(d8, df, 1e-9);
+}
+
+TEST(Distortion, PaperDefaultIsUiqiOverHvs) {
+  const DistortionOptions defaults;
+  EXPECT_EQ(defaults.metric, Metric::kUiqiHvs);
+}
+
+}  // namespace
+}  // namespace hebs::quality

@@ -1,0 +1,129 @@
+// Tests for the distortion characteristic curve (§5.1c, Fig. 7).
+#include <gtest/gtest.h>
+
+#include "core/distortion_curve.h"
+#include "core/hebs.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+
+namespace hebs::core {
+namespace {
+
+using hebs::image::NamedImage;
+using hebs::image::UsidId;
+
+const hebs::power::LcdSubsystemPower& model() {
+  static const auto m = hebs::power::LcdSubsystemPower::lp064v1();
+  return m;
+}
+
+std::vector<NamedImage> small_album() {
+  return {
+      {"Lena", hebs::image::make_usid(UsidId::kLena, 64)},
+      {"Pout", hebs::image::make_usid(UsidId::kPout, 64)},
+      {"Baboon", hebs::image::make_usid(UsidId::kBaboon, 64)},
+      {"Sail", hebs::image::make_usid(UsidId::kSail, 64)},
+      {"Splash", hebs::image::make_usid(UsidId::kSplash, 64)},
+  };
+}
+
+const DistortionCurve& characterized() {
+  static const DistortionCurve curve = [] {
+    const auto ranges = DistortionCurve::default_ranges();
+    return DistortionCurve::characterize(small_album(), ranges, {}, model());
+  }();
+  return curve;
+}
+
+TEST(DistortionCurve, DefaultRangesAreTenValues) {
+  // §5.1c: "the dynamic range of the transformed image is set to ten
+  // different values".
+  EXPECT_EQ(DistortionCurve::default_ranges().size(), 10u);
+}
+
+TEST(DistortionCurve, PredictsLessDistortionAtWiderRanges) {
+  const auto& curve = characterized();
+  EXPECT_GT(curve.average_distortion(60), curve.average_distortion(200));
+  EXPECT_GT(curve.worst_distortion(60), curve.worst_distortion(200));
+}
+
+TEST(DistortionCurve, WorstCaseDominatesAverageMidDomain) {
+  const auto& curve = characterized();
+  for (int range : {80, 120, 160, 200}) {
+    EXPECT_GE(curve.worst_distortion(range),
+              curve.average_distortion(range) - 0.5)
+        << "range " << range;
+  }
+}
+
+TEST(DistortionCurve, PredictionsAreNonNegativeEverywhere) {
+  const auto& curve = characterized();
+  for (int range = curve.range_lo(); range <= curve.range_hi(); range += 10) {
+    EXPECT_GE(curve.average_distortion(range), 0.0);
+    EXPECT_GE(curve.worst_distortion(range), 0.0);
+  }
+}
+
+TEST(DistortionCurve, MinRangeForIsMonotoneInBudget) {
+  const auto& curve = characterized();
+  int prev = 256;
+  for (double budget : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    const int r = curve.min_range_for(budget);
+    EXPECT_LE(r, prev) << "budget " << budget;
+    prev = r;
+  }
+}
+
+TEST(DistortionCurve, ZeroBudgetDemandsAtLeastAsMuchRangeAsAnyOther) {
+  // Distortion reaches zero once the range covers the native width, so a
+  // zero budget may be satisfiable before range_hi — but never with less
+  // range than a positive budget needs.
+  const auto& curve = characterized();
+  for (double budget : {2.0, 5.0, 10.0}) {
+    EXPECT_GE(curve.min_range_for(0.0), curve.min_range_for(budget));
+  }
+  EXPECT_LE(curve.worst_distortion(curve.min_range_for(0.0)), 0.5);
+}
+
+TEST(DistortionCurve, HugeBudgetAllowsTheNarrowestRange) {
+  const auto& curve = characterized();
+  EXPECT_EQ(curve.min_range_for(100.0), curve.range_lo());
+}
+
+TEST(DistortionCurve, LookupSatisfiesItsOwnPrediction) {
+  const auto& curve = characterized();
+  for (double budget : {5.0, 10.0, 20.0}) {
+    const int r = curve.min_range_for(budget);
+    EXPECT_LE(curve.worst_distortion(r), budget + 1e-9) << budget;
+  }
+}
+
+TEST(DistortionCurve, CharacterizeExportsTheScatter) {
+  std::vector<CharacterizationPoint> points;
+  const auto ranges = DistortionCurve::default_ranges();
+  const auto album = small_album();
+  (void)DistortionCurve::characterize(album, ranges, {}, model(), &points);
+  EXPECT_EQ(points.size(), album.size() * ranges.size());
+  // Every (image, range) pair appears once.
+  for (const auto& p : points) {
+    EXPECT_FALSE(p.image_name.empty());
+    EXPECT_GE(p.distortion_percent, 0.0);
+  }
+}
+
+TEST(DistortionCurve, ValidatesArguments) {
+  EXPECT_THROW(DistortionCurve(fit::Poly{{1.0}}, fit::Poly{{1.0}}, 100, 50),
+               hebs::util::InvalidArgument);
+  const std::vector<NamedImage> empty_album;
+  const auto ranges = DistortionCurve::default_ranges();
+  EXPECT_THROW(
+      DistortionCurve::characterize(empty_album, ranges, {}, model()),
+      hebs::util::InvalidArgument);
+  const std::vector<int> too_few = {100, 200};
+  EXPECT_THROW(
+      DistortionCurve::characterize(small_album(), too_few, {}, model()),
+      hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::core

@@ -1,0 +1,202 @@
+// Unit tests for drawing primitives and coherent noise.
+#include <gtest/gtest.h>
+
+#include "image/draw.h"
+#include "image/noise.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hebs::image {
+namespace {
+
+TEST(Draw, ToPixelClampsAndRounds) {
+  EXPECT_EQ(to_pixel(-0.1), 0);
+  EXPECT_EQ(to_pixel(0.0), 0);
+  EXPECT_EQ(to_pixel(1.0), 255);
+  EXPECT_EQ(to_pixel(2.0), 255);
+  EXPECT_EQ(to_pixel(0.5), 128);
+}
+
+TEST(Draw, FillRectRespectsBoundsAndClips) {
+  GrayImage img(8, 8, 0);
+  fill_rect(img, 2, 2, 4, 4, 1.0);
+  EXPECT_EQ(img(2, 2), 255);
+  EXPECT_EQ(img(3, 3), 255);
+  EXPECT_EQ(img(4, 4), 0);  // exclusive upper bound
+  EXPECT_EQ(img(1, 2), 0);
+  // Clipping: huge rect must not crash and must fill everything.
+  fill_rect(img, -10, -10, 100, 100, 0.5);
+  EXPECT_EQ(img(0, 0), 128);
+  EXPECT_EQ(img(7, 7), 128);
+}
+
+TEST(Draw, FillCircleCoversCenterNotCorners) {
+  GrayImage img(21, 21, 0);
+  fill_circle(img, 10, 10, 5, 1.0);
+  EXPECT_EQ(img(10, 10), 255);
+  EXPECT_EQ(img(10, 14), 255);  // within radius
+  EXPECT_EQ(img(0, 0), 0);
+  EXPECT_EQ(img(10, 16), 0);  // outside radius
+}
+
+TEST(Draw, GradientHEndpoints) {
+  GrayImage img(11, 3);
+  gradient_h(img, 0.0, 1.0);
+  EXPECT_EQ(img(0, 1), 0);
+  EXPECT_EQ(img(10, 1), 255);
+  EXPECT_EQ(img(5, 1), 128);
+}
+
+TEST(Draw, GradientVEndpoints) {
+  GrayImage img(3, 11);
+  gradient_v(img, 1.0, 0.0);
+  EXPECT_EQ(img(1, 0), 255);
+  EXPECT_EQ(img(1, 10), 0);
+}
+
+TEST(Draw, RadialGradientCenterAndEdge) {
+  GrayImage img(21, 21);
+  gradient_radial(img, 10, 10, 10, 1.0, 0.0);
+  EXPECT_EQ(img(10, 10), 255);
+  EXPECT_EQ(img(10, 0), 0);  // at distance r
+}
+
+TEST(Draw, CheckerboardAlternates) {
+  GrayImage img(8, 8);
+  checkerboard(img, 2, 0.0, 1.0);
+  EXPECT_EQ(img(0, 0), 0);
+  EXPECT_EQ(img(2, 0), 255);
+  EXPECT_EQ(img(0, 2), 255);
+  EXPECT_EQ(img(2, 2), 0);
+}
+
+TEST(Draw, GaussianBlobAddsAtCenterOnly) {
+  GrayImage img(33, 33, 0);
+  add_gaussian_blob(img, 16, 16, 3.0, 0.5);
+  EXPECT_NEAR(img(16, 16), 128, 2);
+  EXPECT_EQ(img(0, 0), 0);  // outside 3-sigma support
+}
+
+TEST(Draw, NoiseIsDeterministicPerSeed) {
+  GrayImage a(16, 16, 128);
+  GrayImage b(16, 16, 128);
+  util::Rng ra(5);
+  util::Rng rb(5);
+  add_gaussian_noise(a, 0.1, ra);
+  add_gaussian_noise(b, 0.1, rb);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Draw, SaltPepperOnlyProducesExtremes) {
+  GrayImage img(32, 32, 128);
+  util::Rng rng(6);
+  add_salt_pepper(img, 0.5, rng);
+  int extremes = 0;
+  for (auto p : img.pixels()) {
+    EXPECT_TRUE(p == 0 || p == 128 || p == 255);
+    if (p != 128) ++extremes;
+  }
+  EXPECT_GT(extremes, 300);  // roughly half of 1024
+  EXPECT_LT(extremes, 700);
+}
+
+TEST(Draw, VignetteDarkensCornersKeepsCenter) {
+  GrayImage img(33, 33, 200);
+  vignette(img, 0.5);
+  EXPECT_NEAR(img(16, 16), 200, 1);
+  EXPECT_LT(img(0, 0), 120);
+}
+
+TEST(Draw, BoxBlurReducesVariance) {
+  GrayImage img(32, 32);
+  checkerboard(img, 1, 0.0, 1.0);
+  const double var_before = [] (const GrayImage& i) {
+    double m = i.mean();
+    double acc = 0;
+    for (auto p : i.pixels()) acc += (p - m) * (p - m);
+    return acc / static_cast<double>(i.size());
+  }(img);
+  box_blur(img, 1, 1);
+  double m = img.mean();
+  double var_after = 0;
+  for (auto p : img.pixels()) var_after += (p - m) * (p - m);
+  var_after /= static_cast<double>(img.size());
+  EXPECT_LT(var_after, var_before * 0.5);
+}
+
+TEST(Draw, BoxBlurPreservesConstantImage) {
+  GrayImage img(16, 16, 90);
+  box_blur(img, 2, 3);
+  for (auto p : img.pixels()) EXPECT_EQ(p, 90);
+}
+
+TEST(Draw, StretchToRangeHitsTargets) {
+  GrayImage img(4, 1);
+  img(0, 0) = 50;
+  img(1, 0) = 100;
+  img(2, 0) = 150;
+  img(3, 0) = 200;
+  stretch_to_range(img, 0.0, 1.0);
+  EXPECT_EQ(img(0, 0), 0);
+  EXPECT_EQ(img(3, 0), 255);
+}
+
+TEST(Draw, StretchConstantImageIsNoop) {
+  GrayImage img(4, 4, 99);
+  stretch_to_range(img, 0.0, 1.0);
+  for (auto p : img.pixels()) EXPECT_EQ(p, 99);
+}
+
+TEST(ValueNoise, OutputInUnitInterval) {
+  const ValueNoise noise(42);
+  for (double y = 0; y < 5; y += 0.37) {
+    for (double x = 0; x < 5; x += 0.41) {
+      const double v = noise.sample(x, y);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(ValueNoise, DeterministicPerSeedDistinctAcrossSeeds) {
+  const ValueNoise a(1);
+  const ValueNoise b(1);
+  const ValueNoise c(2);
+  EXPECT_DOUBLE_EQ(a.sample(1.3, 2.7), b.sample(1.3, 2.7));
+  EXPECT_NE(a.sample(1.3, 2.7), c.sample(1.3, 2.7));
+}
+
+TEST(ValueNoise, IsContinuousAcrossLatticeCells) {
+  const ValueNoise noise(7);
+  // Values immediately left/right of a lattice line should be close.
+  const double eps = 1e-6;
+  const double left = noise.sample(2.0 - eps, 0.5);
+  const double right = noise.sample(2.0 + eps, 0.5);
+  EXPECT_NEAR(left, right, 1e-3);
+}
+
+TEST(ValueNoise, FbmStaysNormalized) {
+  const ValueNoise noise(9);
+  for (double x = 0; x < 3; x += 0.23) {
+    const double v = noise.fbm(x, 1.0, 5);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(ValueNoise, FillFbmRespectsRange) {
+  GrayImage img(32, 32);
+  fill_fbm(img, 11, 8.0, 4, 0.25, 0.75);
+  const auto mm = img.min_max();
+  EXPECT_GE(mm.min, to_pixel(0.25) - 1);
+  EXPECT_LE(mm.max, to_pixel(0.75) + 1);
+}
+
+TEST(ValueNoise, FillFbmValidatesArguments) {
+  GrayImage img(8, 8);
+  EXPECT_THROW(fill_fbm(img, 1, 0.0, 4, 0.0, 1.0), util::InvalidArgument);
+  EXPECT_THROW(fill_fbm(img, 1, 8.0, 0, 0.0, 1.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::image

@@ -1,0 +1,203 @@
+// Tests for the regression/curve-fitting substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fit/regression.h"
+#include "util/error.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace hebs::fit {
+namespace {
+
+TEST(Poly, EvaluatesWithHorner) {
+  const Poly p{{1.0, 2.0, 3.0}};  // 1 + 2x + 3x^2
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 17.0);
+  EXPECT_EQ(p.degree(), 2);
+}
+
+TEST(Poly, DerivativeCoefficients) {
+  const Poly p{{1.0, 2.0, 3.0}};
+  const Poly d = p.derivative();
+  ASSERT_EQ(d.coeffs.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.coeffs[0], 2.0);
+  EXPECT_DOUBLE_EQ(d.coeffs[1], 6.0);
+  const Poly c{{5.0}};
+  EXPECT_DOUBLE_EQ(c.derivative()(3.0), 0.0);
+}
+
+TEST(LinearSolve, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10]  ->  x = [1; 3]
+  const auto x = solve_linear_system({2, 1, 1, 3}, {5, 10});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinearSolve, PivotsOnZeroDiagonal) {
+  // [0 1; 1 0] x = [2; 3] requires a row swap.
+  const auto x = solve_linear_system({0, 1, 1, 0}, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LinearSolve, SingularMatrixThrows) {
+  EXPECT_THROW(solve_linear_system({1, 2, 2, 4}, {1, 2}),
+               util::InvalidArgument);
+}
+
+TEST(LinearSolve, SizeMismatchThrows) {
+  EXPECT_THROW(solve_linear_system({1, 2, 3}, {1, 2}),
+               util::InvalidArgument);
+}
+
+/// Property sweep: polyfit recovers exact polynomials of every degree.
+class PolyfitRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyfitRecovery, RecoversExactPolynomial) {
+  const int degree = GetParam();
+  util::Rng rng(100 + static_cast<std::uint64_t>(degree));
+  Poly truth;
+  for (int i = 0; i <= degree; ++i) {
+    truth.coeffs.push_back(rng.uniform(-2.0, 2.0));
+  }
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x = -1.0; x <= 1.0; x += 0.1) {
+    xs.push_back(x);
+    ys.push_back(truth(x));
+  }
+  const Poly fitted = polyfit(xs, ys, degree);
+  for (double x = -1.0; x <= 1.0; x += 0.05) {
+    EXPECT_NEAR(fitted(x), truth(x), 1e-8) << "degree " << degree;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyfitRecovery,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(Polyfit, RequiresEnoughSamples) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(polyfit(xs, ys, 2), util::InvalidArgument);
+  EXPECT_THROW(polyfit(xs, ys, -1), util::InvalidArgument);
+}
+
+TEST(FitLine, PerfectLineHasUnitRSquared) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+  const LineFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineRecoversApproximately) {
+  util::Rng rng(5);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = i / 200.0;
+    xs.push_back(x);
+    ys.push_back(3.0 * x - 0.5 + rng.gaussian(0.0, 0.01));
+  }
+  const LineFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 0.05);
+  EXPECT_NEAR(f.intercept, -0.5, 0.05);
+  EXPECT_GT(f.r_squared, 0.99);
+}
+
+TEST(FitLine, VerticalStackFallsBackToMean) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  const LineFit f = fit_line(xs, ys);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 2.0);
+}
+
+TEST(TwoPiece, RecoversKnownBreakpoint) {
+  // y = x for x <= 0.6, y = 5x - 2.4 after (continuous at 0.6).
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x = 0.0; x <= 1.0001; x += 0.02) {
+    xs.push_back(x);
+    ys.push_back(x <= 0.6 ? x : 5.0 * x - 2.4);
+  }
+  const TwoPieceLinear f = fit_two_piece(xs, ys);
+  EXPECT_NEAR(f.breakpoint, 0.6, 0.03);
+  EXPECT_NEAR(f.lo.slope, 1.0, 0.02);
+  EXPECT_NEAR(f.hi.slope, 5.0, 0.02);
+  EXPECT_LT(f.sse, 1e-10);
+}
+
+TEST(TwoPiece, EvaluatesPieceBySide) {
+  TwoPieceLinear f;
+  f.breakpoint = 0.5;
+  f.lo = {1.0, 0.0, 1.0};
+  f.hi = {2.0, -0.5, 1.0};
+  EXPECT_DOUBLE_EQ(f(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(f(0.75), 1.0);
+}
+
+TEST(TwoPiece, ValidatesInput) {
+  std::vector<double> xs = {0.0, 1.0, 2.0};
+  std::vector<double> ys = {0.0, 1.0, 2.0};
+  EXPECT_THROW(fit_two_piece(xs, ys), util::InvalidArgument);
+  std::vector<double> unsorted = {0.0, 2.0, 1.0, 3.0, 4.0, 5.0};
+  std::vector<double> y6 = {0, 1, 2, 3, 4, 5};
+  EXPECT_THROW(fit_two_piece(unsorted, y6), util::InvalidArgument);
+}
+
+TEST(RSquared, PerfectAndFlatModels) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 1.0, 2.0};
+  EXPECT_NEAR(r_squared(xs, ys, [](double x) { return x; }), 1.0, 1e-12);
+  EXPECT_NEAR(r_squared(xs, ys, [](double) { return 1.0; }), 0.0, 1e-12);
+}
+
+TEST(UpperEnvelope, StaysAboveBucketMaxima) {
+  util::Rng rng(9);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  // Scatter under the parabola y = 10 - (x-5)^2/5 with random depression.
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    const double top = 10.0 - (x - 5.0) * (x - 5.0) / 5.0;
+    xs.push_back(x);
+    ys.push_back(top - rng.uniform(0.0, 4.0));
+  }
+  const Poly env = fit_upper_envelope(xs, ys, 2, 10);
+  const Poly avg = polyfit(xs, ys, 2);
+  // The envelope must sit clearly above the average fit mid-domain.
+  for (double x = 2.0; x <= 8.0; x += 0.5) {
+    EXPECT_GT(env(x), avg(x));
+  }
+}
+
+TEST(UpperEnvelope, ValidatesArguments) {
+  std::vector<double> xs = {1.0, 2.0};
+  std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(fit_upper_envelope(xs, ys, 2, 2), util::InvalidArgument);
+}
+
+TEST(InvertMonotone, IncreasingFunction) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_NEAR(invert_monotone(f, 4.0, 0.0, 10.0), 2.0, 1e-9);
+}
+
+TEST(InvertMonotone, DecreasingFunction) {
+  const auto f = [](double x) { return 10.0 - x; };
+  EXPECT_NEAR(invert_monotone(f, 3.0, 0.0, 10.0), 7.0, 1e-9);
+}
+
+TEST(InvertMonotone, ClampsOutOfRangeTargets) {
+  const auto f = [](double x) { return x; };
+  EXPECT_DOUBLE_EQ(invert_monotone(f, -5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(invert_monotone(f, 5.0, 0.0, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace hebs::fit

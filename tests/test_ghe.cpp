@@ -1,0 +1,151 @@
+// Tests for the Global Histogram Equalization solver (Eqs. 4-7).
+#include <gtest/gtest.h>
+
+#include "core/ghe.h"
+#include "histogram/histogram_ops.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hebs::core {
+namespace {
+
+using hebs::histogram::Histogram;
+using hebs::image::UsidId;
+
+Histogram random_histogram(std::uint64_t seed, int populated_levels = 64) {
+  hebs::util::Rng rng(seed);
+  Histogram h;
+  for (int i = 0; i < populated_levels; ++i) {
+    h.add(rng.uniform_int(0, 255),
+          static_cast<std::uint64_t>(rng.uniform_int(1, 500)));
+  }
+  return h;
+}
+
+TEST(Ghe, OutputSpansExactlyTheTargetRange) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 64);
+  const auto hist = Histogram::from_image(img);
+  const GheTarget target{0, 150};
+  const auto lut = ghe_lut(hist, target);
+  const auto out = lut.apply(img);
+  EXPECT_EQ(out.min_max().min, 0);
+  EXPECT_EQ(out.min_max().max, 150);
+}
+
+TEST(Ghe, RespectsNonZeroGmin) {
+  const auto img = hebs::image::make_usid(UsidId::kPeppers, 64);
+  const auto hist = Histogram::from_image(img);
+  const GheTarget target{40, 180};
+  const auto out = ghe_lut(hist, target).apply(img);
+  EXPECT_EQ(out.min_max().min, 40);
+  EXPECT_EQ(out.min_max().max, 180);
+}
+
+/// Property sweep: Φ is monotone for arbitrary random histograms.
+class GheMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(GheMonotone, TransformIsMonotone) {
+  const auto h = random_histogram(static_cast<std::uint64_t>(GetParam()));
+  const auto phi = ghe_transform(h, GheTarget{0, 120});
+  EXPECT_TRUE(phi.is_monotonic());
+  EXPECT_TRUE(ghe_lut(h, GheTarget{0, 120}).is_monotonic());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GheMonotone, ::testing::Range(0, 20));
+
+TEST(Ghe, UniformHistogramGetsLinearMap) {
+  // An already-uniform histogram needs only linear compression.
+  std::vector<std::uint64_t> counts(256, 10);
+  const auto h = Histogram::from_counts(counts);
+  const auto phi = ghe_transform(h, GheTarget{0, 255});
+  for (double x = 0.05; x <= 1.0; x += 0.05) {
+    EXPECT_NEAR(phi(x), x, 0.02) << "x=" << x;
+  }
+}
+
+TEST(Ghe, EmptyLevelsProduceFlatBands) {
+  // A bimodal histogram with a hole in the middle: the transform must be
+  // flat across the hole (those levels hold no pixels).
+  Histogram h;
+  h.add(50, 100);
+  h.add(200, 100);
+  const auto phi = ghe_transform(h, GheTarget{0, 100});
+  const double at_hole_start = phi(60.0 / 255.0);
+  const double at_hole_end = phi(190.0 / 255.0);
+  EXPECT_NEAR(at_hole_start, at_hole_end, 1e-9);
+}
+
+TEST(Ghe, EqualizesTowardUniform) {
+  // The equalized histogram must be closer to uniform (EMD over the
+  // target range) than a plain linear compression.
+  const auto img = hebs::image::make_usid(UsidId::kPout, 64);
+  const auto hist = Histogram::from_image(img);
+  const GheTarget target{0, 200};
+
+  const auto equalized =
+      Histogram::from_image(ghe_lut(hist, target).apply(img));
+
+  hebs::transform::Lut linear;
+  for (int i = 0; i < 256; ++i) {
+    linear[i] = static_cast<std::uint8_t>(i * 200 / 255);
+  }
+  const auto compressed = Histogram::from_image(linear.apply(img));
+
+  // Reference uniform over [0, 200].
+  std::vector<std::uint64_t> u(256, 0);
+  for (int i = 0; i <= 200; ++i) {
+    u[static_cast<std::size_t>(i)] = hist.total() / 201;
+  }
+  const auto uniform = Histogram::from_counts(u);
+
+  EXPECT_LT(hebs::histogram::emd_distance(equalized, uniform),
+            hebs::histogram::emd_distance(compressed, uniform));
+}
+
+TEST(Ghe, SingleLevelHistogramMapsToTop) {
+  Histogram h;
+  h.add(77, 1000);
+  const auto phi = ghe_transform(h, GheTarget{0, 128});
+  EXPECT_NEAR(phi(77.0 / 255.0), 128.0 / 255.0, 1e-9);
+  EXPECT_TRUE(phi.is_monotonic());
+}
+
+TEST(Ghe, DarkestPopulatedLevelHitsGmin) {
+  Histogram h;
+  h.add(30, 10);
+  h.add(100, 20);
+  h.add(220, 30);
+  const auto phi = ghe_transform(h, GheTarget{0, 100});
+  EXPECT_NEAR(phi(30.0 / 255.0), 0.0, 1e-9);
+  EXPECT_NEAR(phi(220.0 / 255.0), 100.0 / 255.0, 1e-9);
+}
+
+TEST(Ghe, MassWeightsTheSlope) {
+  // 90% of pixels at a dark level: the transform must allocate most of
+  // the output range right after that level.
+  Histogram h;
+  h.add(50, 900);
+  h.add(60, 50);
+  h.add(70, 50);
+  const auto phi = ghe_transform(h, GheTarget{0, 200});
+  const double jump_after_heavy = phi(60.0 / 255.0) - phi(50.0 / 255.0);
+  const double jump_after_light = phi(70.0 / 255.0) - phi(60.0 / 255.0);
+  EXPECT_GT(jump_after_heavy, 5.0 * jump_after_light);
+}
+
+TEST(Ghe, ValidatesArguments) {
+  Histogram empty;
+  EXPECT_THROW((void)ghe_transform(empty, GheTarget{0, 100}),
+               hebs::util::InvalidArgument);
+  const auto h = random_histogram(1);
+  EXPECT_THROW((void)ghe_transform(h, GheTarget{100, 100}),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW((void)ghe_transform(h, GheTarget{-1, 100}),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW((void)ghe_transform(h, GheTarget{0, 256}),
+               hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::core

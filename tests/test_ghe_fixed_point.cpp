@@ -1,0 +1,127 @@
+// Tests for the integer-only GHE path and distortion-curve persistence —
+// the deployment artifacts of the hardware story.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/distortion_curve.h"
+#include "core/ghe.h"
+#include "core/hebs.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hebs::core {
+namespace {
+
+using hebs::histogram::Histogram;
+using hebs::image::UsidId;
+
+/// Property sweep: the fixed-point LUT matches the floating-point LUT
+/// within one gray level on every entry, for every album image and a
+/// spread of targets.
+class FixedPointAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FixedPointAgreement, WithinOneLevelOfFloatPath) {
+  const auto [image_index, range] = GetParam();
+  const auto img = hebs::image::make_usid(
+      hebs::image::kAllUsidIds[static_cast<std::size_t>(image_index)], 64);
+  const auto hist = Histogram::from_image(img);
+  const GheTarget target{0, range};
+  const auto float_lut = ghe_lut(hist, target);
+  const auto fixed_lut = ghe_lut_fixed_point(hist, target);
+  for (int level = 0; level < 256; ++level) {
+    EXPECT_NEAR(static_cast<int>(float_lut[level]),
+                static_cast<int>(fixed_lut[level]), 1)
+        << "level " << level << " range " << range;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ImagesAndRanges, FixedPointAgreement,
+    ::testing::Combine(::testing::Values(0, 5, 9, 13, 17),
+                       ::testing::Values(60, 120, 200, 255)));
+
+TEST(FixedPoint, IsMonotoneAndRangeTight) {
+  hebs::util::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Histogram h;
+    for (int i = 0; i < 40; ++i) {
+      h.add(rng.uniform_int(0, 255),
+            static_cast<std::uint64_t>(rng.uniform_int(1, 1000)));
+    }
+    const GheTarget target{0, 140};
+    const auto lut = ghe_lut_fixed_point(h, target);
+    EXPECT_TRUE(lut.is_monotonic());
+    EXPECT_LE(lut.max_output(), 140);
+  }
+}
+
+TEST(FixedPoint, HandlesDegenerateHistogram) {
+  Histogram h;
+  h.add(99, 12345);
+  const auto lut = ghe_lut_fixed_point(h, GheTarget{0, 100});
+  EXPECT_EQ(lut[99], 100);
+  EXPECT_TRUE(lut.is_monotonic());
+}
+
+TEST(FixedPoint, ValidatesArguments) {
+  Histogram empty;
+  EXPECT_THROW((void)ghe_lut_fixed_point(empty, GheTarget{0, 100}),
+               hebs::util::InvalidArgument);
+}
+
+TEST(CurvePersistence, SaveLoadRoundTripsPredictions) {
+  const std::vector<hebs::image::NamedImage> album = {
+      {"Lena", hebs::image::make_usid(UsidId::kLena, 48)},
+      {"Pout", hebs::image::make_usid(UsidId::kPout, 48)},
+      {"Baboon", hebs::image::make_usid(UsidId::kBaboon, 48)},
+      {"Sail", hebs::image::make_usid(UsidId::kSail, 48)},
+  };
+  const auto ranges = DistortionCurve::default_ranges();
+  const auto curve = DistortionCurve::characterize(
+      album, ranges, {}, hebs::power::LcdSubsystemPower::lp064v1());
+
+  const std::string path = ::testing::TempDir() + "hebs_curve.csv";
+  curve.save(path);
+  const DistortionCurve loaded = DistortionCurve::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.range_lo(), curve.range_lo());
+  EXPECT_EQ(loaded.range_hi(), curve.range_hi());
+  for (int range = curve.range_lo(); range <= curve.range_hi();
+       range += 17) {
+    EXPECT_NEAR(loaded.average_distortion(range),
+                curve.average_distortion(range), 1e-9);
+    EXPECT_NEAR(loaded.worst_distortion(range),
+                curve.worst_distortion(range), 1e-9);
+  }
+  for (double budget : {5.0, 10.0, 20.0}) {
+    EXPECT_EQ(loaded.min_range_for(budget), curve.min_range_for(budget));
+  }
+}
+
+TEST(CurvePersistence, LoadRejectsMalformedFiles) {
+  const std::string path = ::testing::TempDir() + "bad_curve.csv";
+  auto write = [&path](const char* text) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs(text, f);
+    std::fclose(f);
+  };
+  write("curve,range_lo,range_hi,c0,c1,c2\n");  // header only
+  EXPECT_THROW((void)DistortionCurve::load(path), hebs::util::IoError);
+  write("curve,range_lo,range_hi,c0,c1,c2\n"
+        "average,40,250,1.0,nope,3.0\n"
+        "worst_case,40,250,1.0,2.0,3.0\n");
+  EXPECT_THROW((void)DistortionCurve::load(path), hebs::util::IoError);
+  write("curve,range_lo,range_hi,c0,c1,c2\n"
+        "mystery,40,250,1.0,2.0,3.0\n");
+  EXPECT_THROW((void)DistortionCurve::load(path), hebs::util::IoError);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)DistortionCurve::load("/no/such/file.csv"),
+               hebs::util::IoError);
+}
+
+}  // namespace
+}  // namespace hebs::core

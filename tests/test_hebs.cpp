@@ -1,0 +1,193 @@
+// Tests for the full HEBS pipeline (Fig. 4) and its policy wrapper.
+#include <gtest/gtest.h>
+
+#include "core/backlight.h"
+#include "core/distortion_curve.h"
+#include "core/hebs.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+
+namespace hebs::core {
+namespace {
+
+using hebs::image::UsidId;
+
+const hebs::power::LcdSubsystemPower& model() {
+  static const auto m = hebs::power::LcdSubsystemPower::lp064v1();
+  return m;
+}
+
+TEST(Backlight, BetaForGmaxIsNormalizedLevel) {
+  EXPECT_NEAR(beta_for_gmax(255), 1.0, 1e-12);
+  EXPECT_NEAR(beta_for_gmax(128), 128.0 / 255.0, 1e-12);
+  EXPECT_NEAR(beta_for_gmax(10, 0.2), 0.2, 1e-12);  // floor applies
+  EXPECT_THROW((void)beta_for_gmax(0), hebs::util::InvalidArgument);
+  EXPECT_THROW((void)beta_for_gmax(256), hebs::util::InvalidArgument);
+}
+
+TEST(Backlight, GmaxForBetaInverts) {
+  for (int level : {1, 64, 128, 200, 255}) {
+    EXPECT_LE(gmax_for_beta(beta_for_gmax(level)), level);
+    EXPECT_GE(gmax_for_beta(beta_for_gmax(level)), level - 1);
+  }
+}
+
+TEST(HebsAtRange, TransformedImageSpansTheTarget) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 64);
+  const HebsResult r = hebs_at_range(img, 150, {}, model());
+  EXPECT_EQ(r.target.g_min, 0);
+  EXPECT_EQ(r.target.g_max, 150);
+  EXPECT_LE(r.evaluation.transformed.min_max().max, 151);
+}
+
+TEST(HebsAtRange, BetaMatchesGmax) {
+  const auto img = hebs::image::make_usid(UsidId::kPeppers, 64);
+  const HebsResult r = hebs_at_range(img, 120, {}, model());
+  EXPECT_NEAR(r.point.beta, 120.0 / 255.0, 1e-9);
+}
+
+TEST(HebsAtRange, LambdaRespectsSegmentBudget) {
+  const auto img = hebs::image::make_usid(UsidId::kBaboon, 64);
+  HebsOptions opts;
+  opts.segments = 6;
+  const HebsResult r = hebs_at_range(img, 180, opts, model());
+  EXPECT_LE(r.lambda.segment_count(), 6);
+  EXPECT_GE(r.phi.segment_count(), 100);  // exact curve is per-level
+}
+
+TEST(HebsAtRange, LambdaIsMonotone) {
+  const auto img = hebs::image::make_usid(UsidId::kTestpat, 64);
+  const HebsResult r = hebs_at_range(img, 100, {}, model());
+  EXPECT_TRUE(r.lambda.is_monotonic());
+  EXPECT_TRUE(r.phi.is_monotonic());
+}
+
+/// Property sweep: wider admissible range => (weakly) less distortion
+/// and (weakly) less saving, across several images.
+class HebsRangeTradeoff : public ::testing::TestWithParam<UsidId> {};
+
+TEST_P(HebsRangeTradeoff, DistortionFallsAndSavingFallsWithRange) {
+  const auto img = hebs::image::make_usid(GetParam(), 64);
+  double prev_distortion = 1e9;
+  double prev_saving = 1e9;
+  for (int range : {60, 120, 180, 240}) {
+    const HebsResult r = hebs_at_range(img, range, {}, model());
+    EXPECT_LE(r.evaluation.distortion_percent, prev_distortion + 1.0)
+        << "range " << range;  // 1% slack for metric noise
+    EXPECT_LE(r.evaluation.saving_percent, prev_saving + 1e-9);
+    prev_distortion = r.evaluation.distortion_percent;
+    prev_saving = r.evaluation.saving_percent;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Images, HebsRangeTradeoff,
+                         ::testing::Values(UsidId::kLena, UsidId::kPout,
+                                           UsidId::kBaboon,
+                                           UsidId::kSplash));
+
+TEST(HebsAtRange, FullRangeIsNearlyDistortionFree) {
+  const auto img = hebs::image::make_usid(UsidId::kGirl, 64);
+  const HebsResult r = hebs_at_range(img, 255, {}, model());
+  // Equalization at full range still remaps levels, but the displayed
+  // image remains close to the original.
+  EXPECT_LT(r.evaluation.distortion_percent, 6.0);
+}
+
+TEST(HebsExact, LandsAtOrUnderTheBudget) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 64);
+  for (double budget : {5.0, 10.0, 20.0}) {
+    const HebsResult r = hebs_exact(img, budget, {}, model());
+    EXPECT_LE(r.evaluation.distortion_percent, budget + 1e-9)
+        << "budget " << budget;
+  }
+}
+
+TEST(HebsExact, TightBudgetUsesSmallestRangeFeasible) {
+  // One range step tighter must violate the budget (bisection
+  // optimality), unless the range floor was hit.
+  const auto img = hebs::image::make_usid(UsidId::kElaine, 64);
+  HebsOptions opts;
+  const double budget = 10.0;
+  const HebsResult r = hebs_exact(img, budget, opts, model());
+  const int range = r.target.range();
+  if (range > opts.min_range) {
+    const HebsResult tighter =
+        hebs_at_range(img, range - 1, opts, model());
+    EXPECT_GT(tighter.evaluation.distortion_percent, budget);
+  }
+}
+
+TEST(HebsExact, LargerBudgetNeverSavesLess) {
+  const auto img = hebs::image::make_usid(UsidId::kOnion, 64);
+  const double s5 = hebs_exact(img, 5.0, {}, model())
+                        .evaluation.saving_percent;
+  const double s20 = hebs_exact(img, 20.0, {}, model())
+                         .evaluation.saving_percent;
+  EXPECT_GE(s20 + 1e-9, s5);
+}
+
+TEST(HebsExact, SavingsAreInThePaperBallpark) {
+  // Shape-level reproduction: at 10% distortion the paper reports ~58%
+  // average saving; individual synthetic images should land between 25%
+  // and 75%.
+  const auto img = hebs::image::make_usid(UsidId::kLena, 64);
+  const HebsResult r = hebs_exact(img, 10.0, {}, model());
+  EXPECT_GT(r.evaluation.saving_percent, 25.0);
+  EXPECT_LT(r.evaluation.saving_percent, 75.0);
+}
+
+TEST(HebsWithCurve, HonorsTheBudgetThroughTheWorstCaseFit) {
+  // Characterize on a small album, then run the deployed flow on a
+  // member image: measured distortion must respect the budget within the
+  // curve's fitting slack.
+  const std::vector<hebs::image::NamedImage> album = {
+      {"Lena", hebs::image::make_usid(UsidId::kLena, 64)},
+      {"Pout", hebs::image::make_usid(UsidId::kPout, 64)},
+      {"Baboon", hebs::image::make_usid(UsidId::kBaboon, 64)},
+      {"Splash", hebs::image::make_usid(UsidId::kSplash, 64)},
+  };
+  const auto ranges = DistortionCurve::default_ranges();
+  const auto curve =
+      DistortionCurve::characterize(album, ranges, {}, model());
+  const HebsResult r =
+      hebs_with_curve(album[0].image, 15.0, curve, {}, model());
+  EXPECT_LE(r.evaluation.distortion_percent, 15.0 + 3.0);
+  EXPECT_GT(r.evaluation.saving_percent, 0.0);
+}
+
+TEST(HebsPolicy, ImplementsTheDbsInterface) {
+  const HebsPolicy policy;
+  EXPECT_EQ(policy.name(), "HEBS");
+  const auto img = hebs::image::make_usid(UsidId::kSail, 64);
+  const OperatingPoint point = policy.choose(img, 10.0);
+  const auto eval = evaluate_operating_point(img, point, model());
+  EXPECT_LE(eval.distortion_percent, 10.0 + 1e-9);
+  EXPECT_GT(eval.saving_percent, 0.0);
+}
+
+TEST(Hebs, ValidatesArguments) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 32);
+  EXPECT_THROW((void)hebs_at_range(img, 0, {}, model()),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW((void)hebs_at_range(img, 300, {}, model()),
+               hebs::util::InvalidArgument);
+  HebsOptions bad;
+  bad.segments = 0;
+  EXPECT_THROW((void)hebs_at_range(img, 100, bad, model()),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW((void)hebs_exact(img, -1.0, {}, model()),
+               hebs::util::InvalidArgument);
+  hebs::image::GrayImage empty;
+  EXPECT_THROW((void)hebs_at_range(empty, 100, {}, model()),
+               hebs::util::InvalidArgument);
+}
+
+TEST(Hebs, ConstantImageIsHandledGracefully) {
+  const hebs::image::GrayImage img(32, 32, 180);
+  const HebsResult r = hebs_at_range(img, 100, {}, model());
+  EXPECT_TRUE(r.lambda.is_monotonic());
+  EXPECT_GT(r.evaluation.saving_percent, 0.0);
+}
+
+}  // namespace
+}  // namespace hebs::core

@@ -1,0 +1,140 @@
+// Unit tests for the Histogram class.
+#include <gtest/gtest.h>
+
+#include "histogram/histogram.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+
+namespace hebs::histogram {
+namespace {
+
+using hebs::image::GrayImage;
+
+GrayImage tiny_image() {
+  GrayImage img(2, 2);
+  img(0, 0) = 10;
+  img(1, 0) = 10;
+  img(0, 1) = 20;
+  img(1, 1) = 250;
+  return img;
+}
+
+TEST(Histogram, FromImageCountsLevels) {
+  const auto h = Histogram::from_image(tiny_image());
+  EXPECT_EQ(h.count(10), 2u);
+  EXPECT_EQ(h.count(20), 1u);
+  EXPECT_EQ(h.count(250), 1u);
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, DefaultIsEmpty) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.min_level(), -1);
+  EXPECT_EQ(h.max_level(), -1);
+  EXPECT_EQ(h.dynamic_range(), 0);
+  EXPECT_DOUBLE_EQ(h.pdf(5), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(200), 0.0);
+}
+
+TEST(Histogram, AddAccumulates) {
+  Histogram h;
+  h.add(100, 3);
+  h.add(100);
+  EXPECT_EQ(h.count(100), 4u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, LevelRangeIsValidated) {
+  Histogram h;
+  EXPECT_THROW(h.add(-1), hebs::util::InvalidArgument);
+  EXPECT_THROW(h.add(256), hebs::util::InvalidArgument);
+  EXPECT_THROW((void)h.count(256), hebs::util::InvalidArgument);
+  EXPECT_THROW((void)h.cdf(-1), hebs::util::InvalidArgument);
+}
+
+TEST(Histogram, FromCountsValidatesSize) {
+  std::vector<std::uint64_t> wrong(100, 0);
+  EXPECT_THROW(Histogram::from_counts(wrong), hebs::util::InvalidArgument);
+  std::vector<std::uint64_t> right(256, 1);
+  const auto h = Histogram::from_counts(right);
+  EXPECT_EQ(h.total(), 256u);
+}
+
+TEST(Histogram, PdfSumsToOne) {
+  const auto h = Histogram::from_image(
+      hebs::image::make_usid(hebs::image::UsidId::kLena, 64));
+  double acc = 0.0;
+  for (int i = 0; i < Histogram::kBins; ++i) acc += h.pdf(i);
+  EXPECT_NEAR(acc, 1.0, 1e-9);
+}
+
+TEST(Histogram, CdfIsMonotoneEndingAtOne) {
+  const auto h = Histogram::from_image(tiny_image());
+  double prev = 0.0;
+  for (int i = 0; i < Histogram::kBins; ++i) {
+    const double c = h.cdf(i);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.cdf(255), 1.0);
+}
+
+TEST(Histogram, CumulativeCountsMatchCdf) {
+  const auto h = Histogram::from_image(tiny_image());
+  const auto cum = h.cumulative_counts();
+  EXPECT_EQ(cum[9], 0u);
+  EXPECT_EQ(cum[10], 2u);
+  EXPECT_EQ(cum[20], 3u);
+  EXPECT_EQ(cum[255], 4u);
+}
+
+TEST(Histogram, MeanVarianceMatchDirectComputation) {
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kGirl, 64);
+  const auto h = Histogram::from_image(img);
+  EXPECT_NEAR(h.mean(), img.mean(), 1e-9);
+  double var = 0.0;
+  for (auto p : img.pixels()) {
+    var += (p - img.mean()) * (p - img.mean());
+  }
+  var /= static_cast<double>(img.size());
+  EXPECT_NEAR(h.variance(), var, 1e-6);
+}
+
+TEST(Histogram, EntropyOfConstantImageIsZero) {
+  const GrayImage img(8, 8, 42);
+  EXPECT_DOUBLE_EQ(Histogram::from_image(img).entropy_bits(), 0.0);
+}
+
+TEST(Histogram, EntropyOfUniformHistogramIsEightBits) {
+  std::vector<std::uint64_t> counts(256, 10);
+  EXPECT_NEAR(Histogram::from_counts(counts).entropy_bits(), 8.0, 1e-9);
+}
+
+TEST(Histogram, MinMaxDynamicRange) {
+  const auto h = Histogram::from_image(tiny_image());
+  EXPECT_EQ(h.min_level(), 10);
+  EXPECT_EQ(h.max_level(), 250);
+  EXPECT_EQ(h.dynamic_range(), 240);
+}
+
+TEST(Histogram, PercentileLevelFindsCdfCrossing) {
+  const auto h = Histogram::from_image(tiny_image());
+  EXPECT_EQ(h.percentile_level(0.0), 0);    // threshold 0 crossed at once
+  EXPECT_EQ(h.percentile_level(0.5), 10);   // 2 of 4 pixels at level 10
+  EXPECT_EQ(h.percentile_level(0.75), 20);
+  EXPECT_EQ(h.percentile_level(1.0), 250);
+}
+
+TEST(Histogram, PercentileValidation) {
+  Histogram empty;
+  EXPECT_THROW((void)empty.percentile_level(0.5),
+               hebs::util::InvalidArgument);
+  const auto h = Histogram::from_image(tiny_image());
+  EXPECT_THROW((void)h.percentile_level(1.5), hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::histogram

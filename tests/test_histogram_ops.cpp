@@ -1,0 +1,168 @@
+// Tests for histogram operations, distances and the Eq. 4 objective.
+#include <gtest/gtest.h>
+
+#include "core/ghe.h"
+#include "histogram/histogram_ops.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+
+namespace hebs::histogram {
+namespace {
+
+Histogram sample_histogram() {
+  return Histogram::from_image(
+      hebs::image::make_usid(hebs::image::UsidId::kPeppers, 64));
+}
+
+TEST(HistogramOps, TruncatePreservesTotalMass) {
+  const auto h = sample_histogram();
+  const auto t = truncate(h, 50, 200);
+  EXPECT_EQ(t.total(), h.total());
+}
+
+TEST(HistogramOps, TruncateConfinesMassToBounds) {
+  const auto t = truncate(sample_histogram(), 50, 200);
+  EXPECT_GE(t.min_level(), 50);
+  EXPECT_LE(t.max_level(), 200);
+}
+
+TEST(HistogramOps, TruncatePilesClippedMassAtBounds) {
+  Histogram h;
+  h.add(10, 5);
+  h.add(100, 3);
+  h.add(240, 7);
+  const auto t = truncate(h, 50, 200);
+  EXPECT_EQ(t.count(50), 5u);
+  EXPECT_EQ(t.count(100), 3u);
+  EXPECT_EQ(t.count(200), 7u);
+}
+
+TEST(HistogramOps, TruncateValidatesBounds) {
+  const auto h = sample_histogram();
+  EXPECT_THROW(truncate(h, -1, 100), hebs::util::InvalidArgument);
+  EXPECT_THROW(truncate(h, 100, 256), hebs::util::InvalidArgument);
+  EXPECT_THROW(truncate(h, 150, 100), hebs::util::InvalidArgument);
+}
+
+TEST(HistogramOps, SmoothPreservesTotal) {
+  const auto h = sample_histogram();
+  for (int radius : {1, 3, 8}) {
+    EXPECT_EQ(smooth(h, radius).total(), h.total()) << radius;
+  }
+}
+
+TEST(HistogramOps, SmoothRadiusZeroIsIdentity) {
+  const auto h = sample_histogram();
+  EXPECT_EQ(smooth(h, 0), h);
+}
+
+TEST(HistogramOps, SmoothSpreadsASpike) {
+  Histogram h;
+  h.add(100, 1000);
+  const auto s = smooth(h, 2);
+  EXPECT_GT(s.count(99), 0u);
+  EXPECT_GT(s.count(101), 0u);
+  EXPECT_LT(s.count(100), 1000u);
+}
+
+TEST(HistogramOps, L1DistanceProperties) {
+  const auto a = sample_histogram();
+  const auto b = Histogram::from_image(
+      hebs::image::make_usid(hebs::image::UsidId::kSplash, 64));
+  EXPECT_DOUBLE_EQ(l1_distance(a, a), 0.0);
+  EXPECT_GT(l1_distance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), l1_distance(b, a));
+  EXPECT_LE(l1_distance(a, b), 2.0);
+}
+
+TEST(HistogramOps, ChiSquareProperties) {
+  const auto a = sample_histogram();
+  const auto b = Histogram::from_image(
+      hebs::image::make_usid(hebs::image::UsidId::kSail, 64));
+  EXPECT_DOUBLE_EQ(chi_square_distance(a, a), 0.0);
+  EXPECT_GT(chi_square_distance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(chi_square_distance(a, b), chi_square_distance(b, a));
+}
+
+TEST(HistogramOps, EmdDetectsShifts) {
+  Histogram a;
+  Histogram b;
+  Histogram c;
+  a.add(100, 10);
+  b.add(101, 10);  // shift by 1 level
+  c.add(150, 10);  // shift by 50 levels
+  const double small = emd_distance(a, b);
+  const double large = emd_distance(a, c);
+  EXPECT_GT(large, small * 10);
+  EXPECT_DOUBLE_EQ(emd_distance(a, a), 0.0);
+}
+
+TEST(HistogramOps, CumulativeUniformMatchesFootnote3) {
+  // U(x)=0 below g_min, linear inside, N above g_max.
+  EXPECT_DOUBLE_EQ(cumulative_uniform(10.0, 50, 150, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(cumulative_uniform(50.0, 50, 150, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(cumulative_uniform(100.0, 50, 150, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(cumulative_uniform(150.0, 50, 150, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(cumulative_uniform(200.0, 50, 150, 100.0), 100.0);
+}
+
+TEST(HistogramOps, ObjectiveIsZeroForPerfectEqualization) {
+  // A histogram that is already uniform on [0, 255], transformed by the
+  // identity toward target [0, 255], should have (near) zero objective.
+  std::vector<std::uint64_t> counts(256, 4);
+  const auto h = Histogram::from_counts(counts);
+  std::vector<int> identity(256);
+  for (int i = 0; i < 256; ++i) identity[static_cast<std::size_t>(i)] = i;
+  const double obj = uniform_equalization_objective(h, identity, 0, 255);
+  // One-level discretization slack allowed.
+  EXPECT_LT(obj, 0.01);
+}
+
+TEST(HistogramOps, GheMinimizesTheObjectiveAmongCandidates) {
+  // Property check on the paper's Eq. 4: the GHE transform must score no
+  // worse than simple competing monotone transforms.
+  const auto h = sample_histogram();
+  const hebs::core::GheTarget target{0, 150};
+  const auto ghe_lut = hebs::core::ghe_lut(h, target);
+
+  auto lut_to_phi = [](const hebs::transform::Lut& lut) {
+    std::vector<int> phi(256);
+    for (int i = 0; i < 256; ++i) {
+      phi[static_cast<std::size_t>(i)] = lut[i];
+    }
+    return phi;
+  };
+
+  const double ghe_obj = uniform_equalization_objective(
+      h, lut_to_phi(ghe_lut), target.g_min, target.g_max);
+
+  // Competitor 1: plain linear compression into [0, 150].
+  std::vector<int> linear(256);
+  for (int i = 0; i < 256; ++i) {
+    linear[static_cast<std::size_t>(i)] = i * 150 / 255;
+  }
+  // Competitor 2: clamp into [0, 150].
+  std::vector<int> clamped(256);
+  for (int i = 0; i < 256; ++i) {
+    clamped[static_cast<std::size_t>(i)] = std::min(i, 150);
+  }
+  const double lin_obj =
+      uniform_equalization_objective(h, linear, target.g_min, target.g_max);
+  const double clamp_obj =
+      uniform_equalization_objective(h, clamped, target.g_min, target.g_max);
+  EXPECT_LE(ghe_obj, lin_obj + 1e-9);
+  EXPECT_LE(ghe_obj, clamp_obj + 1e-9);
+}
+
+TEST(HistogramOps, ObjectiveValidatesArguments) {
+  const auto h = sample_histogram();
+  std::vector<int> short_phi(10, 0);
+  EXPECT_THROW(uniform_equalization_objective(h, short_phi, 0, 255),
+               hebs::util::InvalidArgument);
+  std::vector<int> phi(256, 0);
+  EXPECT_THROW(uniform_equalization_objective(h, phi, 100, 50),
+               hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::histogram

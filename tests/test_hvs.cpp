@@ -1,0 +1,103 @@
+// Tests for the human-visual-system front end.
+#include <gtest/gtest.h>
+
+#include "image/synthetic.h"
+#include "quality/hvs.h"
+
+namespace hebs::quality {
+namespace {
+
+TEST(Hvs, LightnessEndpoints) {
+  EXPECT_NEAR(lightness(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(lightness(1.0), 1.0, 1e-9);
+}
+
+TEST(Hvs, LightnessIsMonotone) {
+  double prev = -1.0;
+  for (double y = 0.0; y <= 1.0; y += 0.01) {
+    const double l = lightness(y);
+    EXPECT_GT(l, prev);
+    prev = l;
+  }
+}
+
+TEST(Hvs, LightnessIsContinuousAtTheKnee) {
+  constexpr double kKnee = 216.0 / 24389.0;
+  EXPECT_NEAR(lightness(kKnee - 1e-9), lightness(kKnee + 1e-9), 1e-6);
+}
+
+TEST(Hvs, LightnessCompressesDarkDifferencesMore) {
+  // Weber-Fechner: a fixed luminance step is a larger lightness step in
+  // the dark than in the bright.
+  const double dark_step = lightness(0.10) - lightness(0.05);
+  const double bright_step = lightness(0.90) - lightness(0.85);
+  EXPECT_GT(dark_step, 2.0 * bright_step);
+}
+
+TEST(Hvs, LightnessClampsOutOfRangeInputs) {
+  EXPECT_DOUBLE_EQ(lightness(-0.5), lightness(0.0));
+  EXPECT_DOUBLE_EQ(lightness(1.5), lightness(1.0));
+}
+
+TEST(Hvs, TransformKeepsOutputInUnitRange) {
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kLena, 64);
+  const auto out = hvs_transform(img);
+  for (double v : out.values()) {
+    EXPECT_GE(v, -1e-9);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST(Hvs, TransformPreservesShape) {
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kGirl, 48);
+  const auto out = hvs_transform(img);
+  EXPECT_EQ(out.width(), 48);
+  EXPECT_EQ(out.height(), 48);
+}
+
+TEST(Hvs, CsfFilterSmoothsHighFrequencies) {
+  // A checkerboard's local variance must drop after the CSF prefilter.
+  hebs::image::GrayImage img(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      img(x, y) = ((x + y) % 2 == 0) ? 0 : 255;
+    }
+  }
+  HvsOptions with_filter;
+  with_filter.csf_sigma = 1.0;
+  HvsOptions no_filter;
+  no_filter.csf_sigma = 0.0;
+  const auto filtered = hvs_transform(img, with_filter);
+  const auto raw = hvs_transform(img, no_filter);
+  auto range_of = [](const hebs::image::FloatImage& f) {
+    double lo = 1e9;
+    double hi = -1e9;
+    for (double v : f.values()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(range_of(filtered), 0.5 * range_of(raw));
+}
+
+TEST(Hvs, LightnessMappingCanBeDisabled) {
+  HvsOptions opts;
+  opts.lightness_mapping = false;
+  opts.csf_sigma = 0.0;
+  hebs::image::FloatImage lum(8, 8, 0.5);
+  const auto out = hvs_transform(lum, opts);
+  for (double v : out.values()) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(Hvs, GaussianFilterPreservesFlatImages) {
+  hebs::image::FloatImage lum(16, 16, 0.42);
+  HvsOptions opts;
+  opts.lightness_mapping = false;
+  opts.csf_sigma = 2.0;
+  const auto out = hvs_transform(lum, opts);
+  for (double v : out.values()) EXPECT_NEAR(v, 0.42, 1e-9);
+}
+
+}  // namespace
+}  // namespace hebs::quality

@@ -1,0 +1,152 @@
+// Unit tests for hebs::image — image types and conversions.
+#include <gtest/gtest.h>
+
+#include "image/image.h"
+#include "util/error.h"
+
+namespace hebs::image {
+namespace {
+
+TEST(GrayImage, ConstructsWithFill) {
+  GrayImage img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.size(), 12u);
+  for (std::uint8_t p : img.pixels()) EXPECT_EQ(p, 7);
+}
+
+TEST(GrayImage, DefaultIsEmpty) {
+  GrayImage img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.size(), 0u);
+  EXPECT_EQ(img.dynamic_range(), 0);
+}
+
+TEST(GrayImage, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(GrayImage(0, 5), util::InvalidArgument);
+  EXPECT_THROW(GrayImage(5, -1), util::InvalidArgument);
+}
+
+TEST(GrayImage, PixelAccessRowMajor) {
+  GrayImage img(3, 2);
+  img(2, 1) = 42;
+  EXPECT_EQ(img.pixels()[5], 42);
+  EXPECT_EQ(img(2, 1), 42);
+}
+
+TEST(GrayImage, BoundsCheckedAccessThrows) {
+  GrayImage img(3, 3);
+  EXPECT_THROW((void)img.at(3, 0), util::InvalidArgument);
+  EXPECT_THROW((void)img.at(0, -1), util::InvalidArgument);
+  EXPECT_THROW(img.set(0, 3, 1), util::InvalidArgument);
+  EXPECT_NO_THROW(img.set(2, 2, 9));
+  EXPECT_EQ(img.at(2, 2), 9);
+}
+
+TEST(GrayImage, ContainsMatchesBounds) {
+  GrayImage img(2, 2);
+  EXPECT_TRUE(img.contains(0, 0));
+  EXPECT_TRUE(img.contains(1, 1));
+  EXPECT_FALSE(img.contains(2, 0));
+  EXPECT_FALSE(img.contains(-1, 0));
+}
+
+TEST(GrayImage, MeanMinMaxDynamicRange) {
+  GrayImage img(2, 2);
+  img(0, 0) = 10;
+  img(1, 0) = 20;
+  img(0, 1) = 30;
+  img(1, 1) = 40;
+  EXPECT_DOUBLE_EQ(img.mean(), 25.0);
+  EXPECT_EQ(img.min_max().min, 10);
+  EXPECT_EQ(img.min_max().max, 40);
+  EXPECT_EQ(img.dynamic_range(), 30);
+}
+
+TEST(GrayImage, FillOverwritesEverything) {
+  GrayImage img(3, 3, 1);
+  img.fill(200);
+  EXPECT_EQ(img.min_max().min, 200);
+  EXPECT_EQ(img.min_max().max, 200);
+}
+
+TEST(GrayImage, EqualityIsValueBased) {
+  GrayImage a(2, 2, 5);
+  GrayImage b(2, 2, 5);
+  EXPECT_EQ(a, b);
+  b(0, 0) = 6;
+  EXPECT_NE(a, b);
+}
+
+TEST(FloatImage, FromGrayNormalizes) {
+  GrayImage g(1, 2);
+  g(0, 0) = 0;
+  g(0, 1) = 255;
+  const FloatImage f = FloatImage::from_gray(g);
+  EXPECT_DOUBLE_EQ(f(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(f(0, 1), 1.0);
+}
+
+TEST(FloatImage, ToGrayQuantizesAndClamps) {
+  FloatImage f(1, 3);
+  f(0, 0) = -0.5;
+  f(0, 1) = 0.5;
+  f(0, 2) = 1.7;
+  const GrayImage g = f.to_gray();
+  EXPECT_EQ(g(0, 0), 0);
+  EXPECT_EQ(g(0, 1), 128);  // round(0.5*255) = 128
+  EXPECT_EQ(g(0, 2), 255);
+}
+
+TEST(FloatImage, GrayRoundTripIsExact) {
+  GrayImage g(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      g(x, y) = static_cast<std::uint8_t>(y * 16 + x);
+    }
+  }
+  EXPECT_EQ(FloatImage::from_gray(g).to_gray(), g);
+}
+
+TEST(FloatImage, MeanMatchesValues) {
+  FloatImage f(2, 1);
+  f(0, 0) = 0.2;
+  f(1, 0) = 0.4;
+  EXPECT_NEAR(f.mean(), 0.3, 1e-12);
+}
+
+TEST(RgbImage, SetGetRoundTrip) {
+  RgbImage img(2, 2);
+  img.set(1, 1, {10, 20, 30});
+  const auto p = img.get(1, 1);
+  EXPECT_EQ(p.r, 10);
+  EXPECT_EQ(p.g, 20);
+  EXPECT_EQ(p.b, 30);
+}
+
+TEST(RgbImage, LumaUsesBt601Weights) {
+  RgbImage img(1, 1);
+  img.set(0, 0, {255, 0, 0});
+  EXPECT_EQ(img.to_luma()(0, 0), 76);  // round(0.299*255)
+  img.set(0, 0, {0, 255, 0});
+  EXPECT_EQ(img.to_luma()(0, 0), 150);  // round(0.587*255)
+  img.set(0, 0, {0, 0, 255});
+  EXPECT_EQ(img.to_luma()(0, 0), 29);  // round(0.114*255)
+}
+
+TEST(RgbImage, FromGrayReplicatesChannels) {
+  GrayImage g(2, 1);
+  g(0, 0) = 100;
+  g(1, 0) = 200;
+  const RgbImage rgb = RgbImage::from_gray(g);
+  EXPECT_EQ(rgb.get(0, 0), (RgbImage::Pixel{100, 100, 100}));
+  EXPECT_EQ(rgb.get(1, 0), (RgbImage::Pixel{200, 200, 200}));
+}
+
+TEST(RgbImage, GrayLumaRoundTrip) {
+  GrayImage g(3, 3, 77);
+  EXPECT_EQ(RgbImage::from_gray(g).to_luma(), g);
+}
+
+}  // namespace
+}  // namespace hebs::image

@@ -1,0 +1,115 @@
+// Tests for geometric image operations.
+#include <gtest/gtest.h>
+
+#include "image/ops.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+
+namespace hebs::image {
+namespace {
+
+GrayImage numbered(int w, int h) {
+  GrayImage img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img(x, y) = static_cast<std::uint8_t>((y * w + x) % 256);
+    }
+  }
+  return img;
+}
+
+TEST(Ops, CropExtractsTheRectangle) {
+  const auto img = numbered(8, 8);
+  const auto c = crop(img, 2, 3, 4, 2);
+  EXPECT_EQ(c.width(), 4);
+  EXPECT_EQ(c.height(), 2);
+  EXPECT_EQ(c(0, 0), img(2, 3));
+  EXPECT_EQ(c(3, 1), img(5, 4));
+}
+
+TEST(Ops, CropValidatesBounds) {
+  const auto img = numbered(8, 8);
+  EXPECT_THROW((void)crop(img, 6, 6, 4, 4), util::InvalidArgument);
+  EXPECT_THROW((void)crop(img, -1, 0, 2, 2), util::InvalidArgument);
+  EXPECT_THROW((void)crop(img, 0, 0, 0, 2), util::InvalidArgument);
+}
+
+TEST(Ops, FlipHorizontalMirrors) {
+  const auto img = numbered(5, 3);
+  const auto f = flip_horizontal(img);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      EXPECT_EQ(f(x, y), img(4 - x, y));
+    }
+  }
+  EXPECT_EQ(flip_horizontal(f), img);  // involution
+}
+
+TEST(Ops, FlipVerticalMirrors) {
+  const auto img = numbered(4, 6);
+  const auto f = flip_vertical(img);
+  EXPECT_EQ(f(1, 0), img(1, 5));
+  EXPECT_EQ(flip_vertical(f), img);
+}
+
+TEST(Ops, Rotate90SwapsDimensionsCorrectly) {
+  const auto img = numbered(4, 2);
+  const auto r = rotate90(img);
+  EXPECT_EQ(r.width(), 2);
+  EXPECT_EQ(r.height(), 4);
+  // Top-left goes to top-right.
+  EXPECT_EQ(r(1, 0), img(0, 0));
+  // Four rotations are the identity.
+  EXPECT_EQ(rotate90(rotate90(rotate90(r))), img);
+}
+
+TEST(Ops, ResizeIdentityWhenSameSize) {
+  const auto img = make_usid(UsidId::kLena, 32);
+  EXPECT_EQ(resize_bilinear(img, 32, 32), img);
+}
+
+TEST(Ops, ResizePreservesConstantImages) {
+  const GrayImage img(16, 16, 77);
+  const auto up = resize_bilinear(img, 33, 41);
+  for (auto p : up.pixels()) EXPECT_EQ(p, 77);
+}
+
+TEST(Ops, ResizePreservesCornersAndMean) {
+  const auto img = make_usid(UsidId::kGirl, 64);
+  const auto small = resize_bilinear(img, 31, 33);
+  EXPECT_EQ(small(0, 0), img(0, 0));
+  EXPECT_EQ(small(30, 32), img(63, 63));
+  EXPECT_NEAR(small.mean(), img.mean(), 4.0);
+}
+
+TEST(Ops, ResizeValidatesArguments) {
+  const auto img = numbered(4, 4);
+  EXPECT_THROW((void)resize_bilinear(img, 0, 4), util::InvalidArgument);
+  GrayImage empty;
+  EXPECT_THROW((void)resize_bilinear(empty, 4, 4),
+               util::InvalidArgument);
+  EXPECT_THROW((void)rotate90(empty), util::InvalidArgument);
+  EXPECT_THROW((void)flip_horizontal(empty), util::InvalidArgument);
+}
+
+TEST(Ops, DownUpRoundTripStaysClose) {
+  // Downsample 2x then upsample back: smooth content survives.
+  GrayImage img(64, 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      img(x, y) = static_cast<std::uint8_t>((x + y) * 2);
+    }
+  }
+  const auto down = resize_bilinear(img, 32, 32);
+  const auto up = resize_bilinear(down, 64, 64);
+  double max_err = 0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    max_err = std::max(max_err,
+                       std::abs(double(img.pixels()[i]) -
+                                double(up.pixels()[i])));
+  }
+  EXPECT_LT(max_err, 6.0);
+}
+
+}  // namespace
+}  // namespace hebs::image

@@ -1,0 +1,153 @@
+// End-to-end integration tests: the whole HEBS system against the
+// paper's headline claims, at shape level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/cbcs.h"
+#include "baseline/dls.h"
+#include "core/hebs.h"
+#include "display/lcd_subsystem.h"
+#include "image/pnm_io.h"
+#include "image/synthetic.h"
+#include "quality/metrics.h"
+
+namespace hebs {
+namespace {
+
+using core::evaluate_operating_point;
+using core::hebs_exact;
+using core::HebsResult;
+using image::UsidId;
+
+const power::LcdSubsystemPower& model() {
+  static const auto m = power::LcdSubsystemPower::lp064v1();
+  return m;
+}
+
+TEST(Integration, Table1ProtocolProducesTheExpectedTrend) {
+  // Per-image savings must increase with the distortion budget, and the
+  // three-budget averages must be ordered as in Table 1.
+  const std::vector<UsidId> subset = {UsidId::kLena, UsidId::kPout,
+                                      UsidId::kBaboon};
+  double avg5 = 0.0;
+  double avg10 = 0.0;
+  double avg20 = 0.0;
+  for (UsidId id : subset) {
+    const auto img = image::make_usid(id, 64);
+    const double s5 =
+        hebs_exact(img, 5.0, {}, model()).evaluation.saving_percent;
+    const double s10 =
+        hebs_exact(img, 10.0, {}, model()).evaluation.saving_percent;
+    const double s20 =
+        hebs_exact(img, 20.0, {}, model()).evaluation.saving_percent;
+    EXPECT_LE(s5, s10 + 1e-9) << image::usid_name(id);
+    EXPECT_LE(s10, s20 + 1e-9) << image::usid_name(id);
+    avg5 += s5;
+    avg10 += s10;
+    avg20 += s20;
+  }
+  avg5 /= subset.size();
+  avg10 /= subset.size();
+  avg20 /= subset.size();
+  // Paper averages: 45.88 / 56.16 / 64.38.  Shape-level check: strictly
+  // increasing and in a plausible band.
+  EXPECT_GT(avg5, 20.0);
+  EXPECT_LT(avg20, 85.0);
+  EXPECT_LT(avg5, avg10);
+  EXPECT_LT(avg10, avg20);
+}
+
+TEST(Integration, HebsBeatsBothBaselinesOnAverage) {
+  // The paper's §1 claim: ~15% more saving than the best previous
+  // approach at equal distortion.  Shape-level: HEBS must beat DLS and
+  // CBCS on the album average at a 10% budget.
+  const std::vector<UsidId> subset = {UsidId::kLena, UsidId::kPout,
+                                      UsidId::kSplash, UsidId::kPeppers};
+  const double budget = 10.0;
+  const core::HebsPolicy hebs_policy;
+  const baseline::DlsPolicy dls_policy(
+      baseline::DlsMode::kBrightnessCompensation);
+  const baseline::CbcsPolicy cbcs_policy;
+
+  double hebs_total = 0.0;
+  double dls_total = 0.0;
+  double cbcs_total = 0.0;
+  for (UsidId id : subset) {
+    const auto img = image::make_usid(id, 64);
+    hebs_total += evaluate_operating_point(
+                      img, hebs_policy.choose(img, budget), model())
+                      .saving_percent;
+    dls_total += evaluate_operating_point(
+                     img, dls_policy.choose(img, budget), model())
+                     .saving_percent;
+    cbcs_total += evaluate_operating_point(
+                      img, cbcs_policy.choose(img, budget), model())
+                      .saving_percent;
+  }
+  EXPECT_GT(hebs_total, dls_total);
+  EXPECT_GT(hebs_total, cbcs_total);
+}
+
+TEST(Integration, HardwareDeploymentOfAFullHebsResultMatchesSoftware) {
+  // Run the real pipeline, deploy the result both ways through the LCD
+  // subsystem, and compare displayed luminance.
+  const auto img = image::make_usid(UsidId::kElaine, 64);
+  const HebsResult r = hebs_exact(img, 10.0, {}, model());
+
+  display::HierarchicalLadderOptions ladder;
+  ladder.bands = 64;
+  ladder.dac_bits = 12;
+  display::LcdSubsystem sw(model(), ladder);
+  display::LcdSubsystem hw(model(), ladder);
+  sw.configure(r.lambda, r.point.beta,
+               display::DeploymentMode::kSoftwareTransform);
+  hw.configure(r.lambda, r.point.beta,
+               display::DeploymentMode::kHardwareLadder);
+  const auto lum_sw = sw.display(img).luminance;
+  const auto lum_hw = hw.display(img).luminance;
+  EXPECT_LT(std::sqrt(quality::mse(lum_sw, lum_hw)), 0.01);
+}
+
+TEST(Integration, DefaultLadderCanRealizeEveryAlbumTransform) {
+  // The 8-band ladder (8 PLC segments) must accept every Λ the pipeline
+  // produces across the whole album without HardwareError.
+  display::LcdSubsystem sys = display::LcdSubsystem::lp064v1();
+  for (const auto& named : image::usid_album(48)) {
+    const HebsResult r = hebs_exact(named.image, 10.0, {}, model());
+    EXPECT_NO_THROW(sys.configure(r.lambda, r.point.beta,
+                                  display::DeploymentMode::kHardwareLadder))
+        << named.name;
+  }
+}
+
+TEST(Integration, TransformedImagesSurvivePnmRoundTrip) {
+  const auto img = image::make_usid(UsidId::kOnion, 48);
+  const HebsResult r = hebs_exact(img, 10.0, {}, model());
+  const std::string path = ::testing::TempDir() + "hebs_out.pgm";
+  image::write_pgm(r.evaluation.transformed, path);
+  EXPECT_EQ(image::read_pgm(path), r.evaluation.transformed);
+  std::remove(path.c_str());
+}
+
+TEST(Integration, DistortionBudgetsHoldAcrossTheWholeAlbum) {
+  for (const auto& named : image::usid_album(48)) {
+    const HebsResult r = hebs_exact(named.image, 20.0, {}, model());
+    EXPECT_LE(r.evaluation.distortion_percent, 20.0 + 1e-9) << named.name;
+    EXPECT_GT(r.evaluation.saving_percent, 0.0) << named.name;
+  }
+}
+
+TEST(Integration, MetricChoiceShiftsTheOperatingPoint) {
+  // The metric ablation (future work): a plain-RMSE metric reaches a
+  // different operating point than the perceptual default.
+  const auto img = image::make_usid(UsidId::kTrees, 64);
+  core::HebsOptions rmse_opts;
+  rmse_opts.distortion.metric = quality::Metric::kRmse;
+  const HebsResult perceptual = hebs_exact(img, 10.0, {}, model());
+  const HebsResult pixelwise = hebs_exact(img, 10.0, rmse_opts, model());
+  EXPECT_NE(perceptual.target.range(), pixelwise.target.range());
+}
+
+}  // namespace
+}  // namespace hebs

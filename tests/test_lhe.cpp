@@ -1,0 +1,170 @@
+// Tests for local (tiled) histogram equalization — the §6 future-work
+// extension.
+#include <gtest/gtest.h>
+
+#include "core/ghe.h"
+#include "core/lhe.h"
+#include "image/draw.h"
+#include "image/noise.h"
+#include "image/synthetic.h"
+#include "quality/distortion.h"
+#include "util/error.h"
+
+namespace hebs::core {
+namespace {
+
+using hebs::image::GrayImage;
+using hebs::image::UsidId;
+
+TEST(ClipHistogram, NoClipLimitIsIdentity) {
+  const auto hist = hebs::histogram::Histogram::from_image(
+      hebs::image::make_usid(UsidId::kLena, 64));
+  EXPECT_EQ(clip_histogram(hist, 0.0), hist);
+  EXPECT_EQ(clip_histogram(hist, -1.0), hist);
+}
+
+TEST(ClipHistogram, PreservesTotalMass) {
+  const auto hist = hebs::histogram::Histogram::from_image(
+      hebs::image::make_usid(UsidId::kSplash, 64));
+  for (double limit : {1.0, 2.0, 4.0, 16.0}) {
+    EXPECT_EQ(clip_histogram(hist, limit).total(), hist.total()) << limit;
+  }
+}
+
+TEST(ClipHistogram, CapsSpikesAndRedistributes) {
+  hebs::histogram::Histogram hist;
+  hist.add(100, 2560);  // a huge spike: 10x the uniform mass per bin
+  const auto clipped = clip_histogram(hist, 2.0);
+  // Cap = 2 * total/256 = 20 + redistribution share.
+  EXPECT_LT(clipped.count(100), 60u);
+  EXPECT_GT(clipped.count(0), 0u);  // excess spread everywhere
+  EXPECT_EQ(clipped.total(), hist.total());
+}
+
+TEST(ClipHistogram, HighLimitLeavesHistogramUntouched) {
+  const auto hist = hebs::histogram::Histogram::from_image(
+      hebs::image::make_usid(UsidId::kBaboon, 64));
+  // Baboon's histogram is nearly flat; a 16x cap clips nothing.
+  EXPECT_EQ(clip_histogram(hist, 16.0), hist);
+}
+
+TEST(Lhe, OutputStaysInTargetRange) {
+  const auto img = hebs::image::make_usid(UsidId::kPeppers, 64);
+  const GheTarget target{10, 180};
+  const auto out = lhe_apply(img, target);
+  const auto mm = out.min_max();
+  EXPECT_GE(mm.min, 10);
+  EXPECT_LE(mm.max, 180);
+}
+
+TEST(Lhe, SingleTileMatchesGlobalGhe) {
+  const auto img = hebs::image::make_usid(UsidId::kGirl, 64);
+  const GheTarget target{0, 150};
+  LheOptions opts;
+  opts.tiles = 1;
+  opts.clip_limit = 0.0;
+  const auto local = lhe_apply(img, target, opts);
+  const auto global = ghe_lut(
+      hebs::histogram::Histogram::from_image(img), target).apply(img);
+  // Same construction up to rounding.
+  int max_diff = 0;
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(int(local.pixels()[i]) -
+                                 int(global.pixels()[i])));
+  }
+  EXPECT_LE(max_diff, 1);
+}
+
+TEST(Lhe, AdaptsToRegionalStatistics) {
+  // Left half dark texture, right half bright texture: local HE must
+  // boost the dark half's contrast more than global HE does.
+  GrayImage img(64, 64);
+  hebs::image::fill_fbm(img, 7, 8.0, 3, 0.05, 0.25);
+  GrayImage right(32, 64);
+  hebs::image::fill_fbm(right, 8, 8.0, 3, 0.7, 0.95);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 32; ++x) img(x + 32, y) = right(x, y);
+  }
+  const GheTarget target{0, 255};
+  LheOptions opts;
+  opts.tiles = 2;
+  opts.clip_limit = 0.0;
+  const auto local = lhe_apply(img, target, opts);
+  const auto global = ghe_lut(
+      hebs::histogram::Histogram::from_image(img), target).apply(img);
+
+  auto half_range = [](const GrayImage& im, int x0, int x1) {
+    int lo = 255;
+    int hi = 0;
+    for (int y = 8; y < im.height() - 8; ++y) {
+      for (int x = x0 + 8; x < x1 - 8; ++x) {
+        lo = std::min(lo, int(im(x, y)));
+        hi = std::max(hi, int(im(x, y)));
+      }
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(half_range(local, 0, 32), half_range(global, 0, 32));
+}
+
+TEST(Lhe, ClipLimitTamesNoiseAmplification) {
+  // A nearly flat tile: unclipped LHE amplifies noise into full range;
+  // the clip limit bounds the stretch.
+  GrayImage img(64, 64, 128);
+  hebs::util::Rng rng(3);
+  hebs::image::add_gaussian_noise(img, 0.01, rng);
+  const GheTarget target{0, 255};
+  LheOptions unclipped;
+  unclipped.tiles = 4;
+  unclipped.clip_limit = 0.0;
+  LheOptions clipped;
+  clipped.tiles = 4;
+  clipped.clip_limit = 2.0;
+  const int range_unclipped =
+      lhe_apply(img, target, unclipped).dynamic_range();
+  const int range_clipped = lhe_apply(img, target, clipped).dynamic_range();
+  EXPECT_LT(range_clipped, range_unclipped);
+}
+
+TEST(Lhe, InterpolationAvoidsTileSeams) {
+  const auto img = hebs::image::make_usid(UsidId::kElaine, 64);
+  LheOptions opts;
+  opts.tiles = 4;
+  const auto out = lhe_apply(img, GheTarget{0, 200}, opts);
+  // Measure the maximum column-to-column mean jump at tile borders; it
+  // must be comparable to the interior (no visible seams).
+  auto column_mean = [&out](int x) {
+    double acc = 0.0;
+    for (int y = 0; y < out.height(); ++y) acc += out(x, y);
+    return acc / out.height();
+  };
+  const int border = 32;  // between tiles 1 and 2 of 4 on a 64px image
+  const double border_jump =
+      std::abs(column_mean(border) - column_mean(border - 1));
+  double interior_max = 0.0;
+  for (int x = 8; x < 24; ++x) {
+    interior_max = std::max(
+        interior_max, std::abs(column_mean(x + 1) - column_mean(x)));
+  }
+  EXPECT_LT(border_jump, interior_max * 3.0 + 8.0);
+}
+
+TEST(Lhe, ValidatesArguments) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 32);
+  LheOptions bad;
+  bad.tiles = 0;
+  EXPECT_THROW((void)lhe_apply(img, GheTarget{0, 100}, bad),
+               hebs::util::InvalidArgument);
+  GrayImage empty;
+  EXPECT_THROW((void)lhe_apply(empty, GheTarget{0, 100}),
+               hebs::util::InvalidArgument);
+  LheOptions too_many;
+  too_many.tiles = 64;
+  const GrayImage tiny(8, 8, 0);
+  EXPECT_THROW((void)lhe_apply(tiny, GheTarget{0, 100}, too_many),
+               hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::core

@@ -1,0 +1,87 @@
+// Tests for pixelwise metrics and the DLS saturation measure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "quality/metrics.h"
+#include "transform/classic.h"
+#include "transform/lut.h"
+#include "util/error.h"
+
+namespace hebs::quality {
+namespace {
+
+using hebs::image::GrayImage;
+
+TEST(Metrics, MseOfKnownImages) {
+  GrayImage a(2, 1);
+  GrayImage b(2, 1);
+  a(0, 0) = 0;
+  a(1, 0) = 10;
+  b(0, 0) = 3;
+  b(1, 0) = 6;
+  EXPECT_DOUBLE_EQ(mse(a, b), (9.0 + 16.0) / 2.0);
+  EXPECT_DOUBLE_EQ(rmse(a, b), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(mae(a, b), 3.5);
+}
+
+TEST(Metrics, IdenticalImagesHaveZeroErrorInfinitePsnr) {
+  const GrayImage a(4, 4, 123);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+  EXPECT_EQ(psnr(a, a), std::numeric_limits<double>::infinity());
+}
+
+TEST(Metrics, PsnrOfUnitErrorIsKnownValue) {
+  GrayImage a(1, 1, 100);
+  GrayImage b(1, 1, 101);
+  // PSNR = 10 log10(255^2 / 1) ≈ 48.13 dB.
+  EXPECT_NEAR(psnr(a, b), 48.1308, 1e-3);
+}
+
+TEST(Metrics, FloatMseMatchesGray) {
+  GrayImage a(2, 1);
+  GrayImage b(2, 1);
+  a(0, 0) = 0;
+  a(1, 0) = 255;
+  b(0, 0) = 255;
+  b(1, 0) = 255;
+  const double m8 = mse(a, b);             // (255² + 0)/2
+  const double mf = mse(hebs::image::FloatImage::from_gray(a),
+                        hebs::image::FloatImage::from_gray(b));
+  EXPECT_NEAR(mf * 255.0 * 255.0, m8, 1e-9);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const GrayImage a(2, 2, 0);
+  const GrayImage b(3, 2, 0);
+  EXPECT_THROW((void)mse(a, b), hebs::util::InvalidArgument);
+  EXPECT_THROW((void)mae(a, b), hebs::util::InvalidArgument);
+}
+
+TEST(Metrics, SaturatedFractionOfIdentityIsZero) {
+  GrayImage img(4, 4, 128);
+  EXPECT_DOUBLE_EQ(saturated_fraction(img, hebs::transform::Lut()), 0.0);
+}
+
+TEST(Metrics, SaturatedFractionCountsClippedPixels) {
+  // Contrast-stretch with beta = 0.5 saturates every pixel above 127.
+  GrayImage img(2, 1);
+  img(0, 0) = 100;   // 100/0.5 = 200 -> not saturated
+  img(1, 0) = 200;   // 200/0.5 -> clipped to 255
+  const auto lut =
+      hebs::transform::contrast_stretch_curve(0.5).to_lut();
+  EXPECT_DOUBLE_EQ(saturated_fraction(img, lut), 0.5);
+}
+
+TEST(Metrics, AlreadyExtremePixelsDoNotCountAsSaturated) {
+  GrayImage img(2, 1);
+  img(0, 0) = 255;  // already white: mapping to 255 is lossless
+  img(1, 0) = 0;    // already black
+  const auto lut =
+      hebs::transform::contrast_stretch_curve(0.5).to_lut();
+  EXPECT_DOUBLE_EQ(saturated_fraction(img, lut), 0.0);
+}
+
+}  // namespace
+}  // namespace hebs::quality

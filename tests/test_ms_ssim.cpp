@@ -1,0 +1,84 @@
+// Tests for multi-scale SSIM.
+#include <gtest/gtest.h>
+
+#include "image/draw.h"
+#include "image/synthetic.h"
+#include "quality/ms_ssim.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hebs::quality {
+namespace {
+
+using hebs::image::GrayImage;
+using hebs::image::UsidId;
+
+GrayImage noisy_copy(const GrayImage& img, double sigma,
+                     std::uint64_t seed) {
+  GrayImage out = img;
+  hebs::util::Rng rng(seed);
+  add_gaussian_noise(out, sigma, rng);
+  return out;
+}
+
+TEST(MsSsim, IdenticalImagesScoreOne) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 64);
+  EXPECT_NEAR(ms_ssim(img, img), 1.0, 1e-9);
+}
+
+TEST(MsSsim, BoundedAndOrderedByNoise) {
+  const auto img = hebs::image::make_usid(UsidId::kElaine, 64);
+  const double s1 = ms_ssim(img, noisy_copy(img, 0.02, 1));
+  const double s2 = ms_ssim(img, noisy_copy(img, 0.15, 1));
+  EXPECT_LE(s1, 1.0);
+  EXPECT_GE(s2, -1.0);
+  EXPECT_GT(s1, s2);
+}
+
+TEST(MsSsim, ForgivesFineNoiseMoreThanSingleScale) {
+  // High-frequency noise lives only at the finest scale, which MS-SSIM
+  // down-weights; a coarse structural change hits every scale.
+  const auto img = hebs::image::make_usid(UsidId::kGirl, 64);
+  const auto fine_noise = noisy_copy(img, 0.06, 2);
+  GrayImage coarse = img;
+  // Darken one quadrant: a structural change at all scales.
+  hebs::image::fill_rect(coarse, 0, 0, 32, 32, 0.1);
+  const double ss_fine = ssim(img, fine_noise);
+  const double ms_fine = ms_ssim(img, fine_noise);
+  const double ms_coarse = ms_ssim(img, coarse);
+  EXPECT_GT(ms_fine, ss_fine);   // multi-scale forgives fine noise
+  EXPECT_GT(ms_fine, ms_coarse); // but not structural damage
+}
+
+TEST(MsSsim, ScalesClampForSmallImages) {
+  // A 16x16 image only supports two dyadic scales with an 8x8 window;
+  // the call must still succeed.
+  const GrayImage a(16, 16, 100);
+  const GrayImage b(16, 16, 120);
+  const double s = ms_ssim(a, b);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(MsSsim, SingleScaleOptionMatchesPlainSsimOrdering) {
+  MsSsimOptions opts;
+  opts.scales = 1;
+  const auto img = hebs::image::make_usid(UsidId::kTrees, 64);
+  const auto near_copy = noisy_copy(img, 0.02, 3);
+  const auto far_copy = noisy_copy(img, 0.2, 3);
+  EXPECT_GT(ms_ssim(img, near_copy, opts), ms_ssim(img, far_copy, opts));
+}
+
+TEST(MsSsim, ValidatesArguments) {
+  const GrayImage a(16, 16, 0);
+  const GrayImage b(8, 8, 0);
+  EXPECT_THROW((void)ms_ssim(a, b), hebs::util::InvalidArgument);
+  MsSsimOptions bad;
+  bad.scales = 0;
+  EXPECT_THROW((void)ms_ssim(a, a, bad), hebs::util::InvalidArgument);
+  const GrayImage tiny(4, 4, 0);
+  EXPECT_THROW((void)ms_ssim(tiny, tiny), hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::quality

@@ -1,0 +1,150 @@
+// Tests for Piecewise Linear Coarsening (the Eq. 9 dynamic program).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/ghe.h"
+#include "core/plc.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hebs::core {
+namespace {
+
+using hebs::transform::CurvePoint;
+using hebs::transform::PwlCurve;
+
+PwlCurve sample_exact_curve(hebs::image::UsidId id = hebs::image::UsidId::kLena) {
+  const auto img = hebs::image::make_usid(id, 64);
+  const auto hist = hebs::histogram::Histogram::from_image(img);
+  return ghe_transform(hist, GheTarget{0, 150});
+}
+
+TEST(Plc, ReturnsExactCurveWhenBudgetIsGenerous) {
+  const PwlCurve c({{0.0, 0.0}, {0.5, 0.2}, {1.0, 1.0}});
+  const PlcResult r = plc_coarsen(c, 10);
+  EXPECT_EQ(r.curve.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(r.mse, 0.0);
+}
+
+TEST(Plc, EndpointsAreAlwaysPreserved) {
+  const auto exact = sample_exact_curve();
+  for (int m : {1, 2, 4, 8}) {
+    const PlcResult r = plc_coarsen(exact, m);
+    EXPECT_DOUBLE_EQ(r.curve.points().front().x, exact.points().front().x);
+    EXPECT_DOUBLE_EQ(r.curve.points().front().y, exact.points().front().y);
+    EXPECT_DOUBLE_EQ(r.curve.points().back().x, exact.points().back().x);
+    EXPECT_DOUBLE_EQ(r.curve.points().back().y, exact.points().back().y);
+  }
+}
+
+TEST(Plc, BreakpointsAreASubsetOfTheExactCurve) {
+  const auto exact = sample_exact_curve();
+  const PlcResult r = plc_coarsen(exact, 6);
+  for (std::size_t idx : r.breakpoint_indices) {
+    ASSERT_LT(idx, exact.points().size());
+  }
+  ASSERT_EQ(r.breakpoint_indices.size(), r.curve.points().size());
+  for (std::size_t i = 0; i < r.breakpoint_indices.size(); ++i) {
+    const auto& p = exact.points()[r.breakpoint_indices[i]];
+    EXPECT_DOUBLE_EQ(r.curve.points()[i].x, p.x);
+    EXPECT_DOUBLE_EQ(r.curve.points()[i].y, p.y);
+  }
+}
+
+TEST(Plc, SegmentBudgetIsRespected) {
+  const auto exact = sample_exact_curve();
+  for (int m : {1, 2, 3, 4, 8, 16}) {
+    EXPECT_LE(plc_coarsen(exact, m).curve.segment_count(), m) << m;
+  }
+}
+
+/// Property sweep: the optimal error is non-increasing in the segment
+/// budget (Eq. 9's DP is monotone in m).
+class PlcErrorMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlcErrorMonotone, MoreSegmentsNeverHurt) {
+  const auto exact = sample_exact_curve(
+      hebs::image::kAllUsidIds[static_cast<std::size_t>(GetParam())]);
+  double prev = plc_coarsen(exact, 1).mse;
+  for (int m = 2; m <= 16; m *= 2) {
+    const double cur = plc_coarsen(exact, m).mse;
+    EXPECT_LE(cur, prev + 1e-12) << "m=" << m;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Images, PlcErrorMonotone, ::testing::Range(0, 8));
+
+TEST(Plc, SingleSegmentOfALineIsExact) {
+  std::vector<CurvePoint> pts;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = i / 20.0;
+    pts.push_back({x, 0.3 + 0.4 * x});
+  }
+  const PlcResult r = plc_coarsen(PwlCurve(std::move(pts)), 1);
+  EXPECT_NEAR(r.mse, 0.0, 1e-15);
+  EXPECT_EQ(r.curve.segment_count(), 1);
+}
+
+TEST(Plc, KneeCurveNeedsTwoSegments) {
+  // A perfect elbow: one segment has error, two are exact.
+  std::vector<CurvePoint> pts;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i / 10.0;
+    pts.push_back({x, x <= 0.5 ? 0.0 : (x - 0.5)});
+  }
+  const PwlCurve knee(std::move(pts));
+  EXPECT_GT(plc_coarsen(knee, 1).mse, 1e-5);
+  EXPECT_NEAR(plc_coarsen(knee, 2).mse, 0.0, 1e-15);
+  // The 2-segment solution must place its breakpoint at the knee.
+  const auto r2 = plc_coarsen(knee, 2);
+  ASSERT_EQ(r2.curve.points().size(), 3u);
+  EXPECT_NEAR(r2.curve.points()[1].x, 0.5, 1e-12);
+}
+
+TEST(Plc, CoarseningAMonotoneCurveStaysMonotone) {
+  // Vertices are a subset of the exact curve's, so monotonicity is
+  // inherited — validate on real GHE output.
+  const auto exact = sample_exact_curve(hebs::image::UsidId::kBaboon);
+  ASSERT_TRUE(exact.is_monotonic());
+  for (int m : {2, 4, 8}) {
+    EXPECT_TRUE(plc_coarsen(exact, m).curve.is_monotonic());
+  }
+}
+
+TEST(Plc, ApproximationErrorMatchesCurveDistance) {
+  // The DP's reported mse must agree with an independent evaluation of
+  // the squared error at the exact curve's breakpoints.
+  const auto exact = sample_exact_curve(hebs::image::UsidId::kTrees);
+  const PlcResult r = plc_coarsen(exact, 4);
+  double acc = 0.0;
+  for (const auto& p : exact.points()) {
+    const double d = r.curve(p.x) - p.y;
+    acc += d * d;
+  }
+  acc /= static_cast<double>(exact.points().size());
+  EXPECT_NEAR(r.mse, acc, 1e-9);
+}
+
+TEST(Plc, ValidatesArguments) {
+  const auto exact = sample_exact_curve();
+  EXPECT_THROW((void)plc_coarsen(exact, 0), hebs::util::InvalidArgument);
+}
+
+TEST(Plc, QuadraticTimeIsFastEnoughForRealTime)
+{
+  // O(m n²) with n = 256, m = 8 must run in well under a frame time.
+  const auto exact = sample_exact_curve(hebs::image::UsidId::kTestpat);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) {
+    (void)plc_coarsen(exact, 8);
+  }
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count() / 10.0, 40.0) << "PLC too slow for 25 fps";
+}
+
+}  // namespace
+}  // namespace hebs::core

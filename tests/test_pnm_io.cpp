@@ -1,0 +1,150 @@
+// Unit tests for PNM file I/O, including malformed-input injection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "image/pnm_io.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hebs::image {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+}
+
+GrayImage random_image(int w, int h, std::uint64_t seed) {
+  util::Rng rng(seed);
+  GrayImage img(w, h);
+  for (auto& p : img.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return img;
+}
+
+TEST(PnmIo, BinaryPgmRoundTrip) {
+  const auto img = random_image(31, 17, 1);
+  const auto path = temp_path("roundtrip.pgm");
+  write_pgm(img, path);
+  EXPECT_EQ(read_pgm(path), img);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, AsciiPgmRoundTrip) {
+  const auto img = random_image(9, 13, 2);
+  const auto path = temp_path("roundtrip_ascii.pgm");
+  write_pgm_ascii(img, path);
+  EXPECT_EQ(read_pgm(path), img);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, BinaryPpmRoundTrip) {
+  RgbImage img(5, 4);
+  util::Rng rng(3);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      img.set(x, y, {static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+                     static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+                     static_cast<std::uint8_t>(rng.uniform_int(0, 255))});
+    }
+  }
+  const auto path = temp_path("roundtrip.ppm");
+  write_ppm(img, path);
+  const RgbImage back = read_ppm(path);
+  EXPECT_EQ(back.get(2, 3), img.get(2, 3));
+  EXPECT_TRUE(std::equal(back.data().begin(), back.data().end(),
+                         img.data().begin()));
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, HeaderCommentsAreSkipped) {
+  const auto path = temp_path("comments.pgm");
+  write_text(path, "P2\n# a comment\n2 1\n# another\n255\n12 34\n");
+  const GrayImage img = read_pgm(path);
+  EXPECT_EQ(img(0, 0), 12);
+  EXPECT_EQ(img(1, 0), 34);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, SmallMaxvalIsRescaledTo255) {
+  const auto path = temp_path("maxval.pgm");
+  write_text(path, "P2\n2 1\n15\n0 15\n");
+  const GrayImage img = read_pgm(path);
+  EXPECT_EQ(img(0, 0), 0);
+  EXPECT_EQ(img(1, 0), 255);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, MissingFileThrows) {
+  EXPECT_THROW(read_pgm("/no/such/file.pgm"), util::IoError);
+}
+
+TEST(PnmIo, BadMagicThrows) {
+  const auto path = temp_path("badmagic.pgm");
+  write_text(path, "P9\n2 2\n255\n");
+  EXPECT_THROW(read_pgm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, PpmMagicRejectedByPgmReader) {
+  const auto path = temp_path("wrongtype.pnm");
+  write_text(path, "P6\n1 1\n255\nabc");
+  EXPECT_THROW(read_pgm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, TruncatedPixelDataThrows) {
+  const auto path = temp_path("truncated.pgm");
+  write_text(path, "P5\n4 4\n255\nxx");  // 2 bytes instead of 16
+  EXPECT_THROW(read_pgm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, NonNumericDimensionThrows) {
+  const auto path = temp_path("baddim.pgm");
+  write_text(path, "P2\ntwo 1\n255\n0\n");
+  EXPECT_THROW(read_pgm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, NegativeDimensionThrows) {
+  const auto path = temp_path("negdim.pgm");
+  write_text(path, "P2\n-2 1\n255\n0 0\n");
+  EXPECT_THROW(read_pgm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, OversizedMaxvalThrows) {
+  const auto path = temp_path("bigmaxval.pgm");
+  write_text(path, "P2\n1 1\n65535\n0\n");
+  EXPECT_THROW(read_pgm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, AsciiPixelOutOfRangeThrows) {
+  const auto path = temp_path("oob.pgm");
+  write_text(path, "P2\n1 1\n100\n101\n");
+  EXPECT_THROW(read_pgm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, WritingEmptyImageThrows) {
+  GrayImage empty;
+  EXPECT_THROW(write_pgm(empty, temp_path("never.pgm")),
+               util::InvalidArgument);
+}
+
+TEST(PnmIo, WriteToBadPathThrows) {
+  GrayImage img(1, 1, 0);
+  EXPECT_THROW(write_pgm(img, "/no/such/dir/x.pgm"), util::IoError);
+}
+
+}  // namespace
+}  // namespace hebs::image

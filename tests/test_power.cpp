@@ -1,0 +1,240 @@
+// Tests for the CCFL, TFT-panel and subsystem power models (§5.1).
+#include <gtest/gtest.h>
+
+#include "image/synthetic.h"
+#include "power/ccfl.h"
+#include "power/lab_bench.h"
+#include "power/lcd_power.h"
+#include "power/tft_panel.h"
+#include "util/error.h"
+
+namespace hebs::power {
+namespace {
+
+TEST(Ccfl, Lp064v1MatchesPublishedCoefficients) {
+  const auto c = CcflModel::lp064v1().coefficients();
+  EXPECT_DOUBLE_EQ(c.c_s, 0.8234);
+  EXPECT_DOUBLE_EQ(c.a_lin, 1.9600);
+  EXPECT_DOUBLE_EQ(c.c_lin, -0.2372);
+  EXPECT_DOUBLE_EQ(c.a_sat, 6.9440);
+  EXPECT_DOUBLE_EQ(c.c_sat, -4.3240);
+}
+
+TEST(Ccfl, PowerAtFullBacklightMatchesEq11) {
+  const auto m = CcflModel::lp064v1();
+  // Saturation branch at β = 1: 6.944 - 4.324 = 2.62 W.
+  EXPECT_NEAR(m.power(1.0), 2.62, 1e-9);
+  EXPECT_NEAR(m.full_power(), 2.62, 1e-9);
+}
+
+TEST(Ccfl, LinearBranchBelowTheKnee) {
+  const auto m = CcflModel::lp064v1();
+  EXPECT_NEAR(m.power(0.5), 1.96 * 0.5 - 0.2372, 1e-12);
+}
+
+TEST(Ccfl, PowerIsClampedAtZeroForTinyBeta) {
+  const auto m = CcflModel::lp064v1();
+  EXPECT_DOUBLE_EQ(m.power(0.0), 0.0);  // fit gives -0.2372, clamp to 0
+  EXPECT_GE(m.power(0.05), 0.0);
+}
+
+/// Property sweep: power is non-decreasing in β over the whole domain.
+class CcflMonotonic : public ::testing::TestWithParam<int> {};
+
+TEST_P(CcflMonotonic, PowerIsMonotoneInBeta) {
+  const auto m = CcflModel::lp064v1();
+  const double step = 1.0 / 50.0;
+  const double beta = GetParam() * step;
+  if (beta + step <= 1.0) {
+    EXPECT_LE(m.power(beta), m.power(beta + step) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaGrid, CcflMonotonic, ::testing::Range(0, 50));
+
+TEST(Ccfl, SaturationMakesHighBetaDisproportionatelyExpensive) {
+  // The marginal watt per unit β above the knee is much larger — the
+  // physical effect that makes dimming so profitable.
+  const auto m = CcflModel::lp064v1();
+  const double low_slope = (m.power(0.6) - m.power(0.5)) / 0.1;
+  const double high_slope = (m.power(1.0) - m.power(0.9)) / 0.1;
+  EXPECT_GT(high_slope, 3.0 * low_slope);
+}
+
+TEST(Ccfl, BetaAtPowerInvertsPower) {
+  const auto m = CcflModel::lp064v1();
+  for (double beta : {0.3, 0.5, 0.7, 0.85, 0.95}) {
+    EXPECT_NEAR(m.beta_at_power(m.power(beta)), beta, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(m.beta_at_power(100.0), 1.0);
+}
+
+TEST(Ccfl, ValidatesArguments) {
+  const auto m = CcflModel::lp064v1();
+  EXPECT_THROW((void)m.power(-0.1), hebs::util::InvalidArgument);
+  EXPECT_THROW((void)m.power(1.1), hebs::util::InvalidArgument);
+  EXPECT_THROW(CcflModel({.c_s = 1.5, .a_lin = 1, .c_lin = 0,
+                          .a_sat = 1, .c_sat = 0}),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW(CcflModel({.c_s = 0.5, .a_lin = -1, .c_lin = 0,
+                          .a_sat = 1, .c_sat = 0}),
+               hebs::util::InvalidArgument);
+}
+
+TEST(Ccfl, FitRecoversModelFromLabBenchSamples) {
+  // The Fig. 6a flow: measure a synthetic lamp, fit Eq. 11, and land
+  // near the published coefficients.
+  BenchOptions opts;
+  opts.points = 60;
+  opts.noise_watts = 0.005;
+  const auto samples = measure_ccfl(opts, 0.3);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  split_samples(samples, xs, ys);
+  const auto fitted = CcflModel::fit(xs, ys).coefficients();
+  EXPECT_NEAR(fitted.c_s, 0.8234, 0.05);
+  EXPECT_NEAR(fitted.a_lin, 1.96, 0.15);
+  EXPECT_NEAR(fitted.a_sat, 6.944, 0.6);
+}
+
+TEST(Panel, Lp064v1MatchesPublishedCoefficients) {
+  const auto c = TftPanelModel::lp064v1().coefficients();
+  EXPECT_DOUBLE_EQ(c.a, 0.02449);
+  EXPECT_DOUBLE_EQ(c.b, 0.04984);
+  EXPECT_DOUBLE_EQ(c.c, 0.993);
+}
+
+TEST(Panel, PixelPowerIsEq12) {
+  const auto m = TftPanelModel::lp064v1();
+  EXPECT_NEAR(m.pixel_power(0.0), 0.993, 1e-12);
+  EXPECT_NEAR(m.pixel_power(1.0), 0.02449 + 0.04984 + 0.993, 1e-12);
+  EXPECT_NEAR(m.pixel_power(0.5), 0.02449 * 0.25 + 0.04984 * 0.5 + 0.993,
+              1e-12);
+}
+
+TEST(Panel, PanelSwingIsSmallComparedToCcfl) {
+  // §5.1b: "the change in the TFT-LCD power consumption is quite small
+  // compared to the change in CCFL power consumption."
+  const auto panel = TftPanelModel::lp064v1();
+  const auto ccfl = CcflModel::lp064v1();
+  const double panel_swing = panel.pixel_power(1.0) - panel.pixel_power(0.0);
+  const double ccfl_swing = ccfl.power(1.0) - ccfl.power(0.2);
+  EXPECT_LT(panel_swing * 10.0, ccfl_swing);
+}
+
+TEST(Panel, ImagePowerEqualsHistogramPower) {
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kLena, 64);
+  const auto m = TftPanelModel::lp064v1();
+  const auto hist = hebs::histogram::Histogram::from_image(img);
+  EXPECT_NEAR(m.image_power(img), m.image_power(hist), 1e-12);
+}
+
+TEST(Panel, ImagePowerOfConstantImageIsPixelPower) {
+  const hebs::image::GrayImage img(8, 8, 128);
+  const auto m = TftPanelModel::lp064v1();
+  EXPECT_NEAR(m.image_power(img), m.pixel_power(128.0 / 255.0), 1e-12);
+}
+
+TEST(Panel, FitRecoversQuadraticFromLabBench) {
+  BenchOptions opts;
+  opts.points = 40;
+  opts.noise_watts = 0.0005;
+  const auto samples = measure_panel(opts);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  split_samples(samples, xs, ys);
+  const auto fitted = TftPanelModel::fit(xs, ys).coefficients();
+  EXPECT_NEAR(fitted.c, 0.993, 0.01);
+  EXPECT_NEAR(fitted.b, 0.04984, 0.05);
+}
+
+TEST(Panel, ValidatesArguments) {
+  const auto m = TftPanelModel::lp064v1();
+  EXPECT_THROW((void)m.pixel_power(-0.1), hebs::util::InvalidArgument);
+  EXPECT_THROW((void)m.pixel_power(1.1), hebs::util::InvalidArgument);
+  hebs::histogram::Histogram empty;
+  EXPECT_THROW((void)m.image_power(empty), hebs::util::InvalidArgument);
+}
+
+TEST(Subsystem, FramePowerIsCcflPlusPanel) {
+  const auto sys = LcdSubsystemPower::lp064v1();
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kGirl, 64);
+  const auto p = sys.frame_power(img, 0.8);
+  EXPECT_NEAR(p.ccfl_watts, sys.ccfl().power(0.8), 1e-12);
+  EXPECT_NEAR(p.panel_watts, sys.panel().image_power(img), 1e-12);
+  EXPECT_NEAR(p.total(), p.ccfl_watts + p.panel_watts, 1e-12);
+}
+
+TEST(Subsystem, NoDimmingOfSameImageYieldsZeroSaving) {
+  const auto sys = LcdSubsystemPower::lp064v1();
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kPout, 64);
+  EXPECT_NEAR(sys.saving_percent(img, img, 1.0), 0.0, 1e-9);
+}
+
+TEST(Subsystem, DimmingSavesPower) {
+  const auto sys = LcdSubsystemPower::lp064v1();
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kLena, 64);
+  EXPECT_GT(sys.saving_percent(img, img, 0.5), 30.0);
+}
+
+/// Property sweep: saving grows monotonically as β shrinks.
+class SavingMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(SavingMonotone, DeeperDimmingNeverSavesLess) {
+  const auto sys = LcdSubsystemPower::lp064v1();
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kOnion, 48);
+  const double beta = 0.1 + 0.05 * GetParam();
+  if (beta + 0.05 <= 1.0) {
+    EXPECT_GE(sys.saving_percent(img, img, beta) + 1e-9,
+              sys.saving_percent(img, img, beta + 0.05));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaGrid, SavingMonotone, ::testing::Range(0, 18));
+
+TEST(Subsystem, ClipEnergyIntegratesFramePower) {
+  const auto sys = LcdSubsystemPower::lp064v1();
+  const hebs::image::GrayImage frame(16, 16, 100);
+  const std::vector<hebs::image::GrayImage> frames = {frame, frame};
+  const std::vector<double> betas = {1.0, 1.0};
+  const double expected = 2.0 * sys.frame_power(frame, 1.0).total() * 0.04;
+  EXPECT_NEAR(sys.clip_energy_joules(frames, betas, 0.04), expected, 1e-9);
+}
+
+TEST(Subsystem, ClipEnergyValidatesArguments) {
+  const auto sys = LcdSubsystemPower::lp064v1();
+  const std::vector<hebs::image::GrayImage> frames = {
+      hebs::image::GrayImage(8, 8, 0)};
+  EXPECT_THROW(
+      (void)sys.clip_energy_joules(frames, {0.5, 0.5}, 0.04),
+      hebs::util::InvalidArgument);
+  EXPECT_THROW((void)sys.clip_energy_joules(frames, {0.5}, 0.0),
+               hebs::util::InvalidArgument);
+}
+
+TEST(LabBench, MeasurementsAreDeterministicPerSeed) {
+  const auto a = measure_ccfl();
+  const auto b = measure_ccfl();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(LabBench, SamplesCoverTheSweep) {
+  const auto samples = measure_ccfl({}, 0.2);
+  EXPECT_NEAR(samples.front().x, 0.2, 1e-12);
+  EXPECT_NEAR(samples.back().x, 1.0, 1e-12);
+}
+
+TEST(LabBench, SplitSamplesSortsByX) {
+  std::vector<Sample> samples = {{0.5, 1.0}, {0.1, 2.0}, {0.9, 3.0}};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  split_samples(samples, xs, ys);
+  EXPECT_EQ(xs, (std::vector<double>{0.1, 0.5, 0.9}));
+  EXPECT_EQ(ys, (std::vector<double>{2.0, 1.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace hebs::power

@@ -1,0 +1,105 @@
+// Cross-module property sweeps: system-level invariants that must hold
+// for every benchmark image and budget combination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hebs.h"
+#include "display/reference_driver.h"
+#include "image/synthetic.h"
+#include "quality/distortion.h"
+
+namespace hebs {
+namespace {
+
+using image::UsidId;
+
+const power::LcdSubsystemPower& model() {
+  static const auto m = power::LcdSubsystemPower::lp064v1();
+  return m;
+}
+
+/// Full-policy invariants over the album x budget grid.
+class PolicyInvariants
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(PolicyInvariants, HoldForEveryImageAndBudget) {
+  const auto [image_index, budget] = GetParam();
+  const auto img = image::make_usid(
+      image::kAllUsidIds[static_cast<std::size_t>(image_index)], 48);
+  const core::HebsResult r = core::hebs_exact(img, budget, {}, model());
+
+  // 1. The distortion budget is honored.
+  EXPECT_LE(r.evaluation.distortion_percent, budget + 1e-9);
+  // 2. The backlight factor is physical.
+  EXPECT_GT(r.point.beta, 0.0);
+  EXPECT_LE(r.point.beta, 1.0);
+  // 3. The deployed transform is monotone (ladder-realizable) and within
+  //    the segment budget.
+  EXPECT_TRUE(r.lambda.is_monotonic());
+  EXPECT_LE(r.lambda.segment_count(), 8);
+  // 4. The exact transformation Φ is monotone and spans the target.
+  EXPECT_TRUE(r.phi.is_monotonic());
+  EXPECT_LE(r.phi.max_y() * 255.0, r.target.g_max + 1.0);
+  // 5. Savings are consistent with the power numbers.
+  const double recomputed =
+      100.0 * (1.0 - r.evaluation.power.total() /
+                         r.evaluation.reference_power.total());
+  EXPECT_NEAR(r.evaluation.saving_percent, recomputed, 1e-9);
+  // 6. The hardware ladder accepts the transform without error.
+  display::HierarchicalLadder ladder;
+  EXPECT_NO_THROW(ladder.program(r.lambda, r.point.beta));
+  // 7. The realized transfer stays monotone after DAC quantization.
+  EXPECT_TRUE(ladder.transfer().is_monotonic());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlbumByBudget, PolicyInvariants,
+    ::testing::Combine(::testing::Range(0, 19),
+                       ::testing::Values(5.0, 20.0)));
+
+/// The GHE + PLC construction preserves the histogram ordering: a level
+/// with more cumulative mass below it never maps lower.
+class OrderPreservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderPreservation, TransformNeverSwapsGrayLevels) {
+  const auto img = image::make_usid(
+      image::kAllUsidIds[static_cast<std::size_t>(GetParam())], 48);
+  const core::HebsResult r = core::hebs_at_range(img, 120, {}, model());
+  const auto lut = r.lambda.to_lut();
+  EXPECT_TRUE(lut.is_monotonic());
+  // And the displayed image's histogram CDF order matches the source's.
+  const auto out = lut.apply(img);
+  EXPECT_LE(out.min_max().max, r.target.g_max + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Album, OrderPreservation, ::testing::Range(0, 19));
+
+TEST(Determinism, WholePipelineIsBitStable) {
+  // Two complete runs from scratch must agree exactly — the property
+  // that makes every benchmark in this repository reproducible.
+  const auto img1 = image::make_usid(UsidId::kWest, 64);
+  const auto img2 = image::make_usid(UsidId::kWest, 64);
+  ASSERT_EQ(img1, img2);
+  const auto r1 = core::hebs_exact(img1, 10.0, {}, model());
+  const auto r2 = core::hebs_exact(img2, 10.0, {}, model());
+  EXPECT_EQ(r1.point.beta, r2.point.beta);
+  EXPECT_EQ(r1.target.g_max, r2.target.g_max);
+  EXPECT_EQ(r1.evaluation.transformed, r2.evaluation.transformed);
+  EXPECT_EQ(r1.evaluation.distortion_percent,
+            r2.evaluation.distortion_percent);
+}
+
+TEST(Composability, TighterBudgetNeverDimsDeeper) {
+  for (UsidId id : {UsidId::kLena, UsidId::kSail, UsidId::kHouseA}) {
+    const auto img = image::make_usid(id, 48);
+    const double beta_tight =
+        core::hebs_exact(img, 3.0, {}, model()).point.beta;
+    const double beta_loose =
+        core::hebs_exact(img, 25.0, {}, model()).point.beta;
+    EXPECT_LE(beta_loose, beta_tight + 1e-9) << image::usid_name(id);
+  }
+}
+
+}  // namespace
+}  // namespace hebs

@@ -1,0 +1,93 @@
+// Tests for SSIM (the paper's future-work distortion measure, ref [6]).
+#include <gtest/gtest.h>
+
+#include "image/draw.h"
+#include "image/synthetic.h"
+#include "quality/ssim.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hebs::quality {
+namespace {
+
+using hebs::image::GrayImage;
+
+GrayImage noisy_copy(const GrayImage& img, double sigma,
+                     std::uint64_t seed) {
+  GrayImage out = img;
+  hebs::util::Rng rng(seed);
+  add_gaussian_noise(out, sigma, rng);
+  return out;
+}
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kLena, 64);
+  EXPECT_NEAR(ssim(img, img), 1.0, 1e-12);
+}
+
+TEST(Ssim, SymmetricAndBounded) {
+  const auto a = hebs::image::make_usid(hebs::image::UsidId::kTrees, 64);
+  const auto b = noisy_copy(a, 0.08, 1);
+  EXPECT_NEAR(ssim(a, b), ssim(b, a), 1e-12);
+  EXPECT_LE(ssim(a, b), 1.0);
+  EXPECT_GE(ssim(a, b), -1.0);
+}
+
+TEST(Ssim, MoreNoiseScoresWorse) {
+  const auto a = hebs::image::make_usid(hebs::image::UsidId::kElaine, 64);
+  EXPECT_GT(ssim(a, noisy_copy(a, 0.02, 5)),
+            ssim(a, noisy_copy(a, 0.2, 5)));
+}
+
+TEST(Ssim, StableOnFlatImages) {
+  // The constants C1/C2 must prevent division blowups where UIQI's
+  // denominators vanish.
+  const GrayImage a(16, 16, 0);
+  const GrayImage b(16, 16, 0);
+  EXPECT_NEAR(ssim(a, b), 1.0, 1e-12);
+  const GrayImage c(16, 16, 10);
+  const double s = ssim(a, c);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(Ssim, FlatDifferentMeansScoreBelowOne) {
+  const GrayImage a(8, 8, 100);
+  const GrayImage b(8, 8, 200);
+  const double s = ssim(a, b);
+  EXPECT_LT(s, 0.9);
+  EXPECT_GT(s, 0.0);
+}
+
+TEST(Ssim, TracksUiqiOrderingOnNoise) {
+  // SSIM is UIQI plus stabilizing constants, so orderings should agree
+  // on clearly separated distortion levels.
+  const auto a = hebs::image::make_usid(hebs::image::UsidId::kWest, 64);
+  const double s1 = ssim(a, noisy_copy(a, 0.01, 2));
+  const double s2 = ssim(a, noisy_copy(a, 0.05, 2));
+  const double s3 = ssim(a, noisy_copy(a, 0.25, 2));
+  EXPECT_GT(s1, s2);
+  EXPECT_GT(s2, s3);
+}
+
+TEST(Ssim, FloatOverloadUsesUnitDynamicRange) {
+  const auto a = hebs::image::make_usid(hebs::image::UsidId::kPears, 64);
+  const auto b = noisy_copy(a, 0.05, 3);
+  const double s8 = ssim(a, b);
+  const double sf = ssim(hebs::image::FloatImage::from_gray(a),
+                         hebs::image::FloatImage::from_gray(b));
+  // The same relative constants are used, so scores agree closely.
+  EXPECT_NEAR(s8, sf, 1e-6);
+}
+
+TEST(Ssim, ValidatesArguments) {
+  const GrayImage a(16, 16, 0);
+  const GrayImage b(8, 8, 0);
+  EXPECT_THROW((void)ssim(a, b), hebs::util::InvalidArgument);
+  SsimOptions bad;
+  bad.block_size = 1;
+  EXPECT_THROW((void)ssim(a, a, bad), hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::quality

@@ -1,0 +1,108 @@
+// Tests for the streaming/decimated histogram estimator.
+#include <gtest/gtest.h>
+
+#include "histogram/streaming.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+
+namespace hebs::histogram {
+namespace {
+
+using hebs::image::GrayImage;
+using hebs::image::UsidId;
+
+TEST(Streaming, ExactModeMatchesFullHistogram) {
+  StreamingOptions opts;
+  opts.decimation = 1;
+  opts.blend = 1.0;
+  StreamingHistogram est(opts);
+  const auto img = hebs::image::make_usid(UsidId::kLena, 64);
+  est.ingest(img);
+  const auto exact = Histogram::from_image(img);
+  EXPECT_LT(est.estimation_error(exact), 1e-9);
+}
+
+TEST(Streaming, EstimateScalesToFrameSize) {
+  StreamingOptions opts;
+  opts.decimation = 8;
+  StreamingHistogram est(opts);
+  const auto img = hebs::image::make_usid(UsidId::kGirl, 64);
+  est.ingest(img);
+  EXPECT_EQ(est.estimate().total(), img.size());
+}
+
+TEST(Streaming, DecimatedEstimateIsCloseOnOneFrame) {
+  StreamingOptions opts;
+  opts.decimation = 16;
+  StreamingHistogram est(opts);
+  const auto img = hebs::image::make_usid(UsidId::kPeppers, 96);
+  est.ingest(img);
+  // 9216 px / 16 = 576 samples over 256 bins (~2.25 per bin): the
+  // sampling-noise floor puts L1 around 0.3; anything below 0.5 is far
+  // from the ~2.0 worst case and good enough for range decisions.
+  EXPECT_LT(est.estimation_error(Histogram::from_image(img)), 0.5);
+}
+
+TEST(Streaming, PhaseRotationConvergesOnStaticContent) {
+  StreamingOptions opts;
+  opts.decimation = 8;
+  opts.blend = 0.2;
+  StreamingHistogram est(opts);
+  const auto img = hebs::image::make_usid(UsidId::kBaboon, 64);
+  const auto exact = Histogram::from_image(img);
+  est.ingest(img);
+  const double first = est.estimation_error(exact);
+  for (int f = 0; f < 24; ++f) est.ingest(img);
+  const double settled = est.estimation_error(exact);
+  EXPECT_LE(settled, first + 1e-12);
+  EXPECT_LT(settled, 0.2);  // EMA noise floor for 512 samples/frame
+}
+
+TEST(Streaming, HigherDecimationIsNoisier) {
+  const auto img = hebs::image::make_usid(UsidId::kTrees, 96);
+  const auto exact = Histogram::from_image(img);
+  StreamingOptions light;
+  light.decimation = 4;
+  StreamingOptions heavy;
+  heavy.decimation = 64;
+  StreamingHistogram est_light(light);
+  StreamingHistogram est_heavy(heavy);
+  est_light.ingest(img);
+  est_heavy.ingest(img);
+  EXPECT_LE(est_light.estimation_error(exact),
+            est_heavy.estimation_error(exact) + 1e-12);
+}
+
+TEST(Streaming, BlendTracksSceneChanges) {
+  StreamingOptions opts;
+  opts.decimation = 4;
+  opts.blend = 0.5;
+  StreamingHistogram est(opts);
+  const GrayImage bright(64, 64, 220);
+  const GrayImage dark(64, 64, 30);
+  for (int f = 0; f < 5; ++f) est.ingest(bright);
+  for (int f = 0; f < 6; ++f) est.ingest(dark);
+  // After several dark frames the estimate's mass sits at the dark end.
+  EXPECT_GT(est.estimate().cdf(64), 0.9);
+}
+
+TEST(Streaming, EmptyEstimatorReturnsEmptyHistogram) {
+  const StreamingHistogram est;
+  EXPECT_TRUE(est.estimate().empty());
+  EXPECT_EQ(est.frames(), 0);
+}
+
+TEST(Streaming, ValidatesOptionsAndInput) {
+  StreamingOptions bad;
+  bad.decimation = 0;
+  EXPECT_THROW(StreamingHistogram{bad}, hebs::util::InvalidArgument);
+  StreamingOptions bad2;
+  bad2.blend = 0.0;
+  EXPECT_THROW(StreamingHistogram{bad2}, hebs::util::InvalidArgument);
+  StreamingHistogram est;
+  GrayImage empty;
+  EXPECT_THROW(est.ingest(empty), hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::histogram

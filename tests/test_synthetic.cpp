@@ -1,0 +1,147 @@
+// Tests for the synthetic USID album — the engineered histogram
+// characters that make the substitution faithful (DESIGN.md §2).
+#include <gtest/gtest.h>
+
+#include "histogram/histogram.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+
+namespace hebs::image {
+namespace {
+
+TEST(Synthetic, AlbumHasAllNineteenTable1Images) {
+  const auto album = usid_album(64);
+  ASSERT_EQ(album.size(), 19u);
+  EXPECT_EQ(album.front().name, "Lena");
+  EXPECT_EQ(album.back().name, "Elaine");
+}
+
+TEST(Synthetic, NamesMatchTable1Order) {
+  const char* expected[] = {"Lena",  "Autumn", "Football", "Peppers",
+                            "Greens", "Pears",  "Onion",    "Trees",
+                            "West",   "Pout",   "Sail",     "Splash",
+                            "Girl",   "Baboon", "TreeA",    "HouseA",
+                            "GirlB",  "Testpat", "Elaine"};
+  for (std::size_t i = 0; i < kAllUsidIds.size(); ++i) {
+    EXPECT_EQ(usid_name(kAllUsidIds[i]), expected[i]);
+  }
+}
+
+TEST(Synthetic, GenerationIsDeterministic) {
+  const GrayImage a = make_usid(UsidId::kLena, 64);
+  const GrayImage b = make_usid(UsidId::kLena, 64);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Synthetic, DifferentImagesDiffer) {
+  const GrayImage a = make_usid(UsidId::kLena, 64);
+  const GrayImage b = make_usid(UsidId::kPeppers, 64);
+  EXPECT_NE(a, b);
+}
+
+TEST(Synthetic, RequestedSizeIsHonored) {
+  for (int size : {16, 64, 128}) {
+    const GrayImage img = make_usid(UsidId::kBaboon, size);
+    EXPECT_EQ(img.width(), size);
+    EXPECT_EQ(img.height(), size);
+  }
+  EXPECT_THROW(make_usid(UsidId::kLena, 8), util::InvalidArgument);
+}
+
+TEST(Synthetic, PoutHasTheNarrowHistogramOfItsNamesake) {
+  // Pout is the canonical low-contrast benchmark: its dynamic range must
+  // be far below full scale.
+  const GrayImage pout = make_usid(UsidId::kPout, 128);
+  EXPECT_LT(pout.dynamic_range(), 120);
+}
+
+TEST(Synthetic, BaboonHasBroadbandFullRangeTexture) {
+  const GrayImage baboon = make_usid(UsidId::kBaboon, 128);
+  EXPECT_GT(baboon.dynamic_range(), 240);
+  const auto hist = histogram::Histogram::from_image(baboon);
+  // Broadband texture means high entropy (near the 8-bit maximum).
+  EXPECT_GT(hist.entropy_bits(), 6.5);
+}
+
+TEST(Synthetic, PoutEntropyIsWellBelowBaboon) {
+  const auto pout = histogram::Histogram::from_image(
+      make_usid(UsidId::kPout, 128));
+  const auto baboon = histogram::Histogram::from_image(
+      make_usid(UsidId::kBaboon, 128));
+  EXPECT_LT(pout.entropy_bits(), baboon.entropy_bits());
+}
+
+TEST(Synthetic, SplashIsDarkDominated) {
+  const auto hist = histogram::Histogram::from_image(
+      make_usid(UsidId::kSplash, 128));
+  // Most mass in the lower quarter of the scale.
+  EXPECT_GT(hist.cdf(64), 0.6);
+}
+
+TEST(Synthetic, SailIsBrightDominated) {
+  const auto hist = histogram::Histogram::from_image(
+      make_usid(UsidId::kSail, 128));
+  EXPECT_LT(hist.cdf(110), 0.35);
+}
+
+TEST(Synthetic, TestpatCoversFullRange) {
+  const GrayImage tp = make_usid(UsidId::kTestpat, 128);
+  const auto mm = tp.min_max();
+  EXPECT_EQ(mm.min, 0);
+  EXPECT_EQ(mm.max, 255);
+}
+
+TEST(Synthetic, AllImagesAreNonDegenerate) {
+  for (const auto& named : usid_album(64)) {
+    EXPECT_GT(named.image.dynamic_range(), 20)
+        << named.name << " is nearly constant";
+    const auto hist = histogram::Histogram::from_image(named.image);
+    EXPECT_GT(hist.entropy_bits(), 2.0) << named.name;
+  }
+}
+
+TEST(Synthetic, Figure8SubsetIsSixDiverseImages) {
+  const auto subset = usid_figure8_subset(64);
+  ASSERT_EQ(subset.size(), 6u);
+  // Histogram-diverse: contains both a dark-dominated and a bright-
+  // dominated pick.
+  bool has_splash = false;
+  bool has_sail = false;
+  for (const auto& named : subset) {
+    has_splash |= named.name == "Splash";
+    has_sail |= named.name == "Sail";
+  }
+  EXPECT_TRUE(has_splash);
+  EXPECT_TRUE(has_sail);
+}
+
+TEST(Synthetic, VideoClipHasRequestedShape) {
+  const auto clip = make_video_clip(12, 32);
+  ASSERT_EQ(clip.size(), 12u);
+  for (const auto& frame : clip) {
+    EXPECT_EQ(frame.width(), 32);
+    EXPECT_EQ(frame.height(), 32);
+  }
+}
+
+TEST(Synthetic, VideoClipHasASceneCut) {
+  // The clip darkens abruptly two-thirds in; mean luminance must drop.
+  const auto clip = make_video_clip(15, 48);
+  const double early = clip[4].mean();
+  const double late = clip[12].mean();
+  EXPECT_GT(early - late, 30.0);
+}
+
+TEST(Synthetic, VideoClipIsDeterministic) {
+  const auto a = make_video_clip(5, 32, 99);
+  const auto b = make_video_clip(5, 32, 99);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Synthetic, VideoClipValidatesArguments) {
+  EXPECT_THROW(make_video_clip(0, 32), util::InvalidArgument);
+  EXPECT_THROW(make_video_clip(5, 4), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::image

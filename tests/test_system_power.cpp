@@ -1,0 +1,83 @@
+// Tests for system-level power accounting and the battery model.
+#include <gtest/gtest.h>
+
+#include "power/system.h"
+#include "util/error.h"
+
+namespace hebs::power {
+namespace {
+
+TEST(SystemProfile, SmartbadgeMatchesRef1) {
+  const auto p = SystemPowerProfile::smartbadge();
+  EXPECT_DOUBLE_EQ(p.display_fraction(SystemMode::kActive), 0.286);
+  EXPECT_DOUBLE_EQ(p.display_fraction(SystemMode::kIdle), 0.286);
+  EXPECT_DOUBLE_EQ(p.display_fraction(SystemMode::kStandby), 0.50);
+}
+
+TEST(SystemProfile, SystemSavingScalesByDisplayFraction) {
+  const auto p = SystemPowerProfile::smartbadge();
+  // The paper's §1 claim: 15% extra display saving -> ~3% system saving
+  // in active mode (0.286 * 15% = 4.3%; the paper's 3% accounts for an
+  // already partially dimmed baseline — we check the order).
+  const double sys = system_saving_percent(p, SystemMode::kActive, 15.0);
+  EXPECT_NEAR(sys, 4.29, 0.01);
+  EXPECT_GT(sys, 2.0);
+  EXPECT_LT(sys, 6.0);
+}
+
+TEST(SystemProfile, StandbyModeWeighsDisplayMore) {
+  const auto p = SystemPowerProfile::smartbadge();
+  EXPECT_GT(system_saving_percent(p, SystemMode::kStandby, 10.0),
+            system_saving_percent(p, SystemMode::kActive, 10.0));
+}
+
+TEST(SystemProfile, ValidatesPercentage) {
+  const auto p = SystemPowerProfile::smartbadge();
+  EXPECT_THROW(system_saving_percent(p, SystemMode::kActive, -1.0),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW(system_saving_percent(p, SystemMode::kActive, 101.0),
+               hebs::util::InvalidArgument);
+}
+
+TEST(Battery, RuntimeAtReferenceLoadIsCapacityOverPower) {
+  const BatteryModel battery(10.0, 2.0, 1.1);
+  EXPECT_NEAR(battery.runtime_hours(2.0), 5.0, 1e-12);
+}
+
+TEST(Battery, PeukertPenalizesHighDraw) {
+  const BatteryModel battery(10.0, 2.0, 1.2);
+  // Doubling the load must cut runtime by more than half.
+  EXPECT_LT(battery.runtime_hours(4.0), battery.runtime_hours(2.0) / 2.0);
+}
+
+TEST(Battery, UnityPeukertIsIdealEnergySource) {
+  const BatteryModel battery(10.0, 2.0, 1.0);
+  EXPECT_NEAR(battery.runtime_hours(4.0), 2.5, 1e-12);
+  EXPECT_NEAR(battery.runtime_hours(1.0), 10.0, 1e-12);
+}
+
+TEST(Battery, RuntimeExtensionFromPowerSaving) {
+  const BatteryModel battery(10.0, 2.0, 1.0);
+  // 25% less draw -> 33% more runtime for an ideal source.
+  EXPECT_NEAR(battery.runtime_extension_percent(2.0, 1.5), 33.333, 0.01);
+}
+
+TEST(Battery, ExtensionExceedsSavingWithPeukert) {
+  // The Peukert effect compounds: lower draw also unlocks capacity.
+  const BatteryModel battery(10.0, 2.0, 1.15);
+  const double ideal =
+      BatteryModel(10.0, 2.0, 1.0).runtime_extension_percent(2.0, 1.5);
+  EXPECT_GT(battery.runtime_extension_percent(2.0, 1.5), ideal);
+}
+
+TEST(Battery, ValidatesArguments) {
+  EXPECT_THROW(BatteryModel(0.0, 2.0), hebs::util::InvalidArgument);
+  EXPECT_THROW(BatteryModel(10.0, 0.0), hebs::util::InvalidArgument);
+  EXPECT_THROW(BatteryModel(10.0, 2.0, 2.5), hebs::util::InvalidArgument);
+  const BatteryModel battery(10.0, 2.0);
+  EXPECT_THROW((void)battery.runtime_hours(0.0),
+               hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::power

@@ -1,0 +1,127 @@
+// Tests for the TFT matrix scan/charging simulation (§2, Fig. 1b/1c).
+#include <gtest/gtest.h>
+
+#include "display/tft_matrix.h"
+#include "image/synthetic.h"
+#include "quality/metrics.h"
+#include "util/error.h"
+
+namespace hebs::display {
+namespace {
+
+using hebs::image::GrayImage;
+
+TEST(TftMatrix, StartsDark) {
+  const TftMatrix matrix(8, 8);
+  EXPECT_DOUBLE_EQ(matrix.transmittance(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.emitted(1.0)(4, 4), 0.0);
+}
+
+TEST(TftMatrix, ConvergesToTheDrivenFrame) {
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kGirl, 32);
+  TftMatrix matrix(32, 32);
+  const auto driver = GrayscaleVoltage::linear();
+  for (int f = 0; f < 20; ++f) matrix.scan_frame(img, driver);
+  // After many refreshes the emitted luminance equals b * X/255 within
+  // droop tolerance.
+  const auto emitted = matrix.emitted(1.0);
+  for (int y = 0; y < 32; y += 5) {
+    for (int x = 0; x < 32; x += 5) {
+      EXPECT_NEAR(emitted(x, y), img(x, y) / 255.0, 0.02);
+    }
+  }
+}
+
+TEST(TftMatrix, LcResponseCausesGhosting) {
+  // Switch from a white frame to a black frame: with a slow LC the old
+  // image persists for a few frames.
+  TftMatrixOptions slow;
+  slow.lc_response = 0.3;
+  TftMatrix matrix(16, 16, slow);
+  const auto driver = GrayscaleVoltage::linear();
+  const GrayImage white(16, 16, 255);
+  const GrayImage black(16, 16, 0);
+  for (int f = 0; f < 10; ++f) matrix.scan_frame(white, driver);
+  matrix.scan_frame(black, driver);
+  EXPECT_GT(matrix.transmittance(8, 8), 0.5);  // ghost of the white frame
+  for (int f = 0; f < 20; ++f) matrix.scan_frame(black, driver);
+  EXPECT_LT(matrix.transmittance(8, 8), 0.02);
+}
+
+TEST(TftMatrix, FasterLcSettlesFaster) {
+  const GrayImage white(16, 16, 255);
+  const auto driver = GrayscaleVoltage::linear();
+  TftMatrixOptions fast;
+  fast.lc_response = 0.9;
+  TftMatrixOptions slow;
+  slow.lc_response = 0.3;
+  TftMatrix fast_matrix(16, 16, fast);
+  TftMatrix slow_matrix(16, 16, slow);
+  fast_matrix.scan_frame(white, driver);
+  slow_matrix.scan_frame(white, driver);
+  EXPECT_GT(fast_matrix.transmittance(4, 4),
+            slow_matrix.transmittance(4, 4));
+}
+
+TEST(TftMatrix, PartialScanRefreshesRowsRoundRobin) {
+  TftMatrixOptions partial;
+  partial.rows_per_frame = 4;  // quarter of an 16-row panel per frame
+  partial.lc_response = 1.0;
+  TftMatrix matrix(16, 16, partial);
+  const auto driver = GrayscaleVoltage::linear();
+  const GrayImage white(16, 16, 255);
+  matrix.scan_frame(white, driver);
+  // Rows 0..3 refreshed, row 15 still dark.
+  EXPECT_GT(matrix.held_voltage(0, 1), 0.9);
+  EXPECT_LT(matrix.held_voltage(0, 15), 0.1);
+  // Three more frames complete the panel.
+  for (int f = 0; f < 3; ++f) matrix.scan_frame(white, driver);
+  EXPECT_GT(matrix.held_voltage(0, 15), 0.9);
+}
+
+TEST(TftMatrix, CapacitorDroopsBetweenRefreshes) {
+  TftMatrixOptions droopy;
+  droopy.hold_retention = 0.9;
+  droopy.rows_per_frame = 1;  // a 2-row panel refreshed one row per frame
+  droopy.lc_response = 1.0;
+  TftMatrix matrix(2, 2, droopy);
+  const auto driver = GrayscaleVoltage::linear();
+  const GrayImage white(2, 2, 255);
+  matrix.scan_frame(white, driver);  // refresh row 0
+  const double right_after = matrix.held_voltage(0, 0);
+  matrix.scan_frame(white, driver);  // refresh row 1; row 0 droops
+  EXPECT_LT(matrix.held_voltage(0, 0), right_after);
+  EXPECT_NEAR(matrix.held_voltage(0, 0), right_after * 0.9, 1e-9);
+}
+
+TEST(TftMatrix, ReprogrammedLadderChangesEmissionWithoutNewPixels) {
+  // The HEBS hardware story: same frame, same scan — only the reference
+  // voltages change, and the panel emits the transformed image.
+  const auto img = hebs::image::make_usid(hebs::image::UsidId::kSplash, 32);
+  TftMatrix matrix(32, 32);
+  GrayscaleVoltage boosted(
+      {0.0, 4.0, 7.0, 9.0, 10.0}, 10.0);  // a compressive multi-slope ramp
+  const auto linear = GrayscaleVoltage::linear();
+  for (int f = 0; f < 10; ++f) matrix.scan_frame(img, linear);
+  const double before = matrix.emitted(1.0).mean();
+  for (int f = 0; f < 10; ++f) matrix.scan_frame(img, boosted);
+  const double after = matrix.emitted(1.0).mean();
+  EXPECT_GT(after, before * 1.2);  // brighter transfer, same pixels
+}
+
+TEST(TftMatrix, ValidatesArguments) {
+  EXPECT_THROW(TftMatrix(0, 4), hebs::util::InvalidArgument);
+  TftMatrixOptions bad;
+  bad.lc_response = 0.0;
+  EXPECT_THROW(TftMatrix(4, 4, bad), hebs::util::InvalidArgument);
+  TftMatrix matrix(4, 4);
+  const GrayImage wrong(8, 8, 0);
+  EXPECT_THROW(matrix.scan_frame(wrong, GrayscaleVoltage::linear()),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW((void)matrix.emitted(1.5), hebs::util::InvalidArgument);
+  EXPECT_THROW((void)matrix.transmittance(4, 0),
+               hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::display

@@ -1,0 +1,195 @@
+// Tests for LUTs, piecewise-linear curves, and the classic pixel
+// transformation functions of Figure 2.
+#include <gtest/gtest.h>
+
+#include "image/synthetic.h"
+#include "transform/classic.h"
+#include "transform/lut.h"
+#include "transform/pwl.h"
+#include "util/error.h"
+
+namespace hebs::transform {
+namespace {
+
+TEST(Lut, DefaultIsIdentity) {
+  const Lut lut;
+  for (int i = 0; i < Lut::kSize; ++i) {
+    EXPECT_EQ(lut[i], i);
+  }
+  EXPECT_TRUE(lut.is_monotonic());
+  EXPECT_EQ(lut.min_output(), 0);
+  EXPECT_EQ(lut.max_output(), 255);
+  EXPECT_EQ(lut.output_range(), 255);
+}
+
+TEST(Lut, ApplyRemapsEveryPixel) {
+  hebs::image::GrayImage img(2, 1);
+  img(0, 0) = 10;
+  img(1, 0) = 20;
+  Lut lut;
+  lut[10] = 99;
+  lut[20] = 1;
+  const auto out = lut.apply(img);
+  EXPECT_EQ(out(0, 0), 99);
+  EXPECT_EQ(out(1, 0), 1);
+}
+
+TEST(Lut, ThenComposesLeftToRight) {
+  Lut doubler;
+  for (int i = 0; i < Lut::kSize; ++i) {
+    doubler[i] = static_cast<std::uint8_t>(std::min(255, i * 2));
+  }
+  Lut plus_one;
+  for (int i = 0; i < Lut::kSize; ++i) {
+    plus_one[i] = static_cast<std::uint8_t>(std::min(255, i + 1));
+  }
+  const Lut composed = doubler.then(plus_one);
+  EXPECT_EQ(composed[10], 21);  // (10*2)+1
+}
+
+TEST(Lut, MonotonicityDetection) {
+  Lut lut;
+  EXPECT_TRUE(lut.is_monotonic());
+  lut[100] = 0;
+  EXPECT_FALSE(lut.is_monotonic());
+}
+
+TEST(Pwl, EvaluatesByInterpolation) {
+  const PwlCurve c({{0.0, 0.0}, {0.5, 1.0}, {1.0, 0.5}});
+  EXPECT_DOUBLE_EQ(c(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(c(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(c(0.75), 0.75);
+}
+
+TEST(Pwl, ClampsOutsideDomain) {
+  const PwlCurve c({{0.2, 0.3}, {0.8, 0.9}});
+  EXPECT_DOUBLE_EQ(c(0.0), 0.3);
+  EXPECT_DOUBLE_EQ(c(1.0), 0.9);
+}
+
+TEST(Pwl, RejectsNonIncreasingX) {
+  EXPECT_THROW(PwlCurve({{0.0, 0.0}, {0.0, 1.0}}),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW(PwlCurve({{0.5, 0.0}, {0.2, 1.0}}),
+               hebs::util::InvalidArgument);
+  EXPECT_THROW(PwlCurve({{0.5, 0.0}}), hebs::util::InvalidArgument);
+}
+
+TEST(Pwl, MonotonicityChecksYValues) {
+  EXPECT_TRUE(PwlCurve({{0.0, 0.0}, {1.0, 1.0}}).is_monotonic());
+  EXPECT_TRUE(PwlCurve({{0.0, 0.5}, {1.0, 0.5}}).is_monotonic());
+  EXPECT_FALSE(PwlCurve({{0.0, 1.0}, {1.0, 0.0}}).is_monotonic());
+}
+
+TEST(Pwl, MinMaxY) {
+  const PwlCurve c({{0.0, 0.3}, {0.5, 0.9}, {1.0, 0.1}});
+  EXPECT_DOUBLE_EQ(c.min_y(), 0.1);
+  EXPECT_DOUBLE_EQ(c.max_y(), 0.9);
+}
+
+TEST(Pwl, SegmentCount) {
+  EXPECT_EQ(PwlCurve({{0.0, 0.0}, {1.0, 1.0}}).segment_count(), 1);
+  EXPECT_EQ(PwlCurve({{0.0, 0.0}, {0.5, 0.2}, {1.0, 1.0}}).segment_count(),
+            2);
+}
+
+TEST(Pwl, IdentityToLutIsIdentity) {
+  EXPECT_EQ(PwlCurve::identity().to_lut(), Lut());
+}
+
+TEST(Pwl, LutRoundTripPreservesTable) {
+  // Quantize an arbitrary monotone curve, reconstruct, re-quantize: the
+  // tables must agree exactly.
+  const PwlCurve c({{0.0, 0.1}, {0.3, 0.2}, {0.7, 0.8}, {1.0, 0.95}});
+  const Lut lut = c.to_lut();
+  const Lut lut2 = PwlCurve::from_lut(lut).to_lut();
+  EXPECT_EQ(lut, lut2);
+}
+
+TEST(Pwl, MseBetweenIdenticalCurvesIsZero) {
+  const PwlCurve c({{0.0, 0.0}, {0.4, 0.6}, {1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(PwlCurve::mse_between(c, c), 0.0);
+}
+
+TEST(Pwl, MseBetweenConstantOffsetCurves) {
+  const PwlCurve a({{0.0, 0.0}, {1.0, 0.0}});
+  const PwlCurve b({{0.0, 0.1}, {1.0, 0.1}});
+  EXPECT_NEAR(PwlCurve::mse_between(a, b), 0.01, 1e-12);
+}
+
+TEST(Classic, IdentityCurveIsIdentity) {
+  const PwlCurve c = identity_curve();
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    EXPECT_NEAR(c(x), x, 1e-12);
+  }
+}
+
+TEST(Classic, BrightnessShiftMatchesEq2a) {
+  // Φ(x, β) = min(1, x + 1 - β) with β = 0.7.
+  const PwlCurve c = brightness_shift_curve(0.7);
+  EXPECT_NEAR(c(0.0), 0.3, 1e-12);
+  EXPECT_NEAR(c(0.4), 0.7, 1e-12);
+  EXPECT_NEAR(c(0.7), 1.0, 1e-12);
+  EXPECT_NEAR(c(0.9), 1.0, 1e-12);  // saturated
+  EXPECT_TRUE(c.is_monotonic());
+}
+
+TEST(Classic, BrightnessShiftAtFullBacklightIsIdentity) {
+  const PwlCurve c = brightness_shift_curve(1.0);
+  EXPECT_NEAR(c(0.35), 0.35, 1e-12);
+}
+
+TEST(Classic, ContrastStretchMatchesEq2b) {
+  // Φ(x, β) = min(1, x/β) with β = 0.5.
+  const PwlCurve c = contrast_stretch_curve(0.5);
+  EXPECT_NEAR(c(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(c(0.25), 0.5, 1e-12);
+  EXPECT_NEAR(c(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(c(0.8), 1.0, 1e-12);  // saturated
+}
+
+TEST(Classic, SingleBandMatchesEq3) {
+  // 0 below g_l = 0.2, affine to 1 at g_u = 0.8, 1 above.
+  const PwlCurve c = single_band_curve(0.2, 0.8);
+  EXPECT_NEAR(c(0.1), 0.0, 1e-12);
+  EXPECT_NEAR(c(0.2), 0.0, 1e-12);
+  EXPECT_NEAR(c(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(c(0.8), 1.0, 1e-12);
+  EXPECT_NEAR(c(0.9), 1.0, 1e-12);
+}
+
+TEST(Classic, SingleBandFullRangeIsIdentity) {
+  const PwlCurve c = single_band_curve(0.0, 1.0);
+  for (double x = 0.0; x <= 1.0; x += 0.25) {
+    EXPECT_NEAR(c(x), x, 1e-12);
+  }
+}
+
+TEST(Classic, ValidatesParameters) {
+  EXPECT_THROW(brightness_shift_curve(0.0), hebs::util::InvalidArgument);
+  EXPECT_THROW(brightness_shift_curve(1.5), hebs::util::InvalidArgument);
+  EXPECT_THROW(contrast_stretch_curve(-0.1), hebs::util::InvalidArgument);
+  EXPECT_THROW(single_band_curve(0.5, 0.5), hebs::util::InvalidArgument);
+  EXPECT_THROW(single_band_curve(-0.1, 0.5), hebs::util::InvalidArgument);
+  EXPECT_THROW(single_band_curve(0.2, 1.2), hebs::util::InvalidArgument);
+}
+
+/// Property sweep: every classic curve is monotone for any β.
+class ClassicMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClassicMonotone, AllClassicCurvesAreMonotone) {
+  const double beta = GetParam();
+  EXPECT_TRUE(brightness_shift_curve(beta).is_monotonic());
+  EXPECT_TRUE(contrast_stretch_curve(beta).is_monotonic());
+  if (beta < 1.0) {
+    EXPECT_TRUE(single_band_curve(0.0, beta).is_monotonic());
+    EXPECT_TRUE(single_band_curve(1.0 - beta, 1.0).is_monotonic());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, ClassicMonotone,
+                         ::testing::Values(0.2, 0.35, 0.5, 0.65, 0.8, 0.95,
+                                           1.0));
+
+}  // namespace
+}  // namespace hebs::transform

@@ -1,0 +1,218 @@
+// Unit tests for hebs::util — RNG, math helpers, CSV writer, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace hebs::util {
+namespace {
+
+TEST(Rng, IsDeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u32() != b.next_u32()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsNearOneHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / kN, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsAreStandardNormal) {
+  Rng rng(13);
+  constexpr int kN = 40000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianWithParamsShiftsAndScales) {
+  Rng rng(17);
+  constexpr int kN = 40000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.gaussian(5.0, 0.1);
+  EXPECT_NEAR(sum / kN, 5.0, 0.01);
+}
+
+TEST(Splitmix, ProducesDistinctStream) {
+  std::uint64_t s = 99;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(MathUtil, ClampWorksAtAndBeyondBounds) {
+  EXPECT_EQ(clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(clamp(2.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(clamp(0.25, 0.0, 1.0), 0.25);
+  EXPECT_EQ(clamp01(-5.0), 0.0);
+  EXPECT_EQ(clamp01(5.0), 1.0);
+}
+
+TEST(MathUtil, LerpEndpointsAndMidpoint) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+}
+
+TEST(MathUtil, MeanAndVariance) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(MathUtil, CovarianceOfPerfectlyCorrelatedSeries) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  // cov(x, 2x) = 2 var(x); var = 2/3.
+  EXPECT_NEAR(covariance(xs, ys), 2.0 * variance(xs), 1e-12);
+}
+
+TEST(MathUtil, CovarianceSizeMismatchThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW(covariance(xs, ys), InvalidArgument);
+}
+
+TEST(MathUtil, PercentileInterpolates) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(MathUtil, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), InvalidArgument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile(xs, -1.0), InvalidArgument);
+  EXPECT_THROW(percentile(xs, 101.0), InvalidArgument);
+}
+
+TEST(MathUtil, RmsDiff) {
+  const std::vector<double> xs = {0.0, 0.0};
+  const std::vector<double> ys = {3.0, 4.0};
+  EXPECT_NEAR(rms_diff(xs, ys), std::sqrt(12.5), 1e-12);
+  EXPECT_THROW(rms_diff(xs, std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(MathUtil, LinspaceEndpointsExact) {
+  const auto xs = linspace(0.0, 1.0, 11);
+  ASSERT_EQ(xs.size(), 11u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  EXPECT_NEAR(xs[5], 0.5, 1e-12);
+  EXPECT_THROW(linspace(0.0, 1.0, 1), InvalidArgument);
+}
+
+TEST(Csv, WritesRowsAndEscapes) {
+  const std::string path = ::testing::TempDir() + "hebs_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"name", "value"});
+    csv.write_row({"plain", CsvWriter::num(1.5)});
+    csv.write_row({"with,comma", "say \"hi\""});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"say \"\"hi\"\"\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), IoError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  ConsoleTable t({"Name", "Saving"});
+  t.add_row({"Lena", "47.53"});
+  t.add_separator();
+  t.add_row({"Average", "45.88"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Name"), std::string::npos);
+  EXPECT_NE(s.find("| Lena"), std::string::npos);
+  EXPECT_NE(s.find("| Average"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 3u);  // separator counts as a row slot
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  ConsoleTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, NumFormatsFixedDecimals) {
+  EXPECT_EQ(ConsoleTable::num(45.878, 2), "45.88");
+  EXPECT_EQ(ConsoleTable::num(45.0, 1), "45.0");
+}
+
+TEST(Error, RequireMacroThrowsWithContext) {
+  try {
+    HEBS_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hebs::util

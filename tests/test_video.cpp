@@ -1,0 +1,104 @@
+// Tests for the video backlight controller (flicker-controlled
+// per-frame HEBS — the paper's future-work extension).
+#include <gtest/gtest.h>
+
+#include "core/video.h"
+#include "image/synthetic.h"
+#include "util/error.h"
+
+namespace hebs::core {
+namespace {
+
+VideoOptions fast_options() {
+  VideoOptions opts;
+  opts.d_max_percent = 10.0;
+  opts.max_beta_step = 0.04;
+  return opts;
+}
+
+TEST(Video, ProcessClipReturnsOneDecisionPerFrame) {
+  VideoBacklightController ctl(fast_options());
+  const auto clip = hebs::image::make_video_clip(8, 48);
+  const auto decisions = ctl.process_clip(clip);
+  EXPECT_EQ(decisions.size(), clip.size());
+}
+
+TEST(Video, FlickerIsRateLimitedOutsideSceneCuts) {
+  VideoBacklightController ctl(fast_options());
+  const auto clip = hebs::image::make_video_clip(16, 48);
+  const auto decisions = ctl.process_clip(clip);
+  EXPECT_LE(VideoBacklightController::max_flicker_step(decisions),
+            fast_options().max_beta_step + 1e-9);
+}
+
+TEST(Video, SceneCutAllowsAnImmediateJump) {
+  // Build a clip with an abrupt dark-to-bright cut; the controller must
+  // flag it and may jump β beyond the rate limit.
+  std::vector<hebs::image::GrayImage> clip;
+  for (int i = 0; i < 5; ++i) {
+    clip.emplace_back(48, 48, static_cast<std::uint8_t>(230));
+  }
+  for (int i = 0; i < 5; ++i) {
+    clip.emplace_back(48, 48, static_cast<std::uint8_t>(25));
+  }
+  VideoOptions opts = fast_options();
+  opts.scene_cut_threshold = 0.5;
+  VideoBacklightController ctl(opts);
+  const auto decisions = ctl.process_clip(clip);
+  EXPECT_TRUE(decisions[5].scene_cut);
+  // After the cut to a dark scene the backlight should drop sharply.
+  EXPECT_LT(decisions[5].beta, decisions[4].beta - opts.max_beta_step);
+}
+
+TEST(Video, SavesEnergyOnRealContent) {
+  VideoBacklightController ctl(fast_options());
+  const auto clip = hebs::image::make_video_clip(10, 48);
+  const auto decisions = ctl.process_clip(clip);
+  double mean_saving = 0.0;
+  for (const auto& d : decisions) {
+    mean_saving += d.evaluation.saving_percent;
+  }
+  mean_saving /= static_cast<double>(decisions.size());
+  EXPECT_GT(mean_saving, 15.0);
+}
+
+TEST(Video, FirstFrameIsUnconstrained) {
+  VideoBacklightController ctl(fast_options());
+  const auto frame = hebs::image::make_usid(hebs::image::UsidId::kPout, 48);
+  const auto d = ctl.process(frame);
+  // No history: applied β equals the per-frame optimum.
+  EXPECT_NEAR(d.beta, d.raw_beta, 1e-12);
+  EXPECT_FALSE(d.scene_cut);
+}
+
+TEST(Video, ResetForgetsHistory) {
+  VideoBacklightController ctl(fast_options());
+  const auto bright = hebs::image::GrayImage(48, 48, 240);
+  const auto dark = hebs::image::GrayImage(48, 48, 30);
+  (void)ctl.process(bright);
+  ctl.reset();
+  const auto d = ctl.process(dark);
+  EXPECT_NEAR(d.beta, d.raw_beta, 1e-12);  // no rate limit applied
+}
+
+TEST(Video, AppliedDistortionStaysReasonable) {
+  // Rate limiting can deviate from the per-frame optimum, but the
+  // re-derived transform keeps distortion bounded.
+  VideoBacklightController ctl(fast_options());
+  const auto clip = hebs::image::make_video_clip(12, 48);
+  for (const auto& d : ctl.process_clip(clip)) {
+    EXPECT_LT(d.evaluation.distortion_percent, 30.0);
+  }
+}
+
+TEST(Video, ValidatesOptions) {
+  VideoOptions bad = fast_options();
+  bad.max_beta_step = 0.0;
+  EXPECT_THROW(VideoBacklightController{bad}, hebs::util::InvalidArgument);
+  VideoOptions bad2 = fast_options();
+  bad2.ema_alpha = 1.5;
+  EXPECT_THROW(VideoBacklightController{bad2}, hebs::util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hebs::core
