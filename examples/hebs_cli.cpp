@@ -9,6 +9,9 @@
 //       writes the distortion characteristic curve.
 //   apply-curve <in.pgm> <out.pgm> <curve.csv> --dmax P
 //       The deployed Fig. 4 flow: curve lookup, no metric at runtime.
+//   batch <in1.pgm> [in2.pgm ...] [--dmax P] [--threads N]
+//         [--out-prefix PFX]
+//       Exact-search HEBS for many images on the PipelineEngine.
 //   info <in.pgm>
 //       Histogram statistics of an image.
 #include <cmath>
@@ -16,12 +19,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/distortion_curve.h"
 #include "core/hebs.h"
 #include "histogram/histogram.h"
 #include "image/pnm_io.h"
 #include "image/synthetic.h"
+#include "pipeline/engine.h"
 #include "power/lcd_power.h"
 
 namespace {
@@ -37,6 +42,8 @@ int usage() {
       "            RMSE|ContrastFidelity|MS-SSIM]\n"
       "  hebs_cli characterize <curve.csv> [--size N]\n"
       "  hebs_cli apply-curve <in.pgm> <out.pgm> <curve.csv> --dmax P\n"
+      "  hebs_cli batch <in1.pgm> [in2.pgm ...] [--dmax P] [--threads N]\n"
+      "           [--out-prefix PFX]\n"
       "  hebs_cli info <in.pgm>\n");
   return 2;
 }
@@ -165,6 +172,62 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+int cmd_batch(int argc, char** argv) {
+  // hebs_cli batch <in1.pgm> [in2.pgm ...] [--dmax P] [--threads N]
+  //                [--out-prefix PFX]
+  // Exact-search HEBS for every input on the PipelineEngine; one output
+  // per input when --out-prefix is given (PFX + basename).
+  double dmax = 10.0;
+  int threads = 0;
+  std::string out_prefix;
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--dmax" && i + 1 < argc) {
+      dmax = std::atof(argv[++i]);
+    } else if (flag == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (flag == "--out-prefix" && i + 1 < argc) {
+      out_prefix = argv[++i];
+    } else if (!flag.empty() && flag[0] == '-') {
+      return usage();
+    } else {
+      inputs.push_back(flag);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<image::GrayImage> images;
+  images.reserve(inputs.size());
+  for (const auto& path : inputs) images.push_back(image::read_pgm(path));
+
+  pipeline::EngineOptions opts;
+  opts.num_threads = threads;
+  pipeline::PipelineEngine engine(opts, power::LcdSubsystemPower::lp064v1());
+  std::printf("batch: %zu images, D_max %.1f%%, %d thread(s)\n",
+              images.size(), dmax, engine.thread_count());
+  const auto results = engine.process_batch(images, dmax);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-28s range [%d, %d]  beta %.3f  distortion %.2f%%  "
+                "saving %.2f%%\n",
+                inputs[i].c_str(), r.target.g_min, r.target.g_max,
+                r.point.beta, r.evaluation.distortion_percent,
+                r.evaluation.saving_percent);
+    if (!out_prefix.empty()) {
+      // Index-prefixed flattened path: unique per input position, so no
+      // two inputs (even identical paths) can overwrite each other.
+      std::string base = inputs[i];
+      for (char& c : base) {
+        if (c == '/' || c == '\\') c = '_';
+      }
+      image::write_pgm(r.evaluation.transformed,
+                       out_prefix + std::to_string(i) + "_" + base);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,6 +237,7 @@ int main(int argc, char** argv) {
     if (cmd == "transform") return cmd_transform(argc, argv);
     if (cmd == "characterize") return cmd_characterize(argc, argv);
     if (cmd == "apply-curve") return cmd_apply_curve(argc, argv);
+    if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     return usage();
   } catch (const std::exception& e) {

@@ -9,10 +9,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/hebs.h"
 #include "image/pnm_io.h"
 #include "image/synthetic.h"
+#include "pipeline/engine.h"
 #include "power/lcd_power.h"
 
 int main(int argc, char** argv) {
@@ -64,6 +66,24 @@ int main(int argc, char** argv) {
                      "quickstart_displayed.pgm");
     std::printf("  wrote quickstart_original.pgm / "
                 "quickstart_displayed.pgm\n");
+
+    // 5. Batch mode: the same search over many frames via the pipeline
+    //    engine (results are index-aligned and identical to the serial
+    //    calls above, whatever the thread count).
+    const std::vector<image::GrayImage> frames = {
+        img, image::make_usid(image::UsidId::kPeppers, 128),
+        image::make_usid(image::UsidId::kBaboon, 128)};
+    pipeline::PipelineEngine engine;  // default: hardware concurrency
+    const auto batch = engine.process_batch(frames, budget);
+    std::printf("\nPipelineEngine batch (%d threads):\n",
+                engine.thread_count());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      std::printf("  frame %zu: beta %.3f, distortion %.2f %%, "
+                  "saving %.2f %%\n",
+                  i, batch[i].point.beta,
+                  batch[i].evaluation.distortion_percent,
+                  batch[i].evaluation.saving_percent);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -2,7 +2,7 @@
 // control — the paper's future-work direction as a runnable scenario.
 //
 // Usage:
-//   video_player [frames] [max_distortion_percent]
+//   video_player [frames] [max_distortion_percent] [num_threads]
 //
 // Plays a synthetic clip (panning scene, brightness breathing, one hard
 // scene cut) through the VideoBacklightController and reports per-frame
@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
 
     core::VideoOptions opts;
     opts.d_max_percent = budget;
+    // process_clip runs on the PipelineEngine: the per-frame searches
+    // fan out over this many workers while flicker control stays
+    // strictly frame-ordered (decisions are thread-count invariant).
+    opts.num_threads = argc > 3 ? std::atoi(argv[3]) : 0;
     core::VideoBacklightController controller(opts, platform);
     const auto decisions = controller.process_clip(clip);
 

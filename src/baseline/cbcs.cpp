@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "histogram/histogram.h"
+#include "pipeline/frame_context.h"
 #include "transform/classic.h"
 #include "util/error.h"
 #include "util/mathutil.h"
@@ -40,7 +41,12 @@ std::string CbcsPolicy::name() const { return "CBCS"; }
 hebs::core::OperatingPoint CbcsPolicy::choose(
     const hebs::image::GrayImage& image, double d_max_percent) const {
   HEBS_REQUIRE(d_max_percent >= 0.0, "distortion budget must be >= 0");
-  const auto hist = hebs::histogram::Histogram::from_image(image);
+  // One context for the whole grid search: histogram percentiles and the
+  // reference-side metric caches are computed once.
+  hebs::core::HebsOptions eval_opts;
+  eval_opts.distortion = distortion_;
+  hebs::pipeline::FrameContext ctx(image, eval_opts, power_model_);
+  const auto& hist = ctx.exact_histogram();
 
   hebs::core::OperatingPoint best = hebs::core::identity_operating_point();
   double best_saving = 0.0;
@@ -64,8 +70,8 @@ hebs::core::OperatingPoint CbcsPolicy::choose(
             util::lerp(g_u - g_l, g_u, util::clamp01(blend)), 0.05, 1.0);
         const auto point = cbcs_operating_point(
             std::min(g_l, g_u - 0.05), g_u, beta);
-        const auto eval = hebs::core::evaluate_operating_point(
-            image, point, power_model_, distortion_);
+        // Lean: the grid only reads distortion/saving per probe.
+        const auto eval = ctx.evaluate_lean(point);
         if (eval.distortion_percent <= d_max_percent &&
             (!found || eval.saving_percent > best_saving)) {
           best = point;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "pipeline/frame_context.h"
 #include "quality/metrics.h"
 #include "transform/classic.h"
 #include "util/error.h"
@@ -42,10 +43,14 @@ std::string DlsPolicy::name() const {
 hebs::core::OperatingPoint DlsPolicy::choose(
     const hebs::image::GrayImage& image, double d_max_percent) const {
   HEBS_REQUIRE(d_max_percent >= 0.0, "distortion budget must be >= 0");
+  // One context for the whole bisection: the reference-side metric
+  // caches are built once and shared by every probe.
+  hebs::core::HebsOptions eval_opts;
+  eval_opts.distortion = distortion_;
+  hebs::pipeline::FrameContext ctx(image, eval_opts, power_model_);
   auto distortion_at = [&](double beta) {
-    return hebs::core::evaluate_operating_point(
-               image, dls_operating_point(mode_, beta), power_model_,
-               distortion_)
+    // Lean: probes only read the distortion; no raster is materialized.
+    return ctx.evaluate_lean(dls_operating_point(mode_, beta))
         .distortion_percent;
   };
   // Distortion decreases as beta rises toward 1; find the deepest

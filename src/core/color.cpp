@@ -13,15 +13,9 @@ hebs::image::RgbImage apply_to_color(const hebs::image::RgbImage& image,
   HEBS_REQUIRE(!image.empty(), "cannot transform an empty image");
   HEBS_REQUIRE(point.beta > 0.0 && point.beta <= 1.0,
                "beta must be in (0, 1]");
-  // Per-level displayed luminance, shared by all channels.
-  std::array<std::uint8_t, hebs::image::kLevels> lut{};
-  for (int level = 0; level < hebs::image::kLevels; ++level) {
-    const double x = static_cast<double>(level) / hebs::image::kMaxPixel;
-    const double lum = std::min(
-        point.beta, util::clamp01(point.luminance_transform(x)));
-    lut[static_cast<std::size_t>(level)] = static_cast<std::uint8_t>(
-        std::lround(lum * hebs::image::kMaxPixel));
-  }
+  // Per-level displayed luminance, shared by all channels: one sweep
+  // over the curve, then the shared 8-bit quantization rule.
+  const hebs::transform::Lut lut = displayed_levels(point).quantize();
   hebs::image::RgbImage out(image.width(), image.height());
   const auto src = image.data();
   auto dst = out.data();

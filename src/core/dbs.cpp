@@ -1,8 +1,9 @@
 #include "core/dbs.h"
 
-#include <cmath>
+#include <algorithm>
 
-#include "histogram/histogram.h"
+#include "core/hebs.h"
+#include "pipeline/frame_context.h"
 #include "util/error.h"
 #include "util/mathutil.h"
 
@@ -12,57 +13,25 @@ OperatingPoint identity_operating_point() {
   return {hebs::transform::PwlCurve::identity(), 1.0};
 }
 
+hebs::transform::FloatLut displayed_levels(const OperatingPoint& point) {
+  return point.luminance_transform.sample_levels().map([&point](double y) {
+    return std::min(point.beta, util::clamp01(y));
+  });
+}
+
 EvaluatedPoint evaluate_operating_point(
     const hebs::image::GrayImage& original, const OperatingPoint& point,
     const hebs::power::LcdSubsystemPower& power_model,
     const hebs::quality::DistortionOptions& distortion) {
-  HEBS_REQUIRE(!original.empty(), "cannot evaluate on an empty image");
-  HEBS_REQUIRE(point.beta > 0.0 && point.beta <= 1.0,
-               "beta must be in (0, 1]");
-
-  EvaluatedPoint out;
-  out.point = point;
-
-  // Per-level displayed luminance ψ(x), clipped by the physical ceiling β
-  // (transmittance cannot exceed one).
-  std::array<double, hebs::image::kLevels> lum{};
-  for (int level = 0; level < hebs::image::kLevels; ++level) {
-    const double x = static_cast<double>(level) / hebs::image::kMaxPixel;
-    lum[static_cast<std::size_t>(level)] =
-        std::min(point.beta, util::clamp01(point.luminance_transform(x)));
-  }
-
-  // Displayed-luminance rasters for the distortion metric.
-  hebs::image::FloatImage displayed(original.width(), original.height());
-  {
-    auto dst = displayed.values();
-    const auto src = original.pixels();
-    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = lum[src[i]];
-  }
-  const auto reference = hebs::image::FloatImage::from_gray(original);
-  out.distortion_percent =
-      hebs::quality::distortion_percent(reference, displayed, distortion);
-  out.transformed = displayed.to_gray();
-
-  // Power: CCFL at β plus panel power at the driven transmittances
-  // t(x) = ψ(x)/β, weighted by the original histogram.
-  const auto hist = hebs::histogram::Histogram::from_image(original);
-  double panel_watts = 0.0;
-  for (int level = 0; level < hebs::histogram::Histogram::kBins; ++level) {
-    const double t =
-        util::clamp01(lum[static_cast<std::size_t>(level)] / point.beta);
-    panel_watts += power_model.panel().pixel_power(t) *
-                   static_cast<double>(hist.count(level));
-  }
-  panel_watts /= static_cast<double>(hist.total());
-  out.power.ccfl_watts = power_model.ccfl().power(point.beta);
-  out.power.panel_watts = panel_watts;
-
-  out.reference_power = power_model.frame_power(hist, 1.0);
-  const double before = out.reference_power.total();
-  HEBS_REQUIRE(before > 0.0, "reference frame consumes no power");
-  out.saving_percent = 100.0 * (1.0 - out.power.total() / before);
-  return out;
+  // One-shot wrapper over the pipeline's cached evaluator: a transient
+  // FrameContext measures the point.  Callers probing many points on the
+  // same image (policy searches, bisections) should hold their own
+  // context and call FrameContext::evaluate directly — same numbers,
+  // reference-side work paid once.
+  HebsOptions opts;
+  opts.distortion = distortion;
+  pipeline::FrameContext ctx(original, opts, power_model);
+  return ctx.evaluate(point);
 }
 
 }  // namespace hebs::core

@@ -35,6 +35,13 @@ struct OperatingPoint {
 /// The do-nothing operating point: identity transform at full backlight.
 OperatingPoint identity_operating_point();
 
+/// Per-level displayed luminance ψ(x) of an operating point: the
+/// transform sampled at the 256 level centers, clipped by the physical
+/// ceiling β (transmittance cannot exceed one).  One sweep over the
+/// curve — the single definition the gray, color and pipeline paths all
+/// share.
+hebs::transform::FloatLut displayed_levels(const OperatingPoint& point);
+
 /// Everything measured about an operating point on a concrete image.
 struct EvaluatedPoint {
   OperatingPoint point;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/hebs.h"
+#include "pipeline/frame_context.h"
 #include "util/csv.h"
 #include "util/error.h"
 #include "util/mathutil.h"
@@ -41,13 +42,14 @@ DistortionCurve DistortionCurve::characterize(
   xs.reserve(album.size() * ranges.size());
   ys.reserve(album.size() * ranges.size());
   for (const auto& named : album) {
+    // One context per image: the range sweep shares the histogram and
+    // the reference-side metric caches across all probes.
+    pipeline::FrameContext ctx(named.image, opts, power_model);
     for (int range : ranges) {
-      const HebsResult r =
-          hebs_at_range(named.image, range, opts, power_model);
+      const double distortion = ctx.distortion_at_range(range);
       xs.push_back(static_cast<double>(range));
-      ys.push_back(r.evaluation.distortion_percent);
-      points.push_back(
-          {named.name, range, r.evaluation.distortion_percent});
+      ys.push_back(distortion);
+      points.push_back({named.name, range, distortion});
     }
   }
   if (points_out != nullptr) *points_out = std::move(points);

@@ -1,203 +1,40 @@
 #include "core/hebs.h"
 
-#include <algorithm>
-
-#include "core/backlight.h"
 #include "core/distortion_curve.h"
-#include "util/error.h"
+#include "pipeline/frame_context.h"
+#include "pipeline/stages.h"
+
+// The front ends below are thin wrappers over the staged pipeline in
+// src/pipeline/: each builds a FrameContext (the per-frame memo of
+// histogram, reference-side metric caches, GHE curves and per-range
+// results) and drives the HistogramStage -> RangeSelectStage -> GheStage
+// -> PlcStage -> EvaluateStage sequence.  Batch and video callers should
+// prefer pipeline::PipelineEngine, which runs the same stages with
+// worker-context reuse and a thread pool; outputs are bit-identical
+// either way.
 
 namespace hebs::core {
-
-namespace {
-
-/// The distortion-minimal monotone placement of the image's native range
-/// [lo, hi] into the target [g_min, g_max]: an affine map of the
-/// populated levels (contrast-preserving when the widths match, identity
-/// when the intervals coincide), clamped outside.
-hebs::transform::PwlCurve affine_placement(int lo, int hi, int g_min,
-                                           int g_max) {
-  const double xn_lo = static_cast<double>(lo) / hebs::image::kMaxPixel;
-  const double xn_hi = static_cast<double>(hi) / hebs::image::kMaxPixel;
-  const double yn_lo = static_cast<double>(g_min) / hebs::image::kMaxPixel;
-  const double yn_hi = static_cast<double>(g_max) / hebs::image::kMaxPixel;
-  std::vector<hebs::transform::CurvePoint> pts;
-  if (lo > 0) pts.push_back({0.0, yn_lo});
-  pts.push_back({xn_lo, yn_lo});
-  pts.push_back({xn_hi, yn_hi});
-  if (hi < hebs::image::kMaxPixel) pts.push_back({1.0, yn_hi});
-  return hebs::transform::PwlCurve(std::move(pts));
-}
-
-/// Pointwise blend w·a + (1-w)·b, sampled at every pixel level so the
-/// result has the same per-level resolution as the exact GHE curve.
-hebs::transform::PwlCurve blend_curves(const hebs::transform::PwlCurve& a,
-                                       const hebs::transform::PwlCurve& b,
-                                       double w) {
-  std::vector<hebs::transform::CurvePoint> pts;
-  pts.reserve(static_cast<std::size_t>(hebs::image::kLevels));
-  for (int level = 0; level < hebs::image::kLevels; ++level) {
-    const double x = static_cast<double>(level) / hebs::image::kMaxPixel;
-    pts.push_back({x, w * a(x) + (1.0 - w) * b(x)});
-  }
-  return hebs::transform::PwlCurve(std::move(pts));
-}
-
-}  // namespace
 
 HebsResult hebs_at_range(const hebs::image::GrayImage& image, int range,
                          const HebsOptions& opts,
                          const hebs::power::LcdSubsystemPower& power_model) {
-  HEBS_REQUIRE(!image.empty(), "HEBS of an empty image");
-  HEBS_REQUIRE(range >= 1, "dynamic range must be positive");
-  HEBS_REQUIRE(opts.g_min >= 0 &&
-                   opts.g_min + range <= hebs::image::kMaxPixel,
-               "target range exceeds the 8-bit domain");
-  HEBS_REQUIRE(opts.segments >= 1, "segment budget must be positive");
-  HEBS_REQUIRE(opts.equalization_strength <= 1.0,
-               "equalization strength must be <= 1 (or negative for "
-               "adaptive)");
-  HEBS_REQUIRE(opts.min_beta >= 0.0 && opts.min_beta <= 1.0,
-               "min_beta must be in [0, 1]");
-
-  const auto hist = hebs::histogram::Histogram::from_image(image);
-  const int lo = hist.min_level();
-  const int hi = hist.max_level();
-  const int native = hi - lo;
-
-  // Never map the brightest populated level above itself: brightening
-  // costs backlight power and adds distortion, so the admissible range
-  // is capped by the image's own maximum.
-  const int g_max = std::min(opts.g_min + range, std::max(hi, 1));
-  // Preserve the native width when the target allows it (the adaptive
-  // placement); otherwise compress down to the floor opts.g_min.
-  const int g_min_eff =
-      native > 0 ? std::max(opts.g_min, g_max - native) : opts.g_min;
-  const int width = g_max - g_min_eff;
-
-  HebsResult result;
-  result.target = GheTarget{g_min_eff, g_max};
-
-  // Step 2: GHE — exact equalizing transformation into the target, and
-  // the equalization-strength blend (see HebsOptions).
-  const auto ghe = ghe_transform(hist, result.target);
-  double w = opts.equalization_strength;
-  if (w < 0.0) {
-    w = native > 0
-            ? 1.0 - static_cast<double>(width) / static_cast<double>(native)
-            : 1.0;
-  }
-  if (native <= 0) w = 1.0;  // constant image: GHE handles it
-  result.phi = w >= 1.0 ? ghe
-                        : blend_curves(
-                              ghe, affine_placement(lo, hi, g_min_eff, g_max),
-                              w);
-
-  // Step 3: PLC — coarsen to the ladder's segment budget.
-  PlcResult plc = plc_coarsen(result.phi, opts.segments);
-  result.lambda = std::move(plc.curve);
-  result.plc_mse = plc.mse;
-
-  // Step 4: backlight factor from the brightest transformed level.
-  const double beta = beta_for_gmax(g_max, opts.min_beta);
-  result.point = OperatingPoint{result.lambda, beta};
-  result.evaluation = evaluate_operating_point(image, result.point,
-                                               power_model, opts.distortion);
-  return result;
+  pipeline::FrameContext ctx(image, opts, power_model);
+  return ctx.at_range(range);
 }
 
 HebsResult hebs_with_curve(const hebs::image::GrayImage& image,
                            double d_max_percent, const DistortionCurve& curve,
                            const HebsOptions& opts,
                            const hebs::power::LcdSubsystemPower& power_model) {
-  HEBS_REQUIRE(d_max_percent >= 0.0, "distortion budget must be >= 0");
-  int range = curve.min_range_for(d_max_percent, /*worst_case=*/true);
-  range = std::max(range, opts.min_range);
-  range = std::min(range, hebs::image::kMaxPixel - opts.g_min);
-  return hebs_at_range(image, range, opts, power_model);
+  pipeline::FrameContext ctx(image, opts, power_model);
+  return pipeline::run_with_curve(ctx, d_max_percent, curve);
 }
-
-namespace {
-
-/// Concurrent brightness-scaling refinement: with Λ fixed, bisect β
-/// below its luminance-exact value while the measured distortion stays
-/// within budget, and keep the result when it saves more power.
-void refine_beta(const hebs::image::GrayImage& image, double d_max_percent,
-                 const HebsOptions& opts,
-                 const hebs::power::LcdSubsystemPower& power_model,
-                 HebsResult& result) {
-  const OperatingPoint base = result.point;
-  auto eval_at = [&](double beta) {
-    const OperatingPoint p{base.luminance_transform,
-                           std::max(opts.min_beta, beta)};
-    return evaluate_operating_point(image, p, power_model, opts.distortion);
-  };
-
-  const double floor_beta = std::max(opts.min_beta, 0.25 * base.beta);
-  EvaluatedPoint best = result.evaluation;
-  auto at_floor = eval_at(floor_beta);
-  if (at_floor.distortion_percent <= d_max_percent) {
-    best = at_floor;
-  } else {
-    double feasible = base.beta;
-    double infeasible = floor_beta;
-    for (int i = 0; i < 12; ++i) {
-      const double mid = (feasible + infeasible) / 2.0;
-      const auto eval = eval_at(mid);
-      if (eval.distortion_percent <= d_max_percent) {
-        feasible = mid;
-        best = eval;
-      } else {
-        infeasible = mid;
-      }
-    }
-  }
-  if (best.saving_percent > result.evaluation.saving_percent) {
-    result.point = best.point;
-    result.evaluation = best;
-  }
-}
-
-}  // namespace
 
 HebsResult hebs_exact(const hebs::image::GrayImage& image,
                       double d_max_percent, const HebsOptions& opts,
                       const hebs::power::LcdSubsystemPower& power_model) {
-  HEBS_REQUIRE(d_max_percent >= 0.0, "distortion budget must be >= 0");
-  const int hi = hebs::image::kMaxPixel - opts.g_min;
-  const int lo = std::min(opts.min_range, hi);
-
-  // Distortion decreases (weakly) as the admissible range grows, so the
-  // smallest feasible range can be found by bisection on integers.
-  auto distortion_at = [&](int range) {
-    return hebs_at_range(image, range, opts, power_model)
-        .evaluation.distortion_percent;
-  };
-
-  HebsResult result;
-  if (distortion_at(hi) > d_max_percent) {
-    // Even the widest range misses the budget (tiny budgets on busy
-    // images): return the least-distorted point.
-    return hebs_at_range(image, hi, opts, power_model);
-  }
-  if (distortion_at(lo) <= d_max_percent) {
-    result = hebs_at_range(image, lo, opts, power_model);
-  } else {
-    int infeasible = lo;  // distortion > budget here
-    int feasible = hi;    // distortion <= budget here
-    while (feasible - infeasible > 1) {
-      const int mid = (feasible + infeasible) / 2;
-      if (distortion_at(mid) <= d_max_percent) {
-        feasible = mid;
-      } else {
-        infeasible = mid;
-      }
-    }
-    result = hebs_at_range(image, feasible, opts, power_model);
-  }
-  if (opts.concurrent_scaling) {
-    refine_beta(image, d_max_percent, opts, power_model, result);
-  }
-  return result;
+  pipeline::FrameContext ctx(image, opts, power_model);
+  return pipeline::run_exact(ctx, d_max_percent);
 }
 
 HebsPolicy::HebsPolicy(HebsOptions opts,

@@ -18,13 +18,16 @@ namespace {
 class ChordError {
  public:
   explicit ChordError(const std::vector<hebs::transform::CurvePoint>& pts)
-      : pts_(pts),
+      : px_(pts.size()),
+        py_(pts.size()),
         sx_(pts.size() + 1, 0.0),
         sy_(pts.size() + 1, 0.0),
         sxx_(pts.size() + 1, 0.0),
         syy_(pts.size() + 1, 0.0),
         sxy_(pts.size() + 1, 0.0) {
     for (std::size_t k = 0; k < pts.size(); ++k) {
+      px_[k] = pts[k].x;
+      py_[k] = pts[k].y;
       sx_[k + 1] = sx_[k] + pts[k].x;
       sy_[k + 1] = sy_[k] + pts[k].y;
       sxx_[k + 1] = sxx_[k] + pts[k].x * pts[k].x;
@@ -35,9 +38,9 @@ class ChordError {
 
   /// Squared error of approximating points j..i by the chord p_j -> p_i.
   double operator()(std::size_t j, std::size_t i) const {
-    const auto& pj = pts_[j];
-    const auto& pi = pts_[i];
-    const double s = (pi.y - pj.y) / (pi.x - pj.x);
+    const double pjx = px_[j];
+    const double pjy = py_[j];
+    const double s = (py_[i] - pjy) / (px_[i] - pjx);
     // Range sums over k in [j, i].
     const double n = static_cast<double>(i - j + 1);
     const double sum_x = sx_[i + 1] - sx_[j];
@@ -48,17 +51,17 @@ class ChordError {
     // Sum over k of ((y_k - y_j) - s (x_k - x_j))^2
     //  = Σ dy²  - 2 s Σ dx dy + s² Σ dx²
     const double sum_dyy =
-        sum_yy - 2.0 * pj.y * sum_y + n * pj.y * pj.y;
+        sum_yy - 2.0 * pjy * sum_y + n * pjy * pjy;
     const double sum_dxx =
-        sum_xx - 2.0 * pj.x * sum_x + n * pj.x * pj.x;
-    const double sum_dxy = sum_xy - pj.x * sum_y - pj.y * sum_x +
-                           n * pj.x * pj.y;
+        sum_xx - 2.0 * pjx * sum_x + n * pjx * pjx;
+    const double sum_dxy = sum_xy - pjx * sum_y - pjy * sum_x +
+                           n * pjx * pjy;
     const double err = sum_dyy - 2.0 * s * sum_dxy + s * s * sum_dxx;
     return err > 0.0 ? err : 0.0;  // guard fp cancellation
   }
 
  private:
-  const std::vector<hebs::transform::CurvePoint>& pts_;
+  std::vector<double> px_, py_;
   std::vector<double> sx_, sy_, sxx_, syy_, sxy_;
 };
 
@@ -83,25 +86,40 @@ PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
   const auto m = static_cast<std::size_t>(segments);
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  // best[i][s]: minimal squared error of approximating points 0..i with s
-  // segments ending exactly at point i.  parent[i][s] reconstructs the
-  // chosen breakpoints.
-  std::vector<std::vector<double>> best(
-      n, std::vector<double>(m + 1, kInf));
-  std::vector<std::vector<std::size_t>> parent(
-      n, std::vector<std::size_t>(m + 1, 0));
-  best[0][0] = 0.0;
-  for (std::size_t i = 1; i < n; ++i) {
-    const std::size_t max_s = std::min(m, i);
-    for (std::size_t s = 1; s <= max_s; ++s) {
+  // best[s][i]: minimal squared error of approximating points 0..i with s
+  // segments ending exactly at point i.  parent[s][i] reconstructs the
+  // chosen breakpoints.  Flat row-per-segment storage keeps the inner
+  // loop on two contiguous rows; iterating s outermost consumes row s-1
+  // sequentially.
+  std::vector<double> best((m + 1) * n, kInf);
+  std::vector<std::size_t> parent((m + 1) * n, 0);
+  best[0] = 0.0;  // best[0][0]
+  for (std::size_t s = 1; s <= m; ++s) {
+    const double* prev = best.data() + (s - 1) * n;
+    double* cur = best.data() + s * n;
+    std::size_t* par = parent.data() + s * n;
+    for (std::size_t i = s; i < n; ++i) {
+      // Seed the scan with the previous column's parent — usually near
+      // the optimum, so the bound below is tight from the start.  The
+      // selection rule (strictly smaller value, or equal value at a
+      // smaller j) makes the result independent of the seed: it is
+      // always the lowest-j argmin, exactly what a plain ascending scan
+      // with strict `<` produces.
+      std::size_t row_parent = i > s ? par[i - 1] : s - 1;
+      double row_best = prev[row_parent] + chord(row_parent, i);
       for (std::size_t j = s - 1; j < i; ++j) {
-        if (best[j][s - 1] == kInf) continue;
-        const double candidate = best[j][s - 1] + chord(j, i);
-        if (candidate < best[i][s]) {
-          best[i][s] = candidate;
-          parent[i][s] = j;
+        // candidate = prev[j] + chord(j, i) >= prev[j]: when prev[j]
+        // already loses, skip the chord evaluation (and its division).
+        if (prev[j] > row_best) continue;
+        const double candidate = prev[j] + chord(j, i);
+        if (candidate < row_best ||
+            (candidate == row_best && j < row_parent)) {
+          row_best = candidate;
+          row_parent = j;
         }
       }
+      cur[i] = row_best;
+      par[i] = row_parent;
     }
   }
 
@@ -109,9 +127,10 @@ PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
   // optimal (extra segments can only help, so take the best s <= m).
   std::size_t best_s = m;
   for (std::size_t s = 1; s <= m; ++s) {
-    if (best[n - 1][s] < best[n - 1][best_s]) best_s = s;
+    if (best[s * n + n - 1] < best[best_s * n + n - 1]) best_s = s;
   }
-  HEBS_REQUIRE(best[n - 1][best_s] < kInf, "PLC DP failed to reach the end");
+  HEBS_REQUIRE(best[best_s * n + n - 1] < kInf,
+               "PLC DP failed to reach the end");
 
   std::vector<std::size_t> chosen;
   std::size_t i = n - 1;
@@ -119,7 +138,7 @@ PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
   while (true) {
     chosen.push_back(i);
     if (s == 0) break;
-    i = parent[i][s];
+    i = parent[s * n + i];
     --s;
   }
   std::reverse(chosen.begin(), chosen.end());
@@ -129,7 +148,7 @@ PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
   for (std::size_t idx : chosen) qpts.push_back(pts[idx]);
 
   result.curve = hebs::transform::PwlCurve(std::move(qpts));
-  result.mse = best[n - 1][best_s] / static_cast<double>(n);
+  result.mse = best[best_s * n + n - 1] / static_cast<double>(n);
   result.breakpoint_indices = std::move(chosen);
   return result;
 }

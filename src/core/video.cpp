@@ -5,6 +5,9 @@
 
 #include "core/backlight.h"
 #include "histogram/histogram_ops.h"
+#include "pipeline/engine.h"
+#include "pipeline/frame_context.h"
+#include "pipeline/stages.h"
 #include "util/error.h"
 #include "util/mathutil.h"
 
@@ -26,15 +29,21 @@ void VideoBacklightController::reset() {
 
 FrameDecision VideoBacklightController::process(
     const hebs::image::GrayImage& frame) {
-  FrameDecision decision;
-
-  // Per-frame optimum via the exact HEBS search.
+  hebs::pipeline::FrameContext ctx(frame, opts_.hebs, power_model_);
   const HebsResult raw =
-      hebs_exact(frame, opts_.d_max_percent, opts_.hebs, power_model_);
+      hebs::pipeline::run_exact(ctx, opts_.d_max_percent);
+  return apply_flicker_control(ctx, raw);
+}
+
+FrameDecision VideoBacklightController::apply_flicker_control(
+    hebs::pipeline::FrameContext& ctx, const HebsResult& raw) {
+  FrameDecision decision;
   decision.raw_beta = raw.point.beta;
 
-  // Scene-cut detection from histogram change.
-  const auto hist = hebs::histogram::Histogram::from_image(frame);
+  // Scene-cut detection from histogram change.  Always the exact
+  // histogram — a decimated estimate may drive the pipeline's statistics
+  // stages, but the cut detector compares what is actually on screen.
+  const auto& hist = ctx.exact_histogram();
   decision.scene_cut =
       prev_hist_.has_value() &&
       hebs::histogram::l1_distance(*prev_hist_, hist) >
@@ -58,15 +67,14 @@ FrameDecision VideoBacklightController::process(
   // whichever distorts less.
   const int applied_range =
       std::max(opts_.hebs.min_range, gmax_for_beta(applied_beta));
-  const HebsResult compressed =
-      hebs_at_range(frame, applied_range, opts_.hebs, power_model_);
+  const HebsResult& compressed = ctx.at_range_lean(applied_range);
   const OperatingPoint compress_point{compressed.lambda, applied_beta};
-  const auto compress_eval = evaluate_operating_point(
-      frame, compress_point, power_model_, opts_.hebs.distortion);
+  // Lean candidate evaluations: only the winner's transformed raster is
+  // materialized below.
+  const auto compress_eval = ctx.evaluate_lean(compress_point);
   const OperatingPoint keep_point{raw.point.luminance_transform,
                                   applied_beta};
-  const auto keep_eval = evaluate_operating_point(
-      frame, keep_point, power_model_, opts_.hebs.distortion);
+  const auto keep_eval = ctx.evaluate_lean(keep_point);
   if (keep_eval.distortion_percent < compress_eval.distortion_percent) {
     decision.point = keep_point;
     decision.evaluation = keep_eval;
@@ -74,6 +82,7 @@ FrameDecision VideoBacklightController::process(
     decision.point = compress_point;
     decision.evaluation = compress_eval;
   }
+  ctx.materialize_transformed(decision.evaluation);
 
   prev_beta_ = applied_beta;
   prev_hist_ = hist;
@@ -82,12 +91,12 @@ FrameDecision VideoBacklightController::process(
 
 std::vector<FrameDecision> VideoBacklightController::process_clip(
     const std::vector<hebs::image::GrayImage>& frames) {
-  std::vector<FrameDecision> decisions;
-  decisions.reserve(frames.size());
-  for (const auto& frame : frames) {
-    decisions.push_back(process(frame));
-  }
-  return decisions;
+  // Stream mode takes its HebsOptions from this controller's
+  // VideoOptions, not from EngineOptions (which configures batch mode).
+  hebs::pipeline::EngineOptions engine_opts;
+  engine_opts.num_threads = opts_.num_threads;
+  hebs::pipeline::PipelineEngine engine(engine_opts, power_model_);
+  return engine.process_stream(frames, *this);
 }
 
 double VideoBacklightController::max_flicker_step(

@@ -16,6 +16,11 @@
 #include "core/dbs.h"
 #include "core/hebs.h"
 
+namespace hebs::pipeline {
+class FrameContext;  // defined in pipeline/frame_context.h
+class PipelineEngine;  // defined in pipeline/engine.h
+}
+
 namespace hebs::core {
 
 /// Tunables of the video backlight controller.
@@ -30,6 +35,10 @@ struct VideoOptions {
   double ema_alpha = 0.5;
   /// Histogram L1 distance (0..2) above which a scene cut is declared.
   double scene_cut_threshold = 0.5;
+  /// Worker threads for process_clip's engine-backed per-frame search;
+  /// <= 0 selects the hardware concurrency.  Decisions are identical for
+  /// every thread count.
+  int num_threads = 0;
 };
 
 /// What the controller decided for one frame.
@@ -56,18 +65,38 @@ class VideoBacklightController {
   /// Processes the next frame of the stream.
   FrameDecision process(const hebs::image::GrayImage& frame);
 
-  /// Processes a whole clip and returns one decision per frame.
+  /// Processes a whole clip and returns one decision per frame.  Backed
+  /// by the PipelineEngine: the per-frame HEBS searches run on the pool
+  /// (opts.num_threads wide) while flicker control is applied strictly
+  /// in frame order, so the decisions match serial process() calls
+  /// bit-for-bit.
   std::vector<FrameDecision> process_clip(
       const std::vector<hebs::image::GrayImage>& frames);
 
   /// Resets stream state (β history and previous histogram).
   void reset();
 
+  const VideoOptions& options() const noexcept { return opts_; }
+  const hebs::power::LcdSubsystemPower& power_model() const noexcept {
+    return power_model_;
+  }
+
   /// Flicker metric over a processed clip: the largest |Δβ| between
   /// consecutive non-scene-cut frames.
   static double max_flicker_step(const std::vector<FrameDecision>& clip);
 
  private:
+  // The ordered post-stage: given the raw per-frame HEBS result (from
+  // `ctx`'s frame), applies scene-cut detection and the β rate limit,
+  // re-derives the transform for the applied β, and advances the
+  // controller's stream state.  Private because calling it out of frame
+  // order corrupts the flicker filter's history; process() and the
+  // engine's stream mode (the befriended PipelineEngine) are the only
+  // ordered consumers.
+  friend class hebs::pipeline::PipelineEngine;
+  FrameDecision apply_flicker_control(hebs::pipeline::FrameContext& ctx,
+                                      const HebsResult& raw);
+
   VideoOptions opts_;
   hebs::power::LcdSubsystemPower power_model_;
   std::optional<double> prev_beta_;

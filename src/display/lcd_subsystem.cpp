@@ -25,12 +25,12 @@ void LcdSubsystem::configure(const hebs::transform::PwlCurve& lambda,
   } else {
     ladder_.reset();
     // Software path: the video controller applies the backlight-
-    // compensated transform min(1, lambda(x)/beta) pixel by pixel.
+    // compensated transform min(1, lambda(x)/beta) pixel by pixel.  The
+    // table comes from one sweep over the curve's segments.
+    const hebs::transform::FloatLut samples = lambda.sample_levels();
     hebs::transform::Lut lut;
     for (int level = 0; level < hebs::transform::Lut::kSize; ++level) {
-      const double x =
-          static_cast<double>(level) / hebs::image::kMaxPixel;
-      const double y = util::clamp01(lambda(x) / beta);
+      const double y = util::clamp01(samples[level] / beta);
       lut[level] = static_cast<std::uint8_t>(
           std::lround(y * hebs::image::kMaxPixel));
     }

@@ -1,5 +1,7 @@
 #include "histogram/streaming.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "histogram/histogram_ops.h"
@@ -49,18 +51,34 @@ Histogram StreamingHistogram::estimate() const {
   if (total <= 0.0 || last_frame_pixels_ == 0) {
     return Histogram::from_counts(counts);
   }
-  // Normalize to the last frame's pixel count; remainder to the peak.
+  // Normalize to the last frame's pixel count with largest-remainder
+  // rounding: floor every bin's real-valued share, then hand the
+  // leftover pixels to the bins with the largest fractional parts (ties
+  // to the lower bin, so the result is deterministic).  When the
+  // accumulated weights are proportional to true counts — decimation 1,
+  // where every frame's sample IS its exact histogram — the fractions
+  // are within an ulp of integers and the estimate reproduces the exact
+  // histogram, instead of leaking truncation error into the peak bin.
+  const double pixels = static_cast<double>(last_frame_pixels_);
+  std::array<double, Histogram::kBins> fraction{};
   std::uint64_t assigned = 0;
-  std::size_t peak = 0;
   for (std::size_t i = 0; i < weights_.size(); ++i) {
-    const double share = weights_[i] / total;
-    counts[i] = static_cast<std::uint64_t>(
-        share * static_cast<double>(last_frame_pixels_));
+    const double exact = weights_[i] / total * pixels;
+    const double floored = std::floor(exact);
+    counts[i] = static_cast<std::uint64_t>(floored);
+    fraction[i] = exact - floored;
     assigned += counts[i];
-    if (weights_[i] > weights_[peak]) peak = i;
   }
-  if (last_frame_pixels_ > assigned) {
-    counts[peak] += last_frame_pixels_ - assigned;
+  std::uint64_t leftover =
+      last_frame_pixels_ > assigned ? last_frame_pixels_ - assigned : 0;
+  std::array<int, Histogram::kBins> order{};
+  for (int i = 0; i < Histogram::kBins; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(), [&fraction](int a, int b) {
+    return fraction[static_cast<std::size_t>(a)] >
+           fraction[static_cast<std::size_t>(b)];
+  });
+  for (std::size_t k = 0; k < order.size() && leftover > 0; ++k, --leftover) {
+    ++counts[static_cast<std::size_t>(order[k])];
   }
   return Histogram::from_counts(counts);
 }

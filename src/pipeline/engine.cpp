@@ -1,0 +1,135 @@
+#include "pipeline/engine.h"
+
+#include <memory>
+
+#include "core/distortion_curve.h"
+#include "pipeline/stages.h"
+#include "util/error.h"
+
+namespace hebs::pipeline {
+
+PipelineEngine::PipelineEngine(EngineOptions opts,
+                               hebs::power::LcdSubsystemPower power_model)
+    : opts_(std::move(opts)),
+      model_(std::move(power_model)),
+      pool_(opts_.num_threads) {}
+
+namespace {
+
+/// Runs `per_frame` for every image on the pool, each worker reusing one
+/// rebound FrameContext.  Results land at their frame's index, so output
+/// order never depends on scheduling.
+template <typename Result, typename PerFrame>
+std::vector<Result> map_frames(ThreadPool& pool,
+                               std::span<const hebs::image::GrayImage> images,
+                               const core::HebsOptions& hebs_opts,
+                               const hebs::power::LcdSubsystemPower& model,
+                               PerFrame&& per_frame) {
+  std::vector<Result> results(images.size());
+  std::vector<std::unique_ptr<FrameContext>> contexts(
+      static_cast<std::size_t>(pool.thread_count()));
+  pool.parallel_for(images.size(), [&](std::size_t i, int worker) {
+    auto& ctx = contexts[static_cast<std::size_t>(worker)];
+    if (!ctx) ctx = std::make_unique<FrameContext>(hebs_opts, model);
+    ctx->rebind(images[i]);
+    results[i] = per_frame(*ctx, i);
+  });
+  return results;
+}
+
+}  // namespace
+
+std::vector<core::HebsResult> PipelineEngine::process_batch(
+    std::span<const hebs::image::GrayImage> images, double d_max_percent) {
+  return map_frames<core::HebsResult>(
+      pool_, images, opts_.hebs, model_,
+      [d_max_percent](FrameContext& ctx, std::size_t) {
+        return run_exact(ctx, d_max_percent);
+      });
+}
+
+std::vector<core::HebsResult> PipelineEngine::process_batch_at_range(
+    std::span<const hebs::image::GrayImage> images, int range) {
+  return map_frames<core::HebsResult>(
+      pool_, images, opts_.hebs, model_,
+      [range](FrameContext& ctx, std::size_t) {
+        return ctx.at_range(range);
+      });
+}
+
+std::vector<core::HebsResult> PipelineEngine::process_batch_with_curve(
+    std::span<const hebs::image::GrayImage> images, double d_max_percent,
+    const core::DistortionCurve& curve) {
+  return map_frames<core::HebsResult>(
+      pool_, images, opts_.hebs, model_,
+      [d_max_percent, &curve](FrameContext& ctx, std::size_t) {
+        return run_with_curve(ctx, d_max_percent, curve);
+      });
+}
+
+std::vector<core::FrameDecision> PipelineEngine::process_stream(
+    std::span<const hebs::image::GrayImage> frames,
+    core::VideoBacklightController& controller) {
+  const core::VideoOptions& vopts = controller.options();
+
+  // Optional sampling front end: estimate per-frame histograms with the
+  // decimating estimator.  Ingestion is ordered (the estimator is
+  // stateful), so snapshots are taken serially up front.
+  std::vector<hebs::histogram::Histogram> estimates;
+  if (opts_.use_streaming_histogram) {
+    hebs::histogram::StreamingHistogram estimator(opts_.streaming);
+    estimates.reserve(frames.size());
+    for (const auto& frame : frames) {
+      estimator.ingest(frame);
+      estimates.push_back(estimator.estimate());
+    }
+  }
+
+  // The clip is processed in bounded windows so peak memory stays flat:
+  // a frame's context (reference rasters, metric caches, memoized
+  // per-range results) lives only from its parallel search until the
+  // ordered post-stage consumes it.  Window boundaries cannot change any
+  // value — per-frame raw searches are independent, and flicker control
+  // consumes them strictly in frame order either way.
+  const std::size_t window =
+      std::max<std::size_t>(4 * static_cast<std::size_t>(pool_.thread_count()), 16);
+  std::vector<core::FrameDecision> decisions;
+  decisions.reserve(frames.size());
+  std::vector<std::unique_ptr<FrameContext>> contexts(
+      std::min(window, frames.size()));
+  std::vector<core::HebsResult> raws(contexts.size());
+  for (std::size_t begin = 0; begin < frames.size(); begin += window) {
+    const std::size_t count = std::min(window, frames.size() - begin);
+
+    // Parallel stage: the per-frame exact HEBS search.  Contexts stay
+    // alive into the post-stage, which reuses their caches for the
+    // applied-β re-derivation.
+    pool_.parallel_for(count, [&](std::size_t k, int) {
+      const std::size_t i = begin + k;
+      contexts[k] = std::make_unique<FrameContext>(
+          frames[i], vopts.hebs, controller.power_model());
+      if (!estimates.empty()) {
+        contexts[k]->set_histogram_estimate(estimates[i]);
+      }
+      raws[k] = run_exact(*contexts[k], vopts.d_max_percent);
+    });
+
+    // Ordered post-stage: flicker control advances the controller's
+    // state exactly as serial per-frame processing would.
+    for (std::size_t k = 0; k < count; ++k) {
+      decisions.push_back(
+          controller.apply_flicker_control(*contexts[k], raws[k]));
+      contexts[k].reset();  // caches are frame-local; free them eagerly
+    }
+  }
+  return decisions;
+}
+
+std::vector<core::FrameDecision> PipelineEngine::process_stream(
+    std::span<const hebs::image::GrayImage> frames,
+    const core::VideoOptions& opts) {
+  core::VideoBacklightController controller(opts, model_);
+  return process_stream(frames, controller);
+}
+
+}  // namespace hebs::pipeline

@@ -1,0 +1,94 @@
+// The pipeline engine: a thread-pool-backed batch/stream executor for
+// the staged HEBS pipeline.
+//
+// Batch mode (photo albums, characterization sweeps, table regeneration)
+// fans independent frames out over the pool; every worker owns one
+// FrameContext that it rebinds per frame, so frame-side caches are
+// reused without cross-thread sharing.  Results are written by frame
+// index — output order (and every computed bit) is independent of the
+// thread count.
+//
+// Stream mode (video) splits each frame's work into the parallelizable
+// per-frame HEBS search and the inherently ordered flicker-control
+// post-stage: raw operating points are computed concurrently, then the
+// VideoBacklightController consumes them strictly in frame order,
+// producing exactly the decisions the serial controller makes.  A
+// decimated StreamingHistogram can optionally stand in for the exact
+// per-frame histogram, as a real video controller's sampling front end
+// would.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/hebs.h"
+#include "core/video.h"
+#include "histogram/streaming.h"
+#include "pipeline/executor.h"
+#include "pipeline/frame_context.h"
+
+namespace hebs::core {
+class DistortionCurve;
+}
+
+namespace hebs::pipeline {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Worker threads; <= 0 selects the hardware concurrency.
+  int num_threads = 0;
+  /// Pipeline options applied by the batch entry points.  Stream mode
+  /// ignores this and uses the controller's VideoOptions::hebs instead
+  /// (the controller defines the stream's semantics).
+  core::HebsOptions hebs;
+  /// Stream mode: estimate per-frame histograms with a decimating
+  /// StreamingHistogram instead of touching every pixel.
+  bool use_streaming_histogram = false;
+  /// Estimator configuration when use_streaming_histogram is set.
+  hebs::histogram::StreamingOptions streaming;
+};
+
+class PipelineEngine {
+ public:
+  explicit PipelineEngine(EngineOptions opts = {},
+                          hebs::power::LcdSubsystemPower power_model =
+                              hebs::power::LcdSubsystemPower::lp064v1());
+
+  int thread_count() const noexcept { return pool_.thread_count(); }
+  const EngineOptions& options() const noexcept { return opts_; }
+
+  /// Exact-search HEBS (the Table 1 protocol) for every image.
+  /// result[i] corresponds to images[i].
+  std::vector<core::HebsResult> process_batch(
+      std::span<const hebs::image::GrayImage> images, double d_max_percent);
+
+  /// Fixed-range HEBS for every image.
+  std::vector<core::HebsResult> process_batch_at_range(
+      std::span<const hebs::image::GrayImage> images, int range);
+
+  /// Deployed flow for every image: range looked up from the distortion
+  /// characteristic curve, no metric in the decision loop.
+  std::vector<core::HebsResult> process_batch_with_curve(
+      std::span<const hebs::image::GrayImage> images, double d_max_percent,
+      const core::DistortionCurve& curve);
+
+  /// Frame-adaptive video: per-frame raw operating points are searched
+  /// concurrently, then `controller` applies flicker control strictly in
+  /// frame order (its state advances exactly as if it had processed the
+  /// clip serially).
+  std::vector<core::FrameDecision> process_stream(
+      std::span<const hebs::image::GrayImage> frames,
+      core::VideoBacklightController& controller);
+
+  /// Same, with a fresh controller built from `opts`.
+  std::vector<core::FrameDecision> process_stream(
+      std::span<const hebs::image::GrayImage> frames,
+      const core::VideoOptions& opts);
+
+ private:
+  EngineOptions opts_;
+  hebs::power::LcdSubsystemPower model_;
+  ThreadPool pool_;
+};
+
+}  // namespace hebs::pipeline

@@ -1,0 +1,115 @@
+#include "pipeline/executor.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace hebs::pipeline {
+
+namespace {
+
+int resolve_thread_count(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads)
+    : thread_count_(resolve_thread_count(threads)) {
+  // With a single thread parallel_for runs inline; no workers needed.
+  if (thread_count_ == 1) return;
+  threads_.reserve(static_cast<std::size_t>(thread_count_));
+  try {
+    for (int w = 0; w < thread_count_; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  } catch (...) {
+    // A spawn failed (thread limit): shut down the workers that did
+    // start so their joinable std::threads don't terminate the process,
+    // then surface the error to the caller.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : threads_) t.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t, int)>* task = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this, seen_generation] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;
+      n = task_n_;
+    }
+    std::exception_ptr error;
+    for (;;) {
+      // Once any worker failed the call will rethrow, so stop claiming
+      // indices instead of burning through the rest of the batch.
+      if (failed_.load(std::memory_order_relaxed)) break;
+      const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*task)(i, worker);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+        failed_.store(true, std::memory_order_relaxed);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, int)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  HEBS_REQUIRE(active_ == 0, "parallel_for is not reentrant");
+  task_ = &fn;
+  task_n_ = n;
+  cursor_.store(0, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  active_ = static_cast<int>(threads_.size());
+  first_error_ = nullptr;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [this] { return active_ == 0; });
+  task_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace hebs::pipeline

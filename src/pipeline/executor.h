@@ -1,0 +1,63 @@
+// Thread-pool executor for the pipeline engine.
+//
+// A fixed pool of persistent worker threads with a fork-join
+// parallel_for.  Indices are handed out dynamically (work stealing via a
+// shared atomic cursor) so imbalanced per-frame costs — hebs_exact's
+// bisection depth varies with image content — do not serialize the
+// batch.  Each executing thread has a stable worker id, which the engine
+// uses to maintain per-worker FrameContext scratch state.  Output
+// determinism is the caller's job: write results by index, never by
+// completion order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hebs::pipeline {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const noexcept { return thread_count_; }
+
+  /// Runs fn(index, worker) for every index in [0, n); blocks until the
+  /// call completes.  `worker` is in [0, thread_count()).  With one
+  /// thread everything runs inline on the calling thread.  If fn
+  /// throws, remaining unclaimed indices are skipped (in-flight ones
+  /// finish) and the first exception is rethrown to the caller.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, int)>& fn);
+
+ private:
+  void worker_loop(int worker);
+
+  int thread_count_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t, int)>* task_ = nullptr;
+  std::size_t task_n_ = 0;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<bool> failed_{false};
+  int active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hebs::pipeline

@@ -1,0 +1,206 @@
+#include "pipeline/frame_context.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ghe.h"
+#include "pipeline/stages.h"
+#include "transform/lut.h"
+#include "util/error.h"
+#include "util/mathutil.h"
+
+namespace hebs::pipeline {
+
+FrameContext::FrameContext(core::HebsOptions opts,
+                           hebs::power::LcdSubsystemPower model)
+    : opts_(std::move(opts)), model_(std::move(model)) {}
+
+FrameContext::FrameContext(const hebs::image::GrayImage& image,
+                           core::HebsOptions opts,
+                           hebs::power::LcdSubsystemPower model)
+    : opts_(std::move(opts)), model_(std::move(model)) {
+  rebind(image);
+}
+
+void FrameContext::rebind(const hebs::image::GrayImage& image) {
+  image_ = &image;
+  estimate_.reset();
+  exact_hist_.reset();
+  evaluator_.reset();
+  reference_power_.reset();
+  ghe_.clear();
+  by_range_.clear();
+  by_target_.clear();
+}
+
+const hebs::image::GrayImage& FrameContext::image() const {
+  HEBS_REQUIRE(image_ != nullptr, "FrameContext is not bound to a frame");
+  return *image_;
+}
+
+const hebs::histogram::Histogram& FrameContext::histogram() const {
+  if (estimate_.has_value()) return *estimate_;
+  return exact_histogram();
+}
+
+const hebs::histogram::Histogram& FrameContext::exact_histogram() const {
+  if (!exact_hist_.has_value()) {
+    exact_hist_ = hebs::histogram::Histogram::from_image(image());
+  }
+  return *exact_hist_;
+}
+
+void FrameContext::set_histogram_estimate(
+    hebs::histogram::Histogram estimate) {
+  HEBS_REQUIRE(!estimate.empty(), "histogram estimate is empty");
+  estimate_ = std::move(estimate);
+  // Statistics-driven products depend on the histogram; drop them.
+  ghe_.clear();
+  by_range_.clear();
+  by_target_.clear();
+}
+
+const hebs::image::FloatImage& FrameContext::reference_luminance() const {
+  return evaluator().reference();
+}
+
+const hebs::quality::DistortionEvaluator& FrameContext::evaluator() const {
+  if (!evaluator_.has_value()) {
+    // The raster is built as a prvalue and moved into the evaluator —
+    // the context stores the reference exactly once (the evaluator also
+    // exposes it via reference()).
+    evaluator_.emplace(hebs::image::FloatImage::from_gray(image()),
+                       opts_.distortion);
+  }
+  return *evaluator_;
+}
+
+const hebs::power::PowerBreakdown& FrameContext::reference_power() const {
+  if (!reference_power_.has_value()) {
+    reference_power_ = model_.frame_power(exact_histogram(), 1.0);
+  }
+  return *reference_power_;
+}
+
+const hebs::transform::PwlCurve& FrameContext::ghe(
+    const core::GheTarget& target) const {
+  const auto key = std::make_pair(target.g_min, target.g_max);
+  auto it = ghe_.find(key);
+  if (it == ghe_.end()) {
+    it = ghe_.emplace(key, core::ghe_transform(histogram(), target)).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+core::HebsResult& lookup_mutable(
+    const FrameContext& ctx, int range,
+    std::map<int, core::HebsResult*>& by_range,
+    std::map<std::pair<int, int>, core::HebsResult>& by_target) {
+  const auto range_it = by_range.find(range);
+  if (range_it != by_range.end()) {
+    return *range_it->second;
+  }
+  // Ranges clamped by the image's brightest level collapse onto the same
+  // effective target; share one pipeline run between them.  Entries are
+  // stored lean (no transformed raster) — probes never need it.
+  const core::GheTarget target = select_target(ctx, range);
+  const auto key = std::make_pair(target.g_min, target.g_max);
+  auto target_it = by_target.find(key);
+  if (target_it == by_target.end()) {
+    target_it =
+        by_target.emplace(key, run_stages_at_range_lean(ctx, range)).first;
+  }
+  by_range.emplace(range, &target_it->second);
+  return target_it->second;
+}
+
+}  // namespace
+
+const core::HebsResult& FrameContext::at_range(int range) const {
+  core::HebsResult& entry = lookup_mutable(*this, range, by_range_, by_target_);
+  materialize_transformed(entry);
+  return entry;
+}
+
+const core::HebsResult& FrameContext::at_range_lean(int range) const {
+  return lookup_mutable(*this, range, by_range_, by_target_);
+}
+
+double FrameContext::distortion_at_range(int range) const {
+  return at_range_lean(range).evaluation.distortion_percent;
+}
+
+namespace {
+
+using core::displayed_levels;
+
+/// F' = ψ(F) quantized to 8 bits, per level: identical to
+/// lum.apply(img).to_gray() without expanding the double raster.
+hebs::image::GrayImage quantize_displayed(const hebs::image::GrayImage& img,
+                                          const hebs::transform::FloatLut& lum) {
+  return lum.quantize().apply(img);
+}
+
+}  // namespace
+
+core::EvaluatedPoint FrameContext::evaluate(
+    const core::OperatingPoint& point) const {
+  const hebs::transform::FloatLut lum = displayed_levels(point);
+  core::EvaluatedPoint out = evaluate_levels(point, lum);
+  out.transformed = quantize_displayed(image(), lum);
+  return out;
+}
+
+void FrameContext::materialize_transformed(core::HebsResult& result) const {
+  materialize_transformed(result.evaluation);
+}
+
+void FrameContext::materialize_transformed(
+    core::EvaluatedPoint& evaluation) const {
+  if (!evaluation.transformed.empty()) return;
+  evaluation.transformed =
+      quantize_displayed(image(), displayed_levels(evaluation.point));
+}
+
+core::EvaluatedPoint FrameContext::evaluate_lean(
+    const core::OperatingPoint& point) const {
+  return evaluate_levels(point, displayed_levels(point));
+}
+
+core::EvaluatedPoint FrameContext::evaluate_levels(
+    const core::OperatingPoint& point,
+    const hebs::transform::FloatLut& lum) const {
+  HEBS_REQUIRE(!image().empty(), "cannot evaluate on an empty image");
+  HEBS_REQUIRE(point.beta > 0.0 && point.beta <= 1.0,
+               "beta must be in (0, 1]");
+
+  core::EvaluatedPoint out;
+  out.point = point;
+
+  // Distortion through the cached evaluator's per-level fast path (the
+  // displayed raster is a per-level map of the original).
+  out.distortion_percent = evaluator().percent_mapped(image(), lum);
+
+  // Power: CCFL at β plus panel power at the driven transmittances
+  // t(x) = ψ(x)/β, weighted by the original histogram.
+  const auto& hist = exact_histogram();
+  double panel_watts = 0.0;
+  for (int level = 0; level < hebs::histogram::Histogram::kBins; ++level) {
+    const double t = util::clamp01(lum[level] / point.beta);
+    panel_watts += model_.panel().pixel_power(t) *
+                   static_cast<double>(hist.count(level));
+  }
+  panel_watts /= static_cast<double>(hist.total());
+  out.power.ccfl_watts = model_.ccfl().power(point.beta);
+  out.power.panel_watts = panel_watts;
+
+  out.reference_power = reference_power();
+  const double before = out.reference_power.total();
+  HEBS_REQUIRE(before > 0.0, "reference frame consumes no power");
+  out.saving_percent = 100.0 * (1.0 - out.power.total() / before);
+  return out;
+}
+
+}  // namespace hebs::pipeline

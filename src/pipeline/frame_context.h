@@ -1,0 +1,145 @@
+// Shared per-frame state for the staged HEBS pipeline.
+//
+// A FrameContext binds one input frame to one set of pipeline options
+// and one power model, and memoizes every frame-derived intermediate the
+// stages need: the image histogram, the reference luminance raster and
+// its distortion-evaluator caches, the reference power draw, per-target
+// GHE curves, and complete per-range pipeline results.  hebs_exact's
+// bisection probes a dozen ranges on the same frame; with a context each
+// probe pays only the truly range-dependent work (GHE/PLC on 256-entry
+// curves plus the test-side half of the distortion metric) instead of
+// recomputing the frame-side products from scratch.
+//
+// Every memoized value is the output of exactly the computation the
+// serial unbatched path performs, so cached and uncached flows are
+// bit-identical — the invariant the engine's batch/stream modes (and
+// their tests) rely on.
+//
+// A context is not thread-safe; the engine gives each worker its own and
+// rebind()s it between frames (per-worker context reuse).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "core/hebs.h"
+#include "histogram/histogram.h"
+#include "image/image.h"
+#include "power/lcd_power.h"
+#include "quality/distortion.h"
+#include "transform/pwl.h"
+
+namespace hebs::pipeline {
+
+class FrameContext {
+ public:
+  /// Unbound context; rebind() must be called before use.
+  FrameContext(core::HebsOptions opts, hebs::power::LcdSubsystemPower model);
+
+  FrameContext(const hebs::image::GrayImage& image, core::HebsOptions opts,
+               hebs::power::LcdSubsystemPower model);
+
+  // Not copyable: by_range_ holds pointers into by_target_'s nodes, so a
+  // copy would alias (and later dangle into) the source's memo.  Moves
+  // are fine — map nodes are stable across moves.
+  FrameContext(const FrameContext&) = delete;
+  FrameContext& operator=(const FrameContext&) = delete;
+  FrameContext(FrameContext&&) = default;
+  FrameContext& operator=(FrameContext&&) = default;
+
+  /// Points the context at a new frame and clears every frame-derived
+  /// cache.  The image is NOT copied; the caller keeps it alive for the
+  /// lifetime of the binding.
+  void rebind(const hebs::image::GrayImage& image);
+
+  bool bound() const noexcept { return image_ != nullptr; }
+  const hebs::image::GrayImage& image() const;
+  const core::HebsOptions& options() const noexcept { return opts_; }
+  const hebs::power::LcdSubsystemPower& power_model() const noexcept {
+    return model_;
+  }
+
+  /// Histogram the statistics-driven stages (range selection, GHE) use.
+  /// By default the exact image histogram; a streaming estimate may be
+  /// injected with set_histogram_estimate.
+  const hebs::histogram::Histogram& histogram() const;
+
+  /// Exact image histogram, regardless of any injected estimate.  Power
+  /// accounting and distortion evaluation always use this.
+  const hebs::histogram::Histogram& exact_histogram() const;
+
+  /// Injects an estimated histogram (e.g. from a StreamingHistogram) to
+  /// drive the statistics stages instead of the exact one.
+  void set_histogram_estimate(hebs::histogram::Histogram estimate);
+  bool has_histogram_estimate() const noexcept {
+    return estimate_.has_value();
+  }
+
+  /// Reference luminance raster of the unmodified frame (X/255).
+  const hebs::image::FloatImage& reference_luminance() const;
+
+  /// Distortion evaluator with the reference-side metric caches built.
+  const hebs::quality::DistortionEvaluator& evaluator() const;
+
+  /// Power draw of the unmodified frame at full backlight.
+  const hebs::power::PowerBreakdown& reference_power() const;
+
+  /// Exact GHE transformation for a target range (memoized per target).
+  const hebs::transform::PwlCurve& ghe(const core::GheTarget& target) const;
+
+  /// Full five-stage pipeline result at a fixed dynamic range, memoized
+  /// per range (and per effective target, so ranges that clamp to the
+  /// same target share one computation).
+  const core::HebsResult& at_range(int range) const;
+
+  /// The memoized result without materializing its transformed raster —
+  /// for callers that only read curves/scalars (e.g. the video
+  /// controller re-deriving Λ for an applied β).
+  const core::HebsResult& at_range_lean(int range) const;
+
+  /// Measured distortion at a range — what a search probe needs.  Uses
+  /// the same memo as at_range but never materializes the probe's 8-bit
+  /// transformed raster, so bisecting over many ranges stores only
+  /// curves and scalars per target, not a frame-sized image each.
+  double distortion_at_range(int range) const;
+
+  /// Measures an operating point on this frame, reusing the cached
+  /// reference-side work.  Bit-identical to
+  /// core::evaluate_operating_point on the same inputs.
+  core::EvaluatedPoint evaluate(const core::OperatingPoint& point) const;
+
+  /// Like evaluate(), but leaves evaluation.transformed empty — the
+  /// memoized stage pipeline uses this for probes and materializes the
+  /// raster lazily (materialize_transformed) on first full access.
+  core::EvaluatedPoint evaluate_lean(const core::OperatingPoint& point) const;
+
+  /// Fills result.evaluation.transformed (ψ(F) quantized to 8 bits) if
+  /// it is still empty.  Deterministic from result.point, so a lazily
+  /// materialized raster is byte-identical to an eagerly computed one.
+  void materialize_transformed(core::HebsResult& result) const;
+
+  /// Same for a bare evaluation (filled from evaluation.point).
+  void materialize_transformed(core::EvaluatedPoint& evaluation) const;
+
+ private:
+  /// Shared body of evaluate/evaluate_lean: measures the point given
+  /// its already-sampled per-level displayed luminance.
+  core::EvaluatedPoint evaluate_levels(
+      const core::OperatingPoint& point,
+      const hebs::transform::FloatLut& lum) const;
+
+  const hebs::image::GrayImage* image_ = nullptr;
+  core::HebsOptions opts_;
+  hebs::power::LcdSubsystemPower model_;
+
+  std::optional<hebs::histogram::Histogram> estimate_;
+  mutable std::optional<hebs::histogram::Histogram> exact_hist_;
+  mutable std::optional<hebs::quality::DistortionEvaluator> evaluator_;
+  mutable std::optional<hebs::power::PowerBreakdown> reference_power_;
+  mutable std::map<std::pair<int, int>, hebs::transform::PwlCurve> ghe_;
+  mutable std::map<std::pair<int, int>, core::HebsResult> by_target_;
+  mutable std::map<int, core::HebsResult*> by_range_;
+};
+
+}  // namespace hebs::pipeline

@@ -1,0 +1,246 @@
+#include "pipeline/stages.h"
+
+#include <algorithm>
+
+#include "core/backlight.h"
+#include "core/distortion_curve.h"
+#include "core/ghe.h"
+#include "core/plc.h"
+#include "util/error.h"
+
+namespace hebs::pipeline {
+
+namespace {
+
+/// The distortion-minimal monotone placement of the image's native range
+/// [lo, hi] into the target [g_min, g_max]: an affine map of the
+/// populated levels (contrast-preserving when the widths match, identity
+/// when the intervals coincide), clamped outside.
+hebs::transform::PwlCurve affine_placement(int lo, int hi, int g_min,
+                                           int g_max) {
+  const double xn_lo = static_cast<double>(lo) / hebs::image::kMaxPixel;
+  const double xn_hi = static_cast<double>(hi) / hebs::image::kMaxPixel;
+  const double yn_lo = static_cast<double>(g_min) / hebs::image::kMaxPixel;
+  const double yn_hi = static_cast<double>(g_max) / hebs::image::kMaxPixel;
+  std::vector<hebs::transform::CurvePoint> pts;
+  if (lo > 0) pts.push_back({0.0, yn_lo});
+  pts.push_back({xn_lo, yn_lo});
+  pts.push_back({xn_hi, yn_hi});
+  if (hi < hebs::image::kMaxPixel) pts.push_back({1.0, yn_hi});
+  return hebs::transform::PwlCurve(std::move(pts));
+}
+
+/// Pointwise blend w·a + (1-w)·b, sampled at every pixel level so the
+/// result has the same per-level resolution as the exact GHE curve.
+hebs::transform::PwlCurve blend_curves(const hebs::transform::PwlCurve& a,
+                                       const hebs::transform::PwlCurve& b,
+                                       double w) {
+  const hebs::transform::FloatLut sa = a.sample_levels();
+  const hebs::transform::FloatLut sb = b.sample_levels();
+  std::vector<hebs::transform::CurvePoint> pts;
+  pts.reserve(static_cast<std::size_t>(hebs::image::kLevels));
+  for (int level = 0; level < hebs::image::kLevels; ++level) {
+    const double x = static_cast<double>(level) / hebs::image::kMaxPixel;
+    pts.push_back({x, w * sa[level] + (1.0 - w) * sb[level]});
+  }
+  return hebs::transform::PwlCurve(std::move(pts));
+}
+
+void validate(const FrameContext& ctx, int range) {
+  const core::HebsOptions& opts = ctx.options();
+  HEBS_REQUIRE(ctx.bound() && !ctx.image().empty(), "HEBS of an empty image");
+  HEBS_REQUIRE(range >= 1, "dynamic range must be positive");
+  HEBS_REQUIRE(opts.g_min >= 0 && opts.g_min + range <= hebs::image::kMaxPixel,
+               "target range exceeds the 8-bit domain");
+  HEBS_REQUIRE(opts.segments >= 1, "segment budget must be positive");
+  HEBS_REQUIRE(opts.equalization_strength <= 1.0,
+               "equalization strength must be <= 1 (or negative for "
+               "adaptive)");
+  HEBS_REQUIRE(opts.min_beta >= 0.0 && opts.min_beta <= 1.0,
+               "min_beta must be in [0, 1]");
+}
+
+}  // namespace
+
+void HistogramStage::run(const FrameContext& ctx,
+                         core::HebsResult& result) const {
+  (void)result;
+  (void)ctx.histogram();
+}
+
+core::GheTarget select_target(const FrameContext& ctx, int range) {
+  validate(ctx, range);
+  const auto& hist = ctx.histogram();
+  const int lo = hist.min_level();
+  const int hi = hist.max_level();
+  const int native = hi - lo;
+  const int g_min = ctx.options().g_min;
+
+  // Never map the brightest populated level above itself: brightening
+  // costs backlight power and adds distortion, so the admissible range
+  // is capped by the image's own maximum.
+  const int g_max = std::min(g_min + range, std::max(hi, 1));
+  // Preserve the native width when the target allows it (the adaptive
+  // placement); otherwise compress down to the floor g_min.
+  const int g_min_eff = native > 0 ? std::max(g_min, g_max - native) : g_min;
+  return core::GheTarget{g_min_eff, g_max};
+}
+
+void RangeSelectStage::run(const FrameContext& ctx,
+                           core::HebsResult& result) const {
+  result.target = select_target(ctx, range_);
+}
+
+void GheStage::run(const FrameContext& ctx, core::HebsResult& result) const {
+  const auto& hist = ctx.histogram();
+  const int lo = hist.min_level();
+  const int hi = hist.max_level();
+  const int native = hi - lo;
+  const int width = result.target.range();
+
+  const hebs::transform::PwlCurve& ghe = ctx.ghe(result.target);
+  double w = ctx.options().equalization_strength;
+  if (w < 0.0) {
+    w = native > 0
+            ? 1.0 - static_cast<double>(width) / static_cast<double>(native)
+            : 1.0;
+  }
+  if (native <= 0) w = 1.0;  // constant image: GHE handles it
+  result.phi =
+      w >= 1.0
+          ? ghe
+          : blend_curves(ghe,
+                         affine_placement(lo, hi, result.target.g_min,
+                                          result.target.g_max),
+                         w);
+}
+
+void PlcStage::run(const FrameContext& ctx, core::HebsResult& result) const {
+  core::PlcResult plc = core::plc_coarsen(result.phi, ctx.options().segments);
+  result.lambda = std::move(plc.curve);
+  result.plc_mse = plc.mse;
+}
+
+void EvaluateStage::run(const FrameContext& ctx,
+                        core::HebsResult& result) const {
+  const double beta =
+      core::beta_for_gmax(result.target.g_max, ctx.options().min_beta);
+  result.point = core::OperatingPoint{result.lambda, beta};
+  result.evaluation = ctx.evaluate_lean(result.point);
+}
+
+core::HebsResult run_stages_at_range_lean(const FrameContext& ctx,
+                                          int range) {
+  const HistogramStage histogram_stage;
+  const RangeSelectStage range_stage(range);
+  const GheStage ghe_stage;
+  const PlcStage plc_stage;
+  const EvaluateStage evaluate_stage;
+  const Stage* const stages[] = {&histogram_stage, &range_stage, &ghe_stage,
+                                 &plc_stage, &evaluate_stage};
+  core::HebsResult result;
+  for (const Stage* stage : stages) stage->run(ctx, result);
+  return result;
+}
+
+core::HebsResult run_stages_at_range(const FrameContext& ctx, int range) {
+  core::HebsResult result = run_stages_at_range_lean(ctx, range);
+  ctx.materialize_transformed(result);
+  return result;
+}
+
+core::HebsResult run_with_curve(const FrameContext& ctx, double d_max_percent,
+                                const core::DistortionCurve& curve) {
+  HEBS_REQUIRE(d_max_percent >= 0.0, "distortion budget must be >= 0");
+  int range = curve.min_range_for(d_max_percent, /*worst_case=*/true);
+  range = std::max(range, ctx.options().min_range);
+  range = std::min(range, hebs::image::kMaxPixel - ctx.options().g_min);
+  return ctx.at_range(range);
+}
+
+namespace {
+
+/// Concurrent brightness-scaling refinement: with Λ fixed, bisect β
+/// below its luminance-exact value while the measured distortion stays
+/// within budget, and keep the result when it saves more power.
+void refine_beta(const FrameContext& ctx, double d_max_percent,
+                 core::HebsResult& result) {
+  const core::OperatingPoint base = result.point;
+  const double min_beta = ctx.options().min_beta;
+  // Lean evaluations: only the winning candidate's transformed raster
+  // is materialized (below), not one per bisection probe.
+  auto eval_at = [&](double beta) {
+    const core::OperatingPoint p{base.luminance_transform,
+                                 std::max(min_beta, beta)};
+    return ctx.evaluate_lean(p);
+  };
+
+  const double floor_beta = std::max(min_beta, 0.25 * base.beta);
+  core::EvaluatedPoint best = result.evaluation;
+  auto at_floor = eval_at(floor_beta);
+  if (at_floor.distortion_percent <= d_max_percent) {
+    best = at_floor;
+  } else {
+    double feasible = base.beta;
+    double infeasible = floor_beta;
+    for (int i = 0; i < 12; ++i) {
+      const double mid = (feasible + infeasible) / 2.0;
+      const auto eval = eval_at(mid);
+      if (eval.distortion_percent <= d_max_percent) {
+        feasible = mid;
+        best = eval;
+      } else {
+        infeasible = mid;
+      }
+    }
+  }
+  if (best.saving_percent > result.evaluation.saving_percent) {
+    result.point = best.point;
+    result.evaluation = best;
+    ctx.materialize_transformed(result);
+  }
+}
+
+}  // namespace
+
+core::HebsResult run_exact(const FrameContext& ctx, double d_max_percent) {
+  HEBS_REQUIRE(d_max_percent >= 0.0, "distortion budget must be >= 0");
+  const int hi = hebs::image::kMaxPixel - ctx.options().g_min;
+  const int lo = std::min(ctx.options().min_range, hi);
+
+  // Distortion decreases (weakly) as the admissible range grows, so the
+  // smallest feasible range can be found by bisection on integers.  Each
+  // probe is memoized in the context (curves and scalars only — no
+  // per-probe raster), so revisited ranges cost nothing.
+  auto distortion_at = [&](int range) {
+    return ctx.distortion_at_range(range);
+  };
+
+  core::HebsResult result;
+  if (distortion_at(hi) > d_max_percent) {
+    // Even the widest range misses the budget (tiny budgets on busy
+    // images): return the least-distorted point.
+    return ctx.at_range(hi);
+  }
+  if (distortion_at(lo) <= d_max_percent) {
+    result = ctx.at_range(lo);
+  } else {
+    int infeasible = lo;  // distortion > budget here
+    int feasible = hi;    // distortion <= budget here
+    while (feasible - infeasible > 1) {
+      const int mid = (feasible + infeasible) / 2;
+      if (distortion_at(mid) <= d_max_percent) {
+        feasible = mid;
+      } else {
+        infeasible = mid;
+      }
+    }
+    result = ctx.at_range(feasible);
+  }
+  if (ctx.options().concurrent_scaling) {
+    refine_beta(ctx, d_max_percent, result);
+  }
+  return result;
+}
+
+}  // namespace hebs::pipeline

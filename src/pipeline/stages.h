@@ -1,0 +1,103 @@
+// The staged decomposition of the HEBS per-frame flow (Fig. 4).
+//
+//   HistogramStage   -> image statistics (warms the context's histogram)
+//   RangeSelectStage -> effective target range [g_min_eff, g_max]
+//   GheStage         -> exact equalizing transform Φ (strength-blended)
+//   PlcStage         -> m-segment coarsening Λ
+//   EvaluateStage    -> operating point (Λ, β) + measured distortion/power
+//
+// Stages communicate exclusively through the shared FrameContext (for
+// memoized frame products) and the HebsResult under construction.  The
+// free-function front ends in core/hebs.h and the PipelineEngine's batch
+// and stream modes all drive these same stages, which is what guarantees
+// their outputs are bit-identical.
+#pragma once
+
+#include "core/hebs.h"
+#include "pipeline/frame_context.h"
+
+namespace hebs::core {
+class DistortionCurve;
+}
+
+namespace hebs::pipeline {
+
+/// One step of the per-frame pipeline.  Reads memoized products from the
+/// context and fills its slice of the result.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual const char* name() const noexcept = 0;
+  virtual void run(const FrameContext& ctx, core::HebsResult& result) const = 0;
+};
+
+/// Warms the context's histogram (exact or injected estimate).
+class HistogramStage : public Stage {
+ public:
+  const char* name() const noexcept override { return "histogram"; }
+  void run(const FrameContext& ctx, core::HebsResult& result) const override;
+};
+
+/// Picks the effective target [g_min_eff, g_max] for a requested dynamic
+/// range: caps g_max at the brightest populated level and preserves the
+/// native width when the target allows it (adaptive placement).
+class RangeSelectStage : public Stage {
+ public:
+  explicit RangeSelectStage(int range) : range_(range) {}
+  const char* name() const noexcept override { return "range-select"; }
+  void run(const FrameContext& ctx, core::HebsResult& result) const override;
+
+ private:
+  int range_;
+};
+
+/// Solves GHE into the selected target and applies the
+/// equalization-strength blend with the affine placement.
+class GheStage : public Stage {
+ public:
+  const char* name() const noexcept override { return "ghe"; }
+  void run(const FrameContext& ctx, core::HebsResult& result) const override;
+};
+
+/// Coarsens Φ to the ladder's segment budget.
+class PlcStage : public Stage {
+ public:
+  const char* name() const noexcept override { return "plc"; }
+  void run(const FrameContext& ctx, core::HebsResult& result) const override;
+};
+
+/// Derives β from the target, forms the operating point, and measures
+/// distortion/power through the context's cached evaluator.
+class EvaluateStage : public Stage {
+ public:
+  const char* name() const noexcept override { return "evaluate"; }
+  void run(const FrameContext& ctx, core::HebsResult& result) const override;
+};
+
+/// The effective target RangeSelectStage would pick for `range` — cheap,
+/// lets FrameContext::at_range collapse ranges that clamp to the same
+/// target onto one memo entry.
+core::GheTarget select_target(const FrameContext& ctx, int range);
+
+/// Runs the five standard stages in order at a fixed range.  Unmemoized;
+/// use FrameContext::at_range for the cached entry point.
+core::HebsResult run_stages_at_range(const FrameContext& ctx, int range);
+
+/// Same, but leaves evaluation.transformed unmaterialized — the form
+/// FrameContext memoizes for search probes (a probe reads only curves
+/// and scalars, so caching a frame-sized raster per probed target would
+/// be pure memory waste).  FrameContext::materialize_transformed fills
+/// the raster, byte-identically, on first full access.
+core::HebsResult run_stages_at_range_lean(const FrameContext& ctx, int range);
+
+/// Deployed flow: range from the distortion characteristic curve
+/// (worst-case fit), then the staged pipeline.
+core::HebsResult run_with_curve(const FrameContext& ctx, double d_max_percent,
+                                const core::DistortionCurve& curve);
+
+/// Oracle flow: bisects the range against the measured distortion, then
+/// optionally refines β (concurrent scaling).  Each probe hits the
+/// context's per-range memo, so no range is evaluated twice.
+core::HebsResult run_exact(const FrameContext& ctx, double d_max_percent);
+
+}  // namespace hebs::pipeline

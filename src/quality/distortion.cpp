@@ -30,35 +30,102 @@ double index_to_percent(double q) {
 
 }  // namespace
 
-double distortion_percent(const hebs::image::FloatImage& reference,
-                          const hebs::image::FloatImage& test,
-                          const DistortionOptions& opts) {
-  switch (opts.metric) {
+DistortionEvaluator::DistortionEvaluator(hebs::image::FloatImage reference,
+                                         DistortionOptions opts)
+    : opts_(opts), reference_(std::move(reference)) {
+  HEBS_REQUIRE(!reference_.empty(), "distortion of an empty reference");
+  switch (opts_.metric) {
     case Metric::kUiqi:
-      return index_to_percent(uiqi(reference, test, opts.uiqi));
+      ref_stats_.emplace(reference_.values(), reference_.width(),
+                         reference_.height());
+      break;
     case Metric::kUiqiHvs:
-      return index_to_percent(uiqi(hvs_transform(reference, opts.hvs),
-                                   hvs_transform(test, opts.hvs),
-                                   opts.uiqi));
-    case Metric::kSsim:
-      return index_to_percent(ssim(reference, test, opts.ssim));
+      hvs_reference_ = hvs_transform(reference_, opts_.hvs);
+      ref_stats_.emplace(hvs_reference_.values(), hvs_reference_.width(),
+                         hvs_reference_.height());
+      break;
     case Metric::kSsimHvs:
-      return index_to_percent(ssim(hvs_transform(reference, opts.hvs),
-                                   hvs_transform(test, opts.hvs),
-                                   opts.ssim));
+      hvs_reference_ = hvs_transform(reference_, opts_.hvs);
+      break;
+    case Metric::kMsSsim:
+      gray_reference_ = reference_.to_gray();
+      break;
+    case Metric::kSsim:
+    case Metric::kRmse:
+    case Metric::kContrastFidelity:
+      break;
+  }
+}
+
+double DistortionEvaluator::percent(
+    const hebs::image::FloatImage& test) const {
+  HEBS_REQUIRE(test.width() == reference_.width() &&
+                   test.height() == reference_.height(),
+               "distortion needs equal-size images");
+  switch (opts_.metric) {
+    case Metric::kUiqi: {
+      const PairStats stats(*ref_stats_, reference_.values(), test.values(),
+                            reference_.width(), reference_.height());
+      return index_to_percent(uiqi_from_stats(
+          stats, reference_.width(), reference_.height(), opts_.uiqi));
+    }
+    case Metric::kUiqiHvs: {
+      const auto hvs_test = hvs_transform(test, opts_.hvs);
+      const PairStats stats(*ref_stats_, hvs_reference_.values(),
+                            hvs_test.values(), hvs_reference_.width(),
+                            hvs_reference_.height());
+      return index_to_percent(uiqi_from_stats(
+          stats, hvs_reference_.width(), hvs_reference_.height(),
+          opts_.uiqi));
+    }
+    case Metric::kSsim:
+      return index_to_percent(ssim(reference_, test, opts_.ssim));
+    case Metric::kSsimHvs:
+      return index_to_percent(ssim(
+          hvs_reference_, hvs_transform(test, opts_.hvs), opts_.ssim));
     case Metric::kRmse: {
-      const double m = std::sqrt(mse(reference, test));
+      const double m = std::sqrt(mse(reference_, test));
       return util::clamp(m * 100.0, 0.0, 100.0);
     }
     case Metric::kContrastFidelity:
       return util::clamp(
-          (1.0 - contrast_fidelity(reference, test, opts.contrast)) * 100.0,
+          (1.0 - contrast_fidelity(reference_, test, opts_.contrast)) *
+              100.0,
           0.0, 100.0);
     case Metric::kMsSsim:
       return index_to_percent(
-          ms_ssim(reference.to_gray(), test.to_gray(), opts.ms_ssim));
+          ms_ssim(gray_reference_, test.to_gray(), opts_.ms_ssim));
   }
   throw util::InvalidArgument("unknown distortion metric");
+}
+
+double DistortionEvaluator::percent_mapped(
+    const hebs::image::GrayImage& original,
+    const hebs::transform::FloatLut& levels) const {
+  HEBS_REQUIRE(original.width() == reference_.width() &&
+                   original.height() == reference_.height(),
+               "distortion needs equal-size images");
+  if (opts_.metric == Metric::kUiqiHvs) {
+    // Per-level lightness, then the shared windowed comparison.
+    const auto hvs_test = hvs_transform_mapped(original, levels, opts_.hvs);
+    const PairStats stats(*ref_stats_, hvs_reference_.values(),
+                          hvs_test.values(), hvs_reference_.width(),
+                          hvs_reference_.height());
+    return index_to_percent(uiqi_from_stats(
+        stats, hvs_reference_.width(), hvs_reference_.height(),
+        opts_.uiqi));
+  }
+  return percent(levels.apply(original));
+}
+
+double distortion_percent(const hebs::image::FloatImage& reference,
+                          const hebs::image::FloatImage& test,
+                          const DistortionOptions& opts) {
+  // One-shot path: the evaluator takes ownership of a copy of the
+  // reference raster.  The copy is a single memcpy — noise next to the
+  // metric work — and buys a single code path for cached and one-shot
+  // measurements, which is what guarantees their bit-identity.
+  return DistortionEvaluator(reference, opts).percent(test);
 }
 
 double distortion_percent(const hebs::image::GrayImage& reference,

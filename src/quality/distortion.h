@@ -8,6 +8,8 @@
 // the metric-ablation benchmark (the paper's stated future work).
 #pragma once
 
+#include <optional>
+
 #include "image/image.h"
 #include "quality/contrast_fidelity.h"
 #include "quality/hvs.h"
@@ -54,5 +56,49 @@ double distortion_percent(const hebs::image::GrayImage& reference,
 double distortion_percent(const hebs::image::FloatImage& reference,
                           const hebs::image::FloatImage& test,
                           const DistortionOptions& opts = {});
+
+/// Measures many candidate rasters against one fixed reference.
+///
+/// The reference-side half of every metric is computed once at
+/// construction — the HVS transform of the reference, its integral
+/// images (sum / sum of squares) for the windowed metrics, and the 8-bit
+/// quantization MS-SSIM needs — and reused by each percent() call.  The
+/// free distortion_percent() functions are implemented on top of this
+/// class, so cached and one-shot measurements are bit-identical.  This is
+/// what makes repeated evaluation (the hebs_exact bisection, the β
+/// refinement, the baselines' searches) cheap: only the test-side work
+/// is paid per call.
+class DistortionEvaluator {
+ public:
+  explicit DistortionEvaluator(hebs::image::FloatImage reference,
+                               DistortionOptions opts = {});
+
+  /// Distortion percentage of `test` against the cached reference.
+  /// `test` must match the reference's dimensions.
+  double percent(const hebs::image::FloatImage& test) const;
+
+  /// Same measurement for a test raster that is a per-level map of an
+  /// 8-bit image (displayed[i] = levels[original[i]]) — the shape every
+  /// backlight-scaled frame has.  The HVS lightness stage runs per level
+  /// instead of per pixel; the value is bit-identical to
+  /// percent(levels.apply(original)).
+  double percent_mapped(const hebs::image::GrayImage& original,
+                        const hebs::transform::FloatLut& levels) const;
+
+  const hebs::image::FloatImage& reference() const noexcept {
+    return reference_;
+  }
+  const DistortionOptions& options() const noexcept { return opts_; }
+
+ private:
+  DistortionOptions opts_;
+  hebs::image::FloatImage reference_;
+  /// HVS-transformed reference (only built for the *+HVS metrics).
+  hebs::image::FloatImage hvs_reference_;
+  /// Reference-side integral images for the UIQI metrics.
+  std::optional<ImageStats> ref_stats_;
+  /// 8-bit reference for MS-SSIM (which is defined on gray images).
+  hebs::image::GrayImage gray_reference_;
+};
 
 }  // namespace hebs::quality

@@ -35,9 +35,29 @@ hebs::image::FloatImage gaussian_blur(const hebs::image::FloatImage& in,
   }
   for (auto& v : kernel) v /= norm;
 
+  // Interior pixels need no border clamping; splitting them out keeps
+  // the hot loops branch-free.  Taps accumulate in the same order as the
+  // clamped loops, so the values are bit-identical.
+  const int x_lo = std::min(radius, w);
+  const int x_hi = std::max(x_lo, w - radius);
   hebs::image::FloatImage tmp(w, h);
   for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
+    for (int x = 0; x < x_lo; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        const int xx = std::clamp(x + k, 0, w - 1);
+        acc += kernel[static_cast<std::size_t>(k + radius)] * in(xx, y);
+      }
+      tmp(x, y) = acc;
+    }
+    for (int x = x_lo; x < x_hi; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += kernel[static_cast<std::size_t>(k + radius)] * in(x + k, y);
+      }
+      tmp(x, y) = acc;
+    }
+    for (int x = x_hi; x < w; ++x) {
       double acc = 0.0;
       for (int k = -radius; k <= radius; ++k) {
         const int xx = std::clamp(x + k, 0, w - 1);
@@ -48,13 +68,24 @@ hebs::image::FloatImage gaussian_blur(const hebs::image::FloatImage& in,
   }
   hebs::image::FloatImage out(w, h);
   for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      double acc = 0.0;
-      for (int k = -radius; k <= radius; ++k) {
-        const int yy = std::clamp(y + k, 0, h - 1);
-        acc += kernel[static_cast<std::size_t>(k + radius)] * tmp(x, yy);
+    if (y >= radius && y + radius < h) {
+      for (int x = 0; x < w; ++x) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+          acc += kernel[static_cast<std::size_t>(k + radius)] *
+                 tmp(x, y + k);
+        }
+        out(x, y) = acc;
       }
-      out(x, y) = acc;
+    } else {
+      for (int x = 0; x < w; ++x) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+          const int yy = std::clamp(y + k, 0, h - 1);
+          acc += kernel[static_cast<std::size_t>(k + radius)] * tmp(x, yy);
+        }
+        out(x, y) = acc;
+      }
     }
   }
   return out;
@@ -80,6 +111,23 @@ hebs::image::FloatImage hvs_transform(const hebs::image::FloatImage& lum,
 hebs::image::FloatImage hvs_transform(const hebs::image::GrayImage& img,
                                       const HvsOptions& opts) {
   return hvs_transform(hebs::image::FloatImage::from_gray(img), opts);
+}
+
+hebs::image::FloatImage hvs_transform_mapped(
+    const hebs::image::GrayImage& img,
+    const hebs::transform::FloatLut& levels, const HvsOptions& opts) {
+  // Lightness is a pure function of the level's luminance: evaluate it
+  // per level, then expand — identical values, 256 evaluations instead
+  // of one per pixel.
+  const hebs::transform::FloatLut mapped =
+      levels.map([&opts](double y) {
+        return opts.lightness_mapping ? lightness(y) : util::clamp01(y);
+      });
+  hebs::image::FloatImage out = mapped.apply(img);
+  if (opts.csf_sigma > 0.0) {
+    out = gaussian_blur(out, opts.csf_sigma);
+  }
+  return out;
 }
 
 }  // namespace hebs::quality

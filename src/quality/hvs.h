@@ -16,6 +16,7 @@
 #pragma once
 
 #include "image/image.h"
+#include "transform/lut.h"
 
 namespace hebs::quality {
 
@@ -36,6 +37,15 @@ hebs::image::FloatImage hvs_transform(const hebs::image::FloatImage& lum,
 /// luminance X/255).
 hebs::image::FloatImage hvs_transform(const hebs::image::GrayImage& img,
                                       const HvsOptions& opts = {});
+
+/// HVS front end for a raster that is a per-level map of an 8-bit image
+/// (displayed luminance = levels[pixel]).  The lightness nonlinearity is
+/// evaluated once per level instead of once per pixel; the result is
+/// bit-identical to hvs_transform applied to the expanded raster, since
+/// equal luminance inputs produce equal lightness outputs.
+hebs::image::FloatImage hvs_transform_mapped(
+    const hebs::image::GrayImage& img,
+    const hebs::transform::FloatLut& levels, const HvsOptions& opts = {});
 
 /// CIE L* lightness of a normalized luminance value, scaled to [0, 1].
 double lightness(double y) noexcept;

@@ -11,11 +11,19 @@ namespace {
 
 double uiqi_impl(std::span<const double> a, std::span<const double> b,
                  int width, int height, const UiqiOptions& opts) {
+  HEBS_REQUIRE(width >= 2 && height >= 2, "UIQI needs a 2-D raster");
+  const PairStats stats(a, b, width, height);
+  return uiqi_from_stats(stats, width, height, opts);
+}
+
+}  // namespace
+
+double uiqi_from_stats(const PairStats& stats, int width, int height,
+                       const UiqiOptions& opts) {
   HEBS_REQUIRE(opts.block_size >= 2, "UIQI block size must be >= 2");
   HEBS_REQUIRE(opts.stride >= 1, "UIQI stride must be >= 1");
   HEBS_REQUIRE(width >= opts.block_size && height >= opts.block_size,
                "image smaller than the UIQI window");
-  const PairStats stats(a, b, width, height);
 
   double acc = 0.0;
   std::size_t windows = 0;
@@ -39,8 +47,6 @@ double uiqi_impl(std::span<const double> a, std::span<const double> b,
   }
   return windows > 0 ? acc / static_cast<double>(windows) : 1.0;
 }
-
-}  // namespace
 
 double uiqi(const hebs::image::GrayImage& a, const hebs::image::GrayImage& b,
             const UiqiOptions& opts) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "image/image.h"
+#include "quality/window_stats.h"
 
 namespace hebs::quality {
 
@@ -27,5 +28,12 @@ double uiqi(const hebs::image::GrayImage& a, const hebs::image::GrayImage& b,
 /// displayed-luminance comparisons).
 double uiqi(const hebs::image::FloatImage& a,
             const hebs::image::FloatImage& b, const UiqiOptions& opts = {});
+
+/// Mean UIQI from already-built window statistics.  Every other overload
+/// funnels through this, so callers that cache the reference-side
+/// integral images (PairStats built from an ImageStats) get bit-identical
+/// values to the plain two-image entry points.
+double uiqi_from_stats(const PairStats& stats, int width, int height,
+                       const UiqiOptions& opts = {});
 
 }  // namespace hebs::quality

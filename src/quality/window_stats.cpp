@@ -23,6 +23,53 @@ IntegralImage::IntegralImage(std::span<const double> values, int width,
   }
 }
 
+namespace {
+
+/// Shared accumulation skeleton: table cell = above + running row sum of
+/// `value(i)` — the same recurrence the span constructor uses, so the
+/// derived tables are bit-identical to building from a temporary raster.
+template <typename ValueAt>
+std::vector<double> accumulate_table(int width, int height, ValueAt&& value) {
+  const std::size_t stride = static_cast<std::size_t>(width) + 1;
+  std::vector<double> table(stride * (static_cast<std::size_t>(height) + 1),
+                            0.0);
+  for (int y = 0; y < height; ++y) {
+    double row = 0.0;
+    for (int x = 0; x < width; ++x) {
+      row += value(static_cast<std::size_t>(y) * width + x);
+      table[(static_cast<std::size_t>(y) + 1) * stride + x + 1] =
+          table[static_cast<std::size_t>(y) * stride + x + 1] + row;
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+IntegralImage IntegralImage::of_squares(std::span<const double> values,
+                                        int width, int height) {
+  HEBS_REQUIRE(values.size() == static_cast<std::size_t>(width) *
+                                    static_cast<std::size_t>(height),
+               "raster size mismatch");
+  IntegralImage out(width, height);
+  out.table_ = accumulate_table(
+      width, height, [values](std::size_t i) { return values[i] * values[i]; });
+  return out;
+}
+
+IntegralImage IntegralImage::of_products(std::span<const double> a,
+                                         std::span<const double> b, int width,
+                                         int height) {
+  HEBS_REQUIRE(a.size() == b.size(), "paired rasters must match");
+  HEBS_REQUIRE(a.size() == static_cast<std::size_t>(width) *
+                               static_cast<std::size_t>(height),
+               "raster size mismatch");
+  IntegralImage out(width, height);
+  out.table_ = accumulate_table(
+      width, height, [a, b](std::size_t i) { return a[i] * b[i]; });
+  return out;
+}
+
 double IntegralImage::rect_sum(int x0, int y0, int x1, int y1) const noexcept {
   const std::size_t stride = static_cast<std::size_t>(width_) + 1;
   const auto at = [this, stride](int x, int y) {
@@ -31,35 +78,39 @@ double IntegralImage::rect_sum(int x0, int y0, int x1, int y1) const noexcept {
   return at(x1 + 1, y1 + 1) - at(x0, y1 + 1) - at(x1 + 1, y0) + at(x0, y0);
 }
 
+ImageStats::ImageStats(std::span<const double> values, int width, int height)
+    : sum_(values, width, height),
+      sum_sq_(IntegralImage::of_squares(values, width, height)) {}
+
+PairStats::PairStats(const ImageStats& a_stats, std::span<const double> a,
+                     std::span<const double> b, int width, int height)
+    : sum_b_(b, width, height),
+      sum_bb_(IntegralImage::of_squares(b, width, height)),
+      sum_ab_(IntegralImage::of_products(a, b, width, height)),
+      sum_a_(&a_stats.sum()),
+      sum_aa_(&a_stats.sum_sq()) {
+  HEBS_REQUIRE(a_stats.width() == width && a_stats.height() == height,
+               "cached stats size mismatch");
+}
+
 PairStats::PairStats(std::span<const double> a, std::span<const double> b,
                      int width, int height)
-    : sum_a_(a, width, height),
+    : own_sum_a_(IntegralImage(a, width, height)),
+      own_sum_aa_(IntegralImage::of_squares(a, width, height)),
       sum_b_(b, width, height),
-      sum_aa_([&a] {
-        std::vector<double> sq(a.size());
-        for (std::size_t i = 0; i < a.size(); ++i) sq[i] = a[i] * a[i];
-        return sq;
-      }(), width, height),
-      sum_bb_([&b] {
-        std::vector<double> sq(b.size());
-        for (std::size_t i = 0; i < b.size(); ++i) sq[i] = b[i] * b[i];
-        return sq;
-      }(), width, height),
-      sum_ab_([&a, &b] {
-        HEBS_REQUIRE(a.size() == b.size(), "paired rasters must match");
-        std::vector<double> prod(a.size());
-        for (std::size_t i = 0; i < a.size(); ++i) prod[i] = a[i] * b[i];
-        return prod;
-      }(), width, height) {}
+      sum_bb_(IntegralImage::of_squares(b, width, height)),
+      sum_ab_(IntegralImage::of_products(a, b, width, height)),
+      sum_a_(&*own_sum_a_),
+      sum_aa_(&*own_sum_aa_) {}
 
 WindowMoments PairStats::window(int x, int y, int block) const noexcept {
   const int x1 = x + block - 1;
   const int y1 = y + block - 1;
   const double n = static_cast<double>(block) * block;
   WindowMoments m;
-  m.mean_a = sum_a_.rect_sum(x, y, x1, y1) / n;
+  m.mean_a = sum_a_->rect_sum(x, y, x1, y1) / n;
   m.mean_b = sum_b_.rect_sum(x, y, x1, y1) / n;
-  m.var_a = sum_aa_.rect_sum(x, y, x1, y1) / n - m.mean_a * m.mean_a;
+  m.var_a = sum_aa_->rect_sum(x, y, x1, y1) / n - m.mean_a * m.mean_a;
   m.var_b = sum_bb_.rect_sum(x, y, x1, y1) / n - m.mean_b * m.mean_b;
   m.cov_ab = sum_ab_.rect_sum(x, y, x1, y1) / n - m.mean_a * m.mean_b;
   // Clamp tiny negative variances caused by floating-point cancellation.

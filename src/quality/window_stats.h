@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "image/image.h"
@@ -19,6 +20,16 @@ class IntegralImage {
   /// Builds the integral image of `values` (row-major, w x h).
   IntegralImage(std::span<const double> values, int width, int height);
 
+  /// Integral image of the pointwise squares of `values`, accumulated
+  /// directly (no squared temporary raster).
+  static IntegralImage of_squares(std::span<const double> values, int width,
+                                  int height);
+
+  /// Integral image of the pointwise products a[i]*b[i].
+  static IntegralImage of_products(std::span<const double> a,
+                                   std::span<const double> b, int width,
+                                   int height);
+
   /// Sum over the inclusive rectangle [x0, x1] x [y0, y1].
   double rect_sum(int x0, int y0, int x1, int y1) const noexcept;
 
@@ -26,10 +37,31 @@ class IntegralImage {
   int height() const noexcept { return height_; }
 
  private:
+  IntegralImage(int width, int height) : width_(width), height_(height) {}
+
   int width_;
   int height_;
   // (width+1) x (height+1) with a zero top row / left column.
   std::vector<double> table_;
+};
+
+/// Precomputed integral images of a single raster (sum and sum of
+/// squares).  Lets an evaluator that compares one fixed reference against
+/// many candidate rasters build the reference-side tables once and reuse
+/// them for every comparison (see quality::DistortionEvaluator).
+class ImageStats {
+ public:
+  ImageStats(std::span<const double> values, int width, int height);
+
+  const IntegralImage& sum() const noexcept { return sum_; }
+  const IntegralImage& sum_sq() const noexcept { return sum_sq_; }
+
+  int width() const noexcept { return sum_.width(); }
+  int height() const noexcept { return sum_.height(); }
+
+ private:
+  IntegralImage sum_;
+  IntegralImage sum_sq_;
 };
 
 /// First and second moments of an image pair over one window.
@@ -48,19 +80,37 @@ class PairStats {
   PairStats(std::span<const double> a, std::span<const double> b, int width,
             int height);
 
+  /// Reuses precomputed a-side tables by reference (no copy): only the
+  /// b-side and the cross (a*b) integral images are built.  `a` must be
+  /// the raster `a_stats` was built from, and `a_stats` must outlive
+  /// this object; moments are bit-identical to the two-span
+  /// constructor.
+  PairStats(const ImageStats& a_stats, std::span<const double> a,
+            std::span<const double> b, int width, int height);
+
+  // Not copyable/movable: the borrowed-stats constructor stores
+  // pointers into the caller's ImageStats (or into this object).
+  PairStats(const PairStats&) = delete;
+  PairStats& operator=(const PairStats&) = delete;
+
   /// Moments over the window with top-left (x, y) and side `block`.
   /// The window must lie fully inside the raster.
   WindowMoments window(int x, int y, int block) const noexcept;
 
-  int width() const noexcept { return sum_a_.width(); }
-  int height() const noexcept { return sum_a_.height(); }
+  int width() const noexcept { return sum_b_.width(); }
+  int height() const noexcept { return sum_b_.height(); }
 
  private:
-  IntegralImage sum_a_;
+  /// a-side tables owned by this object (two-span constructor only).
+  std::optional<IntegralImage> own_sum_a_;
+  std::optional<IntegralImage> own_sum_aa_;
   IntegralImage sum_b_;
-  IntegralImage sum_aa_;
   IntegralImage sum_bb_;
   IntegralImage sum_ab_;
+  /// a-side tables in use: the owned ones above, or the caller's
+  /// ImageStats (borrowed, zero-copy).
+  const IntegralImage* sum_a_;
+  const IntegralImage* sum_aa_;
 };
 
 }  // namespace hebs::quality

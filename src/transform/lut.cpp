@@ -1,6 +1,9 @@
 #include "transform/lut.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/mathutil.h"
 
 namespace hebs::transform {
 
@@ -44,6 +47,27 @@ std::uint8_t Lut::min_output() const noexcept {
 
 std::uint8_t Lut::max_output() const noexcept {
   return *std::max_element(table_.begin(), table_.end());
+}
+
+Lut FloatLut::quantize() const {
+  Lut out;
+  for (int i = 0; i < kSize; ++i) {
+    const double y = util::clamp01(table_[static_cast<std::size_t>(i)]);
+    out[i] = static_cast<std::uint8_t>(
+        std::lround(y * hebs::image::kMaxPixel));
+  }
+  return out;
+}
+
+hebs::image::FloatImage FloatLut::apply(
+    const hebs::image::GrayImage& img) const {
+  hebs::image::FloatImage out(img.width(), img.height());
+  auto dst = out.values();
+  const auto src = img.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = table_[src[i]];
+  }
+  return out;
 }
 
 }  // namespace hebs::transform

@@ -60,4 +60,49 @@ class Lut {
   std::array<std::uint8_t, kSize> table_;
 };
 
+/// A 256-entry level -> real-value table.  This is the precomputed form
+/// of evaluating a transfer curve at every pixel level: one linear sweep
+/// over the curve's segments replaces a per-level (or worse, per-pixel)
+/// binary search for the containing segment.  The evaluation pipeline
+/// samples the operating point's luminance transform into a FloatLut once
+/// and then indexes it per pixel.
+class FloatLut {
+ public:
+  static constexpr int kSize = hebs::image::kLevels;
+
+  /// All-zero table.
+  FloatLut() noexcept : table_{} {}
+
+  /// Builds from an explicit table.
+  explicit FloatLut(const std::array<double, kSize>& table) noexcept
+      : table_(table) {}
+
+  double operator[](int level) const {
+    return table_[static_cast<std::size_t>(level)];
+  }
+  double& operator[](int level) {
+    return table_[static_cast<std::size_t>(level)];
+  }
+
+  /// Applies the table to every pixel, writing a real-valued raster.
+  hebs::image::FloatImage apply(const hebs::image::GrayImage& img) const;
+
+  /// Quantizes every entry to an 8-bit level table:
+  /// lround(clamp01(v) * 255).  The single definition of the
+  /// float-to-level rounding rule shared by the gray, color and
+  /// pipeline paths.
+  Lut quantize() const;
+
+  /// Transforms every entry through `fn` (e.g. clipping against β).
+  template <typename Fn>
+  FloatLut map(Fn&& fn) const {
+    FloatLut out;
+    for (int i = 0; i < kSize; ++i) out[i] = fn(table_[i]);
+    return out;
+  }
+
+ private:
+  std::array<double, kSize> table_;
+};
+
 }  // namespace hebs::transform

@@ -50,16 +50,33 @@ double PwlCurve::max_y() const noexcept {
   return m;
 }
 
-Lut PwlCurve::to_lut() const {
-  Lut lut;
-  for (int i = 0; i < Lut::kSize; ++i) {
+FloatLut PwlCurve::sample_levels() const {
+  HEBS_REQUIRE(points_.size() >= 2, "sampling an empty PWL curve");
+  FloatLut out;
+  // Walk levels and segments together.  `seg` is the index such that
+  // points_[seg] is the first breakpoint with x > level position — the
+  // same breakpoint upper_bound would find in operator().
+  std::size_t seg = 1;
+  for (int i = 0; i < FloatLut::kSize; ++i) {
     const double x = static_cast<double>(i) / hebs::image::kMaxPixel;
-    const double y = util::clamp01((*this)(x));
-    lut[i] = static_cast<std::uint8_t>(
-        std::lround(y * hebs::image::kMaxPixel));
+    if (x <= points_.front().x) {
+      out[i] = points_.front().y;
+      continue;
+    }
+    if (x >= points_.back().x) {
+      out[i] = points_.back().y;
+      continue;
+    }
+    while (seg < points_.size() && !(x < points_[seg].x)) ++seg;
+    const CurvePoint& hi = points_[seg];
+    const CurvePoint& lo = points_[seg - 1];
+    const double t = (x - lo.x) / (hi.x - lo.x);
+    out[i] = util::lerp(lo.y, hi.y, t);
   }
-  return lut;
+  return out;
 }
+
+Lut PwlCurve::to_lut() const { return sample_levels().quantize(); }
 
 PwlCurve PwlCurve::from_lut(const Lut& lut) {
   std::vector<CurvePoint> pts;

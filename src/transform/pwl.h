@@ -46,6 +46,12 @@ class PwlCurve {
   double min_y() const noexcept;
   double max_y() const noexcept;
 
+  /// Samples the curve at the 256 level centers x = i/255 with one
+  /// linear sweep over the segments.  Produces exactly the values 256
+  /// calls of operator() would (same segment selection, same
+  /// interpolation arithmetic) without a binary search per level.
+  FloatLut sample_levels() const;
+
   /// Quantizes the curve to a 256-entry lookup table.
   Lut to_lut() const;
 

@@ -1,6 +1,9 @@
 // Tests for the streaming/decimated histogram estimator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "histogram/streaming.h"
 #include "image/synthetic.h"
 #include "util/error.h"
@@ -84,6 +87,63 @@ TEST(Streaming, BlendTracksSceneChanges) {
   for (int f = 0; f < 6; ++f) est.ingest(dark);
   // After several dark frames the estimate's mass sits at the dark end.
   EXPECT_GT(est.estimate().cdf(64), 0.9);
+}
+
+TEST(Streaming, ExactModeIsExactPerBinAcrossFrames) {
+  // decimation = 1 samples every pixel, so each frame's contribution is
+  // its exact histogram; with blend = 1 the estimate must reproduce the
+  // newest frame's histogram bin for bin, whatever came before.
+  StreamingOptions opts;
+  opts.decimation = 1;
+  opts.blend = 1.0;
+  StreamingHistogram est(opts);
+  for (UsidId id : {UsidId::kLena, UsidId::kBaboon, UsidId::kPeppers}) {
+    const auto img = hebs::image::make_usid(id, 64);
+    est.ingest(img);
+    const auto exact = Histogram::from_image(img);
+    const auto estimate = est.estimate();
+    for (int bin = 0; bin < Histogram::kBins; ++bin) {
+      ASSERT_EQ(estimate.count(bin), exact.count(bin)) << "bin " << bin;
+    }
+  }
+}
+
+TEST(Streaming, ExactModeStaysExactUnderFractionalBlend) {
+  // Static content, decimation = 1, a blend whose binary representation
+  // is inexact (0.3): the accumulated weights stay proportional to the
+  // true counts, and largest-remainder rounding recovers them exactly.
+  StreamingOptions opts;
+  opts.decimation = 1;
+  opts.blend = 0.3;
+  StreamingHistogram est(opts);
+  const auto img = hebs::image::make_usid(UsidId::kGirl, 64);
+  const auto exact = Histogram::from_image(img);
+  for (int f = 0; f < 5; ++f) est.ingest(img);
+  EXPECT_LT(est.estimation_error(exact), 1e-9);
+}
+
+TEST(Streaming, EstimatorErrorBoundRegression) {
+  // Regression bound for the one-frame decimated estimate: sampling m =
+  // N/d pixels into 256 bins keeps the normalized L1 error below the
+  // multinomial noise envelope 2*sqrt(kBins/m).  Decimations are capped
+  // where the envelope stays below the trivial L1 maximum of 2, so
+  // every case is a real constraint.  Checked across content.
+  for (UsidId id : {UsidId::kLena, UsidId::kPeppers, UsidId::kTrees}) {
+    const auto img = hebs::image::make_usid(id, 96);
+    const auto exact = Histogram::from_image(img);
+    for (int decimation : {2, 4, 16}) {
+      StreamingOptions opts;
+      opts.decimation = decimation;
+      StreamingHistogram est(opts);
+      est.ingest(img);
+      const double m =
+          static_cast<double>(img.size()) / static_cast<double>(decimation);
+      const double bound =
+          std::min(2.0, 2.0 * std::sqrt(Histogram::kBins / m));
+      EXPECT_LE(est.estimation_error(exact), bound)
+          << "decimation " << decimation;
+    }
+  }
 }
 
 TEST(Streaming, EmptyEstimatorReturnsEmptyHistogram) {

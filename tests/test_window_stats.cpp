@@ -125,5 +125,39 @@ TEST(PairStats, MismatchedRastersThrow) {
   EXPECT_THROW(PairStats(a, b, 8, 8), hebs::util::InvalidArgument);
 }
 
+TEST(PairStats, CachedReferenceStatsAreBitIdentical) {
+  // The reuse constructor (precomputed a-side ImageStats) must produce
+  // exactly the moments of the two-span constructor — the contract the
+  // DistortionEvaluator's reference caching relies on.
+  std::vector<double> a(12 * 9);
+  std::vector<double> b(12 * 9);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = 0.017 * static_cast<double>((i * 37) % 101);
+    b[i] = 0.013 * static_cast<double>((i * 53) % 89);
+  }
+  const PairStats direct(a, b, 12, 9);
+  const ImageStats a_stats(a, 12, 9);
+  const PairStats cached(a_stats, a, b, 12, 9);
+  for (int y = 0; y + 4 <= 9; ++y) {
+    for (int x = 0; x + 4 <= 12; ++x) {
+      const WindowMoments md = direct.window(x, y, 4);
+      const WindowMoments mc = cached.window(x, y, 4);
+      EXPECT_EQ(md.mean_a, mc.mean_a);
+      EXPECT_EQ(md.mean_b, mc.mean_b);
+      EXPECT_EQ(md.var_a, mc.var_a);
+      EXPECT_EQ(md.var_b, mc.var_b);
+      EXPECT_EQ(md.cov_ab, mc.cov_ab);
+    }
+  }
+}
+
+TEST(ImageStats, SizeMismatchThrows) {
+  std::vector<double> a(64, 0.5);
+  std::vector<double> b(64, 0.5);
+  const ImageStats a_stats(a, 8, 8);
+  EXPECT_THROW(PairStats(a_stats, a, b, 4, 16),
+               hebs::util::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace hebs::quality
