@@ -9,9 +9,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "baseline/cbcs.h"
-#include "baseline/dls.h"
-#include "core/hebs.h"
+#include "hebs/advanced/baseline.h"
+#include "hebs/advanced/core.h"
 
 int main() {
   using namespace hebs;

@@ -16,9 +16,9 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "bus/encoding.h"
-#include "core/hebs.h"
-#include "histogram/histogram.h"
+#include "hebs/advanced/bus.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/histogram.h"
 
 int main() {
   using namespace hebs;

@@ -11,10 +11,9 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "baseline/cbcs.h"
-#include "baseline/dls.h"
-#include "core/hebs.h"
-#include "power/system.h"
+#include "hebs/advanced/baseline.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/power.h"
 
 int main() {
   using namespace hebs;

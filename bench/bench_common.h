@@ -8,10 +8,9 @@
 #include <filesystem>
 #include <string>
 
-#include "image/synthetic.h"
-#include "power/lcd_power.h"
-#include "util/csv.h"
-#include "util/table.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/power.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::bench {
 

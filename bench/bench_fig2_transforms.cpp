@@ -5,8 +5,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/hebs.h"
-#include "transform/classic.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/transform.h"
 
 int main() {
   using namespace hebs;

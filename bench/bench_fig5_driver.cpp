@@ -9,8 +9,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/hebs.h"
-#include "display/reference_driver.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/display.h"
 
 int main() {
   using namespace hebs;

@@ -8,8 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "power/ccfl.h"
-#include "power/lab_bench.h"
+#include "hebs/advanced/power.h"
 
 int main() {
   using namespace hebs;

@@ -7,8 +7,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "power/lab_bench.h"
-#include "power/tft_panel.h"
+#include "hebs/advanced/power.h"
 
 int main() {
   using namespace hebs;

@@ -7,8 +7,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/distortion_curve.h"
-#include "core/hebs.h"
+#include "hebs/advanced/core.h"
 
 int main() {
   using namespace hebs;

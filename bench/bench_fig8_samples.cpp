@@ -7,8 +7,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/hebs.h"
-#include "image/pnm_io.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/image.h"
 
 int main() {
   using namespace hebs;

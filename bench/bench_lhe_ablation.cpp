@@ -9,10 +9,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/ghe.h"
-#include "core/hebs.h"
-#include "core/lhe.h"
-#include "quality/distortion.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/quality.h"
 
 int main() {
   using namespace hebs;

@@ -11,10 +11,9 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/hebs.h"
-#include "display/reference_driver.h"
-#include "display/tft_matrix.h"
-#include "quality/distortion.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/display.h"
+#include "hebs/advanced/quality.h"
 
 int main() {
   using namespace hebs;

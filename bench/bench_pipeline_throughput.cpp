@@ -29,15 +29,11 @@
 #include <string>
 #include <vector>
 
-#include "core/backlight.h"
-#include "core/distortion_curve.h"
-#include "core/ghe.h"
-#include "core/hebs.h"
-#include "core/plc.h"
-#include "display/reference_driver.h"
-#include "image/synthetic.h"
-#include "pipeline/engine.h"
-#include "quality/distortion.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/display.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/pipeline.h"
+#include "hebs/advanced/quality.h"
 
 namespace {
 

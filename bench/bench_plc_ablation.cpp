@@ -14,7 +14,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/hebs.h"
+#include "hebs/advanced/core.h"
 
 int main() {
   using namespace hebs;

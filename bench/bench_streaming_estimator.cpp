@@ -11,11 +11,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/backlight.h"
-#include "core/dbs.h"
-#include "core/ghe.h"
-#include "core/plc.h"
-#include "histogram/streaming.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/histogram.h"
 
 namespace {
 

@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/hebs.h"
+#include "hebs/advanced/core.h"
 
 namespace {
 

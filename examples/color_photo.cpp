@@ -1,19 +1,24 @@
-// Color backlight scaling: the §2 color-LCD path on an RGB photograph.
+// Color backlight scaling through the facade's RGB ingestion path.
 //
 // Usage:
 //   color_photo [input.ppm] [max_distortion_percent]
 //
-// Runs HEBS on the photo's luma, applies the shared transformation to
-// all three sub-pixel channels, reports luma distortion, chromaticity
-// drift and power saving, and writes before/after PPM files.
+// Feeds the session a zero-copy interleaved-RGB8 ImageView: the facade
+// extracts BT.601 luma (bit-identical to a pre-converted grayscale
+// image), runs HEBS on it, and returns the luma-domain operating point.
+// The example then applies the shared transformation to all three
+// sub-pixel channels (§2 of the paper), reports luma distortion,
+// chromaticity drift and power saving, and writes before/after PPMs.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "core/color.h"
-#include "image/pnm_io.h"
-#include "image/synthetic.h"
-#include "power/lcd_power.h"
+#include "hebs/hebs.h"
+// In-repo helpers (PPM I/O, per-channel color application) — not
+// stable API.
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/image.h"
 
 int main(int argc, char** argv) {
   using namespace hebs;
@@ -28,23 +33,46 @@ int main(int argc, char** argv) {
     }
     const double budget = argc > 2 ? std::atof(argv[2]) : 10.0;
 
-    const auto platform = power::LcdSubsystemPower::lp064v1();
-    const core::ColorHebsResult result =
-        core::color_hebs_exact(img, budget, {}, platform);
+    auto session = Session::create(SessionConfig());
+    if (!session) {
+      std::fprintf(stderr, "session: %s\n",
+                   session.status().to_string().c_str());
+      return 1;
+    }
 
-    std::printf("Color backlight scaling\n");
+    // The RGB8 view borrows the image's interleaved bytes; the facade
+    // materializes only the luma raster it optimizes on.
+    const ImageView view = ImageView::rgb8(img.data().data(), img.width(),
+                                           img.height());
+    auto result = session->process({view, budget});
+    if (!result) {
+      std::fprintf(stderr, "process: %s\n",
+                   result.status().to_string().c_str());
+      return 1;
+    }
+
+    // Rebuild the operating point from the result's curve and apply it
+    // per channel (one shared monotone curve bounds hue rotation).
+    std::vector<transform::CurvePoint> pts;
+    pts.reserve(result->lambda.size());
+    for (const CurvePoint& p : result->lambda) pts.push_back({p.x, p.y});
+    core::OperatingPoint point{transform::PwlCurve(std::move(pts)),
+                               result->beta};
+    const image::RgbImage displayed = core::apply_to_color(img, point);
+    const double hue_error = core::chromaticity_error(img, displayed);
+
+    std::printf("Color backlight scaling (RGB8 ImageView ingestion)\n");
     std::printf("  image               : %s (%dx%d RGB)\n", name.c_str(),
                 img.width(), img.height());
     std::printf("  distortion budget   : %.1f %% (on luma)\n", budget);
-    std::printf("  backlight factor    : %.3f\n", result.luma.point.beta);
+    std::printf("  backlight factor    : %.3f\n", result->beta);
     std::printf("  luma distortion     : %.2f %%\n",
-                result.distortion_percent);
-    std::printf("  chromaticity drift  : %.4f (normalized)\n",
-                result.hue_error);
-    std::printf("  power saving        : %.2f %%\n", result.saving_percent);
+                result->distortion_percent);
+    std::printf("  chromaticity drift  : %.4f (normalized)\n", hue_error);
+    std::printf("  power saving        : %.2f %%\n", result->saving_percent);
 
     image::write_ppm(img, "color_original.ppm");
-    image::write_ppm(result.transformed, "color_displayed.ppm");
+    image::write_ppm(displayed, "color_displayed.ppm");
     std::printf("  wrote color_original.ppm / color_displayed.ppm\n");
     return 0;
   } catch (const std::exception& e) {

@@ -10,11 +10,13 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/hebs.h"
-#include "display/lcd_subsystem.h"
-#include "image/synthetic.h"
-#include "quality/metrics.h"
-#include "util/table.h"
+// This tool programs the reference-voltage ladder directly, so it runs
+// on the unstable advanced surface rather than the session facade.
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/display.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
+#include "hebs/advanced/util.h"
 
 int main(int argc, char** argv) {
   using namespace hebs;

@@ -1,8 +1,9 @@
-// hebs_cli — command-line driver for the HEBS library.
+// hebs_cli — command-line driver for the HEBS library, on the stable
+// session facade.
 //
 // Subcommands:
 //   transform <in.pgm> <out.pgm> [--dmax P | --range R] [--segments M]
-//             [--metric NAME]
+//             [--policy NAME] [--metric NAME]
 //       Backlight-scale one image; prints the operating point.
 //   characterize <curve.csv> [--size N]
 //       Runs the offline characterization on the synthetic album and
@@ -10,10 +11,15 @@
 //   apply-curve <in.pgm> <out.pgm> <curve.csv> --dmax P
 //       The deployed Fig. 4 flow: curve lookup, no metric at runtime.
 //   batch <in1.pgm> [in2.pgm ...] [--dmax P] [--threads N]
-//         [--out-prefix PFX]
-//       Exact-search HEBS for many images on the PipelineEngine.
+//         [--policy NAME] [--metric NAME] [--out-prefix PFX]
+//       One search per image, fanned out over the session's pool.
 //   info <in.pgm>
 //       Histogram statistics of an image.
+//   list-policies  (also: --list-policies anywhere)
+//       Prints the policy and metric registries.
+//
+// Unknown --policy/--metric names print the registry contents and exit
+// nonzero.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -21,13 +27,12 @@
 #include <string>
 #include <vector>
 
-#include "core/distortion_curve.h"
-#include "core/hebs.h"
-#include "histogram/histogram.h"
-#include "image/pnm_io.h"
-#include "image/synthetic.h"
-#include "pipeline/engine.h"
-#include "power/lcd_power.h"
+#include "hebs/hebs.h"
+// In-repo helpers (PGM I/O, synthetic album, histogram stats) for the
+// characterize/info subcommands — not part of the stable API.
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/histogram.h"
+#include "hebs/advanced/image.h"
 
 namespace {
 
@@ -38,39 +43,54 @@ int usage() {
       stderr,
       "usage:\n"
       "  hebs_cli transform <in.pgm> <out.pgm> [--dmax P | --range R]\n"
-      "           [--segments M] [--metric UIQI+HVS|UIQI|SSIM|SSIM+HVS|\n"
-      "            RMSE|ContrastFidelity|MS-SSIM]\n"
+      "           [--segments M] [--policy NAME] [--metric NAME]\n"
       "  hebs_cli characterize <curve.csv> [--size N]\n"
       "  hebs_cli apply-curve <in.pgm> <out.pgm> <curve.csv> --dmax P\n"
       "  hebs_cli batch <in1.pgm> [in2.pgm ...] [--dmax P] [--threads N]\n"
-      "           [--out-prefix PFX]\n"
-      "  hebs_cli info <in.pgm>\n");
+      "           [--policy NAME] [--metric NAME] [--out-prefix PFX]\n"
+      "  hebs_cli info <in.pgm>\n"
+      "  hebs_cli list-policies\n");
   return 2;
 }
 
-bool parse_metric(const std::string& name, quality::Metric& out) {
-  const quality::Metric all[] = {
-      quality::Metric::kUiqiHvs, quality::Metric::kUiqi,
-      quality::Metric::kSsim,    quality::Metric::kSsimHvs,
-      quality::Metric::kRmse,    quality::Metric::kContrastFidelity,
-      quality::Metric::kMsSsim};
-  for (quality::Metric m : all) {
-    if (name == quality::metric_name(m)) {
-      out = m;
-      return true;
-    }
+void print_registries(std::FILE* out) {
+  std::fprintf(out, "policies:\n");
+  for (const RegistryEntry& e : PolicyRegistry::entries()) {
+    std::fprintf(out, "  %-14s %s\n", e.name.c_str(), e.description.c_str());
   }
-  return false;
+  std::fprintf(out, "metrics:\n");
+  for (const RegistryEntry& e : MetricRegistry::entries()) {
+    std::fprintf(out, "  %-18s %s\n", e.name.c_str(),
+                 e.description.c_str());
+  }
 }
 
-void report(const core::HebsResult& r) {
-  std::printf("range [%d, %d]  beta %.3f  segments %d\n", r.target.g_min,
-              r.target.g_max, r.point.beta, r.lambda.segment_count());
+/// Surfaces a facade error; unknown registry names additionally dump
+/// the registries so the fix is one copy/paste away.
+int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  if (status.code() == StatusCode::kUnknownPolicy ||
+      status.code() == StatusCode::kUnknownMetric) {
+    print_registries(stderr);
+  }
+  return 2;
+}
+
+ImageView view_of(const image::GrayImage& img) {
+  return ImageView::gray8(img.pixels().data(), img.width(), img.height());
+}
+
+image::GrayImage to_gray(const OwnedImage& img) {
+  return image::GrayImage::from_pixels(img.width(), img.height(),
+                                       img.pixels());
+}
+
+void report(const FrameResult& r) {
+  std::printf("range [%d, %d]  beta %.3f  segments %zu\n", r.g_min, r.g_max,
+              r.beta, r.lambda.empty() ? 0 : r.lambda.size() - 1);
   std::printf("distortion %.2f %%  saving %.2f %%  power %.2f -> %.2f W\n",
-              r.evaluation.distortion_percent,
-              r.evaluation.saving_percent,
-              r.evaluation.reference_power.total(),
-              r.evaluation.power.total());
+              r.distortion_percent, r.saving_percent,
+              r.reference_power.total_watts(), r.power.total_watts());
 }
 
 int cmd_transform(int argc, char** argv) {
@@ -79,7 +99,7 @@ int cmd_transform(int argc, char** argv) {
   const std::string out_path = argv[3];
   double dmax = 10.0;
   int range = 0;
-  core::HebsOptions opts;
+  SessionConfig config;
   for (int i = 4; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--dmax" && i + 1 < argc) {
@@ -87,23 +107,22 @@ int cmd_transform(int argc, char** argv) {
     } else if (flag == "--range" && i + 1 < argc) {
       range = std::atoi(argv[++i]);
     } else if (flag == "--segments" && i + 1 < argc) {
-      opts.segments = std::atoi(argv[++i]);
+      config.segments(std::atoi(argv[++i]));
+    } else if (flag == "--policy" && i + 1 < argc) {
+      config.policy(argv[++i]);
     } else if (flag == "--metric" && i + 1 < argc) {
-      if (!parse_metric(argv[++i], opts.distortion.metric)) {
-        std::fprintf(stderr, "unknown metric '%s'\n", argv[i]);
-        return 2;
-      }
+      config.metric(argv[++i]);
     } else {
       return usage();
     }
   }
   const auto img = image::read_pgm(in_path);
-  const auto platform = power::LcdSubsystemPower::lp064v1();
-  const core::HebsResult r =
-      range > 0 ? core::hebs_at_range(img, range, opts, platform)
-                : core::hebs_exact(img, dmax, opts, platform);
-  report(r);
-  image::write_pgm(r.evaluation.transformed, out_path);
+  auto session = Session::create(config);
+  if (!session) return fail(session.status());
+  auto result = session->process({view_of(img), dmax, range});
+  if (!result) return fail(result.status());
+  report(*result);
+  image::write_pgm(to_gray(result->displayed), out_path);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }
@@ -147,12 +166,13 @@ int cmd_apply_curve(int argc, char** argv) {
     }
   }
   const auto img = image::read_pgm(in_path);
-  const auto curve = core::DistortionCurve::load(curve_path);
-  const auto platform = power::LcdSubsystemPower::lp064v1();
-  const core::HebsResult r =
-      core::hebs_with_curve(img, dmax, curve, {}, platform);
-  report(r);
-  image::write_pgm(r.evaluation.transformed, out_path);
+  auto session = Session::create(
+      SessionConfig().policy("hebs-curve").curve_path(curve_path));
+  if (!session) return fail(session.status());
+  auto result = session->process({view_of(img), dmax});
+  if (!result) return fail(result.status());
+  report(*result);
+  image::write_pgm(to_gray(result->displayed), out_path);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }
@@ -173,20 +193,22 @@ int cmd_info(int argc, char** argv) {
 }
 
 int cmd_batch(int argc, char** argv) {
-  // hebs_cli batch <in1.pgm> [in2.pgm ...] [--dmax P] [--threads N]
-  //                [--out-prefix PFX]
-  // Exact-search HEBS for every input on the PipelineEngine; one output
-  // per input when --out-prefix is given (PFX + basename).
+  // One search per input on the session's pool; one output per input
+  // when --out-prefix is given (PFX + basename).
   double dmax = 10.0;
-  int threads = 0;
   std::string out_prefix;
+  SessionConfig config;
   std::vector<std::string> inputs;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--dmax" && i + 1 < argc) {
       dmax = std::atof(argv[++i]);
     } else if (flag == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
+      config.threads(std::atoi(argv[++i]));
+    } else if (flag == "--policy" && i + 1 < argc) {
+      config.policy(argv[++i]);
+    } else if (flag == "--metric" && i + 1 < argc) {
+      config.metric(argv[++i]);
     } else if (flag == "--out-prefix" && i + 1 < argc) {
       out_prefix = argv[++i];
     } else if (!flag.empty() && flag[0] == '-') {
@@ -200,20 +222,23 @@ int cmd_batch(int argc, char** argv) {
   std::vector<image::GrayImage> images;
   images.reserve(inputs.size());
   for (const auto& path : inputs) images.push_back(image::read_pgm(path));
+  std::vector<ImageView> frames;
+  frames.reserve(images.size());
+  for (const auto& img : images) frames.push_back(view_of(img));
 
-  pipeline::EngineOptions opts;
-  opts.num_threads = threads;
-  pipeline::PipelineEngine engine(opts, power::LcdSubsystemPower::lp064v1());
-  std::printf("batch: %zu images, D_max %.1f%%, %d thread(s)\n",
-              images.size(), dmax, engine.thread_count());
-  const auto results = engine.process_batch(images, dmax);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
+  auto session = Session::create(config);
+  if (!session) return fail(session.status());
+  std::printf("batch: %zu images, D_max %.1f%%, policy %s, %d thread(s)\n",
+              frames.size(), dmax, session->config().policy().c_str(),
+              session->thread_count());
+  auto results = session->process_batch(frames, dmax);
+  if (!results) return fail(results.status());
+  for (std::size_t i = 0; i < results->size(); ++i) {
+    const FrameResult& r = (*results)[i];
     std::printf("%-28s range [%d, %d]  beta %.3f  distortion %.2f%%  "
                 "saving %.2f%%\n",
-                inputs[i].c_str(), r.target.g_min, r.target.g_max,
-                r.point.beta, r.evaluation.distortion_percent,
-                r.evaluation.saving_percent);
+                inputs[i].c_str(), r.g_min, r.g_max, r.beta,
+                r.distortion_percent, r.saving_percent);
     if (!out_prefix.empty()) {
       // Index-prefixed flattened path: unique per input position, so no
       // two inputs (even identical paths) can overwrite each other.
@@ -221,7 +246,7 @@ int cmd_batch(int argc, char** argv) {
       for (char& c : base) {
         if (c == '/' || c == '\\') c = '_';
       }
-      image::write_pgm(r.evaluation.transformed,
+      image::write_pgm(to_gray(r.displayed),
                        out_prefix + std::to_string(i) + "_" + base);
     }
   }
@@ -232,6 +257,12 @@ int cmd_batch(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--list-policies") == 0) {
+        print_registries(stdout);
+        return 0;
+      }
+    }
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
     if (cmd == "transform") return cmd_transform(argc, argv);
@@ -239,6 +270,10 @@ int main(int argc, char** argv) {
     if (cmd == "apply-curve") return cmd_apply_curve(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "list-policies") {
+      print_registries(stdout);
+      return 0;
+    }
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

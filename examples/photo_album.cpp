@@ -5,42 +5,54 @@
 // Usage:
 //   photo_album [max_distortion_percent] [num_threads]
 //
-// Processes the full 19-image synthetic USID album through the
-// PipelineEngine's batch mode (one exact HEBS search per photo, fanned
+// Processes the full 19-image synthetic USID album through a
+// hebs::Session's batch mode (one exact HEBS search per photo, fanned
 // out over the worker pool), prints a per-image table (like the paper's
 // Table 1 but including the operating point), and totals the
 // battery-energy saving for a slideshow where each photo stays on
 // screen for five seconds.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
-#include "core/hebs.h"
-#include "image/synthetic.h"
-#include "pipeline/engine.h"
-#include "power/lcd_power.h"
-#include "util/table.h"
+#include "hebs/hebs.h"
+// In-repo helpers (synthetic album, console tables) — not stable API.
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 int main(int argc, char** argv) {
   using namespace hebs;
   try {
     const double budget = argc > 1 ? std::atof(argv[1]) : 10.0;
     const int threads = argc > 2 ? std::atoi(argv[2]) : 0;
-    const auto platform = power::LcdSubsystemPower::lp064v1();
     const auto album = image::usid_album(128);
     constexpr double kSecondsPerPhoto = 5.0;
 
-    // Batch-process the whole album on the engine; results come back in
-    // album order regardless of how the pool schedules the photos.
-    std::vector<image::GrayImage> images;
-    images.reserve(album.size());
-    for (const auto& photo : album) images.push_back(photo.image);
-    pipeline::EngineOptions engine_opts;
-    engine_opts.num_threads = threads;
-    pipeline::PipelineEngine engine(engine_opts, platform);
+    auto session = Session::create(SessionConfig().threads(threads));
+    if (!session) {
+      std::fprintf(stderr, "session: %s\n",
+                   session.status().to_string().c_str());
+      return 1;
+    }
+
+    // Batch-process the whole album; results come back in album order
+    // regardless of how the pool schedules the photos.
+    std::vector<ImageView> frames;
+    frames.reserve(album.size());
+    for (const auto& photo : album) {
+      frames.push_back(ImageView::gray8(photo.image.pixels().data(),
+                                        photo.image.width(),
+                                        photo.image.height()));
+    }
     std::printf("Processing %zu photos on %d worker thread(s)...\n",
-                images.size(), engine.thread_count());
-    const auto results = engine.process_batch(images, budget);
+                frames.size(), session->thread_count());
+    auto results = session->process_batch(frames, budget);
+    if (!results) {
+      std::fprintf(stderr, "batch: %s\n",
+                   results.status().to_string().c_str());
+      return 1;
+    }
 
     util::ConsoleTable table({"Photo", "range", "beta", "distortion %",
                               "saving %", "W before", "W after"});
@@ -48,18 +60,15 @@ int main(int argc, char** argv) {
     double joules_after = 0.0;
     for (std::size_t i = 0; i < album.size(); ++i) {
       const auto& photo = album[i];
-      const auto& r = results[i];
-      joules_before +=
-          r.evaluation.reference_power.total() * kSecondsPerPhoto;
-      joules_after += r.evaluation.power.total() * kSecondsPerPhoto;
-      table.add_row({photo.name, std::to_string(r.target.range()),
-                     util::ConsoleTable::num(r.point.beta, 3),
-                     util::ConsoleTable::num(
-                         r.evaluation.distortion_percent, 1),
-                     util::ConsoleTable::num(r.evaluation.saving_percent),
-                     util::ConsoleTable::num(
-                         r.evaluation.reference_power.total()),
-                     util::ConsoleTable::num(r.evaluation.power.total())});
+      const FrameResult& r = (*results)[i];
+      joules_before += r.reference_power.total_watts() * kSecondsPerPhoto;
+      joules_after += r.power.total_watts() * kSecondsPerPhoto;
+      table.add_row({photo.name, std::to_string(r.g_max - r.g_min),
+                     util::ConsoleTable::num(r.beta, 3),
+                     util::ConsoleTable::num(r.distortion_percent, 1),
+                     util::ConsoleTable::num(r.saving_percent),
+                     util::ConsoleTable::num(r.reference_power.total_watts()),
+                     util::ConsoleTable::num(r.power.total_watts())});
     }
     std::printf("Photo album, distortion budget %.1f%%:\n%s", budget,
                 table.to_string().c_str());

@@ -1,88 +1,114 @@
-// Quickstart: backlight-scale one image with HEBS.
+// Quickstart: backlight-scale one image through the stable facade.
 //
 // Usage:
 //   quickstart [input.pgm] [max_distortion_percent]
 //
 // Without arguments a synthetic benchmark image is used.  The program
-// runs the full HEBS pipeline at the given distortion budget, reports
-// the operating point, and writes before/after PGM files.
+// opens a hebs::Session, feeds it one zero-copy ImageView, reports the
+// operating point, writes before/after PGM files, and finishes with a
+// multi-threaded batch over three frames.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "core/hebs.h"
-#include "image/pnm_io.h"
-#include "image/synthetic.h"
-#include "pipeline/engine.h"
-#include "power/lcd_power.h"
+#include "hebs/hebs.h"
+// In-repo helpers (synthetic benchmark images, PGM I/O) — not part of
+// the stable API.
+#include "hebs/advanced/image.h"
 
 int main(int argc, char** argv) {
-  using namespace hebs;
   try {
     // 1. Load (or synthesize) the image to display.
-    image::GrayImage img;
+    hebs::image::GrayImage img;
     std::string name = "Lena(synthetic)";
     if (argc > 1) {
-      img = image::read_pgm(argv[1]);
+      img = hebs::image::read_pgm(argv[1]);
       name = argv[1];
     } else {
-      img = image::make_usid(image::UsidId::kLena, 256);
+      img = hebs::image::make_usid(hebs::image::UsidId::kLena, 256);
     }
     const double budget = argc > 2 ? std::atof(argv[2]) : 10.0;
 
-    // 2. Run HEBS: find the deepest backlight dimming whose measured
-    //    distortion stays within the budget.
-    const auto platform = power::LcdSubsystemPower::lp064v1();
-    const core::HebsResult result =
-        core::hebs_exact(img, budget, {}, platform);
+    // 2. Open a session: the policy searches the deepest backlight
+    //    dimming whose measured distortion stays within the budget.
+    auto session = hebs::Session::create(hebs::SessionConfig()
+                                             .policy("hebs-exact")
+                                             .metric("uiqi-hvs"));
+    if (!session) {
+      std::fprintf(stderr, "session: %s\n",
+                   session.status().to_string().c_str());
+      return 1;
+    }
 
-    // 3. Report.
+    // 3. Process one frame.  The view borrows the caller's pixels; no
+    //    copy happens at the API boundary.
+    const hebs::ImageView view = hebs::ImageView::gray8(
+        img.pixels().data(), img.width(), img.height());
+    auto result = session->process({view, budget});
+    if (!result) {
+      std::fprintf(stderr, "process: %s\n",
+                   result.status().to_string().c_str());
+      return 1;
+    }
+
+    // 4. Report.
     std::printf("HEBS quickstart\n");
     std::printf("  image               : %s (%dx%d)\n", name.c_str(),
                 img.width(), img.height());
     std::printf("  distortion budget   : %.1f %%\n", budget);
-    std::printf("  chosen dynamic range: [%d, %d]\n", result.target.g_min,
-                result.target.g_max);
-    std::printf("  backlight factor    : %.3f\n", result.point.beta);
-    std::printf("  PWL segments        : %d (PLC mse %.2e)\n",
-                result.lambda.segment_count(), result.plc_mse);
+    std::printf("  chosen dynamic range: [%d, %d]\n", result->g_min,
+                result->g_max);
+    std::printf("  backlight factor    : %.3f\n", result->beta);
+    std::printf("  PWL segments        : %zu (PLC mse %.2e)\n",
+                result->lambda.empty() ? 0 : result->lambda.size() - 1,
+                result->plc_mse);
     std::printf("  measured distortion : %.2f %%\n",
-                result.evaluation.distortion_percent);
+                result->distortion_percent);
     std::printf("  power before        : %.2f W (CCFL %.2f + panel %.2f)\n",
-                result.evaluation.reference_power.total(),
-                result.evaluation.reference_power.ccfl_watts,
-                result.evaluation.reference_power.panel_watts);
+                result->reference_power.total_watts(),
+                result->reference_power.ccfl_watts,
+                result->reference_power.panel_watts);
     std::printf("  power after         : %.2f W (CCFL %.2f + panel %.2f)\n",
-                result.evaluation.power.total(),
-                result.evaluation.power.ccfl_watts,
-                result.evaluation.power.panel_watts);
-    std::printf("  power saving        : %.2f %%\n",
-                result.evaluation.saving_percent);
+                result->power.total_watts(), result->power.ccfl_watts,
+                result->power.panel_watts);
+    std::printf("  power saving        : %.2f %%\n", result->saving_percent);
 
-    // 4. Persist before/after for visual inspection.
-    image::write_pgm(img, "quickstart_original.pgm");
-    image::write_pgm(result.evaluation.transformed,
-                     "quickstart_displayed.pgm");
+    // 5. Persist before/after for visual inspection.
+    hebs::image::write_pgm(img, "quickstart_original.pgm");
+    const hebs::OwnedImage& displayed = result->displayed;
+    hebs::image::write_pgm(
+        hebs::image::GrayImage::from_pixels(displayed.width(),
+                                            displayed.height(),
+                                            displayed.pixels()),
+        "quickstart_displayed.pgm");
     std::printf("  wrote quickstart_original.pgm / "
                 "quickstart_displayed.pgm\n");
 
-    // 5. Batch mode: the same search over many frames via the pipeline
-    //    engine (results are index-aligned and identical to the serial
-    //    calls above, whatever the thread count).
-    const std::vector<image::GrayImage> frames = {
-        img, image::make_usid(image::UsidId::kPeppers, 128),
-        image::make_usid(image::UsidId::kBaboon, 128)};
-    pipeline::PipelineEngine engine;  // default: hardware concurrency
-    const auto batch = engine.process_batch(frames, budget);
-    std::printf("\nPipelineEngine batch (%d threads):\n",
-                engine.thread_count());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
+    // 6. Batch mode: the same search over many frames fans out over the
+    //    session's thread pool (results are index-aligned and identical
+    //    to the serial calls above, whatever the thread count).
+    const auto peppers =
+        hebs::image::make_usid(hebs::image::UsidId::kPeppers, 128);
+    const auto baboon =
+        hebs::image::make_usid(hebs::image::UsidId::kBaboon, 128);
+    const std::vector<hebs::ImageView> frames = {
+        view,
+        hebs::ImageView::gray8(peppers.pixels().data(), peppers.width(),
+                               peppers.height()),
+        hebs::ImageView::gray8(baboon.pixels().data(), baboon.width(),
+                               baboon.height())};
+    auto batch = session->process_batch(frames, budget);
+    if (!batch) {
+      std::fprintf(stderr, "batch: %s\n", batch.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("\nSession batch (%d threads):\n", session->thread_count());
+    for (std::size_t i = 0; i < batch->size(); ++i) {
       std::printf("  frame %zu: beta %.3f, distortion %.2f %%, "
                   "saving %.2f %%\n",
-                  i, batch[i].point.beta,
-                  batch[i].evaluation.distortion_percent,
-                  batch[i].evaluation.saving_percent);
+                  i, (*batch)[i].beta, (*batch)[i].distortion_percent,
+                  (*batch)[i].saving_percent);
     }
     return 0;
   } catch (const std::exception& e) {

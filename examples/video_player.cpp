@@ -1,63 +1,79 @@
 // Video playback with frame-adaptive backlight scaling and flicker
-// control — the paper's future-work direction as a runnable scenario.
+// control, driven through the stable facade.
 //
 // Usage:
 //   video_player [frames] [max_distortion_percent] [num_threads]
 //
 // Plays a synthetic clip (panning scene, brightness breathing, one hard
-// scene cut) through the VideoBacklightController and reports per-frame
-// decisions plus total energy saved at 25 fps.
+// scene cut) through Session::process_video — per-frame searches run
+// concurrently, flicker control is applied strictly in frame order —
+// and reports per-frame decisions plus total energy saved at 25 fps.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
-#include "core/video.h"
-#include "image/synthetic.h"
-#include "power/lcd_power.h"
-#include "util/table.h"
+#include "hebs/hebs.h"
+// In-repo helpers (synthetic clip, console tables) — not stable API.
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 int main(int argc, char** argv) {
   using namespace hebs;
   try {
-    const int frames = argc > 1 ? std::atoi(argv[1]) : 24;
+    const int frame_count = argc > 1 ? std::atoi(argv[1]) : 24;
     const double budget = argc > 2 ? std::atof(argv[2]) : 10.0;
+    const int threads = argc > 3 ? std::atoi(argv[3]) : 0;
     constexpr double kFrameSeconds = 1.0 / 25.0;
 
-    const auto platform = power::LcdSubsystemPower::lp064v1();
-    const auto clip = image::make_video_clip(frames, 96);
+    const auto clip = image::make_video_clip(frame_count, 96);
+    auto session = Session::create(SessionConfig()
+                                       .threads(threads)
+                                       .max_beta_step(0.04));
+    if (!session) {
+      std::fprintf(stderr, "session: %s\n",
+                   session.status().to_string().c_str());
+      return 1;
+    }
 
-    core::VideoOptions opts;
-    opts.d_max_percent = budget;
-    // process_clip runs on the PipelineEngine: the per-frame searches
-    // fan out over this many workers while flicker control stays
-    // strictly frame-ordered (decisions are thread-count invariant).
-    opts.num_threads = argc > 3 ? std::atoi(argv[3]) : 0;
-    core::VideoBacklightController controller(opts, platform);
-    const auto decisions = controller.process_clip(clip);
+    std::vector<ImageView> frames;
+    frames.reserve(clip.size());
+    for (const auto& frame : clip) {
+      frames.push_back(ImageView::gray8(frame.pixels().data(), frame.width(),
+                                        frame.height()));
+    }
+    auto decisions = session->process_video(frames, budget);
+    if (!decisions) {
+      std::fprintf(stderr, "video: %s\n",
+                   decisions.status().to_string().c_str());
+      return 1;
+    }
 
     util::ConsoleTable table({"frame", "raw beta", "applied beta", "cut?",
                               "distortion %", "saving %"});
     double joules_before = 0.0;
     double joules_after = 0.0;
-    for (std::size_t f = 0; f < decisions.size(); ++f) {
-      const auto& d = decisions[f];
-      joules_before +=
-          d.evaluation.reference_power.total() * kFrameSeconds;
-      joules_after += d.evaluation.power.total() * kFrameSeconds;
-      table.add_row({std::to_string(f),
-                     util::ConsoleTable::num(d.raw_beta, 3),
+    double worst_step = 0.0;
+    for (std::size_t f = 0; f < decisions->size(); ++f) {
+      const VideoFrameResult& d = (*decisions)[f];
+      joules_before += d.frame.reference_power.total_watts() * kFrameSeconds;
+      joules_after += d.frame.power.total_watts() * kFrameSeconds;
+      if (f > 0 && !d.scene_cut) {
+        worst_step = std::max(
+            worst_step, std::abs(d.beta - (*decisions)[f - 1].beta));
+      }
+      table.add_row({std::to_string(f), util::ConsoleTable::num(d.raw_beta, 3),
                      util::ConsoleTable::num(d.beta, 3),
                      d.scene_cut ? "CUT" : "",
-                     util::ConsoleTable::num(
-                         d.evaluation.distortion_percent, 1),
-                     util::ConsoleTable::num(
-                         d.evaluation.saving_percent, 1)});
+                     util::ConsoleTable::num(d.frame.distortion_percent, 1),
+                     util::ConsoleTable::num(d.frame.saving_percent, 1)});
     }
     std::printf("Adaptive backlight video playback (budget %.1f%%):\n%s",
                 budget, table.to_string().c_str());
     std::printf("\nFlicker: worst |d-beta| outside scene cuts = %.3f "
                 "(limit %.3f)\n",
-                core::VideoBacklightController::max_flicker_step(decisions),
-                opts.max_beta_step);
+                worst_step, session->config().max_beta_step());
     std::printf("Clip energy: %.2f J -> %.2f J (saved %.1f%%)\n",
                 joules_before, joules_after,
                 100.0 * (1.0 - joules_after / joules_before));

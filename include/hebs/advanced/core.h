@@ -1,0 +1,15 @@
+// UNSTABLE re-export header: exposes an internal library layer to
+// in-repo tools (benches, whitebox examples) through the include/hebs/
+// namespace so no tool includes src/ paths directly.  Not installed,
+// not covered by the API version contract.
+#pragma once
+
+#include "core/backlight.h"  // IWYU pragma: export
+#include "core/color.h"  // IWYU pragma: export
+#include "core/dbs.h"  // IWYU pragma: export
+#include "core/distortion_curve.h"  // IWYU pragma: export
+#include "core/ghe.h"  // IWYU pragma: export
+#include "core/hebs.h"  // IWYU pragma: export
+#include "core/lhe.h"  // IWYU pragma: export
+#include "core/plc.h"  // IWYU pragma: export
+#include "core/video.h"  // IWYU pragma: export

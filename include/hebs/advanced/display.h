@@ -1,0 +1,11 @@
+// UNSTABLE re-export header: exposes an internal library layer to
+// in-repo tools (benches, whitebox examples) through the include/hebs/
+// namespace so no tool includes src/ paths directly.  Not installed,
+// not covered by the API version contract.
+#pragma once
+
+#include "display/grayscale_voltage.h"  // IWYU pragma: export
+#include "display/lcd_subsystem.h"  // IWYU pragma: export
+#include "display/panel_sim.h"  // IWYU pragma: export
+#include "display/reference_driver.h"  // IWYU pragma: export
+#include "display/tft_matrix.h"  // IWYU pragma: export

@@ -1,0 +1,12 @@
+// UNSTABLE re-export header: exposes an internal library layer to
+// in-repo tools (benches, whitebox examples) through the include/hebs/
+// namespace so no tool includes src/ paths directly.  Not installed,
+// not covered by the API version contract.
+#pragma once
+
+#include "image/draw.h"  // IWYU pragma: export
+#include "image/image.h"  // IWYU pragma: export
+#include "image/noise.h"  // IWYU pragma: export
+#include "image/ops.h"  // IWYU pragma: export
+#include "image/pnm_io.h"  // IWYU pragma: export
+#include "image/synthetic.h"  // IWYU pragma: export

@@ -1,0 +1,11 @@
+// UNSTABLE re-export header: exposes an internal library layer to
+// in-repo tools (benches, whitebox examples) through the include/hebs/
+// namespace so no tool includes src/ paths directly.  Not installed,
+// not covered by the API version contract.
+#pragma once
+
+#include "power/ccfl.h"  // IWYU pragma: export
+#include "power/lab_bench.h"  // IWYU pragma: export
+#include "power/lcd_power.h"  // IWYU pragma: export
+#include "power/system.h"  // IWYU pragma: export
+#include "power/tft_panel.h"  // IWYU pragma: export

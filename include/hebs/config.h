@@ -1,0 +1,167 @@
+// Builder-style configuration for a hebs::Session.
+//
+// Every knob has the library default; setters return *this so a config
+// reads as one chained expression:
+//
+//   auto session = hebs::Session::create(hebs::SessionConfig()
+//                                            .policy("hebs-exact")
+//                                            .metric("uiqi-hvs")
+//                                            .segments(8)
+//                                            .threads(4));
+//
+// validate() checks every field against its documented domain and
+// reports the first violation as a typed Status — the facade never
+// silently clamps an out-of-domain option.  Policy and metric *names*
+// are resolved against the registries at Session::create time.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "hebs/status.h"
+
+namespace hebs {
+
+class SessionConfig {
+ public:
+  SessionConfig() = default;
+
+  // ---------------------------------------------------- policy & metric
+  /// DBS policy selected by registry name ("hebs-exact", "hebs-curve",
+  /// "dls", "cbcs", ...).  Default "hebs-exact".
+  SessionConfig& policy(std::string name) {
+    policy_ = std::move(name);
+    return *this;
+  }
+  const std::string& policy() const noexcept { return policy_; }
+
+  /// Distortion metric selected by registry name ("uiqi-hvs",
+  /// "percent-mapped", "ssim", ...).  Default "uiqi-hvs".
+  SessionConfig& metric(std::string name) {
+    metric_ = std::move(name);
+    return *this;
+  }
+  const std::string& metric() const noexcept { return metric_; }
+
+  // ------------------------------------------------- pipeline tunables
+  /// PLC segment budget m, >= 1.  Default 8.
+  SessionConfig& segments(int m) {
+    segments_ = m;
+    return *this;
+  }
+  int segments() const noexcept { return segments_; }
+
+  /// Floor for the bottom of the target range, in [0, 254].  Default 0.
+  SessionConfig& g_min_floor(int g) {
+    g_min_floor_ = g;
+    return *this;
+  }
+  int g_min_floor() const noexcept { return g_min_floor_; }
+
+  /// Smallest admissible dynamic range, >= 2.  Default 16.
+  SessionConfig& min_range(int r) {
+    min_range_ = r;
+    return *this;
+  }
+  int min_range() const noexcept { return min_range_; }
+
+  /// Lowest backlight factor, in (0, 1].  Default 0.05.
+  SessionConfig& min_beta(double b) {
+    min_beta_ = b;
+    return *this;
+  }
+  double min_beta() const noexcept { return min_beta_; }
+
+  /// Equalization strength w in [0, 1], or -1 for adaptive selection.
+  /// Default -1.
+  SessionConfig& equalization_strength(double w) {
+    equalization_strength_ = w;
+    return *this;
+  }
+  double equalization_strength() const noexcept {
+    return equalization_strength_;
+  }
+
+  /// Concurrent brightness-scaling refinement in exact mode.  Default
+  /// true.
+  SessionConfig& concurrent_scaling(bool on) {
+    concurrent_scaling_ = on;
+    return *this;
+  }
+  bool concurrent_scaling() const noexcept { return concurrent_scaling_; }
+
+  // ----------------------------------------------------------- engine
+  /// Worker threads for batch/video processing; 0 selects the hardware
+  /// concurrency.  Default 0.
+  SessionConfig& threads(int n) {
+    threads_ = n;
+    return *this;
+  }
+  int threads() const noexcept { return threads_; }
+
+  // --------------------------------------------- distortion curve cache
+  /// CSV of a saved distortion characteristic curve for the hebs-curve
+  /// policy.  When unset, the session characterizes on first use (at
+  /// characterization_size) and caches the curve for its lifetime.
+  SessionConfig& curve_path(std::string csv) {
+    curve_path_ = std::move(csv);
+    return *this;
+  }
+  const std::string& curve_path() const noexcept { return curve_path_; }
+
+  /// Image edge length of the on-demand characterization album, >= 16.
+  /// Default 96.
+  SessionConfig& characterization_size(int px) {
+    characterization_size_ = px;
+    return *this;
+  }
+  int characterization_size() const noexcept { return characterization_size_; }
+
+  // ------------------------------------------------------------ video
+  /// Maximum |Δβ| between consecutive non-scene-cut frames, in (0, 1].
+  /// Default 0.04.
+  SessionConfig& max_beta_step(double step) {
+    max_beta_step_ = step;
+    return *this;
+  }
+  double max_beta_step() const noexcept { return max_beta_step_; }
+
+  /// EMA coefficient pulling β toward the per-frame optimum, in (0, 1].
+  /// Default 0.5.
+  SessionConfig& ema_alpha(double alpha) {
+    ema_alpha_ = alpha;
+    return *this;
+  }
+  double ema_alpha() const noexcept { return ema_alpha_; }
+
+  /// Histogram L1 distance (0..2) above which a scene cut is declared.
+  /// Default 0.5.
+  SessionConfig& scene_cut_threshold(double t) {
+    scene_cut_threshold_ = t;
+    return *this;
+  }
+  double scene_cut_threshold() const noexcept { return scene_cut_threshold_; }
+
+  /// Checks every field against its domain; returns the first violation
+  /// as kInvalidOption with a message naming the field and the value.
+  /// Registry names are checked at Session::create, not here.
+  Status validate() const;
+
+ private:
+  std::string policy_ = "hebs-exact";
+  std::string metric_ = "uiqi-hvs";
+  int segments_ = 8;
+  int g_min_floor_ = 0;
+  int min_range_ = 16;
+  double min_beta_ = 0.05;
+  double equalization_strength_ = -1.0;
+  bool concurrent_scaling_ = true;
+  int threads_ = 0;
+  std::string curve_path_;
+  int characterization_size_ = 96;
+  double max_beta_step_ = 0.04;
+  double ema_alpha_ = 0.5;
+  double scene_cut_threshold_ = 0.5;
+};
+
+}  // namespace hebs

@@ -1,0 +1,119 @@
+// Request/response types of the stable HEBS API.
+//
+// A FrameRequest names an input frame (as a zero-copy ImageView) and a
+// distortion budget; a FrameResult is everything the configured policy
+// decided and measured for it — the operating point (transfer curve and
+// backlight factor), the displayed raster, and the distortion/power
+// accounting.  These types are self-contained plain data: they expose
+// no internal library types, so the facade headers install cleanly and
+// the internals can keep evolving behind them.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hebs/image_view.h"
+
+namespace hebs {
+
+/// A breakpoint of a piecewise-linear transfer curve; x and y are
+/// normalized pixel/luminance values in [0, 1].
+struct CurvePoint {
+  double x = 0.0;
+  double y = 0.0;
+  bool operator==(const CurvePoint&) const = default;
+};
+
+/// Per-component power draw of one displayed frame.
+struct PowerReport {
+  double ccfl_watts = 0.0;   ///< backlight lamp + inverter
+  double panel_watts = 0.0;  ///< TFT panel and driver
+  double total_watts() const noexcept { return ccfl_watts + panel_watts; }
+  bool operator==(const PowerReport&) const = default;
+};
+
+/// An owned 8-bit grayscale raster returned by the facade (the caller
+/// may view() it to feed it back in without copying).
+class OwnedImage {
+ public:
+  OwnedImage() = default;
+  OwnedImage(int width, int height, std::vector<std::uint8_t> pixels)
+      : width_(width), height_(height), pixels_(std::move(pixels)) {}
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  bool empty() const noexcept { return pixels_.empty(); }
+  const std::vector<std::uint8_t>& pixels() const noexcept { return pixels_; }
+
+  /// Zero-copy gray8 view of this raster (valid while *this lives).
+  ImageView view() const noexcept {
+    return ImageView::gray8(pixels_.data(), width_, height_);
+  }
+
+  bool operator==(const OwnedImage&) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// One frame to process.
+struct FrameRequest {
+  /// The input pixels; gray8 or interleaved rgb8 (BT.601 luma is
+  /// extracted for RGB, bit-identical to a pre-converted gray frame).
+  ImageView image;
+  /// Maximum tolerable distortion, percent in [0, 100].
+  double d_max_percent = 10.0;
+  /// When > 0: skip the budget search and run the HEBS pipeline at
+  /// this fixed dynamic range, in [2, 255 - g_min_floor] (supported by
+  /// the hebs-* policies only).
+  int fixed_range = 0;
+};
+
+/// Everything the session decided and measured for one frame.
+struct FrameResult {
+  /// Backlight scaling factor β in (0, 1].
+  double beta = 1.0;
+  /// Target range [g_min, g_max] the transform compresses into.
+  /// Meaningful for frame/batch results of the hebs-* policies; the
+  /// baselines and video results (whose flicker-controlled operating
+  /// point is not range-targeted) leave the full-range defaults.
+  int g_min = 0;
+  int g_max = 255;
+  /// Deployed piecewise-linear transfer Λ (what the driver realizes).
+  std::vector<CurvePoint> lambda;
+  /// Exact equalizing transform Φ before coarsening (hebs-* policies;
+  /// empty for the baselines, which have no GHE stage).
+  std::vector<CurvePoint> phi;
+  /// Mean squared error of Λ against Φ (the PLC objective).
+  double plc_mse = 0.0;
+  /// Measured distortion of the displayed frame, percent.
+  double distortion_percent = 0.0;
+  /// Power saving versus the unmodified frame at full backlight.
+  double saving_percent = 0.0;
+  /// Power at the chosen operating point / at the reference point.
+  PowerReport power;
+  PowerReport reference_power;
+  /// The displayed frame ψ(F), quantized to 8 bits.
+  OwnedImage displayed;
+};
+
+/// One frame of a video stream: the flicker-controlled decision plus
+/// the per-frame result at the applied backlight factor.
+struct VideoFrameResult {
+  /// β the per-frame optimization asked for.
+  double raw_beta = 1.0;
+  /// β actually applied after flicker control.
+  double beta = 1.0;
+  /// Whether this frame was treated as a scene cut.
+  bool scene_cut = false;
+  /// Result at the applied operating point.  g_min/g_max, phi and
+  /// plc_mse keep their defaults here: after flicker control the
+  /// applied transform is re-derived for the rate-limited β and no
+  /// longer corresponds to one searched target range.
+  FrameResult frame;
+};
+
+}  // namespace hebs

@@ -1,0 +1,22 @@
+// Umbrella header of the stable HEBS public API.
+//
+//   #include <hebs/hebs.h>
+//
+//   auto session = hebs::Session::create(
+//       hebs::SessionConfig().policy("hebs-exact"));
+//   if (!session) { /* session.status() says why */ }
+//   auto result = session->process(
+//       {hebs::ImageView::gray8(pixels, w, h), /*d_max_percent=*/10.0});
+//
+// Only the headers included here (and hebs/version.h) are covered by
+// the API version contract; include/hebs/advanced/ re-exports internal
+// layers for in-repo tools and carries no stability promise.
+#pragma once
+
+#include "hebs/config.h"     // IWYU pragma: export
+#include "hebs/frame.h"      // IWYU pragma: export
+#include "hebs/image_view.h" // IWYU pragma: export
+#include "hebs/registry.h"   // IWYU pragma: export
+#include "hebs/session.h"    // IWYU pragma: export
+#include "hebs/status.h"     // IWYU pragma: export
+#include "hebs/version.h"    // IWYU pragma: export

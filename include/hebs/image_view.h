@@ -1,0 +1,89 @@
+// Zero-copy image ingestion for the stable HEBS API.
+//
+// An ImageView is a non-owning, stride-aware window onto pixel memory
+// the caller already holds — a camera buffer, a decoded frame, a
+// sub-rectangle of a larger surface.  Constructing and passing a view
+// copies nothing; the session materializes the internal 8-bit luminance
+// raster it needs at most once per frame (RGB views go through BT.601
+// luma extraction, bit-identical to a pre-converted grayscale image).
+//
+// The caller keeps the pixel memory alive for the duration of the call
+// that consumes the view; the library never stores a view past a call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hebs/status.h"
+
+namespace hebs {
+
+/// Supported in-memory pixel layouts.
+enum class PixelFormat {
+  kGray8,  ///< one byte per pixel
+  kRgb8,   ///< three bytes per pixel, interleaved R,G,B
+};
+
+/// Bytes per pixel of a format.
+constexpr int bytes_per_pixel(PixelFormat format) noexcept {
+  return format == PixelFormat::kRgb8 ? 3 : 1;
+}
+
+class ImageView {
+ public:
+  /// Empty view (width == height == 0, no data).
+  ImageView() = default;
+
+  /// A gray8 view.  stride_bytes is the distance between row starts;
+  /// 0 means tightly packed (width bytes).
+  static ImageView gray8(const std::uint8_t* data, int width, int height,
+                         std::ptrdiff_t stride_bytes = 0) noexcept {
+    return ImageView(data, width, height, stride_bytes, PixelFormat::kGray8);
+  }
+
+  /// An interleaved RGB8 view; 0 stride means tightly packed
+  /// (3 * width bytes).
+  static ImageView rgb8(const std::uint8_t* data, int width, int height,
+                        std::ptrdiff_t stride_bytes = 0) noexcept {
+    return ImageView(data, width, height, stride_bytes, PixelFormat::kRgb8);
+  }
+
+  const std::uint8_t* data() const noexcept { return data_; }
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  PixelFormat format() const noexcept { return format_; }
+  std::ptrdiff_t stride_bytes() const noexcept { return stride_bytes_; }
+
+  bool empty() const noexcept { return width_ <= 0 || height_ <= 0; }
+
+  /// Start of row y (unchecked).
+  const std::uint8_t* row(int y) const noexcept {
+    return data_ + static_cast<std::ptrdiff_t>(y) * stride_bytes_;
+  }
+
+  /// Structural validation: ok iff the view has positive dimensions,
+  /// non-null data, and a stride covering at least one packed row.
+  /// Codes: kInvalidImage (empty / null data / negative dims),
+  /// kInvalidStride (stride < width * bytes_per_pixel).
+  Status validate() const;
+
+ private:
+  ImageView(const std::uint8_t* data, int width, int height,
+            std::ptrdiff_t stride_bytes, PixelFormat format) noexcept
+      : data_(data),
+        width_(width),
+        height_(height),
+        stride_bytes_(stride_bytes != 0
+                          ? stride_bytes
+                          : static_cast<std::ptrdiff_t>(width) *
+                                bytes_per_pixel(format)),
+        format_(format) {}
+
+  const std::uint8_t* data_ = nullptr;
+  int width_ = 0;
+  int height_ = 0;
+  std::ptrdiff_t stride_bytes_ = 0;
+  PixelFormat format_ = PixelFormat::kGray8;
+};
+
+}  // namespace hebs

@@ -1,0 +1,46 @@
+// String-keyed registries of the backlight-scaling policies and
+// distortion metrics the library ships.
+//
+// Policies and metrics are selected by name through SessionConfig, so
+// adding an equalization variant (BBHE/DSIHE/... from the comparative-HE
+// literature) or a metric is a registry entry, not an API break.  The
+// registries are read-only from the public surface; the library
+// registers its built-ins at static-initialization time inside the
+// implementation.
+//
+// Launch policies: "hebs-exact", "hebs-curve", "dls", "dls-contrast",
+// "cbcs".  Launch metrics: "uiqi-hvs", "percent-mapped", "uiqi",
+// "ssim", "ssim-hvs", "rmse", "contrast-fidelity", "ms-ssim".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hebs {
+
+/// One registered policy or metric.
+struct RegistryEntry {
+  std::string name;         ///< stable registry key (kebab-case)
+  std::string description;  ///< one-line human-readable summary
+};
+
+/// The DBS policies selectable via SessionConfig::policy.
+class PolicyRegistry {
+ public:
+  /// All registered policies, in registration order.
+  static const std::vector<RegistryEntry>& entries();
+  /// Just the names, in registration order.
+  static std::vector<std::string> names();
+  static bool contains(std::string_view name);
+};
+
+/// The distortion metrics selectable via SessionConfig::metric.
+class MetricRegistry {
+ public:
+  static const std::vector<RegistryEntry>& entries();
+  static std::vector<std::string> names();
+  static bool contains(std::string_view name);
+};
+
+}  // namespace hebs

@@ -1,0 +1,70 @@
+// The stable entry point of the HEBS library.
+//
+// A Session binds one validated configuration to the engine state worth
+// reusing across frames: the LCD-subsystem power model, the distortion
+// characteristic curve cache (for the hebs-curve policy), and the
+// multi-threaded PipelineEngine.  Create one session per configuration
+// and feed it frames; sessions are moveable, single-threaded objects
+// (process calls are not re-entrant — use one session per thread, the
+// engine parallelizes inside a call).
+//
+// All failures come back as typed Status/Expected values; the facade
+// neither aborts nor throws for invalid inputs.  Outputs are
+// bit-identical to the internal hebs_exact / hebs_with_curve / DLS /
+// CBCS paths on the same inputs, whatever the thread count.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hebs/config.h"
+#include "hebs/frame.h"
+#include "hebs/image_view.h"
+#include "hebs/status.h"
+
+namespace hebs {
+
+class Session {
+ public:
+  /// Validates `config` (field domains, then policy/metric names
+  /// against the registries, then the curve file when one is named) and
+  /// builds the session.  Codes: kInvalidOption, kUnknownPolicy,
+  /// kUnknownMetric, kIoError.
+  static Expected<Session> create(SessionConfig config);
+
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The validated configuration this session runs.
+  const SessionConfig& config() const noexcept;
+
+  /// Worker threads the engine actually runs.
+  int thread_count() const noexcept;
+
+  /// Processes one frame with the configured policy.
+  Expected<FrameResult> process(const FrameRequest& request);
+
+  /// Processes many frames at a shared distortion budget.  The hebs-*
+  /// policies fan out over the engine's thread pool; results are
+  /// index-aligned with `frames` and identical for every thread count.
+  Expected<std::vector<FrameResult>> process_batch(
+      const std::vector<ImageView>& frames, double d_max_percent);
+
+  /// Processes a video clip: per-frame searches run concurrently, then
+  /// flicker control (β rate limit + scene-cut release) is applied
+  /// strictly in frame order.  Requires policy "hebs-exact" (the
+  /// controller runs the exact per-frame search); any other policy is
+  /// rejected with kInvalidOption.
+  Expected<std::vector<VideoFrameResult>> process_video(
+      const std::vector<ImageView>& frames, double d_max_percent);
+
+ private:
+  struct Impl;
+  explicit Session(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hebs

@@ -1,0 +1,109 @@
+// Typed error channel of the stable HEBS API.
+//
+// The facade never aborts and never silently clamps an invalid input:
+// every entry point reports failures through `Status` (a code plus a
+// human-readable message) or `Expected<T>` (a value or a Status).  This
+// replaces the exception surface of the internal layers at the API
+// boundary — callers can switch on StatusCode without catching.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hebs {
+
+/// Machine-checkable failure categories of the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidOption,  ///< a SessionConfig field is outside its domain
+  kInvalidImage,   ///< empty or structurally malformed ImageView
+  kInvalidStride,  ///< view stride smaller than one packed row
+  kInvalidBudget,  ///< distortion budget outside [0, 100] percent
+  kUnknownPolicy,  ///< policy name not present in the PolicyRegistry
+  kUnknownMetric,  ///< metric name not present in the MetricRegistry
+  kIoError,        ///< loading/saving an external resource failed
+  kInternal,       ///< unexpected failure inside the library
+};
+
+/// Stable kebab-case name of a status code ("invalid-option", ...).
+const char* status_code_name(StatusCode code) noexcept;
+
+/// The outcome of a facade call: kOk, or a code plus a message that
+/// names the offending field/value.  Default-constructed Status is ok.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "code-name: message" (just "ok" for success).
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status&) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value of type T or the Status explaining why it is absent.
+///
+/// Accessing value() on an error is a programming bug and throws
+/// std::logic_error carrying the status text, so misuse is loud even in
+/// release builds (the facade itself never relies on that throw).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      throw std::logic_error("Expected<T> constructed from an ok Status");
+    }
+  }
+
+  bool has_value() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// The ok status when a value is present, the error otherwise.
+  const Status& status() const noexcept { return status_; }
+
+  const T& value() const& { return checked(); }
+  T& value() & { return checked(); }
+  T&& value() && { return std::move(checked()); }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return has_value() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  const T& operator*() const& { return checked(); }
+  T& operator*() & { return checked(); }
+  const T* operator->() const { return &checked(); }
+  T* operator->() { return &checked(); }
+
+ private:
+  const T& checked() const {
+    if (!value_) throw std::logic_error(status_.to_string());
+    return *value_;
+  }
+  T& checked() {
+    if (!value_) throw std::logic_error(status_.to_string());
+    return *value_;
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace hebs

@@ -1,0 +1,23 @@
+// Version of the stable HEBS public API.
+//
+// The facade under include/hebs/ follows semantic versioning: breaking
+// changes to these headers bump the major version; adding policies,
+// metrics or config knobs bumps the minor version.  The headers under
+// include/hebs/advanced/ are NOT covered — they re-export library
+// internals for in-repo tools and may change in any release.
+#pragma once
+
+#define HEBS_API_VERSION_MAJOR 1
+#define HEBS_API_VERSION_MINOR 0
+#define HEBS_API_VERSION_PATCH 0
+
+namespace hebs {
+
+inline constexpr int kApiVersionMajor = HEBS_API_VERSION_MAJOR;
+inline constexpr int kApiVersionMinor = HEBS_API_VERSION_MINOR;
+inline constexpr int kApiVersionPatch = HEBS_API_VERSION_PATCH;
+
+/// "major.minor.patch".
+inline constexpr const char* kApiVersionString = "1.0.0";
+
+}  // namespace hebs

@@ -1,0 +1,66 @@
+#include "hebs/image_view.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "api/view_convert.h"
+#include "util/mathutil.h"
+
+namespace hebs {
+
+Status ImageView::validate() const {
+  if (width_ < 0 || height_ < 0) {
+    return Status(StatusCode::kInvalidImage,
+                  "image dimensions must be non-negative (got " +
+                      std::to_string(width_) + "x" + std::to_string(height_) +
+                      ")");
+  }
+  if (empty()) {
+    return Status(StatusCode::kInvalidImage, "image view is empty");
+  }
+  if (data_ == nullptr) {
+    return Status(StatusCode::kInvalidImage,
+                  "image view has null data for non-zero dimensions");
+  }
+  const std::ptrdiff_t packed =
+      static_cast<std::ptrdiff_t>(width_) * bytes_per_pixel(format_);
+  if (stride_bytes_ < packed) {
+    return Status(StatusCode::kInvalidStride,
+                  "stride " + std::to_string(stride_bytes_) +
+                      " is smaller than one packed row of " +
+                      std::to_string(packed) + " bytes");
+  }
+  return Status();
+}
+
+}  // namespace hebs
+
+namespace hebs::api {
+
+hebs::image::GrayImage materialize_gray(const ImageView& view) {
+  hebs::image::GrayImage out(view.width(), view.height());
+  const int w = view.width();
+  if (view.format() == PixelFormat::kGray8) {
+    for (int y = 0; y < view.height(); ++y) {
+      std::memcpy(&out(0, y), view.row(y), static_cast<std::size_t>(w));
+    }
+    return out;
+  }
+  // BT.601 luma, same arithmetic as image::RgbImage::to_luma so the
+  // two ingestion paths are bit-identical.
+  for (int y = 0; y < view.height(); ++y) {
+    const std::uint8_t* row = view.row(y);
+    for (int x = 0; x < w; ++x) {
+      const std::uint8_t r = row[3 * x + 0];
+      const std::uint8_t g = row[3 * x + 1];
+      const std::uint8_t b = row[3 * x + 2];
+      const double luma = 0.299 * r + 0.587 * g + 0.114 * b;
+      out(x, y) = static_cast<std::uint8_t>(
+          util::clamp(std::round(luma), 0.0, 255.0));
+    }
+  }
+  return out;
+}
+
+}  // namespace hebs::api

@@ -1,0 +1,123 @@
+#include "hebs/registry.h"
+
+#include "api/registry_internal.h"
+
+namespace hebs::api {
+
+const std::vector<PolicyInfo>& policy_table() {
+  static const std::vector<PolicyInfo> table = {
+      {{"hebs-exact",
+        "HEBS oracle mode: bisects the dynamic range until the measured "
+        "distortion lands on the budget (the Table 1 protocol)"},
+       PolicyKind::kHebsExact},
+      {{"hebs-curve",
+        "HEBS deployed mode: range looked up from the distortion "
+        "characteristic curve, no metric in the decision loop (Fig. 4)"},
+       PolicyKind::kHebsCurve},
+      {{"dls",
+        "DLS baseline [4]: global brightness compensation, backlight "
+        "bisected against the shared metric"},
+       PolicyKind::kDls},
+      {{"dls-contrast",
+        "DLS baseline [4]: global contrast enhancement, backlight "
+        "bisected against the shared metric"},
+       PolicyKind::kDlsContrast},
+      {{"cbcs",
+        "CBCS baseline [5]: histogram band truncation + concurrent "
+        "brightness/contrast scaling, grid-searched"},
+       PolicyKind::kCbcs},
+  };
+  return table;
+}
+
+const std::vector<MetricInfo>& metric_table() {
+  using hebs::quality::Metric;
+  static const std::vector<MetricInfo> table = {
+      {{"uiqi-hvs",
+        "UIQI on HVS-transformed rasters (the paper's default measure)"},
+       Metric::kUiqiHvs},
+      {{"percent-mapped",
+        "uiqi-hvs evaluated through the per-level mapped fast path the "
+        "deployed pipeline uses (bit-identical to uiqi-hvs)"},
+       Metric::kUiqiHvs},
+      {{"uiqi", "plain UIQI on pixel values"}, Metric::kUiqi},
+      {{"ssim", "SSIM (the paper's stated future-work metric)"},
+       Metric::kSsim},
+      {{"ssim-hvs", "SSIM on HVS-transformed rasters"}, Metric::kSsimHvs},
+      {{"rmse", "root mean squared pixel error, scaled to percent"},
+       Metric::kRmse},
+      {{"contrast-fidelity", "1 - contrast fidelity (the CBCS measure [5])"},
+       Metric::kContrastFidelity},
+      {{"ms-ssim", "multi-scale SSIM (viewing-distance robust)"},
+       Metric::kMsSsim},
+  };
+  return table;
+}
+
+const PolicyInfo* find_policy(std::string_view name) {
+  for (const PolicyInfo& info : policy_table()) {
+    if (info.entry.name == name) return &info;
+  }
+  return nullptr;
+}
+
+const MetricInfo* find_metric(std::string_view name) {
+  for (const MetricInfo& info : metric_table()) {
+    if (info.entry.name == name) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace hebs::api
+
+namespace hebs {
+
+namespace {
+
+template <typename Table>
+std::vector<RegistryEntry> entries_of(const Table& table) {
+  std::vector<RegistryEntry> out;
+  out.reserve(table.size());
+  for (const auto& info : table) out.push_back(info.entry);
+  return out;
+}
+
+template <typename Table>
+std::vector<std::string> names_of(const Table& table) {
+  std::vector<std::string> out;
+  out.reserve(table.size());
+  for (const auto& info : table) out.push_back(info.entry.name);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<RegistryEntry>& PolicyRegistry::entries() {
+  static const std::vector<RegistryEntry> cached =
+      entries_of(api::policy_table());
+  return cached;
+}
+
+std::vector<std::string> PolicyRegistry::names() {
+  return names_of(api::policy_table());
+}
+
+bool PolicyRegistry::contains(std::string_view name) {
+  return api::find_policy(name) != nullptr;
+}
+
+const std::vector<RegistryEntry>& MetricRegistry::entries() {
+  static const std::vector<RegistryEntry> cached =
+      entries_of(api::metric_table());
+  return cached;
+}
+
+std::vector<std::string> MetricRegistry::names() {
+  return names_of(api::metric_table());
+}
+
+bool MetricRegistry::contains(std::string_view name) {
+  return api::find_metric(name) != nullptr;
+}
+
+}  // namespace hebs

@@ -1,0 +1,41 @@
+// Internal side of the public registries: each entry carries the
+// dispatch information Session needs (a policy kind, a metric enum)
+// next to the public name/description.  Only src/api/ includes this.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "hebs/registry.h"
+#include "quality/distortion.h"
+
+namespace hebs::api {
+
+/// Built-in policy implementations Session can dispatch to.
+enum class PolicyKind {
+  kHebsExact,    ///< oracle mode: bisect range against measured distortion
+  kHebsCurve,    ///< deployed mode: range from the characteristic curve
+  kDls,          ///< DLS brightness compensation [4]
+  kDlsContrast,  ///< DLS contrast enhancement [4]
+  kCbcs,         ///< CBCS band grid search [5]
+};
+
+struct PolicyInfo {
+  RegistryEntry entry;
+  PolicyKind kind;
+};
+
+struct MetricInfo {
+  RegistryEntry entry;
+  hebs::quality::Metric metric;
+};
+
+/// Registration-ordered tables of the built-ins.
+const std::vector<PolicyInfo>& policy_table();
+const std::vector<MetricInfo>& metric_table();
+
+/// nullptr when the name is not registered.
+const PolicyInfo* find_policy(std::string_view name);
+const MetricInfo* find_metric(std::string_view name);
+
+}  // namespace hebs::api

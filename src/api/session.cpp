@@ -1,0 +1,361 @@
+#include "hebs/session.h"
+
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/registry_internal.h"
+#include "api/view_convert.h"
+#include "baseline/cbcs.h"
+#include "baseline/dls.h"
+#include "core/distortion_curve.h"
+#include "core/hebs.h"
+#include "core/video.h"
+#include "image/synthetic.h"
+#include "pipeline/engine.h"
+#include "power/lcd_power.h"
+#include "util/error.h"
+
+namespace hebs {
+
+namespace {
+
+using hebs::api::MetricInfo;
+using hebs::api::PolicyInfo;
+using hebs::api::PolicyKind;
+
+std::vector<CurvePoint> to_api_points(const hebs::transform::PwlCurve& curve) {
+  std::vector<CurvePoint> out;
+  out.reserve(curve.points().size());
+  for (const auto& p : curve.points()) out.push_back({p.x, p.y});
+  return out;
+}
+
+OwnedImage to_owned(const hebs::image::GrayImage& img) {
+  const auto span = img.pixels();
+  return OwnedImage(img.width(), img.height(),
+                    std::vector<std::uint8_t>(span.begin(), span.end()));
+}
+
+PowerReport to_report(const hebs::power::PowerBreakdown& p) {
+  return {p.ccfl_watts, p.panel_watts};
+}
+
+void fill_evaluation(const core::EvaluatedPoint& eval, FrameResult& out) {
+  out.beta = eval.point.beta;
+  out.distortion_percent = eval.distortion_percent;
+  out.saving_percent = eval.saving_percent;
+  out.power = to_report(eval.power);
+  out.reference_power = to_report(eval.reference_power);
+  out.displayed = to_owned(eval.transformed);
+}
+
+FrameResult to_frame_result(const core::HebsResult& r) {
+  FrameResult out;
+  fill_evaluation(r.evaluation, out);
+  out.g_min = r.target.g_min;
+  out.g_max = r.target.g_max;
+  out.lambda = to_api_points(r.lambda);
+  out.phi = to_api_points(r.phi);
+  out.plc_mse = r.plc_mse;
+  return out;
+}
+
+/// Baseline policies have no GHE/PLC stages: the result is the chosen
+/// operating point's transform over the full grayscale.
+FrameResult to_frame_result(const core::EvaluatedPoint& eval) {
+  FrameResult out;
+  fill_evaluation(eval, out);
+  out.lambda = to_api_points(eval.point.luminance_transform);
+  return out;
+}
+
+FrameResult to_frame_result(const core::FrameDecision& d) {
+  FrameResult out;
+  fill_evaluation(d.evaluation, out);
+  out.lambda = to_api_points(d.point.luminance_transform);
+  return out;
+}
+
+Status check_budget(double d_max_percent) {
+  if (!(d_max_percent >= 0.0) || d_max_percent > 100.0) {
+    return Status(StatusCode::kInvalidBudget,
+                  "d_max_percent must be in [0, 100] (got " +
+                      std::to_string(d_max_percent) + ")");
+  }
+  return Status();
+}
+
+/// Anything the internal layers still throw after facade-side
+/// validation is a library bug, surfaced as kInternal rather than a
+/// crash; I/O failures keep their own code.
+Status from_exception(const std::exception& e) {
+  if (dynamic_cast<const hebs::util::IoError*>(&e) != nullptr) {
+    return Status(StatusCode::kIoError, e.what());
+  }
+  return Status(StatusCode::kInternal, e.what());
+}
+
+}  // namespace
+
+struct Session::Impl {
+  SessionConfig cfg;
+  const PolicyInfo* policy = nullptr;
+  const MetricInfo* metric = nullptr;
+  core::HebsOptions hebs_opts;
+  hebs::power::LcdSubsystemPower model =
+      hebs::power::LcdSubsystemPower::lp064v1();
+  pipeline::PipelineEngine engine;
+  std::optional<core::DistortionCurve> curve;
+
+  Impl(SessionConfig config, const PolicyInfo* p, const MetricInfo* m)
+      : cfg(std::move(config)),
+        policy(p),
+        metric(m),
+        hebs_opts(make_hebs_options(cfg, m)),
+        engine(make_engine_options(cfg, hebs_opts), model) {}
+
+  static core::HebsOptions make_hebs_options(const SessionConfig& cfg,
+                                             const MetricInfo* m) {
+    core::HebsOptions opts;
+    opts.segments = cfg.segments();
+    opts.g_min = cfg.g_min_floor();
+    opts.min_range = cfg.min_range();
+    opts.min_beta = cfg.min_beta();
+    opts.equalization_strength = cfg.equalization_strength();
+    opts.concurrent_scaling = cfg.concurrent_scaling();
+    opts.distortion.metric = m->metric;
+    return opts;
+  }
+
+  static pipeline::EngineOptions make_engine_options(
+      const SessionConfig& cfg, const core::HebsOptions& hebs_opts) {
+    pipeline::EngineOptions opts;
+    opts.num_threads = cfg.threads();
+    opts.hebs = hebs_opts;
+    return opts;
+  }
+
+  core::VideoOptions make_video_options(double d_max_percent) const {
+    core::VideoOptions opts;
+    opts.d_max_percent = d_max_percent;
+    opts.hebs = hebs_opts;
+    opts.max_beta_step = cfg.max_beta_step();
+    opts.ema_alpha = cfg.ema_alpha();
+    opts.scene_cut_threshold = cfg.scene_cut_threshold();
+    opts.num_threads = cfg.threads();
+    return opts;
+  }
+
+  /// The session's curve cache: loaded from cfg.curve_path at create
+  /// time, or characterized once on first hebs-curve use (the offline
+  /// step of Fig. 4, amortized over the session lifetime).
+  const core::DistortionCurve& ensure_curve() {
+    if (!curve.has_value()) {
+      const auto album = hebs::image::usid_album(cfg.characterization_size());
+      curve = core::DistortionCurve::characterize(
+          album, core::DistortionCurve::default_ranges(), hebs_opts, model);
+    }
+    return *curve;
+  }
+
+  bool is_hebs_policy() const noexcept {
+    return policy->kind == PolicyKind::kHebsExact ||
+           policy->kind == PolicyKind::kHebsCurve;
+  }
+
+  Expected<FrameResult> run_baseline(const hebs::image::GrayImage& img,
+                                     double d_max_percent) {
+    core::OperatingPoint point;
+    switch (policy->kind) {
+      case PolicyKind::kDls:
+        point = hebs::baseline::DlsPolicy(
+                    hebs::baseline::DlsMode::kBrightnessCompensation,
+                    hebs_opts.distortion, model)
+                    .choose(img, d_max_percent);
+        break;
+      case PolicyKind::kDlsContrast:
+        point = hebs::baseline::DlsPolicy(
+                    hebs::baseline::DlsMode::kContrastEnhancement,
+                    hebs_opts.distortion, model)
+                    .choose(img, d_max_percent);
+        break;
+      case PolicyKind::kCbcs:
+        point = hebs::baseline::CbcsPolicy({}, hebs_opts.distortion, model)
+                    .choose(img, d_max_percent);
+        break;
+      default:
+        return Status(StatusCode::kInternal, "unhandled baseline policy");
+    }
+    return to_frame_result(
+        core::evaluate_operating_point(img, point, model,
+                                       hebs_opts.distortion));
+  }
+
+  Expected<FrameResult> run_one(const FrameRequest& request,
+                                const hebs::image::GrayImage& img) {
+    if (request.fixed_range > 0) {
+      if (!is_hebs_policy()) {
+        return Status(StatusCode::kInvalidOption,
+                      "fixed_range is only supported by the hebs-* policies "
+                      "(policy is \"" +
+                          policy->entry.name + "\")");
+      }
+      return to_frame_result(
+          core::hebs_at_range(img, request.fixed_range, hebs_opts, model));
+    }
+    switch (policy->kind) {
+      case PolicyKind::kHebsExact:
+        return to_frame_result(
+            core::hebs_exact(img, request.d_max_percent, hebs_opts, model));
+      case PolicyKind::kHebsCurve:
+        return to_frame_result(core::hebs_with_curve(
+            img, request.d_max_percent, ensure_curve(), hebs_opts, model));
+      default:
+        return run_baseline(img, request.d_max_percent);
+    }
+  }
+};
+
+Session::Session(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+Expected<Session> Session::create(SessionConfig config) {
+  if (Status s = config.validate(); !s.ok()) return s;
+  const PolicyInfo* policy = api::find_policy(config.policy());
+  if (policy == nullptr) {
+    return Status(StatusCode::kUnknownPolicy,
+                  "no policy named \"" + config.policy() +
+                      "\" is registered; see hebs::PolicyRegistry");
+  }
+  const MetricInfo* metric = api::find_metric(config.metric());
+  if (metric == nullptr) {
+    return Status(StatusCode::kUnknownMetric,
+                  "no metric named \"" + config.metric() +
+                      "\" is registered; see hebs::MetricRegistry");
+  }
+  auto impl = std::make_unique<Impl>(std::move(config), policy, metric);
+  if (!impl->cfg.curve_path().empty()) {
+    try {
+      impl->curve = core::DistortionCurve::load(impl->cfg.curve_path());
+    } catch (const std::exception& e) {
+      return Status(StatusCode::kIoError,
+                    "loading curve \"" + impl->cfg.curve_path() +
+                        "\" failed: " + e.what());
+    }
+  }
+  return Session(std::move(impl));
+}
+
+const SessionConfig& Session::config() const noexcept { return impl_->cfg; }
+
+int Session::thread_count() const noexcept {
+  return impl_->engine.thread_count();
+}
+
+Expected<FrameResult> Session::process(const FrameRequest& request) {
+  if (Status s = request.image.validate(); !s.ok()) return s;
+  if (request.fixed_range == 0) {
+    if (Status s = check_budget(request.d_max_percent); !s.ok()) return s;
+  } else if (request.fixed_range < 2 ||
+             request.fixed_range >
+                 hebs::image::kMaxPixel - impl_->cfg.g_min_floor()) {
+    // Same floor as SessionConfig::min_range: a one-level range
+    // degenerates the PLC coarsening.
+    return Status(StatusCode::kInvalidOption,
+                  "fixed_range must be >= 2 and leave [g_min_floor, "
+                  "g_min_floor + range] inside the 8-bit domain (got " +
+                      std::to_string(request.fixed_range) + ")");
+  }
+  try {
+    const hebs::image::GrayImage img = api::materialize_gray(request.image);
+    return impl_->run_one(request, img);
+  } catch (const std::exception& e) {
+    return from_exception(e);
+  }
+}
+
+Expected<std::vector<FrameResult>> Session::process_batch(
+    const std::vector<ImageView>& frames, double d_max_percent) {
+  if (Status s = check_budget(d_max_percent); !s.ok()) return s;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (Status s = frames[i].validate(); !s.ok()) {
+      return Status(s.code(),
+                    "frame " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  try {
+    std::vector<hebs::image::GrayImage> images;
+    images.reserve(frames.size());
+    for (const ImageView& view : frames) {
+      images.push_back(api::materialize_gray(view));
+    }
+    std::vector<FrameResult> out;
+    out.reserve(images.size());
+    switch (impl_->policy->kind) {
+      case PolicyKind::kHebsExact:
+        for (auto& r : impl_->engine.process_batch(images, d_max_percent)) {
+          out.push_back(to_frame_result(r));
+        }
+        break;
+      case PolicyKind::kHebsCurve:
+        for (auto& r : impl_->engine.process_batch_with_curve(
+                 images, d_max_percent, impl_->ensure_curve())) {
+          out.push_back(to_frame_result(r));
+        }
+        break;
+      default:
+        // The engine's fan-out is HEBS-specific; the baselines' own grid
+        // and bisection searches run per image on the calling thread.
+        for (const auto& img : images) {
+          auto result = impl_->run_baseline(img, d_max_percent);
+          if (!result) return result.status();
+          out.push_back(std::move(*result));
+        }
+        break;
+    }
+    return out;
+  } catch (const std::exception& e) {
+    return from_exception(e);
+  }
+}
+
+Expected<std::vector<VideoFrameResult>> Session::process_video(
+    const std::vector<ImageView>& frames, double d_max_percent) {
+  if (Status s = check_budget(d_max_percent); !s.ok()) return s;
+  if (impl_->policy->kind != PolicyKind::kHebsExact) {
+    return Status(StatusCode::kInvalidOption,
+                  "video processing runs the per-frame exact search and "
+                  "requires policy \"hebs-exact\" (policy is \"" +
+                      impl_->cfg.policy() + "\")");
+  }
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (Status s = frames[i].validate(); !s.ok()) {
+      return Status(s.code(),
+                    "frame " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  try {
+    std::vector<hebs::image::GrayImage> images;
+    images.reserve(frames.size());
+    for (const ImageView& view : frames) {
+      images.push_back(api::materialize_gray(view));
+    }
+    const auto decisions = impl_->engine.process_stream(
+        images, impl_->make_video_options(d_max_percent));
+    std::vector<VideoFrameResult> out;
+    out.reserve(decisions.size());
+    for (const auto& d : decisions) {
+      out.push_back({d.raw_beta, d.beta, d.scene_cut, to_frame_result(d)});
+    }
+    return out;
+  } catch (const std::exception& e) {
+    return from_exception(e);
+  }
+}
+
+}  // namespace hebs

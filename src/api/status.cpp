@@ -1,0 +1,20 @@
+#include "hebs/status.h"
+
+namespace hebs {
+
+const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidOption: return "invalid-option";
+    case StatusCode::kInvalidImage: return "invalid-image";
+    case StatusCode::kInvalidStride: return "invalid-stride";
+    case StatusCode::kInvalidBudget: return "invalid-budget";
+    case StatusCode::kUnknownPolicy: return "unknown-policy";
+    case StatusCode::kUnknownMetric: return "unknown-metric";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace hebs

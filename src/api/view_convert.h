@@ -1,0 +1,17 @@
+// Internal ingestion helper: materializes the 8-bit luminance raster
+// the pipeline consumes from a validated ImageView.  Gray8 views copy
+// rows (one memcpy for tightly packed input); RGB8 views go through
+// BT.601 luma extraction with exactly the arithmetic of
+// image::RgbImage::to_luma, so a view over interleaved RGB yields a
+// raster bit-identical to a pre-converted grayscale image.
+#pragma once
+
+#include "hebs/image_view.h"
+#include "image/image.h"
+
+namespace hebs::api {
+
+/// Precondition: view.validate().ok().
+hebs::image::GrayImage materialize_gray(const ImageView& view);
+
+}  // namespace hebs::api

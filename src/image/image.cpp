@@ -28,6 +28,15 @@ void GrayImage::fill(std::uint8_t v) noexcept {
   std::fill(pixels_.begin(), pixels_.end(), v);
 }
 
+GrayImage GrayImage::from_pixels(int width, int height,
+                                 std::span<const std::uint8_t> pixels) {
+  GrayImage out(width, height);
+  HEBS_REQUIRE(pixels.size() == out.size(),
+               "pixel buffer does not match the image dimensions");
+  std::copy(pixels.begin(), pixels.end(), out.pixels_.begin());
+  return out;
+}
+
 double GrayImage::mean() const noexcept {
   if (pixels_.empty()) return 0.0;
   double acc = 0.0;

@@ -56,6 +56,11 @@ class GrayImage {
   std::span<const std::uint8_t> pixels() const noexcept { return pixels_; }
   std::span<std::uint8_t> pixels() noexcept { return pixels_; }
 
+  /// Builds an image by copying a row-major pixel buffer; `pixels`
+  /// must hold exactly width * height bytes.
+  static GrayImage from_pixels(int width, int height,
+                               std::span<const std::uint8_t> pixels);
+
   /// Sets every pixel to `v`.
   void fill(std::uint8_t v) noexcept;
 

@@ -53,11 +53,13 @@ void validate(const FrameContext& ctx, int range) {
   HEBS_REQUIRE(opts.g_min >= 0 && opts.g_min + range <= hebs::image::kMaxPixel,
                "target range exceeds the 8-bit domain");
   HEBS_REQUIRE(opts.segments >= 1, "segment budget must be positive");
+  HEBS_REQUIRE(opts.min_range >= 2,
+               "min_range below 2 degenerates the PLC dynamic program");
   HEBS_REQUIRE(opts.equalization_strength <= 1.0,
                "equalization strength must be <= 1 (or negative for "
                "adaptive)");
-  HEBS_REQUIRE(opts.min_beta >= 0.0 && opts.min_beta <= 1.0,
-               "min_beta must be in [0, 1]");
+  HEBS_REQUIRE(opts.min_beta > 0.0 && opts.min_beta <= 1.0,
+               "min_beta must be in (0, 1]");
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+// Exercises the installed stable facade end to end: registry listing,
+// session creation, one gray8 frame, one strided RGB8 frame, and the
+// typed error channel.  Exits nonzero on any unexpected outcome.
+#include <cstdio>
+#include <cstdint>
+#include <vector>
+
+#include <hebs/hebs.h>
+
+int main() {
+  std::printf("hebs API %s\n", hebs::kApiVersionString);
+  for (const hebs::RegistryEntry& e : hebs::PolicyRegistry::entries()) {
+    std::printf("policy %s\n", e.name.c_str());
+  }
+
+  auto session = hebs::Session::create(
+      hebs::SessionConfig().policy("hebs-exact").metric("uiqi-hvs"));
+  if (!session) {
+    std::fprintf(stderr, "create: %s\n", session.status().to_string().c_str());
+    return 1;
+  }
+
+  // A synthetic gradient frame, built by the consumer itself — the
+  // stable facade needs no library image types.
+  const int w = 64;
+  const int h = 64;
+  std::vector<std::uint8_t> gray(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      gray[static_cast<std::size_t>(y) * w + x] =
+          static_cast<std::uint8_t>((x * 255) / (w - 1));
+    }
+  }
+  auto result = session->process(
+      {hebs::ImageView::gray8(gray.data(), w, h), 10.0});
+  if (!result) {
+    std::fprintf(stderr, "process: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("gray8: beta %.3f distortion %.2f%% saving %.2f%%\n",
+              result->beta, result->distortion_percent,
+              result->saving_percent);
+
+  // RGB8 with a padded stride.
+  const int stride = 3 * w + 5;
+  std::vector<std::uint8_t> rgb(static_cast<std::size_t>(stride) * h, 0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::uint8_t v = gray[static_cast<std::size_t>(y) * w + x];
+      rgb[static_cast<std::size_t>(y) * stride + 3 * x + 0] = v;
+      rgb[static_cast<std::size_t>(y) * stride + 3 * x + 1] = v;
+      rgb[static_cast<std::size_t>(y) * stride + 3 * x + 2] = v;
+    }
+  }
+  auto rgb_result = session->process(
+      {hebs::ImageView::rgb8(rgb.data(), w, h, stride), 10.0});
+  if (!rgb_result) {
+    std::fprintf(stderr, "rgb process: %s\n",
+                 rgb_result.status().to_string().c_str());
+    return 1;
+  }
+  // Gray replicated into RGB has identical luma, so both paths must
+  // agree exactly.
+  if (rgb_result->beta != result->beta ||
+      rgb_result->displayed.pixels() != result->displayed.pixels()) {
+    std::fprintf(stderr, "rgb path diverged from gray path\n");
+    return 1;
+  }
+
+  // The typed error channel.
+  auto bad = session->process({hebs::ImageView(), 10.0});
+  if (bad.has_value() ||
+      bad.status().code() != hebs::StatusCode::kInvalidImage) {
+    std::fprintf(stderr, "empty view was not rejected as invalid-image\n");
+    return 1;
+  }
+  auto unknown = hebs::Session::create(hebs::SessionConfig().policy("nope"));
+  if (unknown.has_value() ||
+      unknown.status().code() != hebs::StatusCode::kUnknownPolicy) {
+    std::fprintf(stderr, "unknown policy was not rejected\n");
+    return 1;
+  }
+
+  std::printf("install smoke OK\n");
+  return 0;
+}
