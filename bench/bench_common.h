@@ -5,8 +5,10 @@
 // CSV under ./bench_results/ so plots can be reproduced externally.
 #pragma once
 
+#include <cstdio>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "hebs/advanced/image.h"
 #include "hebs/advanced/power.h"
@@ -41,6 +43,44 @@ inline void print_header(const std::string& title,
                          const std::string& paper_ref) {
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("Reproduces: %s\n\n", paper_ref.c_str());
+}
+
+/// One machine-readable benchmark record.  The perf-tracking benches
+/// (bench_pipeline_throughput, bench_kernel_dispatch) append these and
+/// write a BENCH_*.json next to the working directory so the perf
+/// trajectory can be diffed across PRs.
+struct BenchRecord {
+  std::string bench;    ///< bench binary / scenario family
+  std::string config;   ///< measured configuration within the bench
+  double ns_per_frame;  ///< wall time per processed frame/raster, ns
+  double mpix_per_s;    ///< throughput in megapixels per second
+  std::string backend;  ///< active kernel backend during the run
+};
+
+/// Writes records as a JSON array:
+///   [{"bench": ..., "config": ..., "ns_per_frame": ...,
+///     "mpix_per_s": ..., "backend": ...}, ...]
+inline void write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"config\": \"%s\", "
+                 "\"ns_per_frame\": %.1f, \"mpix_per_s\": %.3f, "
+                 "\"backend\": \"%s\"}%s\n",
+                 r.bench.c_str(), r.config.c_str(), r.ns_per_frame,
+                 r.mpix_per_s, r.backend.c_str(),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
 }
 
 }  // namespace hebs::bench

@@ -29,9 +29,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "hebs/advanced/core.h"
 #include "hebs/advanced/display.h"
 #include "hebs/advanced/image.h"
+#include "hebs/advanced/kernels.h"
 #include "hebs/advanced/pipeline.h"
 #include "hebs/advanced/quality.h"
 
@@ -494,10 +496,18 @@ int run_batch_report(int batch_size) {
   constexpr double kBudget = 10.0;
   constexpr int kSize = 96;
   const auto images = report_batch(batch_size, kSize);
+  const std::string backend = kernels::active().name;
+  std::vector<hebs::bench::BenchRecord> records;
+  const auto record = [&](const std::string& config, double elapsed_s) {
+    records.push_back(
+        {"pipeline_throughput", config, elapsed_s / batch_size * 1e9,
+         static_cast<double>(batch_size) * kSize * kSize / elapsed_s / 1e6,
+         backend});
+  };
 
   std::printf("=== Batch throughput: hebs_exact, %d images (%dx%d), "
-              "D_max %.0f%% ===\n",
-              batch_size, kSize, kSize, kBudget);
+              "D_max %.0f%%, kernel backend %s ===\n",
+              batch_size, kSize, kSize, kBudget, backend.c_str());
 
   const auto t_serial = std::chrono::steady_clock::now();
   std::vector<core::HebsResult> serial;
@@ -508,6 +518,7 @@ int run_batch_report(int batch_size) {
   const double serial_s = seconds_since(t_serial);
   std::printf("  serial seed path     : %7.2f s  (%6.1f ms/image)\n",
               serial_s, 1000.0 * serial_s / batch_size);
+  record("serial-seed", serial_s);
 
   double engine1_s = 0.0;
   for (int threads : {1, 8}) {
@@ -518,6 +529,7 @@ int run_batch_report(int batch_size) {
     const auto batch = engine.process_batch(images, kBudget);
     const double elapsed = seconds_since(t);
     if (threads == 1) engine1_s = elapsed;
+    record("engine-" + std::to_string(threads) + "t", elapsed);
     std::printf("  engine, %d thread%s    : %7.2f s  (%6.1f ms/image)  "
                 "speedup %.2fx\n",
                 threads, threads == 1 ? " " : "s", elapsed,
@@ -537,6 +549,7 @@ int run_batch_report(int batch_size) {
   }
   std::printf("  caching win alone (1 thread): %.2fx\n\n",
               serial_s / engine1_s);
+  hebs::bench::write_bench_json("BENCH_pipeline.json", records);
   return 0;
 }
 

@@ -17,9 +17,13 @@
 //       Histogram statistics of an image.
 //   list-policies  (also: --list-policies anywhere)
 //       Prints the policy and metric registries.
+//   list-backends  (also: --list-backends anywhere)
+//       Prints the compiled-in SIMD kernel backends (active one marked).
 //
-// Unknown --policy/--metric names print the registry contents and exit
-// nonzero.
+// transform/batch also take --kernel-backend NAME to force a SIMD
+// backend (outputs are bit-identical across backends; only speed
+// changes).  Unknown --policy/--metric/--kernel-backend names print the
+// registry contents and exit nonzero.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -44,12 +48,15 @@ int usage() {
       "usage:\n"
       "  hebs_cli transform <in.pgm> <out.pgm> [--dmax P | --range R]\n"
       "           [--segments M] [--policy NAME] [--metric NAME]\n"
+      "           [--kernel-backend NAME]\n"
       "  hebs_cli characterize <curve.csv> [--size N]\n"
       "  hebs_cli apply-curve <in.pgm> <out.pgm> <curve.csv> --dmax P\n"
       "  hebs_cli batch <in1.pgm> [in2.pgm ...] [--dmax P] [--threads N]\n"
       "           [--policy NAME] [--metric NAME] [--out-prefix PFX]\n"
+      "           [--kernel-backend NAME]\n"
       "  hebs_cli info <in.pgm>\n"
-      "  hebs_cli list-policies\n");
+      "  hebs_cli list-policies\n"
+      "  hebs_cli list-backends\n");
   return 2;
 }
 
@@ -65,6 +72,15 @@ void print_registries(std::FILE* out) {
   }
 }
 
+void print_backends(std::FILE* out) {
+  const std::string active = KernelRegistry::active();
+  std::fprintf(out, "kernel backends:\n");
+  for (const RegistryEntry& e : KernelRegistry::entries()) {
+    std::fprintf(out, "%s %-8s %s\n", e.name == active ? "* " : "  ",
+                 e.name.c_str(), e.description.c_str());
+  }
+}
+
 /// Surfaces a facade error; unknown registry names additionally dump
 /// the registries so the fix is one copy/paste away.
 int fail(const Status& status) {
@@ -72,6 +88,9 @@ int fail(const Status& status) {
   if (status.code() == StatusCode::kUnknownPolicy ||
       status.code() == StatusCode::kUnknownMetric) {
     print_registries(stderr);
+  }
+  if (status.code() == StatusCode::kUnknownBackend) {
+    print_backends(stderr);
   }
   return 2;
 }
@@ -112,6 +131,8 @@ int cmd_transform(int argc, char** argv) {
       config.policy(argv[++i]);
     } else if (flag == "--metric" && i + 1 < argc) {
       config.metric(argv[++i]);
+    } else if (flag == "--kernel-backend" && i + 1 < argc) {
+      config.kernel_backend(argv[++i]);
     } else {
       return usage();
     }
@@ -211,6 +232,8 @@ int cmd_batch(int argc, char** argv) {
       config.metric(argv[++i]);
     } else if (flag == "--out-prefix" && i + 1 < argc) {
       out_prefix = argv[++i];
+    } else if (flag == "--kernel-backend" && i + 1 < argc) {
+      config.kernel_backend(argv[++i]);
     } else if (!flag.empty() && flag[0] == '-') {
       return usage();
     } else {
@@ -262,6 +285,10 @@ int main(int argc, char** argv) {
         print_registries(stdout);
         return 0;
       }
+      if (std::strcmp(argv[i], "--list-backends") == 0) {
+        print_backends(stdout);
+        return 0;
+      }
     }
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
@@ -272,6 +299,10 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "list-policies") {
       print_registries(stdout);
+      return 0;
+    }
+    if (cmd == "list-backends") {
+      print_backends(stdout);
       return 0;
     }
     return usage();

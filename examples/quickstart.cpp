@@ -9,6 +9,7 @@
 // multi-threaded batch over three frames.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -74,16 +75,24 @@ int main(int argc, char** argv) {
                 result->power.panel_watts);
     std::printf("  power saving        : %.2f %%\n", result->saving_percent);
 
-    // 5. Persist before/after for visual inspection.
-    hebs::image::write_pgm(img, "quickstart_original.pgm");
+    // 5. Persist before/after for visual inspection, under the system
+    //    temp directory so example runs never litter the source tree.
+    const std::filesystem::path out_dir =
+        std::filesystem::temp_directory_path() / "hebs_quickstart";
+    std::filesystem::create_directories(out_dir);
+    const std::string original_path =
+        (out_dir / "quickstart_original.pgm").string();
+    const std::string displayed_path =
+        (out_dir / "quickstart_displayed.pgm").string();
+    hebs::image::write_pgm(img, original_path);
     const hebs::OwnedImage& displayed = result->displayed;
     hebs::image::write_pgm(
         hebs::image::GrayImage::from_pixels(displayed.width(),
                                             displayed.height(),
                                             displayed.pixels()),
-        "quickstart_displayed.pgm");
-    std::printf("  wrote quickstart_original.pgm / "
-                "quickstart_displayed.pgm\n");
+        displayed_path);
+    std::printf("  wrote %s\n  wrote %s\n", original_path.c_str(),
+                displayed_path.c_str());
 
     // 6. Batch mode: the same search over many frames fans out over the
     //    session's thread pool (results are index-aligned and identical

@@ -43,6 +43,20 @@ class SessionConfig {
   }
   const std::string& metric() const noexcept { return metric_; }
 
+  /// SIMD kernel backend selected by KernelRegistry name ("scalar",
+  /// "sse42", "avx2", "neon").  Default "" = keep the current
+  /// process-global selection (auto-detected at startup, or forced via
+  /// the HEBS_FORCE_BACKEND environment variable).  Note the backend is
+  /// process-global: Session::create switches it for every session.
+  /// All backends are bit-identical, so this only affects speed.
+  SessionConfig& kernel_backend(std::string name) {
+    kernel_backend_ = std::move(name);
+    return *this;
+  }
+  const std::string& kernel_backend() const noexcept {
+    return kernel_backend_;
+  }
+
   // ------------------------------------------------- pipeline tunables
   /// PLC segment budget m, >= 1.  Default 8.
   SessionConfig& segments(int m) {
@@ -150,6 +164,7 @@ class SessionConfig {
  private:
   std::string policy_ = "hebs-exact";
   std::string metric_ = "uiqi-hvs";
+  std::string kernel_backend_;
   int segments_ = 8;
   int g_min_floor_ = 0;
   int min_range_ = 16;

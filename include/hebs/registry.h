@@ -43,4 +43,20 @@ class MetricRegistry {
   static bool contains(std::string_view name);
 };
 
+/// The SIMD kernel backends compiled into this build ("scalar" always;
+/// "sse42"/"avx2"/"neon" when the target architecture and compiler
+/// allow).  Backends are selectable via SessionConfig::kernel_backend
+/// or the HEBS_FORCE_BACKEND environment variable; entries whose ISA
+/// this machine lacks say so in their description and are rejected at
+/// Session::create.  Selection is process-global: every raster
+/// operation dispatches through the one active backend.
+class KernelRegistry {
+ public:
+  static const std::vector<RegistryEntry>& entries();
+  static std::vector<std::string> names();
+  static bool contains(std::string_view name);
+  /// Name of the backend currently dispatched to ("avx2", ...).
+  static std::string active();
+};
+
 }  // namespace hebs

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInvalidBudget,  ///< distortion budget outside [0, 100] percent
   kUnknownPolicy,  ///< policy name not present in the PolicyRegistry
   kUnknownMetric,  ///< metric name not present in the MetricRegistry
+  kUnknownBackend, ///< kernel backend name not usable on this machine
   kIoError,        ///< loading/saving an external resource failed
   kInternal,       ///< unexpected failure inside the library
 };

@@ -1,11 +1,10 @@
 #include "hebs/image_view.h"
 
-#include <cmath>
 #include <cstring>
 #include <string>
 
 #include "api/view_convert.h"
-#include "util/mathutil.h"
+#include "kernels/kernels.h"
 
 namespace hebs {
 
@@ -47,18 +46,14 @@ hebs::image::GrayImage materialize_gray(const ImageView& view) {
     }
     return out;
   }
-  // BT.601 luma, same arithmetic as image::RgbImage::to_luma so the
-  // two ingestion paths are bit-identical.
+  // BT.601 luma through the dispatched kernel — the same kernel
+  // image::RgbImage::to_luma runs, so the two ingestion paths are
+  // bit-identical.  Rows are packed RGB8 internally whatever the view
+  // stride, so each row is one kernel call.
+  const auto& kernels = hebs::kernels::active();
   for (int y = 0; y < view.height(); ++y) {
-    const std::uint8_t* row = view.row(y);
-    for (int x = 0; x < w; ++x) {
-      const std::uint8_t r = row[3 * x + 0];
-      const std::uint8_t g = row[3 * x + 1];
-      const std::uint8_t b = row[3 * x + 2];
-      const double luma = 0.299 * r + 0.587 * g + 0.114 * b;
-      out(x, y) = static_cast<std::uint8_t>(
-          util::clamp(std::round(luma), 0.0, 255.0));
-    }
+    kernels.luma_bt601_rgb8(view.row(y), static_cast<std::size_t>(w),
+                            &out(0, y));
   }
   return out;
 }

@@ -1,6 +1,7 @@
 #include "hebs/registry.h"
 
 #include "api/registry_internal.h"
+#include "kernels/kernels.h"
 
 namespace hebs::api {
 
@@ -119,5 +120,32 @@ std::vector<std::string> MetricRegistry::names() {
 bool MetricRegistry::contains(std::string_view name) {
   return api::find_metric(name) != nullptr;
 }
+
+const std::vector<RegistryEntry>& KernelRegistry::entries() {
+  static const std::vector<RegistryEntry> cached = [] {
+    std::vector<RegistryEntry> out;
+    for (const kernels::BackendInfo& info : kernels::backends()) {
+      std::string description = info.set->description;
+      if (!info.supported) description += " [not supported by this CPU]";
+      out.push_back({info.set->name, std::move(description)});
+    }
+    return out;
+  }();
+  return cached;
+}
+
+std::vector<std::string> KernelRegistry::names() {
+  std::vector<std::string> out;
+  for (const kernels::BackendInfo& info : kernels::backends()) {
+    out.push_back(info.set->name);
+  }
+  return out;
+}
+
+bool KernelRegistry::contains(std::string_view name) {
+  return kernels::find_backend(name) != nullptr;
+}
+
+std::string KernelRegistry::active() { return kernels::active().name; }
 
 }  // namespace hebs

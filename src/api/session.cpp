@@ -14,6 +14,7 @@
 #include "core/hebs.h"
 #include "core/video.h"
 #include "image/synthetic.h"
+#include "kernels/kernels.h"
 #include "pipeline/engine.h"
 #include "power/lcd_power.h"
 #include "util/error.h"
@@ -238,6 +239,29 @@ Expected<Session> Session::create(SessionConfig config) {
                   "no metric named \"" + config.metric() +
                       "\" is registered; see hebs::MetricRegistry");
   }
+  // Validate the requested kernel backend up front, but only switch the
+  // process-global selection once nothing else can fail — a failed
+  // create must leave the process state untouched.
+  const kernels::KernelSet* requested_backend = nullptr;
+  if (!config.kernel_backend().empty()) {
+    requested_backend = kernels::find_backend(config.kernel_backend());
+    if (requested_backend == nullptr) {
+      return Status(StatusCode::kUnknownBackend,
+                    "no kernel backend named \"" + config.kernel_backend() +
+                        "\" is compiled into this build; see "
+                        "hebs::KernelRegistry");
+    }
+    bool supported = false;
+    for (const kernels::BackendInfo& info : kernels::backends()) {
+      if (info.set == requested_backend) supported = info.supported;
+    }
+    if (!supported) {
+      return Status(StatusCode::kUnknownBackend,
+                    "kernel backend \"" + config.kernel_backend() +
+                        "\" is compiled in but not supported by this CPU; "
+                        "see hebs::KernelRegistry");
+    }
+  }
   auto impl = std::make_unique<Impl>(std::move(config), policy, metric);
   if (!impl->cfg.curve_path().empty()) {
     try {
@@ -247,6 +271,12 @@ Expected<Session> Session::create(SessionConfig config) {
                     "loading curve \"" + impl->cfg.curve_path() +
                         "\" failed: " + e.what());
     }
+  }
+  if (requested_backend != nullptr) {
+    // Backend selection is process-global (see SessionConfig docs);
+    // outputs are bit-identical across backends, so switching here only
+    // changes throughput, never results.  Validated above: cannot fail.
+    kernels::set_backend(requested_backend->name);
   }
   return Session(std::move(impl));
 }

@@ -11,6 +11,7 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kInvalidBudget: return "invalid-budget";
     case StatusCode::kUnknownPolicy: return "unknown-policy";
     case StatusCode::kUnknownMetric: return "unknown-metric";
+    case StatusCode::kUnknownBackend: return "unknown-backend";
     case StatusCode::kIoError: return "io-error";
     case StatusCode::kInternal: return "internal";
   }

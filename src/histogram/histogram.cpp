@@ -2,15 +2,15 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "util/error.h"
 
 namespace hebs::histogram {
 
 Histogram Histogram::from_image(const hebs::image::GrayImage& img) {
   Histogram h;
-  for (std::uint8_t p : img.pixels()) {
-    ++h.counts_[p];
-  }
+  kernels::active().histogram_u8(img.pixels().data(), img.size(),
+                                 h.counts_.data());
   h.total_ = img.size();
   return h;
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "histogram/histogram_ops.h"
+#include "kernels/kernels.h"
 #include "util/error.h"
 
 namespace hebs::histogram {
@@ -21,10 +22,24 @@ void StreamingHistogram::ingest(const hebs::image::GrayImage& frame) {
   std::array<double, Histogram::kBins> sample{};
   const auto pixels = frame.pixels();
   std::size_t sampled = 0;
-  for (std::size_t i = static_cast<std::size_t>(phase_); i < pixels.size();
-       i += static_cast<std::size_t>(opts_.decimation)) {
-    sample[pixels[i]] += 1.0;
-    ++sampled;
+  if (opts_.decimation == 1) {
+    // Undecimated ingest is an exact histogram: run the dispatched
+    // kernel and widen the integer counts (exact in double — repeated
+    // += 1.0 produces the same value bit for bit).
+    std::array<std::uint64_t, Histogram::kBins> counts{};
+    kernels::active().histogram_u8(pixels.data(), pixels.size(),
+                                   counts.data());
+    for (int i = 0; i < Histogram::kBins; ++i) {
+      sample[static_cast<std::size_t>(i)] =
+          static_cast<double>(counts[static_cast<std::size_t>(i)]);
+    }
+    sampled = pixels.size();
+  } else {
+    for (std::size_t i = static_cast<std::size_t>(phase_); i < pixels.size();
+         i += static_cast<std::size_t>(opts_.decimation)) {
+      sample[pixels[i]] += 1.0;
+      ++sampled;
+    }
   }
   // Rotate the phase so a static scene is fully covered over time.
   phase_ = (phase_ + 1) % opts_.decimation;

@@ -1,8 +1,10 @@
 #include "image/image.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "util/error.h"
 #include "util/mathutil.h"
 
@@ -39,9 +41,11 @@ GrayImage GrayImage::from_pixels(int width, int height,
 
 double GrayImage::mean() const noexcept {
   if (pixels_.empty()) return 0.0;
-  double acc = 0.0;
-  for (std::uint8_t p : pixels_) acc += p;
-  return acc / static_cast<double>(pixels_.size());
+  // The byte sum is exact in 64 bits, so the dispatched kernel is
+  // bit-identical to the old serial double accumulation.
+  const std::uint64_t acc =
+      kernels::active().sum_u8(pixels_.data(), pixels_.size());
+  return static_cast<double>(acc) / static_cast<double>(pixels_.size());
 }
 
 GrayImage::MinMax GrayImage::min_max() const noexcept {
@@ -66,11 +70,18 @@ double FloatImage::mean() const noexcept {
 }
 
 FloatImage FloatImage::from_gray(const GrayImage& g) {
+  // Normalization is a 256-entry table lookup; the table entries are
+  // the very same src/255 doubles the old per-pixel division produced.
+  static const auto norm = [] {
+    std::array<double, kLevels> t{};
+    for (int i = 0; i < kLevels; ++i) {
+      t[static_cast<std::size_t>(i)] = static_cast<double>(i) / kMaxPixel;
+    }
+    return t;
+  }();
   FloatImage out(g.width(), g.height());
-  const auto src = g.pixels();
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    out.values_[i] = static_cast<double>(src[i]) / kMaxPixel;
-  }
+  kernels::active().lut_apply_f64(g.pixels().data(), g.size(), norm.data(),
+                                  out.values_.data());
   return out;
 }
 
@@ -103,14 +114,8 @@ void RgbImage::set(int x, int y, Pixel p) noexcept {
 
 GrayImage RgbImage::to_luma() const {
   GrayImage out(width_, height_);
-  for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x) {
-      const Pixel p = get(x, y);
-      const double luma = 0.299 * p.r + 0.587 * p.g + 0.114 * p.b;
-      out(x, y) = static_cast<std::uint8_t>(
-          util::clamp(std::round(luma), 0.0, 255.0));
-    }
-  }
+  kernels::active().luma_bt601_rgb8(data_.data(), out.size(),
+                                    out.pixels().data());
   return out;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "kernels/kernels.h"
 #include "util/error.h"
 #include "util/mathutil.h"
 
@@ -63,20 +65,45 @@ GrayImage resize_bilinear(const GrayImage& img, int new_w, int new_h) {
       new_w > 1 ? static_cast<double>(img.width() - 1) / (new_w - 1) : 0.0;
   const double sy =
       new_h > 1 ? static_cast<double>(img.height() - 1) / (new_h - 1) : 0.0;
+
+  // Horizontal sample positions are the same for every output row;
+  // compute them once.
+  std::vector<int> xs0(static_cast<std::size_t>(new_w));
+  std::vector<int> xs1(static_cast<std::size_t>(new_w));
+  std::vector<double> wxs(static_cast<std::size_t>(new_w));
+  for (int x = 0; x < new_w; ++x) {
+    const double fx = x * sx;
+    const int x0 = static_cast<int>(std::floor(fx));
+    xs0[static_cast<std::size_t>(x)] = x0;
+    xs1[static_cast<std::size_t>(x)] = std::min(x0 + 1, img.width() - 1);
+    wxs[static_cast<std::size_t>(x)] = fx - x0;
+  }
+
+  // Per output row: gather-lerp the two source rows horizontally, then
+  // blend them vertically as one elementwise pass through the kernel
+  // layer.  lerp(top, bottom, wy) = top + wy*(bottom - top), built from
+  // a (-1)-saxpy (exact negation) and a wy-saxpy, so every pixel sees
+  // exactly the arithmetic of the old scalar triple-lerp.
+  const auto& kernels = hebs::kernels::active();
+  std::vector<double> top(static_cast<std::size_t>(new_w));
+  std::vector<double> bottom(static_cast<std::size_t>(new_w));
+  std::vector<double> diff(static_cast<std::size_t>(new_w));
   for (int y = 0; y < new_h; ++y) {
     const double fy = y * sy;
     const int y0 = static_cast<int>(std::floor(fy));
     const int y1 = std::min(y0 + 1, img.height() - 1);
     const double wy = fy - y0;
     for (int x = 0; x < new_w; ++x) {
-      const double fx = x * sx;
-      const int x0 = static_cast<int>(std::floor(fx));
-      const int x1 = std::min(x0 + 1, img.width() - 1);
-      const double wx = fx - x0;
-      const double top = util::lerp(img(x0, y0), img(x1, y0), wx);
-      const double bottom = util::lerp(img(x0, y1), img(x1, y1), wx);
-      out(x, y) = static_cast<std::uint8_t>(
-          std::lround(util::clamp(util::lerp(top, bottom, wy), 0.0, 255.0)));
+      const std::size_t i = static_cast<std::size_t>(x);
+      top[i] = util::lerp(img(xs0[i], y0), img(xs1[i], y0), wxs[i]);
+      bottom[i] = util::lerp(img(xs0[i], y1), img(xs1[i], y1), wxs[i]);
+    }
+    diff = bottom;
+    kernels.saxpy_f64(-1.0, top.data(), diff.data(), diff.size());
+    kernels.saxpy_f64(wy, diff.data(), top.data(), top.size());
+    for (int x = 0; x < new_w; ++x) {
+      out(x, y) = static_cast<std::uint8_t>(std::lround(
+          util::clamp(top[static_cast<std::size_t>(x)], 0.0, 255.0)));
     }
   }
   return out;

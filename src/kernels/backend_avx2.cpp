@@ -1,0 +1,265 @@
+// AVX2 backend: 256-bit lanes (4 doubles / 32 bytes per op).
+//
+// Compiled with -mavx2 in its own TU; reachable only through
+// kernels::active() after runtime CPUID detection.  Techniques:
+//   * histogram: eight independent sub-tables plus a 32-byte
+//     uniform-run shortcut (breaks the same-bin store-to-load
+//     dependency chains; integer, bit-exact);
+//   * 8-bit LUT: 16-way VPSHUFB decomposition with block-local range
+//     pruning — the 256-entry table splits into sixteen 16-byte chunks
+//     selected by each byte's high nibble, and a 128-pixel block only
+//     visits the chunks its byte min/max admits (locally smooth content
+//     usually needs one or two);
+//   * luma: 4 pixels per iteration in double lanes, same mul/add
+//     association as the scalar reference (no FMA contraction);
+//   * byte sums: VPSADBW against zero.
+#if defined(HEBS_KERNELS_ENABLE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "kernels/kernels.h"
+#include "kernels/kernels_ref.h"
+#include "kernels/kernels_tuned.h"
+
+namespace hebs::kernels {
+
+namespace {
+
+void histogram_u8_avx2(const std::uint8_t* src, std::size_t n,
+                       std::uint64_t* counts) {
+  tuned::histogram_u8_runs<32>(src, n, counts, [](const std::uint8_t* p) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    const __m256i first = _mm256_set1_epi8(static_cast<char>(p[0]));
+    const int mask = _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, first));
+    return mask == -1 ? static_cast<int>(p[0]) : -1;
+  });
+}
+
+/// Smallest/largest byte across four 256-bit vectors, via lane folds.
+inline void minmax_epu8_4(__m256i v0, __m256i v1, __m256i v2, __m256i v3,
+                          int* out_min, int* out_max) {
+  const __m256i mn256 =
+      _mm256_min_epu8(_mm256_min_epu8(v0, v1), _mm256_min_epu8(v2, v3));
+  const __m256i mx256 =
+      _mm256_max_epu8(_mm256_max_epu8(v0, v1), _mm256_max_epu8(v2, v3));
+  __m128i mn = _mm_min_epu8(_mm256_castsi256_si128(mn256),
+                            _mm256_extracti128_si256(mn256, 1));
+  __m128i mx = _mm_max_epu8(_mm256_castsi256_si128(mx256),
+                            _mm256_extracti128_si256(mx256, 1));
+  mn = _mm_min_epu8(mn, _mm_srli_si128(mn, 8));
+  mn = _mm_min_epu8(mn, _mm_srli_si128(mn, 4));
+  mn = _mm_min_epu8(mn, _mm_srli_si128(mn, 2));
+  mn = _mm_min_epu8(mn, _mm_srli_si128(mn, 1));
+  mx = _mm_max_epu8(mx, _mm_srli_si128(mx, 8));
+  mx = _mm_max_epu8(mx, _mm_srli_si128(mx, 4));
+  mx = _mm_max_epu8(mx, _mm_srli_si128(mx, 2));
+  mx = _mm_max_epu8(mx, _mm_srli_si128(mx, 1));
+  *out_min = _mm_cvtsi128_si32(mn) & 0xFF;
+  *out_max = _mm_cvtsi128_si32(mx) & 0xFF;
+}
+
+void lut_apply_u8_avx2(const std::uint8_t* src, std::size_t n,
+                       const std::uint8_t* lut, std::uint8_t* dst) {
+  if (n < 128) {
+    ref::lut_apply_u8(src, n, lut, dst);
+    return;
+  }
+  // 16-way VPSHUFB decomposition with block-local range pruning: the
+  // 256-entry table splits into sixteen 16-byte chunks selected by each
+  // byte's high nibble.  Image content is locally smooth, so a 128-px
+  // block usually spans only a few high nibbles — the block's byte
+  // min/max bounds which chunk selects can match, and the rest are
+  // skipped.  Each byte matches exactly one chunk, so the blend order
+  // is irrelevant and the result equals the scalar lookup exactly.
+  __m256i chunks[16];
+  for (int j = 0; j < 16; ++j) {
+    chunks[j] = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lut + 16 * j)));
+  }
+  const __m256i nibble = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    __m256i vs[4];
+    for (int q = 0; q < 4; ++q) {
+      vs[q] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(src + i + 32 * q));
+    }
+    int mn = 0;
+    int mx = 0;
+    minmax_epu8_4(vs[0], vs[1], vs[2], vs[3], &mn, &mx);
+    const int jlo = mn >> 4;
+    const int jhi = mx >> 4;
+    for (int q = 0; q < 4; ++q) {
+      const __m256i lo = _mm256_and_si256(vs[q], nibble);
+      const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(vs[q], 4), nibble);
+      __m256i acc = _mm256_shuffle_epi8(chunks[jlo], lo);
+      for (int j = jlo + 1; j <= jhi; ++j) {
+        const __m256i mask =
+            _mm256_cmpeq_epi8(hi, _mm256_set1_epi8(static_cast<char>(j)));
+        acc = _mm256_blendv_epi8(acc, _mm256_shuffle_epi8(chunks[j], lo),
+                                 mask);
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32 * q), acc);
+    }
+  }
+  if (i < n) ref::lut_apply_u8(src + i, n - i, lut, dst + i);
+}
+
+void luma_bt601_rgb8_avx2(const std::uint8_t* rgb, std::size_t n,
+                          std::uint8_t* dst) {
+  const __m256d cr = _mm256_set1_pd(0.299);
+  const __m256d cg = _mm256_set1_pd(0.587);
+  const __m256d cb = _mm256_set1_pd(0.114);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d lo = _mm256_setzero_pd();
+  const __m256d hi = _mm256_set1_pd(255.0);
+  const __m128i pack =
+      _mm_setr_epi8(0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+                    -1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint8_t* p = rgb + 3 * i;
+    const __m256d r = _mm256_setr_pd(p[0], p[3], p[6], p[9]);
+    const __m256d g = _mm256_setr_pd(p[1], p[4], p[7], p[10]);
+    const __m256d b = _mm256_setr_pd(p[2], p[5], p[8], p[11]);
+    __m256d l = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(r, cr), _mm256_mul_pd(g, cg)),
+        _mm256_mul_pd(b, cb));
+    // floor(x + 0.5) == round-half-away over the whole BT.601 domain
+    // (verified exhaustively in the parity test).
+    l = _mm256_floor_pd(_mm256_add_pd(l, half));
+    l = _mm256_min_pd(_mm256_max_pd(l, lo), hi);
+    const __m128i q = _mm256_cvtpd_epi32(l);  // values integral: exact
+    const int packed = _mm_cvtsi128_si32(_mm_shuffle_epi8(q, pack));
+    std::memcpy(dst + i, &packed, 4);
+  }
+  if (i < n) ref::luma_bt601_rgb8(rgb + 3 * i, n - i, dst + i);
+}
+
+std::uint64_t sum_u8_avx2(const std::uint8_t* src, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(v, zero));
+  }
+  const __m128i lo128 = _mm256_castsi256_si128(acc);
+  const __m128i hi128 = _mm256_extracti128_si256(acc, 1);
+  std::uint64_t total =
+      static_cast<std::uint64_t>(_mm_extract_epi64(lo128, 0)) +
+      static_cast<std::uint64_t>(_mm_extract_epi64(lo128, 1)) +
+      static_cast<std::uint64_t>(_mm_extract_epi64(hi128, 0)) +
+      static_cast<std::uint64_t>(_mm_extract_epi64(hi128, 1));
+  return total + ref::sum_u8(src + i, n - i);
+}
+
+// f64 LUT gathers were measured slower than the scalar two-load loop
+// on this generation's VPGATHERDPD (the table lives in L1 either way),
+// so the f64 lookup stays on the reference loop.
+
+void mul_f64_avx2(const double* a, const double* b, double* dst,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        dst + i, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  if (i < n) ref::mul_f64(a + i, b + i, dst + i, n - i);
+}
+
+void saxpy_f64_avx2(double a, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  if (i < n) ref::saxpy_f64(a, x + i, y + i, n - i);
+}
+
+void blur_row_f64_avx2(const double* src, double* dst, int w,
+                       const double* taps, int radius) {
+  const int x_lo = std::min(radius, w);
+  const int x_hi = std::max(x_lo, w - radius);
+  for (int x = 0; x < x_lo; ++x) {
+    dst[x] = ref::blur_row_one(src, w, x, taps, radius);
+  }
+  int x = x_lo;
+  for (; x + 4 <= x_hi; x += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    const double* in = src + x - radius;
+    for (int k = 0; k <= 2 * radius; ++k) {
+      acc = _mm256_add_pd(
+          acc, _mm256_mul_pd(_mm256_set1_pd(taps[k]), _mm256_loadu_pd(in + k)));
+    }
+    _mm256_storeu_pd(dst + x, acc);
+  }
+  for (; x < x_hi; ++x) {
+    double acc = 0.0;
+    const double* in = src + x - radius;
+    for (int k = 0; k <= 2 * radius; ++k) acc += taps[k] * in[k];
+    dst[x] = acc;
+  }
+  for (x = x_hi; x < w; ++x) {
+    dst[x] = ref::blur_row_one(src, w, x, taps, radius);
+  }
+}
+
+void blur_col_f64_avx2(const double* src, int w, int h, int y,
+                       const double* taps, int radius, double* out_row) {
+  const bool interior = y >= radius && y + radius < h;
+  int x = 0;
+  for (; x + 4 <= w; x += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (int k = 0; k <= 2 * radius; ++k) {
+      const int yy = interior ? y + k - radius
+                              : std::clamp(y + k - radius, 0, h - 1);
+      acc = _mm256_add_pd(
+          acc,
+          _mm256_mul_pd(_mm256_set1_pd(taps[k]),
+                        _mm256_loadu_pd(src + static_cast<std::size_t>(yy) * w +
+                                        x)));
+    }
+    _mm256_storeu_pd(out_row + x, acc);
+  }
+  for (; x < w; ++x) {
+    double acc = 0.0;
+    for (int k = 0; k <= 2 * radius; ++k) {
+      const int yy = interior ? y + k - radius
+                              : std::clamp(y + k - radius, 0, h - 1);
+      acc += taps[k] * src[static_cast<std::size_t>(yy) * w + x];
+    }
+    out_row[x] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelSet* kernelset_avx2() {
+  static const KernelSet set = {
+      "avx2",
+      "AVX2: 256-bit lanes, range-pruned VPSHUFB LUT, SAD sums",
+      &histogram_u8_avx2,
+      &lut_apply_u8_avx2,
+      &luma_bt601_rgb8_avx2,
+      &sum_u8_avx2,
+      &ref::lut_apply_f64,
+      &mul_f64_avx2,
+      &saxpy_f64_avx2,
+      &blur_row_f64_avx2,
+      &blur_col_f64_avx2,
+      &ref::sum_f64,
+      &ref::prefix_row_f64,
+      &ref::window_sums_single_f64,
+      &ref::window_sums_pair_f64,
+  };
+  return &set;
+}
+
+}  // namespace hebs::kernels
+
+#endif  // HEBS_KERNELS_ENABLE_AVX2 && __AVX2__

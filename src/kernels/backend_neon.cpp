@@ -1,0 +1,169 @@
+// NEON (AArch64 AdvSIMD) backend: 128-bit lanes, 2 doubles per op.
+//
+// AdvSIMD is architecturally mandatory on AArch64, so this backend is
+// always supported where it is compiled.  Float kernels issue the same
+// IEEE mul/add sequence per element as the scalar reference (vmul/vadd,
+// never vfma), and FRINTA implements exactly std::round's
+// ties-away-from-zero, so outputs are bit-identical to scalar.
+#if defined(HEBS_KERNELS_ENABLE_NEON) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "kernels/kernels.h"
+#include "kernels/kernels_ref.h"
+#include "kernels/kernels_tuned.h"
+
+namespace hebs::kernels {
+
+namespace {
+
+void histogram_u8_neon(const std::uint8_t* src, std::size_t n,
+                       std::uint64_t* counts) {
+  tuned::histogram_u8_runs<16>(src, n, counts, [](const std::uint8_t* p) {
+    const uint8x16_t v = vld1q_u8(p);
+    const std::uint8_t lo = vminvq_u8(v);
+    const std::uint8_t hi = vmaxvq_u8(v);
+    return lo == hi ? static_cast<int>(lo) : -1;
+  });
+}
+
+void luma_bt601_rgb8_neon(const std::uint8_t* rgb, std::size_t n,
+                          std::uint8_t* dst) {
+  const float64x2_t cr = vdupq_n_f64(0.299);
+  const float64x2_t cg = vdupq_n_f64(0.587);
+  const float64x2_t cb = vdupq_n_f64(0.114);
+  const float64x2_t lo = vdupq_n_f64(0.0);
+  const float64x2_t hi = vdupq_n_f64(255.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const std::uint8_t* p = rgb + 3 * i;
+    const float64x2_t r = vsetq_lane_f64(
+        static_cast<double>(p[3]),
+        vdupq_n_f64(static_cast<double>(p[0])), 1);
+    const float64x2_t g = vsetq_lane_f64(
+        static_cast<double>(p[4]),
+        vdupq_n_f64(static_cast<double>(p[1])), 1);
+    const float64x2_t b = vsetq_lane_f64(
+        static_cast<double>(p[5]),
+        vdupq_n_f64(static_cast<double>(p[2])), 1);
+    // ((0.299 r) + (0.587 g)) + (0.114 b), the scalar association.
+    float64x2_t l =
+        vaddq_f64(vaddq_f64(vmulq_f64(r, cr), vmulq_f64(g, cg)),
+                  vmulq_f64(b, cb));
+    l = vrndaq_f64(l);  // FRINTA: ties away from zero == std::round
+    l = vminq_f64(vmaxq_f64(l, lo), hi);
+    dst[i] = static_cast<std::uint8_t>(vgetq_lane_f64(l, 0));
+    dst[i + 1] = static_cast<std::uint8_t>(vgetq_lane_f64(l, 1));
+  }
+  if (i < n) ref::luma_bt601_rgb8(rgb + 3 * i, n - i, dst + i);
+}
+
+std::uint64_t sum_u8_neon(const std::uint8_t* src, std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    total += vaddlvq_u8(vld1q_u8(src + i));
+  }
+  return total + ref::sum_u8(src + i, n - i);
+}
+
+void mul_f64_neon(const double* a, const double* b, double* dst,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(dst + i, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+  if (i < n) ref::mul_f64(a + i, b + i, dst + i, n - i);
+}
+
+void saxpy_f64_neon(double a, const double* x, double* y, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(a);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t prod = vmulq_f64(va, vld1q_f64(x + i));
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), prod));
+  }
+  if (i < n) ref::saxpy_f64(a, x + i, y + i, n - i);
+}
+
+void blur_row_f64_neon(const double* src, double* dst, int w,
+                       const double* taps, int radius) {
+  const int x_lo = std::min(radius, w);
+  const int x_hi = std::max(x_lo, w - radius);
+  for (int x = 0; x < x_lo; ++x) {
+    dst[x] = ref::blur_row_one(src, w, x, taps, radius);
+  }
+  int x = x_lo;
+  for (; x + 2 <= x_hi; x += 2) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    const double* in = src + x - radius;
+    for (int k = 0; k <= 2 * radius; ++k) {
+      acc = vaddq_f64(acc, vmulq_f64(vdupq_n_f64(taps[k]),
+                                     vld1q_f64(in + k)));
+    }
+    vst1q_f64(dst + x, acc);
+  }
+  for (; x < x_hi; ++x) {
+    double acc = 0.0;
+    const double* in = src + x - radius;
+    for (int k = 0; k <= 2 * radius; ++k) acc += taps[k] * in[k];
+    dst[x] = acc;
+  }
+  for (x = x_hi; x < w; ++x) {
+    dst[x] = ref::blur_row_one(src, w, x, taps, radius);
+  }
+}
+
+void blur_col_f64_neon(const double* src, int w, int h, int y,
+                       const double* taps, int radius, double* out_row) {
+  const bool interior = y >= radius && y + radius < h;
+  int x = 0;
+  for (; x + 2 <= w; x += 2) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (int k = 0; k <= 2 * radius; ++k) {
+      const int yy = interior ? y + k - radius
+                              : std::clamp(y + k - radius, 0, h - 1);
+      acc = vaddq_f64(
+          acc, vmulq_f64(vdupq_n_f64(taps[k]),
+                         vld1q_f64(src + static_cast<std::size_t>(yy) * w +
+                                   x)));
+    }
+    vst1q_f64(out_row + x, acc);
+  }
+  for (; x < w; ++x) {
+    double acc = 0.0;
+    for (int k = 0; k <= 2 * radius; ++k) {
+      const int yy = interior ? y + k - radius
+                              : std::clamp(y + k - radius, 0, h - 1);
+      acc += taps[k] * src[static_cast<std::size_t>(yy) * w + x];
+    }
+    out_row[x] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelSet* kernelset_neon() {
+  static const KernelSet set = {
+      "neon",
+      "AArch64 AdvSIMD: 128-bit lanes, FRINTA rounding, ADDLV byte sums",
+      &histogram_u8_neon,
+      &ref::lut_apply_u8,
+      &luma_bt601_rgb8_neon,
+      &sum_u8_neon,
+      &ref::lut_apply_f64,
+      &mul_f64_neon,
+      &saxpy_f64_neon,
+      &blur_row_f64_neon,
+      &blur_col_f64_neon,
+      &ref::sum_f64,
+      &ref::prefix_row_f64,
+      &ref::window_sums_single_f64,
+      &ref::window_sums_pair_f64,
+  };
+  return &set;
+}
+
+}  // namespace hebs::kernels
+
+#endif  // HEBS_KERNELS_ENABLE_NEON && __aarch64__

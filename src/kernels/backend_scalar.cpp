@@ -1,0 +1,30 @@
+// The scalar backend: the reference KernelSet every other backend is
+// measured and parity-tested against.  Always compiled, always
+// supported.
+#include "kernels/kernels.h"
+#include "kernels/kernels_ref.h"
+
+namespace hebs::kernels {
+
+const KernelSet* kernelset_scalar() {
+  static const KernelSet set = {
+      "scalar",
+      "portable reference loops (the bit-exactness baseline)",
+      &ref::histogram_u8,
+      &ref::lut_apply_u8,
+      &ref::luma_bt601_rgb8,
+      &ref::sum_u8,
+      &ref::lut_apply_f64,
+      &ref::mul_f64,
+      &ref::saxpy_f64,
+      &ref::blur_row_f64,
+      &ref::blur_col_f64,
+      &ref::sum_f64,
+      &ref::prefix_row_f64,
+      &ref::window_sums_single_f64,
+      &ref::window_sums_pair_f64,
+  };
+  return &set;
+}
+
+}  // namespace hebs::kernels

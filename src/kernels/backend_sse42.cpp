@@ -1,0 +1,173 @@
+// SSE4.2 backend: 128-bit lanes (2 doubles / 16 bytes per op).
+//
+// This TU is compiled with -msse4.2 while the rest of the library stays
+// at the baseline ISA; it must therefore contain no code reachable
+// without a runtime dispatch through kernels::active().  Float kernels
+// issue the same IEEE mul/add sequence per element as the scalar
+// reference (intrinsics are never contracted into FMA), so outputs are
+// bit-identical.
+#if defined(HEBS_KERNELS_ENABLE_SSE42) && defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+
+#include "kernels/kernels.h"
+#include "kernels/kernels_ref.h"
+#include "kernels/kernels_tuned.h"
+
+namespace hebs::kernels {
+
+namespace {
+
+void histogram_u8_sse42(const std::uint8_t* src, std::size_t n,
+                        std::uint64_t* counts) {
+  tuned::histogram_u8_runs<16>(src, n, counts, [](const std::uint8_t* p) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const __m128i first = _mm_set1_epi8(static_cast<char>(p[0]));
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(v, first));
+    return mask == 0xFFFF ? static_cast<int>(p[0]) : -1;
+  });
+}
+
+void luma_bt601_rgb8_sse42(const std::uint8_t* rgb, std::size_t n,
+                           std::uint8_t* dst) {
+  const __m128d cr = _mm_set1_pd(0.299);
+  const __m128d cg = _mm_set1_pd(0.587);
+  const __m128d cb = _mm_set1_pd(0.114);
+  const __m128d half = _mm_set1_pd(0.5);
+  const __m128d lo = _mm_setzero_pd();
+  const __m128d hi = _mm_set1_pd(255.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const std::uint8_t* p = rgb + 3 * i;
+    const __m128d r = _mm_setr_pd(p[0], p[3]);
+    const __m128d g = _mm_setr_pd(p[1], p[4]);
+    const __m128d b = _mm_setr_pd(p[2], p[5]);
+    // ((0.299 r) + (0.587 g)) + (0.114 b), the scalar association.
+    __m128d l = _mm_add_pd(_mm_add_pd(_mm_mul_pd(r, cr), _mm_mul_pd(g, cg)),
+                           _mm_mul_pd(b, cb));
+    // round-half-away == floor(x + 0.5) for every BT.601 luma value
+    // (proven exhaustively over all 2^24 RGB inputs in the parity test).
+    l = _mm_floor_pd(_mm_add_pd(l, half));
+    l = _mm_min_pd(_mm_max_pd(l, lo), hi);
+    const __m128i q = _mm_cvtpd_epi32(l);  // values integral: exact
+    dst[i] = static_cast<std::uint8_t>(_mm_cvtsi128_si32(q));
+    dst[i + 1] = static_cast<std::uint8_t>(_mm_extract_epi32(q, 1));
+  }
+  if (i < n) ref::luma_bt601_rgb8(rgb + 3 * i, n - i, dst + i);
+}
+
+std::uint64_t sum_u8_sse42(const std::uint8_t* src, std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(v, zero));
+  }
+  std::uint64_t total = static_cast<std::uint64_t>(_mm_extract_epi64(acc, 0)) +
+                        static_cast<std::uint64_t>(_mm_extract_epi64(acc, 1));
+  return total + ref::sum_u8(src + i, n - i);
+}
+
+void mul_f64_sse42(const double* a, const double* b, double* dst,
+                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(dst + i,
+                  _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+  }
+  if (i < n) ref::mul_f64(a + i, b + i, dst + i, n - i);
+}
+
+void saxpy_f64_sse42(double a, const double* x, double* y, std::size_t n) {
+  const __m128d va = _mm_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d prod = _mm_mul_pd(va, _mm_loadu_pd(x + i));
+    _mm_storeu_pd(y + i, _mm_add_pd(_mm_loadu_pd(y + i), prod));
+  }
+  if (i < n) ref::saxpy_f64(a, x + i, y + i, n - i);
+}
+
+void blur_row_f64_sse42(const double* src, double* dst, int w,
+                        const double* taps, int radius) {
+  const int x_lo = std::min(radius, w);
+  const int x_hi = std::max(x_lo, w - radius);
+  for (int x = 0; x < x_lo; ++x) {
+    dst[x] = ref::blur_row_one(src, w, x, taps, radius);
+  }
+  int x = x_lo;
+  for (; x + 2 <= x_hi; x += 2) {
+    __m128d acc = _mm_setzero_pd();
+    const double* in = src + x - radius;
+    for (int k = 0; k <= 2 * radius; ++k) {
+      acc = _mm_add_pd(acc, _mm_mul_pd(_mm_set1_pd(taps[k]),
+                                       _mm_loadu_pd(in + k)));
+    }
+    _mm_storeu_pd(dst + x, acc);
+  }
+  for (; x < x_hi; ++x) {
+    double acc = 0.0;
+    const double* in = src + x - radius;
+    for (int k = 0; k <= 2 * radius; ++k) acc += taps[k] * in[k];
+    dst[x] = acc;
+  }
+  for (x = x_hi; x < w; ++x) {
+    dst[x] = ref::blur_row_one(src, w, x, taps, radius);
+  }
+}
+
+void blur_col_f64_sse42(const double* src, int w, int h, int y,
+                        const double* taps, int radius, double* out_row) {
+  const bool interior = y >= radius && y + radius < h;
+  int x = 0;
+  for (; x + 2 <= w; x += 2) {
+    __m128d acc = _mm_setzero_pd();
+    for (int k = 0; k <= 2 * radius; ++k) {
+      const int yy = interior ? y + k - radius
+                              : std::clamp(y + k - radius, 0, h - 1);
+      acc = _mm_add_pd(
+          acc, _mm_mul_pd(_mm_set1_pd(taps[k]),
+                          _mm_loadu_pd(src + static_cast<std::size_t>(yy) * w +
+                                       x)));
+    }
+    _mm_storeu_pd(out_row + x, acc);
+  }
+  for (; x < w; ++x) {
+    double acc = 0.0;
+    for (int k = 0; k <= 2 * radius; ++k) {
+      const int yy = interior ? y + k - radius
+                              : std::clamp(y + k - radius, 0, h - 1);
+      acc += taps[k] * src[static_cast<std::size_t>(yy) * w + x];
+    }
+    out_row[x] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelSet* kernelset_sse42() {
+  static const KernelSet set = {
+      "sse42",
+      "SSE4.2: 128-bit float lanes, SAD byte sums, sub-table histograms",
+      &histogram_u8_sse42,
+      &ref::lut_apply_u8,
+      &luma_bt601_rgb8_sse42,
+      &sum_u8_sse42,
+      &ref::lut_apply_f64,
+      &mul_f64_sse42,
+      &saxpy_f64_sse42,
+      &blur_row_f64_sse42,
+      &blur_col_f64_sse42,
+      &ref::sum_f64,
+      &ref::prefix_row_f64,
+      &ref::window_sums_single_f64,
+      &ref::window_sums_pair_f64,
+  };
+  return &set;
+}
+
+}  // namespace hebs::kernels
+
+#endif  // HEBS_KERNELS_ENABLE_SSE42 && __SSE4_2__

@@ -1,0 +1,127 @@
+// Backend registry, CPU feature detection and startup selection.
+//
+// The table of compiled-in backends is fixed at build time (CMake
+// defines HEBS_KERNELS_ENABLE_* for every backend whose -m flags the
+// compiler accepted on this architecture); which of them this machine
+// can actually run is decided once at process start.  Selection order:
+//   1. HEBS_FORCE_BACKEND, when it names a compiled, supported backend
+//      (anything else warns on stderr and falls through);
+//   2. the widest supported backend in registration order.
+// SessionConfig::kernel_backend later funnels into set_backend().
+#include "kernels/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace hebs::kernels {
+
+const KernelSet* kernelset_scalar();
+#ifdef HEBS_KERNELS_ENABLE_SSE42
+const KernelSet* kernelset_sse42();
+#endif
+#ifdef HEBS_KERNELS_ENABLE_AVX2
+const KernelSet* kernelset_avx2();
+#endif
+#ifdef HEBS_KERNELS_ENABLE_NEON
+const KernelSet* kernelset_neon();
+#endif
+
+namespace {
+
+bool cpu_supports(std::string_view name) {
+  if (name == "scalar") return true;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  if (name == "sse42") return __builtin_cpu_supports("sse4.2") != 0;
+  if (name == "avx2") return __builtin_cpu_supports("avx2") != 0;
+#endif
+#if defined(__aarch64__)
+  // NEON (AdvSIMD) is an architectural requirement of AArch64.
+  if (name == "neon") return true;
+#endif
+  return false;
+}
+
+const std::vector<BackendInfo>& backend_table() {
+  static const std::vector<BackendInfo> table = [] {
+    std::vector<BackendInfo> t;
+    const auto add = [&t](const KernelSet* set) {
+      t.push_back({set, cpu_supports(set->name)});
+    };
+    add(kernelset_scalar());
+#ifdef HEBS_KERNELS_ENABLE_SSE42
+    add(kernelset_sse42());
+#endif
+#ifdef HEBS_KERNELS_ENABLE_AVX2
+    add(kernelset_avx2());
+#endif
+#ifdef HEBS_KERNELS_ENABLE_NEON
+    add(kernelset_neon());
+#endif
+    return t;
+  }();
+  return table;
+}
+
+const KernelSet* best_supported() {
+  const KernelSet* best = kernelset_scalar();
+  for (const BackendInfo& info : backend_table()) {
+    if (info.supported) best = info.set;
+  }
+  return best;
+}
+
+const KernelSet* startup_selection() {
+  const char* forced = std::getenv("HEBS_FORCE_BACKEND");
+  if (forced != nullptr && forced[0] != '\0') {
+    const KernelSet* set = find_backend(forced);
+    if (set == nullptr) {
+      std::fprintf(stderr,
+                   "hebs: HEBS_FORCE_BACKEND=%s names no compiled-in kernel "
+                   "backend; using auto-detection\n",
+                   forced);
+    } else if (!cpu_supports(set->name)) {
+      std::fprintf(stderr,
+                   "hebs: HEBS_FORCE_BACKEND=%s is not supported by this "
+                   "CPU; using auto-detection\n",
+                   forced);
+    } else {
+      return set;
+    }
+  }
+  return best_supported();
+}
+
+std::atomic<const KernelSet*>& active_slot() {
+  static std::atomic<const KernelSet*> slot{startup_selection()};
+  return slot;
+}
+
+}  // namespace
+
+std::span<const BackendInfo> backends() { return backend_table(); }
+
+const KernelSet* find_backend(std::string_view name) {
+  for (const BackendInfo& info : backend_table()) {
+    if (name == info.set->name) return info.set;
+  }
+  return nullptr;
+}
+
+const KernelSet& scalar_kernels() { return *kernelset_scalar(); }
+
+const KernelSet& active() {
+  return *active_slot().load(std::memory_order_relaxed);
+}
+
+SetBackendResult set_backend(std::string_view name) {
+  const KernelSet* set = find_backend(name);
+  if (set == nullptr) return SetBackendResult::kUnknownBackend;
+  if (!cpu_supports(set->name)) return SetBackendResult::kUnsupportedBackend;
+  active_slot().store(set, std::memory_order_relaxed);
+  return SetBackendResult::kOk;
+}
+
+}  // namespace hebs::kernels

@@ -1,0 +1,127 @@
+// SIMD kernel subsystem: runtime-dispatched per-pixel primitives.
+//
+// Every per-pixel inner loop the pipeline runs — histogram accumulation,
+// LUT application, BT.601 luma extraction, integral-image window sums,
+// Gaussian blur rows/columns, elementwise float ops — is reached through
+// a `KernelSet` vtable.  One set per backend (scalar, SSE4.2, AVX2,
+// NEON); the backend is chosen once at startup from CPU feature
+// detection, overridable through the HEBS_FORCE_BACKEND environment
+// variable and SessionConfig::kernel_backend.
+//
+// Output contract (enforced by the parity fuzz test):
+//   * integer kernels are bit-identical across every backend;
+//   * float kernels perform the same IEEE-754 operations per element in
+//     the same order as the scalar reference, so they are bit-identical
+//     too.  Kernels whose speed would require reassociating a serial
+//     accumulation (sum_f64, prefix_row_f64, the window_sums_* integral
+//     rows) are pinned to the scalar accumulation order instead — the
+//     pipeline's bit-exactness guarantees (engine vs. frozen seed path,
+//     percent-mapped vs. uiqi-hvs) depend on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace hebs::kernels {
+
+/// Dispatch table of the per-pixel hot-path primitives.  All pointers
+/// are non-null in every registered set.
+struct KernelSet {
+  const char* name;         ///< registry key ("scalar", "sse42", ...)
+  const char* description;  ///< one-line summary for --list-backends
+
+  // ------------------------------------------------- integer kernels
+  /// counts[v] += number of occurrences of v in src[0..n)
+  /// (256 bins; counts is accumulated into, not cleared).
+  void (*histogram_u8)(const std::uint8_t* src, std::size_t n,
+                       std::uint64_t* counts);
+  /// dst[i] = lut[src[i]] for a 256-entry 8-bit table.
+  void (*lut_apply_u8)(const std::uint8_t* src, std::size_t n,
+                       const std::uint8_t* lut, std::uint8_t* dst);
+  /// ITU-R BT.601 luma of n interleaved RGB8 pixels:
+  /// dst[i] = clamp(round(0.299 R + 0.587 G + 0.114 B), 0, 255).
+  void (*luma_bt601_rgb8)(const std::uint8_t* rgb, std::size_t n,
+                          std::uint8_t* dst);
+  /// Sum of n bytes (exact in 64 bits for any raster < 2^56 pixels).
+  std::uint64_t (*sum_u8)(const std::uint8_t* src, std::size_t n);
+
+  // ------------------------- float kernels (elementwise, bit-exact)
+  /// dst[i] = lut[src[i]] for a 256-entry double table.
+  void (*lut_apply_f64)(const std::uint8_t* src, std::size_t n,
+                        const double* lut, double* dst);
+  /// dst[i] = a[i] * b[i].
+  void (*mul_f64)(const double* a, const double* b, double* dst,
+                  std::size_t n);
+  /// y[i] = y[i] + a * x[i].
+  void (*saxpy_f64)(double a, const double* x, double* y, std::size_t n);
+  /// One horizontal blur row with clamped borders: for every x,
+  /// dst[x] = sum_k taps[k] * src[clamp(x + k - radius, 0, w-1)],
+  /// taps accumulated in k order (2*radius+1 taps).
+  void (*blur_row_f64)(const double* src, double* dst, int w,
+                       const double* taps, int radius);
+  /// One vertical blur output row y over the w x h raster `src`:
+  /// out_row[x] = sum_k taps[k] * src[clamp(y + k - radius, 0, h-1)][x].
+  void (*blur_col_f64)(const double* src, int w, int h, int y,
+                       const double* taps, int radius, double* out_row);
+
+  // ------------- float kernels (scalar accumulation-order contract)
+  /// Left-to-right sum of n doubles.  Backends must keep the scalar
+  /// order: callers (image means, power integrals) are compared
+  /// bit-exactly across configurations.
+  double (*sum_f64)(const double* v, std::size_t n);
+  /// Integral-image row step: out[i] = above[i] + (v[0] + ... + v[i]),
+  /// the running sum accumulated left to right.
+  void (*prefix_row_f64)(const double* v, const double* above, double* out,
+                         std::size_t n);
+  /// Fused single-raster window-sum row: the sum and sum-of-squares
+  /// integral rows of v in one sweep (each table's running sum in
+  /// scalar order; products v[i]*v[i] are elementwise-exact).
+  void (*window_sums_single_f64)(const double* v, std::size_t n,
+                                 const double* above_s,
+                                 const double* above_ss, double* out_s,
+                                 double* out_ss);
+  /// Fused pair window-sum row: the b, b*b and a*b integral rows in one
+  /// sweep (for PairStats' covariance tables).
+  void (*window_sums_pair_f64)(const double* a, const double* b,
+                               std::size_t n, const double* above_b,
+                               const double* above_bb,
+                               const double* above_ab, double* out_b,
+                               double* out_bb, double* out_ab);
+};
+
+/// One compiled-in backend plus whether this machine can run it.
+struct BackendInfo {
+  const KernelSet* set = nullptr;
+  bool supported = false;  ///< CPU has the required ISA extensions
+};
+
+/// All backends compiled into this build, in preference order
+/// (scalar first, widest ISA last).  The scalar backend is always
+/// present and always supported.
+std::span<const BackendInfo> backends();
+
+/// The compiled-in backend with this name, or nullptr.
+const KernelSet* find_backend(std::string_view name);
+
+/// The scalar reference set (always available).
+const KernelSet& scalar_kernels();
+
+/// The set every call site dispatches through.  First use selects the
+/// widest supported backend, unless HEBS_FORCE_BACKEND names a
+/// compiled-in, supported backend (unknown or unsupported names warn on
+/// stderr and fall back to auto-detection).
+const KernelSet& active();
+
+enum class SetBackendResult {
+  kOk,
+  kUnknownBackend,      ///< name not compiled into this build
+  kUnsupportedBackend,  ///< compiled in, but this CPU lacks the ISA
+};
+
+/// Switches the process-global active backend.  Thread-safe; in-flight
+/// rasters finish on the set they started with.
+SetBackendResult set_backend(std::string_view name);
+
+}  // namespace hebs::kernels

@@ -1,0 +1,156 @@
+// Scalar reference implementations of every kernel.
+//
+// These loops are the semantic definition of the subsystem: every SIMD
+// backend must reproduce their output bit-for-bit (see kernels.h for
+// the contract).  They are also reused by the vector backends for
+// border and tail lanes, so a backend never re-implements the scalar
+// arithmetic twice.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace hebs::kernels::ref {
+
+inline void histogram_u8(const std::uint8_t* src, std::size_t n,
+                         std::uint64_t* counts) {
+  for (std::size_t i = 0; i < n; ++i) ++counts[src[i]];
+}
+
+inline void lut_apply_u8(const std::uint8_t* src, std::size_t n,
+                         const std::uint8_t* lut, std::uint8_t* dst) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = lut[src[i]];
+}
+
+/// Same arithmetic as image::RgbImage::to_luma has always used:
+/// double products summed left to right, round-half-away, clamp.
+inline std::uint8_t luma_bt601_one(std::uint8_t r, std::uint8_t g,
+                                   std::uint8_t b) {
+  const double luma = 0.299 * r + 0.587 * g + 0.114 * b;
+  const double rounded = std::round(luma);
+  const double clamped = rounded < 0.0 ? 0.0 : (rounded > 255.0 ? 255.0
+                                                                : rounded);
+  return static_cast<std::uint8_t>(clamped);
+}
+
+inline void luma_bt601_rgb8(const std::uint8_t* rgb, std::size_t n,
+                            std::uint8_t* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = luma_bt601_one(rgb[3 * i + 0], rgb[3 * i + 1], rgb[3 * i + 2]);
+  }
+}
+
+inline std::uint64_t sum_u8(const std::uint8_t* src, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += src[i];
+  return acc;
+}
+
+inline void lut_apply_f64(const std::uint8_t* src, std::size_t n,
+                          const double* lut, double* dst) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = lut[src[i]];
+}
+
+inline void mul_f64(const double* a, const double* b, double* dst,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+inline void saxpy_f64(double a, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = y[i] + a * x[i];
+}
+
+/// One clamped-border output pixel of the horizontal blur.
+inline double blur_row_one(const double* src, int w, int x,
+                           const double* taps, int radius) {
+  double acc = 0.0;
+  for (int k = 0; k <= 2 * radius; ++k) {
+    const int xx = std::clamp(x + k - radius, 0, w - 1);
+    acc += taps[k] * src[xx];
+  }
+  return acc;
+}
+
+inline void blur_row_f64(const double* src, double* dst, int w,
+                         const double* taps, int radius) {
+  // Interior pixels need no clamping; the split keeps the hot loop
+  // branch-free (taps accumulate in the same order in all three
+  // regions, so the values are identical either way).
+  const int x_lo = std::min(radius, w);
+  const int x_hi = std::max(x_lo, w - radius);
+  for (int x = 0; x < x_lo; ++x) dst[x] = blur_row_one(src, w, x, taps, radius);
+  for (int x = x_lo; x < x_hi; ++x) {
+    double acc = 0.0;
+    const double* in = src + x - radius;
+    for (int k = 0; k <= 2 * radius; ++k) acc += taps[k] * in[k];
+    dst[x] = acc;
+  }
+  for (int x = x_hi; x < w; ++x) dst[x] = blur_row_one(src, w, x, taps, radius);
+}
+
+inline void blur_col_f64(const double* src, int w, int h, int y,
+                         const double* taps, int radius, double* out_row) {
+  const bool interior = y >= radius && y + radius < h;
+  for (int x = 0; x < w; ++x) {
+    double acc = 0.0;
+    for (int k = 0; k <= 2 * radius; ++k) {
+      const int yy = interior ? y + k - radius
+                              : std::clamp(y + k - radius, 0, h - 1);
+      acc += taps[k] * src[static_cast<std::size_t>(yy) * w + x];
+    }
+    out_row[x] = acc;
+  }
+}
+
+inline double sum_f64(const double* v, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += v[i];
+  return acc;
+}
+
+inline void prefix_row_f64(const double* v, const double* above, double* out,
+                           std::size_t n) {
+  double row = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    row += v[i];
+    out[i] = above[i] + row;
+  }
+}
+
+inline void window_sums_single_f64(const double* v, std::size_t n,
+                                   const double* above_s,
+                                   const double* above_ss, double* out_s,
+                                   double* out_ss) {
+  double rs = 0.0;
+  double rss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = v[i];
+    rs += x;
+    out_s[i] = above_s[i] + rs;
+    rss += x * x;
+    out_ss[i] = above_ss[i] + rss;
+  }
+}
+
+inline void window_sums_pair_f64(const double* a, const double* b,
+                                 std::size_t n, const double* above_b,
+                                 const double* above_bb,
+                                 const double* above_ab, double* out_b,
+                                 double* out_bb, double* out_ab) {
+  double rb = 0.0;
+  double rbb = 0.0;
+  double rab = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xb = b[i];
+    rb += xb;
+    out_b[i] = above_b[i] + rb;
+    rbb += xb * xb;
+    out_bb[i] = above_bb[i] + rbb;
+    rab += a[i] * xb;
+    out_ab[i] = above_ab[i] + rab;
+  }
+}
+
+}  // namespace hebs::kernels::ref

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "quality/widen.h"
 #include "quality/window_stats.h"
 #include "util/error.h"
 
@@ -53,12 +54,8 @@ double uiqi(const hebs::image::GrayImage& a, const hebs::image::GrayImage& b,
   HEBS_REQUIRE(!a.empty() && !b.empty(), "UIQI of empty image");
   HEBS_REQUIRE(a.width() == b.width() && a.height() == b.height(),
                "UIQI needs equal-size images");
-  std::vector<double> va(a.size());
-  std::vector<double> vb(b.size());
-  for (std::size_t i = 0; i < va.size(); ++i) {
-    va[i] = static_cast<double>(a.pixels()[i]);
-    vb[i] = static_cast<double>(b.pixels()[i]);
-  }
+  const std::vector<double> va = widen_u8(a.pixels());
+  const std::vector<double> vb = widen_u8(b.pixels());
   return uiqi_impl(va, vb, a.width(), a.height(), opts);
 }
 

@@ -1,0 +1,25 @@
+// Shared u8 -> f64 widening for the windowed metrics.
+//
+// A plain cast loop on purpose: the compiler vectorizes the straight
+// u8 -> double conversion even at the baseline ISA, which beats any
+// table-lookup routing (f64 LUT gathers measured slower than two-load
+// scalar in the kernel bench).  Kept next to the kernel layer so the
+// decision is recorded where a future gather-capable backend would
+// revisit it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hebs::quality {
+
+inline std::vector<double> widen_u8(std::span<const std::uint8_t> pixels) {
+  std::vector<double> out(pixels.size());
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    out[i] = static_cast<double>(pixels[i]);
+  }
+  return out;
+}
+
+}  // namespace hebs::quality

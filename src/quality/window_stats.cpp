@@ -1,8 +1,28 @@
 #include "quality/window_stats.h"
 
+#include "kernels/kernels.h"
 #include "util/error.h"
 
 namespace hebs::quality {
+
+// All tables here follow the integral-image recurrence
+//   table[y+1][x+1] = table[y][x+1] + (v[y][0] + ... + v[y][x])
+// with the running row sum accumulated left to right.  The row step is
+// the kernel layer's prefix_row_f64 / window_sums_* primitives, whose
+// contract pins exactly that scalar accumulation order, so every table
+// is bit-identical to the pre-kernel implementation on every backend.
+
+namespace {
+
+std::size_t table_stride(int width) {
+  return static_cast<std::size_t>(width) + 1;
+}
+
+std::size_t table_cells(int width, int height) {
+  return table_stride(width) * (static_cast<std::size_t>(height) + 1);
+}
+
+}  // namespace
 
 IntegralImage::IntegralImage(std::span<const double> values, int width,
                              int height)
@@ -11,40 +31,17 @@ IntegralImage::IntegralImage(std::span<const double> values, int width,
   HEBS_REQUIRE(values.size() ==
                    static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
                "raster size mismatch");
-  const std::size_t stride = static_cast<std::size_t>(width) + 1;
-  table_.assign(stride * (static_cast<std::size_t>(height) + 1), 0.0);
+  const std::size_t stride = table_stride(width);
+  table_.assign(table_cells(width, height), 0.0);
+  const auto& kernels = hebs::kernels::active();
   for (int y = 0; y < height; ++y) {
-    double row = 0.0;
-    for (int x = 0; x < width; ++x) {
-      row += values[static_cast<std::size_t>(y) * width + x];
-      table_[(static_cast<std::size_t>(y) + 1) * stride + x + 1] =
-          table_[static_cast<std::size_t>(y) * stride + x + 1] + row;
-    }
+    kernels.prefix_row_f64(
+        values.data() + static_cast<std::size_t>(y) * width,
+        table_.data() + static_cast<std::size_t>(y) * stride + 1,
+        table_.data() + (static_cast<std::size_t>(y) + 1) * stride + 1,
+        static_cast<std::size_t>(width));
   }
 }
-
-namespace {
-
-/// Shared accumulation skeleton: table cell = above + running row sum of
-/// `value(i)` — the same recurrence the span constructor uses, so the
-/// derived tables are bit-identical to building from a temporary raster.
-template <typename ValueAt>
-std::vector<double> accumulate_table(int width, int height, ValueAt&& value) {
-  const std::size_t stride = static_cast<std::size_t>(width) + 1;
-  std::vector<double> table(stride * (static_cast<std::size_t>(height) + 1),
-                            0.0);
-  for (int y = 0; y < height; ++y) {
-    double row = 0.0;
-    for (int x = 0; x < width; ++x) {
-      row += value(static_cast<std::size_t>(y) * width + x);
-      table[(static_cast<std::size_t>(y) + 1) * stride + x + 1] =
-          table[static_cast<std::size_t>(y) * stride + x + 1] + row;
-    }
-  }
-  return table;
-}
-
-}  // namespace
 
 IntegralImage IntegralImage::of_squares(std::span<const double> values,
                                         int width, int height) {
@@ -52,8 +49,19 @@ IntegralImage IntegralImage::of_squares(std::span<const double> values,
                                     static_cast<std::size_t>(height),
                "raster size mismatch");
   IntegralImage out(width, height);
-  out.table_ = accumulate_table(
-      width, height, [values](std::size_t i) { return values[i] * values[i]; });
+  const std::size_t stride = table_stride(width);
+  out.table_.assign(table_cells(width, height), 0.0);
+  std::vector<double> scratch(static_cast<std::size_t>(width));
+  const auto& kernels = hebs::kernels::active();
+  for (int y = 0; y < height; ++y) {
+    const double* row = values.data() + static_cast<std::size_t>(y) * width;
+    kernels.mul_f64(row, row, scratch.data(), scratch.size());
+    kernels.prefix_row_f64(
+        scratch.data(),
+        out.table_.data() + static_cast<std::size_t>(y) * stride + 1,
+        out.table_.data() + (static_cast<std::size_t>(y) + 1) * stride + 1,
+        static_cast<std::size_t>(width));
+  }
   return out;
 }
 
@@ -65,8 +73,20 @@ IntegralImage IntegralImage::of_products(std::span<const double> a,
                                static_cast<std::size_t>(height),
                "raster size mismatch");
   IntegralImage out(width, height);
-  out.table_ = accumulate_table(
-      width, height, [a, b](std::size_t i) { return a[i] * b[i]; });
+  const std::size_t stride = table_stride(width);
+  out.table_.assign(table_cells(width, height), 0.0);
+  std::vector<double> scratch(static_cast<std::size_t>(width));
+  const auto& kernels = hebs::kernels::active();
+  for (int y = 0; y < height; ++y) {
+    kernels.mul_f64(a.data() + static_cast<std::size_t>(y) * width,
+                    b.data() + static_cast<std::size_t>(y) * width,
+                    scratch.data(), scratch.size());
+    kernels.prefix_row_f64(
+        scratch.data(),
+        out.table_.data() + static_cast<std::size_t>(y) * stride + 1,
+        out.table_.data() + (static_cast<std::size_t>(y) + 1) * stride + 1,
+        static_cast<std::size_t>(width));
+  }
   return out;
 }
 
@@ -79,29 +99,84 @@ double IntegralImage::rect_sum(int x0, int y0, int x1, int y1) const noexcept {
 }
 
 ImageStats::ImageStats(std::span<const double> values, int width, int height)
-    : sum_(values, width, height),
-      sum_sq_(IntegralImage::of_squares(values, width, height)) {}
+    : sum_(width, height), sum_sq_(width, height) {
+  HEBS_REQUIRE(width > 0 && height > 0, "integral image needs a raster");
+  HEBS_REQUIRE(values.size() == static_cast<std::size_t>(width) *
+                                    static_cast<std::size_t>(height),
+               "raster size mismatch");
+  const std::size_t stride = table_stride(width);
+  sum_.table_.assign(table_cells(width, height), 0.0);
+  sum_sq_.table_.assign(table_cells(width, height), 0.0);
+  const auto& kernels = hebs::kernels::active();
+  for (int y = 0; y < height; ++y) {
+    const std::size_t above = static_cast<std::size_t>(y) * stride + 1;
+    const std::size_t out = (static_cast<std::size_t>(y) + 1) * stride + 1;
+    kernels.window_sums_single_f64(
+        values.data() + static_cast<std::size_t>(y) * width,
+        static_cast<std::size_t>(width), sum_.table_.data() + above,
+        sum_sq_.table_.data() + above, sum_.table_.data() + out,
+        sum_sq_.table_.data() + out);
+  }
+}
+
+namespace {
+
+/// Shared b-side builder for both PairStats constructors: the b, b*b
+/// and a*b tables in one fused sweep per row.
+void build_pair_tables(std::span<const double> a, std::span<const double> b,
+                       int width, int height, std::vector<double>& table_b,
+                       std::vector<double>& table_bb,
+                       std::vector<double>& table_ab) {
+  const std::size_t stride = table_stride(width);
+  table_b.assign(table_cells(width, height), 0.0);
+  table_bb.assign(table_cells(width, height), 0.0);
+  table_ab.assign(table_cells(width, height), 0.0);
+  const auto& kernels = hebs::kernels::active();
+  for (int y = 0; y < height; ++y) {
+    const std::size_t above = static_cast<std::size_t>(y) * stride + 1;
+    const std::size_t out = (static_cast<std::size_t>(y) + 1) * stride + 1;
+    kernels.window_sums_pair_f64(
+        a.data() + static_cast<std::size_t>(y) * width,
+        b.data() + static_cast<std::size_t>(y) * width,
+        static_cast<std::size_t>(width), table_b.data() + above,
+        table_bb.data() + above, table_ab.data() + above,
+        table_b.data() + out, table_bb.data() + out, table_ab.data() + out);
+  }
+}
+
+}  // namespace
 
 PairStats::PairStats(const ImageStats& a_stats, std::span<const double> a,
                      std::span<const double> b, int width, int height)
-    : sum_b_(b, width, height),
-      sum_bb_(IntegralImage::of_squares(b, width, height)),
-      sum_ab_(IntegralImage::of_products(a, b, width, height)),
+    : sum_b_(width, height),
+      sum_bb_(width, height),
+      sum_ab_(width, height),
       sum_a_(&a_stats.sum()),
       sum_aa_(&a_stats.sum_sq()) {
+  HEBS_REQUIRE(width > 0 && height > 0, "integral image needs a raster");
+  HEBS_REQUIRE(a.size() == b.size(), "paired rasters must match");
+  HEBS_REQUIRE(a.size() == static_cast<std::size_t>(width) *
+                               static_cast<std::size_t>(height),
+               "raster size mismatch");
   HEBS_REQUIRE(a_stats.width() == width && a_stats.height() == height,
                "cached stats size mismatch");
+  build_pair_tables(a, b, width, height, sum_b_.table_, sum_bb_.table_,
+                    sum_ab_.table_);
 }
 
 PairStats::PairStats(std::span<const double> a, std::span<const double> b,
                      int width, int height)
     : own_sum_a_(IntegralImage(a, width, height)),
       own_sum_aa_(IntegralImage::of_squares(a, width, height)),
-      sum_b_(b, width, height),
-      sum_bb_(IntegralImage::of_squares(b, width, height)),
-      sum_ab_(IntegralImage::of_products(a, b, width, height)),
+      sum_b_(width, height),
+      sum_bb_(width, height),
+      sum_ab_(width, height),
       sum_a_(&*own_sum_a_),
-      sum_aa_(&*own_sum_aa_) {}
+      sum_aa_(&*own_sum_aa_) {
+  HEBS_REQUIRE(a.size() == b.size(), "paired rasters must match");
+  build_pair_tables(a, b, width, height, sum_b_.table_, sum_bb_.table_,
+                    sum_ab_.table_);
+}
 
 WindowMoments PairStats::window(int x, int y, int block) const noexcept {
   const int x1 = x + block - 1;

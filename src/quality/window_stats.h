@@ -39,6 +39,11 @@ class IntegralImage {
  private:
   IntegralImage(int width, int height) : width_(width), height_(height) {}
 
+  // ImageStats/PairStats build several tables in one fused sweep
+  // through the kernel layer and need to fill table_ directly.
+  friend class ImageStats;
+  friend class PairStats;
+
   int width_;
   int height_;
   // (width+1) x (height+1) with a zero top row / left column.

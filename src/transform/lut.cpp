@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "util/mathutil.h"
 
 namespace hebs::transform {
@@ -15,11 +16,8 @@ Lut::Lut() noexcept {
 
 hebs::image::GrayImage Lut::apply(const hebs::image::GrayImage& img) const {
   hebs::image::GrayImage out(img.width(), img.height());
-  auto dst = out.pixels();
-  const auto src = img.pixels();
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    dst[i] = table_[src[i]];
-  }
+  kernels::active().lut_apply_u8(img.pixels().data(), img.size(),
+                                 table_.data(), out.pixels().data());
   return out;
 }
 
@@ -62,11 +60,8 @@ Lut FloatLut::quantize() const {
 hebs::image::FloatImage FloatLut::apply(
     const hebs::image::GrayImage& img) const {
   hebs::image::FloatImage out(img.width(), img.height());
-  auto dst = out.values();
-  const auto src = img.pixels();
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    dst[i] = table_[src[i]];
-  }
+  kernels::active().lut_apply_f64(img.pixels().data(), img.size(),
+                                  table_.data(), out.values().data());
   return out;
 }
 

@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "util/error.h"
 
 namespace hebs::util {
 
 double mean(std::span<const double> xs) noexcept {
   if (xs.empty()) return 0.0;
-  double acc = 0.0;
-  for (double x : xs) acc += x;
-  return acc / static_cast<double>(xs.size());
+  // sum_f64 carries the scalar accumulation-order contract (kernels.h),
+  // so the mean is bit-identical under every backend.
+  return hebs::kernels::active().sum_f64(xs.data(), xs.size()) /
+         static_cast<double>(xs.size());
 }
 
 double variance(std::span<const double> xs) noexcept {
@@ -48,9 +50,8 @@ double percentile(std::span<const double> xs, double p) {
 }
 
 double sum(std::span<const double> xs) noexcept {
-  double acc = 0.0;
-  for (double x : xs) acc += x;
-  return acc;
+  if (xs.empty()) return 0.0;
+  return hebs::kernels::active().sum_f64(xs.data(), xs.size());
 }
 
 double rms_diff(std::span<const double> xs, std::span<const double> ys) {
