@@ -282,9 +282,9 @@ core::PlcResult plc_coarsen(const transform::PwlCurve& exact, int segments) {
   std::vector<transform::CurvePoint> qpts;
   qpts.reserve(chosen.size());
   for (std::size_t idx : chosen) qpts.push_back(pts[idx]);
-  result.curve = transform::PwlCurve(std::move(qpts));
+  result.curve = transform::PwlCurve(qpts);
   result.mse = best[n - 1][best_s] / static_cast<double>(n);
-  result.breakpoint_indices = std::move(chosen);
+  result.breakpoint_indices.assign(chosen.begin(), chosen.end());
   return result;
 }
 

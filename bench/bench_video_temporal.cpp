@@ -1,0 +1,252 @@
+// Stream-throughput benchmark for the temporal-coherence fast path and
+// the recycling buffer pools (the zero-allocation steady state).
+//
+// Four synthetic clip archetypes cover the coherence spectrum video
+// content actually exhibits:
+//   static     — every frame byte-identical (UI, paused playback);
+//   slow-drift — a static scene with a small moving sprite and a one-
+//                level global dim every few frames (surveillance /
+//                talking-head coherence: <2% of pixels change per
+//                frame, the operating point drifts by a level or two);
+//                this is the clip the ≥2x acceptance gate runs on;
+//   pan-dim    — the aggressive panning/dimming clip of
+//                image/synthetic.h (every pixel changes every frame,
+//                the operating point jumps ±15 levels: warm starts
+//                rarely verify, so this bounds the fast path's honesty
+//                overhead);
+//   scene-cut  — blocks of unrelated scenes (the adversarial case: the
+//                warm starts must fail fast and fall back cold).
+//
+// Each clip runs through the single-worker stream executor in three
+// configurations — baseline (pools and temporal reuse off: the PR 3
+// cold-start path), pool (pools only), temporal (pools + fast path) —
+// and every configuration's decisions are checked bit-identical to the
+// serial per-frame controller before any number is reported.
+//
+// Writes BENCH_video.json ({bench, config, ns_per_frame, mpix_per_s,
+// backend}).  --min-warm-speedup gates the temporal-vs-baseline ratio
+// on the slow-drift clip (the acceptance criterion is >= 2x).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/kernels.h"
+#include "hebs/advanced/pipeline.h"
+
+namespace {
+
+using hebs::core::FrameDecision;
+using hebs::core::VideoBacklightController;
+using hebs::core::VideoOptions;
+using hebs::image::GrayImage;
+
+constexpr double kBudget = 10.0;
+
+struct Clip {
+  std::string name;
+  std::vector<GrayImage> frames;
+};
+
+/// Slowly varying content: a static scene, a 6x6 sprite moving one
+/// pixel per frame, and a one-gray-level global dim every six frames —
+/// under 2% of pixels change on most frames, and the operating point
+/// drifts by a level or two at each dim step.
+std::vector<GrayImage> slow_drift_clip(int frames, int size) {
+  const GrayImage base =
+      hebs::image::make_usid(hebs::image::UsidId::kSail, size);
+  std::vector<GrayImage> clip;
+  clip.reserve(static_cast<std::size_t>(frames));
+  int dim = 0;
+  for (int f = 0; f < frames; ++f) {
+    if (f > 0 && f % 6 == 0) ++dim;
+    GrayImage frame = base;
+    if (dim > 0) {
+      for (auto& px : frame.pixels()) {
+        px = static_cast<std::uint8_t>(px > dim ? px - dim : 0);
+      }
+    }
+    const int sprite = 6;
+    const int x0 = f % (size - sprite);
+    for (int y = size / 4; y < size / 4 + sprite; ++y) {
+      for (int x = x0; x < x0 + sprite; ++x) {
+        frame(x, y) = 230;
+      }
+    }
+    clip.push_back(std::move(frame));
+  }
+  return clip;
+}
+
+std::vector<Clip> make_clips(int frames, int size) {
+  std::vector<Clip> clips;
+  clips.push_back(
+      {"static", std::vector<GrayImage>(
+                     static_cast<std::size_t>(frames),
+                     hebs::image::make_usid(hebs::image::UsidId::kPout,
+                                            size))});
+  clips.push_back({"slow-drift", slow_drift_clip(frames, size)});
+  clips.push_back({"pan-dim", hebs::image::make_video_clip(frames, size)});
+  std::vector<GrayImage> cuts;
+  const hebs::image::UsidId scenes[] = {
+      hebs::image::UsidId::kPout, hebs::image::UsidId::kBaboon,
+      hebs::image::UsidId::kSplash, hebs::image::UsidId::kWest};
+  int produced = 0;
+  for (int block = 0; produced < frames; ++block) {
+    const GrayImage scene =
+        hebs::image::make_usid(scenes[block % 4], size);
+    for (int i = 0; i < 6 && produced < frames; ++i, ++produced) {
+      cuts.push_back(scene);
+    }
+  }
+  clips.push_back({"scene-cut", std::move(cuts)});
+  return clips;
+}
+
+VideoOptions config_options(bool pooled, bool temporal) {
+  VideoOptions opts;
+  opts.d_max_percent = kBudget;
+  opts.num_threads = 1;  // per-stream throughput: one worker, one chain
+  opts.use_buffer_pool = pooled;
+  opts.temporal_reuse = temporal;
+  return opts;
+}
+
+bool same_decision(const FrameDecision& a, const FrameDecision& b) {
+  return a.raw_beta == b.raw_beta && a.beta == b.beta &&
+         a.scene_cut == b.scene_cut && a.point.beta == b.point.beta &&
+         a.point.luminance_transform.points() ==
+             b.point.luminance_transform.points() &&
+         a.evaluation.distortion_percent ==
+             b.evaluation.distortion_percent &&
+         a.evaluation.saving_percent == b.evaluation.saving_percent &&
+         a.evaluation.transformed == b.evaluation.transformed;
+}
+
+double run_once(const Clip& clip, const VideoOptions& opts,
+                std::vector<FrameDecision>* decisions_out) {
+  VideoBacklightController controller(opts, hebs::bench::platform());
+  const auto t0 = std::chrono::steady_clock::now();
+  auto decisions = controller.process_clip(clip.frames);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (decisions_out != nullptr) *decisions_out = std::move(decisions);
+  return elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int frames = 48;
+  int size = 96;
+  double min_warm_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--frames=", 9) == 0) {
+      frames = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--size=", 7) == 0) {
+      size = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--min-warm-speedup=", 19) == 0) {
+      min_warm_speedup = std::atof(arg + 19);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--frames=N] [--size=PX] "
+                   "[--min-warm-speedup=X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  hebs::bench::print_header(
+      "Video stream throughput: temporal coherence + buffer pools",
+      "stream executor fast path (extension; paper targets real-time "
+      "frame sequences)");
+  const std::string backend = hebs::kernels::active().name;
+  std::printf("clips: %d frames at %dx%d, D_max %.0f%%, 1 worker, "
+              "kernel backend %s\n\n",
+              frames, size, size, kBudget, backend.c_str());
+
+  const auto clips = make_clips(frames, size);
+  struct ModeSpec {
+    const char* name;
+    bool pooled;
+    bool temporal;
+  };
+  const ModeSpec modes[] = {{"baseline", false, false},
+                            {"pool", true, false},
+                            {"temporal", true, true}};
+
+  std::vector<hebs::bench::BenchRecord> records;
+  double slow_pan_speedup = 0.0;
+  bool identical = true;
+
+  for (const Clip& clip : clips) {
+    // Serial per-frame reference for the bit-identity check.
+    VideoBacklightController serial(config_options(false, false),
+                                    hebs::bench::platform());
+    std::vector<FrameDecision> reference;
+    reference.reserve(clip.frames.size());
+    for (const auto& frame : clip.frames) {
+      reference.push_back(serial.process(frame));
+    }
+
+    std::printf("--- %s ---\n", clip.name.c_str());
+    double baseline_s = 0.0;
+    for (const ModeSpec& mode : modes) {
+      const VideoOptions opts = config_options(mode.pooled, mode.temporal);
+      (void)run_once(clip, opts, nullptr);  // warm caches and pools
+      std::vector<FrameDecision> decisions;
+      const double elapsed = run_once(clip, opts, &decisions);
+
+      std::size_t mismatches = 0;
+      for (std::size_t i = 0; i < decisions.size(); ++i) {
+        if (!same_decision(decisions[i], reference[i])) ++mismatches;
+      }
+      if (mismatches != 0) identical = false;
+
+      const double per_frame_ms =
+          1000.0 * elapsed / static_cast<double>(clip.frames.size());
+      const double speedup = mode.pooled || mode.temporal
+                                 ? baseline_s / elapsed
+                                 : 1.0;
+      if (!mode.pooled && !mode.temporal) baseline_s = elapsed;
+      if (clip.name == "slow-drift" && mode.temporal) {
+        slow_pan_speedup = speedup;
+      }
+      std::printf("  %-9s: %7.2f ms/frame  (%.2fx vs baseline)  "
+                  "bit-identical to serial: %s\n",
+                  mode.name, per_frame_ms, speedup,
+                  mismatches == 0 ? "yes" : "NO");
+      records.push_back(
+          {"video_temporal", clip.name + "/" + mode.name,
+           elapsed / static_cast<double>(clip.frames.size()) * 1e9,
+           static_cast<double>(clip.frames.size()) * size * size /
+               elapsed / 1e6,
+           backend});
+    }
+    std::printf("\n");
+  }
+
+  hebs::bench::write_bench_json("BENCH_video.json", records);
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: stream decisions diverged from the serial "
+                 "controller\n");
+    return 1;
+  }
+  std::printf("slow-drift temporal speedup vs cold baseline: %.2fx\n",
+              slow_pan_speedup);
+  if (min_warm_speedup > 0.0 && slow_pan_speedup < min_warm_speedup) {
+    std::fprintf(stderr, "FAIL: %.2fx < required %.2fx\n",
+                 slow_pan_speedup, min_warm_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -8,3 +8,4 @@
 #include "pipeline/executor.h"  // IWYU pragma: export
 #include "pipeline/frame_context.h"  // IWYU pragma: export
 #include "pipeline/stages.h"  // IWYU pragma: export
+#include "pipeline/temporal.h"  // IWYU pragma: export

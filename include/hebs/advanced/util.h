@@ -7,5 +7,6 @@
 #include "util/csv.h"  // IWYU pragma: export
 #include "util/error.h"  // IWYU pragma: export
 #include "util/mathutil.h"  // IWYU pragma: export
+#include "util/pool.h"  // IWYU pragma: export
 #include "util/rng.h"  // IWYU pragma: export
 #include "util/table.h"  // IWYU pragma: export

@@ -113,6 +113,38 @@ class SessionConfig {
   }
   int threads() const noexcept { return threads_; }
 
+  /// Per-worker recycling buffer pools: per-frame scratch (rasters,
+  /// integral tables, curves, memo nodes) is recycled instead of
+  /// reallocated, making the engine's steady state allocation-free.
+  /// Purely a performance knob — outputs are identical either way.
+  /// Default true.
+  SessionConfig& buffer_pool(bool on) {
+    buffer_pool_ = on;
+    return *this;
+  }
+  bool buffer_pool() const noexcept { return buffer_pool_; }
+
+  /// Cap on the bytes each buffer pool may retain on its free lists, in
+  /// MiB; 0 = unlimited.  Default 0 (a cap below the per-frame working
+  /// set reintroduces steady-state allocations).
+  SessionConfig& pool_max_mb(int mb) {
+    pool_max_mb_ = mb;
+    return *this;
+  }
+  int pool_max_mb() const noexcept { return pool_max_mb_; }
+
+  /// Temporal-coherence fast path for process_video: duplicate-frame
+  /// reuse, incremental histogram updates, and warm-started searches
+  /// with verified brackets.  Results are bit-identical to the cold
+  /// per-frame search under the monotone-distortion contract (see
+  /// DESIGN.md §9; decisions honor the distortion budget either way).
+  /// Set false for unconditional cold-path equality.  Default true.
+  SessionConfig& temporal_reuse(bool on) {
+    temporal_reuse_ = on;
+    return *this;
+  }
+  bool temporal_reuse() const noexcept { return temporal_reuse_; }
+
   // --------------------------------------------- distortion curve cache
   /// CSV of a saved distortion characteristic curve for the hebs-curve
   /// policy.  When unset, the session characterizes on first use (at
@@ -172,6 +204,9 @@ class SessionConfig {
   double equalization_strength_ = -1.0;
   bool concurrent_scaling_ = true;
   int threads_ = 0;
+  bool buffer_pool_ = true;
+  int pool_max_mb_ = 0;
+  bool temporal_reuse_ = true;
   std::string curve_path_;
   int characterization_size_ = 96;
   double max_beta_step_ = 0.04;

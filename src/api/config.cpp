@@ -45,6 +45,10 @@ Status SessionConfig::validate() const {
     return invalid("threads", ">= 0 (0 = hardware concurrency)",
                    std::to_string(threads_));
   }
+  if (pool_max_mb_ < 0) {
+    return invalid("pool_max_mb", ">= 0 (0 = unlimited)",
+                   std::to_string(pool_max_mb_));
+  }
   if (characterization_size_ < 16) {
     return invalid("characterization_size", ">= 16",
                    std::to_string(characterization_size_));

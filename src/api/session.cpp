@@ -136,6 +136,10 @@ struct Session::Impl {
     pipeline::EngineOptions opts;
     opts.num_threads = cfg.threads();
     opts.hebs = hebs_opts;
+    opts.use_buffer_pool = cfg.buffer_pool();
+    opts.pool_max_retained_bytes =
+        static_cast<std::size_t>(cfg.pool_max_mb()) * 1024 * 1024;
+    opts.temporal_reuse = cfg.temporal_reuse();
     return opts;
   }
 
@@ -147,6 +151,8 @@ struct Session::Impl {
     opts.ema_alpha = cfg.ema_alpha();
     opts.scene_cut_threshold = cfg.scene_cut_threshold();
     opts.num_threads = cfg.threads();
+    opts.temporal_reuse = cfg.temporal_reuse();
+    opts.use_buffer_pool = cfg.buffer_pool();
     return opts;
   }
 

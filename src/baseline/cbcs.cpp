@@ -16,7 +16,7 @@ hebs::core::OperatingPoint cbcs_operating_point(double g_l, double g_u,
   HEBS_REQUIRE(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
   const hebs::transform::PwlCurve band =
       hebs::transform::single_band_curve(g_l, g_u);
-  std::vector<hebs::transform::CurvePoint> pts;
+  hebs::transform::PwlCurve::PointList pts;
   pts.reserve(band.points().size());
   for (const auto& p : band.points()) {
     pts.push_back({p.x, beta * p.y});

@@ -20,7 +20,7 @@ hebs::core::OperatingPoint dls_operating_point(DlsMode mode, double beta) {
           ? hebs::transform::brightness_shift_curve(beta)
           : hebs::transform::contrast_stretch_curve(beta);
   // ψ(x) = β · Φ(x): scale the compensated transform by the backlight.
-  std::vector<hebs::transform::CurvePoint> pts;
+  hebs::transform::PwlCurve::PointList pts;
   pts.reserve(phi.points().size());
   for (const auto& p : phi.points()) {
     pts.push_back({p.x, beta * p.y});

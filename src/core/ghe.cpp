@@ -29,7 +29,7 @@ hebs::transform::PwlCurve ghe_transform(
   const double denom =
       total - static_cast<double>(hist.count(max_level));
 
-  std::vector<hebs::transform::CurvePoint> pts;
+  hebs::transform::PwlCurve::PointList pts;
   pts.reserve(static_cast<std::size_t>(hebs::image::kLevels));
   for (int level = 0; level < hebs::image::kLevels; ++level) {
     const double x = static_cast<double>(level) / hebs::image::kMaxPixel;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/error.h"
+#include "util/pool.h"
 
 namespace hebs::core {
 
@@ -17,7 +18,7 @@ namespace {
 /// terms, all precomputable.
 class ChordError {
  public:
-  explicit ChordError(const std::vector<hebs::transform::CurvePoint>& pts)
+  explicit ChordError(const hebs::transform::PwlCurve::PointList& pts)
       : px_(pts.size()),
         py_(pts.size()),
         sx_(pts.size() + 1, 0.0),
@@ -36,33 +37,65 @@ class ChordError {
     }
   }
 
-  /// Squared error of approximating points j..i by the chord p_j -> p_i.
+  /// All chord-endpoint terms that depend only on i, hoisted out of the
+  /// DP's inner j loop: the loop body then touches six j-indexed loads
+  /// instead of re-reading the i-side prefix sums per candidate.  The
+  /// arithmetic (operations and their order) is exactly operator()'s,
+  /// so the error values are bit-identical.
+  class Tail {
+   public:
+    Tail(const ChordError& ce, std::size_t i)
+        : ce_(ce),
+          pix_(ce.px_[i]),
+          piy_(ce.py_[i]),
+          sxi_(ce.sx_[i + 1]),
+          syi_(ce.sy_[i + 1]),
+          sxxi_(ce.sxx_[i + 1]),
+          syyi_(ce.syy_[i + 1]),
+          sxyi_(ce.sxy_[i + 1]),
+          i_(i) {}
+
+    /// Squared error of the chord p_j -> p_i over points j..i.
+    double operator()(std::size_t j) const {
+      const double pjx = ce_.px_[j];
+      const double pjy = ce_.py_[j];
+      const double s = (piy_ - pjy) / (pix_ - pjx);
+      // Range sums over k in [j, i].
+      const double n = static_cast<double>(i_ - j + 1);
+      const double sum_x = sxi_ - ce_.sx_[j];
+      const double sum_y = syi_ - ce_.sy_[j];
+      const double sum_xx = sxxi_ - ce_.sxx_[j];
+      const double sum_yy = syyi_ - ce_.syy_[j];
+      const double sum_xy = sxyi_ - ce_.sxy_[j];
+      // Sum over k of ((y_k - y_j) - s (x_k - x_j))^2
+      //  = Σ dy²  - 2 s Σ dx dy + s² Σ dx²
+      const double sum_dyy =
+          sum_yy - 2.0 * pjy * sum_y + n * pjy * pjy;
+      const double sum_dxx =
+          sum_xx - 2.0 * pjx * sum_x + n * pjx * pjx;
+      const double sum_dxy = sum_xy - pjx * sum_y - pjy * sum_x +
+                             n * pjx * pjy;
+      const double err = sum_dyy - 2.0 * s * sum_dxy + s * s * sum_dxx;
+      return err > 0.0 ? err : 0.0;  // guard fp cancellation
+    }
+
+   private:
+    const ChordError& ce_;
+    const double pix_, piy_;
+    const double sxi_, syi_, sxxi_, syyi_, sxyi_;
+    const std::size_t i_;
+  };
+
+  Tail tail(std::size_t i) const { return Tail(*this, i); }
+
+  /// One-off evaluation (the seeded scan start).
   double operator()(std::size_t j, std::size_t i) const {
-    const double pjx = px_[j];
-    const double pjy = py_[j];
-    const double s = (py_[i] - pjy) / (px_[i] - pjx);
-    // Range sums over k in [j, i].
-    const double n = static_cast<double>(i - j + 1);
-    const double sum_x = sx_[i + 1] - sx_[j];
-    const double sum_y = sy_[i + 1] - sy_[j];
-    const double sum_xx = sxx_[i + 1] - sxx_[j];
-    const double sum_yy = syy_[i + 1] - syy_[j];
-    const double sum_xy = sxy_[i + 1] - sxy_[j];
-    // Sum over k of ((y_k - y_j) - s (x_k - x_j))^2
-    //  = Σ dy²  - 2 s Σ dx dy + s² Σ dx²
-    const double sum_dyy =
-        sum_yy - 2.0 * pjy * sum_y + n * pjy * pjy;
-    const double sum_dxx =
-        sum_xx - 2.0 * pjx * sum_x + n * pjx * pjx;
-    const double sum_dxy = sum_xy - pjx * sum_y - pjy * sum_x +
-                           n * pjx * pjy;
-    const double err = sum_dyy - 2.0 * s * sum_dxy + s * s * sum_dxx;
-    return err > 0.0 ? err : 0.0;  // guard fp cancellation
+    return tail(i)(j);
   }
 
  private:
-  std::vector<double> px_, py_;
-  std::vector<double> sx_, sy_, sxx_, syy_, sxy_;
+  hebs::util::PoolVector<double> px_, py_;
+  hebs::util::PoolVector<double> sx_, sy_, sxx_, syy_, sxy_;
 };
 
 }  // namespace
@@ -91,14 +124,15 @@ PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
   // chosen breakpoints.  Flat row-per-segment storage keeps the inner
   // loop on two contiguous rows; iterating s outermost consumes row s-1
   // sequentially.
-  std::vector<double> best((m + 1) * n, kInf);
-  std::vector<std::size_t> parent((m + 1) * n, 0);
+  hebs::util::PoolVector<double> best((m + 1) * n, kInf);
+  hebs::util::PoolVector<std::size_t> parent((m + 1) * n, 0);
   best[0] = 0.0;  // best[0][0]
   for (std::size_t s = 1; s <= m; ++s) {
     const double* prev = best.data() + (s - 1) * n;
     double* cur = best.data() + s * n;
     std::size_t* par = parent.data() + s * n;
     for (std::size_t i = s; i < n; ++i) {
+      const ChordError::Tail chord_i = chord.tail(i);
       // Seed the scan with the previous column's parent — usually near
       // the optimum, so the bound below is tight from the start.  The
       // selection rule (strictly smaller value, or equal value at a
@@ -106,12 +140,18 @@ PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
       // always the lowest-j argmin, exactly what a plain ascending scan
       // with strict `<` produces.
       std::size_t row_parent = i > s ? par[i - 1] : s - 1;
-      double row_best = prev[row_parent] + chord(row_parent, i);
+      double row_best = prev[row_parent] + chord_i(row_parent);
       for (std::size_t j = s - 1; j < i; ++j) {
         // candidate = prev[j] + chord(j, i) >= prev[j]: when prev[j]
         // already loses, skip the chord evaluation (and its division).
-        if (prev[j] > row_best) continue;
-        const double candidate = prev[j] + chord(j, i);
+        // Equality can win only through a zero-error chord at j <
+        // row_parent (the tie rule), so j >= row_parent is prunable at
+        // equality too.
+        if (prev[j] > row_best ||
+            (prev[j] == row_best && j >= row_parent)) {
+          continue;
+        }
+        const double candidate = prev[j] + chord_i(j);
         if (candidate < row_best ||
             (candidate == row_best && j < row_parent)) {
           row_best = candidate;
@@ -132,7 +172,7 @@ PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
   HEBS_REQUIRE(best[best_s * n + n - 1] < kInf,
                "PLC DP failed to reach the end");
 
-  std::vector<std::size_t> chosen;
+  hebs::util::PoolVector<std::size_t> chosen;
   std::size_t i = n - 1;
   std::size_t s = best_s;
   while (true) {
@@ -143,7 +183,7 @@ PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
   }
   std::reverse(chosen.begin(), chosen.end());
 
-  std::vector<hebs::transform::CurvePoint> qpts;
+  hebs::transform::PwlCurve::PointList qpts;
   qpts.reserve(chosen.size());
   for (std::size_t idx : chosen) qpts.push_back(pts[idx]);
 

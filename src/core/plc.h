@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "transform/pwl.h"
+#include "util/pool.h"
 
 namespace hebs::core {
 
@@ -27,8 +28,9 @@ struct PlcResult {
   hebs::transform::PwlCurve curve;
   /// Mean squared error between Λ and the exact curve at its breakpoints.
   double mse = 0.0;
-  /// Indices into the exact curve's point list chosen as breakpoints.
-  std::vector<std::size_t> breakpoint_indices;
+  /// Indices into the exact curve's point list chosen as breakpoints
+  /// (pool-backed: one PLC run per probed range per frame).
+  hebs::util::PoolVector<std::size_t> breakpoint_indices;
 };
 
 /// Coarsens `exact` to at most `segments` linear segments (>= 1).

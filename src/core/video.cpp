@@ -95,6 +95,8 @@ std::vector<FrameDecision> VideoBacklightController::process_clip(
   // VideoOptions, not from EngineOptions (which configures batch mode).
   hebs::pipeline::EngineOptions engine_opts;
   engine_opts.num_threads = opts_.num_threads;
+  engine_opts.temporal_reuse = opts_.temporal_reuse;
+  engine_opts.use_buffer_pool = opts_.use_buffer_pool;
   hebs::pipeline::PipelineEngine engine(engine_opts, power_model_);
   return engine.process_stream(frames, *this);
 }

@@ -39,6 +39,15 @@ struct VideoOptions {
   /// <= 0 selects the hardware concurrency.  Decisions are identical for
   /// every thread count.
   int num_threads = 0;
+  /// Temporal-coherence fast path in process_clip (duplicate-frame
+  /// reuse, incremental histograms, warm-started searches).  Decisions
+  /// are bit-identical to the cold path under the monotone-distortion
+  /// contract of DESIGN.md §9 (always within the distortion budget);
+  /// disable for unconditional equality.
+  bool temporal_reuse = true;
+  /// Per-slot recycling buffer pools in process_clip (zero-allocation
+  /// steady state).  Decisions are identical either way.
+  bool use_buffer_pool = true;
 };
 
 /// What the controller decided for one frame.

@@ -40,7 +40,7 @@ double GrayscaleVoltage::voltage(int level) const {
 }
 
 hebs::transform::PwlCurve GrayscaleVoltage::curve() const {
-  std::vector<hebs::transform::CurvePoint> pts;
+  hebs::transform::PwlCurve::PointList pts;
   pts.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     pts.push_back({static_cast<double>(i) /

@@ -73,7 +73,7 @@ GrayscaleVoltage HierarchicalLadder::transfer() const {
 hebs::transform::PwlCurve HierarchicalLadder::effective_transform(
     double beta) const {
   HEBS_REQUIRE(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
-  std::vector<hebs::transform::CurvePoint> pts;
+  hebs::transform::PwlCurve::PointList pts;
   pts.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const double x =

@@ -1,6 +1,7 @@
 #include "histogram/histogram.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "kernels/kernels.h"
 #include "util/error.h"
@@ -13,6 +14,59 @@ Histogram Histogram::from_image(const hebs::image::GrayImage& img) {
                                  h.counts_.data());
   h.total_ = img.size();
   return h;
+}
+
+bool Histogram::refresh_from_delta(const hebs::image::GrayImage& prev,
+                                   const hebs::image::GrayImage& cur,
+                                   std::size_t max_changed,
+                                   std::size_t* changed_out) {
+  HEBS_REQUIRE(prev.width() == cur.width() && prev.height() == cur.height(),
+               "delta refresh needs equal-size frames");
+  HEBS_REQUIRE(total_ == prev.size(),
+               "histogram does not cover the previous frame");
+  const std::uint8_t* a = prev.pixels().data();
+  const std::uint8_t* b = cur.pixels().data();
+  const std::size_t n = prev.size();
+
+  // Deltas are staged so an over-threshold bail leaves *this untouched.
+  std::array<std::int64_t, kBins> delta{};
+  std::size_t changed = 0;
+  std::size_t i = 0;
+  for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
+    std::uint64_t wa, wb;
+    std::memcpy(&wa, a + i, sizeof(wa));
+    std::memcpy(&wb, b + i, sizeof(wb));
+    if (wa == wb) continue;  // the common case on coherent frames
+    for (std::size_t j = i; j < i + sizeof(std::uint64_t); ++j) {
+      if (a[j] != b[j]) {
+        --delta[a[j]];
+        ++delta[b[j]];
+        ++changed;
+      }
+    }
+    if (changed > max_changed) {
+      if (changed_out != nullptr) *changed_out = changed;
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] != b[i]) {
+      --delta[a[i]];
+      ++delta[b[i]];
+      ++changed;
+    }
+  }
+  if (changed > max_changed) {
+    if (changed_out != nullptr) *changed_out = changed;
+    return false;
+  }
+  for (int bin = 0; bin < kBins; ++bin) {
+    const auto k = static_cast<std::size_t>(bin);
+    counts_[k] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(counts_[k]) + delta[k]);
+  }
+  if (changed_out != nullptr) *changed_out = changed;
+  return true;
 }
 
 Histogram Histogram::from_counts(std::span<const std::uint64_t> counts) {
@@ -50,8 +104,9 @@ double Histogram::cdf(int level) const {
   return static_cast<double>(acc) / static_cast<double>(total_);
 }
 
-std::vector<std::uint64_t> Histogram::cumulative_counts() const {
-  std::vector<std::uint64_t> cum(kBins);
+std::array<std::uint64_t, Histogram::kBins> Histogram::cumulative_counts()
+    const {
+  std::array<std::uint64_t, kBins> cum{};
   std::uint64_t acc = 0;
   for (int i = 0; i < kBins; ++i) {
     acc += counts_[static_cast<std::size_t>(i)];

@@ -26,6 +26,20 @@ class Histogram {
   /// Builds the histogram of a grayscale image.
   static Histogram from_image(const hebs::image::GrayImage& img);
 
+  /// Incremental update for temporally coherent frames: refreshes this
+  /// histogram — which must be the histogram of `prev` — into the
+  /// histogram of `cur` by walking both rasters and touching only the
+  /// differing pixels (word-wise compares skip equal runs).  Counts are
+  /// integers, so the result is exactly from_image(cur).  Returns true
+  /// on success with `*changed_out` (nullable) set to the number of
+  /// differing pixels (0 ⇒ the frames are byte-identical); returns
+  /// false, leaving the histogram untouched, when more than
+  /// `max_changed` pixels differ and a full recount is cheaper.
+  bool refresh_from_delta(const hebs::image::GrayImage& prev,
+                          const hebs::image::GrayImage& cur,
+                          std::size_t max_changed,
+                          std::size_t* changed_out = nullptr);
+
   /// Builds from explicit per-bin counts (size must be kBins).
   static Histogram from_counts(std::span<const std::uint64_t> counts);
 
@@ -47,8 +61,10 @@ class Histogram {
   /// Zero for an empty histogram.
   double cdf(int level) const;
 
-  /// Raw cumulative counts, one entry per level.
-  std::vector<std::uint64_t> cumulative_counts() const;
+  /// Raw cumulative counts, one entry per level.  Returned by value as a
+  /// fixed array — the per-target GHE solve calls this every probe, and
+  /// an array keeps it off the heap.
+  std::array<std::uint64_t, kBins> cumulative_counts() const;
 
   /// Mean pixel level.
   double mean() const;

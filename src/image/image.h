@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "util/pool.h"
+
 namespace hebs::image {
 
 /// Number of representable grayscale levels for 8-bit pixels.
@@ -82,7 +84,9 @@ class GrayImage {
  private:
   int width_ = 0;
   int height_ = 0;
-  std::vector<std::uint8_t> pixels_;
+  // Pool-backed: per-frame rasters recycle through the worker's
+  // BufferPool instead of the heap (see util/pool.h).
+  hebs::util::PoolVector<std::uint8_t> pixels_;
 };
 
 /// A normalized-luminance raster (values nominally in [0, 1]), row-major.
@@ -118,7 +122,7 @@ class FloatImage {
  private:
   int width_ = 0;
   int height_ = 0;
-  std::vector<double> values_;
+  hebs::util::PoolVector<double> values_;
 };
 
 /// An 8-bit RGB image, row-major interleaved.
@@ -154,7 +158,7 @@ class RgbImage {
  private:
   int width_ = 0;
   int height_ = 0;
-  std::vector<std::uint8_t> data_;
+  hebs::util::PoolVector<std::uint8_t> data_;
 };
 
 }  // namespace hebs::image

@@ -159,27 +159,10 @@ std::uint64_t sum_u8_avx2(const std::uint8_t* src, std::size_t n) {
 
 // f64 LUT gathers were measured slower than the scalar two-load loop
 // on this generation's VPGATHERDPD (the table lives in L1 either way),
-// so the f64 lookup stays on the reference loop.
-
-void mul_f64_avx2(const double* a, const double* b, double* dst,
-                  std::size_t n) {
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    _mm256_storeu_pd(
-        dst + i, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
-  }
-  if (i < n) ref::mul_f64(a + i, b + i, dst + i, n - i);
-}
-
-void saxpy_f64_avx2(double a, const double* x, double* y, std::size_t n) {
-  const __m256d va = _mm256_set1_pd(a);
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
-    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
-  }
-  if (i < n) ref::saxpy_f64(a, x + i, y + i, n - i);
-}
+// so the f64 lookup stays on the reference loop.  mul_f64/saxpy_f64 are
+// likewise pinned to the reference loops: one multiply (or FMA-less
+// multiply-add) per 8-byte element is memory-bound, and BENCH_kernels
+// measured the 256-bit versions at parity with scalar (DESIGN.md §8).
 
 void blur_row_f64_avx2(const double* src, double* dst, int w,
                        const double* taps, int radius) {
@@ -248,8 +231,8 @@ const KernelSet* kernelset_avx2() {
       &luma_bt601_rgb8_avx2,
       &sum_u8_avx2,
       &ref::lut_apply_f64,
-      &mul_f64_avx2,
-      &saxpy_f64_avx2,
+      &ref::mul_f64,
+      &ref::saxpy_f64,
       &blur_row_f64_avx2,
       &blur_col_f64_avx2,
       &ref::sum_f64,

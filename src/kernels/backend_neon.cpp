@@ -67,24 +67,10 @@ std::uint64_t sum_u8_neon(const std::uint8_t* src, std::size_t n) {
   return total + ref::sum_u8(src + i, n - i);
 }
 
-void mul_f64_neon(const double* a, const double* b, double* dst,
-                  std::size_t n) {
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    vst1q_f64(dst + i, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
-  }
-  if (i < n) ref::mul_f64(a + i, b + i, dst + i, n - i);
-}
-
-void saxpy_f64_neon(double a, const double* x, double* y, std::size_t n) {
-  const float64x2_t va = vdupq_n_f64(a);
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    const float64x2_t prod = vmulq_f64(va, vld1q_f64(x + i));
-    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), prod));
-  }
-  if (i < n) ref::saxpy_f64(a, x + i, y + i, n - i);
-}
+// mul_f64/saxpy_f64 are pinned to the scalar reference loops: both are
+// memory-bound at one 8-byte element per multiply, and the x86 backends
+// measured their 128/256-bit versions at parity with scalar — the same
+// arithmetic-to-bandwidth ratio applies here (DESIGN.md §8).
 
 void blur_row_f64_neon(const double* src, double* dst, int w,
                        const double* taps, int radius) {
@@ -152,8 +138,8 @@ const KernelSet* kernelset_neon() {
       &luma_bt601_rgb8_neon,
       &sum_u8_neon,
       &ref::lut_apply_f64,
-      &mul_f64_neon,
-      &saxpy_f64_neon,
+      &ref::mul_f64,
+      &ref::saxpy_f64,
       &blur_row_f64_neon,
       &blur_col_f64_neon,
       &ref::sum_f64,

@@ -70,25 +70,9 @@ std::uint64_t sum_u8_sse42(const std::uint8_t* src, std::size_t n) {
   return total + ref::sum_u8(src + i, n - i);
 }
 
-void mul_f64_sse42(const double* a, const double* b, double* dst,
-                   std::size_t n) {
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    _mm_storeu_pd(dst + i,
-                  _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
-  }
-  if (i < n) ref::mul_f64(a + i, b + i, dst + i, n - i);
-}
-
-void saxpy_f64_sse42(double a, const double* x, double* y, std::size_t n) {
-  const __m128d va = _mm_set1_pd(a);
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    const __m128d prod = _mm_mul_pd(va, _mm_loadu_pd(x + i));
-    _mm_storeu_pd(y + i, _mm_add_pd(_mm_loadu_pd(y + i), prod));
-  }
-  if (i < n) ref::saxpy_f64(a, x + i, y + i, n - i);
-}
+// mul_f64/saxpy_f64 are pinned to the scalar reference loops: both are
+// memory-bound at one 8-byte element per multiply, and BENCH_kernels
+// measured the 128-bit versions at parity with scalar (DESIGN.md §8).
 
 void blur_row_f64_sse42(const double* src, double* dst, int w,
                         const double* taps, int radius) {
@@ -156,8 +140,8 @@ const KernelSet* kernelset_sse42() {
       &luma_bt601_rgb8_sse42,
       &sum_u8_sse42,
       &ref::lut_apply_f64,
-      &mul_f64_sse42,
-      &saxpy_f64_sse42,
+      &ref::mul_f64,
+      &ref::saxpy_f64,
       &blur_row_f64_sse42,
       &blur_col_f64_sse42,
       &ref::sum_f64,

@@ -1,10 +1,14 @@
 #include "pipeline/engine.h"
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/distortion_curve.h"
 #include "pipeline/stages.h"
+#include "pipeline/temporal.h"
 #include "util/error.h"
+#include "util/pool.h"
 
 namespace hebs::pipeline {
 
@@ -16,24 +20,38 @@ PipelineEngine::PipelineEngine(EngineOptions opts,
 
 namespace {
 
+std::unique_ptr<util::BufferPool> make_pool(const EngineOptions& opts) {
+  if (!opts.use_buffer_pool) return nullptr;  // null scope = plain heap
+  return std::make_unique<util::BufferPool>(
+      util::PoolOptions{opts.pool_max_retained_bytes});
+}
+
 /// Runs `per_frame` for every image on the pool, each worker reusing one
-/// rebound FrameContext.  Results land at their frame's index, so output
-/// order never depends on scheduling.
+/// rebound FrameContext drawing from its own recycling buffer pool.
+/// Results land at their frame's index, so output order never depends
+/// on scheduling.
 template <typename Result, typename PerFrame>
-std::vector<Result> map_frames(ThreadPool& pool,
+std::vector<Result> map_frames(ThreadPool& pool, const EngineOptions& opts,
                                std::span<const hebs::image::GrayImage> images,
-                               const core::HebsOptions& hebs_opts,
                                const hebs::power::LcdSubsystemPower& model,
                                PerFrame&& per_frame) {
   std::vector<Result> results(images.size());
-  std::vector<std::unique_ptr<FrameContext>> contexts(
-      static_cast<std::size_t>(pool.thread_count()));
+  const auto workers = static_cast<std::size_t>(pool.thread_count());
+  std::vector<std::unique_ptr<FrameContext>> contexts(workers);
+  std::vector<std::unique_ptr<util::BufferPool>> pools(workers);
   pool.parallel_for(images.size(), [&](std::size_t i, int worker) {
-    auto& ctx = contexts[static_cast<std::size_t>(worker)];
-    if (!ctx) ctx = std::make_unique<FrameContext>(hebs_opts, model);
+    const auto w = static_cast<std::size_t>(worker);
+    if (!pools[w]) pools[w] = make_pool(opts);
+    util::PoolScope scope(pools[w].get());
+    auto& ctx = contexts[w];
+    if (!ctx) ctx = std::make_unique<FrameContext>(opts.hebs, model);
     ctx->rebind(images[i]);
     results[i] = per_frame(*ctx, i);
   });
+  // Contexts must release their pooled caches before the pools detach
+  // (detached blocks go back to the heap instead of recycling — only a
+  // lifetime nicety here, but it keeps pool accounting exact).
+  contexts.clear();
   return results;
 }
 
@@ -42,7 +60,7 @@ std::vector<Result> map_frames(ThreadPool& pool,
 std::vector<core::HebsResult> PipelineEngine::process_batch(
     std::span<const hebs::image::GrayImage> images, double d_max_percent) {
   return map_frames<core::HebsResult>(
-      pool_, images, opts_.hebs, model_,
+      pool_, opts_, images, model_,
       [d_max_percent](FrameContext& ctx, std::size_t) {
         return run_exact(ctx, d_max_percent);
       });
@@ -51,7 +69,7 @@ std::vector<core::HebsResult> PipelineEngine::process_batch(
 std::vector<core::HebsResult> PipelineEngine::process_batch_at_range(
     std::span<const hebs::image::GrayImage> images, int range) {
   return map_frames<core::HebsResult>(
-      pool_, images, opts_.hebs, model_,
+      pool_, opts_, images, model_,
       [range](FrameContext& ctx, std::size_t) {
         return ctx.at_range(range);
       });
@@ -61,7 +79,7 @@ std::vector<core::HebsResult> PipelineEngine::process_batch_with_curve(
     std::span<const hebs::image::GrayImage> images, double d_max_percent,
     const core::DistortionCurve& curve) {
   return map_frames<core::HebsResult>(
-      pool_, images, opts_.hebs, model_,
+      pool_, opts_, images, model_,
       [d_max_percent, &curve](FrameContext& ctx, std::size_t) {
         return run_with_curve(ctx, d_max_percent, curve);
       });
@@ -85,43 +103,90 @@ std::vector<core::FrameDecision> PipelineEngine::process_stream(
     }
   }
 
-  // The clip is processed in bounded windows so peak memory stays flat:
-  // a frame's context (reference rasters, metric caches, memoized
-  // per-range results) lives only from its parallel search until the
-  // ordered post-stage consumes it.  Window boundaries cannot change any
-  // value — per-frame raw searches are independent, and flicker control
-  // consumes them strictly in frame order either way.
-  const std::size_t window =
-      std::max<std::size_t>(4 * static_cast<std::size_t>(pool_.thread_count()), 16);
+  // The clip is processed in rounds of `slots` frames: the per-frame
+  // searches run on the pool, then the ordered post-stage consumes the
+  // round strictly in frame order, so peak memory stays at `slots`
+  // cached contexts and the controller's state advances exactly as
+  // serial processing would.  Each slot owns a persistent FrameContext,
+  // a recycling BufferPool, and — temporal mode — the coherence state
+  // of its fixed-stride frame chain (slot k sees frames k, k + slots,
+  // k + 2·slots, …; with one worker the chain is the clip itself).
+  // Round boundaries cannot change any value: per-frame raw searches
+  // are independent (temporal reuse is verified, see temporal.h), and
+  // flicker control consumes them in frame order either way.
+  const bool temporal =
+      opts_.temporal_reuse && !opts_.use_streaming_histogram;
+  const auto threads = static_cast<std::size_t>(pool_.thread_count());
+  const std::size_t slots = std::max<std::size_t>(
+      1, std::min(frames.size(), threads == 1 ? 1 : 2 * threads));
+
+  struct Slot {
+    std::unique_ptr<util::BufferPool> pool;
+    std::unique_ptr<FrameContext> ctx;
+    TemporalReuse reuse;
+    core::HebsResult raw;
+    Slot(const EngineOptions& opts, bool temporal_on)
+        : pool(make_pool(opts)), reuse(slot_reuse_options(temporal_on)) {}
+
+    static TemporalOptions slot_reuse_options(bool temporal_on) {
+      TemporalOptions t;  // delta threshold keeps its one default
+      t.enabled = temporal_on;
+      return t;
+    }
+  };
+  std::vector<Slot> slot_states;
+  slot_states.reserve(slots);
+  for (std::size_t k = 0; k < slots; ++k) {
+    slot_states.emplace_back(opts_, temporal);
+  }
+
   std::vector<core::FrameDecision> decisions;
   decisions.reserve(frames.size());
-  std::vector<std::unique_ptr<FrameContext>> contexts(
-      std::min(window, frames.size()));
-  std::vector<core::HebsResult> raws(contexts.size());
-  for (std::size_t begin = 0; begin < frames.size(); begin += window) {
-    const std::size_t count = std::min(window, frames.size() - begin);
+
+  // One callable for the whole clip (constructing a std::function per
+  // round would put an allocation back into the steady state).
+  std::size_t begin = 0;
+  const std::function<void(std::size_t, int)> search_round =
+      [&](std::size_t k, int) {
+        const std::size_t i = begin + k;
+        Slot& s = slot_states[k];
+        util::PoolScope scope(s.pool.get());
+        if (!s.ctx) {
+          s.ctx = std::make_unique<FrameContext>(vopts.hebs,
+                                                 controller.power_model());
+        }
+        if (!estimates.empty()) {
+          s.ctx->rebind(frames[i]);
+          s.ctx->set_histogram_estimate(estimates[i]);
+          s.raw = run_exact(*s.ctx, vopts.d_max_percent);
+        } else {
+          // TemporalReuse handles both modes: disabled, it degrades to
+          // rebind + run_exact (the cold path).
+          s.raw = s.reuse.process(*s.ctx, frames[i], vopts.d_max_percent);
+        }
+      };
+
+  // The ordered post-stage's scratch (applied-β re-derivations) has its
+  // own pool: it runs on the calling thread across all slots.
+  auto post_pool = make_pool(opts_);
+  for (begin = 0; begin < frames.size(); begin += slots) {
+    const std::size_t count = std::min(slots, frames.size() - begin);
 
     // Parallel stage: the per-frame exact HEBS search.  Contexts stay
     // alive into the post-stage, which reuses their caches for the
     // applied-β re-derivation.
-    pool_.parallel_for(count, [&](std::size_t k, int) {
-      const std::size_t i = begin + k;
-      contexts[k] = std::make_unique<FrameContext>(
-          frames[i], vopts.hebs, controller.power_model());
-      if (!estimates.empty()) {
-        contexts[k]->set_histogram_estimate(estimates[i]);
-      }
-      raws[k] = run_exact(*contexts[k], vopts.d_max_percent);
-    });
+    pool_.parallel_for(count, search_round);
 
     // Ordered post-stage: flicker control advances the controller's
     // state exactly as serial per-frame processing would.
+    util::PoolScope scope(post_pool.get());
     for (std::size_t k = 0; k < count; ++k) {
-      decisions.push_back(
-          controller.apply_flicker_control(*contexts[k], raws[k]));
-      contexts[k].reset();  // caches are frame-local; free them eagerly
+      decisions.push_back(controller.apply_flicker_control(
+          *slot_states[k].ctx, slot_states[k].raw));
     }
   }
+  // Release pooled caches before their pools detach (see map_frames).
+  slot_states.clear();
   return decisions;
 }
 

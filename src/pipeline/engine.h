@@ -46,6 +46,25 @@ struct EngineOptions {
   bool use_streaming_histogram = false;
   /// Estimator configuration when use_streaming_histogram is set.
   hebs::histogram::StreamingOptions streaming;
+  /// Per-worker recycling buffer pools: all per-frame scratch (rasters,
+  /// integral tables, curves, memo nodes) recycles instead of hitting
+  /// the heap — the engine's steady state allocates nothing per frame.
+  /// Purely a performance knob; outputs are identical either way.
+  bool use_buffer_pool = true;
+  /// Free-list retention cap per pool, in bytes (0 = unlimited; an
+  /// eviction inside the per-frame working set would reintroduce
+  /// steady-state allocations).
+  std::size_t pool_max_retained_bytes = 0;
+  /// Stream mode: temporal-coherence fast path (duplicate-frame reuse,
+  /// incremental histograms, warm-started searches).  Outputs are
+  /// bit-identical to the cold path whenever measured distortion is
+  /// monotone over the search interval (sub-0.1% quantization wiggles
+  /// are the only exception; every decision honors the distortion
+  /// budget either way — see DESIGN.md §9 and pipeline/temporal.h).
+  /// Disable for unconditional cold-path equality.  Ignored when
+  /// use_streaming_histogram is set (the stateful estimator makes
+  /// consecutive frames non-comparable).
+  bool temporal_reuse = true;
 };
 
 class PipelineEngine {

@@ -33,6 +33,22 @@ void FrameContext::rebind(const hebs::image::GrayImage& image) {
   by_target_.clear();
 }
 
+void FrameContext::rebind_unchanged(const hebs::image::GrayImage& image) {
+  HEBS_REQUIRE(image_ != nullptr && image_->width() == image.width() &&
+                   image_->height() == image.height(),
+               "rebind_unchanged needs a bound context of equal dimensions");
+  // Caches stay: they depend only on pixel content (byte-identical by
+  // the caller's contract), the options and the power model.
+  image_ = &image;
+}
+
+void FrameContext::set_exact_histogram(hebs::histogram::Histogram hist) {
+  HEBS_REQUIRE(image_ != nullptr, "FrameContext is not bound to a frame");
+  HEBS_REQUIRE(hist.total() == image_->size(),
+               "seeded histogram does not cover the frame");
+  exact_hist_ = std::move(hist);
+}
+
 const hebs::image::GrayImage& FrameContext::image() const {
   HEBS_REQUIRE(image_ != nullptr, "FrameContext is not bound to a frame");
   return *image_;
@@ -96,8 +112,8 @@ namespace {
 
 core::HebsResult& lookup_mutable(
     const FrameContext& ctx, int range,
-    std::map<int, core::HebsResult*>& by_range,
-    std::map<std::pair<int, int>, core::HebsResult>& by_target) {
+    hebs::util::PoolMap<int, core::HebsResult*>& by_range,
+    hebs::util::PoolMap<std::pair<int, int>, core::HebsResult>& by_target) {
   const auto range_it = by_range.find(range);
   if (range_it != by_range.end()) {
     return *range_it->second;

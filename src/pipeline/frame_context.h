@@ -29,6 +29,7 @@
 #include "power/lcd_power.h"
 #include "quality/distortion.h"
 #include "transform/pwl.h"
+#include "util/pool.h"
 
 namespace hebs::pipeline {
 
@@ -50,8 +51,25 @@ class FrameContext {
 
   /// Points the context at a new frame and clears every frame-derived
   /// cache.  The image is NOT copied; the caller keeps it alive for the
-  /// lifetime of the binding.
+  /// lifetime of the binding.  When the calling thread has a BufferPool
+  /// installed, the dropped caches recycle through it instead of hitting
+  /// the heap — rebind() recycles, it does not free.
   void rebind(const hebs::image::GrayImage& image);
+
+  /// Points the context at a new frame whose pixels are byte-identical
+  /// to the currently bound one, KEEPING every frame-derived cache.
+  /// Every memoized product is a deterministic function of the pixel
+  /// content (plus options/model), so the caches remain exactly what a
+  /// full rebind would recompute.  The temporal fast path uses this for
+  /// duplicate frames; callers must have verified byte equality.
+  void rebind_unchanged(const hebs::image::GrayImage& image);
+
+  /// Seeds the exact-histogram cache after rebind().  `hist` must equal
+  /// Histogram::from_image(image) — the temporal fast path maintains it
+  /// incrementally from the previous frame's histogram (integer counts,
+  /// so the incremental update is exact) and hands it over here to skip
+  /// the full recount.
+  void set_exact_histogram(hebs::histogram::Histogram hist);
 
   bool bound() const noexcept { return image_ != nullptr; }
   const hebs::image::GrayImage& image() const;
@@ -137,9 +155,13 @@ class FrameContext {
   mutable std::optional<hebs::histogram::Histogram> exact_hist_;
   mutable std::optional<hebs::quality::DistortionEvaluator> evaluator_;
   mutable std::optional<hebs::power::PowerBreakdown> reference_power_;
-  mutable std::map<std::pair<int, int>, hebs::transform::PwlCurve> ghe_;
-  mutable std::map<std::pair<int, int>, core::HebsResult> by_target_;
-  mutable std::map<int, core::HebsResult*> by_range_;
+  // Pool-backed maps: rebind()'s clear() returns the nodes to the
+  // worker's BufferPool and the next frame's probes reacquire them.
+  mutable hebs::util::PoolMap<std::pair<int, int>, hebs::transform::PwlCurve>
+      ghe_;
+  mutable hebs::util::PoolMap<std::pair<int, int>, core::HebsResult>
+      by_target_;
+  mutable hebs::util::PoolMap<int, core::HebsResult*> by_range_;
 };
 
 }  // namespace hebs::pipeline

@@ -1,6 +1,7 @@
 #include "pipeline/stages.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/backlight.h"
 #include "core/distortion_curve.h"
@@ -22,7 +23,7 @@ hebs::transform::PwlCurve affine_placement(int lo, int hi, int g_min,
   const double xn_hi = static_cast<double>(hi) / hebs::image::kMaxPixel;
   const double yn_lo = static_cast<double>(g_min) / hebs::image::kMaxPixel;
   const double yn_hi = static_cast<double>(g_max) / hebs::image::kMaxPixel;
-  std::vector<hebs::transform::CurvePoint> pts;
+  hebs::transform::PwlCurve::PointList pts;
   if (lo > 0) pts.push_back({0.0, yn_lo});
   pts.push_back({xn_lo, yn_lo});
   pts.push_back({xn_hi, yn_hi});
@@ -37,7 +38,7 @@ hebs::transform::PwlCurve blend_curves(const hebs::transform::PwlCurve& a,
                                        double w) {
   const hebs::transform::FloatLut sa = a.sample_levels();
   const hebs::transform::FloatLut sb = b.sample_levels();
-  std::vector<hebs::transform::CurvePoint> pts;
+  hebs::transform::PwlCurve::PointList pts;
   pts.reserve(static_cast<std::size_t>(hebs::image::kLevels));
   for (int level = 0; level < hebs::image::kLevels; ++level) {
     const double x = static_cast<double>(level) / hebs::image::kMaxPixel;
@@ -162,11 +163,22 @@ core::HebsResult run_with_curve(const FrameContext& ctx, double d_max_percent,
 
 namespace {
 
+constexpr int kBetaRefineIters = 12;
+
 /// Concurrent brightness-scaling refinement: with Λ fixed, bisect β
 /// below its luminance-exact value while the measured distortion stays
 /// within budget, and keep the result when it saves more power.
+///
+/// `seed`/`trace` (both nullable) carry the temporal warm start: the
+/// seeded path replays the previous frame's feasibility decisions
+/// arithmetically and verifies only the final bracket endpoints — under
+/// monotone feasibility in β (dimmer can only distort more), a verified
+/// final bracket forces every intermediate decision, so the replay is
+/// exactly the trajectory the cold bisection would take.  Any
+/// verification miss runs the cold loop.
 void refine_beta(const FrameContext& ctx, double d_max_percent,
-                 core::HebsResult& result) {
+                 core::HebsResult& result, const SearchTrace* seed,
+                 SearchTrace* trace) {
   const core::OperatingPoint base = result.point;
   const double min_beta = ctx.options().min_beta;
   // Lean evaluations: only the winning candidate's transformed raster
@@ -178,22 +190,69 @@ void refine_beta(const FrameContext& ctx, double d_max_percent,
   };
 
   const double floor_beta = std::max(min_beta, 0.25 * base.beta);
+  if (trace != nullptr) {
+    trace->refine_ran = true;
+    trace->base_beta = base.beta;
+    trace->floor_beta = floor_beta;
+  }
   core::EvaluatedPoint best = result.evaluation;
   auto at_floor = eval_at(floor_beta);
   if (at_floor.distortion_percent <= d_max_percent) {
     best = at_floor;
+    if (trace != nullptr) trace->floor_feasible = true;
   } else {
-    double feasible = base.beta;
-    double infeasible = floor_beta;
-    for (int i = 0; i < 12; ++i) {
-      const double mid = (feasible + infeasible) / 2.0;
-      const auto eval = eval_at(mid);
-      if (eval.distortion_percent <= d_max_percent) {
-        feasible = mid;
-        best = eval;
-      } else {
-        infeasible = mid;
+    bool replayed = false;
+    if (seed != nullptr && seed->valid && seed->refine_ran &&
+        !seed->floor_feasible && seed->base_beta == base.beta &&
+        seed->floor_beta == floor_beta) {
+      // Replay: the same fp mid arithmetic the cold loop performs,
+      // decisions taken from the seed instead of evaluations.
+      double feasible = base.beta;
+      double infeasible = floor_beta;
+      bool any_feasible = false;
+      for (int i = 0; i < kBetaRefineIters; ++i) {
+        const double mid = (feasible + infeasible) / 2.0;
+        if ((seed->beta_path >> i) & 1u) {
+          feasible = mid;
+          any_feasible = true;
+        } else {
+          infeasible = mid;
+        }
       }
+      // Verify the endpoints.  feasible == base.beta needs no probe (the
+      // range search already measured it within budget); infeasible ==
+      // floor_beta was just measured over budget.
+      bool ok = true;
+      std::optional<core::EvaluatedPoint> ev_f;
+      if (any_feasible) {
+        ev_f = eval_at(feasible);
+        ok = ev_f->distortion_percent <= d_max_percent;
+      }
+      if (ok && infeasible != floor_beta) {
+        ok = eval_at(infeasible).distortion_percent > d_max_percent;
+      }
+      if (ok) {
+        if (any_feasible) best = *ev_f;
+        if (trace != nullptr) trace->beta_path = seed->beta_path;
+        replayed = true;
+      }
+    }
+    if (!replayed) {
+      double feasible = base.beta;
+      double infeasible = floor_beta;
+      std::uint16_t path = 0;
+      for (int i = 0; i < kBetaRefineIters; ++i) {
+        const double mid = (feasible + infeasible) / 2.0;
+        const auto eval = eval_at(mid);
+        if (eval.distortion_percent <= d_max_percent) {
+          feasible = mid;
+          best = eval;
+          path |= static_cast<std::uint16_t>(1u << i);
+        } else {
+          infeasible = mid;
+        }
+      }
+      if (trace != nullptr) trace->beta_path = path;
     }
   }
   if (best.saving_percent > result.evaluation.saving_percent) {
@@ -205,10 +264,14 @@ void refine_beta(const FrameContext& ctx, double d_max_percent,
 
 }  // namespace
 
-core::HebsResult run_exact(const FrameContext& ctx, double d_max_percent) {
+core::HebsResult run_exact_traced(const FrameContext& ctx,
+                                  double d_max_percent,
+                                  const SearchTrace* seed,
+                                  SearchTrace* trace) {
   HEBS_REQUIRE(d_max_percent >= 0.0, "distortion budget must be >= 0");
   const int hi = hebs::image::kMaxPixel - ctx.options().g_min;
   const int lo = std::min(ctx.options().min_range, hi);
+  if (trace != nullptr) *trace = SearchTrace{};
 
   // Distortion decreases (weakly) as the admissible range grows, so the
   // smallest feasible range can be found by bisection on integers.  Each
@@ -219,30 +282,105 @@ core::HebsResult run_exact(const FrameContext& ctx, double d_max_percent) {
   };
 
   core::HebsResult result;
-  if (distortion_at(hi) > d_max_percent) {
-    // Even the widest range misses the budget (tiny budgets on busy
-    // images): return the least-distorted point.
-    return ctx.at_range(hi);
-  }
-  if (distortion_at(lo) <= d_max_percent) {
-    result = ctx.at_range(lo);
-  } else {
-    int infeasible = lo;  // distortion > budget here
-    int feasible = hi;    // distortion <= budget here
-    while (feasible - infeasible > 1) {
-      const int mid = (feasible + infeasible) / 2;
-      if (distortion_at(mid) <= d_max_percent) {
-        feasible = mid;
+  int chosen = 0;
+  bool found = false;
+
+  // Warm path: a bounded local walk from the seeded range instead of a
+  // full bisection.  Under monotone feasibility in range, the walk
+  // terminates exactly when it establishes the verified bracket
+  // p(r) ∧ (r = lo ∨ ¬p(r−1)) — the minimal feasible range, which is
+  // where the cold bisection lands.  The walk is capped: past
+  // kWarmRangeWalk probes the bisection is competitive, and a failed
+  // walk costs little extra — every probe is memoized and the cold
+  // search below reuses it.
+  constexpr int kWarmRangeWalk = 5;
+  if (seed != nullptr && seed->valid) {
+    if (seed->hi_infeasible) {
+      if (distortion_at(hi) > d_max_percent) {
+        if (trace != nullptr) {
+          trace->valid = true;
+          trace->hi_infeasible = true;
+          trace->range = hi;
+          trace->warmed = true;
+        }
+        // Cold's early exit: the least-distorted point, no refinement.
+        return ctx.at_range(hi);
+      }
+    } else {
+      int r = std::clamp(seed->range, lo, hi);
+      int budget = kWarmRangeWalk;
+      if (distortion_at(r) <= d_max_percent) {
+        // Feasible: walk down to the smallest feasible range.
+        while (r > lo && budget > 0 &&
+               distortion_at(r - 1) <= d_max_percent) {
+          --r;
+          --budget;
+        }
+        // Established when the loop stopped on the bracket condition,
+        // not on an exhausted budget.
+        found = r == lo || (budget > 0 &&
+                            distortion_at(r - 1) > d_max_percent);
       } else {
-        infeasible = mid;
+        // Infeasible: walk up to the first feasible range.
+        while (r < hi && budget > 0) {
+          ++r;
+          --budget;
+          if (distortion_at(r) <= d_max_percent) {
+            // ¬p(r−1) held when the walk passed it.
+            found = true;
+            break;
+          }
+        }
+      }
+      if (found) {
+        chosen = r;
+        result = ctx.at_range(chosen);
+        if (trace != nullptr) trace->warmed = true;
       }
     }
-    result = ctx.at_range(feasible);
   }
+
+  if (!found) {
+    if (distortion_at(hi) > d_max_percent) {
+      // Even the widest range misses the budget (tiny budgets on busy
+      // images): return the least-distorted point.
+      if (trace != nullptr) {
+        trace->valid = true;
+        trace->hi_infeasible = true;
+        trace->range = hi;
+      }
+      return ctx.at_range(hi);
+    }
+    if (distortion_at(lo) <= d_max_percent) {
+      chosen = lo;
+    } else {
+      int infeasible = lo;  // distortion > budget here
+      int feasible = hi;    // distortion <= budget here
+      while (feasible - infeasible > 1) {
+        const int mid = (feasible + infeasible) / 2;
+        if (distortion_at(mid) <= d_max_percent) {
+          feasible = mid;
+        } else {
+          infeasible = mid;
+        }
+      }
+      chosen = feasible;
+    }
+    result = ctx.at_range(chosen);
+  }
+
   if (ctx.options().concurrent_scaling) {
-    refine_beta(ctx, d_max_percent, result);
+    refine_beta(ctx, d_max_percent, result, seed, trace);
+  }
+  if (trace != nullptr) {
+    trace->valid = true;
+    trace->range = chosen;
   }
   return result;
+}
+
+core::HebsResult run_exact(const FrameContext& ctx, double d_max_percent) {
+  return run_exact_traced(ctx, d_max_percent, nullptr, nullptr);
 }
 
 }  // namespace hebs::pipeline

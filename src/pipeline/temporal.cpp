@@ -1,0 +1,95 @@
+#include "pipeline/temporal.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace hebs::pipeline {
+
+namespace {
+
+/// Frames to stop seeding the searches after a warm miss: on content
+/// whose operating point jumps every frame (pans, cuts), failed
+/// verification probes are pure overhead, so back off and retry only
+/// occasionally.  Warm hits reset the cooldown immediately.
+constexpr int kSeedCooldown = 4;
+
+}  // namespace
+
+void TemporalReuse::reset() {
+  has_prev_ = false;
+  trace_ = SearchTrace{};
+  seed_cooldown_ = 0;
+}
+
+core::HebsResult TemporalReuse::process(FrameContext& ctx,
+                                        const hebs::image::GrayImage& frame,
+                                        double d_max_percent) {
+  ++stats_.frames;
+  if (!opts_.enabled) {
+    ctx.rebind(frame);
+    return run_exact(ctx, d_max_percent);
+  }
+
+  // One pass over (prev, cur) classifies the frame: byte-identical,
+  // small delta (histogram refreshed incrementally as a side effect),
+  // or large delta (bail, full recount).  ctx.bound() guards the
+  // full-reuse path: its caches must describe prev_frame_'s content.
+  bool unchanged = false;
+  bool have_hist = false;
+  hebs::histogram::Histogram refreshed;
+  if (has_prev_ && prev_frame_.width() == frame.width() &&
+      prev_frame_.height() == frame.height() && ctx.bound()) {
+    const auto max_changed = static_cast<std::size_t>(
+        opts_.max_delta_fraction * static_cast<double>(frame.size()));
+    refreshed = prev_hist_;
+    std::size_t changed = 0;
+    if (refreshed.refresh_from_delta(prev_frame_, frame, max_changed,
+                                     &changed)) {
+      if (changed == 0) {
+        unchanged = true;
+      } else {
+        have_hist = true;
+      }
+    }
+  }
+
+  core::HebsResult result;
+  if (unchanged) {
+    // The context's caches all derive from pixel content identical to
+    // this frame's; keep them and return the previous raw result —
+    // run_exact is deterministic, so recomputing would reproduce it.
+    ctx.rebind_unchanged(frame);
+    ++stats_.unchanged;
+    result = prev_raw_;
+  } else {
+    ctx.rebind(frame);
+    if (have_hist) {
+      ctx.set_exact_histogram(refreshed);
+      prev_hist_ = std::move(refreshed);
+      ++stats_.incremental;
+    }
+    SearchTrace out;
+    const SearchTrace* seed =
+        (has_prev_ && trace_.valid && seed_cooldown_ == 0) ? &trace_
+                                                           : nullptr;
+    result = run_exact_traced(ctx, d_max_percent, seed, &out);
+    if (out.warmed) {
+      ++stats_.warmed;
+      seed_cooldown_ = 0;
+    } else if (seed != nullptr) {
+      seed_cooldown_ = kSeedCooldown;
+    } else if (seed_cooldown_ > 0) {
+      --seed_cooldown_;
+    }
+    trace_ = out;
+    if (!have_hist) prev_hist_ = ctx.exact_histogram();
+    prev_raw_ = result;
+    // The unchanged path skips this copy: the delta walk just proved
+    // prev_frame_ already holds these bytes.
+    prev_frame_ = frame;
+  }
+  has_prev_ = true;
+  return result;
+}
+
+}  // namespace hebs::pipeline

@@ -6,6 +6,7 @@
 
 #include "kernels/kernels.h"
 #include "util/mathutil.h"
+#include "util/pool.h"
 
 namespace hebs::quality {
 
@@ -31,7 +32,8 @@ hebs::image::FloatImage gaussian_blur(const hebs::image::FloatImage& in,
   const int w = in.width();
   const int h = in.height();
   const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
-  std::vector<double> kernel(static_cast<std::size_t>(2 * radius) + 1);
+  hebs::util::PoolVector<double> kernel(static_cast<std::size_t>(2 * radius) +
+                                        1);
   double norm = 0.0;
   for (int k = -radius; k <= radius; ++k) {
     const double v = std::exp(-(k * k) / (2.0 * sigma * sigma));

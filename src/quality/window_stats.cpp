@@ -51,7 +51,7 @@ IntegralImage IntegralImage::of_squares(std::span<const double> values,
   IntegralImage out(width, height);
   const std::size_t stride = table_stride(width);
   out.table_.assign(table_cells(width, height), 0.0);
-  std::vector<double> scratch(static_cast<std::size_t>(width));
+  hebs::util::PoolVector<double> scratch(static_cast<std::size_t>(width));
   const auto& kernels = hebs::kernels::active();
   for (int y = 0; y < height; ++y) {
     const double* row = values.data() + static_cast<std::size_t>(y) * width;
@@ -75,7 +75,7 @@ IntegralImage IntegralImage::of_products(std::span<const double> a,
   IntegralImage out(width, height);
   const std::size_t stride = table_stride(width);
   out.table_.assign(table_cells(width, height), 0.0);
-  std::vector<double> scratch(static_cast<std::size_t>(width));
+  hebs::util::PoolVector<double> scratch(static_cast<std::size_t>(width));
   const auto& kernels = hebs::kernels::active();
   for (int y = 0; y < height; ++y) {
     kernels.mul_f64(a.data() + static_cast<std::size_t>(y) * width,
@@ -124,9 +124,10 @@ namespace {
 /// Shared b-side builder for both PairStats constructors: the b, b*b
 /// and a*b tables in one fused sweep per row.
 void build_pair_tables(std::span<const double> a, std::span<const double> b,
-                       int width, int height, std::vector<double>& table_b,
-                       std::vector<double>& table_bb,
-                       std::vector<double>& table_ab) {
+                       int width, int height,
+                       hebs::util::PoolVector<double>& table_b,
+                       hebs::util::PoolVector<double>& table_bb,
+                       hebs::util::PoolVector<double>& table_ab) {
   const std::size_t stride = table_stride(width);
   table_b.assign(table_cells(width, height), 0.0);
   table_bb.assign(table_cells(width, height), 0.0);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "image/image.h"
+#include "util/pool.h"
 
 namespace hebs::quality {
 
@@ -47,7 +48,8 @@ class IntegralImage {
   int width_;
   int height_;
   // (width+1) x (height+1) with a zero top row / left column.
-  std::vector<double> table_;
+  // Pool-backed: the metric path builds three of these per evaluation.
+  hebs::util::PoolVector<double> table_;
 };
 
 /// Precomputed integral images of a single raster (sum and sum of

@@ -24,7 +24,7 @@ PwlCurve contrast_stretch_curve(double beta) {
 PwlCurve single_band_curve(double g_l, double g_u) {
   HEBS_REQUIRE(g_l >= 0.0 && g_u <= 1.0 && g_l < g_u,
                "band must satisfy 0 <= g_l < g_u <= 1");
-  std::vector<CurvePoint> pts;
+  PwlCurve::PointList pts;
   if (g_l > 0.0) pts.push_back({0.0, 0.0});
   pts.push_back({g_l, 0.0});
   pts.push_back({g_u, 1.0});

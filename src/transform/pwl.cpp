@@ -8,8 +8,7 @@
 
 namespace hebs::transform {
 
-PwlCurve::PwlCurve(std::vector<CurvePoint> points)
-    : points_(std::move(points)) {
+PwlCurve::PwlCurve(PointList points) : points_(std::move(points)) {
   HEBS_REQUIRE(points_.size() >= 2, "a PWL curve needs at least two points");
   for (std::size_t i = 1; i < points_.size(); ++i) {
     HEBS_REQUIRE(points_[i].x > points_[i - 1].x,
@@ -79,7 +78,7 @@ FloatLut PwlCurve::sample_levels() const {
 Lut PwlCurve::to_lut() const { return sample_levels().quantize(); }
 
 PwlCurve PwlCurve::from_lut(const Lut& lut) {
-  std::vector<CurvePoint> pts;
+  PointList pts;
   pts.reserve(Lut::kSize);
   for (int i = 0; i < Lut::kSize; ++i) {
     pts.push_back({static_cast<double>(i) / hebs::image::kMaxPixel,
@@ -89,7 +88,7 @@ PwlCurve PwlCurve::from_lut(const Lut& lut) {
 }
 
 PwlCurve PwlCurve::identity() {
-  return PwlCurve({{0.0, 0.0}, {1.0, 1.0}});
+  return PwlCurve(PointList{{0.0, 0.0}, {1.0, 1.0}});
 }
 
 double PwlCurve::mse_between(const PwlCurve& a, const PwlCurve& b) {

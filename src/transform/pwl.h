@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "transform/lut.h"
+#include "util/pool.h"
 
 namespace hebs::transform {
 
@@ -22,17 +23,30 @@ struct CurvePoint {
 /// A piecewise-linear curve defined by ordered breakpoints.
 class PwlCurve {
  public:
+  /// Breakpoint storage: pool-backed so curve churn (one Φ and one Λ
+  /// per probed range, every frame) recycles through the worker's
+  /// BufferPool.
+  using PointList = hebs::util::PoolVector<CurvePoint>;
+
   PwlCurve() = default;
 
   /// Builds from breakpoints; xs must be strictly increasing and the
   /// first/last x are expected to cover the evaluation domain.
-  explicit PwlCurve(std::vector<CurvePoint> points);
+  explicit PwlCurve(PointList points);
+
+  /// Convenience for plain-vector call sites (tests, tools); copies.
+  explicit PwlCurve(const std::vector<CurvePoint>& points)
+      : PwlCurve(PointList(points.begin(), points.end())) {}
+
+  /// Braced-list construction: PwlCurve({{0.0, 0.0}, {1.0, 1.0}}).
+  PwlCurve(std::initializer_list<CurvePoint> points)
+      : PwlCurve(PointList(points.begin(), points.end())) {}
 
   /// Evaluates by linear interpolation; x outside [front.x, back.x]
   /// clamps to the end values.
   double operator()(double x) const;
 
-  const std::vector<CurvePoint>& points() const noexcept { return points_; }
+  const PointList& points() const noexcept { return points_; }
 
   /// Number of linear segments (points - 1; 0 for degenerate curves).
   int segment_count() const noexcept {
@@ -68,7 +82,7 @@ class PwlCurve {
   static double mse_between(const PwlCurve& a, const PwlCurve& b);
 
  private:
-  std::vector<CurvePoint> points_;
+  PointList points_;
 };
 
 }  // namespace hebs::transform

@@ -1,0 +1,178 @@
+#include "util/pool.h"
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace hebs::util {
+
+namespace pool_detail {
+
+namespace {
+
+/// Rounding quantum for free-list buckets: close-but-unequal sizes share
+/// a bucket, and the per-frame working set (identical sizes every frame)
+/// always hits exactly.
+constexpr std::size_t kBucketQuantum = 64;
+
+/// Header preceding every payload.  16 bytes keeps the payload at the
+/// max_align_t alignment operator new provides.
+struct BlockHeader {
+  PoolCore* origin;   ///< pool custody; nullptr = plain heap block
+  std::size_t bytes;  ///< rounded payload size (the bucket key)
+};
+static_assert(sizeof(BlockHeader) <= alignof(std::max_align_t),
+              "header must preserve payload alignment");
+
+constexpr std::size_t kHeaderSize = alignof(std::max_align_t);
+
+std::size_t round_bucket(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  return (bytes + kBucketQuantum - 1) / kBucketQuantum * kBucketQuantum;
+}
+
+void* payload_of(void* raw) noexcept {
+  return static_cast<std::byte*>(raw) + kHeaderSize;
+}
+
+BlockHeader* header_of(void* payload) noexcept {
+  return reinterpret_cast<BlockHeader*>(static_cast<std::byte*>(payload) -
+                                        kHeaderSize);
+}
+
+}  // namespace
+
+/// Shared pool state.  Separated from BufferPool so blocks that outlive
+/// the pool object can still find their way home: the core is
+/// refcounted by its outstanding blocks and self-destructs when the
+/// owner has detached and the last block returns.
+struct PoolCore {
+  explicit PoolCore(PoolOptions o) : opts(o) {}
+
+  PoolOptions opts;
+  mutable std::mutex mu;
+  // Bucket size -> stack of cached raw blocks (header included).  The
+  // map and its vectors use the global heap; in steady state they only
+  // pop/push within existing capacity, so they allocate during warm-up
+  // only.
+  std::unordered_map<std::size_t, std::vector<void*>> free_;
+  std::size_t retained_bytes = 0;
+  std::size_t outstanding = 0;
+  bool detached = false;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+
+  /// Caller must hold mu.  Frees every cached block.
+  void release_cached_locked() {
+    for (auto& [bytes, blocks] : free_) {
+      (void)bytes;
+      for (void* raw : blocks) ::operator delete(raw);
+      blocks.clear();
+    }
+    retained_bytes = 0;
+  }
+};
+
+namespace {
+
+thread_local PoolCore* t_current = nullptr;
+
+}  // namespace
+
+PoolCore* current_core() noexcept { return t_current; }
+
+void* pool_allocate(std::size_t bytes) {
+  const std::size_t rounded = round_bucket(bytes);
+  PoolCore* core = t_current;
+  if (core != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(core->mu);
+      auto it = core->free_.find(rounded);
+      if (it != core->free_.end() && !it->second.empty()) {
+        void* raw = it->second.back();
+        it->second.pop_back();
+        core->retained_bytes -= rounded;
+        ++core->outstanding;
+        ++core->hits;
+        return payload_of(raw);
+      }
+    }
+    // Miss: take the heap block first — outstanding may only count
+    // blocks that actually exist (a throwing `new` must not wedge the
+    // detached-core refcount).
+    void* raw = ::operator new(kHeaderSize + rounded);
+    {
+      std::lock_guard<std::mutex> lock(core->mu);
+      ++core->outstanding;
+      ++core->misses;
+    }
+    *static_cast<BlockHeader*>(raw) = {core, rounded};
+    return payload_of(raw);
+  }
+  void* raw = ::operator new(kHeaderSize + rounded);
+  *static_cast<BlockHeader*>(raw) = {nullptr, rounded};
+  return payload_of(raw);
+}
+
+void pool_deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  BlockHeader* header = header_of(p);
+  PoolCore* core = header->origin;
+  if (core == nullptr) {
+    ::operator delete(header);
+    return;
+  }
+  bool destroy_core = false;
+  {
+    std::lock_guard<std::mutex> lock(core->mu);
+    --core->outstanding;
+    const std::size_t cap = core->opts.max_retained_bytes;
+    if (!core->detached &&
+        (cap == 0 || core->retained_bytes + header->bytes <= cap)) {
+      core->free_[header->bytes].push_back(header);
+      core->retained_bytes += header->bytes;
+      header = nullptr;  // cached; pool keeps custody
+    }
+    destroy_core = core->detached && core->outstanding == 0;
+  }
+  if (header != nullptr) ::operator delete(header);
+  if (destroy_core) delete core;
+}
+
+}  // namespace pool_detail
+
+BufferPool::BufferPool(PoolOptions opts)
+    : core_(new pool_detail::PoolCore(opts)) {}
+
+BufferPool::~BufferPool() {
+  bool destroy = false;
+  {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    core_->release_cached_locked();
+    core_->detached = true;
+    destroy = core_->outstanding == 0;
+  }
+  if (destroy) delete core_;
+  // Otherwise the last outstanding block's deallocation deletes the
+  // core (see pool_deallocate).
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return {core_->hits, core_->misses, core_->outstanding,
+          core_->retained_bytes};
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  core_->release_cached_locked();
+}
+
+PoolScope::PoolScope(BufferPool* pool) noexcept
+    : prev_(pool_detail::t_current) {
+  if (pool != nullptr) pool_detail::t_current = pool->core_;
+}
+
+PoolScope::~PoolScope() { pool_detail::t_current = prev_; }
+
+}  // namespace hebs::util

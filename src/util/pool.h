@@ -1,0 +1,142 @@
+// Recycling buffer pool — the allocation backbone of the engine's
+// zero-allocation steady state.
+//
+// The per-frame pipeline allocates the same family of buffers over and
+// over: frame-sized rasters (reference luminance, HVS lightness, test
+// rasters), integral-image tables, 256-point transfer curves, PLC
+// scratch, memo-map nodes.  A `BufferPool` keeps freed blocks on
+// size-bucketed free lists instead of returning them to the heap, so
+// after a short warm-up every per-frame allocation is served by
+// recycling a block freed one frame earlier and the steady state
+// performs zero heap allocations per frame (the counting-allocator
+// harness `bench_alloc_steady_state` enforces exactly this).
+//
+// Plumbing is by allocator, not by call site: `PoolAllocator<T>` is a
+// stateless STL allocator that draws from the calling thread's
+// *current* pool (installed with a RAII `PoolScope`) and falls back to
+// the global heap when none is installed.  Every block carries a header
+// naming its origin pool, so a container may be freed on any thread, in
+// any scope — even after the owning `BufferPool` object is gone (the
+// refcounted pool core outlives its last outstanding block).  This is
+// what lets pipeline results (curves, rasters) escape the engine's
+// worker scopes and still deallocate safely.
+//
+// Ownership rules (DESIGN.md §9):
+//   * allocation goes to the thread's current pool; free goes to the
+//     block's origin pool, wherever the free happens;
+//   * a pool never frees an outstanding block — destroying the
+//     `BufferPool` releases the cached (free) blocks and detaches; the
+//     last outstanding block returning to a detached core frees both;
+//   * pools are thread-safe (one mutex per pool); for scalability the
+//     engine gives each worker slot its own pool.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <new>
+#include <vector>
+
+namespace hebs::util {
+
+namespace pool_detail {
+
+struct PoolCore;
+
+/// Allocates `bytes` from the calling thread's current pool (or the
+/// global heap when none is installed).  Never returns nullptr.
+void* pool_allocate(std::size_t bytes);
+
+/// Returns a pool_allocate'd block to its origin pool (or the heap).
+void pool_deallocate(void* p) noexcept;
+
+PoolCore* current_core() noexcept;
+
+}  // namespace pool_detail
+
+/// Pool configuration.
+struct PoolOptions {
+  /// Cap on bytes kept on the free lists; blocks freed beyond the cap go
+  /// to the heap.  0 = unlimited (the default — an eviction under the
+  /// per-frame working set would break the zero-allocation steady
+  /// state).
+  std::size_t max_retained_bytes = 0;
+};
+
+/// A recycling arena: size-bucketed free lists of heap blocks.
+class BufferPool {
+ public:
+  explicit BufferPool(PoolOptions opts = {});
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Counters for the harnesses and tests.
+  struct Stats {
+    std::size_t hits = 0;         ///< allocations served from a free list
+    std::size_t misses = 0;       ///< allocations that hit the heap
+    std::size_t outstanding = 0;  ///< blocks currently alive
+    std::size_t retained_bytes = 0;  ///< bytes cached on the free lists
+  };
+  Stats stats() const;
+
+  /// Releases every cached (free) block to the heap.
+  void trim();
+
+ private:
+  friend class PoolScope;
+  pool_detail::PoolCore* core_;
+};
+
+/// RAII: installs a pool as the calling thread's allocation arena for
+/// `PoolAllocator` and restores the previous one on destruction.
+/// A null pool is a no-op scope.
+class PoolScope {
+ public:
+  explicit PoolScope(BufferPool* pool) noexcept;
+  ~PoolScope();
+
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+
+ private:
+  pool_detail::PoolCore* prev_;
+};
+
+/// Stateless STL allocator over the thread's current pool.  All
+/// instances compare equal; deallocation is routed by the block header,
+/// so containers may migrate across threads and pool scopes freely.
+template <class T>
+struct PoolAllocator {
+  using value_type = T;
+  using is_always_equal = std::true_type;
+
+  PoolAllocator() noexcept = default;
+  template <class U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > static_cast<std::size_t>(-1) / sizeof(T)) throw std::bad_alloc();
+    return static_cast<T*>(pool_detail::pool_allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    pool_detail::pool_deallocate(p);
+  }
+
+  template <class U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// The pool-backed vector every recycled buffer in the pipeline uses.
+template <class T>
+using PoolVector = std::vector<T, PoolAllocator<T>>;
+
+/// Pool-backed ordered map (the FrameContext memo maps — their nodes
+/// are freed on every rebind and reacquired for the next frame).
+template <class K, class V>
+using PoolMap = std::map<K, V, std::less<K>,
+                         PoolAllocator<std::pair<const K, V>>>;
+
+}  // namespace hebs::util

@@ -1,0 +1,123 @@
+// Tests for the recycling buffer pool (util/pool.h): recycling
+// behavior, scope nesting, cross-thread frees, and blocks that outlive
+// their pool.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "util/pool.h"
+
+namespace hebs::util {
+namespace {
+
+TEST(BufferPool, RecyclesFreedBlocks) {
+  BufferPool pool;
+  PoolScope scope(&pool);
+  { PoolVector<double> v(1000); }
+  const auto after_first = pool.stats();
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_first.outstanding, 0u);
+  EXPECT_GT(after_first.retained_bytes, 0u);
+  { PoolVector<double> v(1000); }
+  const auto after_second = pool.stats();
+  EXPECT_EQ(after_second.hits, 1u);
+  EXPECT_EQ(after_second.misses, 1u);
+}
+
+TEST(BufferPool, SimilarSizesShareABucket) {
+  BufferPool pool;
+  PoolScope scope(&pool);
+  { PoolVector<std::uint8_t> v(1000); }
+  { PoolVector<std::uint8_t> v(1020); }  // same 64-byte bucket
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPool, NoScopeMeansPlainHeap) {
+  BufferPool pool;
+  { PoolVector<double> v(100); }  // no scope installed
+  const auto s = pool.stats();
+  EXPECT_EQ(s.hits + s.misses, 0u);
+  EXPECT_EQ(s.retained_bytes, 0u);
+}
+
+TEST(BufferPool, ScopesNest) {
+  BufferPool outer;
+  BufferPool inner;
+  PoolScope outer_scope(&outer);
+  {
+    PoolScope inner_scope(&inner);
+    { PoolVector<double> v(64); }
+    EXPECT_EQ(inner.stats().misses, 1u);
+    EXPECT_EQ(outer.stats().misses, 0u);
+  }
+  { PoolVector<double> v(64); }
+  EXPECT_EQ(outer.stats().misses, 1u);
+}
+
+TEST(BufferPool, FreeGoesToOriginNotCurrent) {
+  BufferPool a;
+  BufferPool b;
+  PoolVector<double> v;
+  {
+    PoolScope scope(&a);
+    v.assign(128, 0.0);
+  }
+  {
+    PoolScope scope(&b);
+    v = PoolVector<double>();  // frees a's block while b is current
+  }
+  EXPECT_GT(a.stats().retained_bytes, 0u);
+  EXPECT_EQ(b.stats().retained_bytes, 0u);
+}
+
+TEST(BufferPool, CrossThreadFreeIsSafe) {
+  BufferPool pool;
+  PoolVector<double> v;
+  {
+    PoolScope scope(&pool);
+    v.assign(4096, 1.0);
+  }
+  std::thread t([moved = std::move(v)]() mutable {
+    moved.clear();
+    moved.shrink_to_fit();
+  });
+  t.join();
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_GT(pool.stats().retained_bytes, 0u);
+}
+
+TEST(BufferPool, BlocksMayOutliveThePool) {
+  PoolVector<double> survivor;
+  {
+    BufferPool pool;
+    PoolScope scope(&pool);
+    survivor.assign(512, 3.0);
+  }
+  // The pool is gone; the block frees through the detached core.
+  EXPECT_EQ(survivor[511], 3.0);
+  survivor = PoolVector<double>();  // must not crash or leak (ASan job)
+}
+
+TEST(BufferPool, RetentionCapEvictsToHeap) {
+  BufferPool pool(PoolOptions{/*max_retained_bytes=*/256});
+  PoolScope scope(&pool);
+  { PoolVector<double> v(4096); }  // 32 KiB > cap: freed to the heap
+  EXPECT_EQ(pool.stats().retained_bytes, 0u);
+  { PoolVector<std::uint8_t> v(100); }  // under the cap: cached
+  EXPECT_GT(pool.stats().retained_bytes, 0u);
+}
+
+TEST(BufferPool, TrimReleasesCachedBlocks) {
+  BufferPool pool;
+  PoolScope scope(&pool);
+  { PoolVector<double> v(1000); }
+  EXPECT_GT(pool.stats().retained_bytes, 0u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().retained_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace hebs::util
