@@ -123,6 +123,7 @@ int main(int argc, char** argv) {
   // Scratch buffers (shared across backends; parity is checked against
   // freshly captured scalar outputs).
   std::vector<std::uint8_t> out8(n);
+  std::vector<std::uint8_t> out8rgb(3 * n);
   std::vector<double> outf(n);
   std::uint64_t counts[256];
   volatile std::uint64_t sink = 0;
@@ -147,6 +148,11 @@ int main(int argc, char** argv) {
            k.lut_apply_u8(img->pixels().data(), n, lut8, out8.data());
          }
          sink = sink + out8[n / 2];
+       }},
+      {"lut_apply_rgb8", 3 * n,
+       [&](const kernels::KernelSet& k) {
+         k.lut_apply_rgb8(rgb.data().data(), n, lut8, out8rgb.data());
+         sink = sink + out8rgb[n];
        }},
       {"luma_bt601_rgb8", n,
        [&](const kernels::KernelSet& k) {
@@ -269,12 +275,19 @@ int main(int argc, char** argv) {
                                            ref_counts);
     kernels::scalar_kernels().lut_apply_u8(frame.pixels().data(), n, lut8,
                                            ref8.data());
+    std::vector<std::uint8_t> ref_rgb(3 * n);
+    kernels::scalar_kernels().lut_apply_rgb8(rgb.data().data(), n, lut8,
+                                             ref_rgb.data());
     for (const auto* s : sets) {
       std::memset(counts, 0, sizeof(counts));
       s->histogram_u8(frame.pixels().data(), n, counts);
       if (std::memcmp(counts, ref_counts, sizeof(counts)) != 0) ++mismatches;
       s->lut_apply_u8(frame.pixels().data(), n, lut8, out8.data());
       if (std::memcmp(out8.data(), ref8.data(), n) != 0) ++mismatches;
+      s->lut_apply_rgb8(rgb.data().data(), n, lut8, out8rgb.data());
+      if (std::memcmp(out8rgb.data(), ref_rgb.data(), 3 * n) != 0) {
+        ++mismatches;
+      }
     }
   }
   std::printf("backend parity on bench frame: %s\n",

@@ -17,6 +17,13 @@
 //   scene-cut  — blocks of unrelated scenes (the adversarial case: the
 //                warm starts must fail fast and fall back cold).
 //
+// A fifth case, static-color, runs a byte-identical RGB clip through
+// the engine's color stream path (luma decisions + the post-decision
+// color stage): the temporal fast path must engage for RGB exactly as
+// for gray — the luma search reuses the unchanged-frame result and the
+// color stage reuses the previous rendering — gated at >= 2x warm
+// speedup alongside slow-drift.
+//
 // Each clip runs through the single-worker stream executor in three
 // configurations — baseline (pools and temporal reuse off: the PR 3
 // cold-start path), pool (pools only), temporal (pools + fast path) —
@@ -26,6 +33,7 @@
 // Writes BENCH_video.json ({bench, config, ns_per_frame, mpix_per_s,
 // backend}).  --min-warm-speedup gates the temporal-vs-baseline ratio
 // on the slow-drift clip (the acceptance criterion is >= 2x).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -115,6 +123,38 @@ VideoOptions config_options(bool pooled, bool temporal) {
   opts.use_buffer_pool = pooled;
   opts.temporal_reuse = temporal;
   return opts;
+}
+
+bool same_color_result(const hebs::pipeline::ColorStreamResult& a,
+                       const hebs::pipeline::ColorStreamResult& b) {
+  return a.decision.beta == b.decision.beta &&
+         a.decision.raw_beta == b.decision.raw_beta &&
+         a.color.hue_error == b.color.hue_error &&
+         std::equal(a.color.displayed.data().begin(),
+                    a.color.displayed.data().end(),
+                    b.color.displayed.data().begin(),
+                    b.color.displayed.data().end());
+}
+
+/// Static RGB clip through the engine's color stream path in one
+/// configuration; returns elapsed seconds.
+double run_color_once(const std::vector<hebs::image::RgbImage>& frames,
+                      const VideoOptions& opts,
+                      std::vector<hebs::pipeline::ColorStreamResult>* out) {
+  hebs::pipeline::EngineOptions eopts;
+  eopts.num_threads = 1;
+  eopts.hebs = opts.hebs;
+  eopts.use_buffer_pool = opts.use_buffer_pool;
+  eopts.temporal_reuse = opts.temporal_reuse;
+  hebs::pipeline::PipelineEngine engine(eopts, hebs::bench::platform());
+  const auto t0 = std::chrono::steady_clock::now();
+  auto results = engine.process_stream_color(
+      frames, opts, hebs::core::ColorMode::kSharedCurve);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (out != nullptr) *out = std::move(results);
+  return elapsed;
 }
 
 bool same_decision(const FrameDecision& a, const FrameDecision& b) {
@@ -233,6 +273,51 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  // --- static-color: byte-identical RGB frames through the engine's
+  // color stream path.  The cold baseline pays the full luma search
+  // plus the per-pixel color rendering every frame; temporal mode must
+  // reuse both (unchanged-frame luma reuse + color-stage rendering
+  // reuse), with outputs identical across configurations.
+  double color_speedup = 0.0;
+  {
+    std::vector<hebs::image::RgbImage> color_clip(
+        static_cast<std::size_t>(frames),
+        hebs::image::make_usid_color(hebs::image::UsidId::kPeppers, size));
+    std::printf("--- static-color ---\n");
+    std::vector<hebs::pipeline::ColorStreamResult> reference;
+    (void)run_color_once(color_clip, config_options(false, false),
+                         &reference);
+    double baseline_s = 0.0;
+    for (const ModeSpec& mode : modes) {
+      const VideoOptions opts = config_options(mode.pooled, mode.temporal);
+      (void)run_color_once(color_clip, opts, nullptr);  // warm caches
+      std::vector<hebs::pipeline::ColorStreamResult> results;
+      const double elapsed = run_color_once(color_clip, opts, &results);
+      std::size_t mismatches = 0;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!same_color_result(results[i], reference[i])) ++mismatches;
+      }
+      if (mismatches != 0) identical = false;
+      const double per_frame_ms =
+          1000.0 * elapsed / static_cast<double>(color_clip.size());
+      const double speedup =
+          mode.pooled || mode.temporal ? baseline_s / elapsed : 1.0;
+      if (!mode.pooled && !mode.temporal) baseline_s = elapsed;
+      if (mode.temporal) color_speedup = speedup;
+      std::printf("  %-9s: %7.2f ms/frame  (%.2fx vs baseline)  "
+                  "bit-identical across configs: %s\n",
+                  mode.name, per_frame_ms, speedup,
+                  mismatches == 0 ? "yes" : "NO");
+      records.push_back(
+          {"video_temporal", std::string("static-color/") + mode.name,
+           elapsed / static_cast<double>(color_clip.size()) * 1e9,
+           static_cast<double>(color_clip.size()) * size * size / elapsed /
+               1e6,
+           backend});
+    }
+    std::printf("\n");
+  }
+
   hebs::bench::write_bench_json("BENCH_video.json", records);
 
   if (!identical) {
@@ -243,9 +328,16 @@ int main(int argc, char** argv) {
   }
   std::printf("slow-drift temporal speedup vs cold baseline: %.2fx\n",
               slow_pan_speedup);
+  std::printf("static-color temporal speedup vs cold baseline: %.2fx\n",
+              color_speedup);
   if (min_warm_speedup > 0.0 && slow_pan_speedup < min_warm_speedup) {
     std::fprintf(stderr, "FAIL: %.2fx < required %.2fx\n",
                  slow_pan_speedup, min_warm_speedup);
+    return 1;
+  }
+  if (min_warm_speedup > 0.0 && color_speedup < min_warm_speedup) {
+    std::fprintf(stderr, "FAIL: static-color %.2fx < required %.2fx\n",
+                 color_speedup, min_warm_speedup);
     return 1;
   }
   return 0;

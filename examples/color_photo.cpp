@@ -1,24 +1,40 @@
-// Color backlight scaling through the facade's RGB ingestion path.
+// Color backlight scaling as a first-class session workload.
 //
 // Usage:
 //   color_photo [input.ppm] [max_distortion_percent]
 //
-// Feeds the session a zero-copy interleaved-RGB8 ImageView: the facade
-// extracts BT.601 luma (bit-identical to a pre-converted grayscale
-// image), runs HEBS on it, and returns the luma-domain operating point.
-// The example then applies the shared transformation to all three
-// sub-pixel channels (§2 of the paper), reports luma distortion,
-// chromaticity drift and power saving, and writes before/after PPMs.
+// Feeds the session a zero-copy interleaved-RGB8 ImageView with
+// color_output requested: the facade extracts BT.601 luma
+// (bit-identical to a pre-converted grayscale image), runs HEBS on it,
+// renders the decided operating point back onto the RGB raster in both
+// color modes — the paper's shared-curve per-channel application (§2)
+// and the chroma-preserving luma-ratio mode — and reports luma
+// distortion, each mode's hue error and the power saving.  Writes
+// before/after PPMs under $TMPDIR.
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
-#include <vector>
 
 #include "hebs/hebs.h"
-// In-repo helpers (PPM I/O, per-channel color application) — not
-// stable API.
-#include "hebs/advanced/core.h"
+// In-repo helpers (PPM I/O, synthetic color album) — not stable API.
 #include "hebs/advanced/image.h"
+
+namespace {
+
+std::string output_dir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = (tmp != nullptr && tmp[0] != '\0') ? tmp : "/tmp";
+  if (dir.back() != '/') dir += '/';
+  return dir + "hebs_color_";
+}
+
+hebs::image::RgbImage to_rgb(const hebs::OwnedRgbImage& img) {
+  return hebs::image::RgbImage::from_pixels(img.width(), img.height(),
+                                            img.pixels());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hebs;
@@ -33,47 +49,44 @@ int main(int argc, char** argv) {
     }
     const double budget = argc > 2 ? std::atof(argv[2]) : 10.0;
 
-    auto session = Session::create(SessionConfig());
-    if (!session) {
-      std::fprintf(stderr, "session: %s\n",
-                   session.status().to_string().c_str());
-      return 1;
-    }
-
-    // The RGB8 view borrows the image's interleaved bytes; the facade
-    // materializes only the luma raster it optimizes on.
-    const ImageView view = ImageView::rgb8(img.data().data(), img.width(),
-                                           img.height());
-    auto result = session->process({view, budget});
-    if (!result) {
-      std::fprintf(stderr, "process: %s\n",
-                   result.status().to_string().c_str());
-      return 1;
-    }
-
-    // Rebuild the operating point from the result's curve and apply it
-    // per channel (one shared monotone curve bounds hue rotation).
-    std::vector<transform::CurvePoint> pts;
-    pts.reserve(result->lambda.size());
-    for (const CurvePoint& p : result->lambda) pts.push_back({p.x, p.y});
-    core::OperatingPoint point{transform::PwlCurve(std::move(pts)),
-                               result->beta};
-    const image::RgbImage displayed = core::apply_to_color(img, point);
-    const double hue_error = core::chromaticity_error(img, displayed);
-
-    std::printf("Color backlight scaling (RGB8 ImageView ingestion)\n");
+    std::printf("Color backlight scaling (first-class RGB workload)\n");
     std::printf("  image               : %s (%dx%d RGB)\n", name.c_str(),
                 img.width(), img.height());
     std::printf("  distortion budget   : %.1f %% (on luma)\n", budget);
-    std::printf("  backlight factor    : %.3f\n", result->beta);
-    std::printf("  luma distortion     : %.2f %%\n",
-                result->distortion_percent);
-    std::printf("  chromaticity drift  : %.4f (normalized)\n", hue_error);
-    std::printf("  power saving        : %.2f %%\n", result->saving_percent);
 
-    image::write_ppm(img, "color_original.ppm");
-    image::write_ppm(displayed, "color_displayed.ppm");
-    std::printf("  wrote color_original.ppm / color_displayed.ppm\n");
+    const ImageView view = ImageView::rgb8(img.data().data(), img.width(),
+                                           img.height());
+    const std::string prefix = output_dir();
+    image::write_ppm(img, prefix + "original.ppm");
+
+    for (const char* mode : {"shared-curve", "luma-ratio"}) {
+      auto session = Session::create(SessionConfig().color_mode(mode));
+      if (!session) {
+        std::fprintf(stderr, "session: %s\n",
+                     session.status().to_string().c_str());
+        return 1;
+      }
+      FrameRequest request{view, budget};
+      request.color_output = true;
+      auto result = session->process(request);
+      if (!result) {
+        std::fprintf(stderr, "process: %s\n",
+                     result.status().to_string().c_str());
+        return 1;
+      }
+      std::printf("  --- mode %s ---\n", mode);
+      std::printf("  backlight factor    : %.3f\n", result->beta);
+      std::printf("  luma distortion     : %.2f %%\n",
+                  result->distortion_percent);
+      std::printf("  hue error           : %.4f (normalized)\n",
+                  result->hue_error);
+      std::printf("  power saving        : %.2f %%\n",
+                  result->saving_percent);
+      const std::string out_path = prefix + mode + ".ppm";
+      image::write_ppm(to_rgb(result->displayed_rgb), out_path);
+      std::printf("  wrote %s\n", out_path.c_str());
+    }
+    std::printf("  wrote %soriginal.ppm\n", prefix.c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -2,9 +2,14 @@
 // session facade.
 //
 // Subcommands:
-//   transform <in.pgm> <out.pgm> [--dmax P | --range R] [--segments M]
-//             [--policy NAME] [--metric NAME]
-//       Backlight-scale one image; prints the operating point.
+//   transform <in.pgm|in.ppm> <out.pgm|out.ppm> [--dmax P | --range R]
+//             [--segments M] [--policy NAME] [--metric NAME]
+//             [--color-mode shared-curve|luma-ratio]
+//       Backlight-scale one image; prints the operating point.  A .ppm
+//       input runs the color pipeline: the decision is made on BT.601
+//       luma, the RGB raster is rendered per --color-mode, and the
+//       hue-error of the rendering is reported next to the luma
+//       distortion (run both modes to compare their chroma drift).
 //   characterize <curve.csv> [--size N]
 //       Runs the offline characterization on the synthetic album and
 //       writes the distortion characteristic curve.
@@ -46,9 +51,10 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  hebs_cli transform <in.pgm> <out.pgm> [--dmax P | --range R]\n"
-      "           [--segments M] [--policy NAME] [--metric NAME]\n"
-      "           [--kernel-backend NAME]\n"
+      "  hebs_cli transform <in.pgm|in.ppm> <out.pgm|out.ppm>\n"
+      "           [--dmax P | --range R] [--segments M] [--policy NAME]\n"
+      "           [--metric NAME] [--kernel-backend NAME]\n"
+      "           [--color-mode shared-curve|luma-ratio]  (.ppm inputs)\n"
       "  hebs_cli characterize <curve.csv> [--size N]\n"
       "  hebs_cli apply-curve <in.pgm> <out.pgm> <curve.csv> --dmax P\n"
       "  hebs_cli batch <in1.pgm> [in2.pgm ...] [--dmax P] [--threads N]\n"
@@ -104,6 +110,11 @@ image::GrayImage to_gray(const OwnedImage& img) {
                                        img.pixels());
 }
 
+image::RgbImage to_rgb(const OwnedRgbImage& img) {
+  return image::RgbImage::from_pixels(img.width(), img.height(),
+                                      img.pixels());
+}
+
 void report(const FrameResult& r) {
   std::printf("range [%d, %d]  beta %.3f  segments %zu\n", r.g_min, r.g_max,
               r.beta, r.lambda.empty() ? 0 : r.lambda.size() - 1);
@@ -133,13 +144,33 @@ int cmd_transform(int argc, char** argv) {
       config.metric(argv[++i]);
     } else if (flag == "--kernel-backend" && i + 1 < argc) {
       config.kernel_backend(argv[++i]);
+    } else if (flag == "--color-mode" && i + 1 < argc) {
+      config.color_mode(argv[++i]);
     } else {
       return usage();
     }
   }
-  const auto img = image::read_pgm(in_path);
   auto session = Session::create(config);
   if (!session) return fail(session.status());
+
+  if (in_path.ends_with(".ppm")) {
+    // Color workload: decision on luma, RGB rendering per --color-mode.
+    const auto img = image::read_ppm(in_path);
+    FrameRequest request{
+        ImageView::rgb8(img.data().data(), img.width(), img.height()), dmax,
+        range};
+    request.color_output = true;
+    auto result = session->process(request);
+    if (!result) return fail(result.status());
+    report(*result);
+    std::printf("hue error %.4f  (color mode %s)\n", result->hue_error,
+                session->config().color_mode().c_str());
+    image::write_ppm(to_rgb(result->displayed_rgb), out_path);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+  }
+
+  const auto img = image::read_pgm(in_path);
   auto result = session->process({view_of(img), dmax, range});
   if (!result) return fail(result.status());
   report(*result);

@@ -57,6 +57,21 @@ class SessionConfig {
     return kernel_backend_;
   }
 
+  /// How color (rgb8) frames processed with color output have the
+  /// chosen operating point applied to their three sub-pixel channels:
+  /// "shared-curve" (the paper's §2 construction: the shared monotone
+  /// curve per channel — channel ordering preserved, bounded hue
+  /// drift) or "luma-ratio" (chroma-preserving: the curve scales each
+  /// pixel's BT.601 luma and the channels reapply their original
+  /// ratios — hue exact up to rounding unless a channel saturates).
+  /// β and the decision pipeline are identical in both modes; only the
+  /// post-decision raster application differs.  Default "shared-curve".
+  SessionConfig& color_mode(std::string name) {
+    color_mode_ = std::move(name);
+    return *this;
+  }
+  const std::string& color_mode() const noexcept { return color_mode_; }
+
   // ------------------------------------------------- pipeline tunables
   /// PLC segment budget m, >= 1.  Default 8.
   SessionConfig& segments(int m) {
@@ -197,6 +212,7 @@ class SessionConfig {
   std::string policy_ = "hebs-exact";
   std::string metric_ = "uiqi-hvs";
   std::string kernel_backend_;
+  std::string color_mode_ = "shared-curve";
   int segments_ = 8;
   int g_min_floor_ = 0;
   int min_range_ = 16;

@@ -59,6 +59,33 @@ class OwnedImage {
   std::vector<std::uint8_t> pixels_;
 };
 
+/// An owned interleaved-RGB8 raster returned by the facade's color
+/// path (the caller may view() it to feed it back in without copying).
+class OwnedRgbImage {
+ public:
+  OwnedRgbImage() = default;
+  OwnedRgbImage(int width, int height, std::vector<std::uint8_t> pixels)
+      : width_(width), height_(height), pixels_(std::move(pixels)) {}
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  bool empty() const noexcept { return pixels_.empty(); }
+  /// Interleaved R,G,B bytes, row-major, 3 * width * height of them.
+  const std::vector<std::uint8_t>& pixels() const noexcept { return pixels_; }
+
+  /// Zero-copy rgb8 view of this raster (valid while *this lives).
+  ImageView view() const noexcept {
+    return ImageView::rgb8(pixels_.data(), width_, height_);
+  }
+
+  bool operator==(const OwnedRgbImage&) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
 /// One frame to process.
 struct FrameRequest {
   /// The input pixels; gray8 or interleaved rgb8 (BT.601 luma is
@@ -70,6 +97,11 @@ struct FrameRequest {
   /// this fixed dynamic range, in [2, 255 - g_min_floor] (supported by
   /// the hebs-* policies only).
   int fixed_range = 0;
+  /// Request a color rendering: the result additionally carries the
+  /// transformed RGB raster (displayed_rgb, applied per the session's
+  /// color_mode) and its hue_error.  Requires an rgb8 view; a gray8
+  /// view with color_output set is rejected with kInvalidOption.
+  bool color_output = false;
 };
 
 /// Everything the session decided and measured for one frame.
@@ -98,6 +130,16 @@ struct FrameResult {
   PowerReport reference_power;
   /// The displayed frame ψ(F), quantized to 8 bits.
   OwnedImage displayed;
+  /// Color path only (rgb8 input processed with color output): the
+  /// displayed RGB raster, transformed per the session's color mode
+  /// ("shared-curve": the shared ψ per sub-pixel channel, §2 of the
+  /// paper; "luma-ratio": chroma-preserving luma scaling).  Empty for
+  /// grayscale results.
+  OwnedRgbImage displayed_rgb;
+  /// Color path only: mean absolute chromaticity drift of
+  /// displayed_rgb against the input (normalized channel-ratio L1;
+  /// the MetricRegistry's "hue-error").  0 for grayscale results.
+  double hue_error = 0.0;
 };
 
 /// One frame of a video stream: the flicker-controlled decision plus

@@ -44,7 +44,12 @@ class Session {
   /// Worker threads the engine actually runs.
   int thread_count() const noexcept;
 
-  /// Processes one frame with the configured policy.
+  /// Processes one frame with the configured policy.  When
+  /// request.color_output is set (rgb8 views only), the result
+  /// additionally carries the RGB rendering of the chosen operating
+  /// point (displayed_rgb, applied per the session's color_mode) and
+  /// its hue_error; the decision itself is always made on BT.601 luma
+  /// and is bit-identical to processing the pre-converted luma frame.
   Expected<FrameResult> process(const FrameRequest& request);
 
   /// Processes many frames at a shared distortion budget.  The hebs-*
@@ -53,12 +58,31 @@ class Session {
   Expected<std::vector<FrameResult>> process_batch(
       const std::vector<ImageView>& frames, double d_max_percent);
 
+  /// Color batch: every frame must be an rgb8 view.  Decisions are
+  /// bit-identical to process_batch on the pre-converted luma frames;
+  /// each result additionally carries displayed_rgb/hue_error rendered
+  /// per the session's color_mode (the hebs-exact policy renders on
+  /// the worker that decided the frame; results are index-aligned and
+  /// thread-count independent).
+  Expected<std::vector<FrameResult>> process_batch_color(
+      const std::vector<ImageView>& frames, double d_max_percent);
+
   /// Processes a video clip: per-frame searches run concurrently, then
   /// flicker control (β rate limit + scene-cut release) is applied
   /// strictly in frame order.  Requires policy "hebs-exact" (the
   /// controller runs the exact per-frame search); any other policy is
   /// rejected with kInvalidOption.
   Expected<std::vector<VideoFrameResult>> process_video(
+      const std::vector<ImageView>& frames, double d_max_percent);
+
+  /// Color video: every frame must be an rgb8 view.  The
+  /// flicker-controlled luma decisions are bit-identical to
+  /// process_video on the pre-converted luma clip (same temporal fast
+  /// path and pools); the ordered color post-stage renders each
+  /// applied operating point per the session's color_mode, reusing the
+  /// previous frame's rendering on static content when temporal_reuse
+  /// is on.  Requires policy "hebs-exact", like process_video.
+  Expected<std::vector<VideoFrameResult>> process_video_color(
       const std::vector<ImageView>& frames, double d_max_percent);
 
  private:

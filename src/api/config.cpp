@@ -25,6 +25,10 @@ Status SessionConfig::validate() const {
   if (metric_.empty()) {
     return invalid("metric", "a registered metric name", "\"\"");
   }
+  if (color_mode_ != "shared-curve" && color_mode_ != "luma-ratio") {
+    return invalid("color_mode", "\"shared-curve\" or \"luma-ratio\"",
+                   "\"" + color_mode_ + "\"");
+  }
   if (segments_ < 1) {
     return invalid("segments", ">= 1", std::to_string(segments_));
   }

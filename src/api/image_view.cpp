@@ -1,5 +1,6 @@
 #include "hebs/image_view.h"
 
+#include <cstdint>
 #include <cstring>
 #include <string>
 
@@ -22,13 +23,29 @@ Status ImageView::validate() const {
     return Status(StatusCode::kInvalidImage,
                   "image view has null data for non-zero dimensions");
   }
-  const std::ptrdiff_t packed =
-      static_cast<std::ptrdiff_t>(width_) * bytes_per_pixel(format_);
+  // Overflow guards: everything downstream addresses pixels as
+  // y * stride_bytes + x * bpp in ptrdiff_t, so a view whose packed row
+  // or total extent cannot be represented must be rejected here rather
+  // than proceed into signed-overflow UB.
+  const int bpp = bytes_per_pixel(format_);
+  if (width_ > static_cast<std::ptrdiff_t>(PTRDIFF_MAX) / bpp) {
+    return Status(StatusCode::kInvalidImage,
+                  "width " + std::to_string(width_) + " x " +
+                      std::to_string(bpp) +
+                      " bytes/pixel overflows the addressable row size");
+  }
+  const std::ptrdiff_t packed = static_cast<std::ptrdiff_t>(width_) * bpp;
   if (stride_bytes_ < packed) {
     return Status(StatusCode::kInvalidStride,
                   "stride " + std::to_string(stride_bytes_) +
                       " is smaller than one packed row of " +
                       std::to_string(packed) + " bytes");
+  }
+  if (stride_bytes_ > PTRDIFF_MAX / static_cast<std::ptrdiff_t>(height_)) {
+    return Status(StatusCode::kInvalidStride,
+                  "stride " + std::to_string(stride_bytes_) + " x height " +
+                      std::to_string(height_) +
+                      " overflows the addressable image size");
   }
   return Status();
 }
@@ -54,6 +71,17 @@ hebs::image::GrayImage materialize_gray(const ImageView& view) {
   for (int y = 0; y < view.height(); ++y) {
     kernels.luma_bt601_rgb8(view.row(y), static_cast<std::size_t>(w),
                             &out(0, y));
+  }
+  return out;
+}
+
+hebs::image::RgbImage materialize_rgb(const ImageView& view) {
+  hebs::image::RgbImage out(view.width(), view.height());
+  const std::size_t row_bytes = static_cast<std::size_t>(view.width()) * 3;
+  auto dst = out.data();
+  for (int y = 0; y < view.height(); ++y) {
+    std::memcpy(dst.data() + static_cast<std::size_t>(y) * row_bytes,
+                view.row(y), row_bytes);
   }
   return out;
 }

@@ -51,6 +51,13 @@ const std::vector<MetricInfo>& metric_table() {
        Metric::kContrastFidelity},
       {{"ms-ssim", "multi-scale SSIM (viewing-distance robust)"},
        Metric::kMsSsim},
+      // Report-only: attached to every color FrameResult (hue_error) so
+      // the two color modes are comparable; not a decision metric (the
+      // decision loop measures luma, which has no chroma to drift).
+      {{"hue-error",
+        "mean absolute chromaticity drift of the displayed RGB raster "
+        "against the input (color results; report-only)"},
+       std::nullopt},
   };
   return table;
 }

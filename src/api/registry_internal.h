@@ -3,6 +3,7 @@
 // next to the public name/description.  Only src/api/ includes this.
 #pragma once
 
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -27,7 +28,12 @@ struct PolicyInfo {
 
 struct MetricInfo {
   RegistryEntry entry;
-  hebs::quality::Metric metric;
+  /// The decision-loop metric this name selects; nullopt for
+  /// report-only metrics (hue-error), which are listed and attached to
+  /// color results but cannot drive the decision loop —
+  /// Session::create rejects them as SessionConfig::metric.
+  std::optional<hebs::quality::Metric> metric;
+  bool decision() const noexcept { return metric.has_value(); }
 };
 
 /// Registration-ordered tables of the built-ins.

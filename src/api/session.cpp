@@ -10,6 +10,7 @@
 #include "api/view_convert.h"
 #include "baseline/cbcs.h"
 #include "baseline/dls.h"
+#include "core/color.h"
 #include "core/distortion_curve.h"
 #include "core/hebs.h"
 #include "core/video.h"
@@ -38,6 +39,38 @@ OwnedImage to_owned(const hebs::image::GrayImage& img) {
   const auto span = img.pixels();
   return OwnedImage(img.width(), img.height(),
                     std::vector<std::uint8_t>(span.begin(), span.end()));
+}
+
+OwnedRgbImage to_owned(const hebs::image::RgbImage& img) {
+  const auto span = img.data();
+  return OwnedRgbImage(img.width(), img.height(),
+                       std::vector<std::uint8_t>(span.begin(), span.end()));
+}
+
+/// The operating point a FrameResult describes: its deployed curve Λ
+/// and β.  Reconstructing from the result's own points keeps the color
+/// stage a pure post-decision consumer of the stable result type.
+core::OperatingPoint point_of(const FrameResult& r) {
+  std::vector<hebs::transform::CurvePoint> pts;
+  pts.reserve(r.lambda.size());
+  for (const CurvePoint& p : r.lambda) pts.push_back({p.x, p.y});
+  return {hebs::transform::PwlCurve(std::move(pts)), r.beta};
+}
+
+void fill_color(const hebs::image::RgbImage& displayed, double hue_error,
+                FrameResult& out) {
+  out.displayed_rgb = to_owned(displayed);
+  out.hue_error = hue_error;
+}
+
+Status require_rgb8(const ImageView& view, const char* what) {
+  if (Status s = view.validate(); !s.ok()) return s;
+  if (view.format() != PixelFormat::kRgb8) {
+    return Status(StatusCode::kInvalidOption,
+                  std::string(what) +
+                      " requires an interleaved rgb8 view (got gray8)");
+  }
+  return Status();
 }
 
 PowerReport to_report(const hebs::power::PowerBreakdown& p) {
@@ -105,6 +138,7 @@ struct Session::Impl {
   SessionConfig cfg;
   const PolicyInfo* policy = nullptr;
   const MetricInfo* metric = nullptr;
+  core::ColorMode color_mode = core::ColorMode::kSharedCurve;
   core::HebsOptions hebs_opts;
   hebs::power::LcdSubsystemPower model =
       hebs::power::LcdSubsystemPower::lp064v1();
@@ -116,7 +150,10 @@ struct Session::Impl {
         policy(p),
         metric(m),
         hebs_opts(make_hebs_options(cfg, m)),
-        engine(make_engine_options(cfg, hebs_opts), model) {}
+        engine(make_engine_options(cfg, hebs_opts), model) {
+    // cfg.validate() vouched for the name; parse cannot fail here.
+    (void)core::parse_color_mode(cfg.color_mode(), &color_mode);
+  }
 
   static core::HebsOptions make_hebs_options(const SessionConfig& cfg,
                                              const MetricInfo* m) {
@@ -127,7 +164,8 @@ struct Session::Impl {
     opts.min_beta = cfg.min_beta();
     opts.equalization_strength = cfg.equalization_strength();
     opts.concurrent_scaling = cfg.concurrent_scaling();
-    opts.distortion.metric = m->metric;
+    // Session::create admits only decision metrics; the optional is set.
+    opts.distortion.metric = *m->metric;
     return opts;
   }
 
@@ -224,6 +262,18 @@ struct Session::Impl {
         return run_baseline(img, request.d_max_percent);
     }
   }
+
+  /// Post-decision color stage for the serial facade paths: runs the
+  /// shared core::render_color on `result`'s operating point and
+  /// attaches the rendering + hue error to the result.  `luma` is the
+  /// decision-side raster (rgb.to_luma()), reused by the luma-ratio
+  /// rendering.
+  void render_color(const hebs::image::RgbImage& rgb,
+                    const hebs::image::GrayImage& luma, FrameResult& result) {
+    const core::ColorRendering rendering =
+        core::render_color(rgb, luma, point_of(result), color_mode);
+    fill_color(rendering.displayed, rendering.hue_error, result);
+  }
 };
 
 Session::Session(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -244,6 +294,12 @@ Expected<Session> Session::create(SessionConfig config) {
     return Status(StatusCode::kUnknownMetric,
                   "no metric named \"" + config.metric() +
                       "\" is registered; see hebs::MetricRegistry");
+  }
+  if (!metric->decision()) {
+    return Status(StatusCode::kInvalidOption,
+                  "metric \"" + config.metric() +
+                      "\" is report-only (attached to color results as "
+                      "hue_error) and cannot drive the decision loop");
   }
   // Validate the requested kernel backend up front, but only switch the
   // process-global selection once nothing else can fail — a failed
@@ -294,7 +350,13 @@ int Session::thread_count() const noexcept {
 }
 
 Expected<FrameResult> Session::process(const FrameRequest& request) {
-  if (Status s = request.image.validate(); !s.ok()) return s;
+  if (request.color_output) {
+    if (Status s = require_rgb8(request.image, "color_output"); !s.ok()) {
+      return s;
+    }
+  } else if (Status s = request.image.validate(); !s.ok()) {
+    return s;
+  }
   if (request.fixed_range == 0) {
     if (Status s = check_budget(request.d_max_percent); !s.ok()) return s;
   } else if (request.fixed_range < 2 ||
@@ -308,6 +370,18 @@ Expected<FrameResult> Session::process(const FrameRequest& request) {
                       std::to_string(request.fixed_range) + ")");
   }
   try {
+    if (request.color_output) {
+      // The decision runs on BT.601 luma (same kernel as the gray
+      // ingestion path, so it is bit-identical to processing the
+      // pre-converted luma view); the color stage then renders the
+      // decided operating point onto the RGB raster.
+      const hebs::image::RgbImage rgb = api::materialize_rgb(request.image);
+      const hebs::image::GrayImage luma = rgb.to_luma();
+      auto result = impl_->run_one(request, luma);
+      if (!result) return result.status();
+      impl_->render_color(rgb, luma, *result);
+      return result;
+    }
     const hebs::image::GrayImage img = api::materialize_gray(request.image);
     return impl_->run_one(request, img);
   } catch (const std::exception& e) {
@@ -360,6 +434,71 @@ Expected<std::vector<FrameResult>> Session::process_batch(
   }
 }
 
+Expected<std::vector<FrameResult>> Session::process_batch_color(
+    const std::vector<ImageView>& frames, double d_max_percent) {
+  if (Status s = check_budget(d_max_percent); !s.ok()) return s;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (Status s = require_rgb8(frames[i], "process_batch_color"); !s.ok()) {
+      return Status(s.code(),
+                    "frame " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  try {
+    std::vector<hebs::image::RgbImage> rgbs;
+    rgbs.reserve(frames.size());
+    for (const ImageView& view : frames) {
+      rgbs.push_back(api::materialize_rgb(view));
+    }
+    std::vector<FrameResult> out;
+    out.reserve(rgbs.size());
+    switch (impl_->policy->kind) {
+      case PolicyKind::kHebsExact:
+        // The engine runs the color stage on the worker that decided
+        // the frame, so batch color scales with the pool like gray
+        // batches.
+        for (auto& r : impl_->engine.process_batch_color(
+                 rgbs, d_max_percent, impl_->color_mode)) {
+          FrameResult fr = to_frame_result(r.luma);
+          fill_color(r.color.displayed, r.color.hue_error, fr);
+          out.push_back(std::move(fr));
+        }
+        break;
+      case PolicyKind::kHebsCurve: {
+        // Curve lookups fan out over the pool exactly like the gray
+        // batch path; the color rendering then runs serially on the
+        // calling thread (it does not yet scale with the pool the way
+        // the hebs-exact color batch does).
+        std::vector<hebs::image::GrayImage> lumas;
+        lumas.reserve(rgbs.size());
+        for (const auto& rgb : rgbs) lumas.push_back(rgb.to_luma());
+        auto results = impl_->engine.process_batch_with_curve(
+            lumas, d_max_percent, impl_->ensure_curve());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          FrameResult fr = to_frame_result(results[i]);
+          impl_->render_color(rgbs[i], lumas[i], fr);
+          out.push_back(std::move(fr));
+        }
+        break;
+      }
+      default:
+        // The baselines' own grid and bisection searches run per image
+        // on the calling thread (as in process_batch); the color stage
+        // follows each decision.
+        for (const auto& rgb : rgbs) {
+          const hebs::image::GrayImage luma = rgb.to_luma();
+          auto result = impl_->run_baseline(luma, d_max_percent);
+          if (!result) return result.status();
+          impl_->render_color(rgb, luma, *result);
+          out.push_back(std::move(*result));
+        }
+        break;
+    }
+    return out;
+  } catch (const std::exception& e) {
+    return from_exception(e);
+  }
+}
+
 Expected<std::vector<VideoFrameResult>> Session::process_video(
     const std::vector<ImageView>& frames, double d_max_percent) {
   if (Status s = check_budget(d_max_percent); !s.ok()) return s;
@@ -387,6 +526,43 @@ Expected<std::vector<VideoFrameResult>> Session::process_video(
     out.reserve(decisions.size());
     for (const auto& d : decisions) {
       out.push_back({d.raw_beta, d.beta, d.scene_cut, to_frame_result(d)});
+    }
+    return out;
+  } catch (const std::exception& e) {
+    return from_exception(e);
+  }
+}
+
+Expected<std::vector<VideoFrameResult>> Session::process_video_color(
+    const std::vector<ImageView>& frames, double d_max_percent) {
+  if (Status s = check_budget(d_max_percent); !s.ok()) return s;
+  if (impl_->policy->kind != PolicyKind::kHebsExact) {
+    return Status(StatusCode::kInvalidOption,
+                  "video processing runs the per-frame exact search and "
+                  "requires policy \"hebs-exact\" (policy is \"" +
+                      impl_->cfg.policy() + "\")");
+  }
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (Status s = require_rgb8(frames[i], "process_video_color"); !s.ok()) {
+      return Status(s.code(),
+                    "frame " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  try {
+    std::vector<hebs::image::RgbImage> rgbs;
+    rgbs.reserve(frames.size());
+    for (const ImageView& view : frames) {
+      rgbs.push_back(api::materialize_rgb(view));
+    }
+    const auto results = impl_->engine.process_stream_color(
+        rgbs, impl_->make_video_options(d_max_percent), impl_->color_mode);
+    std::vector<VideoFrameResult> out;
+    out.reserve(results.size());
+    for (const auto& r : results) {
+      VideoFrameResult v{r.decision.raw_beta, r.decision.beta,
+                         r.decision.scene_cut, to_frame_result(r.decision)};
+      fill_color(r.color.displayed, r.color.hue_error, v.frame);
+      out.push_back(std::move(v));
     }
     return out;
   } catch (const std::exception& e) {

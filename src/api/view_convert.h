@@ -14,4 +14,8 @@ namespace hebs::api {
 /// Precondition: view.validate().ok().
 hebs::image::GrayImage materialize_gray(const ImageView& view);
 
+/// Packs a (possibly strided) rgb8 view into an owned interleaved
+/// raster.  Precondition: view.validate().ok() and format == kRgb8.
+hebs::image::RgbImage materialize_rgb(const ImageView& view);
+
 }  // namespace hebs::api

@@ -1,6 +1,7 @@
 #include "core/lhe.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <vector>
 
@@ -17,22 +18,57 @@ hebs::histogram::Histogram clip_histogram(
       hebs::histogram::Histogram::kBins;
   const auto cap =
       static_cast<std::uint64_t>(std::ceil(clip_limit * uniform_mass));
-  std::vector<std::uint64_t> counts(hebs::histogram::Histogram::kBins);
+  constexpr int kBins = hebs::histogram::Histogram::kBins;
+  std::vector<std::uint64_t> counts(kBins);
   std::uint64_t excess = 0;
-  for (int i = 0; i < hebs::histogram::Histogram::kBins; ++i) {
+  for (int i = 0; i < kBins; ++i) {
     const std::uint64_t c = hist.count(i);
     counts[static_cast<std::size_t>(i)] = std::min(c, cap);
     excess += c - counts[static_cast<std::size_t>(i)];
   }
-  // Redistribute the clipped mass uniformly; the remainder goes to the
-  // first bins so the total is exactly preserved.
-  const std::uint64_t share = excess / hebs::histogram::Histogram::kBins;
-  std::uint64_t remainder = excess % hebs::histogram::Histogram::kBins;
-  for (auto& c : counts) {
-    c += share;
-    if (remainder > 0) {
-      ++c;
-      --remainder;
+  // Redistribute the clipped mass uniformly over the bins still below
+  // the cap, never lifting any bin above it (the documented invariant:
+  // max(count) <= cap).  A round's equal share can overfill a nearly
+  // full bin, so the overflow re-enters the excess and the loop runs
+  // again over the remaining sub-cap bins; each round places at least
+  // one unit, and a sub-cap bin always exists while excess > 0
+  // (cap >= ceil(total/kBins), so all-bins-at-cap already holds the
+  // whole mass), so the loop terminates with the total exactly
+  // preserved.
+  while (excess > 0) {
+    std::uint64_t open = 0;
+    for (const auto c : counts) {
+      if (c < cap) ++open;
+    }
+    if (open == 0) {
+      // Only reachable for clip_limit < 1, where kBins * cap can be
+      // smaller than the total and the cap is unsatisfiable; the
+      // closest achievable shape is uniform, so the leftover spills
+      // evenly (first bins take the remainder).
+      const std::uint64_t share = excess / kBins;
+      std::uint64_t remainder = excess % kBins;
+      for (auto& c : counts) {
+        c += share;
+        if (remainder > 0) {
+          ++c;
+          --remainder;
+        }
+      }
+      break;
+    }
+    const std::uint64_t share = excess / open;
+    std::uint64_t remainder = excess % open;
+    excess = 0;
+    for (auto& c : counts) {
+      if (c >= cap) continue;
+      std::uint64_t give = share;
+      if (remainder > 0) {
+        ++give;
+        --remainder;
+      }
+      const std::uint64_t take = std::min(give, cap - c);
+      c += take;
+      excess += give - take;
     }
   }
   return hebs::histogram::Histogram::from_counts(counts);
@@ -47,9 +83,14 @@ hebs::image::GrayImage lhe_apply(const hebs::image::GrayImage& image,
                "more tiles than pixels");
 
   const int tiles = opts.tiles;
-  // Per-tile equalization LUT (as a float curve evaluated per level).
-  std::vector<hebs::transform::PwlCurve> tile_curve;
-  tile_curve.reserve(static_cast<std::size_t>(tiles) * tiles);
+  // Per-tile equalization table.  The inner loop only ever samples a
+  // tile's transform at the 256 quantized levels, so each PWL curve is
+  // evaluated once per level into a 256-entry LUT here and the per-pixel
+  // work becomes four table reads — bit-identical to evaluating the
+  // curve per pixel (same inputs, same arithmetic, done once).
+  using TileLut = std::array<double, hebs::image::kLevels>;
+  std::vector<TileLut> tile_lut;
+  tile_lut.reserve(static_cast<std::size_t>(tiles) * tiles);
   const double tile_w =
       static_cast<double>(image.width()) / tiles;
   const double tile_h =
@@ -69,16 +110,22 @@ hebs::image::GrayImage lhe_apply(const hebs::image::GrayImage& image,
           hist.add(image(x, y));
         }
       }
-      tile_curve.push_back(
-          ghe_transform(clip_histogram(hist, opts.clip_limit), target));
+      const hebs::transform::PwlCurve curve =
+          ghe_transform(clip_histogram(hist, opts.clip_limit), target);
+      TileLut lut;
+      for (int level = 0; level < hebs::image::kLevels; ++level) {
+        lut[static_cast<std::size_t>(level)] =
+            curve(static_cast<double>(level) / hebs::image::kMaxPixel);
+      }
+      tile_lut.push_back(lut);
     }
   }
 
   // Bilinear interpolation between the four surrounding tile centers.
-  auto curve_at = [&](int tx, int ty) -> const hebs::transform::PwlCurve& {
+  auto lut_at = [&](int tx, int ty) -> const TileLut& {
     tx = std::clamp(tx, 0, tiles - 1);
     ty = std::clamp(ty, 0, tiles - 1);
-    return tile_curve[static_cast<std::size_t>(ty) * tiles + tx];
+    return tile_lut[static_cast<std::size_t>(ty) * tiles + tx];
   };
 
   hebs::image::GrayImage out(image.width(), image.height());
@@ -91,12 +138,11 @@ hebs::image::GrayImage lhe_apply(const hebs::image::GrayImage& image,
       const double fx = (x + 0.5) / tile_w - 0.5;
       const int tx0 = static_cast<int>(std::floor(fx));
       const double wx = fx - std::floor(fx);
-      const double xn =
-          static_cast<double>(image(x, y)) / hebs::image::kMaxPixel;
-      const double v00 = curve_at(tx0, ty0)(xn);
-      const double v10 = curve_at(tx0 + 1, ty0)(xn);
-      const double v01 = curve_at(tx0, ty0 + 1)(xn);
-      const double v11 = curve_at(tx0 + 1, ty0 + 1)(xn);
+      const std::size_t level = image(x, y);
+      const double v00 = lut_at(tx0, ty0)[level];
+      const double v10 = lut_at(tx0 + 1, ty0)[level];
+      const double v01 = lut_at(tx0, ty0 + 1)[level];
+      const double v11 = lut_at(tx0 + 1, ty0 + 1)[level];
       const double v = util::lerp(util::lerp(v00, v10, wx),
                                   util::lerp(v01, v11, wx), wy);
       out(x, y) = static_cast<std::uint8_t>(

@@ -35,8 +35,12 @@ hebs::image::GrayImage lhe_apply(const hebs::image::GrayImage& image,
                                  const GheTarget& target,
                                  const LheOptions& opts = {});
 
-/// Clips a histogram at `clip_limit` times the uniform bin mass and
-/// redistributes the excess uniformly (total preserved).
+/// Clips a histogram at cap = ceil(clip_limit * uniform bin mass) and
+/// redistributes the excess uniformly over the bins still below the
+/// cap (total exactly preserved).  For clip_limit >= 1 the result
+/// satisfies max(count) <= cap; a sub-1 limit can make the cap hold
+/// less than the total mass, in which case the closest achievable
+/// shape — uniform — is returned.
 hebs::histogram::Histogram clip_histogram(
     const hebs::histogram::Histogram& hist, double clip_limit);
 

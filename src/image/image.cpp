@@ -130,4 +130,13 @@ RgbImage RgbImage::from_gray(const GrayImage& g) {
   return out;
 }
 
+RgbImage RgbImage::from_pixels(int width, int height,
+                               std::span<const std::uint8_t> pixels) {
+  RgbImage out(width, height);
+  HEBS_REQUIRE(pixels.size() == out.data_.size(),
+               "pixel buffer does not match the image dimensions");
+  std::copy(pixels.begin(), pixels.end(), out.data_.begin());
+  return out;
+}
+
 }  // namespace hebs::image

@@ -155,6 +155,11 @@ class RgbImage {
   /// Replicates a grayscale image into all three channels.
   static RgbImage from_gray(const GrayImage& g);
 
+  /// Builds an image by copying an interleaved R,G,B buffer; `pixels`
+  /// must hold exactly 3 * width * height bytes.
+  static RgbImage from_pixels(int width, int height,
+                              std::span<const std::uint8_t> pixels);
+
  private:
   int width_ = 0;
   int height_ = 0;

@@ -107,6 +107,14 @@ void lut_apply_u8_avx2(const std::uint8_t* src, std::size_t n,
   if (i < n) ref::lut_apply_u8(src + i, n - i, lut, dst + i);
 }
 
+// The interleaved color raster is bytes through the same shared table,
+// so the rgb8 entry rides the range-pruned VPSHUFB path directly (a
+// sub-pixel byte and a gray byte look identical to the LUT).
+void lut_apply_rgb8_avx2(const std::uint8_t* rgb, std::size_t n_pixels,
+                         const std::uint8_t* lut, std::uint8_t* dst) {
+  lut_apply_u8_avx2(rgb, 3 * n_pixels, lut, dst);
+}
+
 void luma_bt601_rgb8_avx2(const std::uint8_t* rgb, std::size_t n,
                           std::uint8_t* dst) {
   const __m256d cr = _mm256_set1_pd(0.299);
@@ -228,6 +236,7 @@ const KernelSet* kernelset_avx2() {
       "AVX2: 256-bit lanes, range-pruned VPSHUFB LUT, SAD sums",
       &histogram_u8_avx2,
       &lut_apply_u8_avx2,
+      &lut_apply_rgb8_avx2,
       &luma_bt601_rgb8_avx2,
       &sum_u8_avx2,
       &ref::lut_apply_f64,

@@ -135,6 +135,7 @@ const KernelSet* kernelset_neon() {
       "AArch64 AdvSIMD: 128-bit lanes, FRINTA rounding, ADDLV byte sums",
       &histogram_u8_neon,
       &ref::lut_apply_u8,
+      &ref::lut_apply_rgb8,
       &luma_bt601_rgb8_neon,
       &sum_u8_neon,
       &ref::lut_apply_f64,

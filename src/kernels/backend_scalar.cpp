@@ -12,6 +12,7 @@ const KernelSet* kernelset_scalar() {
       "portable reference loops (the bit-exactness baseline)",
       &ref::histogram_u8,
       &ref::lut_apply_u8,
+      &ref::lut_apply_rgb8,
       &ref::luma_bt601_rgb8,
       &ref::sum_u8,
       &ref::lut_apply_f64,

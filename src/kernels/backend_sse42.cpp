@@ -137,6 +137,7 @@ const KernelSet* kernelset_sse42() {
       "SSE4.2: 128-bit float lanes, SAD byte sums, sub-table histograms",
       &histogram_u8_sse42,
       &ref::lut_apply_u8,
+      &ref::lut_apply_rgb8,
       &luma_bt601_rgb8_sse42,
       &sum_u8_sse42,
       &ref::lut_apply_f64,

@@ -40,6 +40,14 @@ struct KernelSet {
   /// dst[i] = lut[src[i]] for a 256-entry 8-bit table.
   void (*lut_apply_u8)(const std::uint8_t* src, std::size_t n,
                        const std::uint8_t* lut, std::uint8_t* dst);
+  /// Per-channel LUT application over n interleaved RGB8 pixels: every
+  /// sub-pixel byte maps through the same shared 256-entry table
+  /// (§2's color path — the backlight is shared, so one curve drives
+  /// all three channels).  Semantically lut_apply_u8 over 3n bytes;
+  /// kept as its own entry so the color pipeline stage dispatches in
+  /// pixels and each backend can route to its widest byte-LUT path.
+  void (*lut_apply_rgb8)(const std::uint8_t* rgb, std::size_t n_pixels,
+                         const std::uint8_t* lut, std::uint8_t* dst);
   /// ITU-R BT.601 luma of n interleaved RGB8 pixels:
   /// dst[i] = clamp(round(0.299 R + 0.587 G + 0.114 B), 0, 255).
   void (*luma_bt601_rgb8)(const std::uint8_t* rgb, std::size_t n,

@@ -24,6 +24,11 @@ inline void lut_apply_u8(const std::uint8_t* src, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) dst[i] = lut[src[i]];
 }
 
+inline void lut_apply_rgb8(const std::uint8_t* rgb, std::size_t n_pixels,
+                           const std::uint8_t* lut, std::uint8_t* dst) {
+  lut_apply_u8(rgb, 3 * n_pixels, lut, dst);
+}
+
 /// Same arithmetic as image::RgbImage::to_luma has always used:
 /// double products summed left to right, round-half-away, clamp.
 inline std::uint8_t luma_bt601_one(std::uint8_t r, std::uint8_t g,

@@ -1,5 +1,6 @@
 #include "pipeline/engine.h"
 
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -195,6 +196,92 @@ std::vector<core::FrameDecision> PipelineEngine::process_stream(
     const core::VideoOptions& opts) {
   core::VideoBacklightController controller(opts, model_);
   return process_stream(frames, controller);
+}
+
+namespace {
+
+/// The post-decision color stage (core::render_color) shaped into the
+/// engine's per-frame output type.
+ColorFrameOutput run_color_stage(const hebs::image::RgbImage& rgb,
+                                 const hebs::image::GrayImage& luma,
+                                 const core::OperatingPoint& point,
+                                 core::ColorMode mode) {
+  core::ColorRendering rendering = core::render_color(rgb, luma, point, mode);
+  return {std::move(rendering.displayed), rendering.hue_error};
+}
+
+std::vector<hebs::image::GrayImage> materialize_lumas(
+    std::span<const hebs::image::RgbImage> images) {
+  std::vector<hebs::image::GrayImage> lumas;
+  lumas.reserve(images.size());
+  for (const auto& img : images) lumas.push_back(img.to_luma());
+  return lumas;
+}
+
+bool same_point(const core::OperatingPoint& a, const core::OperatingPoint& b) {
+  return a.beta == b.beta &&
+         a.luminance_transform.points() == b.luminance_transform.points();
+}
+
+bool same_bytes(const hebs::image::RgbImage& a,
+                const hebs::image::RgbImage& b) {
+  const auto da = a.data();
+  const auto db = b.data();
+  return da.size() == db.size() &&
+         std::memcmp(da.data(), db.data(), da.size()) == 0;
+}
+
+}  // namespace
+
+std::vector<ColorBatchResult> PipelineEngine::process_batch_color(
+    std::span<const hebs::image::RgbImage> images, double d_max_percent,
+    core::ColorMode mode) {
+  // Luma extraction is ordered-independent but cheap (one dispatched
+  // kernel sweep per frame); done up front so the lumas outlive every
+  // context binding.
+  const auto lumas = materialize_lumas(images);
+  return map_frames<ColorBatchResult>(
+      pool_, opts_, lumas, model_,
+      [&images, &lumas, d_max_percent, mode](FrameContext& ctx,
+                                             std::size_t i) {
+        ColorBatchResult r;
+        r.luma = run_exact(ctx, d_max_percent);
+        r.color = run_color_stage(images[i], lumas[i], r.luma.point, mode);
+        return r;
+      });
+}
+
+std::vector<ColorStreamResult> PipelineEngine::process_stream_color(
+    std::span<const hebs::image::RgbImage> frames,
+    const core::VideoOptions& opts, core::ColorMode mode) {
+  const auto lumas = materialize_lumas(frames);
+  auto decisions = process_stream(lumas, opts);
+
+  // Ordered color post-stage.  Rendering is a deterministic function of
+  // (frame bytes, applied point, mode), so when both match the previous
+  // frame the previous rendering is reused wholesale — the color
+  // counterpart of the luma side's unchanged-frame fast path, and the
+  // reason a static RGB clip pays one memcpy instead of the per-pixel
+  // transform + chroma measurement per frame.
+  // No pool scope here: the stage's only allocations are the output
+  // rasters, which all escape into `out` — nothing would ever recycle.
+  std::vector<ColorStreamResult> out;
+  out.reserve(decisions.size());
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    ColorStreamResult r;
+    r.decision = std::move(decisions[i]);
+    const bool reuse = opts.temporal_reuse && i > 0 &&
+                       same_point(r.decision.point, out.back().decision.point) &&
+                       same_bytes(frames[i], frames[i - 1]);
+    if (reuse) {
+      r.color.displayed = out.back().color.displayed;
+      r.color.hue_error = out.back().color.hue_error;
+    } else {
+      r.color = run_color_stage(frames[i], lumas[i], r.decision.point, mode);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
 }
 
 }  // namespace hebs::pipeline

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "core/color.h"
 #include "core/hebs.h"
 #include "core/video.h"
 #include "histogram/streaming.h"
@@ -67,6 +68,31 @@ struct EngineOptions {
   bool temporal_reuse = true;
 };
 
+/// What the post-decision color stage produced for one frame.
+struct ColorFrameOutput {
+  /// The displayed RGB raster (the operating point applied per the
+  /// requested ColorMode).
+  hebs::image::RgbImage displayed;
+  /// Chromaticity drift of `displayed` against the input frame.
+  double hue_error = 0.0;
+};
+
+/// One color frame's decision + rendering (batch mode).
+struct ColorBatchResult {
+  /// The HEBS decision, computed on the frame's BT.601 luma — exactly
+  /// the result process_batch returns for the pre-converted luma.
+  core::HebsResult luma;
+  ColorFrameOutput color;
+};
+
+/// One color frame's decision + rendering (stream mode).
+struct ColorStreamResult {
+  /// The flicker-controlled decision, identical to process_stream on
+  /// the pre-converted luma clip.
+  core::FrameDecision decision;
+  ColorFrameOutput color;
+};
+
 class PipelineEngine {
  public:
   explicit PipelineEngine(EngineOptions opts = {},
@@ -103,6 +129,26 @@ class PipelineEngine {
   std::vector<core::FrameDecision> process_stream(
       std::span<const hebs::image::GrayImage> frames,
       const core::VideoOptions& opts);
+
+  /// Color batch: the exact-search decision runs on each frame's
+  /// BT.601 luma (bit-identical to process_batch on pre-converted
+  /// lumas), then the post-decision color stage applies the chosen
+  /// operating point to the RGB raster in `mode` on the same worker.
+  std::vector<ColorBatchResult> process_batch_color(
+      std::span<const hebs::image::RgbImage> images, double d_max_percent,
+      core::ColorMode mode);
+
+  /// Color stream: luma decisions through the full stream machinery
+  /// (flicker control, temporal fast path, pools — bit-identical to
+  /// process_stream on the pre-converted luma clip), then the ordered
+  /// color post-stage renders each applied operating point.  With
+  /// opts.temporal_reuse the stage reuses the previous frame's RGB
+  /// rendering when the input bytes and the applied point are
+  /// unchanged (static content skips the per-pixel work; outputs are
+  /// identical either way).
+  std::vector<ColorStreamResult> process_stream_color(
+      std::span<const hebs::image::RgbImage> frames,
+      const core::VideoOptions& opts, core::ColorMode mode);
 
  private:
   EngineOptions opts_;

@@ -265,6 +265,14 @@ TEST(Registries, EveryRegisteredNameCreatesASession) {
   }
   for (const auto& name : hebs::MetricRegistry::names()) {
     auto session = Session::create(SessionConfig().metric(name));
+    if (name == "hue-error") {
+      // Report-only: listed so the color modes are comparable, but it
+      // measures chroma of the RGB rendering, not luma distortion — it
+      // cannot drive the decision loop.
+      ASSERT_FALSE(session.has_value());
+      EXPECT_EQ(session.status().code(), StatusCode::kInvalidOption);
+      continue;
+    }
     EXPECT_TRUE(session.has_value())
         << name << ": " << session.status().to_string();
   }

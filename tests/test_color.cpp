@@ -94,6 +94,99 @@ TEST(ColorHebs, ApplyToColorUsesSharedCurve) {
   EXPECT_NEAR(p.b, 128, 1);  // 0.5·255
 }
 
+TEST(ColorHebs, SharedCurveKernelPathMatchesPerByteLookup) {
+  // The dispatched lut_apply_rgb8 application must equal the plain
+  // per-byte lookup of the shared quantized curve.
+  const auto rgb = hebs::image::make_usid_color(UsidId::kSail, 40);
+  OperatingPoint point{
+      hebs::transform::PwlCurve({{0.0, 0.05}, {0.6, 0.5}, {1.0, 0.8}}), 0.8};
+  const auto out = apply_to_color(rgb, point, ColorMode::kSharedCurve);
+  const hebs::transform::Lut lut = displayed_levels(point).quantize();
+  const auto src = rgb.data();
+  const auto got = out.data();
+  ASSERT_EQ(got.size(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(got[i], lut[src[i]]) << "byte " << i;
+  }
+}
+
+TEST(ColorHebs, LumaRatioPreservesChromaBetterThanSharedCurve) {
+  const auto rgb = hebs::image::make_usid_color(UsidId::kAutumn, 64);
+  const auto shared =
+      color_hebs_exact(rgb, 10.0, {}, model(), ColorMode::kSharedCurve);
+  const auto ratio =
+      color_hebs_exact(rgb, 10.0, {}, model(), ColorMode::kLumaRatio);
+  // Same decision (both run on luma), different raster application.
+  EXPECT_EQ(shared.luma.point.beta, ratio.luma.point.beta);
+  EXPECT_EQ(shared.distortion_percent, ratio.distortion_percent);
+  EXPECT_LT(ratio.hue_error, shared.hue_error);
+  EXPECT_LT(ratio.hue_error, 0.05);
+}
+
+TEST(ColorHebs, LumaRatioScalesChannelsByACommonFactor) {
+  RgbImage img(1, 1);
+  img.set(0, 0, {120, 60, 30});  // 4:2:1 ratios, luma well inside range
+  OperatingPoint point{
+      hebs::transform::PwlCurve({{0.0, 0.0}, {1.0, 0.5}}), 0.5};
+  const auto out = apply_to_color(img, point, ColorMode::kLumaRatio);
+  const auto p = out.get(0, 0);
+  // The common scale preserves the 4:2:1 structure up to rounding.
+  EXPECT_NEAR(static_cast<double>(p.r) / p.b, 4.0, 0.2);
+  EXPECT_NEAR(static_cast<double>(p.g) / p.b, 2.0, 0.2);
+}
+
+TEST(ColorHebs, LumaRatioSaturatingChannelClampsAt255) {
+  RgbImage img(1, 1);
+  img.set(0, 0, {200, 10, 10});  // red-dominant: scaling drives R past 255
+  // A brightening curve: ψ(y) > y/255 everywhere, so the common scale
+  // exceeds 1 and the dominant channel saturates.
+  OperatingPoint point{
+      hebs::transform::PwlCurve({{0.0, 0.5}, {1.0, 1.0}}), 1.0};
+  const auto out = apply_to_color(img, point, ColorMode::kLumaRatio);
+  const auto p = out.get(0, 0);
+  EXPECT_EQ(p.r, 255);  // clamped, not wrapped
+  EXPECT_GT(p.g, 10);   // the others still brightened
+  EXPECT_LT(p.g, 255);
+}
+
+TEST(ColorHebs, LumaRatioRespectsTheBacklightCeiling) {
+  // Transmittance cannot exceed one: no sub-pixel can display brighter
+  // than β, whatever ratio scaling asks for.  Both modes share the
+  // ceiling lround(β·255).
+  RgbImage img(1, 1);
+  img.set(0, 0, {255, 20, 20});
+  OperatingPoint point{
+      hebs::transform::PwlCurve({{0.0, 0.5}, {1.0, 1.0}}), 0.5};
+  const auto ratio = apply_to_color(img, point, ColorMode::kLumaRatio);
+  const auto shared = apply_to_color(img, point, ColorMode::kSharedCurve);
+  const int ceiling = 128;  // lround(0.5 * 255)
+  EXPECT_LE(ratio.get(0, 0).r, ceiling);
+  EXPECT_LE(shared.get(0, 0).r, ceiling);
+  EXPECT_EQ(ratio.get(0, 0).r, ceiling);  // the scale does hit the rail
+}
+
+TEST(ColorHebs, LumaRatioZeroLumaFallsBackToSharedCurve) {
+  RgbImage img(1, 2);
+  img.set(0, 0, {1, 0, 0});  // BT.601 luma rounds to 0: no ratio exists
+  img.set(0, 1, {0, 0, 0});
+  OperatingPoint point{
+      hebs::transform::PwlCurve({{0.0, 0.1}, {1.0, 0.9}}), 0.9};
+  const auto out = apply_to_color(img, point, ColorMode::kLumaRatio);
+  const hebs::transform::Lut lut = displayed_levels(point).quantize();
+  EXPECT_EQ(out.get(0, 0).r, lut[1]);
+  EXPECT_EQ(out.get(0, 0).g, lut[0]);
+  EXPECT_EQ(out.get(0, 1).r, lut[0]);
+}
+
+TEST(ColorHebs, ChromaticityErrorOfAllBlackImagesIsZero) {
+  // Every pixel takes the sum < 1 skip path; the counted == 0 fallback
+  // must report 0, not divide by zero.
+  const RgbImage black(16, 16);
+  EXPECT_DOUBLE_EQ(chromaticity_error(black, black), 0.0);
+  RgbImage dim(16, 16);
+  EXPECT_DOUBLE_EQ(chromaticity_error(black, dim), 0.0);
+}
+
 TEST(ColorHebs, ChromaticityErrorOfIdenticalImagesIsZero) {
   const auto rgb = hebs::image::make_usid_color(UsidId::kOnion, 48);
   EXPECT_DOUBLE_EQ(chromaticity_error(rgb, rgb), 0.0);

@@ -1,0 +1,324 @@
+// Facade tests for the first-class color workload: RGB frame/batch/
+// video processing through hebs::Session, mode selection, bit-stability
+// across thread counts and the temporal fast path, and the color error
+// paths.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/color.h"
+#include "core/distortion_curve.h"
+#include "hebs/hebs.h"
+#include "image/synthetic.h"
+
+namespace {
+
+using hebs::FrameRequest;
+using hebs::FrameResult;
+using hebs::ImageView;
+using hebs::Session;
+using hebs::SessionConfig;
+using hebs::StatusCode;
+using hebs::image::RgbImage;
+using hebs::image::UsidId;
+
+ImageView view_of(const RgbImage& img) {
+  return ImageView::rgb8(img.data().data(), img.width(), img.height());
+}
+
+FrameRequest color_request(const RgbImage& img, double dmax = 10.0) {
+  FrameRequest request{view_of(img), dmax};
+  request.color_output = true;
+  return request;
+}
+
+bool same_rgb(const hebs::OwnedRgbImage& a, const hebs::OwnedRgbImage& b) {
+  return a.width() == b.width() && a.height() == b.height() &&
+         a.pixels() == b.pixels();
+}
+
+TEST(ColorSession, SharedCurveModeMatchesTheCorePath) {
+  const RgbImage rgb = hebs::image::make_usid_color(UsidId::kPeppers, 48);
+  auto session =
+      Session::create(SessionConfig().color_mode("shared-curve"));
+  ASSERT_TRUE(session.has_value());
+  auto result = session->process(color_request(rgb));
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+
+  const auto core = hebs::core::color_hebs_exact(
+      rgb, 10.0, {}, hebs::power::LcdSubsystemPower::lp064v1(),
+      hebs::core::ColorMode::kSharedCurve);
+  EXPECT_EQ(result->beta, core.luma.point.beta);
+  EXPECT_EQ(result->distortion_percent, core.distortion_percent);
+  EXPECT_EQ(result->hue_error, core.hue_error);
+  ASSERT_EQ(result->displayed_rgb.pixels().size(),
+            core.transformed.data().size());
+  EXPECT_EQ(std::memcmp(result->displayed_rgb.pixels().data(),
+                        core.transformed.data().data(),
+                        core.transformed.data().size()),
+            0);
+}
+
+TEST(ColorSession, ColorOutputKeepsTheLumaDecisionBitIdentical) {
+  const RgbImage rgb = hebs::image::make_usid_color(UsidId::kSail, 48);
+  const auto luma = rgb.to_luma();
+  auto session = Session::create(SessionConfig());
+  ASSERT_TRUE(session.has_value());
+  auto color = session->process(color_request(rgb));
+  auto gray = session->process(
+      {ImageView::gray8(luma.pixels().data(), luma.width(), luma.height()),
+       10.0});
+  ASSERT_TRUE(color.has_value()) << color.status().to_string();
+  ASSERT_TRUE(gray.has_value());
+  EXPECT_EQ(color->beta, gray->beta);
+  EXPECT_EQ(color->g_min, gray->g_min);
+  EXPECT_EQ(color->g_max, gray->g_max);
+  EXPECT_EQ(color->distortion_percent, gray->distortion_percent);
+  EXPECT_EQ(color->saving_percent, gray->saving_percent);
+  EXPECT_EQ(color->displayed, gray->displayed);
+  EXPECT_FALSE(color->displayed_rgb.empty());
+  EXPECT_TRUE(gray->displayed_rgb.empty());
+}
+
+TEST(ColorSession, BothModesOnAOnePixelFrame) {
+  RgbImage tiny(1, 1);
+  tiny.set(0, 0, {180, 90, 45});
+  for (const char* mode : {"shared-curve", "luma-ratio"}) {
+    // The windowed default metric is undefined below its 8x8 block, so
+    // the 1x1 edge case runs on rmse (defined at every size).
+    auto session =
+        Session::create(SessionConfig().color_mode(mode).metric("rmse"));
+    ASSERT_TRUE(session.has_value());
+    auto result = session->process(color_request(tiny));
+    ASSERT_TRUE(result.has_value())
+        << mode << ": " << result.status().to_string();
+    EXPECT_EQ(result->displayed_rgb.width(), 1);
+    EXPECT_EQ(result->displayed_rgb.height(), 1);
+    ASSERT_EQ(result->displayed_rgb.pixels().size(), 3u);
+    EXPECT_GE(result->hue_error, 0.0);
+  }
+  // Under the windowed default metric the same frame must come back as
+  // a typed status (the facade never aborts), not a crash.
+  auto session = Session::create(SessionConfig());
+  ASSERT_TRUE(session.has_value());
+  auto result = session->process(color_request(tiny));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ColorSession, AllBlackFrameHasZeroHueError) {
+  const RgbImage black(8, 8);  // every chromaticity sample is skipped
+  for (const char* mode : {"shared-curve", "luma-ratio"}) {
+    auto session = Session::create(SessionConfig().color_mode(mode));
+    ASSERT_TRUE(session.has_value());
+    auto result = session->process(color_request(black));
+    ASSERT_TRUE(result.has_value()) << result.status().to_string();
+    EXPECT_EQ(result->hue_error, 0.0) << mode;
+    EXPECT_FALSE(result->displayed_rgb.empty());
+  }
+}
+
+TEST(ColorSession, SaturatingInputStaysInRangeInBothModes) {
+  // Red-dominant content drives the scaled channel to the 8-bit rail in
+  // luma-ratio mode; outputs must clamp, never wrap, in both modes.
+  RgbImage hot(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      hot.set(x, y, {250, static_cast<std::uint8_t>(10 + x),
+                     static_cast<std::uint8_t>(5 + y)});
+    }
+  }
+  for (const char* mode : {"shared-curve", "luma-ratio"}) {
+    auto session = Session::create(SessionConfig().color_mode(mode));
+    ASSERT_TRUE(session.has_value());
+    auto result = session->process(color_request(hot, 30.0));
+    ASSERT_TRUE(result.has_value()) << result.status().to_string();
+    EXPECT_EQ(result->displayed_rgb.pixels().size(), 3u * 8 * 8);
+  }
+}
+
+TEST(ColorSession, GrayViewWithColorOutputIsRejected) {
+  const auto gray = hebs::image::make_usid(UsidId::kLena, 16);
+  auto session = Session::create(SessionConfig());
+  ASSERT_TRUE(session.has_value());
+  FrameRequest request{
+      ImageView::gray8(gray.pixels().data(), gray.width(), gray.height()),
+      10.0};
+  request.color_output = true;
+  auto result = session->process(request);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidOption);
+}
+
+TEST(ColorSession, UnknownColorModeIsRejectedAtCreate) {
+  auto session = Session::create(SessionConfig().color_mode("vivid"));
+  ASSERT_FALSE(session.has_value());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidOption);
+}
+
+TEST(ColorSession, BatchMatchesPerFrameAcrossThreadCountsAndModes) {
+  std::vector<RgbImage> images;
+  images.push_back(hebs::image::make_usid_color(UsidId::kPeppers, 32));
+  images.push_back(hebs::image::make_usid_color(UsidId::kAutumn, 32));
+  images.push_back(hebs::image::make_usid_color(UsidId::kSail, 32));
+  std::vector<ImageView> frames;
+  for (const auto& img : images) frames.push_back(view_of(img));
+
+  for (const char* mode : {"shared-curve", "luma-ratio"}) {
+    // Per-frame reference on a single-thread session.
+    auto reference_session =
+        Session::create(SessionConfig().color_mode(mode).threads(1));
+    ASSERT_TRUE(reference_session.has_value());
+    std::vector<FrameResult> reference;
+    for (const auto& img : images) {
+      auto r = reference_session->process(color_request(img));
+      ASSERT_TRUE(r.has_value()) << r.status().to_string();
+      reference.push_back(std::move(*r));
+    }
+    for (int threads : {1, 4}) {
+      auto session = Session::create(
+          SessionConfig().color_mode(mode).threads(threads));
+      ASSERT_TRUE(session.has_value());
+      auto batch = session->process_batch_color(frames, 10.0);
+      ASSERT_TRUE(batch.has_value()) << batch.status().to_string();
+      ASSERT_EQ(batch->size(), images.size());
+      for (std::size_t i = 0; i < batch->size(); ++i) {
+        EXPECT_EQ((*batch)[i].beta, reference[i].beta);
+        EXPECT_EQ((*batch)[i].hue_error, reference[i].hue_error);
+        EXPECT_TRUE(
+            same_rgb((*batch)[i].displayed_rgb, reference[i].displayed_rgb))
+            << mode << " threads=" << threads << " frame " << i;
+      }
+    }
+  }
+}
+
+TEST(ColorSession, BatchCoversCurveAndBaselinePolicies) {
+  // The non-exact policies route differently inside process_batch_color
+  // (hebs-curve through the engine pool, baselines serially); each must
+  // match the per-frame color path bit-for-bit.
+  std::vector<RgbImage> images;
+  images.push_back(hebs::image::make_usid_color(UsidId::kPeppers, 32));
+  images.push_back(hebs::image::make_usid_color(UsidId::kSail, 32));
+  std::vector<ImageView> frames;
+  for (const auto& img : images) frames.push_back(view_of(img));
+
+  const auto album = hebs::image::usid_album(32);
+  const auto curve = hebs::core::DistortionCurve::characterize(
+      album, hebs::core::DistortionCurve::default_ranges(), {},
+      hebs::power::LcdSubsystemPower::lp064v1());
+  const std::string curve_path =
+      ::testing::TempDir() + "hebs_color_batch_curve.csv";
+  curve.save(curve_path);
+
+  std::vector<SessionConfig> configs;
+  configs.push_back(
+      SessionConfig().policy("hebs-curve").curve_path(curve_path).threads(2));
+  configs.push_back(SessionConfig().policy("dls"));
+  for (const auto& config : configs) {
+    auto session = Session::create(config);
+    ASSERT_TRUE(session.has_value());
+    auto batch = session->process_batch_color(frames, 10.0);
+    ASSERT_TRUE(batch.has_value())
+        << config.policy() << ": " << batch.status().to_string();
+    ASSERT_EQ(batch->size(), images.size());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      auto single = session->process(color_request(images[i]));
+      ASSERT_TRUE(single.has_value()) << single.status().to_string();
+      EXPECT_EQ((*batch)[i].beta, single->beta) << config.policy();
+      EXPECT_EQ((*batch)[i].hue_error, single->hue_error) << config.policy();
+      EXPECT_TRUE(same_rgb((*batch)[i].displayed_rgb, single->displayed_rgb))
+          << config.policy() << " frame " << i;
+    }
+  }
+}
+
+TEST(ColorSession, BatchRejectsGrayFramesByIndex) {
+  const RgbImage rgb = hebs::image::make_usid_color(UsidId::kLena, 16);
+  const auto gray = hebs::image::make_usid(UsidId::kLena, 16);
+  auto session = Session::create(SessionConfig());
+  ASSERT_TRUE(session.has_value());
+  const std::vector<ImageView> frames = {
+      view_of(rgb),
+      ImageView::gray8(gray.pixels().data(), gray.width(), gray.height())};
+  auto batch = session->process_batch_color(frames, 10.0);
+  ASSERT_FALSE(batch.has_value());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidOption);
+  EXPECT_NE(batch.status().message().find("frame 1"), std::string::npos);
+}
+
+TEST(ColorSession, VideoColorIsBitStableAcrossThreadsAndTemporalReuse) {
+  // Static block + a scene cut to a second static block: the temporal
+  // fast path engages on the repeats and must change nothing.
+  std::vector<RgbImage> clip;
+  const RgbImage a = hebs::image::make_usid_color(UsidId::kPeppers, 32);
+  const RgbImage b = hebs::image::make_usid_color(UsidId::kAutumn, 32);
+  for (int i = 0; i < 4; ++i) clip.push_back(a);
+  for (int i = 0; i < 4; ++i) clip.push_back(b);
+  std::vector<ImageView> frames;
+  for (const auto& img : clip) frames.push_back(view_of(img));
+
+  auto make = [](int threads, bool temporal) {
+    return Session::create(SessionConfig()
+                               .color_mode("luma-ratio")
+                               .threads(threads)
+                               .temporal_reuse(temporal));
+  };
+  auto reference_session = make(1, false);
+  ASSERT_TRUE(reference_session.has_value());
+  auto reference = reference_session->process_video_color(frames, 10.0);
+  ASSERT_TRUE(reference.has_value()) << reference.status().to_string();
+  ASSERT_EQ(reference->size(), clip.size());
+
+  for (int threads : {1, 2}) {
+    for (bool temporal : {false, true}) {
+      auto session = make(threads, temporal);
+      ASSERT_TRUE(session.has_value());
+      auto results = session->process_video_color(frames, 10.0);
+      ASSERT_TRUE(results.has_value()) << results.status().to_string();
+      ASSERT_EQ(results->size(), reference->size());
+      for (std::size_t i = 0; i < results->size(); ++i) {
+        EXPECT_EQ((*results)[i].beta, (*reference)[i].beta);
+        EXPECT_EQ((*results)[i].scene_cut, (*reference)[i].scene_cut);
+        EXPECT_EQ((*results)[i].frame.hue_error,
+                  (*reference)[i].frame.hue_error);
+        EXPECT_TRUE(same_rgb((*results)[i].frame.displayed_rgb,
+                             (*reference)[i].frame.displayed_rgb))
+            << "threads=" << threads << " temporal=" << temporal
+            << " frame " << i;
+      }
+    }
+  }
+}
+
+TEST(ColorSession, VideoColorMatchesGrayVideoDecisions) {
+  std::vector<RgbImage> clip;
+  for (int i = 0; i < 3; ++i) {
+    clip.push_back(hebs::image::make_usid_color(UsidId::kSail, 32));
+  }
+  std::vector<hebs::image::GrayImage> lumas;
+  for (const auto& img : clip) lumas.push_back(img.to_luma());
+  std::vector<ImageView> color_frames;
+  std::vector<ImageView> gray_frames;
+  for (const auto& img : clip) color_frames.push_back(view_of(img));
+  for (const auto& l : lumas) {
+    gray_frames.push_back(
+        ImageView::gray8(l.pixels().data(), l.width(), l.height()));
+  }
+  auto session = Session::create(SessionConfig().threads(1));
+  ASSERT_TRUE(session.has_value());
+  auto color = session->process_video_color(color_frames, 10.0);
+  auto gray = session->process_video(gray_frames, 10.0);
+  ASSERT_TRUE(color.has_value()) << color.status().to_string();
+  ASSERT_TRUE(gray.has_value());
+  ASSERT_EQ(color->size(), gray->size());
+  for (std::size_t i = 0; i < color->size(); ++i) {
+    EXPECT_EQ((*color)[i].beta, (*gray)[i].beta);
+    EXPECT_EQ((*color)[i].raw_beta, (*gray)[i].raw_beta);
+    EXPECT_EQ((*color)[i].frame.displayed, (*gray)[i].frame.displayed);
+  }
+}
+
+}  // namespace

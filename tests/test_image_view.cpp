@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "hebs/hebs.h"
@@ -59,6 +60,32 @@ TEST(ImageView, UndersizedStrideIsInvalid) {
   EXPECT_EQ(ImageView::rgb8(pixels.data(), 8, 8, 23).validate().code(),
             StatusCode::kInvalidStride);
   EXPECT_TRUE(ImageView::rgb8(pixels.data(), 8, 8, 24).validate().ok());
+}
+
+// Pathological geometry whose byte extents do not fit in ptrdiff_t
+// must be rejected up front (kInvalidImage/kInvalidStride), never
+// carried into the y * stride_bytes addressing where the product would
+// be signed-overflow UB.
+TEST(ImageView, OverflowingExtentsAreRejected) {
+  std::vector<std::uint8_t> pixels(16, 0);
+  const int kIntMax = std::numeric_limits<int>::max();
+  const std::ptrdiff_t kPtrMax = std::numeric_limits<std::ptrdiff_t>::max();
+
+  // stride * height overflows: a huge (but individually representable)
+  // stride against a tall image.
+  EXPECT_EQ(ImageView::gray8(pixels.data(), 4, 3, kPtrMax / 2)
+                .validate()
+                .code(),
+            StatusCode::kInvalidStride);
+  EXPECT_EQ(ImageView::rgb8(pixels.data(), 4, kIntMax, kPtrMax / kIntMax + 1)
+                .validate()
+                .code(),
+            StatusCode::kInvalidStride);
+
+  // Maximal-but-representable geometry still validates structurally
+  // (the stride fits and covers a packed row).
+  EXPECT_TRUE(
+      ImageView::gray8(pixels.data(), 4, 3, kPtrMax / 4).validate().ok());
 }
 
 TEST(ImageView, PaddedStrideIsValid) {

@@ -187,6 +187,8 @@ TEST(KernelParity, FuzzAllBackendsBitIdenticalToScalar) {
     ref.histogram_u8(c.bytes.data(), n, counts_ref.data());
     std::vector<std::uint8_t> lut_ref(n);
     ref.lut_apply_u8(c.bytes.data(), n, lut8, lut_ref.data());
+    std::vector<std::uint8_t> lut_rgb_ref(3 * n);
+    ref.lut_apply_rgb8(c.rgb.data(), n, lut8, lut_rgb_ref.data());
     std::vector<std::uint8_t> luma_ref(n);
     ref.luma_bt601_rgb8(c.rgb.data(), n, luma_ref.data());
     const std::uint64_t sum_ref = ref.sum_u8(c.bytes.data(), n);
@@ -227,6 +229,11 @@ TEST(KernelParity, FuzzAllBackendsBitIdenticalToScalar) {
       std::vector<std::uint8_t> lut_out(n);
       set->lut_apply_u8(c.bytes.data(), n, lut8, lut_out.data());
       expect_bytes_eq(lut_out, lut_ref, "lut_apply_u8", *set, c.w, c.h);
+
+      std::vector<std::uint8_t> lut_rgb_out(3 * n);
+      set->lut_apply_rgb8(c.rgb.data(), n, lut8, lut_rgb_out.data());
+      expect_bytes_eq(lut_rgb_out, lut_rgb_ref, "lut_apply_rgb8", *set, c.w,
+                      c.h);
 
       std::vector<std::uint8_t> luma_out(n);
       set->luma_bt601_rgb8(c.rgb.data(), n, luma_out.data());

@@ -2,6 +2,10 @@
 // extension.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "core/ghe.h"
 #include "core/lhe.h"
 #include "image/draw.h"
@@ -9,6 +13,7 @@
 #include "image/synthetic.h"
 #include "quality/distortion.h"
 #include "util/error.h"
+#include "util/mathutil.h"
 
 namespace hebs::core {
 namespace {
@@ -38,6 +43,48 @@ TEST(ClipHistogram, CapsSpikesAndRedistributes) {
   // Cap = 2 * total/256 = 20 + redistribution share.
   EXPECT_LT(clipped.count(100), 60u);
   EXPECT_GT(clipped.count(0), 0u);  // excess spread everywhere
+  EXPECT_EQ(clipped.total(), hist.total());
+}
+
+// Regression: redistribution must never lift a bin back above the cap.
+// A delta spike concentrates the whole mass in one bin; the uniform
+// redistribution of the old implementation pushed the clipped bin (and
+// its neighbours) past the documented invariant.
+TEST(ClipHistogram, DeltaSpikeRespectsTheCapInvariant) {
+  for (const double limit : {1.0, 1.5, 2.0, 8.0}) {
+    hebs::histogram::Histogram hist;
+    hist.add(137, 100000);  // everything in one bin
+    const auto clipped = clip_histogram(hist, limit);
+    const double uniform_mass =
+        static_cast<double>(hist.total()) /
+        hebs::histogram::Histogram::kBins;
+    const auto cap =
+        static_cast<std::uint64_t>(std::ceil(limit * uniform_mass));
+    std::uint64_t max_count = 0;
+    for (int i = 0; i < hebs::histogram::Histogram::kBins; ++i) {
+      max_count = std::max(max_count, clipped.count(i));
+    }
+    EXPECT_LE(max_count, cap) << "limit " << limit;
+    EXPECT_EQ(clipped.total(), hist.total()) << "limit " << limit;
+  }
+}
+
+// The invariant also holds when several bins sit just under the cap and
+// the equal share would overfill them (the spill must cascade to bins
+// with headroom, not stop at one round).
+TEST(ClipHistogram, CascadingSpillKeepsEveryBinAtOrBelowCap) {
+  hebs::histogram::Histogram hist;
+  hist.add(10, 50000);  // two spikes + a near-cap shelf
+  hist.add(20, 50000);
+  for (int i = 100; i < 140; ++i) hist.add(i, 700);
+  const double limit = 2.0;
+  const auto clipped = clip_histogram(hist, limit);
+  const auto cap = static_cast<std::uint64_t>(std::ceil(
+      limit * static_cast<double>(hist.total()) /
+      hebs::histogram::Histogram::kBins));
+  for (int i = 0; i < hebs::histogram::Histogram::kBins; ++i) {
+    EXPECT_LE(clipped.count(i), cap) << "bin " << i;
+  }
   EXPECT_EQ(clipped.total(), hist.total());
 }
 
@@ -148,6 +195,81 @@ TEST(Lhe, InterpolationAvoidsTileSeams) {
         interior_max, std::abs(column_mean(x + 1) - column_mean(x)));
   }
   EXPECT_LT(border_jump, interior_max * 3.0 + 8.0);
+}
+
+// Degenerate tiling: tiles == width makes every tile exactly one pixel
+// column wide (tile_w == 1, the truncation path's edge), which must
+// neither crash nor index outside the tile grid, and the output must
+// stay inside the target range.
+TEST(Lhe, OnePixelTilesAtTilesEqualsWidth) {
+  const int size = 24;
+  const auto img = hebs::image::make_usid(UsidId::kPout, size);
+  const GheTarget target{5, 200};
+  LheOptions opts;
+  opts.tiles = size;  // tile_w == tile_h == 1.0 exactly
+  const auto out = lhe_apply(img, target, opts);
+  ASSERT_EQ(out.width(), size);
+  ASSERT_EQ(out.height(), size);
+  const auto mm = out.min_max();
+  EXPECT_GE(mm.min, 5);
+  EXPECT_LE(mm.max, 200);
+}
+
+// The per-tile LUT rewrite must be exactly the old per-pixel curve
+// evaluation: a curve is only ever sampled at the 256 quantized
+// levels, so tabulating it first is the same arithmetic.  Pin the
+// equivalence by evaluating the tile curves directly on a small image.
+TEST(Lhe, TileLutsMatchDirectCurveEvaluation) {
+  const auto img = hebs::image::make_usid(UsidId::kElaine, 32);
+  const GheTarget target{0, 220};
+  LheOptions opts;
+  opts.tiles = 2;
+  opts.clip_limit = 3.0;
+  const auto out = lhe_apply(img, target, opts);
+  // Reference: per-pixel curve evaluation, the pre-rewrite inner loop.
+  const int tiles = opts.tiles;
+  const double tile_w = static_cast<double>(img.width()) / tiles;
+  const double tile_h = static_cast<double>(img.height()) / tiles;
+  std::vector<hebs::transform::PwlCurve> curves;
+  for (int ty = 0; ty < tiles; ++ty) {
+    for (int tx = 0; tx < tiles; ++tx) {
+      const int x0 = static_cast<int>(tx * tile_w);
+      const int y0 = static_cast<int>(ty * tile_h);
+      const int x1 = tx + 1 == tiles ? img.width()
+                                     : static_cast<int>((tx + 1) * tile_w);
+      const int y1 = ty + 1 == tiles ? img.height()
+                                     : static_cast<int>((ty + 1) * tile_h);
+      hebs::histogram::Histogram hist;
+      for (int y = y0; y < y1; ++y) {
+        for (int x = x0; x < x1; ++x) hist.add(img(x, y));
+      }
+      curves.push_back(
+          ghe_transform(clip_histogram(hist, opts.clip_limit), target));
+    }
+  }
+  auto curve_at = [&](int tx, int ty) -> const hebs::transform::PwlCurve& {
+    tx = std::clamp(tx, 0, tiles - 1);
+    ty = std::clamp(ty, 0, tiles - 1);
+    return curves[static_cast<std::size_t>(ty) * tiles + tx];
+  };
+  for (int y = 0; y < img.height(); ++y) {
+    const double fy = (y + 0.5) / tile_h - 0.5;
+    const int ty0 = static_cast<int>(std::floor(fy));
+    const double wy = fy - std::floor(fy);
+    for (int x = 0; x < img.width(); ++x) {
+      const double fx = (x + 0.5) / tile_w - 0.5;
+      const int tx0 = static_cast<int>(std::floor(fx));
+      const double wx = fx - std::floor(fx);
+      const double xn = static_cast<double>(img(x, y)) / 255.0;
+      const double v0 = hebs::util::lerp(curve_at(tx0, ty0)(xn),
+                                         curve_at(tx0 + 1, ty0)(xn), wx);
+      const double v1 = hebs::util::lerp(curve_at(tx0, ty0 + 1)(xn),
+                                         curve_at(tx0 + 1, ty0 + 1)(xn), wx);
+      const auto want = static_cast<std::uint8_t>(std::lround(
+          hebs::util::clamp01(hebs::util::lerp(v0, v1, wy)) * 255.0));
+      ASSERT_EQ(out(x, y), want) << "(" << x << ", " << y << ")";
+    }
+  }
 }
 
 TEST(Lhe, ValidatesArguments) {
