@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,42 @@ inline void write_bench_json(const std::string& path,
   std::fprintf(f, "]\n");
   std::fclose(f);
   std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
+}
+
+/// Merges pre-rendered record lines into an existing BENCH json written
+/// by write_bench_json (one `  {...}` object per line): records from
+/// other benches are kept, prior records of `bench` are replaced.  Each
+/// line in `record_lines` must be a complete JSON object WITHOUT the
+/// leading indent or trailing comma.
+inline void merge_bench_json(const std::string& path,
+                             const std::string& bench,
+                             const std::vector<std::string>& record_lines) {
+  const std::string marker = "\"bench\": \"" + bench + "\"";
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in.is_open() && std::getline(in, line)) {
+      if (line.rfind("  {", 0) != 0) continue;  // array brackets
+      if (line.find(marker) != std::string::npos) continue;
+      if (!line.empty() && line.back() == ',') line.pop_back();
+      kept.push_back(line);
+    }
+  }
+  for (const std::string& r : record_lines) kept.push_back("  " + r);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    std::fprintf(f, "%s%s\n", kept[i].c_str(),
+                 i + 1 < kept.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", path.c_str(), kept.size());
 }
 
 }  // namespace hebs::bench

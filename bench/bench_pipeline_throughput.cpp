@@ -554,6 +554,93 @@ int run_batch_report(int batch_size) {
 }
 
 // ------------------------------------------------------------------------
+// Cold-frame stage breakdown
+// ------------------------------------------------------------------------
+
+// Times each pipeline stage at bench resolution plus the end-to-end cold
+// frame with the coarse-to-fine search on and off, so the cold-frame
+// latency budget can be attributed stage by stage.
+int run_stage_breakdown() {
+  constexpr double kBudget = 10.0;
+  constexpr int kSize = hebs::bench::kImageSize;
+  const auto album = image::usid_album(kSize);
+  const auto& img = album[0].image;
+  const core::HebsOptions opts;
+
+  const auto time_ms = [](int reps, auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) fn();
+    return 1000.0 * seconds_since(t0) / reps;
+  };
+
+  std::printf("=== Cold-frame stage breakdown: %s (%dx%d), D_max %.0f%%, "
+              "kernel backend %s ===\n",
+              album[0].name.c_str(), kSize, kSize, kBudget,
+              kernels::active().name);
+
+  const auto hist = histogram::Histogram::from_image(img);
+  const double t_hist = time_ms(500, [&] {
+    benchmark::DoNotOptimize(histogram::Histogram::from_image(img));
+  });
+
+  pipeline::FrameContext ctx(img, opts, platform());
+  const core::GheTarget target = pipeline::select_target(ctx, 150);
+  const double t_ghe = time_ms(500, [&] {
+    benchmark::DoNotOptimize(core::ghe_transform(hist, target));
+  });
+
+  const auto phi = pipeline::phi_for_target(ctx, target);
+  const double t_plc = time_ms(100, [&] {
+    benchmark::DoNotOptimize(core::plc_coarsen(phi, opts.segments));
+  });
+
+  const auto lambda = core::plc_coarsen(phi, opts.segments).curve;
+  const double beta = core::beta_for_gmax(target.g_max, opts.min_beta);
+  const core::OperatingPoint point{lambda, beta};
+  const double t_eval = time_ms(100, [&] {
+    benchmark::DoNotOptimize(ctx.evaluate_lean(point));
+  });
+
+  const auto levels = core::displayed_levels(point);
+  const double t_render = time_ms(500, [&] {
+    benchmark::DoNotOptimize(levels.quantize().apply(img));
+  });
+
+  // One coarse probe on a cold context: decimated-proxy build plus the
+  // proxy-resolution metric (the guidance cost the restructured search
+  // pays per candidate range before any exact probe).
+  pipeline::FrameContext proxy_ctx(opts, platform());
+  const double t_proxy = time_ms(100, [&] {
+    proxy_ctx.rebind(img);
+    benchmark::DoNotOptimize(proxy_ctx.approx_distortion_at_range(150));
+  });
+
+  const auto cold_total = [&](bool coarse) {
+    core::HebsOptions o = opts;
+    o.coarse_search = coarse;
+    pipeline::FrameContext c(o, platform());
+    return time_ms(30, [&] {
+      c.rebind(img);
+      benchmark::DoNotOptimize(pipeline::run_exact(c, kBudget));
+    });
+  };
+  const double t_cold_off = cold_total(false);
+  const double t_cold_on = cold_total(true);
+
+  std::printf("  histogram              : %8.3f ms\n", t_hist);
+  std::printf("  GHE solve              : %8.3f ms\n", t_ghe);
+  std::printf("  PLC coarsen (per probe): %8.3f ms\n", t_plc);
+  std::printf("  metric eval (per probe): %8.3f ms\n", t_eval);
+  std::printf("  render (quantize+LUT)  : %8.3f ms\n", t_render);
+  std::printf("  coarse proxy probe     : %8.3f ms  (incl. proxy build)\n",
+              t_proxy);
+  std::printf("  cold frame, bisection  : %8.3f ms\n", t_cold_off);
+  std::printf("  cold frame, coarse     : %8.3f ms  (speedup %.2fx)\n",
+              t_cold_on, t_cold_off / t_cold_on);
+  return 0;
+}
+
+// ------------------------------------------------------------------------
 // Stage microbenchmarks
 // ------------------------------------------------------------------------
 
@@ -708,6 +795,7 @@ int main(int argc, char** argv) {
   int report_batch_size = 64;
   bool report_only = false;
   bool skip_report = false;
+  bool stage_breakdown = false;
   // Strip our flags before handing the rest to google-benchmark.
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -719,9 +807,14 @@ int main(int argc, char** argv) {
       report_only = true;
     } else if (std::strcmp(arg, "--skip-report") == 0) {
       skip_report = true;
+    } else if (std::strcmp(arg, "--stage-breakdown") == 0) {
+      stage_breakdown = true;
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (stage_breakdown) {
+    return run_stage_breakdown();
   }
   if (!skip_report) {
     const int rc = run_batch_report(report_batch_size);

@@ -55,6 +55,14 @@ struct HebsOptions {
   /// realization is unchanged: the same ladder program at a dimmer
   /// backlight.  Disable for the paper-pure pipeline.
   bool concurrent_scaling = true;
+  /// When true (default), the exact search narrows the range bracket and
+  /// predicts the β bisection path on a decimated proxy of the frame
+  /// before touching the full-resolution evaluator, and every exact
+  /// probe it does make is verified the same way the temporal warm path
+  /// is (DESIGN.md §11).  The result is bit-identical to the frozen
+  /// cold bisection under the §9 monotonicity contract; set false for
+  /// that frozen reference search (the fuzz baseline).
+  bool coarse_search = true;
   /// Distortion metric configuration (paper default: UIQI over HVS).
   hebs::quality::DistortionOptions distortion;
 };

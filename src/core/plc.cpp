@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "kernels/kernels.h"
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/pool.h"
 
 namespace hebs::core {
@@ -15,7 +17,9 @@ namespace {
 /// For the chord from p_j to p_i, the error at an interior point p_k is
 /// d_k = (y_k - y_j) - s (x_k - x_j) with s the chord slope; the summed
 /// squared error expands into prefix sums of y, y², x, x², xy and cross
-/// terms, all precomputable.
+/// terms, all precomputable.  The per-candidate arithmetic lives in the
+/// kernel layer (plc_scan_f64 / ref::plc_chord_err); this class owns the
+/// tables and hoists the i-side terms out of the DP's inner j loop.
 class ChordError {
  public:
   explicit ChordError(const hebs::transform::PwlCurve::PointList& pts)
@@ -37,60 +41,23 @@ class ChordError {
     }
   }
 
-  /// All chord-endpoint terms that depend only on i, hoisted out of the
-  /// DP's inner j loop: the loop body then touches six j-indexed loads
-  /// instead of re-reading the i-side prefix sums per candidate.  The
-  /// arithmetic (operations and their order) is exactly operator()'s,
-  /// so the error values are bit-identical.
-  class Tail {
-   public:
-    Tail(const ChordError& ce, std::size_t i)
-        : ce_(ce),
-          pix_(ce.px_[i]),
-          piy_(ce.py_[i]),
-          sxi_(ce.sx_[i + 1]),
-          syi_(ce.sy_[i + 1]),
-          sxxi_(ce.sxx_[i + 1]),
-          syyi_(ce.syy_[i + 1]),
-          sxyi_(ce.sxy_[i + 1]),
-          i_(i) {}
-
-    /// Squared error of the chord p_j -> p_i over points j..i.
-    double operator()(std::size_t j) const {
-      const double pjx = ce_.px_[j];
-      const double pjy = ce_.py_[j];
-      const double s = (piy_ - pjy) / (pix_ - pjx);
-      // Range sums over k in [j, i].
-      const double n = static_cast<double>(i_ - j + 1);
-      const double sum_x = sxi_ - ce_.sx_[j];
-      const double sum_y = syi_ - ce_.sy_[j];
-      const double sum_xx = sxxi_ - ce_.sxx_[j];
-      const double sum_yy = syyi_ - ce_.syy_[j];
-      const double sum_xy = sxyi_ - ce_.sxy_[j];
-      // Sum over k of ((y_k - y_j) - s (x_k - x_j))^2
-      //  = Σ dy²  - 2 s Σ dx dy + s² Σ dx²
-      const double sum_dyy =
-          sum_yy - 2.0 * pjy * sum_y + n * pjy * pjy;
-      const double sum_dxx =
-          sum_xx - 2.0 * pjx * sum_x + n * pjx * pjx;
-      const double sum_dxy = sum_xy - pjx * sum_y - pjy * sum_x +
-                             n * pjx * pjy;
-      const double err = sum_dyy - 2.0 * s * sum_dxy + s * s * sum_dxx;
-      return err > 0.0 ? err : 0.0;  // guard fp cancellation
-    }
-
-   private:
-    const ChordError& ce_;
-    const double pix_, piy_;
-    const double sxi_, syi_, sxxi_, syyi_, sxyi_;
-    const std::size_t i_;
-  };
-
-  Tail tail(std::size_t i) const { return Tail(*this, i); }
-
-  /// One-off evaluation (the seeded scan start).
-  double operator()(std::size_t j, std::size_t i) const {
-    return tail(i)(j);
+  /// Fills the table pointers and the hoisted i-side terms of one scan.
+  void fill(hebs::kernels::PlcScanArgs& a, std::size_t i) const {
+    a.px = px_.data();
+    a.py = py_.data();
+    a.sx = sx_.data();
+    a.sy = sy_.data();
+    a.sxx = sxx_.data();
+    a.syy = syy_.data();
+    a.sxy = sxy_.data();
+    a.pix = px_[i];
+    a.piy = py_[i];
+    a.sxi = sx_[i + 1];
+    a.syi = sy_[i + 1];
+    a.sxxi = sxx_[i + 1];
+    a.syyi = syy_[i + 1];
+    a.sxyi = sxy_[i + 1];
+    a.i = i;
   }
 
  private:
@@ -127,40 +94,33 @@ PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
   hebs::util::PoolVector<double> best((m + 1) * n, kInf);
   hebs::util::PoolVector<std::size_t> parent((m + 1) * n, 0);
   best[0] = 0.0;  // best[0][0]
+  const auto& kn = hebs::kernels::active();
   for (std::size_t s = 1; s <= m; ++s) {
     const double* prev = best.data() + (s - 1) * n;
     double* cur = best.data() + s * n;
     std::size_t* par = parent.data() + s * n;
-    for (std::size_t i = s; i < n; ++i) {
-      const ChordError::Tail chord_i = chord.tail(i);
-      // Seed the scan with the previous column's parent — usually near
-      // the optimum, so the bound below is tight from the start.  The
-      // selection rule (strictly smaller value, or equal value at a
-      // smaller j) makes the result independent of the seed: it is
-      // always the lowest-j argmin, exactly what a plain ascending scan
-      // with strict `<` produces.
-      std::size_t row_parent = i > s ? par[i - 1] : s - 1;
-      double row_best = prev[row_parent] + chord_i(row_parent);
-      for (std::size_t j = s - 1; j < i; ++j) {
-        // candidate = prev[j] + chord(j, i) >= prev[j]: when prev[j]
-        // already loses, skip the chord evaluation (and its division).
-        // Equality can win only through a zero-error chord at j <
-        // row_parent (the tie rule), so j >= row_parent is prunable at
-        // equality too.
-        if (prev[j] > row_best ||
-            (prev[j] == row_best && j >= row_parent)) {
-          continue;
-        }
-        const double candidate = prev[j] + chord_i(j);
-        if (candidate < row_best ||
-            (candidate == row_best && j < row_parent)) {
-          row_best = candidate;
-          row_parent = j;
-        }
-      }
-      cur[i] = row_best;
-      par[i] = row_parent;
-    }
+    // Each column i depends only on row s-1, so the i-loop fans across
+    // the installed row executor.  The scan seed is only a performance
+    // hint (the kernel's result is always the lowest-j argmin, exactly
+    // a plain ascending scan with strict `<`), so chunk-first columns
+    // seeding with s-1 instead of par[i-1] cannot change any output.
+    hebs::util::parallel_rows(
+        static_cast<int>(n - s), [&](int begin, int end) {
+          hebs::kernels::PlcScanArgs args;
+          args.prev = prev;
+          args.j_begin = s - 1;
+          for (int t = begin; t < end; ++t) {
+            const std::size_t i = s + static_cast<std::size_t>(t);
+            chord.fill(args, i);
+            // Seed with the previous column's parent — usually near the
+            // optimum, so the kernel's prune bound is tight from the
+            // start.
+            args.j_seed = t > begin ? par[i - 1] : s - 1;
+            std::size_t pj = 0;
+            cur[i] = kn.plc_scan_f64(&args, &pj);
+            par[i] = pj;
+          }
+        });
   }
 
   // The approximation may use fewer than m segments if that is already

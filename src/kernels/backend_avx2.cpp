@@ -18,6 +18,7 @@
 #include <immintrin.h>
 
 #include <cstring>
+#include <limits>
 
 #include "kernels/kernels.h"
 #include "kernels/kernels_ref.h"
@@ -228,6 +229,193 @@ void blur_col_f64_avx2(const double* src, int w, int h, int y,
   }
 }
 
+void uiqi_q_row_f64_avx2(const double* mean_a, const double* var_a,
+                         const double* b_top, const double* b_bot,
+                         const double* bb_top, const double* bb_bot,
+                         const double* ab_top, const double* ab_bot,
+                         std::size_t n_win, int block, double n_px,
+                         double* q_out) {
+  // Four windows per iteration.  Every lane performs exactly the scalar
+  // reference's IEEE operation sequence (separate mul/add, no FMA); the
+  // q branches become masked blends, so the divisions in dead lanes
+  // (inf/NaN) are discarded without affecting live lanes.
+  const auto b = static_cast<std::size_t>(block);
+  const __m256d vn = _mm256_set1_pd(n_px);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d four = _mm256_set1_pd(4.0);
+  std::size_t x = 0;
+  for (; x + 4 <= n_win; x += 4) {
+    const auto rect = [&](const double* top, const double* bot) {
+      // bot[x+b] - bot[x] - top[x+b] + top[x], the rect_sum term order.
+      return _mm256_add_pd(
+          _mm256_sub_pd(_mm256_sub_pd(_mm256_loadu_pd(bot + x + b),
+                                      _mm256_loadu_pd(bot + x)),
+                        _mm256_loadu_pd(top + x + b)),
+          _mm256_loadu_pd(top + x));
+    };
+    const __m256d rect_b = rect(b_top, b_bot);
+    const __m256d rect_bb = rect(bb_top, bb_bot);
+    const __m256d rect_ab = rect(ab_top, ab_bot);
+    const __m256d ma = _mm256_loadu_pd(mean_a + x);
+    const __m256d va = _mm256_loadu_pd(var_a + x);
+    const __m256d mb = _mm256_div_pd(rect_b, vn);
+    __m256d vb =
+        _mm256_sub_pd(_mm256_div_pd(rect_bb, vn), _mm256_mul_pd(mb, mb));
+    const __m256d cov =
+        _mm256_sub_pd(_mm256_div_pd(rect_ab, vn), _mm256_mul_pd(ma, mb));
+    // if (var_b < 0) var_b = 0 — a compare/blend, not max_pd, so the
+    // -0.0 case keeps the scalar semantics exactly.
+    vb = _mm256_blendv_pd(vb, zero, _mm256_cmp_pd(vb, zero, _CMP_LT_OQ));
+    const __m256d mean_prod = _mm256_mul_pd(ma, mb);
+    const __m256d denom1 =
+        _mm256_add_pd(_mm256_mul_pd(ma, ma), _mm256_mul_pd(mb, mb));
+    const __m256d denom2 = _mm256_add_pd(va, vb);
+    const __m256d d12 = _mm256_mul_pd(denom1, denom2);
+    const __m256d q_main = _mm256_div_pd(
+        _mm256_mul_pd(_mm256_mul_pd(four, cov), mean_prod), d12);
+    const __m256d q_mean =
+        _mm256_div_pd(_mm256_mul_pd(two, mean_prod), denom1);
+    __m256d q = _mm256_blendv_pd(one, q_mean,
+                                 _mm256_cmp_pd(denom1, zero, _CMP_GT_OQ));
+    q = _mm256_blendv_pd(q, q_main, _mm256_cmp_pd(d12, zero, _CMP_GT_OQ));
+    _mm256_storeu_pd(q_out + x, q);
+  }
+  if (x < n_win) {
+    ref::uiqi_q_row_f64(mean_a + x, var_a + x, b_top + x, b_bot + x,
+                        bb_top + x, bb_bot + x, ab_top + x, ab_bot + x,
+                        n_win - x, block, n_px, q_out + x);
+  }
+}
+
+double plc_scan_f64_avx2(const PlcScanArgs* args, std::size_t* out_j) {
+  const PlcScanArgs& a = *args;
+  if (a.i - a.j_begin < 8) return ref::plc_scan_f64(args, out_j);
+
+  // The scalar seed candidate starts the prune bound; a block whose
+  // smallest prev[] strictly exceeds the bound cannot contain the
+  // argmin (candidate >= prev, ties at the bound are never pruned), so
+  // it is skipped whole.  The bound is a stale-but-safe upper estimate
+  // of the running best, refreshed by a horizontal fold every few
+  // blocks.
+  std::size_t seed_j = a.j_seed;
+  const double seed_best = a.prev[seed_j] + ref::plc_chord_err(a, seed_j);
+  double bound = seed_best;
+
+  const __m256d vpix = _mm256_set1_pd(a.pix);
+  const __m256d vpiy = _mm256_set1_pd(a.piy);
+  const __m256d vsxi = _mm256_set1_pd(a.sxi);
+  const __m256d vsyi = _mm256_set1_pd(a.syi);
+  const __m256d vsxxi = _mm256_set1_pd(a.sxxi);
+  const __m256d vsyyi = _mm256_set1_pd(a.syyi);
+  const __m256d vsxyi = _mm256_set1_pd(a.sxyi);
+  const __m256d vip1 = _mm256_set1_pd(static_cast<double>(a.i + 1));
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d inf =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+
+  // Lane l accumulates the lowest-j argmin over its j ≡ l (mod 4)
+  // subsequence: within a lane j only grows, so a strict `<` keeps the
+  // earliest j automatically.
+  __m256d vbest = inf;
+  __m256d vbestj = zero;
+  const std::size_t jb = a.j_begin;
+  __m256d vj = _mm256_setr_pd(
+      static_cast<double>(jb), static_cast<double>(jb + 1),
+      static_cast<double>(jb + 2), static_cast<double>(jb + 3));
+  const __m256d vj_step = _mm256_set1_pd(4.0);
+
+  std::size_t j = jb;
+  int blocks_since_refresh = 0;
+  for (; j + 4 <= a.i; j += 4, vj = _mm256_add_pd(vj, vj_step)) {
+    const __m256d prev = _mm256_loadu_pd(a.prev + j);
+    // Block prune: skip when even the smallest prev[] strictly exceeds
+    // the (stale >= true best) bound.
+    __m128d m01 = _mm_min_pd(_mm256_castpd256_pd128(prev),
+                             _mm256_extractf128_pd(prev, 1));
+    m01 = _mm_min_sd(m01, _mm_unpackhi_pd(m01, m01));
+    if (_mm_cvtsd_f64(m01) > bound) continue;
+
+    const __m256d pjx = _mm256_loadu_pd(a.px + j);
+    const __m256d pjy = _mm256_loadu_pd(a.py + j);
+    const __m256d s =
+        _mm256_div_pd(_mm256_sub_pd(vpiy, pjy), _mm256_sub_pd(vpix, pjx));
+    // n = i - j + 1; both operands are exact small integers in double.
+    const __m256d n = _mm256_sub_pd(vip1, vj);
+    const __m256d sum_x = _mm256_sub_pd(vsxi, _mm256_loadu_pd(a.sx + j));
+    const __m256d sum_y = _mm256_sub_pd(vsyi, _mm256_loadu_pd(a.sy + j));
+    const __m256d sum_xx = _mm256_sub_pd(vsxxi, _mm256_loadu_pd(a.sxx + j));
+    const __m256d sum_yy = _mm256_sub_pd(vsyyi, _mm256_loadu_pd(a.syy + j));
+    const __m256d sum_xy = _mm256_sub_pd(vsxyi, _mm256_loadu_pd(a.sxy + j));
+    // Identical association to the scalar reference: each `x*y*z`
+    // groups as `(x*y)*z`, each `a - b + c` as `(a - b) + c`.
+    const __m256d sum_dyy = _mm256_add_pd(
+        _mm256_sub_pd(sum_yy,
+                      _mm256_mul_pd(_mm256_mul_pd(two, pjy), sum_y)),
+        _mm256_mul_pd(_mm256_mul_pd(n, pjy), pjy));
+    const __m256d sum_dxx = _mm256_add_pd(
+        _mm256_sub_pd(sum_xx,
+                      _mm256_mul_pd(_mm256_mul_pd(two, pjx), sum_x)),
+        _mm256_mul_pd(_mm256_mul_pd(n, pjx), pjx));
+    const __m256d sum_dxy = _mm256_add_pd(
+        _mm256_sub_pd(_mm256_sub_pd(sum_xy, _mm256_mul_pd(pjx, sum_y)),
+                      _mm256_mul_pd(pjy, sum_x)),
+        _mm256_mul_pd(_mm256_mul_pd(n, pjx), pjy));
+    __m256d err = _mm256_add_pd(
+        _mm256_sub_pd(sum_dyy,
+                      _mm256_mul_pd(_mm256_mul_pd(two, s), sum_dxy)),
+        _mm256_mul_pd(_mm256_mul_pd(s, s), sum_dxx));
+    // err > 0 ? err : 0.0 — masking to +0.0 matches the scalar branch.
+    err = _mm256_and_pd(err, _mm256_cmp_pd(err, zero, _CMP_GT_OQ));
+    const __m256d cand = _mm256_add_pd(prev, err);
+    const __m256d lt = _mm256_cmp_pd(cand, vbest, _CMP_LT_OQ);
+    vbest = _mm256_blendv_pd(vbest, cand, lt);
+    vbestj = _mm256_blendv_pd(vbestj, vj, lt);
+
+    if (++blocks_since_refresh == 16) {
+      blocks_since_refresh = 0;
+      __m128d b01 = _mm_min_pd(_mm256_castpd256_pd128(vbest),
+                               _mm256_extractf128_pd(vbest, 1));
+      b01 = _mm_min_sd(b01, _mm_unpackhi_pd(b01, b01));
+      const double lane_min = _mm_cvtsd_f64(b01);
+      if (lane_min < bound) bound = lane_min;
+    }
+  }
+
+  // Fold the lanes (lexicographic min on (value, j) — the global
+  // lowest-j argmin), then the seed candidate and the scalar tail.
+  double best_v[4];
+  double best_j[4];
+  _mm256_storeu_pd(best_v, vbest);
+  _mm256_storeu_pd(best_j, vbestj);
+  double row_best = seed_best;
+  std::size_t row_parent = seed_j;
+  for (int l = 0; l < 4; ++l) {
+    const auto lj = static_cast<std::size_t>(best_j[l]);
+    if (best_v[l] < row_best ||
+        (best_v[l] == row_best && lj < row_parent)) {
+      row_best = best_v[l];
+      row_parent = lj;
+    }
+  }
+  for (; j < a.i; ++j) {
+    if (a.prev[j] > row_best ||
+        (a.prev[j] == row_best && j >= row_parent)) {
+      continue;
+    }
+    const double candidate = a.prev[j] + ref::plc_chord_err(a, j);
+    if (candidate < row_best ||
+        (candidate == row_best && j < row_parent)) {
+      row_best = candidate;
+      row_parent = j;
+    }
+  }
+  *out_j = row_parent;
+  return row_best;
+}
+
 }  // namespace
 
 const KernelSet* kernelset_avx2() {
@@ -248,6 +436,8 @@ const KernelSet* kernelset_avx2() {
       &ref::prefix_row_f64,
       &ref::window_sums_single_f64,
       &ref::window_sums_pair_f64,
+      &uiqi_q_row_f64_avx2,
+      &plc_scan_f64_avx2,
   };
   return &set;
 }

@@ -147,6 +147,10 @@ const KernelSet* kernelset_neon() {
       &ref::prefix_row_f64,
       &ref::window_sums_single_f64,
       &ref::window_sums_pair_f64,
+      // Two-double q lanes / DP lanes don't amortize the blend and
+      // horizontal-fold overhead (same call as SSE4.2); reference loops.
+      &ref::uiqi_q_row_f64,
+      &ref::plc_scan_f64,
   };
   return &set;
 }

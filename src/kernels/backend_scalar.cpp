@@ -24,6 +24,8 @@ const KernelSet* kernelset_scalar() {
       &ref::prefix_row_f64,
       &ref::window_sums_single_f64,
       &ref::window_sums_pair_f64,
+      &ref::uiqi_q_row_f64,
+      &ref::plc_scan_f64,
   };
   return &set;
 }

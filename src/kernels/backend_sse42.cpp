@@ -149,6 +149,12 @@ const KernelSet* kernelset_sse42() {
       &ref::prefix_row_f64,
       &ref::window_sums_single_f64,
       &ref::window_sums_pair_f64,
+      // 128-bit lanes fit two doubles: the q-row and DP-scan bodies are
+      // division/branch-heavy, and at 2-wide the blend overhead eats the
+      // win (the AVX2 4-wide versions are where the payoff starts), so
+      // both stay on the reference loops.
+      &ref::uiqi_q_row_f64,
+      &ref::plc_scan_f64,
   };
   return &set;
 }

@@ -26,6 +26,28 @@
 
 namespace hebs::kernels {
 
+/// Arguments of one PLC dynamic-program row scan (core/plc.cpp).  The
+/// px/py/s* pointers are the chord-error point and prefix-sum arrays
+/// (prefix arrays have one extra leading zero entry); `prev` is DP row
+/// s-1; the scalar fields are the i-side values hoisted out of the j
+/// loop (p_i and the prefix sums at i+1).
+struct PlcScanArgs {
+  const double* px;
+  const double* py;
+  const double* sx;
+  const double* sy;
+  const double* sxx;
+  const double* syy;
+  const double* sxy;
+  const double* prev;
+  double pix, piy;
+  double sxi, syi, sxxi, syyi, sxyi;
+  std::size_t i;       ///< chord endpoint (exclusive scan bound)
+  std::size_t j_begin; ///< first candidate breakpoint (s-1)
+  std::size_t j_seed;  ///< scan seed in [j_begin, i) — a perf hint for
+                       ///< the prune bound; the result is seed-independent
+};
+
 /// Dispatch table of the per-pixel hot-path primitives.  All pointers
 /// are non-null in every registered set.
 struct KernelSet {
@@ -97,6 +119,31 @@ struct KernelSet {
                                const double* above_bb,
                                const double* above_ab, double* out_b,
                                double* out_bb, double* out_ab);
+
+  // ------------------- float kernels (per-window / per-candidate,
+  //                      elementwise bit-exact; see DESIGN.md §8, §11)
+  /// One stride-1 row of UIQI window quality indices.  Window x has its
+  /// b / b·b / a·b rectangle sums read from the integral-table row pairs
+  ///   rect(x) = bot[x + block] - bot[x] - top[x + block] + top[x]
+  /// and its reference-side moments from the cached mean_a/var_a arrays
+  /// (the reference/test evaluator split).  q_out[x] receives exactly
+  /// the per-window value quality::uiqi_from_stats' scalar loop
+  /// computes; the caller owns the strictly serial accumulation over
+  /// q_out, so the metric keeps the scalar summation order.
+  void (*uiqi_q_row_f64)(const double* mean_a, const double* var_a,
+                         const double* b_top, const double* b_bot,
+                         const double* bb_top, const double* bb_bot,
+                         const double* ab_top, const double* ab_bot,
+                         std::size_t n_win, int block, double n_px,
+                         double* q_out);
+  /// Lowest-j argmin of prev[j] + chord_error(j -> i) over
+  /// j in [j_begin, i): the PLC DP inner scan.  Returns the best value
+  /// and writes the argmin to *out_j.  Candidate values are computed
+  /// with the exact scalar chord arithmetic; the selection rule
+  /// (strictly smaller value, or equal value at smaller j) makes the
+  /// result independent of evaluation order and of which candidates a
+  /// backend prunes, so every backend returns identical (value, j).
+  double (*plc_scan_f64)(const PlcScanArgs* args, std::size_t* out_j);
 };
 
 /// One compiled-in backend plus whether this machine can run it.

@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "kernels/kernels.h"
+
 namespace hebs::kernels::ref {
 
 inline void histogram_u8(const std::uint8_t* src, std::size_t n,
@@ -137,6 +139,104 @@ inline void window_sums_single_f64(const double* v, std::size_t n,
     rss += x * x;
     out_ss[i] = above_ss[i] + rss;
   }
+}
+
+/// One UIQI window quality index from its rectangle sums and the cached
+/// reference moments — the exact per-window arithmetic of
+/// quality::uiqi_from_stats (WindowMoments' means/variances/covariance
+/// followed by the q formula with its two degenerate-denominator
+/// special cases).
+inline double uiqi_q_one(double rect_b, double rect_bb, double rect_ab,
+                         double mean_a, double var_a, double n_px) {
+  const double mean_b = rect_b / n_px;
+  double var_b = rect_bb / n_px - mean_b * mean_b;
+  const double cov_ab = rect_ab / n_px - mean_a * mean_b;
+  // Clamp tiny negative variances caused by floating-point cancellation
+  // (mean_a/var_a arrive pre-clamped from the reference-side cache).
+  if (var_b < 0.0) var_b = 0.0;
+  const double mean_prod = mean_a * mean_b;
+  const double denom1 = mean_a * mean_a + mean_b * mean_b;
+  const double denom2 = var_a + var_b;
+  double q = 1.0;  // both denominators zero: identical flat windows
+  if (denom1 * denom2 > 0.0) {
+    q = 4.0 * cov_ab * mean_prod / (denom1 * denom2);
+  } else if (denom1 > 0.0) {
+    q = 2.0 * mean_prod / denom1;
+  }
+  return q;
+}
+
+inline void uiqi_q_row_f64(const double* mean_a, const double* var_a,
+                           const double* b_top, const double* b_bot,
+                           const double* bb_top, const double* bb_bot,
+                           const double* ab_top, const double* ab_bot,
+                           std::size_t n_win, int block, double n_px,
+                           double* q_out) {
+  const auto b = static_cast<std::size_t>(block);
+  for (std::size_t x = 0; x < n_win; ++x) {
+    // Same term order as IntegralImage::rect_sum.
+    const double rect_b = b_bot[x + b] - b_bot[x] - b_top[x + b] + b_top[x];
+    const double rect_bb =
+        bb_bot[x + b] - bb_bot[x] - bb_top[x + b] + bb_top[x];
+    const double rect_ab =
+        ab_bot[x + b] - ab_bot[x] - ab_top[x + b] + ab_top[x];
+    q_out[x] = uiqi_q_one(rect_b, rect_bb, rect_ab, mean_a[x], var_a[x], n_px);
+  }
+}
+
+/// Squared error of the chord p_j -> p_i over points j..i, from the
+/// prefix sums: for an interior point p_k the error is
+/// (y_k - y_j) - s (x_k - x_j) with s the chord slope, and the summed
+/// square expands into range sums of y, y², x, x², xy.
+inline double plc_chord_err(const PlcScanArgs& a, std::size_t j) {
+  const double pjx = a.px[j];
+  const double pjy = a.py[j];
+  const double s = (a.piy - pjy) / (a.pix - pjx);
+  // Range sums over k in [j, i].
+  const double n = static_cast<double>(a.i - j + 1);
+  const double sum_x = a.sxi - a.sx[j];
+  const double sum_y = a.syi - a.sy[j];
+  const double sum_xx = a.sxxi - a.sxx[j];
+  const double sum_yy = a.syyi - a.syy[j];
+  const double sum_xy = a.sxyi - a.sxy[j];
+  // Sum over k of ((y_k - y_j) - s (x_k - x_j))^2
+  //  = Σ dy²  - 2 s Σ dx dy + s² Σ dx²
+  const double sum_dyy = sum_yy - 2.0 * pjy * sum_y + n * pjy * pjy;
+  const double sum_dxx = sum_xx - 2.0 * pjx * sum_x + n * pjx * pjx;
+  const double sum_dxy =
+      sum_xy - pjx * sum_y - pjy * sum_x + n * pjx * pjy;
+  const double err = sum_dyy - 2.0 * s * sum_dxy + s * s * sum_dxx;
+  return err > 0.0 ? err : 0.0;  // guard fp cancellation
+}
+
+inline double plc_scan_f64(const PlcScanArgs* args, std::size_t* out_j) {
+  const PlcScanArgs& a = *args;
+  // Seed the scan (usually near the optimum, so the bound below is
+  // tight from the start).  The selection rule — strictly smaller
+  // value, or equal value at a smaller j — makes the result independent
+  // of the seed: it is always the lowest-j argmin, exactly what a plain
+  // ascending scan with strict `<` produces.
+  std::size_t row_parent = a.j_seed;
+  double row_best = a.prev[row_parent] + plc_chord_err(a, row_parent);
+  for (std::size_t j = a.j_begin; j < a.i; ++j) {
+    // candidate = prev[j] + chord(j, i) >= prev[j]: when prev[j]
+    // already loses, skip the chord evaluation (and its division).
+    // Equality can win only through a zero-error chord at j <
+    // row_parent (the tie rule), so j >= row_parent is prunable at
+    // equality too.
+    if (a.prev[j] > row_best ||
+        (a.prev[j] == row_best && j >= row_parent)) {
+      continue;
+    }
+    const double candidate = a.prev[j] + plc_chord_err(a, j);
+    if (candidate < row_best ||
+        (candidate == row_best && j < row_parent)) {
+      row_best = candidate;
+      row_parent = j;
+    }
+  }
+  *out_j = row_parent;
+  return row_best;
 }
 
 inline void window_sums_pair_f64(const double* a, const double* b,

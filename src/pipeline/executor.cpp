@@ -16,6 +16,13 @@ int resolve_thread_count(int requested) {
 
 }  // namespace
 
+int ThreadPool::effective_concurrency() const noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  // 0 = unknown hardware: trust the requested pool size.
+  if (hw == 0) return thread_count_;
+  return std::min(thread_count_, static_cast<int>(hw));
+}
+
 ThreadPool::ThreadPool(int threads)
     : thread_count_(resolve_thread_count(threads)) {
   // With a single thread parallel_for runs inline; no workers needed.
@@ -53,6 +60,7 @@ void ThreadPool::worker_loop(int worker) {
   for (;;) {
     const std::function<void(std::size_t, int)>* task = nullptr;
     std::size_t n = 0;
+    int limit = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [this, seen_generation] {
@@ -62,9 +70,13 @@ void ThreadPool::worker_loop(int worker) {
       seen_generation = generation_;
       task = task_;
       n = task_n_;
+      limit = task_limit_;
     }
     std::exception_ptr error;
-    for (;;) {
+    // Workers beyond the effective-concurrency cap sit this call out
+    // without touching the cursor (a fetch_add here would consume an
+    // index nobody processes); they still join the barrier below.
+    while (worker < limit) {
       // Once any worker failed the call will rethrow, so stop claiming
       // indices instead of burning through the rest of the batch.
       if (failed_.load(std::memory_order_relaxed)) break;
@@ -96,6 +108,7 @@ void ThreadPool::parallel_for(
   HEBS_REQUIRE(active_ == 0, "parallel_for is not reentrant");
   task_ = &fn;
   task_n_ = n;
+  task_limit_ = effective_concurrency();
   cursor_.store(0, std::memory_order_relaxed);
   failed_.store(false, std::memory_order_relaxed);
   active_ = static_cast<int>(threads_.size());

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/backlight.h"
 #include "core/ghe.h"
+#include "core/plc.h"
 #include "pipeline/stages.h"
 #include "transform/lut.h"
 #include "util/error.h"
@@ -31,6 +33,8 @@ void FrameContext::rebind(const hebs::image::GrayImage& image) {
   ghe_.clear();
   by_range_.clear();
   by_target_.clear();
+  approx_.reset();
+  approx_by_target_.clear();
 }
 
 void FrameContext::rebind_unchanged(const hebs::image::GrayImage& image) {
@@ -70,10 +74,13 @@ void FrameContext::set_histogram_estimate(
     hebs::histogram::Histogram estimate) {
   HEBS_REQUIRE(!estimate.empty(), "histogram estimate is empty");
   estimate_ = std::move(estimate);
-  // Statistics-driven products depend on the histogram; drop them.
+  // Statistics-driven products depend on the histogram; drop them.  The
+  // proxy raster itself depends only on pixels and stays, but the
+  // per-target coarse probes go through the GHE memo.
   ghe_.clear();
   by_range_.clear();
   by_target_.clear();
+  approx_by_target_.clear();
 }
 
 const hebs::image::FloatImage& FrameContext::reference_luminance() const {
@@ -183,6 +190,115 @@ void FrameContext::materialize_transformed(
 core::EvaluatedPoint FrameContext::evaluate_lean(
     const core::OperatingPoint& point) const {
   return evaluate_levels(point, displayed_levels(point));
+}
+
+namespace {
+
+/// Proxy decimation factor: about 24 samples along the short side keeps
+/// the proxy's distortion ranking faithful while shrinking the metric
+/// work by k² (96x96 -> 24x24 at the default bench size).
+constexpr int kProxyShortSideSamples = 24;
+
+/// Breakpoint budget for the proxy-side PLC: the dynamic program is
+/// quadratic in curve points, so coarsening Λ from a subsampled Φ costs
+/// ~(64/256)² of the exact DP while still charging the probe for the
+/// distortion the segment budget adds — the dominant bias of a pure
+/// Λ≈Φ shortcut.
+constexpr int kProxyCurvePoints = 64;
+
+hebs::transform::PwlCurve proxy_lambda(const hebs::transform::PwlCurve& phi,
+                                       int segments) {
+  const auto& pts = phi.points();
+  const std::size_t n = pts.size();
+  if (n <= static_cast<std::size_t>(kProxyCurvePoints)) {
+    return core::plc_coarsen(phi, segments).curve;
+  }
+  // Every index step is >= 1 (n > kProxyCurvePoints), so the subsampled
+  // xs stay strictly increasing; endpoints are kept exactly.
+  hebs::transform::PwlCurve::PointList sub;
+  sub.reserve(static_cast<std::size_t>(kProxyCurvePoints));
+  for (int s = 0; s < kProxyCurvePoints; ++s) {
+    const std::size_t i = static_cast<std::size_t>(s) * (n - 1) /
+                          static_cast<std::size_t>(kProxyCurvePoints - 1);
+    sub.push_back(pts[i]);
+  }
+  return core::plc_coarsen(hebs::transform::PwlCurve(std::move(sub)), segments)
+      .curve;
+}
+
+/// Smallest proxy the bound metric can evaluate (window metrics need at
+/// least one full block per side).
+int approx_min_dim(const hebs::quality::DistortionOptions& d) {
+  switch (d.metric) {
+    case hebs::quality::Metric::kUiqi:
+    case hebs::quality::Metric::kUiqiHvs:
+      return std::max(8, d.uiqi.block_size);
+    case hebs::quality::Metric::kSsim:
+    case hebs::quality::Metric::kSsimHvs:
+      return std::max(8, d.ssim.block_size);
+    case hebs::quality::Metric::kContrastFidelity:
+      return std::max(8, d.contrast.block_size);
+    case hebs::quality::Metric::kMsSsim:
+      return std::max(8, d.ms_ssim.ssim.block_size);
+    case hebs::quality::Metric::kRmse:
+      return 8;
+  }
+  return 8;
+}
+
+}  // namespace
+
+const FrameContext::ApproxState& FrameContext::approx() const {
+  if (!approx_.has_value()) {
+    ApproxState st;
+    const auto& img = image();
+    const int k = std::min(img.width(), img.height()) / kProxyShortSideSamples;
+    if (k >= 2) {
+      const int pw = (img.width() - 1) / k + 1;
+      const int ph = (img.height() - 1) / k + 1;
+      const int min_dim = approx_min_dim(opts_.distortion);
+      if (pw >= min_dim && ph >= min_dim) {
+        hebs::image::GrayImage proxy(pw, ph);
+        for (int y = 0; y < ph; ++y) {
+          for (int x = 0; x < pw; ++x) {
+            proxy(x, y) = img(x * k, y * k);
+          }
+        }
+        st.proxy = std::move(proxy);
+        st.evaluator.emplace(
+            hebs::image::FloatImage::from_gray(st.proxy), opts_.distortion);
+        st.usable = true;
+      }
+    }
+    approx_ = std::move(st);
+  }
+  return *approx_;
+}
+
+std::optional<double> FrameContext::approx_distortion_mapped(
+    const hebs::transform::FloatLut& levels) const {
+  const ApproxState& ap = approx();
+  if (!ap.usable) return std::nullopt;
+  return ap.evaluator->percent_mapped(ap.proxy, levels);
+}
+
+std::optional<double> FrameContext::approx_distortion_at_range(
+    int range) const {
+  const ApproxState& ap = approx();
+  if (!ap.usable) return std::nullopt;
+  const core::GheTarget target = select_target(*this, range);
+  const auto key = std::make_pair(target.g_min, target.g_max);
+  auto it = approx_by_target_.find(key);
+  if (it == approx_by_target_.end()) {
+    const core::OperatingPoint point{
+        proxy_lambda(phi_for_target(*this, target), opts_.segments),
+        core::beta_for_gmax(target.g_max, opts_.min_beta)};
+    it = approx_by_target_
+             .emplace(key, ap.evaluator->percent_mapped(
+                               ap.proxy, displayed_levels(point)))
+             .first;
+  }
+  return it->second;
 }
 
 core::EvaluatedPoint FrameContext::evaluate_levels(

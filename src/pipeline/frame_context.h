@@ -140,12 +140,40 @@ class FrameContext {
   /// Same for a bare evaluation (filled from evaluation.point).
   void materialize_transformed(core::EvaluatedPoint& evaluation) const;
 
+  // --- Coarse (proxy) probes -------------------------------------------
+  //
+  // Guidance values for the coarse-to-fine search (DESIGN.md §11): both
+  // measure distortion on a decimated proxy of the frame, so they are
+  // cheap but approximate.  They steer WHERE the exact search probes and
+  // never feed a result — bit-identity of the search output does not
+  // depend on them.  nullopt when the frame is too small for a usable
+  // proxy (the search then skips straight to its exact fallback).
+
+  /// Approximate distortion of a per-level map of the frame.
+  std::optional<double> approx_distortion_mapped(
+      const hebs::transform::FloatLut& levels) const;
+
+  /// Approximate pipeline distortion at a dynamic range: exact target
+  /// and Φ (shared memos), Λ≈Φ (PLC skipped), β from the target, then
+  /// the proxy measurement.  Memoized per effective target.
+  std::optional<double> approx_distortion_at_range(int range) const;
+
  private:
   /// Shared body of evaluate/evaluate_lean: measures the point given
   /// its already-sampled per-level displayed luminance.
   core::EvaluatedPoint evaluate_levels(
       const core::OperatingPoint& point,
       const hebs::transform::FloatLut& lum) const;
+
+  /// Decimated proxy of the bound frame plus its own distortion
+  /// evaluator (reference caches on the proxy), built lazily on the
+  /// first coarse probe.
+  struct ApproxState {
+    bool usable = false;
+    hebs::image::GrayImage proxy;
+    std::optional<hebs::quality::DistortionEvaluator> evaluator;
+  };
+  const ApproxState& approx() const;
 
   const hebs::image::GrayImage* image_ = nullptr;
   core::HebsOptions opts_;
@@ -162,6 +190,8 @@ class FrameContext {
   mutable hebs::util::PoolMap<std::pair<int, int>, core::HebsResult>
       by_target_;
   mutable hebs::util::PoolMap<int, core::HebsResult*> by_range_;
+  mutable std::optional<ApproxState> approx_;
+  mutable hebs::util::PoolMap<std::pair<int, int>, double> approx_by_target_;
 };
 
 }  // namespace hebs::pipeline

@@ -1,7 +1,9 @@
 #include "pipeline/stages.h"
 
 #include <algorithm>
+#include <array>
 #include <optional>
+#include <utility>
 
 #include "core/backlight.h"
 #include "core/distortion_curve.h"
@@ -94,14 +96,15 @@ void RangeSelectStage::run(const FrameContext& ctx,
   result.target = select_target(ctx, range_);
 }
 
-void GheStage::run(const FrameContext& ctx, core::HebsResult& result) const {
+hebs::transform::PwlCurve phi_for_target(const FrameContext& ctx,
+                                         const core::GheTarget& target) {
   const auto& hist = ctx.histogram();
   const int lo = hist.min_level();
   const int hi = hist.max_level();
   const int native = hi - lo;
-  const int width = result.target.range();
+  const int width = target.range();
 
-  const hebs::transform::PwlCurve& ghe = ctx.ghe(result.target);
+  const hebs::transform::PwlCurve& ghe = ctx.ghe(target);
   double w = ctx.options().equalization_strength;
   if (w < 0.0) {
     w = native > 0
@@ -109,13 +112,15 @@ void GheStage::run(const FrameContext& ctx, core::HebsResult& result) const {
             : 1.0;
   }
   if (native <= 0) w = 1.0;  // constant image: GHE handles it
-  result.phi =
-      w >= 1.0
-          ? ghe
-          : blend_curves(ghe,
-                         affine_placement(lo, hi, result.target.g_min,
-                                          result.target.g_max),
-                         w);
+  return w >= 1.0 ? ghe
+                  : blend_curves(ghe,
+                                 affine_placement(lo, hi, target.g_min,
+                                                  target.g_max),
+                                 w);
+}
+
+void GheStage::run(const FrameContext& ctx, core::HebsResult& result) const {
+  result.phi = phi_for_target(ctx, result.target);
 }
 
 void PlcStage::run(const FrameContext& ctx, core::HebsResult& result) const {
@@ -201,40 +206,154 @@ void refine_beta(const FrameContext& ctx, double d_max_percent,
     best = at_floor;
     if (trace != nullptr) trace->floor_feasible = true;
   } else {
-    bool replayed = false;
-    if (seed != nullptr && seed->valid && seed->refine_ran &&
-        !seed->floor_feasible && seed->base_beta == base.beta &&
-        seed->floor_beta == floor_beta) {
-      // Replay: the same fp mid arithmetic the cold loop performs,
-      // decisions taken from the seed instead of evaluations.
+    // Exact β-evaluations land on a small set of fp points shared by
+    // the falsi probes, the coarse prediction walk, the endpoint
+    // verification and the cold fallback; memoizing them (exact double
+    // compare) makes every re-visit free without changing any produced
+    // value.
+    std::array<std::pair<double, core::EvaluatedPoint>, 36> evals;
+    std::size_t evals_n = 0;
+    auto eval_memo = [&](double beta) -> const core::EvaluatedPoint& {
+      for (std::size_t k = 0; k < evals_n; ++k) {
+        if (evals[k].first == beta) return evals[k].second;
+      }
+      if (evals_n == evals.size()) {
+        // Unreachable (≤ 32 distinct points per refinement); kept safe.
+        evals.back() = {beta, eval_at(beta)};
+        return evals.back().second;
+      }
+      evals[evals_n] = {beta, eval_at(beta)};
+      return evals[evals_n++].second;
+    };
+    // Attempts to adopt a predicted 12-bit decision path: replays the
+    // same fp mid arithmetic the cold loop performs with decisions taken
+    // from `path`, then verifies only the final bracket endpoints.
+    // feasible == base.beta needs no probe (the range search already
+    // measured it within budget); infeasible == floor_beta was just
+    // measured over budget.  Under monotone feasibility in β (dimmer can
+    // only distort more), a verified final bracket forces every
+    // intermediate decision, so an adopted path is exactly the
+    // trajectory the cold bisection would take.
+    auto try_path = [&](std::uint16_t path) -> bool {
       double feasible = base.beta;
       double infeasible = floor_beta;
       bool any_feasible = false;
       for (int i = 0; i < kBetaRefineIters; ++i) {
         const double mid = (feasible + infeasible) / 2.0;
-        if ((seed->beta_path >> i) & 1u) {
+        if ((path >> i) & 1u) {
           feasible = mid;
           any_feasible = true;
         } else {
           infeasible = mid;
         }
       }
-      // Verify the endpoints.  feasible == base.beta needs no probe (the
-      // range search already measured it within budget); infeasible ==
-      // floor_beta was just measured over budget.
       bool ok = true;
-      std::optional<core::EvaluatedPoint> ev_f;
+      const core::EvaluatedPoint* ev_f = nullptr;
       if (any_feasible) {
-        ev_f = eval_at(feasible);
+        ev_f = &eval_memo(feasible);
         ok = ev_f->distortion_percent <= d_max_percent;
       }
       if (ok && infeasible != floor_beta) {
-        ok = eval_at(infeasible).distortion_percent > d_max_percent;
+        ok = eval_memo(infeasible).distortion_percent > d_max_percent;
       }
-      if (ok) {
-        if (any_feasible) best = *ev_f;
-        if (trace != nullptr) trace->beta_path = seed->beta_path;
-        replayed = true;
+      if (!ok) return false;
+      if (any_feasible) best = *ev_f;
+      if (trace != nullptr) trace->beta_path = path;
+      return true;
+    };
+
+    bool replayed = false;
+    if (seed != nullptr && seed->valid && seed->refine_ran &&
+        !seed->floor_feasible && seed->base_beta == base.beta &&
+        seed->floor_beta == floor_beta) {
+      replayed = try_path(seed->beta_path);
+    }
+    if (!replayed && ctx.options().coarse_search &&
+        ctx.histogram().max_level() > ctx.histogram().min_level()) {
+      // Measured-value walk: Illinois-damped regula falsi on the exact
+      // (memoized) evaluations pre-localizes the feasibility crossing,
+      // then the cold loop's 12 dyadic mids are replayed with each
+      // decision inferred from the measured bracket where monotone
+      // feasibility forces it, and measured directly where it does not.
+      // The resulting path is endpoint-verified like a temporal seed.
+      // The decimated proxy is deliberately not consulted here:
+      // decimation discards exactly the clipped detail the metric
+      // charges β for, so its values saturate near the crossing and
+      // proxy-guided decisions go wrong on the deep bits — value
+      // interpolation between exact measurements converges in a handful
+      // of evaluations instead.  Constant frames skip the walk (the
+      // outer `native > 0` gate): their windowed distortion degenerates
+      // to catastrophic-cancellation residue, non-monotone in β, and
+      // only the verbatim cold loop reproduces the frozen answer.
+      double b_inf = floor_beta;  // measured over budget
+      double b_feas = base.beta;  // measured within budget
+      double d_inf = at_floor.distortion_percent;
+      double d_feas = result.evaluation.distortion_percent;
+      // Phase 1: shrink the measured bracket below the dyadic walk's
+      // final resolution so phase 2 can infer (almost) every decision.
+      // Only the feasibility SIGNS feed the walk; the values merely
+      // steer the interpolation (distortion dips non-monotonically just
+      // below base β on many frames, which is harmless: the cold loop,
+      // and hence the replay contract, only cares about the budget
+      // crossing).
+      const double resolution = (base.beta - floor_beta) / 4096.0;
+      constexpr int kFalsiProbes = 4;
+      double w_inf = 1.0;
+      double w_feas = 1.0;
+      int last_side = 0;
+      for (int probe = 0;
+           probe < kFalsiProbes && b_feas - b_inf > resolution; ++probe) {
+        const double di = w_inf * (d_inf - d_max_percent);
+        const double df = w_feas * (d_feas - d_max_percent);
+        const double margin = 0.125 * (b_feas - b_inf);
+        const double guess = std::clamp(
+            b_inf + di / (di - df) * (b_feas - b_inf), b_inf + margin,
+            b_feas - margin);
+        const double d = eval_memo(guess).distortion_percent;
+        if (d <= d_max_percent) {
+          b_feas = guess;
+          d_feas = d;
+          if (last_side == +1) w_inf *= 0.5;  // Illinois: damp stale end
+          w_feas = 1.0;
+          last_side = +1;
+        } else {
+          b_inf = guess;
+          d_inf = d;
+          if (last_side == -1) w_feas *= 0.5;
+          w_inf = 1.0;
+          last_side = -1;
+        }
+      }
+      // Phase 2: replay the cold mids against the measured bracket,
+      // evaluating only the mids the bracket cannot classify.
+      {
+        std::uint16_t predicted = 0;
+        double feasible = base.beta;
+        double infeasible = floor_beta;
+        for (int i = 0; i < kBetaRefineIters; ++i) {
+          const double mid = (feasible + infeasible) / 2.0;
+          bool mid_feasible;
+          if (mid >= b_feas) {
+            mid_feasible = true;
+          } else if (mid <= b_inf) {
+            mid_feasible = false;
+          } else {
+            mid_feasible =
+                eval_memo(mid).distortion_percent <= d_max_percent;
+            if (mid_feasible) {
+              b_feas = mid;
+            } else {
+              b_inf = mid;
+            }
+          }
+          if (mid_feasible) {
+            feasible = mid;
+            predicted |= static_cast<std::uint16_t>(1u << i);
+          } else {
+            infeasible = mid;
+          }
+        }
+        replayed = try_path(predicted);
       }
     }
     if (!replayed) {
@@ -243,7 +362,7 @@ void refine_beta(const FrameContext& ctx, double d_max_percent,
       std::uint16_t path = 0;
       for (int i = 0; i < kBetaRefineIters; ++i) {
         const double mid = (feasible + infeasible) / 2.0;
-        const auto eval = eval_at(mid);
+        const core::EvaluatedPoint& eval = eval_memo(mid);
         if (eval.distortion_percent <= d_max_percent) {
           feasible = mid;
           best = eval;
@@ -285,14 +404,40 @@ core::HebsResult run_exact_traced(const FrameContext& ctx,
   int chosen = 0;
   bool found = false;
 
-  // Warm path: a bounded local walk from the seeded range instead of a
-  // full bisection.  Under monotone feasibility in range, the walk
-  // terminates exactly when it establishes the verified bracket
-  // p(r) ∧ (r = lo ∨ ¬p(r−1)) — the minimal feasible range, which is
-  // where the cold bisection lands.  The walk is capped: past
-  // kWarmRangeWalk probes the bisection is competitive, and a failed
-  // walk costs little extra — every probe is memoized and the cold
-  // search below reuses it.
+  // Bounded local walk from a starting range to the verified bracket
+  // p(r) ∧ (r = lo ∨ ¬p(r−1)) — under monotone feasibility in range the
+  // minimal feasible range, which is where the cold bisection lands.
+  // Returns nullopt when the budget runs out before the bracket is
+  // established; a failed walk costs little extra, since every probe is
+  // memoized and the fallback searches reuse it.
+  auto verified_walk = [&](int start, int budget) -> std::optional<int> {
+    int r = std::clamp(start, lo, hi);
+    if (distortion_at(r) <= d_max_percent) {
+      // Feasible: walk down to the smallest feasible range.
+      while (r > lo && budget > 0 && distortion_at(r - 1) <= d_max_percent) {
+        --r;
+        --budget;
+      }
+      // Established when the loop stopped on the bracket condition, not
+      // on an exhausted budget.
+      if (r == lo || (budget > 0 && distortion_at(r - 1) > d_max_percent)) {
+        return r;
+      }
+      return std::nullopt;
+    }
+    // Infeasible: walk up to the first feasible range (¬p(r−1) holds for
+    // every range the walk passes).
+    while (r < hi && budget > 0) {
+      ++r;
+      --budget;
+      if (distortion_at(r) <= d_max_percent) return r;
+    }
+    return std::nullopt;
+  };
+
+  // Warm path: walk from the seeded range instead of a full bisection.
+  // The cap keeps a stale seed cheap — past kWarmRangeWalk probes the
+  // bisection is competitive.
   constexpr int kWarmRangeWalk = 5;
   if (seed != nullptr && seed->valid) {
     if (seed->hi_infeasible) {
@@ -306,38 +451,145 @@ core::HebsResult run_exact_traced(const FrameContext& ctx,
         // Cold's early exit: the least-distorted point, no refinement.
         return ctx.at_range(hi);
       }
-    } else {
-      int r = std::clamp(seed->range, lo, hi);
-      int budget = kWarmRangeWalk;
-      if (distortion_at(r) <= d_max_percent) {
-        // Feasible: walk down to the smallest feasible range.
-        while (r > lo && budget > 0 &&
-               distortion_at(r - 1) <= d_max_percent) {
-          --r;
-          --budget;
+    } else if (const auto r = verified_walk(seed->range, kWarmRangeWalk)) {
+      chosen = *r;
+      result = ctx.at_range(chosen);
+      found = true;
+      if (trace != nullptr) trace->warmed = true;
+    }
+  }
+
+  // Coarse path: close the exact bracket with value interpolation
+  // instead of blind bisection.  Feasibility always comes from the
+  // exact evaluator, every probe strictly tightens the exact bracket,
+  // and the loop exits only on measured facts: either d(hi) over
+  // budget (the cold early exit) or the verified bracket p(r) ∧ (r =
+  // lo ∨ ¬p(r−1)) — the cold bisection's answer under weakly monotone
+  // measured distortion.  Probe choice, in order of information in
+  // hand: with a measured point on each side, a secant through the two
+  // exact values (with a stall guard that reverts to the midpoint when
+  // a probe cuts less than a quarter of the bracket, so the worst case
+  // stays logarithmic); with one side only, the decimated proxy
+  // offset-calibrated through the measured point; with nothing (or no
+  // usable proxy), the cold order — top of the interval first.
+  // Typical cost: 2–4 full-resolution probes instead of the
+  // bisection's ~log2(hi−lo).  Constant frames are excluded: their
+  // sub-clamp distortion is catastrophic-cancellation residue,
+  // non-monotone in range, and only the verbatim cold probe sequence
+  // reproduces the frozen answer (their probes are cheap anyway — every
+  // range at or above the populated level collapses to one memoized
+  // target).
+  if (!found && ctx.options().coarse_search &&
+      ctx.histogram().max_level() > ctx.histogram().min_level()) {
+    const bool proxy = ctx.approx_distortion_at_range(hi).has_value();
+    const auto approx_at = [&](int range) {
+      return *ctx.approx_distortion_at_range(range);
+    };
+    int lo_bound = lo - 1;  // largest range measured infeasible (none yet)
+    int hi_bound = hi + 1;  // smallest range measured feasible (none yet)
+    double d_lo = 0.0;      // exact distortion at lo_bound, once measured
+    double d_hi = 0.0;      // exact distortion at hi_bound, once measured
+    double w_lo = 1.0;      // Illinois weights for the two-sided secant
+    double w_hi = 1.0;
+    int last_side = 0;
+    int last_width = 0;
+    int proxy_guesses = 0;
+    while (hi_bound != lo && lo_bound + 1 != hi_bound) {
+      const int c_lo = lo_bound + 1;
+      const int c_hi = std::min(hi, hi_bound - 1);
+      const int width = hi_bound - lo_bound;
+      const bool stalled =
+          last_width != 0 && width > last_width - last_width / 4;
+      last_width = width;
+      int guess;
+      if (lo_bound >= lo && hi_bound <= hi) {
+        // Both sides measured: a secant through the exact values,
+        // Illinois-damped so a run of same-side updates cannot creep
+        // (the stale end's residual is halved, pulling the next guess
+        // across).  A stalled probe reverts to the midpoint outright,
+        // keeping the worst case logarithmic.
+        if (stalled) {
+          guess = lo_bound + width / 2;
+        } else {
+          const double rl = w_lo * (d_lo - d_max_percent);
+          const double rh = w_hi * (d_hi - d_max_percent);
+          guess = lo_bound + static_cast<int>(rl / (rl - rh) *
+                                              static_cast<double>(width));
         }
-        // Established when the loop stopped on the bracket condition,
-        // not on an exhausted budget.
-        found = r == lo || (budget > 0 &&
-                            distortion_at(r - 1) > d_max_percent);
-      } else {
-        // Infeasible: walk up to the first feasible range.
-        while (r < hi && budget > 0) {
-          ++r;
-          --budget;
-          if (distortion_at(r) <= d_max_percent) {
-            // ¬p(r−1) held when the walk passed it.
-            found = true;
-            break;
+        guess = std::clamp(guess, c_lo, c_hi);
+      } else if (hi_bound <= hi) {
+        // Only a feasible point so far: test adjacency at the bottom.
+        // Decisive either way — feasible closes the bracket at lo,
+        // infeasible switches to the two-sided secant.
+        guess = c_lo;
+      } else if (proxy && proxy_guesses < 3) {
+        // Only infeasible measurements (or none): take the proxy's
+        // predicted crossing — raw on the first probe, ratio-calibrated
+        // through the measured point after (decimation compresses the
+        // distortion scale roughly proportionally, so a multiplicative
+        // fit tracks where an additive offset overshoots); c_hi when
+        // the calibrated proxy believes nothing fits (which probes the
+        // exact top of the open interval — at the first iteration the
+        // d(hi) measurement that decides the cold early exit).  Two
+        // guesses of this kind suffice to seed the secant; past that
+        // the cold order below takes over.
+        ++proxy_guesses;
+        double scale = 1.0;
+        if (lo_bound >= lo && approx_at(lo_bound) > 1e-6) {
+          scale = d_lo / approx_at(lo_bound);
+        }
+        guess = c_hi;
+        if (approx_at(c_lo) * scale <= d_max_percent) {
+          guess = c_lo;
+        } else if (c_hi > c_lo &&
+                   approx_at(c_hi) * scale <= d_max_percent) {
+          int infeasible = c_lo;
+          int feasible = c_hi;
+          while (feasible - infeasible > 1) {
+            const int mid = (feasible + infeasible) / 2;
+            if (approx_at(mid) * scale <= d_max_percent) {
+              feasible = mid;
+            } else {
+              infeasible = mid;
+            }
           }
+          guess = feasible;
         }
+      } else {
+        // No usable proxy (tiny frames) or its two guesses spent: cold
+        // order — the top of the interval first, midpoint progress once
+        // a bound is in hand.
+        guess = lo_bound < lo ? c_hi
+                              : std::clamp(lo_bound + width / 2, c_lo, c_hi);
       }
-      if (found) {
-        chosen = r;
-        result = ctx.at_range(chosen);
-        if (trace != nullptr) trace->warmed = true;
+      const double d = distortion_at(guess);
+      if (d <= d_max_percent) {
+        hi_bound = guess;
+        d_hi = d;
+        if (last_side == +1) w_lo *= 0.5;
+        w_hi = 1.0;
+        last_side = +1;
+      } else {
+        lo_bound = guess;
+        d_lo = d;
+        if (last_side == -1) w_hi *= 0.5;
+        w_lo = 1.0;
+        last_side = -1;
       }
     }
+    if (lo_bound == hi) {
+      // d(hi) measured over budget: the cold early exit (least-distorted
+      // point, no refinement).
+      if (trace != nullptr) {
+        trace->valid = true;
+        trace->hi_infeasible = true;
+        trace->range = hi;
+      }
+      return ctx.at_range(hi);
+    }
+    chosen = hi_bound;
+    result = ctx.at_range(chosen);
+    found = true;
   }
 
   if (!found) {

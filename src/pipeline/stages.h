@@ -81,6 +81,13 @@ class EvaluateStage : public Stage {
 /// target onto one memo entry.
 core::GheTarget select_target(const FrameContext& ctx, int range);
 
+/// The exact strength-blended transform Φ GheStage would produce for a
+/// target (the stage is a thin wrapper over this).  Exposed so the
+/// coarse search can form its Λ≈Φ proxy probes from the very curve the
+/// exact pipeline deploys.
+hebs::transform::PwlCurve phi_for_target(const FrameContext& ctx,
+                                         const core::GheTarget& target);
+
 /// Runs the five standard stages in order at a fixed range.  Unmemoized;
 /// use FrameContext::at_range for the cached entry point.
 core::HebsResult run_stages_at_range(const FrameContext& ctx, int range);

@@ -55,6 +55,11 @@ DistortionEvaluator::DistortionEvaluator(hebs::image::FloatImage reference,
     case Metric::kContrastFidelity:
       break;
   }
+  if (ref_stats_ && opts_.uiqi.stride == 1 &&
+      ref_stats_->width() >= opts_.uiqi.block_size &&
+      ref_stats_->height() >= opts_.uiqi.block_size) {
+    ref_moments_.emplace(*ref_stats_, opts_.uiqi.block_size);
+  }
 }
 
 double DistortionEvaluator::percent(
@@ -66,17 +71,19 @@ double DistortionEvaluator::percent(
     case Metric::kUiqi: {
       const PairStats stats(*ref_stats_, reference_.values(), test.values(),
                             reference_.width(), reference_.height());
-      return index_to_percent(uiqi_from_stats(
-          stats, reference_.width(), reference_.height(), opts_.uiqi));
+      return index_to_percent(
+          uiqi_from_stats(stats, reference_.width(), reference_.height(),
+                          opts_.uiqi, ref_moments_ ? &*ref_moments_ : nullptr));
     }
     case Metric::kUiqiHvs: {
       const auto hvs_test = hvs_transform(test, opts_.hvs);
       const PairStats stats(*ref_stats_, hvs_reference_.values(),
                             hvs_test.values(), hvs_reference_.width(),
                             hvs_reference_.height());
-      return index_to_percent(uiqi_from_stats(
-          stats, hvs_reference_.width(), hvs_reference_.height(),
-          opts_.uiqi));
+      return index_to_percent(
+          uiqi_from_stats(stats, hvs_reference_.width(),
+                          hvs_reference_.height(), opts_.uiqi,
+                          ref_moments_ ? &*ref_moments_ : nullptr));
     }
     case Metric::kSsim:
       return index_to_percent(ssim(reference_, test, opts_.ssim));
@@ -111,9 +118,10 @@ double DistortionEvaluator::percent_mapped(
     const PairStats stats(*ref_stats_, hvs_reference_.values(),
                           hvs_test.values(), hvs_reference_.width(),
                           hvs_reference_.height());
-    return index_to_percent(uiqi_from_stats(
-        stats, hvs_reference_.width(), hvs_reference_.height(),
-        opts_.uiqi));
+    return index_to_percent(
+        uiqi_from_stats(stats, hvs_reference_.width(),
+                        hvs_reference_.height(), opts_.uiqi,
+                        ref_moments_ ? &*ref_moments_ : nullptr));
   }
   return percent(levels.apply(original));
 }

@@ -97,6 +97,10 @@ class DistortionEvaluator {
   hebs::image::FloatImage hvs_reference_;
   /// Reference-side integral images for the UIQI metrics.
   std::optional<ImageStats> ref_stats_;
+  /// Cached per-window reference moments for stride-1 UIQI (the common
+  /// configuration): hoists the reference half of every window out of
+  /// the per-candidate loop.  Bit-identical either way.
+  std::optional<RefWindowMoments> ref_moments_;
   /// 8-bit reference for MS-SSIM (which is defined on gray images).
   hebs::image::GrayImage gray_reference_;
 };

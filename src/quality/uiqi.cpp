@@ -5,6 +5,8 @@
 #include "quality/widen.h"
 #include "quality/window_stats.h"
 #include "util/error.h"
+#include "util/parallel.h"
+#include "util/pool.h"
 
 namespace hebs::quality {
 
@@ -20,11 +22,34 @@ double uiqi_impl(std::span<const double> a, std::span<const double> b,
 }  // namespace
 
 double uiqi_from_stats(const PairStats& stats, int width, int height,
-                       const UiqiOptions& opts) {
+                       const UiqiOptions& opts, const RefWindowMoments* ref) {
   HEBS_REQUIRE(opts.block_size >= 2, "UIQI block size must be >= 2");
   HEBS_REQUIRE(opts.stride >= 1, "UIQI stride must be >= 1");
   HEBS_REQUIRE(width >= opts.block_size && height >= opts.block_size,
                "image smaller than the UIQI window");
+
+  if (ref != nullptr && opts.stride == 1 && ref->block() == opts.block_size &&
+      ref->windows_x() == width - opts.block_size + 1 &&
+      ref->windows_y() == height - opts.block_size + 1) {
+    const int wx = ref->windows_x();
+    const int wy = ref->windows_y();
+    // Window rows are independent: compute them through the q-row kernel
+    // under the installed row executor, then reduce serially in row-major
+    // order — the exact accumulation order of the loop below.
+    hebs::util::PoolVector<double> q(static_cast<std::size_t>(wx) *
+                                     static_cast<std::size_t>(wy));
+    double* q_data = q.data();
+    hebs::util::parallel_rows(wy, [&](int begin, int end) {
+      for (int y = begin; y < end; ++y) {
+        stats.q_row(y, *ref, q_data + static_cast<std::size_t>(y) * wx);
+      }
+    });
+    double acc = 0.0;
+    const std::size_t windows =
+        static_cast<std::size_t>(wx) * static_cast<std::size_t>(wy);
+    for (std::size_t i = 0; i < windows; ++i) acc += q_data[i];
+    return acc / static_cast<double>(windows);
+  }
 
   double acc = 0.0;
   std::size_t windows = 0;

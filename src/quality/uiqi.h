@@ -33,7 +33,15 @@ double uiqi(const hebs::image::FloatImage& a,
 /// funnels through this, so callers that cache the reference-side
 /// integral images (PairStats built from an ImageStats) get bit-identical
 /// values to the plain two-image entry points.
+///
+/// `ref` optionally supplies cached reference-side per-window moments
+/// (matching block size and window grid, stride 1): the evaluation then
+/// runs row-wise through the kernel layer's q-row primitive and the
+/// installed row executor, with the final accumulation kept serial in
+/// row-major order — the result is bit-identical with or without the
+/// cache, on every backend and thread count.
 double uiqi_from_stats(const PairStats& stats, int width, int height,
-                       const UiqiOptions& opts = {});
+                       const UiqiOptions& opts = {},
+                       const RefWindowMoments* ref = nullptr);
 
 }  // namespace hebs::quality

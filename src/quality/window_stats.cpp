@@ -179,6 +179,46 @@ PairStats::PairStats(std::span<const double> a, std::span<const double> b,
                     sum_ab_.table_);
 }
 
+RefWindowMoments::RefWindowMoments(const ImageStats& a_stats, int block)
+    : block_(block),
+      wx_(a_stats.width() - block + 1),
+      wy_(a_stats.height() - block + 1),
+      mean_(static_cast<std::size_t>(wx_) * static_cast<std::size_t>(wy_)),
+      var_(static_cast<std::size_t>(wx_) * static_cast<std::size_t>(wy_)) {
+  HEBS_REQUIRE(block >= 2 && wx_ > 0 && wy_ > 0,
+               "image smaller than the moment window");
+  const double n = static_cast<double>(block) * block;
+  for (int y = 0; y < wy_; ++y) {
+    double* mrow = mean_.data() + static_cast<std::size_t>(y) * wx_;
+    double* vrow = var_.data() + static_cast<std::size_t>(y) * wx_;
+    for (int x = 0; x < wx_; ++x) {
+      // Exactly PairStats::window()'s a-side arithmetic, clamp included.
+      const double mean_a =
+          a_stats.sum().rect_sum(x, y, x + block - 1, y + block - 1) / n;
+      double var_a =
+          a_stats.sum_sq().rect_sum(x, y, x + block - 1, y + block - 1) / n -
+          mean_a * mean_a;
+      if (var_a < 0.0) var_a = 0.0;
+      mrow[x] = mean_a;
+      vrow[x] = var_a;
+    }
+  }
+}
+
+void PairStats::q_row(int wy, const RefWindowMoments& ref,
+                      double* q_out) const noexcept {
+  const int block = ref.block();
+  const std::size_t stride = table_stride(width());
+  const std::size_t top = static_cast<std::size_t>(wy) * stride;
+  const std::size_t bot = (static_cast<std::size_t>(wy) + block) * stride;
+  hebs::kernels::active().uiqi_q_row_f64(
+      ref.mean_row(wy), ref.var_row(wy), sum_b_.table_.data() + top,
+      sum_b_.table_.data() + bot, sum_bb_.table_.data() + top,
+      sum_bb_.table_.data() + bot, sum_ab_.table_.data() + top,
+      sum_ab_.table_.data() + bot, static_cast<std::size_t>(ref.windows_x()),
+      block, static_cast<double>(block) * block, q_out);
+}
+
 WindowMoments PairStats::window(int x, int y, int block) const noexcept {
   const int x1 = x + block - 1;
   const int y1 = y + block - 1;

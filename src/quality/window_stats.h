@@ -71,6 +71,37 @@ class ImageStats {
   IntegralImage sum_sq_;
 };
 
+/// Reference-side per-window moments: the mean and (clamped) variance of
+/// the `a` raster over every stride-1 BxB window, precomputed once.  An
+/// evaluator comparing one fixed reference against many candidates pays
+/// the two rect_sum reductions and the division per window once instead
+/// of once per candidate; the arithmetic (including the negative-variance
+/// clamp) is exactly PairStats::window()'s a-side, so metrics built on
+/// top are bit-identical.
+class RefWindowMoments {
+ public:
+  RefWindowMoments(const ImageStats& a_stats, int block);
+
+  int block() const noexcept { return block_; }
+  int windows_x() const noexcept { return wx_; }
+  int windows_y() const noexcept { return wy_; }
+
+  /// Row `wy` of the per-window means / variances (windows_x entries).
+  const double* mean_row(int wy) const noexcept {
+    return mean_.data() + static_cast<std::size_t>(wy) * wx_;
+  }
+  const double* var_row(int wy) const noexcept {
+    return var_.data() + static_cast<std::size_t>(wy) * wx_;
+  }
+
+ private:
+  int block_;
+  int wx_;
+  int wy_;
+  hebs::util::PoolVector<double> mean_;
+  hebs::util::PoolVector<double> var_;
+};
+
 /// First and second moments of an image pair over one window.
 struct WindowMoments {
   double mean_a = 0.0;
@@ -103,6 +134,13 @@ class PairStats {
   /// Moments over the window with top-left (x, y) and side `block`.
   /// The window must lie fully inside the raster.
   WindowMoments window(int x, int y, int block) const noexcept;
+
+  /// UIQI q values of every stride-1 window in window row `wy`, written
+  /// to q_out (ref.windows_x() entries).  Bit-identical to evaluating
+  /// window() plus the uiqi_from_stats formula per window, but reads the
+  /// b-side tables row-wise through one kernel call and the cached
+  /// reference moments instead of re-deriving the a-side per candidate.
+  void q_row(int wy, const RefWindowMoments& ref, double* q_out) const noexcept;
 
   int width() const noexcept { return sum_b_.width(); }
   int height() const noexcept { return sum_b_.height(); }

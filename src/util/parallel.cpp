@@ -1,0 +1,30 @@
+#include "util/parallel.h"
+
+namespace hebs::util {
+
+namespace {
+
+thread_local RowExecutor* t_row_executor = nullptr;
+
+}  // namespace
+
+ParallelScope::ParallelScope(RowExecutor* exec) noexcept
+    : prev_(t_row_executor) {
+  t_row_executor = exec;
+}
+
+ParallelScope::~ParallelScope() { t_row_executor = prev_; }
+
+RowExecutor* row_executor() noexcept { return t_row_executor; }
+
+void parallel_rows(int n, RowBody body) {
+  if (n <= 0) return;
+  RowExecutor* exec = t_row_executor;
+  if (exec == nullptr) {
+    body(0, n);
+    return;
+  }
+  exec->run(n, body);
+}
+
+}  // namespace hebs::util

@@ -1,0 +1,80 @@
+// Intra-frame row parallelism.
+//
+// The pipeline's frame-level parallelism (the engine's batch/stream
+// fan-out) leaves single-frame *latency* untouched: one frame runs on
+// one worker while the rest idle.  This header is the seam that fixes
+// that.  A RowExecutor fans independent row ranges of one frame's inner
+// loops (Gaussian blur rows, UIQI window rows, PLC DP columns) across
+// threads; call sites reach it through parallel_rows(), which degrades
+// to an inline serial loop when nothing is installed.
+//
+// Contract for parallel bodies:
+//   * chunks are disjoint and cover [0, n); bodies must be independent
+//     (no cross-chunk reads of written state) and must not allocate —
+//     worker threads carry no BufferPool scope, so pooled containers
+//     are unavailable inside a body;
+//   * outputs must be written by index.  Every current call site writes
+//     each element of its output exactly once from exactly one chunk,
+//     so results are bit-identical for every executor, chunking and
+//     thread count (the determinism contract DESIGN.md §11 documents).
+//
+// Installation is thread-local and RAII-scoped (mirroring PoolScope):
+// the engine installs a ThreadPool-backed executor around single-frame
+// work and nothing else changes — library code never spawns threads on
+// its own.
+#pragma once
+
+namespace hebs::util {
+
+/// Non-owning reference to a `void(begin, end)` row-range body (the
+/// hot paths cannot afford a std::function allocation per call).
+class RowBody {
+ public:
+  template <typename F>
+  RowBody(const F& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(&f), call_(&invoke<F>) {}
+
+  void operator()(int begin, int end) const { call_(obj_, begin, end); }
+
+ private:
+  template <typename F>
+  static void invoke(const void* obj, int begin, int end) {
+    (*static_cast<const F*>(obj))(begin, end);
+  }
+
+  const void* obj_;
+  void (*call_)(const void*, int, int);
+};
+
+/// Executes independent row-range bodies, possibly across threads.
+class RowExecutor {
+ public:
+  virtual ~RowExecutor() = default;
+  /// Runs body(begin, end) over disjoint chunks covering [0, n) and
+  /// blocks until every chunk has finished.
+  virtual void run(int n, RowBody body) = 0;
+};
+
+/// Installs `exec` as the calling thread's row executor for the scope's
+/// lifetime (nullptr uninstalls; scopes nest, restoring the previous
+/// executor on destruction).
+class ParallelScope {
+ public:
+  explicit ParallelScope(RowExecutor* exec) noexcept;
+  ~ParallelScope();
+  ParallelScope(const ParallelScope&) = delete;
+  ParallelScope& operator=(const ParallelScope&) = delete;
+
+ private:
+  RowExecutor* prev_;
+};
+
+/// The calling thread's installed executor (nullptr = serial).
+RowExecutor* row_executor() noexcept;
+
+/// Runs body(begin, end) over [0, n): one inline call covering the whole
+/// range when no executor is installed, fanned across the installed
+/// executor's threads otherwise.
+void parallel_rows(int n, RowBody body);
+
+}  // namespace hebs::util

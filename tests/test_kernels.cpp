@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <random>
 #include <string>
 #include <vector>
@@ -398,6 +399,148 @@ TEST(KernelParity, StridedRgbViewAcrossBackends) {
     ASSERT_EQ(set_backend(set->name), SetBackendResult::kOk);
     const hebs::image::GrayImage got = hebs::api::materialize_gray(view);
     EXPECT_TRUE(got == want) << "strided RGB view diverges on " << set->name;
+  }
+}
+
+// One stride-1 row of UIQI window indices: the decision-path metric's
+// inner loop (DESIGN.md §11).  Tables are genuine prefix rows (so every
+// rectangle sum is the sum the metric would see) over random content,
+// with degenerate flat windows mixed in to pin the zero-variance
+// branches; q_out must match the scalar reference bit for bit.
+TEST(KernelParity, UiqiQRowAcrossBackends) {
+  const auto sets = supported_backends();
+  const KernelSet& ref = scalar_kernels();
+  std::mt19937 rng(20260807);
+  std::uniform_real_distribution<double> val(0.0, 1.0);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int block = 2 + static_cast<int>(rng() % 10);
+    const std::size_t n_win = 1 + rng() % 70;
+    const std::size_t cols = n_win + static_cast<std::size_t>(block);
+    const double n_px = static_cast<double>(block) * block;
+    const bool flat = iter % 5 == 0;  // degenerate: constant rasters
+
+    std::vector<double> mean_a(n_win);
+    std::vector<double> var_a(n_win);
+    for (std::size_t x = 0; x < n_win; ++x) {
+      mean_a[x] = flat ? 0.25 : val(rng);
+      var_a[x] = flat ? 0.0 : val(rng) * 0.1;
+    }
+    // Prefix rows: top is a prefix-sum row, bot adds one more
+    // positive band so every rect(x) is positive.
+    std::vector<double> b_top(cols + 1, 0.0);
+    std::vector<double> b_bot(cols + 1, 0.0);
+    std::vector<double> bb_top(cols + 1, 0.0);
+    std::vector<double> bb_bot(cols + 1, 0.0);
+    std::vector<double> ab_top(cols + 1, 0.0);
+    std::vector<double> ab_bot(cols + 1, 0.0);
+    for (std::size_t x = 0; x < cols; ++x) {
+      const double b = flat ? 0.5 : val(rng);
+      const double a = flat ? 0.25 : val(rng);
+      b_top[x + 1] = b_top[x] + b * 0.3;
+      b_bot[x + 1] = b_bot[x] + b;
+      bb_top[x + 1] = bb_top[x] + b * b * 0.3;
+      bb_bot[x + 1] = bb_bot[x] + b * b;
+      ab_top[x + 1] = ab_top[x] + a * b * 0.3;
+      ab_bot[x + 1] = ab_bot[x] + a * b;
+    }
+
+    std::vector<double> q_ref(n_win);
+    ref.uiqi_q_row_f64(mean_a.data(), var_a.data(), b_top.data(),
+                       b_bot.data(), bb_top.data(), bb_bot.data(),
+                       ab_top.data(), ab_bot.data(), n_win, block, n_px,
+                       q_ref.data());
+    for (const KernelSet* set : sets) {
+      std::vector<double> q(n_win);
+      set->uiqi_q_row_f64(mean_a.data(), var_a.data(), b_top.data(),
+                          b_bot.data(), bb_top.data(), bb_bot.data(),
+                          ab_top.data(), ab_bot.data(), n_win, block, n_px,
+                          q.data());
+      EXPECT_EQ(std::memcmp(q.data(), q_ref.data(), n_win * sizeof(double)),
+                0)
+          << "uiqi_q_row_f64 diverges on " << set->name << " (iter " << iter
+          << ", block " << block << ", n_win " << n_win << ")";
+    }
+  }
+}
+
+// The PLC DP inner scan: lowest-j argmin of prev[j] + chord error.
+// The selection rule (strictly smaller value, or equal value at
+// smaller j) makes the result independent of seed and of pruning, so
+// every backend must return the identical (value, argmin) pair — which
+// this fuzz checks across seeds, j_begin offsets and prev rows salted
+// with infinities (unreachable DP states).
+TEST(KernelParity, PlcScanAcrossBackends) {
+  const auto sets = supported_backends();
+  const KernelSet& ref = scalar_kernels();
+  std::mt19937 rng(20260808);
+  std::uniform_real_distribution<double> val(0.0, 1.0);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 80; ++iter) {
+    const std::size_t n = 3 + rng() % 64;
+    std::vector<double> px(n);
+    std::vector<double> py(n);
+    double x = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      x += 1e-3 + val(rng);  // strictly increasing abscissae
+      px[k] = x;
+      py[k] = iter % 7 == 0 ? 0.5 : val(rng);  // collinear ties sometimes
+    }
+    std::vector<double> sx(n + 1, 0.0);
+    std::vector<double> sy(n + 1, 0.0);
+    std::vector<double> sxx(n + 1, 0.0);
+    std::vector<double> syy(n + 1, 0.0);
+    std::vector<double> sxy(n + 1, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      sx[k + 1] = sx[k] + px[k];
+      sy[k + 1] = sy[k] + py[k];
+      sxx[k + 1] = sxx[k] + px[k] * px[k];
+      syy[k + 1] = syy[k] + py[k] * py[k];
+      sxy[k + 1] = sxy[k] + px[k] * py[k];
+    }
+    std::vector<double> prev(n);
+    for (auto& v : prev) v = rng() % 5 == 0 ? kInf : val(rng);
+
+    const std::size_t i = 2 + rng() % (n - 2);
+    const std::size_t j_begin = rng() % (i - 1);
+    prev[j_begin] = val(rng);  // at least one finite candidate
+    PlcScanArgs args{};
+    args.px = px.data();
+    args.py = py.data();
+    args.sx = sx.data();
+    args.sy = sy.data();
+    args.sxx = sxx.data();
+    args.syy = syy.data();
+    args.sxy = sxy.data();
+    args.prev = prev.data();
+    args.pix = px[i];
+    args.piy = py[i];
+    args.sxi = sx[i + 1];
+    args.syi = sy[i + 1];
+    args.sxxi = sxx[i + 1];
+    args.syyi = syy[i + 1];
+    args.sxyi = sxy[i + 1];
+    args.i = i;
+    args.j_begin = j_begin;
+
+    args.j_seed = j_begin;
+    std::size_t j_ref = 0;
+    const double v_ref = ref.plc_scan_f64(&args, &j_ref);
+    for (const KernelSet* set : sets) {
+      // The seed is a performance hint only: sweep it across the scan
+      // interval and require the identical (value, argmin) regardless.
+      for (const std::size_t seed :
+           {j_begin, (j_begin + i - 1) / 2, i - 1}) {
+        args.j_seed = seed;
+        std::size_t j = 0;
+        const double v = set->plc_scan_f64(&args, &j);
+        EXPECT_EQ(std::memcmp(&v, &v_ref, sizeof v), 0)
+            << "plc_scan_f64 value diverges on " << set->name << " (iter "
+            << iter << ", seed " << seed << ")";
+        EXPECT_EQ(j, j_ref) << "plc_scan_f64 argmin diverges on "
+                            << set->name << " (iter " << iter << ", seed "
+                            << seed << ")";
+      }
+    }
   }
 }
 
