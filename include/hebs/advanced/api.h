@@ -1,0 +1,6 @@
+// Whitebox re-export: api-layer internals (ingestion helpers behind the
+// stable facade) for in-repo tests and benches.  Not installed, no
+// stability promise.
+#pragma once
+
+#include "api/view_convert.h"  // IWYU pragma: export

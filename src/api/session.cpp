@@ -19,6 +19,8 @@
 #include "pipeline/engine.h"
 #include "power/lcd_power.h"
 #include "util/error.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hebs {
 
@@ -143,7 +145,12 @@ struct Session::Impl {
   hebs::power::LcdSubsystemPower model =
       hebs::power::LcdSubsystemPower::lp064v1();
   pipeline::PipelineEngine engine;
-  std::optional<core::DistortionCurve> curve;
+  /// Guards the lazy curve characterization (the one mutable Session
+  /// field a concurrent caller could race on).  Once set the curve is
+  /// immutable for the session lifetime, so the reference ensure_curve
+  /// returns stays valid to read outside the lock.
+  util::Mutex curve_mu;
+  std::optional<core::DistortionCurve> curve HEBS_GUARDED_BY(curve_mu);
 
   Impl(SessionConfig config, const PolicyInfo* p, const MetricInfo* m)
       : cfg(std::move(config)),
@@ -197,7 +204,8 @@ struct Session::Impl {
   /// The session's curve cache: loaded from cfg.curve_path at create
   /// time, or characterized once on first hebs-curve use (the offline
   /// step of Fig. 4, amortized over the session lifetime).
-  const core::DistortionCurve& ensure_curve() {
+  const core::DistortionCurve& ensure_curve() HEBS_EXCLUDES(curve_mu) {
+    util::MutexLock lock(curve_mu);
     if (!curve.has_value()) {
       const auto album = hebs::image::usid_album(cfg.characterization_size());
       curve = core::DistortionCurve::characterize(
@@ -327,6 +335,9 @@ Expected<Session> Session::create(SessionConfig config) {
   auto impl = std::make_unique<Impl>(std::move(config), policy, metric);
   if (!impl->cfg.curve_path().empty()) {
     try {
+      // The impl is not shared yet, but the annotation contract on
+      // `curve` is unconditional — take the (uncontended) lock.
+      util::MutexLock lock(impl->curve_mu);
       impl->curve = core::DistortionCurve::load(impl->cfg.curve_path());
     } catch (const std::exception& e) {
       return Status(StatusCode::kIoError,

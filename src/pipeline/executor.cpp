@@ -14,6 +14,25 @@ int resolve_thread_count(int requested) {
   return std::max(1, static_cast<int>(hw));
 }
 
+/// The pool whose task is executing on this thread, if any.  Lets
+/// parallel_for distinguish true reentrancy (fn calling back into the
+/// same pool — a guaranteed deadlock, rejected with an exception) from
+/// an independent caller thread (legal; serializes on busy_).
+thread_local const ThreadPool* t_running_pool = nullptr;
+
+struct RunningPoolScope {
+  explicit RunningPoolScope(const ThreadPool* pool) noexcept
+      : prev_(t_running_pool) {
+    t_running_pool = pool;
+  }
+  ~RunningPoolScope() { t_running_pool = prev_; }
+  RunningPoolScope(const RunningPoolScope&) = delete;
+  RunningPoolScope& operator=(const RunningPoolScope&) = delete;
+
+ private:
+  const ThreadPool* prev_;
+};
+
 }  // namespace
 
 int ThreadPool::effective_concurrency() const noexcept {
@@ -37,7 +56,7 @@ ThreadPool::ThreadPool(int threads)
     // start so their joinable std::threads don't terminate the process,
     // then surface the error to the caller.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       stop_ = true;
     }
     cv_work_.notify_all();
@@ -48,7 +67,7 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -62,10 +81,8 @@ void ThreadPool::worker_loop(int worker) {
     std::size_t n = 0;
     int limit = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [this, seen_generation] {
-        return stop_ || generation_ != seen_generation;
-      });
+      util::MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) cv_work_.wait(mu_);
       if (stop_) return;
       seen_generation = generation_;
       task = task_;
@@ -73,6 +90,7 @@ void ThreadPool::worker_loop(int worker) {
       limit = task_limit_;
     }
     std::exception_ptr error;
+    RunningPoolScope running(this);
     // Workers beyond the effective-concurrency cap sit this call out
     // without touching the cursor (a fetch_add here would consume an
     // index nobody processes); they still join the barrier below.
@@ -90,7 +108,7 @@ void ThreadPool::worker_loop(int worker) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (error && !first_error_) first_error_ = error;
       if (--active_ == 0) cv_done_.notify_all();
     }
@@ -100,29 +118,43 @@ void ThreadPool::worker_loop(int worker) {
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, int)>& fn) {
   if (n == 0) return;
+  HEBS_REQUIRE(t_running_pool != this,
+               "parallel_for is not reentrant: the body must not call "
+               "back into the pool that is running it");
   if (threads_.empty()) {
+    RunningPoolScope running(this);
     for (std::size_t i = 0; i < n; ++i) fn(i, 0);
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  HEBS_REQUIRE(active_ == 0, "parallel_for is not reentrant");
-  task_ = &fn;
-  task_n_ = n;
-  task_limit_ = effective_concurrency();
-  cursor_.store(0, std::memory_order_relaxed);
-  failed_.store(false, std::memory_order_relaxed);
-  active_ = static_cast<int>(threads_.size());
-  first_error_ = nullptr;
-  ++generation_;
-  cv_work_.notify_all();
-  cv_done_.wait(lock, [this] { return active_ == 0; });
-  task_ = nullptr;
-  if (first_error_) {
-    std::exception_ptr error = first_error_;
+  std::exception_ptr error;
+  {
+    util::MutexLock lock(mu_);
+    // Concurrent external callers are legal and serialize here, FIFO
+    // by wakeup: busy_ covers publication through teardown, so a
+    // waiting caller can never observe (or clobber) another call's
+    // task state.
+    while (busy_) cv_done_.wait(mu_);
+    busy_ = true;
+    task_ = &fn;
+    task_n_ = n;
+    task_limit_ = effective_concurrency();
+    cursor_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    active_ = static_cast<int>(threads_.size());
     first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
+    ++generation_;
+    cv_work_.notify_all();
+    while (active_ != 0) cv_done_.wait(mu_);
+    task_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+    busy_ = false;
+    // Wake the next queued caller (cv_done_ doubles as the busy_
+    // handoff; predicates disambiguate).
+    cv_done_.notify_all();
   }
+  // Rethrow outside the lock: a throwing unwind must not hold mu_.
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace hebs::pipeline

@@ -8,17 +8,28 @@
 // uses to maintain per-worker FrameContext scratch state.  Output
 // determinism is the caller's job: write results by index, never by
 // completion order.
+//
+// Locking discipline (machine-checked under Clang, DESIGN.md §12): the
+// pool has exactly one mutex, mu_, guarding the fork-join handshake
+// state (the published task, the join counter, the wake generation, the
+// stop flag and the first captured exception).  The two atomics — the
+// work-claiming cursor and the failure flag — are intentionally outside
+// the lock: workers touch them on every claimed index, and pulling them
+// under mu_ would serialize the claim path.  They carry no ordering
+// duties (the mutex handshake publishes the task; results are written
+// by index), so relaxed loads/stores suffice.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 
 #include <atomic>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hebs::pipeline {
 
@@ -47,27 +58,41 @@ class ThreadPool {
   /// thread everything runs inline on the calling thread.  If fn
   /// throws, remaining unclaimed indices are skipped (in-flight ones
   /// finish) and the first exception is rethrown to the caller.
+  /// Safe to call from multiple threads: concurrent calls serialize on
+  /// the pool (one fan-out at a time, FIFO by lock acquisition).  Not
+  /// reentrant — fn must not call parallel_for on the same pool (the
+  /// claiming worker would deadlock waiting for its own batch); doing
+  /// so throws hebs::util::InvalidArgument instead.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, int)>& fn);
+                    const std::function<void(std::size_t, int)>& fn)
+      HEBS_EXCLUDES(mu_);
 
  private:
-  void worker_loop(int worker);
+  void worker_loop(int worker) HEBS_EXCLUDES(mu_);
 
   int thread_count_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  const std::function<void(std::size_t, int)>* task_ = nullptr;
-  std::size_t task_n_ = 0;
-  int task_limit_ = 0;
+  util::Mutex mu_;
+  util::CondVar cv_work_;
+  util::CondVar cv_done_;
+  /// The task being fanned out, published to workers under mu_ by
+  /// parallel_for and cleared before it returns.
+  const std::function<void(std::size_t, int)>* task_ HEBS_GUARDED_BY(mu_) =
+      nullptr;
+  std::size_t task_n_ HEBS_GUARDED_BY(mu_) = 0;
+  int task_limit_ HEBS_GUARDED_BY(mu_) = 0;
+  /// Claim cursor and failure latch: lock-free by design (see header
+  /// comment); both are reset under mu_ before each fan-out.
   std::atomic<std::size_t> cursor_{0};
   std::atomic<bool> failed_{false};
-  int active_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+  int active_ HEBS_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ HEBS_GUARDED_BY(mu_) = 0;
+  bool stop_ HEBS_GUARDED_BY(mu_) = false;
+  /// True from task publication until the owning parallel_for call has
+  /// torn the task down again; concurrent external callers queue on it.
+  bool busy_ HEBS_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ HEBS_GUARDED_BY(mu_);
 };
 
 }  // namespace hebs::pipeline

@@ -1,8 +1,10 @@
 #include "util/pool.h"
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hebs::util {
 
@@ -50,20 +52,21 @@ struct PoolCore {
   explicit PoolCore(PoolOptions o) : opts(o) {}
 
   PoolOptions opts;
-  mutable std::mutex mu;
+  mutable hebs::util::Mutex mu;
   // Bucket size -> stack of cached raw blocks (header included).  The
   // map and its vectors use the global heap; in steady state they only
   // pop/push within existing capacity, so they allocate during warm-up
   // only.
-  std::unordered_map<std::size_t, std::vector<void*>> free_;
-  std::size_t retained_bytes = 0;
-  std::size_t outstanding = 0;
-  bool detached = false;
-  std::size_t hits = 0;
-  std::size_t misses = 0;
+  std::unordered_map<std::size_t, std::vector<void*>> free_
+      HEBS_GUARDED_BY(mu);
+  std::size_t retained_bytes HEBS_GUARDED_BY(mu) = 0;
+  std::size_t outstanding HEBS_GUARDED_BY(mu) = 0;
+  bool detached HEBS_GUARDED_BY(mu) = false;
+  std::size_t hits HEBS_GUARDED_BY(mu) = 0;
+  std::size_t misses HEBS_GUARDED_BY(mu) = 0;
 
-  /// Caller must hold mu.  Frees every cached block.
-  void release_cached_locked() {
+  /// Frees every cached block.
+  void release_cached_locked() HEBS_REQUIRES(mu) {
     for (auto& [bytes, blocks] : free_) {
       (void)bytes;
       for (void* raw : blocks) ::operator delete(raw);
@@ -86,7 +89,7 @@ void* pool_allocate(std::size_t bytes) {
   PoolCore* core = t_current;
   if (core != nullptr) {
     {
-      std::lock_guard<std::mutex> lock(core->mu);
+      hebs::util::MutexLock lock(core->mu);
       auto it = core->free_.find(rounded);
       if (it != core->free_.end() && !it->second.empty()) {
         void* raw = it->second.back();
@@ -102,7 +105,7 @@ void* pool_allocate(std::size_t bytes) {
     // detached-core refcount).
     void* raw = ::operator new(kHeaderSize + rounded);
     {
-      std::lock_guard<std::mutex> lock(core->mu);
+      hebs::util::MutexLock lock(core->mu);
       ++core->outstanding;
       ++core->misses;
     }
@@ -124,7 +127,7 @@ void pool_deallocate(void* p) noexcept {
   }
   bool destroy_core = false;
   {
-    std::lock_guard<std::mutex> lock(core->mu);
+    hebs::util::MutexLock lock(core->mu);
     --core->outstanding;
     const std::size_t cap = core->opts.max_retained_bytes;
     if (!core->detached &&
@@ -147,7 +150,7 @@ BufferPool::BufferPool(PoolOptions opts)
 BufferPool::~BufferPool() {
   bool destroy = false;
   {
-    std::lock_guard<std::mutex> lock(core_->mu);
+    hebs::util::MutexLock lock(core_->mu);
     core_->release_cached_locked();
     core_->detached = true;
     destroy = core_->outstanding == 0;
@@ -158,13 +161,13 @@ BufferPool::~BufferPool() {
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  hebs::util::MutexLock lock(core_->mu);
   return {core_->hits, core_->misses, core_->outstanding,
           core_->retained_bytes};
 }
 
 void BufferPool::trim() {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  hebs::util::MutexLock lock(core_->mu);
   core_->release_cached_locked();
 }
 

@@ -1,0 +1,73 @@
+// Clang thread-safety (capability) annotation macros.
+//
+// The repo's concurrency invariants — which mutex guards which fields,
+// which functions must (or must not) be entered holding a lock — were
+// prose contracts in headers until PR 7.  These macros turn them into
+// compiler-checked facts: under Clang the annotations feed
+// -Wthread-safety, which CI promotes to an error, so a call path that
+// touches guarded state without its mutex fails the build instead of
+// becoming a rare production race.  Under every other compiler (the
+// local GCC builds included) they expand to nothing and the code is
+// unchanged.
+//
+// The vocabulary follows the Clang thread-safety-analysis documentation
+// (and abseil's thread_annotations.h, the de-facto reference usage):
+//
+//   * HEBS_CAPABILITY declares a lockable type (util::Mutex);
+//   * HEBS_GUARDED_BY(mu) on a member: reads and writes require mu;
+//   * HEBS_PT_GUARDED_BY(mu) on a pointer member: the pointee requires
+//     mu (the pointer itself does not);
+//   * HEBS_REQUIRES(mu) on a function: callers must hold mu;
+//   * HEBS_ACQUIRE/HEBS_RELEASE on a function: it takes/drops mu;
+//   * HEBS_EXCLUDES(mu) on a function: callers must NOT hold mu (the
+//     anti-deadlock direction — e.g. ThreadPool::parallel_for, which
+//     acquires the pool mutex itself);
+//   * HEBS_NO_THREAD_SAFETY_ANALYSIS opts a function body out (used
+//     only where the analysis cannot model the truth, never to silence
+//     a genuine violation — each use carries a justification comment).
+//
+// DESIGN.md §12 documents the locking discipline these annotations
+// enforce and lists every annotated structure.
+#pragma once
+
+#if defined(__clang__)
+#define HEBS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define HEBS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+#define HEBS_CAPABILITY(x) \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define HEBS_SCOPED_CAPABILITY \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define HEBS_GUARDED_BY(x) \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define HEBS_PT_GUARDED_BY(x) \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define HEBS_ACQUIRE(...) \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define HEBS_TRY_ACQUIRE(...) \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define HEBS_RELEASE(...) \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define HEBS_REQUIRES(...) \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define HEBS_EXCLUDES(...) \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define HEBS_RETURN_CAPABILITY(x) \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define HEBS_ASSERT_CAPABILITY(x) \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define HEBS_NO_THREAD_SAFETY_ANALYSIS \
+  HEBS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

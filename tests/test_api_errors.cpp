@@ -7,10 +7,10 @@
 #include <stdexcept>
 #include <vector>
 
-#include "core/hebs.h"
+#include "hebs/advanced/core.h"
 #include "hebs/hebs.h"
-#include "image/synthetic.h"
-#include "util/error.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace {
 

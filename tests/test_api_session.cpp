@@ -7,11 +7,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "baseline/cbcs.h"
-#include "baseline/dls.h"
-#include "core/distortion_curve.h"
-#include "core/hebs.h"
-#include "core/video.h"
+#include "hebs/advanced/baseline.h"
+#include "hebs/advanced/core.h"
 #include "hebs/hebs.h"
 #include "image/synthetic.h"
 

@@ -1,12 +1,11 @@
 // Tests for the DLS [4] and CBCS [5] baseline policies.
 #include <gtest/gtest.h>
 
-#include "baseline/cbcs.h"
-#include "baseline/dls.h"
-#include "image/synthetic.h"
-#include "quality/metrics.h"
-#include "transform/classic.h"
-#include "util/error.h"
+#include "hebs/advanced/baseline.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
+#include "hebs/advanced/transform.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::baseline {
 namespace {

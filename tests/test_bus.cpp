@@ -3,11 +3,10 @@
 
 #include <bit>
 
-#include "bus/encoding.h"
-#include "histogram/histogram.h"
-#include "image/synthetic.h"
-#include "util/error.h"
-#include "util/rng.h"
+#include "hebs/advanced/bus.h"
+#include "hebs/advanced/histogram.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::bus {
 namespace {

@@ -1,9 +1,9 @@
 // Tests for color backlight scaling (§2's color LCD path).
 #include <gtest/gtest.h>
 
-#include "core/color.h"
-#include "image/synthetic.h"
-#include "util/error.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::core {
 namespace {

@@ -8,8 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "core/color.h"
-#include "core/distortion_curve.h"
+#include "hebs/advanced/core.h"
 #include "hebs/hebs.h"
 #include "image/synthetic.h"
 

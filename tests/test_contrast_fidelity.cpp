@@ -1,12 +1,10 @@
 // Tests for the contrast-fidelity measure (ref [5]'s distortion).
 #include <gtest/gtest.h>
 
-#include "image/draw.h"
-#include "image/synthetic.h"
-#include "quality/contrast_fidelity.h"
-#include "quality/distortion.h"
-#include "transform/classic.h"
-#include "util/error.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
+#include "hebs/advanced/transform.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::quality {
 namespace {

@@ -1,9 +1,9 @@
 // Tests for the DBS problem framing and operating-point evaluation.
 #include <gtest/gtest.h>
 
-#include "core/dbs.h"
-#include "image/synthetic.h"
-#include "util/error.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::core {
 namespace {

@@ -17,12 +17,10 @@
 #include <string>
 #include <vector>
 
-#include "core/hebs.h"
-#include "image/draw.h"
-#include "image/synthetic.h"
-#include "pipeline/engine.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/pipeline.h"
 #include "pipeline/frame_context.h"
-#include "pipeline/stages.h"
 #include "util/rng.h"
 
 namespace hebs::pipeline {

@@ -2,13 +2,10 @@
 // reference ladders (Fig. 5) and the panel luminance simulator.
 #include <gtest/gtest.h>
 
-#include "display/grayscale_voltage.h"
-#include "display/panel_sim.h"
-#include "display/reference_driver.h"
-#include "image/synthetic.h"
-#include "transform/classic.h"
-#include "util/error.h"
-#include "util/rng.h"
+#include "hebs/advanced/display.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/transform.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::display {
 namespace {

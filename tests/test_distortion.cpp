@@ -1,9 +1,8 @@
 // Tests for the unified distortion front end.
 #include <gtest/gtest.h>
 
-#include "image/draw.h"
-#include "image/synthetic.h"
-#include "quality/distortion.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
 #include "util/rng.h"
 
 namespace hebs::quality {

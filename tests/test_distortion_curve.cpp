@@ -1,10 +1,9 @@
 // Tests for the distortion characteristic curve (§5.1c, Fig. 7).
 #include <gtest/gtest.h>
 
-#include "core/distortion_curve.h"
-#include "core/hebs.h"
+#include "hebs/advanced/core.h"
 #include "image/synthetic.h"
-#include "util/error.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::core {
 namespace {

@@ -1,9 +1,8 @@
 // Unit tests for drawing primitives and coherent noise.
 #include <gtest/gtest.h>
 
-#include "image/draw.h"
-#include "image/noise.h"
-#include "util/error.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 #include "util/rng.h"
 
 namespace hebs::image {

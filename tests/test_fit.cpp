@@ -3,10 +3,8 @@
 
 #include <cmath>
 
-#include "fit/regression.h"
-#include "util/error.h"
-#include "util/mathutil.h"
-#include "util/rng.h"
+#include "hebs/advanced/fit.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::fit {
 namespace {

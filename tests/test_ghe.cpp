@@ -1,11 +1,10 @@
 // Tests for the Global Histogram Equalization solver (Eqs. 4-7).
 #include <gtest/gtest.h>
 
-#include "core/ghe.h"
-#include "histogram/histogram_ops.h"
-#include "image/synthetic.h"
-#include "util/error.h"
-#include "util/rng.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/histogram.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::core {
 namespace {

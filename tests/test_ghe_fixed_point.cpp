@@ -4,12 +4,9 @@
 
 #include <cstdio>
 
-#include "core/distortion_curve.h"
-#include "core/ghe.h"
-#include "core/hebs.h"
+#include "hebs/advanced/core.h"
 #include "image/synthetic.h"
-#include "util/error.h"
-#include "util/rng.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::core {
 namespace {

@@ -1,9 +1,7 @@
 // Tests for the full HEBS pipeline (Fig. 4) and its policy wrapper.
 #include <gtest/gtest.h>
 
-#include "core/backlight.h"
-#include "core/distortion_curve.h"
-#include "core/hebs.h"
+#include "hebs/advanced/core.h"
 #include "image/synthetic.h"
 #include "util/error.h"
 

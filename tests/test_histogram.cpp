@@ -1,9 +1,9 @@
 // Unit tests for the Histogram class.
 #include <gtest/gtest.h>
 
-#include "histogram/histogram.h"
-#include "image/synthetic.h"
-#include "util/error.h"
+#include "hebs/advanced/histogram.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::histogram {
 namespace {

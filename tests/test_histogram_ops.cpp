@@ -1,10 +1,10 @@
 // Tests for histogram operations, distances and the Eq. 4 objective.
 #include <gtest/gtest.h>
 
-#include "core/ghe.h"
-#include "histogram/histogram_ops.h"
-#include "image/synthetic.h"
-#include "util/error.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/histogram.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::histogram {
 namespace {

@@ -1,8 +1,8 @@
 // Tests for the human-visual-system front end.
 #include <gtest/gtest.h>
 
-#include "image/synthetic.h"
-#include "quality/hvs.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
 
 namespace hebs::quality {
 namespace {

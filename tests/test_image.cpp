@@ -1,8 +1,8 @@
 // Unit tests for hebs::image — image types and conversions.
 #include <gtest/gtest.h>
 
-#include "image/image.h"
-#include "util/error.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::image {
 namespace {

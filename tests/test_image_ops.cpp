@@ -1,9 +1,8 @@
 // Tests for geometric image operations.
 #include <gtest/gtest.h>
 
-#include "image/ops.h"
-#include "image/synthetic.h"
-#include "util/error.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::image {
 namespace {

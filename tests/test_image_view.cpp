@@ -8,8 +8,7 @@
 #include <vector>
 
 #include "hebs/hebs.h"
-#include "image/image.h"
-#include "image/synthetic.h"
+#include "hebs/advanced/image.h"
 
 namespace {
 

@@ -4,13 +4,11 @@
 
 #include <cmath>
 
-#include "baseline/cbcs.h"
-#include "baseline/dls.h"
-#include "core/hebs.h"
-#include "display/lcd_subsystem.h"
-#include "image/pnm_io.h"
-#include "image/synthetic.h"
-#include "quality/metrics.h"
+#include "hebs/advanced/baseline.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/display.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
 
 namespace hebs {
 namespace {

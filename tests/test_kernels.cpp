@@ -17,9 +17,9 @@
 #include <string>
 #include <vector>
 
-#include "api/view_convert.h"
+#include "hebs/advanced/api.h"
 #include "hebs/hebs.h"
-#include "kernels/kernels.h"
+#include "hebs/advanced/kernels.h"
 
 namespace hebs::kernels {
 namespace {

@@ -4,12 +4,11 @@
 
 #include <cmath>
 
-#include "core/ghe.h"
-#include "core/plc.h"
-#include "display/lcd_subsystem.h"
-#include "image/synthetic.h"
-#include "quality/metrics.h"
-#include "util/error.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/display.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::display {
 namespace {

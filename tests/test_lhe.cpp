@@ -6,14 +6,10 @@
 #include <cmath>
 #include <vector>
 
-#include "core/ghe.h"
-#include "core/lhe.h"
-#include "image/draw.h"
-#include "image/noise.h"
-#include "image/synthetic.h"
-#include "quality/distortion.h"
-#include "util/error.h"
-#include "util/mathutil.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::core {
 namespace {

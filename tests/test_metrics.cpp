@@ -4,10 +4,10 @@
 #include <cmath>
 #include <limits>
 
-#include "quality/metrics.h"
-#include "transform/classic.h"
+#include "hebs/advanced/quality.h"
+#include "hebs/advanced/transform.h"
 #include "transform/lut.h"
-#include "util/error.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::quality {
 namespace {

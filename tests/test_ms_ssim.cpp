@@ -1,10 +1,9 @@
 // Tests for multi-scale SSIM.
 #include <gtest/gtest.h>
 
-#include "image/draw.h"
-#include "image/synthetic.h"
-#include "quality/ms_ssim.h"
-#include "util/error.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
+#include "hebs/advanced/util.h"
 #include "util/rng.h"
 
 namespace hebs::quality {

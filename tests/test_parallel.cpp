@@ -1,0 +1,265 @@
+// Tests for the intra-frame row-parallelism seam (util/parallel.h) and
+// the ThreadPool fork-join it rides on (pipeline/executor.h): executor
+// installation scoping, chunk coverage, concurrent external callers,
+// the effective-concurrency cap, exception propagation and the
+// deterministic ordered reduction the kernels rely on (DESIGN.md §11:
+// results must be bit-identical for every executor, chunking and
+// thread count).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "hebs/advanced/pipeline.h"
+#include "hebs/advanced/util.h"
+
+namespace {
+
+using hebs::pipeline::ThreadPool;
+using hebs::util::ParallelScope;
+using hebs::util::parallel_rows;
+using hebs::util::RowBody;
+using hebs::util::row_executor;
+using hebs::util::RowExecutor;
+
+// Minimal pool-backed executor mirroring the engine's PoolRowExecutor
+// chunking: splits [0, n) into one contiguous chunk per worker.
+class ChunkedExecutor final : public RowExecutor {
+ public:
+  explicit ChunkedExecutor(ThreadPool& pool, int chunks)
+      : pool_(pool), chunks_(chunks) {}
+
+  void run(int n, RowBody body) override {
+    const int step = (n + chunks_ - 1) / chunks_;
+    pool_.parallel_for(static_cast<std::size_t>(chunks_),
+                       [&](std::size_t chunk, int) {
+                         const int begin = static_cast<int>(chunk) * step;
+                         body(begin, std::min(n, begin + step));
+                       });
+  }
+
+ private:
+  ThreadPool& pool_;
+  const int chunks_;
+};
+
+TEST(ParallelRows, SerialFallbackCoversRangeInOneCall) {
+  ASSERT_EQ(row_executor(), nullptr);
+  int calls = 0;
+  int seen_begin = -1;
+  int seen_end = -1;
+  parallel_rows(17, [&](int begin, int end) {
+    ++calls;
+    seen_begin = begin;
+    seen_end = end;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_begin, 0);
+  EXPECT_EQ(seen_end, 17);
+}
+
+TEST(ParallelRows, EmptyRangeNeverInvokesBody) {
+  bool called = false;
+  parallel_rows(0, [&](int, int) { called = true; });
+  parallel_rows(-3, [&](int, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelRows, ScopesNestAndRestore) {
+  ThreadPool pool(2);
+  ChunkedExecutor outer(pool, 2);
+  ChunkedExecutor inner(pool, 2);
+  ASSERT_EQ(row_executor(), nullptr);
+  {
+    ParallelScope a(&outer);
+    EXPECT_EQ(row_executor(), &outer);
+    {
+      ParallelScope b(&inner);
+      EXPECT_EQ(row_executor(), &inner);
+      ParallelScope c(nullptr);  // explicit uninstall nests too
+      EXPECT_EQ(row_executor(), nullptr);
+    }
+    EXPECT_EQ(row_executor(), &outer);
+  }
+  EXPECT_EQ(row_executor(), nullptr);
+}
+
+TEST(ParallelRows, ChunksAreDisjointAndCoverRange) {
+  ThreadPool pool(4);
+  ChunkedExecutor exec(pool, 4);
+  ParallelScope scope(&exec);
+  constexpr int kRows = 103;
+  std::vector<std::atomic<int>> touched(kRows);
+  parallel_rows(kRows, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      touched[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (int i = 0; i < kRows; ++i) {
+    EXPECT_EQ(touched[static_cast<std::size_t>(i)].load(), 1) << "row " << i;
+  }
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.parallel_for(kN, [&](std::size_t i, int) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EffectiveConcurrencyIsCappedAtHardware) {
+  const int hw = std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency()));
+  ThreadPool oversized(hw + 13);
+  EXPECT_EQ(oversized.thread_count(), hw + 13);
+  EXPECT_EQ(oversized.effective_concurrency(), hw);
+  ThreadPool small(1);
+  EXPECT_EQ(small.effective_concurrency(), 1);
+}
+
+TEST(ThreadPool, WorkersBeyondTheCapNeverClaimIndices) {
+  const int hw = std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency()));
+  ThreadPool pool(hw + 5);
+  std::mutex mu;
+  std::set<int> claimants;
+  pool.parallel_for(512, [&](std::size_t, int worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    claimants.insert(worker);
+  });
+  ASSERT_FALSE(claimants.empty());
+  // Only workers below the cap may claim; ids at or above
+  // effective_concurrency() sit the call out.
+  EXPECT_LT(*claimants.rbegin(), pool.effective_concurrency());
+}
+
+TEST(ThreadPool, ConcurrentCallersSerializeAndBothComplete) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 400;
+  constexpr int kRounds = 25;
+  std::vector<std::atomic<int>> a(kN);
+  std::vector<std::atomic<int>> b(kN);
+  std::thread caller_a([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      pool.parallel_for(kN, [&](std::size_t i, int) { a[i].fetch_add(1); });
+    }
+  });
+  std::thread caller_b([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      pool.parallel_for(kN, [&](std::size_t i, int) { b[i].fetch_add(1); });
+    }
+  });
+  caller_a.join();
+  caller_b.join();
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(a[i].load(), kRounds) << "caller A index " << i;
+    ASSERT_EQ(b[i].load(), kRounds) << "caller B index " << i;
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i, int) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // A failed fan-out must leave the pool ready for the next one.
+  std::atomic<int> ran{0};
+  pool.parallel_for(64, [&](std::size_t, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionSkipsRemainingUnclaimedIndices) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  constexpr std::size_t kN = 100000;
+  EXPECT_THROW(pool.parallel_for(kN,
+                                 [&](std::size_t, int) {
+                                   executed.fetch_add(1);
+                                   throw std::runtime_error("first");
+                                 }),
+               std::runtime_error);
+  // Every claimant can have at most one in-flight index when the
+  // failure latch trips, so execution stops far short of the batch.
+  EXPECT_LE(executed.load(), pool.effective_concurrency());
+}
+
+TEST(ThreadPool, ReentrantUseIsRejectedNotDeadlocked) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t, int) {
+                                   pool.parallel_for(
+                                       2, [](std::size_t, int) {});
+                                 }),
+               hebs::util::InvalidArgument);
+  // The single-thread inline path enforces the same contract.
+  ThreadPool inline_pool(1);
+  EXPECT_THROW(inline_pool.parallel_for(
+                   4,
+                   [&](std::size_t, int) {
+                     inline_pool.parallel_for(2, [](std::size_t, int) {});
+                   }),
+               hebs::util::InvalidArgument);
+  // A different pool inside the body is fine (the engine nests the
+  // row executor's pool inside frame-level fan-out this way).
+  ThreadPool other(2);
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](std::size_t, int) {
+    other.parallel_for(8, [&](std::size_t, int) { ran.fetch_add(1); });
+  });
+  EXPECT_EQ(ran.load(), 32);
+}
+
+// The determinism contract: a float reduction computed by writing
+// per-chunk partials at their chunk index and folding them in index
+// order must be bit-identical for every worker count, because float
+// addition is not associative and completion order must not matter.
+TEST(ThreadPool, OrderedReductionIsBitIdenticalAcrossWorkerCounts) {
+  constexpr int kRows = 1537;
+  constexpr int kChunks = 8;
+  constexpr int kStep = (kRows + kChunks - 1) / kChunks;
+  // Row values chosen so accumulation order visibly changes low bits:
+  // wildly varying magnitudes.
+  std::vector<float> rows(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    rows[static_cast<std::size_t>(i)] =
+        (i % 7 == 0 ? 1.0e6f : 1.0f) / (1.0f + static_cast<float>(i % 97));
+  }
+
+  const auto reduce_with = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<float> partial(kChunks, 0.0f);
+    pool.parallel_for(kChunks, [&](std::size_t chunk, int) {
+      const int begin = static_cast<int>(chunk) * kStep;
+      const int end = std::min(kRows, begin + kStep);
+      float acc = 0.0f;  // serial left-to-right within the chunk
+      for (int i = begin; i < end; ++i) {
+        acc += rows[static_cast<std::size_t>(i)];
+      }
+      partial[chunk] = acc;  // written by index, never by completion
+    });
+    float total = 0.0f;  // folded in chunk order on the caller
+    for (float p : partial) total += p;
+    return total;
+  };
+
+  const float serial = reduce_with(1);
+  const float two = reduce_with(2);
+  const float eight = reduce_with(8);
+  // Bit-identical, not approximately equal.
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+}  // namespace

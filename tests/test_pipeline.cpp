@@ -2,12 +2,10 @@
 // decomposition, and the cached-vs-one-shot bit-identity contract.
 #include <gtest/gtest.h>
 
-#include "core/dbs.h"
-#include "core/hebs.h"
-#include "image/synthetic.h"
-#include "pipeline/frame_context.h"
-#include "pipeline/stages.h"
-#include "util/error.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/pipeline.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::pipeline {
 namespace {

@@ -5,12 +5,11 @@
 #include <atomic>
 #include <vector>
 
-#include "core/hebs.h"
-#include "core/video.h"
-#include "image/synthetic.h"
-#include "pipeline/engine.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/pipeline.h"
 #include "pipeline/executor.h"
-#include "util/error.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::pipeline {
 namespace {

@@ -3,11 +3,9 @@
 
 #include <chrono>
 
-#include "core/ghe.h"
-#include "core/plc.h"
-#include "image/synthetic.h"
-#include "util/error.h"
-#include "util/rng.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::core {
 namespace {

@@ -8,8 +8,8 @@
 #include <limits>
 #include <vector>
 
-#include "core/plc.h"
-#include "util/rng.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::core {
 namespace {

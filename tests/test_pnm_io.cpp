@@ -4,9 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
-#include "image/pnm_io.h"
-#include "util/error.h"
-#include "util/rng.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::image {
 namespace {

@@ -8,7 +8,7 @@
 #include <thread>
 #include <utility>
 
-#include "util/pool.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::util {
 namespace {

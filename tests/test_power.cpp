@@ -1,12 +1,10 @@
 // Tests for the CCFL, TFT-panel and subsystem power models (§5.1).
 #include <gtest/gtest.h>
 
-#include "image/synthetic.h"
-#include "power/ccfl.h"
-#include "power/lab_bench.h"
-#include "power/lcd_power.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/power.h"
 #include "power/tft_panel.h"
-#include "util/error.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::power {
 namespace {

@@ -4,9 +4,9 @@
 
 #include <cmath>
 
-#include "core/hebs.h"
-#include "display/reference_driver.h"
-#include "image/synthetic.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/display.h"
+#include "hebs/advanced/image.h"
 #include "quality/distortion.h"
 
 namespace hebs {

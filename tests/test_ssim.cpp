@@ -1,10 +1,9 @@
 // Tests for SSIM (the paper's future-work distortion measure, ref [6]).
 #include <gtest/gtest.h>
 
-#include "image/draw.h"
-#include "image/synthetic.h"
-#include "quality/ssim.h"
-#include "util/error.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
+#include "hebs/advanced/util.h"
 #include "util/rng.h"
 
 namespace hebs::quality {

@@ -4,9 +4,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "histogram/streaming.h"
-#include "image/synthetic.h"
-#include "util/error.h"
+#include "hebs/advanced/histogram.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::histogram {
 namespace {

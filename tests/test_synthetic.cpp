@@ -2,9 +2,9 @@
 // characters that make the substitution faithful (DESIGN.md §2).
 #include <gtest/gtest.h>
 
-#include "histogram/histogram.h"
-#include "image/synthetic.h"
-#include "util/error.h"
+#include "hebs/advanced/histogram.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::image {
 namespace {

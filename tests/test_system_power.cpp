@@ -1,8 +1,8 @@
 // Tests for system-level power accounting and the battery model.
 #include <gtest/gtest.h>
 
-#include "power/system.h"
-#include "util/error.h"
+#include "hebs/advanced/power.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::power {
 namespace {

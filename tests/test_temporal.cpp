@@ -7,16 +7,13 @@
 #include <cstddef>
 #include <vector>
 
-#include "core/video.h"
+#include "hebs/advanced/core.h"
 #include "histogram/histogram.h"
-#include "image/noise.h"
-#include "image/synthetic.h"
-#include "pipeline/frame_context.h"
-#include "pipeline/stages.h"
-#include "pipeline/temporal.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/pipeline.h"
 #include "power/lcd_power.h"
 #include "util/pool.h"
-#include "util/rng.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::pipeline {
 namespace {

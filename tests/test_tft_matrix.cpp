@@ -1,10 +1,10 @@
 // Tests for the TFT matrix scan/charging simulation (§2, Fig. 1b/1c).
 #include <gtest/gtest.h>
 
-#include "display/tft_matrix.h"
-#include "image/synthetic.h"
-#include "quality/metrics.h"
-#include "util/error.h"
+#include "hebs/advanced/display.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::display {
 namespace {

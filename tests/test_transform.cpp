@@ -2,11 +2,11 @@
 // transformation functions of Figure 2.
 #include <gtest/gtest.h>
 
-#include "image/synthetic.h"
-#include "transform/classic.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/transform.h"
 #include "transform/lut.h"
 #include "transform/pwl.h"
-#include "util/error.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::transform {
 namespace {

@@ -4,11 +4,9 @@
 
 #include <algorithm>
 
-#include "image/draw.h"
-#include "image/noise.h"
-#include "image/synthetic.h"
-#include "quality/uiqi.h"
-#include "util/error.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/quality.h"
+#include "hebs/advanced/util.h"
 #include "util/rng.h"
 
 namespace hebs::quality {

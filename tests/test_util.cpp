@@ -6,11 +6,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "util/csv.h"
-#include "util/error.h"
-#include "util/mathutil.h"
-#include "util/rng.h"
-#include "util/table.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::util {
 namespace {

@@ -2,9 +2,9 @@
 // per-frame HEBS — the paper's future-work extension).
 #include <gtest/gtest.h>
 
-#include "core/video.h"
-#include "image/synthetic.h"
-#include "util/error.h"
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::core {
 namespace {

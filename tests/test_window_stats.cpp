@@ -4,9 +4,8 @@
 
 #include <vector>
 
-#include "quality/window_stats.h"
-#include "util/error.h"
-#include "util/rng.h"
+#include "hebs/advanced/quality.h"
+#include "hebs/advanced/util.h"
 
 namespace hebs::quality {
 namespace {

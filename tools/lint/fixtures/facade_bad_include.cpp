@@ -1,0 +1,8 @@
+// Negative fixture for hebs-facade-include: must FIRE.  A TU outside
+// the library reaching straight into src/ bypasses both the stable
+// facade (include/hebs) and the sanctioned whitebox door
+// (hebs/advanced/*), coupling it to internals that may change without
+// notice.
+#include "core/hebs.h"  // resolves to src/core/hebs.h — violation
+
+int fixture_use() { return static_cast<int>(sizeof(hebs::core::HebsOptions)); }

@@ -1,0 +1,8 @@
+// Positive fixture for hebs-facade-include: must stay CLEAN.  The
+// advanced re-export header is the sanctioned way for in-repo whitebox
+// consumers to reach internals; the src/ headers it pulls in appear at
+// include depth >= 2, with the advanced header as their includer.
+#include "hebs/advanced/core.h"
+#include "hebs/hebs.h"
+
+int fixture_use() { return static_cast<int>(sizeof(hebs::core::HebsOptions)); }

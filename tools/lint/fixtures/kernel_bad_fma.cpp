@@ -1,0 +1,33 @@
+// Negative fixture for hebs-kernel-fp-contract: must FIRE.  Fused
+// multiply-add rounds once where the scalar reference rounds twice, so
+// any fma in a kernel breaks the bit-identical-to-scalar contract
+// (DESIGN.md §8).  The x86 horizontal-add intrinsic additionally
+// reassociates the reduction tree.
+#include <cmath>
+#include <cstddef>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace fixture {
+
+// std::fma resolves to the fma builtin/libm call — one rounding, not
+// two: fires the check.
+double bad_dot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc = std::fma(a[i], b[i], acc);
+  return acc;
+}
+
+#if defined(__AVX2__)
+// _mm_hadd_ps sums lanes pairwise — a tree reduction, not the serial
+// left-to-right order the scalar kernel defines: fires the check.
+float bad_hadd(__m128 v) {
+  __m128 h = _mm_hadd_ps(v, v);
+  h = _mm_hadd_ps(h, h);
+  return _mm_cvtss_f32(h);
+}
+#endif
+
+}  // namespace fixture

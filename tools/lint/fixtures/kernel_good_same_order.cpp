@@ -1,0 +1,19 @@
+// Positive fixture for hebs-kernel-fp-contract: must stay CLEAN when
+// compiled with -ffp-contract=off.  Serial accumulation with separate
+// multiply and add — the same operation order as the scalar reference —
+// is exactly what the kernels are allowed to do.
+#include <cstddef>
+
+namespace fixture {
+
+double good_dot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float good_scale_add(const float* x, float s, float o, std::size_t i) {
+  return x[i] * s + o;  // contraction forbidden by -ffp-contract=off
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Negative fixture for hebs-no-alloc-in-steady-state: every function
+// here must FIRE the check (the self-test asserts it).  Allocation is
+// reached three different ways — direct new, a std container growing on
+// the global heap, and new hidden two calls deep — to prove the check
+// walks the call graph rather than pattern-matching on `new`.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+// Direct operator new in a "steady-state" function.
+int* direct_new(std::size_t n) { return new int[n]; }
+
+// std::vector uses std::allocator -> operator new.  The check must see
+// through push_back -> _M_realloc_insert -> allocator -> new.
+int sum_with_vector(int n) {
+  std::vector<int> v;
+  for (int i = 0; i < n; ++i) v.push_back(i);
+  int s = 0;
+  for (int x : v) s += x;
+  return s;
+}
+
+// Allocation two repo-local calls deep: root -> helper -> new.
+namespace detail {
+double* make_scratch(std::size_t n) { return new double[n]; }
+double* helper(std::size_t n) { return detail::make_scratch(n); }
+}  // namespace detail
+
+double hidden_alloc_two_deep(std::size_t n) {
+  double* p = detail::helper(n);
+  double v = p[0];
+  delete[] p;
+  return v;
+}
+
+}  // namespace fixture

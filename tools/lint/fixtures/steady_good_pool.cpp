@@ -1,0 +1,35 @@
+// Positive fixture for hebs-no-alloc-in-steady-state: must stay CLEAN.
+// Pool-backed containers funnel every allocation into pool_allocate(),
+// which is extern in steady-state TUs — an opaque boundary the check
+// does not look behind (the pool recycles, it does not heap-allocate
+// per frame).  Error paths exit through [[noreturn]] throw helpers,
+// which are boundary functions: an exception leaves the steady state by
+// definition.
+#include <cstddef>
+
+#include "util/error.h"
+#include "util/pool.h"
+
+namespace fixture {
+
+// PoolVector growth goes PoolAllocator::allocate -> pool_allocate
+// (extern, opaque).
+int sum_with_pool_vector(int n) {
+  hebs::util::PoolVector<int> v;
+  for (int i = 0; i < n; ++i) v.push_back(i);
+  int s = 0;
+  for (int x : v) s += x;
+  return s;
+}
+
+// HEBS_REQUIRE's failure branch calls a throw helper that allocates its
+// message — excused, because throwing is not steady-state execution.
+int checked_divide(int a, int b) {
+  HEBS_REQUIRE(b != 0, "divide by zero");
+  return a / b;
+}
+
+// Pure arithmetic: nothing to find.
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+}  // namespace fixture

@@ -1,0 +1,777 @@
+#!/usr/bin/env python3
+"""hebs-* custom static-analysis checks.
+
+Three repo-specific checks that turn the codebase's prose contracts into
+gating analysis.  Each check parses real compiler output about program
+structure — the GCC C++ AST dump (``-fdump-lang-raw``, a serialized
+graph of typed nodes: function_decl, call_expr, ...) or the
+preprocessor's resolved include graph (``-H``) — never the source text,
+so renames, macros, formatting and comments cannot fool them:
+
+``hebs-no-alloc-in-steady-state``
+    The engine's steady state performs zero heap allocations per frame
+    (DESIGN.md §9, enforced at runtime by bench_alloc_steady_state).
+    This check proves the *static* side: in the steady-state TUs
+    (pipeline stages/frame context/temporal machinery and the kernel
+    TUs) no function defined in repo code may reach ``operator new`` /
+    ``malloc`` through the TU-local call graph.  Pool-backed containers
+    (PoolVector/PoolMap) are naturally clean — their allocation funnels
+    into ``pool_allocate``, which is opaque (extern) in these TUs —
+    and error paths are excused via throw-helper boundary functions
+    (an exception leaves the steady state by definition).  Known
+    warm-up/cold-path allocations are allowlisted by (file, function)
+    with a reason in hebs_lint_config.json.
+
+``hebs-kernel-fp-contract``
+    The SIMD backends are bit-identical to scalar by same-order IEEE
+    arithmetic (DESIGN.md §8): no fused multiply-add, no reassociated
+    reductions.  This check flags, inside src/kernels/ code, any
+    reachable call to the fma family or to horizontal-add/dot-product
+    intrinsics (which reassociate float reductions), and requires the
+    kernel TUs to be compiled with an explicit ``-ffp-contract=off``
+    (and without -ffast-math/-fassociative-math) so the compiler cannot
+    contract a*b+c into fma behind the source's back — the only silent
+    way to break same-order IEEE on FMA-capable targets (AArch64).
+
+``hebs-facade-include``
+    Nothing outside the library may include src/ headers directly;
+    in-repo whitebox consumers go through the hebs/advanced/ re-export
+    headers (PR 2's contract, previously enforced only by review).
+    The check walks the preprocessor's include graph for every TU in
+    tests/, bench/ and examples/ and flags any src/-resolved header
+    whose direct includer is the TU itself.
+
+Usage:
+    hebs_lint.py --build <builddir> --repo <repo-root> [--report out.json]
+    hebs_lint.py --self-test --repo <repo-root> [--compiler g++]
+
+The tree run reads compile_commands.json from the build directory for
+each TU's exact flags.  --self-test compiles the committed fixtures
+under tools/lint/fixtures/ and asserts that every negative fixture
+fires each check and every positive fixture stays clean — the proof
+the checks actually detect what they claim to.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/environment error.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+
+# --------------------------------------------------------------------------
+# GCC raw AST dump parsing
+# --------------------------------------------------------------------------
+
+_NODE_RE = re.compile(r"^@(\d+)\s+(\S+)(.*)")
+_ATTR_RE = re.compile(r"([0-9A-Za-z_]+(?: [0-9]+)?)\s*:\s*(@?\S+)")
+_REF_RE = re.compile(r"@(\d+)")
+_NAME_RE = re.compile(r"name:\s*@(\d+)")
+_BODY_RE = re.compile(r"body:\s*@(\d+)")
+_STRG_RE = re.compile(r"strg:\s*(.*?)\s+lngt")
+_SRCP_RE = re.compile(r"srcp:\s*(\S+?):(\d+)")
+
+# Attribute keys that lead out of a function body into types, scopes and
+# declaration chains; following them would walk the entire translation
+# unit instead of the body's statement tree.
+_NON_STRUCTURAL_KEYS = frozenset(
+    "type scpe chain srcp note link algn size prec sign min max used lngt "
+    "cnst mngl orig unql qual valu purp bpos spec accs tag bases binf".split()
+)
+
+ALLOC_NAMES = frozenset(
+    "malloc calloc realloc aligned_alloc posix_memalign strdup strndup "
+    "__builtin_malloc __builtin_calloc __builtin_realloc "
+    "__builtin_strdup __builtin_strndup".split()
+)
+
+# Boundary functions: reaching one of these ends the walk without a
+# finding.  Throw helpers allocate their message, but an exception exits
+# the steady state by definition; std terminate/abort never return.
+BOUNDARY_PATTERNS = [
+    re.compile(p)
+    for p in (
+        r"^throw_",          # hebs::util::detail::throw_invalid_argument etc.
+        r"^__throw_",        # libstdc++ __throw_length_error etc.
+        r"^__cxa_",          # C++ EH runtime
+        r"^_M_throw",
+        r"^terminate$",
+        r"^abort$",
+    )
+]
+
+# Reassociating horizontal float intrinsics (and the builtins they lower
+# to): each computes a tree-shaped reduction, which is not the serial
+# accumulation order the scalar reference kernels define.
+REASSOC_INTRINSICS = frozenset(
+    "_mm_hadd_ps _mm_hadd_pd _mm256_hadd_ps _mm256_hadd_pd "
+    "_mm_dp_ps _mm_dp_pd _mm256_dp_ps "
+    "_mm512_reduce_add_ps _mm512_reduce_add_pd "
+    "vaddv_f32 vaddvq_f32 vaddvq_f64 vpadd_f32 vpaddq_f32 vpaddq_f64 "
+    "vpadds_f32 vpaddd_f64".split()
+)
+REASSOC_BUILTIN_PREFIXES = (
+    "__builtin_ia32_hadd",
+    "__builtin_ia32_dpps",
+    "__builtin_ia32_reduce",
+    "__builtin_aarch64_reduc_plus",
+    "__builtin_aarch64_addp",
+)
+
+FMA_NAMES = frozenset(
+    "fma fmaf fmal __builtin_fma __builtin_fmaf __builtin_fmal "
+    "__builtin_ia32_vfmaddps __builtin_ia32_vfmaddpd "
+    "__builtin_aarch64_fmav4sf __builtin_aarch64_fmav2df".split()
+)
+
+FORBIDDEN_FP_FLAGS = {
+    "-ffast-math",
+    "-funsafe-math-optimizations",
+    "-fassociative-math",
+    "-ffp-contract=fast",
+    "-ffp-contract=on",
+}
+
+
+class AstDump:
+    """One translation unit's -fdump-lang-raw node graph."""
+
+    def __init__(self, path):
+        kinds = {}
+        text = {}
+        cur = None
+        with open(path, "r", errors="replace") as f:
+            for line in f:
+                m = _NODE_RE.match(line)
+                if m:
+                    cur = int(m.group(1))
+                    kinds[cur] = m.group(2)
+                    text[cur] = m.group(3).rstrip()
+                elif cur is not None:
+                    text[cur] += " " + line.strip()
+        self.kinds = kinds
+        self.text = text
+
+    def identifier(self, node):
+        """The simple name of a decl node (None for operator identifiers,
+        which GCC dumps without a name string)."""
+        m = _NAME_RE.search(self.text.get(node, ""))
+        if not m:
+            return None
+        name_node = int(m.group(1))
+        if self.kinds.get(name_node) == "identifier_node":
+            sm = _STRG_RE.search(self.text[name_node])
+            return sm.group(1) if sm else None
+        if self.kinds.get(name_node) == "type_decl":
+            return self.identifier(name_node)
+        return None
+
+    def srcp(self, node):
+        m = _SRCP_RE.search(self.text.get(node, ""))
+        return (m.group(1), int(m.group(2))) if m else (None, None)
+
+    def functions(self):
+        for node, kind in self.kinds.items():
+            if kind == "function_decl":
+                yield node
+
+    def has_body(self, node):
+        return _BODY_RE.search(self.text.get(node, "")) is not None
+
+    def scope_is_global(self, node):
+        m = re.search(r"scpe:\s*@(\d+)", self.text.get(node, ""))
+        if not m:
+            return False
+        scope = int(m.group(1))
+        return self.kinds.get(scope) in ("namespace_decl", "translation_unit_decl") and (
+            self.identifier(scope) in ("::", None)
+            or self.kinds.get(scope) == "translation_unit_decl"
+        )
+
+    def returns_pointer(self, node):
+        m = re.search(r"type:\s*@(\d+)", self.text.get(node, ""))
+        if not m:
+            return False
+        ftype = int(m.group(1))
+        rm = re.search(r"retn:\s*@(\d+)", self.text.get(ftype, ""))
+        if not rm:
+            return False
+        return self.kinds.get(int(rm.group(1))) == "pointer_type"
+
+    def is_operator_new(self, node):
+        """Global-scope allocation operator: `note: operator` decl whose
+        function type returns a pointer (operator new / new[]; operator
+        delete returns void).  Placement operator new(size_t, void*) is
+        excluded by the body test: it is defined inline in <new> (it
+        just returns its argument), while the allocating forms are
+        extern declarations — construct_at/launder paths must not count
+        as allocation."""
+        txt = self.text.get(node, "")
+        return (
+            "note: operator" in txt
+            and self.scope_is_global(node)
+            and self.returns_pointer(node)
+            and not self.has_body(node)
+        )
+
+    def direct_callees(self, fn):
+        """function_decl nodes referenced from fn's body (structural
+        traversal only: type/scope/chain edges are not followed, so the
+        walk stays inside the statement tree)."""
+        m = _BODY_RE.search(self.text.get(fn, ""))
+        if not m:
+            return frozenset()
+        callees = set()
+        seen = set()
+        stack = [int(m.group(1))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            kind = self.kinds.get(node)
+            if kind is None:
+                continue
+            if kind == "function_decl":
+                callees.add(node)
+                continue  # do not walk into other bodies here
+            txt = self.text[node]
+            for key, value in _ATTR_RE.findall(txt):
+                if key.split()[0] in _NON_STRUCTURAL_KEYS:
+                    continue
+                if value.startswith("@"):
+                    stack.append(int(value[1:]))
+        return frozenset(callees)
+
+
+# --------------------------------------------------------------------------
+# Compile-command plumbing
+# --------------------------------------------------------------------------
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        sys.exit(f"error: {path} not found (configure with "
+                 "CMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    by_file = {}
+    for entry in json.load(open(path)):
+        args = entry.get("arguments") or shlex.split(entry["command"])
+        by_file[os.path.realpath(entry["file"])] = (entry["directory"], args)
+    return by_file
+
+
+def strip_output_args(args):
+    out = []
+    skip = False
+    for a in args:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip = True
+            continue
+        if a in ("-c", "-MD", "-MMD"):
+            continue
+        out.append(a)
+    return out
+
+
+def generate_dump(directory, args, source, dump_path):
+    cmd = strip_output_args(args) + [
+        "-fsyntax-only",
+        f"-fdump-lang-raw={dump_path}",
+    ]
+    if source not in cmd:
+        cmd.append(source)
+    proc = subprocess.run(cmd, cwd=directory, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"dump generation failed for {source}:\n{proc.stderr[-2000:]}")
+    return dump_path
+
+
+# --------------------------------------------------------------------------
+# Findings
+# --------------------------------------------------------------------------
+
+
+class Finding:
+    def __init__(self, check, file, line, message):
+        self.check = check
+        self.file = file
+        self.line = line
+        self.message = message
+
+    def to_json(self):
+        return {
+            "check": self.check,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def __str__(self):
+        loc = f"{self.file}:{self.line}" if self.line else self.file
+        return f"[{self.check}] {loc}: {self.message}"
+
+
+def is_boundary(name):
+    return name is not None and any(p.search(name) for p in BOUNDARY_PATTERNS)
+
+
+# --------------------------------------------------------------------------
+# Check: hebs-no-alloc-in-steady-state
+# --------------------------------------------------------------------------
+
+
+def check_no_alloc(dump, root_index, allowlist):
+    """Flags repo-defined functions (srcp basename in `root_index`)
+    whose TU-local call graph reaches an allocation entry point."""
+    findings = []
+
+    alloc_reason = {}  # function_decl -> why it allocates (or None)
+
+    def direct_alloc_reason(node):
+        if dump.is_operator_new(node):
+            return "operator new"
+        name = dump.identifier(node)
+        if name in ALLOC_NAMES:
+            return name
+        return None
+
+    # Memoized reachability.  visiting-set breaks recursion cycles
+    # conservatively (a cycle member only allocates if something on or
+    # beyond the cycle allocates).
+    memo = {}
+
+    def reaches_alloc(node, visiting):
+        if node in memo:
+            return memo[node]
+        reason = direct_alloc_reason(node)
+        if reason:
+            memo[node] = (reason, [node])
+            return memo[node]
+        name = dump.identifier(node)
+        if is_boundary(name):
+            memo[node] = None
+            return None
+        if not dump.has_body(node):
+            memo[node] = None  # opaque: extern boundary (pool_allocate etc.)
+            return None
+        if node in visiting:
+            return None
+        visiting.add(node)
+        result = None
+        for callee in dump.direct_callees(node):
+            sub = reaches_alloc(callee, visiting)
+            if sub:
+                result = (sub[0], [node] + sub[1])
+                break
+        visiting.discard(node)
+        memo[node] = result
+        return result
+
+    def chain_str(chain):
+        parts = []
+        for node in chain[1:]:
+            name = dump.identifier(node)
+            if name is None and dump.is_operator_new(node):
+                name = "operator new"
+            f, l = dump.srcp(node)
+            parts.append(f"{name or '<unnamed>'} ({f}:{l})" if f else
+                         (name or "<unnamed>"))
+        return " -> ".join(parts)
+
+    for fn in dump.functions():
+        if not dump.has_body(fn):
+            continue
+        f, line = dump.srcp(fn)
+        rel = root_index.get(f)
+        if rel is None:
+            continue
+        name = dump.identifier(fn) or "<unnamed>"
+        if (rel, name) in allowlist or ("*", name) in allowlist:
+            continue
+        hit = reaches_alloc(fn, set())
+        if hit:
+            findings.append(Finding(
+                "hebs-no-alloc-in-steady-state", rel, line,
+                f"'{name}' can reach heap allocation ({hit[0]}) via "
+                f"{chain_str(hit[1])}; steady-state code must draw from the "
+                "BufferPool (PoolVector/PoolMap) or be allowlisted as a "
+                "cold/warm-up path in hebs_lint_config.json"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Check: hebs-kernel-fp-contract
+# --------------------------------------------------------------------------
+
+
+def check_fp_contract_flags(args, rel, findings):
+    flat = set(args)
+    for flag in sorted(FORBIDDEN_FP_FLAGS & flat):
+        findings.append(Finding(
+            "hebs-kernel-fp-contract", rel, 0,
+            f"kernel TU compiled with {flag}: value-changing FP "
+            "transformations break the same-order IEEE contract "
+            "(DESIGN.md §8)"))
+    if "-ffp-contract=off" not in flat:
+        findings.append(Finding(
+            "hebs-kernel-fp-contract", rel, 0,
+            "kernel TU lacks an explicit -ffp-contract=off: on "
+            "FMA-capable targets (AArch64 baseline) the compiler may "
+            "contract a*b+c into fused multiply-add, silently changing "
+            "rounding vs the scalar reference"))
+
+
+def check_fp_contract(dump, kernel_index):
+    findings = []
+
+    def offending(node):
+        name = dump.identifier(node)
+        if name in FMA_NAMES:
+            return f"fused multiply-add call '{name}'"
+        if name in REASSOC_INTRINSICS:
+            return f"reassociating horizontal intrinsic '{name}'"
+        if name and name.startswith(REASSOC_BUILTIN_PREFIXES):
+            return f"reassociating builtin '{name}'"
+        return None
+
+    memo = {}
+
+    def reaches(node, visiting):
+        if node in memo:
+            return memo[node]
+        why = offending(node)
+        if why:
+            memo[node] = why
+            return why
+        # Only walk through kernel-local helpers; std/intrinsic headers
+        # are matched by name above, never traversed.
+        f, _ = dump.srcp(node)
+        if f not in kernel_index:
+            memo[node] = None
+            return None
+        if not dump.has_body(node) or node in visiting:
+            memo[node] = None
+            return None
+        visiting.add(node)
+        result = None
+        for callee in dump.direct_callees(node):
+            sub = reaches(callee, visiting)
+            if sub:
+                result = sub
+                break
+        visiting.discard(node)
+        memo[node] = result
+        return result
+
+    for fn in dump.functions():
+        if not dump.has_body(fn):
+            continue
+        f, line = dump.srcp(fn)
+        rel = kernel_index.get(f)
+        if rel is None:
+            continue
+        for callee in dump.direct_callees(fn):
+            why = reaches(callee, set())
+            if why:
+                name = dump.identifier(fn) or "<unnamed>"
+                findings.append(Finding(
+                    "hebs-kernel-fp-contract", rel, line,
+                    f"'{name}' uses {why}: kernels must keep same-order "
+                    "IEEE arithmetic (bit-identical to scalar, "
+                    "DESIGN.md §8)"))
+                break
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Check: hebs-facade-include
+# --------------------------------------------------------------------------
+
+
+def check_facade_include(directory, args, source, repo, rel_source):
+    cmd = strip_output_args(args) + ["-E", "-H", "-o", os.devnull]
+    if source not in cmd:
+        cmd.append(source)
+    proc = subprocess.run(cmd, cwd=directory, capture_output=True, text=True)
+    findings = []
+    src_root = os.path.join(repo, "src") + os.sep
+    # -H prints one line per include: N dots = depth, then the path.
+    # Track the depth-1 parent to know who performed each include.
+    depth1_parent = None
+    for line in proc.stderr.splitlines():
+        m = re.match(r"^(\.+) (.*)$", line)
+        if not m:
+            continue
+        depth = len(m.group(1))
+        path = os.path.realpath(os.path.join(directory, m.group(2).strip()))
+        if depth == 1:
+            depth1_parent = path
+            if path.startswith(src_root):
+                findings.append(Finding(
+                    "hebs-facade-include", rel_source, 0,
+                    f"directly includes internal header "
+                    f"'{os.path.relpath(path, repo)}'; code outside the "
+                    "library must use include/hebs (stable facade) or "
+                    "hebs/advanced/* (whitebox re-exports)"))
+    if proc.returncode != 0:
+        findings.append(Finding(
+            "hebs-facade-include", rel_source, 0,
+            f"preprocessing failed:\n{proc.stderr[-800:]}"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Drivers
+# --------------------------------------------------------------------------
+
+
+def load_config(repo):
+    path = os.path.join(repo, "tools", "lint", "hebs_lint_config.json")
+    with open(path) as f:
+        cfg = json.load(f)
+    allow = set()
+    for entry in cfg.get("no_alloc_allowlist", []):
+        allow.add((entry["file"], entry["function"]))
+    cfg["_allowlist"] = allow
+    return cfg
+
+
+def make_repo_rel(repo):
+    real_repo = os.path.realpath(repo) + os.sep
+
+    def rel(path):
+        if path is None:
+            return None
+        # compile_commands paths are absolute/relative real paths;
+        # resolve against repo.
+        cand = path if os.path.isabs(path) else os.path.join(real_repo, path)
+        cand = os.path.realpath(cand)
+        if cand.startswith(real_repo):
+            return cand[len(real_repo):]
+        return None
+
+    return rel
+
+
+def basename_index(repo, dirs):
+    """GCC's raw dump records only the *basename* of each decl's source
+    file, so root selection maps basenames back to repo paths: a
+    function is repo-defined iff its srcp basename names a file under
+    one of `dirs`.  Repo file names (stages.cpp, uiqi.h, ...) do not
+    collide with libstdc++ header names; a collision would only widen
+    the root set (more functions checked), never hide one."""
+    index = {}
+    for d in dirs:
+        base = os.path.join(repo, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, files in os.walk(base):
+            for f in files:
+                index[f] = os.path.relpath(os.path.join(dirpath, f), repo)
+    return index
+
+
+def run_tree(repo, build_dir, checks, jobs):
+    cfg = load_config(repo)
+    commands = load_compile_commands(build_dir)
+    rel_of = make_repo_rel(repo)
+    steady_index = basename_index(repo, cfg["steady_state_root_dirs"])
+    kernel_index = basename_index(repo, cfg["kernel_root_dirs"])
+    findings = []
+
+    def tu_entry(rel_path):
+        return commands.get(os.path.realpath(os.path.join(repo, rel_path)))
+
+    # -- AST-dump checks -------------------------------------------------
+    dump_jobs = []  # (rel_tu, kind)
+    if "no-alloc" in checks:
+        for rel_tu in cfg["steady_state_tus"]:
+            dump_jobs.append((rel_tu, "no-alloc"))
+    if "fp-contract" in checks:
+        for rel_tu in sorted(
+                r for r in (rel_of(f) for f in commands)
+                if r and re.match(cfg["kernel_tu_pattern"], r)):
+            dump_jobs.append((rel_tu, "fp-contract"))
+
+    tmpdir = tempfile.mkdtemp(prefix="hebs_lint_")
+
+    def run_one(job):
+        rel_tu, kind = job
+        entry = tu_entry(rel_tu)
+        if entry is None:
+            return [Finding(kind, rel_tu, 0,
+                            "TU not in compile_commands.json")]
+        directory, args = entry
+        local = []
+        if kind == "fp-contract":
+            check_fp_contract_flags(args, rel_tu, local)
+        dump_path = os.path.join(
+            tmpdir, rel_tu.replace(os.sep, "_") + ".raw")
+        try:
+            generate_dump(directory, args,
+                          os.path.join(repo, rel_tu), dump_path)
+        except RuntimeError as e:
+            local.append(Finding(kind, rel_tu, 0, str(e)))
+            return local
+        dump = AstDump(dump_path)
+        os.unlink(dump_path)
+        if kind == "no-alloc":
+            local += check_no_alloc(dump, steady_index, cfg["_allowlist"])
+        else:
+            local += check_fp_contract(dump, kernel_index)
+        return local
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for result in pool.map(run_one, dump_jobs):
+            findings += result
+
+    # -- include-graph check ---------------------------------------------
+    if "facade-include" in checks:
+        outside = [
+            (rel_of(f), commands[f]) for f in commands
+            if rel_of(f) and re.match(cfg["outside_tu_pattern"], rel_of(f))
+        ]
+
+        def run_include(item):
+            rel_tu, (directory, args) = item
+            return check_facade_include(
+                directory, args, os.path.join(repo, rel_tu), repo, rel_tu)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+            for result in pool.map(run_include, outside):
+                findings += result
+
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: prove each check fires on its negative fixture and stays
+# quiet on its positive twin.
+# --------------------------------------------------------------------------
+
+
+def run_self_test(repo, compiler, jobs):
+    fixtures = os.path.join(repo, "tools", "lint", "fixtures")
+    fixture_index = basename_index(repo, ["tools/lint/fixtures"])
+    base_args = [compiler, "-std=c++20", "-I" + os.path.join(repo, "include"),
+                 "-I" + os.path.join(repo, "src"), "-Wall"]
+    tmpdir = tempfile.mkdtemp(prefix="hebs_lint_selftest_")
+    failures = []
+
+    def dump_of(fixture, extra=()):
+        src = os.path.join(fixtures, fixture)
+        dump_path = os.path.join(tmpdir, fixture + ".raw")
+        generate_dump(repo, base_args + list(extra), src, dump_path)
+        d = AstDump(dump_path)
+        os.unlink(dump_path)
+        return d
+
+    fixture_dir = "tools/lint/fixtures/"
+
+    def expect(name, findings, min_count, what):
+        ok = len(findings) >= min_count if min_count else not findings
+        state = "fired" if findings else "clean"
+        want = f">={min_count} finding(s)" if min_count else "clean"
+        print(f"  {name}: {state} ({len(findings)} findings, want {want})")
+        for f in findings:
+            print(f"    {f}")
+        if not ok:
+            failures.append(f"{name}: expected {what}")
+
+    print("[self-test] hebs-no-alloc-in-steady-state")
+    expect("steady_bad_alloc.cpp (negative)",
+           check_no_alloc(dump_of("steady_bad_alloc.cpp"),
+                          fixture_index, set()),
+           2, "direct new + std container findings")
+    expect("steady_good_pool.cpp (positive)",
+           check_no_alloc(dump_of("steady_good_pool.cpp"),
+                          fixture_index, set()),
+           0, "no findings for pool-backed containers")
+
+    print("[self-test] hebs-kernel-fp-contract")
+    expect("kernel_bad_fma.cpp (negative)",
+           check_fp_contract(dump_of("kernel_bad_fma.cpp"), fixture_index),
+           1, "fma finding")
+    flag_findings = []
+    check_fp_contract_flags(base_args, fixture_dir + "kernel_bad_fma.cpp",
+                            flag_findings)
+    expect("kernel_bad_fma.cpp flags (negative)", flag_findings, 1,
+           "missing -ffp-contract=off finding")
+    expect("kernel_good_same_order.cpp (positive)",
+           check_fp_contract(dump_of("kernel_good_same_order.cpp",
+                                     ["-ffp-contract=off"]), fixture_index),
+           0, "no findings for same-order kernel")
+    clean_flags = []
+    check_fp_contract_flags(base_args + ["-ffp-contract=off"],
+                            fixture_dir + "kernel_good_same_order.cpp",
+                            clean_flags)
+    expect("kernel_good_same_order.cpp flags (positive)", clean_flags, 0,
+           "no flag findings with -ffp-contract=off")
+
+    print("[self-test] hebs-facade-include")
+    expect("facade_bad_include.cpp (negative)",
+           check_facade_include(repo, base_args,
+                                os.path.join(fixtures,
+                                             "facade_bad_include.cpp"),
+                                repo, fixture_dir + "facade_bad_include.cpp"),
+           1, "direct src/ include finding")
+    expect("facade_good_advanced.cpp (positive)",
+           check_facade_include(repo, base_args,
+                                os.path.join(fixtures,
+                                             "facade_good_advanced.cpp"),
+                                repo, fixture_dir + "facade_good_advanced.cpp"),
+           0, "no findings for advanced-header include")
+
+    if failures:
+        print("\nSELF-TEST FAILURES:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nself-test OK: every check fires on its negative fixture and "
+          "passes its positive fixture")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
+    ap.add_argument("--build", help="build dir with compile_commands.json")
+    ap.add_argument("--checks", default="no-alloc,fp-contract,facade-include")
+    ap.add_argument("--report", help="write findings as JSON to this path")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the fixture proof instead of the tree")
+    ap.add_argument("--compiler", default=os.environ.get("CXX", "g++"))
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(run_self_test(args.repo, args.compiler, args.jobs))
+
+    if not args.build:
+        ap.error("--build is required (or use --self-test)")
+    checks = set(args.checks.split(","))
+    findings = run_tree(args.repo, args.build, checks, args.jobs)
+    for f in findings:
+        print(f)
+    if args.report:
+        with open(args.report, "w") as out:
+            json.dump({"findings": [f.to_json() for f in findings],
+                       "checks": sorted(checks)}, out, indent=2)
+        print(f"report written to {args.report}")
+    print(f"{len(findings)} finding(s)")
+    sys.exit(1 if findings else 0)
+
+
+if __name__ == "__main__":
+    main()
