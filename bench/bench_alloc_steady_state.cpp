@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hebs/advanced/image.h"
+#include "hebs/advanced/obs.h"
 #include "hebs/advanced/pipeline.h"
 #include "hebs/advanced/power.h"
 #include "hebs/advanced/util.h"
@@ -157,6 +158,28 @@ int main(int argc, char** argv) {
           (void)reuse.process(ctx, frame, kBudget);
         });
     report("temporal fast path", allocs, 3 * frames_per_pass);
+  }
+
+  {
+    // The observability contract: counters are always on (every config
+    // above already counts), and span tracing must not add allocations
+    // either — rings are pre-sized by start_tracing (the one allocating
+    // call, outside the measured window), and the record path only
+    // stores into them.
+    hebs::obs::start_tracing();
+    hebs::util::BufferPool pool;
+    hebs::util::PoolScope scope(&pool);
+    hebs::pipeline::FrameContext ctx(hebs::core::HebsOptions{}, model);
+    hebs::pipeline::TemporalReuse reuse;
+    (void)measure(clip, 2, [&](const hebs::image::GrayImage& frame) {
+      (void)reuse.process(ctx, frame, kBudget);
+    });
+    const auto allocs =
+        measure(clip, 3, [&](const hebs::image::GrayImage& frame) {
+          (void)reuse.process(ctx, frame, kBudget);
+        });
+    hebs::obs::stop_tracing();
+    report("temporal + tracing on", allocs, 3 * frames_per_pass);
   }
 
   std::printf("\n%s\n", ok ? "steady state is allocation-free"

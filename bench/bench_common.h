@@ -56,11 +56,20 @@ struct BenchRecord {
   double ns_per_frame;  ///< wall time per processed frame/raster, ns
   double mpix_per_s;    ///< throughput in megapixels per second
   std::string backend;  ///< active kernel backend during the run
+  // Observability columns (counter deltas over the measured run, per
+  // processed frame).  Benches that predate the counter registry, or
+  // whose workload has no search/temporal stage, leave the zeros.
+  double range_probes_per_frame = 0.0;  ///< exact range-search probes
+  double reuse_byte_identical = 0.0;    ///< temporal level counts ...
+  double reuse_delta_refresh = 0.0;     ///< ... over the whole run
+  double reuse_cold = 0.0;
 };
 
 /// Writes records as a JSON array:
 ///   [{"bench": ..., "config": ..., "ns_per_frame": ...,
-///     "mpix_per_s": ..., "backend": ...}, ...]
+///     "mpix_per_s": ..., "backend": ..., "range_probes_per_frame": ...,
+///     "reuse_byte_identical": ..., "reuse_delta_refresh": ...,
+///     "reuse_cold": ...}, ...]
 inline void write_bench_json(const std::string& path,
                              const std::vector<BenchRecord>& records) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -74,9 +83,14 @@ inline void write_bench_json(const std::string& path,
     std::fprintf(f,
                  "  {\"bench\": \"%s\", \"config\": \"%s\", "
                  "\"ns_per_frame\": %.1f, \"mpix_per_s\": %.3f, "
-                 "\"backend\": \"%s\"}%s\n",
+                 "\"backend\": \"%s\", "
+                 "\"range_probes_per_frame\": %.2f, "
+                 "\"reuse_byte_identical\": %.0f, "
+                 "\"reuse_delta_refresh\": %.0f, "
+                 "\"reuse_cold\": %.0f}%s\n",
                  r.bench.c_str(), r.config.c_str(), r.ns_per_frame,
-                 r.mpix_per_s, r.backend.c_str(),
+                 r.mpix_per_s, r.backend.c_str(), r.range_probes_per_frame,
+                 r.reuse_byte_identical, r.reuse_delta_refresh, r.reuse_cold,
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

@@ -14,16 +14,22 @@
 //   warm-1t         streaming steady state: marginal cost per duplicate
 //                   frame under the temporal-coherence fast path
 //
+// Per-frame samples come from the observability layer's span tracer,
+// not ad-hoc timers: every sample is the duration of the engine's own
+// kFrame span (plus the flicker post-stage span for the streaming
+// config), so this bench measures exactly what a trace viewer shows.
+// Counter deltas add the search depth per configuration.
+//
 // Records merge into BENCH_pipeline.json (other benches' records are
 // preserved) as {"bench": "frame_latency", "config", "p50_ns",
-// "p99_ns", "mpix_per_s", "backend"}.
+// "p99_ns", "mpix_per_s", "backend", "range_probes_per_frame",
+// "reuse_byte_identical", "reuse_delta_refresh", "reuse_cold"}.
 //
 // Flags:
 //   --passes=N        timing passes over the mix (default 4)
 //   --min-speedup=X   CI gate: fail unless p50(cold-1t-bisect) /
 //                     p50(cold-1t) >= X (default: no gate)
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +40,7 @@
 #include "bench_common.h"
 #include "hebs/advanced/core.h"
 #include "hebs/advanced/kernels.h"
+#include "hebs/advanced/obs.h"
 #include "hebs/advanced/pipeline.h"
 
 namespace {
@@ -93,60 +100,110 @@ double percentile(std::vector<double> samples, double p) {
   return samples[std::min(rank, samples.size() - 1)];
 }
 
-double ns_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::nano>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
+/// Counter deltas a sampling run attributes to its records.
+struct RunCounters {
+  double range_probes_per_frame = 0.0;
+  double reuse_ident = 0.0;
+  double reuse_refresh = 0.0;
+  double reuse_cold = 0.0;
+};
 
 /// Times each frame of the mix through a fresh single-frame
 /// process_batch call: histogram, search and render all run cold, with
-/// idle workers (if any) fanning the frame's own row loops.
+/// idle workers (if any) fanning the frame's own row loops.  Samples
+/// are the durations of the engine's kFrame spans, in call order.
 std::vector<double> cold_samples(const std::vector<MixFrame>& mix,
-                                 int threads, bool coarse, int passes) {
+                                 int threads, bool coarse, int passes,
+                                 RunCounters* counters) {
   pipeline::EngineOptions opts;
   opts.num_threads = threads;
   opts.hebs.coarse_search = coarse;
   pipeline::PipelineEngine engine(opts);
-  std::vector<double> samples;
-  samples.reserve(mix.size() * static_cast<std::size_t>(passes));
+  obs::clear_trace();
+  const auto before = obs::snapshot_counters();
   for (int pass = 0; pass < passes; ++pass) {
     for (const auto& frame : mix) {
       const std::span<const image::GrayImage> one(&frame.image, 1);
-      const auto t0 = std::chrono::steady_clock::now();
       const auto result = engine.process_batch(one, kBudget);
-      samples.push_back(ns_since(t0));
       if (result.empty()) std::exit(2);  // keep the call observable
     }
+  }
+  const auto delta = obs::snapshot_counters().delta_since(before);
+  std::vector<double> samples;
+  samples.reserve(mix.size() * static_cast<std::size_t>(passes));
+  for (const obs::CollectedSpan& s : obs::collect_trace()) {
+    if (s.span == obs::Span::kFrame) {
+      samples.push_back(static_cast<double>(s.dur_ns));
+    }
+  }
+  if (samples.size() != mix.size() * static_cast<std::size_t>(passes)) {
+    std::fprintf(stderr,
+                 "FAIL: expected %zu kFrame spans, collected %zu "
+                 "(dropped %llu)\n",
+                 mix.size() * static_cast<std::size_t>(passes),
+                 samples.size(),
+                 static_cast<unsigned long long>(obs::dropped_spans()));
+    std::exit(2);
+  }
+  if (counters != nullptr) {
+    counters->range_probes_per_frame =
+        static_cast<double>(delta[obs::Counter::kRangeProbes]) /
+        static_cast<double>(samples.size());
   }
   return samples;
 }
 
-/// Streaming steady state: runs a clip of `reps` duplicates of each
-/// frame and a 1-frame clip, and reports the marginal per-duplicate
-/// cost (clip minus cold head, averaged) -- what a static scene costs
-/// per frame once the temporal fast path is warm.
+/// Streaming steady state: runs a clip of `kReps` duplicates of each
+/// frame and reports the mean warm per-frame cost — the duration of a
+/// duplicate frame's kFrame span plus its flicker post-stage span,
+/// excluding the cold head (span arg = frame index) -- what a static
+/// scene costs per frame once the temporal fast path is warm.
 std::vector<double> warm_samples(const std::vector<MixFrame>& mix,
-                                 int passes) {
+                                 int passes, RunCounters* counters) {
   constexpr int kReps = 17;
   pipeline::EngineOptions opts;
   opts.num_threads = 1;
   pipeline::PipelineEngine engine(opts);
   core::VideoOptions vopts;
   vopts.d_max_percent = kBudget;
+  const auto before = obs::snapshot_counters();
   std::vector<double> samples;
   samples.reserve(mix.size() * static_cast<std::size_t>(passes));
   for (int pass = 0; pass < passes; ++pass) {
     for (const auto& frame : mix) {
       const std::vector<image::GrayImage> clip(kReps, frame.image);
-      const auto t_head = std::chrono::steady_clock::now();
-      engine.process_stream(std::span(clip.data(), 1), vopts);
-      const double head_ns = ns_since(t_head);
-      const auto t_clip = std::chrono::steady_clock::now();
+      obs::clear_trace();
       engine.process_stream(clip, vopts);
-      const double clip_ns = ns_since(t_clip);
-      samples.push_back(std::max(0.0, clip_ns - head_ns) / (kReps - 1));
+      double warm_ns = 0.0;
+      int warm_frames = 0;
+      for (const obs::CollectedSpan& s : obs::collect_trace()) {
+        if (s.arg == 0) continue;  // the cold head frame
+        if (s.span == obs::Span::kFrame) {
+          warm_ns += static_cast<double>(s.dur_ns);
+          ++warm_frames;
+        } else if (s.span == obs::Span::kFlickerPost) {
+          warm_ns += static_cast<double>(s.dur_ns);
+        }
+      }
+      if (warm_frames != kReps - 1) {
+        std::fprintf(stderr, "FAIL: expected %d warm kFrame spans, got %d\n",
+                     kReps - 1, warm_frames);
+        std::exit(2);
+      }
+      samples.push_back(warm_ns / warm_frames);
     }
+  }
+  const auto delta = obs::snapshot_counters().delta_since(before);
+  if (counters != nullptr) {
+    const auto frames = static_cast<double>(samples.size()) * kReps;
+    counters->range_probes_per_frame =
+        static_cast<double>(delta[obs::Counter::kRangeProbes]) / frames;
+    counters->reuse_ident = static_cast<double>(
+        delta[obs::Counter::kTemporalByteIdentical]);
+    counters->reuse_refresh =
+        static_cast<double>(delta[obs::Counter::kTemporalDeltaRefresh]);
+    counters->reuse_cold =
+        static_cast<double>(delta[obs::Counter::kTemporalCold]);
   }
   return samples;
 }
@@ -181,42 +238,67 @@ int main(int argc, char** argv) {
               "backend %s\n\n",
               mix.size(), size, size, kBudget, passes, backend.c_str());
 
+  // All samples below are span durations, so record for the whole run.
+  obs::start_tracing();
+
   struct Row {
     std::string config;
     std::vector<double> samples;
+    RunCounters counters;
   };
   std::vector<Row> rows;
-  rows.push_back({"cold-1t", cold_samples(mix, 1, true, passes)});
-  rows.push_back({"cold-2t", cold_samples(mix, 2, true, passes)});
-  rows.push_back({"cold-8t", cold_samples(mix, 8, true, passes)});
-  rows.push_back({"cold-1t-bisect", cold_samples(mix, 1, false, passes)});
-  rows.push_back({"warm-1t", warm_samples(mix, passes)});
+  rows.push_back({"cold-1t", {}, {}});
+  rows.back().samples = cold_samples(mix, 1, true, passes,
+                                     &rows.back().counters);
+  rows.push_back({"cold-2t", {}, {}});
+  rows.back().samples = cold_samples(mix, 2, true, passes,
+                                     &rows.back().counters);
+  rows.push_back({"cold-8t", {}, {}});
+  rows.back().samples = cold_samples(mix, 8, true, passes,
+                                     &rows.back().counters);
+  rows.push_back({"cold-1t-bisect", {}, {}});
+  rows.back().samples = cold_samples(mix, 1, false, passes,
+                                     &rows.back().counters);
+  rows.push_back({"warm-1t", {}, {}});
+  rows.back().samples = warm_samples(mix, passes, &rows.back().counters);
 
-  std::printf("  %-16s %10s %10s %12s\n", "config", "p50 (ms)", "p99 (ms)",
-              "Mpix/s @p50");
+  obs::stop_tracing();
+
+  std::printf("  %-16s %10s %10s %12s %14s\n", "config", "p50 (ms)",
+              "p99 (ms)", "Mpix/s @p50", "probes/frame");
   std::vector<std::string> records;
   double p50_coarse = 0.0;
   double p50_bisect = 0.0;
   double p50_8t = 0.0;
   auto csv = hebs::bench::open_csv("frame_latency.csv");
-  csv.write_row({"config", "p50_ns", "p99_ns", "mpix_per_s", "backend"});
+  csv.write_row({"config", "p50_ns", "p99_ns", "mpix_per_s", "backend",
+                 "range_probes_per_frame"});
   for (const Row& row : rows) {
     const double p50 = percentile(row.samples, 0.50);
     const double p99 = percentile(row.samples, 0.99);
     const double mpix =
         static_cast<double>(size) * size / (p50 / 1e9) / 1e6;
-    std::printf("  %-16s %10.3f %10.3f %12.2f\n", row.config.c_str(),
-                p50 / 1e6, p99 / 1e6, mpix);
-    char line[256];
+    std::printf("  %-16s %10.3f %10.3f %12.2f %14.1f\n", row.config.c_str(),
+                p50 / 1e6, p99 / 1e6, mpix,
+                row.counters.range_probes_per_frame);
+    char line[384];
     std::snprintf(line, sizeof line,
                   "{\"bench\": \"frame_latency\", \"config\": \"%s\", "
                   "\"p50_ns\": %.1f, \"p99_ns\": %.1f, "
-                  "\"mpix_per_s\": %.3f, \"backend\": \"%s\"}",
-                  row.config.c_str(), p50, p99, mpix, backend.c_str());
+                  "\"mpix_per_s\": %.3f, \"backend\": \"%s\", "
+                  "\"range_probes_per_frame\": %.2f, "
+                  "\"reuse_byte_identical\": %.0f, "
+                  "\"reuse_delta_refresh\": %.0f, \"reuse_cold\": %.0f}",
+                  row.config.c_str(), p50, p99, mpix, backend.c_str(),
+                  row.counters.range_probes_per_frame,
+                  row.counters.reuse_ident, row.counters.reuse_refresh,
+                  row.counters.reuse_cold);
     records.emplace_back(line);
     csv.write_row({row.config, hebs::util::CsvWriter::num(p50),
                    hebs::util::CsvWriter::num(p99),
-                   hebs::util::CsvWriter::num(mpix), backend});
+                   hebs::util::CsvWriter::num(mpix), backend,
+                   hebs::util::CsvWriter::num(
+                       row.counters.range_probes_per_frame)});
     if (row.config == "cold-1t") p50_coarse = p50;
     if (row.config == "cold-1t-bisect") p50_bisect = p50;
     if (row.config == "cold-8t") p50_8t = p50;

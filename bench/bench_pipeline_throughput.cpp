@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "hebs/advanced/display.h"
 #include "hebs/advanced/image.h"
 #include "hebs/advanced/kernels.h"
+#include "hebs/advanced/obs.h"
 #include "hebs/advanced/pipeline.h"
 #include "hebs/advanced/quality.h"
 
@@ -557,86 +559,104 @@ int run_batch_report(int batch_size) {
 // Cold-frame stage breakdown
 // ------------------------------------------------------------------------
 
-// Times each pipeline stage at bench resolution plus the end-to-end cold
-// frame with the coarse-to-fine search on and off, so the cold-frame
-// latency budget can be attributed stage by stage.
+// Attributes the cold-frame latency budget stage by stage from the
+// observability layer's own span tracer and counter registry: N cold
+// frames run under tracing (coarse-to-fine search on and off), and the
+// table aggregates the recorded spans per stage — so the breakdown is
+// exactly what a Perfetto view of a production trace shows, including
+// the per-probe costs and memo hit rates the ad-hoc stage timers of the
+// previous incarnation could not see.
 int run_stage_breakdown() {
   constexpr double kBudget = 10.0;
   constexpr int kSize = hebs::bench::kImageSize;
+  constexpr int kReps = 30;
   const auto album = image::usid_album(kSize);
   const auto& img = album[0].image;
-  const core::HebsOptions opts;
-
-  const auto time_ms = [](int reps, auto&& fn) {
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int r = 0; r < reps; ++r) fn();
-    return 1000.0 * seconds_since(t0) / reps;
-  };
 
   std::printf("=== Cold-frame stage breakdown: %s (%dx%d), D_max %.0f%%, "
               "kernel backend %s ===\n",
               album[0].name.c_str(), kSize, kSize, kBudget,
               kernels::active().name);
+  std::printf("span-tracer attribution over %d cold frames per search "
+              "mode\n\n", kReps);
 
-  const auto hist = histogram::Histogram::from_image(img);
-  const double t_hist = time_ms(500, [&] {
-    benchmark::DoNotOptimize(histogram::Histogram::from_image(img));
-  });
-
-  pipeline::FrameContext ctx(img, opts, platform());
-  const core::GheTarget target = pipeline::select_target(ctx, 150);
-  const double t_ghe = time_ms(500, [&] {
-    benchmark::DoNotOptimize(core::ghe_transform(hist, target));
-  });
-
-  const auto phi = pipeline::phi_for_target(ctx, target);
-  const double t_plc = time_ms(100, [&] {
-    benchmark::DoNotOptimize(core::plc_coarsen(phi, opts.segments));
-  });
-
-  const auto lambda = core::plc_coarsen(phi, opts.segments).curve;
-  const double beta = core::beta_for_gmax(target.g_max, opts.min_beta);
-  const core::OperatingPoint point{lambda, beta};
-  const double t_eval = time_ms(100, [&] {
-    benchmark::DoNotOptimize(ctx.evaluate_lean(point));
-  });
-
-  const auto levels = core::displayed_levels(point);
-  const double t_render = time_ms(500, [&] {
-    benchmark::DoNotOptimize(levels.quantize().apply(img));
-  });
-
-  // One coarse probe on a cold context: decimated-proxy build plus the
-  // proxy-resolution metric (the guidance cost the restructured search
-  // pays per candidate range before any exact probe).
-  pipeline::FrameContext proxy_ctx(opts, platform());
-  const double t_proxy = time_ms(100, [&] {
-    proxy_ctx.rebind(img);
-    benchmark::DoNotOptimize(proxy_ctx.approx_distortion_at_range(150));
-  });
-
-  const auto cold_total = [&](bool coarse) {
-    core::HebsOptions o = opts;
-    o.coarse_search = coarse;
-    pipeline::FrameContext c(o, platform());
-    return time_ms(30, [&] {
-      c.rebind(img);
-      benchmark::DoNotOptimize(pipeline::run_exact(c, kBudget));
-    });
+  struct StageAgg {
+    double total_ms = 0.0;
+    std::uint64_t events = 0;
   };
-  const double t_cold_off = cold_total(false);
-  const double t_cold_on = cold_total(true);
+  struct ModeReport {
+    std::array<StageAgg, obs::kSpanCount> stages{};
+    double frame_ms = 0.0;  ///< mean end-to-end kFrame span
+    obs::CounterSnapshot delta;
+  };
 
-  std::printf("  histogram              : %8.3f ms\n", t_hist);
-  std::printf("  GHE solve              : %8.3f ms\n", t_ghe);
-  std::printf("  PLC coarsen (per probe): %8.3f ms\n", t_plc);
-  std::printf("  metric eval (per probe): %8.3f ms\n", t_eval);
-  std::printf("  render (quantize+LUT)  : %8.3f ms\n", t_render);
-  std::printf("  coarse proxy probe     : %8.3f ms  (incl. proxy build)\n",
-              t_proxy);
-  std::printf("  cold frame, bisection  : %8.3f ms\n", t_cold_off);
+  const auto run_traced = [&](bool coarse) {
+    pipeline::EngineOptions opts;
+    opts.num_threads = 1;
+    opts.hebs.coarse_search = coarse;
+    pipeline::PipelineEngine engine(opts);
+    obs::clear_trace();
+    const auto before = obs::snapshot_counters();
+    for (int r = 0; r < kReps; ++r) {
+      const std::span<const image::GrayImage> one(&img, 1);
+      benchmark::DoNotOptimize(engine.process_batch(one, kBudget));
+    }
+    ModeReport report;
+    report.delta = obs::snapshot_counters().delta_since(before);
+    for (const obs::CollectedSpan& s : obs::collect_trace()) {
+      auto& agg = report.stages[static_cast<std::size_t>(s.span)];
+      agg.total_ms += static_cast<double>(s.dur_ns) / 1e6;
+      ++agg.events;
+    }
+    const auto& frame =
+        report.stages[static_cast<std::size_t>(obs::Span::kFrame)];
+    report.frame_ms = frame.events == 0
+                          ? 0.0
+                          : frame.total_ms /
+                                static_cast<double>(frame.events);
+    return report;
+  };
+
+  obs::start_tracing();
+  const ModeReport coarse = run_traced(true);
+  const ModeReport bisect = run_traced(false);
+  obs::stop_tracing();
+
+  std::printf("  %-22s %12s %12s %14s\n", "stage (span)", "ms/frame",
+              "events/frame", "ms/event");
+  const obs::Span rows[] = {obs::Span::kHistogram, obs::Span::kRangeSearch,
+                            obs::Span::kRangeProbe, obs::Span::kBetaRefine,
+                            obs::Span::kBetaProbe, obs::Span::kLutApply};
+  for (const obs::Span span : rows) {
+    const StageAgg& agg = coarse.stages[static_cast<std::size_t>(span)];
+    if (agg.events == 0) continue;
+    const double per_frame = agg.total_ms / kReps;
+    const double events_per_frame =
+        static_cast<double>(agg.events) / kReps;
+    std::printf("  %-22s %12.3f %12.1f %14.4f\n", obs::span_name(span),
+                per_frame, events_per_frame,
+                agg.total_ms / static_cast<double>(agg.events));
+  }
+  std::printf("  %-22s %12.3f\n", "frame (end-to-end)", coarse.frame_ms);
+
+  const auto probes_per_frame = [](const ModeReport& m) {
+    return static_cast<double>(m.delta[obs::Counter::kRangeProbes]) / kReps;
+  };
+  const auto memo_rate = [](const ModeReport& m) {
+    const auto hits = m.delta[obs::Counter::kEvalMemoHit];
+    const auto misses = m.delta[obs::Counter::kEvalMemoMiss];
+    return hits + misses == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(hits) /
+                     static_cast<double>(hits + misses);
+  };
+  std::printf("\n  exact probes/frame     : %6.1f coarse, %6.1f bisect\n",
+              probes_per_frame(coarse), probes_per_frame(bisect));
+  std::printf("  eval-memo hit rate     : %6.1f%% coarse, %6.1f%% bisect\n",
+              memo_rate(coarse), memo_rate(bisect));
+  std::printf("  cold frame, bisection  : %8.3f ms\n", bisect.frame_ms);
   std::printf("  cold frame, coarse     : %8.3f ms  (speedup %.2fx)\n",
-              t_cold_on, t_cold_off / t_cold_on);
+              coarse.frame_ms, bisect.frame_ms / coarse.frame_ms);
   return 0;
 }
 

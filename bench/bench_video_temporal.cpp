@@ -45,6 +45,7 @@
 #include "hebs/advanced/core.h"
 #include "hebs/advanced/image.h"
 #include "hebs/advanced/kernels.h"
+#include "hebs/advanced/obs.h"
 #include "hebs/advanced/pipeline.h"
 
 namespace {
@@ -242,7 +243,10 @@ int main(int argc, char** argv) {
       const VideoOptions opts = config_options(mode.pooled, mode.temporal);
       (void)run_once(clip, opts, nullptr);  // warm caches and pools
       std::vector<FrameDecision> decisions;
+      const auto counters_before = hebs::obs::snapshot_counters();
       const double elapsed = run_once(clip, opts, &decisions);
+      const auto delta =
+          hebs::obs::snapshot_counters().delta_since(counters_before);
 
       std::size_t mismatches = 0;
       for (std::size_t i = 0; i < decisions.size(); ++i) {
@@ -259,16 +263,27 @@ int main(int argc, char** argv) {
       if (clip.name == "slow-drift" && mode.temporal) {
         slow_pan_speedup = speedup;
       }
+      const double probes_per_frame =
+          static_cast<double>(delta[hebs::obs::Counter::kRangeProbes]) /
+          static_cast<double>(clip.frames.size());
+      const auto ident = delta[hebs::obs::Counter::kTemporalByteIdentical];
+      const auto refresh = delta[hebs::obs::Counter::kTemporalDeltaRefresh];
+      const auto cold = delta[hebs::obs::Counter::kTemporalCold];
       std::printf("  %-9s: %7.2f ms/frame  (%.2fx vs baseline)  "
+                  "%5.1f probes/frame  reuse i/d/c %llu/%llu/%llu  "
                   "bit-identical to serial: %s\n",
-                  mode.name, per_frame_ms, speedup,
+                  mode.name, per_frame_ms, speedup, probes_per_frame,
+                  static_cast<unsigned long long>(ident),
+                  static_cast<unsigned long long>(refresh),
+                  static_cast<unsigned long long>(cold),
                   mismatches == 0 ? "yes" : "NO");
       records.push_back(
           {"video_temporal", clip.name + "/" + mode.name,
            elapsed / static_cast<double>(clip.frames.size()) * 1e9,
            static_cast<double>(clip.frames.size()) * size * size /
                elapsed / 1e6,
-           backend});
+           backend, probes_per_frame, static_cast<double>(ident),
+           static_cast<double>(refresh), static_cast<double>(cold)});
     }
     std::printf("\n");
   }
@@ -292,7 +307,10 @@ int main(int argc, char** argv) {
       const VideoOptions opts = config_options(mode.pooled, mode.temporal);
       (void)run_color_once(color_clip, opts, nullptr);  // warm caches
       std::vector<hebs::pipeline::ColorStreamResult> results;
+      const auto counters_before = hebs::obs::snapshot_counters();
       const double elapsed = run_color_once(color_clip, opts, &results);
+      const auto delta =
+          hebs::obs::snapshot_counters().delta_since(counters_before);
       std::size_t mismatches = 0;
       for (std::size_t i = 0; i < results.size(); ++i) {
         if (!same_color_result(results[i], reference[i])) ++mismatches;
@@ -313,7 +331,14 @@ int main(int argc, char** argv) {
            elapsed / static_cast<double>(color_clip.size()) * 1e9,
            static_cast<double>(color_clip.size()) * size * size / elapsed /
                1e6,
-           backend});
+           backend,
+           static_cast<double>(delta[hebs::obs::Counter::kRangeProbes]) /
+               static_cast<double>(color_clip.size()),
+           static_cast<double>(
+               delta[hebs::obs::Counter::kTemporalByteIdentical]),
+           static_cast<double>(
+               delta[hebs::obs::Counter::kTemporalDeltaRefresh]),
+           static_cast<double>(delta[hebs::obs::Counter::kTemporalCold])});
     }
     std::printf("\n");
   }

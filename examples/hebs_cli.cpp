@@ -18,12 +18,29 @@
 //   batch <in1.pgm> [in2.pgm ...] [--dmax P] [--threads N]
 //         [--policy NAME] [--metric NAME] [--out-prefix PFX]
 //       One search per image, fanned out over the session's pool.
+//   video [static|slow-drift|scene-cut ...] [--frames N] [--size PX]
+//         [--dmax P] [--threads N] [--kernel-backend NAME]
+//       Runs synthetic clips (the bench_video_temporal archetypes)
+//       through the flicker-controlled video path of one session — the
+//       observability smoke workload: with --trace/--stats the run
+//       produces a trace whose per-frame reuse levels and a counter
+//       dump whose hit rates exhibit the documented temporal contract
+//       (a static clip of N frames reuses N-1 byte-identical frames).
 //   info <in.pgm>
 //       Histogram statistics of an image.
 //   list-policies  (also: --list-policies anywhere)
 //       Prints the policy and metric registries.
 //   list-backends  (also: --list-backends anywhere)
 //       Prints the compiled-in SIMD kernel backends (active one marked).
+//
+// Global flags (any subcommand, stripped before dispatch):
+//   --trace <path>   Record per-stage spans and write a Chrome/Perfetto
+//                    trace JSON to <path> when the session ends.  An
+//                    unwritable path is a typed kIoError at session
+//                    creation, not a silent drop.
+//   --stats          After the subcommand, dump the observability
+//                    counter registry as Prometheus-style "name value"
+//                    text (what hebs_served serves).
 //
 // transform/batch also take --kernel-backend NAME to force a SIMD
 // backend (outputs are bit-identical across backends; only speed
@@ -37,15 +54,28 @@
 #include <vector>
 
 #include "hebs/hebs.h"
-// In-repo helpers (PGM I/O, synthetic album, histogram stats) for the
-// characterize/info subcommands — not part of the stable API.
+// In-repo helpers (PGM I/O, synthetic album, histogram stats, the
+// counter registry dump) for the characterize/info/--stats paths — not
+// part of the stable API.
 #include "hebs/advanced/core.h"
 #include "hebs/advanced/histogram.h"
 #include "hebs/advanced/image.h"
+#include "hebs/advanced/obs.h"
 
 namespace {
 
 using namespace hebs;
+
+/// Global observability flags, stripped from argv before subcommand
+/// dispatch (see main).
+bool g_stats = false;
+std::string g_trace_path;
+
+/// Routes --trace into the config of whichever session a subcommand is
+/// about to create.
+void apply_globals(SessionConfig& config) {
+  if (!g_trace_path.empty()) config.trace_path(g_trace_path);
+}
 
 int usage() {
   std::fprintf(
@@ -60,9 +90,15 @@ int usage() {
       "  hebs_cli batch <in1.pgm> [in2.pgm ...] [--dmax P] [--threads N]\n"
       "           [--policy NAME] [--metric NAME] [--out-prefix PFX]\n"
       "           [--kernel-backend NAME]\n"
+      "  hebs_cli video [static|slow-drift|scene-cut ...] [--frames N]\n"
+      "           [--size PX] [--dmax P] [--threads N]\n"
+      "           [--kernel-backend NAME]\n"
       "  hebs_cli info <in.pgm>\n"
       "  hebs_cli list-policies\n"
-      "  hebs_cli list-backends\n");
+      "  hebs_cli list-backends\n"
+      "global flags (any subcommand):\n"
+      "  --trace <path>   write a Chrome/Perfetto trace JSON of the run\n"
+      "  --stats          dump the observability counters on exit\n");
   return 2;
 }
 
@@ -150,6 +186,7 @@ int cmd_transform(int argc, char** argv) {
       return usage();
     }
   }
+  apply_globals(config);
   auto session = Session::create(config);
   if (!session) return fail(session.status());
 
@@ -218,8 +255,10 @@ int cmd_apply_curve(int argc, char** argv) {
     }
   }
   const auto img = image::read_pgm(in_path);
-  auto session = Session::create(
-      SessionConfig().policy("hebs-curve").curve_path(curve_path));
+  SessionConfig config;
+  config.policy("hebs-curve").curve_path(curve_path);
+  apply_globals(config);
+  auto session = Session::create(config);
   if (!session) return fail(session.status());
   auto result = session->process({view_of(img), dmax});
   if (!result) return fail(result.status());
@@ -280,6 +319,7 @@ int cmd_batch(int argc, char** argv) {
   frames.reserve(images.size());
   for (const auto& img : images) frames.push_back(view_of(img));
 
+  apply_globals(config);
   auto session = Session::create(config);
   if (!session) return fail(session.status());
   std::printf("batch: %zu images, D_max %.1f%%, policy %s, %d thread(s)\n",
@@ -307,10 +347,148 @@ int cmd_batch(int argc, char** argv) {
   return 0;
 }
 
+/// The synthetic video archetypes of bench_video_temporal, reproduced
+/// for the observability smoke workload: one clip per coherence regime
+/// (fully static, <2% pixel churn with slow operating-point drift,
+/// hard scene cuts).
+std::vector<image::GrayImage> make_clip(const std::string& name, int frames,
+                                        int size) {
+  const auto n = static_cast<std::size_t>(frames);
+  if (name == "static") {
+    return std::vector<image::GrayImage>(
+        n, image::make_usid(image::UsidId::kPout, size));
+  }
+  if (name == "slow-drift") {
+    const image::GrayImage base =
+        image::make_usid(image::UsidId::kSail, size);
+    std::vector<image::GrayImage> clip;
+    clip.reserve(n);
+    int dim = 0;
+    for (int f = 0; f < frames; ++f) {
+      if (f > 0 && f % 6 == 0) ++dim;
+      image::GrayImage frame = base;
+      if (dim > 0) {
+        for (auto& px : frame.pixels()) {
+          px = static_cast<std::uint8_t>(px > dim ? px - dim : 0);
+        }
+      }
+      constexpr int kSprite = 6;
+      const int x0 = f % (size - kSprite);
+      for (int y = size / 4; y < size / 4 + kSprite; ++y) {
+        for (int x = x0; x < x0 + kSprite; ++x) frame(x, y) = 230;
+      }
+      clip.push_back(std::move(frame));
+    }
+    return clip;
+  }
+  if (name == "scene-cut") {
+    std::vector<image::GrayImage> cuts;
+    const image::UsidId scenes[] = {image::UsidId::kPout,
+                                    image::UsidId::kBaboon,
+                                    image::UsidId::kSplash,
+                                    image::UsidId::kWest};
+    int produced = 0;
+    for (int block = 0; produced < frames; ++block) {
+      const image::GrayImage scene = image::make_usid(scenes[block % 4], size);
+      for (int i = 0; i < 6 && produced < frames; ++i, ++produced) {
+        cuts.push_back(scene);
+      }
+    }
+    return cuts;
+  }
+  return {};
+}
+
+int cmd_video(int argc, char** argv) {
+  int frames = 48;
+  int size = 96;
+  double dmax = 10.0;
+  SessionConfig config;
+  std::vector<std::string> clip_names;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--frames" && i + 1 < argc) {
+      frames = std::atoi(argv[++i]);
+    } else if (flag == "--size" && i + 1 < argc) {
+      size = std::atoi(argv[++i]);
+    } else if (flag == "--dmax" && i + 1 < argc) {
+      dmax = std::atof(argv[++i]);
+    } else if (flag == "--threads" && i + 1 < argc) {
+      config.threads(std::atoi(argv[++i]));
+    } else if (flag == "--kernel-backend" && i + 1 < argc) {
+      config.kernel_backend(argv[++i]);
+    } else if (!flag.empty() && flag[0] == '-') {
+      return usage();
+    } else {
+      clip_names.push_back(flag);
+    }
+  }
+  if (clip_names.empty()) clip_names = {"static", "slow-drift", "scene-cut"};
+  if (frames < 1 || size < 32) {
+    std::fprintf(stderr, "error: need --frames >= 1 and --size >= 32\n");
+    return 2;
+  }
+
+  apply_globals(config);
+  auto session = Session::create(config);
+  if (!session) return fail(session.status());
+  std::printf("video: %d frames at %dx%d per clip, D_max %.1f%%, "
+              "%d thread(s)\n",
+              frames, size, size, dmax, session->thread_count());
+
+  for (const std::string& name : clip_names) {
+    const auto clip = make_clip(name, frames, size);
+    if (clip.empty()) {
+      std::fprintf(stderr,
+                   "error: unknown clip \"%s\" (static, slow-drift, "
+                   "scene-cut)\n",
+                   name.c_str());
+      return 2;
+    }
+    std::vector<ImageView> views;
+    views.reserve(clip.size());
+    for (const auto& frame : clip) views.push_back(view_of(frame));
+    auto results = session->process_video(views, dmax);
+    if (!results) return fail(results.status());
+
+    int cuts = 0;
+    double beta_sum = 0.0;
+    double saving_sum = 0.0;
+    for (const VideoFrameResult& r : *results) {
+      if (r.scene_cut) ++cuts;
+      beta_sum += r.beta;
+      saving_sum += r.frame.saving_percent;
+    }
+    const auto count = static_cast<double>(results->size());
+    std::printf("  %-10s %zu frames  %d scene cut(s)  mean beta %.3f  "
+                "mean saving %.2f%%\n",
+                name.c_str(), results->size(), cuts, beta_sum / count,
+                saving_sum / count);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    // Strip the global observability flags first, so every subcommand
+    // sees a clean argv and --trace/--stats work uniformly.
+    std::vector<char*> args;
+    args.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--stats") == 0) {
+        g_stats = true;
+      } else if (std::strcmp(argv[i], "--trace") == 0) {
+        if (i + 1 >= argc) return usage();
+        g_trace_path = argv[++i];
+      } else {
+        args.push_back(argv[i]);
+      }
+    }
+    argc = static_cast<int>(args.size());
+    argv = args.data();
+
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--list-policies") == 0) {
         print_registries(stdout);
@@ -323,20 +501,38 @@ int main(int argc, char** argv) {
     }
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
-    if (cmd == "transform") return cmd_transform(argc, argv);
-    if (cmd == "characterize") return cmd_characterize(argc, argv);
-    if (cmd == "apply-curve") return cmd_apply_curve(argc, argv);
-    if (cmd == "batch") return cmd_batch(argc, argv);
-    if (cmd == "info") return cmd_info(argc, argv);
-    if (cmd == "list-policies") {
+    int rc = 2;
+    if (cmd == "transform") {
+      rc = cmd_transform(argc, argv);
+    } else if (cmd == "characterize") {
+      rc = cmd_characterize(argc, argv);
+    } else if (cmd == "apply-curve") {
+      rc = cmd_apply_curve(argc, argv);
+    } else if (cmd == "batch") {
+      rc = cmd_batch(argc, argv);
+    } else if (cmd == "video") {
+      rc = cmd_video(argc, argv);
+    } else if (cmd == "info") {
+      rc = cmd_info(argc, argv);
+    } else if (cmd == "list-policies") {
       print_registries(stdout);
-      return 0;
-    }
-    if (cmd == "list-backends") {
+      rc = 0;
+    } else if (cmd == "list-backends") {
       print_backends(stdout);
-      return 0;
+      rc = 0;
+    } else {
+      return usage();
     }
-    return usage();
+    // The session (and with it the trace file) is gone by now: the
+    // stats dump and the trace note describe a finished run.
+    if (rc == 0 && g_stats) {
+      std::fputs(obs::counters_text(obs::snapshot_counters()).c_str(),
+                 stdout);
+    }
+    if (rc == 0 && !g_trace_path.empty()) {
+      std::fprintf(stderr, "trace written to %s\n", g_trace_path.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

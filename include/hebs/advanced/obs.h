@@ -1,0 +1,8 @@
+// UNSTABLE re-export header: exposes an internal library layer to
+// in-repo tools (benches, whitebox examples) through the include/hebs/
+// namespace so no tool includes src/ paths directly.  Not installed,
+// not covered by the API version contract.
+#pragma once
+
+#include "obs/counters.h"  // IWYU pragma: export
+#include "obs/trace.h"  // IWYU pragma: export

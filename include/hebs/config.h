@@ -170,6 +170,21 @@ class SessionConfig {
   }
   const std::string& curve_path() const noexcept { return curve_path_; }
 
+  // ---------------------------------------------------- observability
+  /// Path to write a chrome://tracing / Perfetto JSON span trace of
+  /// this session's processing.  Empty (default) = no tracing, unless
+  /// the HEBS_TRACE environment variable names a path.  The file is
+  /// created (truncated) at Session::create — an unwritable path is a
+  /// kIoError there, never a silent drop — and the trace is written
+  /// when the session is destroyed.  Tracing is process-global (spans
+  /// from every live session land in one trace) and changes no output:
+  /// traced runs are bit-identical to untraced runs.
+  SessionConfig& trace_path(std::string path) {
+    trace_path_ = std::move(path);
+    return *this;
+  }
+  const std::string& trace_path() const noexcept { return trace_path_; }
+
   /// Image edge length of the on-demand characterization album, >= 16.
   /// Default 96.
   SessionConfig& characterization_size(int px) {
@@ -224,6 +239,7 @@ class SessionConfig {
   int pool_max_mb_ = 0;
   bool temporal_reuse_ = true;
   std::string curve_path_;
+  std::string trace_path_;
   int characterization_size_ = 96;
   double max_beta_step_ = 0.04;
   double ema_alpha_ = 0.5;

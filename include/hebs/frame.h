@@ -104,6 +104,31 @@ struct FrameRequest {
   bool color_output = false;
 };
 
+/// Optional per-frame observability breakdown (see DESIGN.md §13).
+/// Filled by Session::process — the single-frame path, where the
+/// counter deltas around the frame attribute exactly; batch and video
+/// results leave it with `collected == false` (their frames run
+/// concurrently, so per-frame attribution of the process-global
+/// counters would be meaningless).  Counter fields are deltas of the
+/// process-global registry, exact when no other session processes
+/// concurrently.
+struct FrameBreakdown {
+  bool collected = false;
+  /// Wall time of the whole decision + render, milliseconds.
+  double decide_ms = 0.0;
+  /// Exact distortion probes the range search evaluated.
+  std::uint64_t range_probes = 0;
+  /// β candidate evaluations inside the β refinement.
+  std::uint64_t beta_probes = 0;
+  /// refine_beta probe-memo hits/misses for this frame.
+  std::uint64_t eval_memo_hits = 0;
+  std::uint64_t eval_memo_misses = 0;
+  /// Per-range result-memo hits/misses for this frame.
+  std::uint64_t range_memo_hits = 0;
+  std::uint64_t range_memo_misses = 0;
+  bool operator==(const FrameBreakdown&) const = default;
+};
+
 /// Everything the session decided and measured for one frame.
 struct FrameResult {
   /// Backlight scaling factor β in (0, 1].
@@ -140,6 +165,8 @@ struct FrameResult {
   /// displayed_rgb against the input (normalized channel-ratio L1;
   /// the MetricRegistry's "hue-error").  0 for grayscale results.
   double hue_error = 0.0;
+  /// Per-frame observability breakdown (single-frame process() only).
+  FrameBreakdown breakdown;
 };
 
 /// One frame of a video stream: the flicker-controlled decision plus

@@ -18,5 +18,6 @@
 #include "hebs/image_view.h" // IWYU pragma: export
 #include "hebs/registry.h"   // IWYU pragma: export
 #include "hebs/session.h"    // IWYU pragma: export
+#include "hebs/stats.h"      // IWYU pragma: export
 #include "hebs/status.h"     // IWYU pragma: export
 #include "hebs/version.h"    // IWYU pragma: export

@@ -20,6 +20,7 @@
 #include "hebs/config.h"
 #include "hebs/frame.h"
 #include "hebs/image_view.h"
+#include "hebs/stats.h"
 #include "hebs/status.h"
 
 namespace hebs {
@@ -43,6 +44,13 @@ class Session {
 
   /// Worker threads the engine actually runs.
   int thread_count() const noexcept;
+
+  /// Runtime counter snapshot: subsystem activity since this session
+  /// was created (temporal-reuse levels, memo hit rates, pool
+  /// recycling, probe counts, kernel dispatch mix — see hebs/stats.h).
+  /// The registry is process-global, so the delta is exact when this
+  /// is the only session processing.
+  SessionStats stats() const noexcept;
 
   /// Processes one frame with the configured policy.  When
   /// request.color_output is set (rgb8 views only), the result

@@ -1,5 +1,8 @@
 #include "hebs/session.h"
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <optional>
 #include <string>
@@ -16,6 +19,8 @@
 #include "core/video.h"
 #include "image/synthetic.h"
 #include "kernels/kernels.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "pipeline/engine.h"
 #include "power/lcd_power.h"
 #include "util/error.h"
@@ -134,6 +139,29 @@ Status from_exception(const std::exception& e) {
   return Status(StatusCode::kInternal, e.what());
 }
 
+/// The trace destination this config asks for: the explicit option, or
+/// the HEBS_TRACE environment variable as the fallback.
+std::string resolve_trace_path(const SessionConfig& cfg) {
+  if (!cfg.trace_path().empty()) return cfg.trace_path();
+  const char* env = std::getenv("HEBS_TRACE");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+/// Per-frame counter deltas + wall time onto the result (the
+/// single-frame path's breakdown; see hebs/frame.h).
+void fill_breakdown(const obs::CounterSnapshot& before, double decide_ms,
+                    FrameResult& out) {
+  const auto d = obs::snapshot_counters().delta_since(before);
+  out.breakdown.collected = true;
+  out.breakdown.decide_ms = decide_ms;
+  out.breakdown.range_probes = d[obs::Counter::kRangeProbes];
+  out.breakdown.beta_probes = d[obs::Counter::kBetaProbes];
+  out.breakdown.eval_memo_hits = d[obs::Counter::kEvalMemoHit];
+  out.breakdown.eval_memo_misses = d[obs::Counter::kEvalMemoMiss];
+  out.breakdown.range_memo_hits = d[obs::Counter::kAtRangeHit];
+  out.breakdown.range_memo_misses = d[obs::Counter::kAtRangeMiss];
+}
+
 }  // namespace
 
 struct Session::Impl {
@@ -151,6 +179,24 @@ struct Session::Impl {
   /// returns stays valid to read outside the lock.
   util::Mutex curve_mu;
   std::optional<core::DistortionCurve> curve HEBS_GUARDED_BY(curve_mu);
+  /// Counter registry state at create time: Session::stats() reports
+  /// the delta against this baseline.
+  obs::CounterSnapshot stats_baseline = obs::snapshot_counters();
+  /// Where to write the span trace at destruction; empty = no tracing
+  /// requested.  Writability was checked at create (kIoError there).
+  std::string trace_path;
+
+  ~Impl() {
+    if (trace_path.empty()) return;
+    obs::stop_tracing();
+    try {
+      obs::write_chrome_trace(trace_path);
+    } catch (const std::exception& e) {
+      // The path was writable at create; a failure here (disk full,
+      // directory removed meanwhile) has no status channel left.
+      std::fprintf(stderr, "hebs: writing trace failed: %s\n", e.what());
+    }
+  }
 
   Impl(SessionConfig config, const PolicyInfo* p, const MetricInfo* m)
       : cfg(std::move(config)),
@@ -345,11 +391,31 @@ Expected<Session> Session::create(SessionConfig config) {
                         "\" failed: " + e.what());
     }
   }
+  const std::string trace_path = resolve_trace_path(impl->cfg);
+  if (!trace_path.empty()) {
+    // Fail the create, not the eventual trace write: an unknown or
+    // unwritable destination is a typed kIoError here, never a
+    // silently dropped trace.  The open also truncates, so the session
+    // always leaves a fresh file behind.
+    std::FILE* probe = std::fopen(trace_path.c_str(), "wb");
+    if (probe == nullptr) {
+      return Status(StatusCode::kIoError,
+                    "trace path \"" + trace_path +
+                        "\" cannot be opened for writing");
+    }
+    std::fclose(probe);
+  }
   if (requested_backend != nullptr) {
     // Backend selection is process-global (see SessionConfig docs);
     // outputs are bit-identical across backends, so switching here only
     // changes throughput, never results.  Validated above: cannot fail.
     kernels::set_backend(requested_backend->name);
+  }
+  if (!trace_path.empty()) {
+    // Ring buffers are allocated here, at session setup — the record
+    // path never allocates (the zero-alloc steady-state contract).
+    obs::start_tracing();
+    impl->trace_path = trace_path;
   }
   return Session(std::move(impl));
 }
@@ -358,6 +424,35 @@ const SessionConfig& Session::config() const noexcept { return impl_->cfg; }
 
 int Session::thread_count() const noexcept {
   return impl_->engine.thread_count();
+}
+
+SessionStats Session::stats() const noexcept {
+  const auto d =
+      obs::snapshot_counters().delta_since(impl_->stats_baseline);
+  SessionStats s;
+  s.frames_decided = d[obs::Counter::kFramesDecided];
+  s.temporal_frames = d[obs::Counter::kTemporalFrames];
+  s.reuse_byte_identical = d[obs::Counter::kTemporalByteIdentical];
+  s.reuse_delta_refresh = d[obs::Counter::kTemporalDeltaRefresh];
+  s.reuse_cold = d[obs::Counter::kTemporalCold];
+  s.warm_verified = d[obs::Counter::kTemporalWarmVerified];
+  s.range_probes = d[obs::Counter::kRangeProbes];
+  s.beta_probes = d[obs::Counter::kBetaProbes];
+  s.eval_memo_hits = d[obs::Counter::kEvalMemoHit];
+  s.eval_memo_misses = d[obs::Counter::kEvalMemoMiss];
+  s.range_memo_hits = d[obs::Counter::kAtRangeHit];
+  s.range_memo_misses = d[obs::Counter::kAtRangeMiss];
+  s.pool_recycled = d[obs::Counter::kPoolRecycled];
+  s.pool_fresh = d[obs::Counter::kPoolFresh];
+  s.pool_bytes_outstanding = d[obs::Counter::kPoolBytesOutstanding];
+  s.parallel_for_calls = d[obs::Counter::kParallelForCalls];
+  s.parallel_for_items = d[obs::Counter::kParallelForItems];
+  s.parallel_for_queued = d[obs::Counter::kParallelForQueued];
+  s.dispatch_scalar = d[obs::Counter::kDispatchScalar];
+  s.dispatch_sse42 = d[obs::Counter::kDispatchSse42];
+  s.dispatch_avx2 = d[obs::Counter::kDispatchAvx2];
+  s.dispatch_neon = d[obs::Counter::kDispatchNeon];
+  return s;
 }
 
 Expected<FrameResult> Session::process(const FrameRequest& request) {
@@ -381,6 +476,15 @@ Expected<FrameResult> Session::process(const FrameRequest& request) {
                       std::to_string(request.fixed_range) + ")");
   }
   try {
+    // Single-frame runs attribute exactly, so each result carries its
+    // own counter-delta breakdown (hebs/frame.h).
+    const auto counters_before = obs::snapshot_counters();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto elapsed_ms = [&t0] {
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0)
+          .count();
+    };
     if (request.color_output) {
       // The decision runs on BT.601 luma (same kernel as the gray
       // ingestion path, so it is bit-identical to processing the
@@ -391,10 +495,14 @@ Expected<FrameResult> Session::process(const FrameRequest& request) {
       auto result = impl_->run_one(request, luma);
       if (!result) return result.status();
       impl_->render_color(rgb, luma, *result);
+      fill_breakdown(counters_before, elapsed_ms(), *result);
       return result;
     }
     const hebs::image::GrayImage img = api::materialize_gray(request.image);
-    return impl_->run_one(request, img);
+    auto result = impl_->run_one(request, img);
+    if (!result) return result.status();
+    fill_breakdown(counters_before, elapsed_ms(), *result);
+    return result;
   } catch (const std::exception& e) {
     return from_exception(e);
   }

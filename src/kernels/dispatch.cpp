@@ -16,6 +16,8 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/counters.h"
+
 namespace hebs::kernels {
 
 const KernelSet* kernelset_scalar();
@@ -99,6 +101,22 @@ std::atomic<const KernelSet*>& active_slot() {
   return slot;
 }
 
+/// The dispatch counter for a set, keyed on the registry name's second
+/// character — unique across "scalar"/"sse42"/"avx2"/"neon" and cheaper
+/// than a string compare on the per-dispatch-site path.
+obs::Counter dispatch_counter(const KernelSet& set) noexcept {
+  switch (set.name[1]) {
+    case 'c':
+      return obs::Counter::kDispatchScalar;
+    case 's':
+      return obs::Counter::kDispatchSse42;
+    case 'v':
+      return obs::Counter::kDispatchAvx2;
+    default:
+      return obs::Counter::kDispatchNeon;
+  }
+}
+
 }  // namespace
 
 std::span<const BackendInfo> backends() { return backend_table(); }
@@ -113,7 +131,11 @@ const KernelSet* find_backend(std::string_view name) {
 const KernelSet& scalar_kernels() { return *kernelset_scalar(); }
 
 const KernelSet& active() {
-  return *active_slot().load(std::memory_order_relaxed);
+  const KernelSet* set = active_slot().load(std::memory_order_relaxed);
+  // One relaxed increment per dispatch site (callers hoist active()
+  // outside their pixel loops, so this counts dispatches, not pixels).
+  obs::add(dispatch_counter(*set));
+  return *set;
 }
 
 SetBackendResult set_backend(std::string_view name) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/distortion_curve.h"
+#include "obs/trace.h"
 #include "pipeline/stages.h"
 #include "pipeline/temporal.h"
 #include "util/error.h"
@@ -95,6 +96,7 @@ std::vector<Result> map_frames(ThreadPool& pool, const EngineOptions& opts,
       rows_scope.emplace(&*rows);
     }
     FrameContext ctx(opts.hebs, model);
+    obs::ScopedSpan frame_span(obs::Span::kFrame, 0);
     ctx.rebind(images[0]);
     results[0] = per_frame(ctx, std::size_t{0});
     return results;
@@ -106,6 +108,8 @@ std::vector<Result> map_frames(ThreadPool& pool, const EngineOptions& opts,
     const auto w = static_cast<std::size_t>(worker);
     if (!pools[w]) pools[w] = make_pool(opts);
     util::PoolScope scope(pools[w].get());
+    obs::ScopedSpan frame_span(obs::Span::kFrame,
+                               static_cast<std::int32_t>(i));
     auto& ctx = contexts[w];
     if (!ctx) ctx = std::make_unique<FrameContext>(opts.hebs, model);
     ctx->rebind(images[i]);
@@ -214,6 +218,8 @@ std::vector<core::FrameDecision> PipelineEngine::process_stream(
         const std::size_t i = begin + k;
         Slot& s = slot_states[k];
         util::PoolScope scope(s.pool.get());
+        obs::ScopedSpan frame_span(obs::Span::kFrame,
+                                   static_cast<std::int32_t>(i));
         if (!s.ctx) {
           s.ctx = std::make_unique<FrameContext>(vopts.hebs,
                                                  controller.power_model());
@@ -244,6 +250,8 @@ std::vector<core::FrameDecision> PipelineEngine::process_stream(
     // state exactly as serial per-frame processing would.
     util::PoolScope scope(post_pool.get());
     for (std::size_t k = 0; k < count; ++k) {
+      obs::ScopedSpan post_span(obs::Span::kFlickerPost,
+                                static_cast<std::int32_t>(begin + k));
       decisions.push_back(controller.apply_flicker_control(
           *slot_states[k].ctx, slot_states[k].raw));
     }
@@ -268,6 +276,7 @@ ColorFrameOutput run_color_stage(const hebs::image::RgbImage& rgb,
                                  const hebs::image::GrayImage& luma,
                                  const core::OperatingPoint& point,
                                  core::ColorMode mode) {
+  obs::ScopedSpan span(obs::Span::kColorRender);
   core::ColorRendering rendering = core::render_color(rgb, luma, point, mode);
   return {std::move(rendering.displayed), rendering.hue_error};
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/counters.h"
 #include "util/error.h"
 
 namespace hebs::pipeline {
@@ -121,6 +122,8 @@ void ThreadPool::parallel_for(
   HEBS_REQUIRE(t_running_pool != this,
                "parallel_for is not reentrant: the body must not call "
                "back into the pool that is running it");
+  obs::add(obs::Counter::kParallelForCalls);
+  obs::add(obs::Counter::kParallelForItems, n);
   if (threads_.empty()) {
     RunningPoolScope running(this);
     for (std::size_t i = 0; i < n; ++i) fn(i, 0);
@@ -132,7 +135,9 @@ void ThreadPool::parallel_for(
     // Concurrent external callers are legal and serialize here, FIFO
     // by wakeup: busy_ covers publication through teardown, so a
     // waiting caller can never observe (or clobber) another call's
-    // task state.
+    // task state.  A fan-out that finds the pool busy is the queue
+    // depth the observability layer reports.
+    if (busy_) obs::add(obs::Counter::kParallelForQueued);
     while (busy_) cv_done_.wait(mu_);
     busy_ = true;
     task_ = &fn;

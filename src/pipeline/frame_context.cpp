@@ -6,6 +6,8 @@
 #include "core/backlight.h"
 #include "core/ghe.h"
 #include "core/plc.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "pipeline/stages.h"
 #include "transform/lut.h"
 #include "util/error.h"
@@ -65,6 +67,9 @@ const hebs::histogram::Histogram& FrameContext::histogram() const {
 
 const hebs::histogram::Histogram& FrameContext::exact_histogram() const {
   if (!exact_hist_.has_value()) {
+    // The full recount (delta-refreshed histograms arrive via
+    // set_exact_histogram and never reach this branch).
+    obs::ScopedSpan span(obs::Span::kHistogram);
     exact_hist_ = hebs::histogram::Histogram::from_image(image());
   }
   return *exact_hist_;
@@ -123,6 +128,7 @@ core::HebsResult& lookup_mutable(
     hebs::util::PoolMap<std::pair<int, int>, core::HebsResult>& by_target) {
   const auto range_it = by_range.find(range);
   if (range_it != by_range.end()) {
+    obs::add(obs::Counter::kAtRangeHit);
     return *range_it->second;
   }
   // Ranges clamped by the image's brightest level collapse onto the same
@@ -132,8 +138,13 @@ core::HebsResult& lookup_mutable(
   const auto key = std::make_pair(target.g_min, target.g_max);
   auto target_it = by_target.find(key);
   if (target_it == by_target.end()) {
+    obs::add(obs::Counter::kAtRangeMiss);
     target_it =
         by_target.emplace(key, run_stages_at_range_lean(ctx, range)).first;
+  } else {
+    // A clamped-range alias of an already-run target still skipped the
+    // pipeline run, which is what the hit/miss ratio measures.
+    obs::add(obs::Counter::kAtRangeHit);
   }
   by_range.emplace(range, &target_it->second);
   return target_it->second;
@@ -163,6 +174,7 @@ using core::displayed_levels;
 /// lum.apply(img).to_gray() without expanding the double raster.
 hebs::image::GrayImage quantize_displayed(const hebs::image::GrayImage& img,
                                           const hebs::transform::FloatLut& lum) {
+  obs::ScopedSpan span(obs::Span::kLutApply);
   return lum.quantize().apply(img);
 }
 

@@ -9,6 +9,8 @@
 #include "core/distortion_curve.h"
 #include "core/ghe.h"
 #include "core/plc.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace hebs::pipeline {
@@ -184,11 +186,15 @@ constexpr int kBetaRefineIters = 12;
 void refine_beta(const FrameContext& ctx, double d_max_percent,
                  core::HebsResult& result, const SearchTrace* seed,
                  SearchTrace* trace) {
+  obs::ScopedSpan refine_span(obs::Span::kBetaRefine);
   const core::OperatingPoint base = result.point;
   const double min_beta = ctx.options().min_beta;
   // Lean evaluations: only the winning candidate's transformed raster
   // is materialized (below), not one per bisection probe.
   auto eval_at = [&](double beta) {
+    obs::add(obs::Counter::kBetaProbes);
+    obs::ScopedSpan probe_span(obs::Span::kBetaProbe,
+                               static_cast<std::int32_t>(beta * 1e6));
     const core::OperatingPoint p{base.luminance_transform,
                                  std::max(min_beta, beta)};
     return ctx.evaluate_lean(p);
@@ -230,8 +236,12 @@ void refine_beta(const FrameContext& ctx, double d_max_percent,
     std::size_t evals_n = 0;
     auto eval_memo = [&](double beta) -> const Probe& {
       for (std::size_t k = 0; k < evals_n; ++k) {
-        if (evals[k].beta == beta) return evals[k];
+        if (evals[k].beta == beta) {
+          obs::add(obs::Counter::kEvalMemoHit);
+          return evals[k];
+        }
       }
+      obs::add(obs::Counter::kEvalMemoMiss);
       const core::EvaluatedPoint ev = eval_at(beta);
       const Probe probe{beta, ev.distortion_percent, ev.saving_percent};
       if (evals_n == evals.size()) {
@@ -404,6 +414,7 @@ void refine_beta(const FrameContext& ctx, double d_max_percent,
     result.point = result.evaluation.point;
     ctx.materialize_transformed(result);
   }
+  refine_span.set_arg(static_cast<std::int32_t>(best_beta * 1000.0));
 }
 
 }  // namespace
@@ -413,6 +424,10 @@ core::HebsResult run_exact_traced(const FrameContext& ctx,
                                   const SearchTrace* seed,
                                   SearchTrace* trace) {
   HEBS_REQUIRE(d_max_percent >= 0.0, "distortion budget must be >= 0");
+  obs::add(obs::Counter::kFramesDecided);
+  // The decision span covers the range search and the nested β
+  // refinement; per-probe evaluations open their own child spans.
+  obs::ScopedSpan decide_span(obs::Span::kRangeSearch);
   const int hi = hebs::image::kMaxPixel - ctx.options().g_min;
   const int lo = std::min(ctx.options().min_range, hi);
   if (trace != nullptr) *trace = SearchTrace{};
@@ -422,6 +437,8 @@ core::HebsResult run_exact_traced(const FrameContext& ctx,
   // probe is memoized in the context (curves and scalars only — no
   // per-probe raster), so revisited ranges cost nothing.
   auto distortion_at = [&](int range) {
+    obs::add(obs::Counter::kRangeProbes);
+    obs::ScopedSpan probe_span(obs::Span::kRangeProbe, range);
     return ctx.distortion_at_range(range);
   };
 

@@ -3,6 +3,9 @@
 #include <cstddef>
 #include <utility>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace hebs::pipeline {
 
 namespace {
@@ -25,7 +28,12 @@ core::HebsResult TemporalReuse::process(FrameContext& ctx,
                                         const hebs::image::GrayImage& frame,
                                         double d_max_percent) {
   ++stats_.frames;
+  obs::add(obs::Counter::kTemporalFrames);
+  // Span arg = reuse level taken: 0 cold, 1 delta-refresh,
+  // 2 byte-identical (the trace's per-frame reuse annotation).
+  obs::ScopedSpan reuse_span(obs::Span::kTemporalReuse, 0);
   if (!opts_.enabled) {
+    obs::add(obs::Counter::kTemporalCold);
     ctx.rebind(frame);
     return run_exact(ctx, d_max_percent);
   }
@@ -60,6 +68,8 @@ core::HebsResult TemporalReuse::process(FrameContext& ctx,
     // run_exact is deterministic, so recomputing would reproduce it.
     ctx.rebind_unchanged(frame);
     ++stats_.unchanged;
+    obs::add(obs::Counter::kTemporalByteIdentical);
+    reuse_span.set_arg(2);
     result = prev_raw_;
   } else {
     ctx.rebind(frame);
@@ -67,6 +77,10 @@ core::HebsResult TemporalReuse::process(FrameContext& ctx,
       ctx.set_exact_histogram(refreshed);
       prev_hist_ = std::move(refreshed);
       ++stats_.incremental;
+      obs::add(obs::Counter::kTemporalDeltaRefresh);
+      reuse_span.set_arg(1);
+    } else {
+      obs::add(obs::Counter::kTemporalCold);
     }
     SearchTrace out;
     const SearchTrace* seed =
@@ -75,6 +89,7 @@ core::HebsResult TemporalReuse::process(FrameContext& ctx,
     result = run_exact_traced(ctx, d_max_percent, seed, &out);
     if (out.warmed) {
       ++stats_.warmed;
+      obs::add(obs::Counter::kTemporalWarmVerified);
       seed_cooldown_ = 0;
     } else if (seed != nullptr) {
       seed_cooldown_ = kSeedCooldown;

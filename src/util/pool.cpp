@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "obs/counters.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -97,6 +98,11 @@ void* pool_allocate(std::size_t bytes) {
         core->retained_bytes -= rounded;
         ++core->outstanding;
         ++core->hits;
+        // Process-global aggregates alongside the per-core fields:
+        // pools are per-worker and ephemeral, the registry outlives
+        // them all.  Relaxed atomics, fine under mu too.
+        obs::add(obs::Counter::kPoolRecycled);
+        obs::add(obs::Counter::kPoolBytesOutstanding, rounded);
         return payload_of(raw);
       }
     }
@@ -109,6 +115,8 @@ void* pool_allocate(std::size_t bytes) {
       ++core->outstanding;
       ++core->misses;
     }
+    obs::add(obs::Counter::kPoolFresh);
+    obs::add(obs::Counter::kPoolBytesOutstanding, rounded);
     *static_cast<BlockHeader*>(raw) = {core, rounded};
     return payload_of(raw);
   }
@@ -125,6 +133,7 @@ void pool_deallocate(void* p) noexcept {
     ::operator delete(header);
     return;
   }
+  obs::sub(obs::Counter::kPoolBytesOutstanding, header->bytes);
   bool destroy_core = false;
   {
     hebs::util::MutexLock lock(core->mu);
