@@ -70,11 +70,30 @@ using namespace hebs;
 /// dispatch (see main).
 bool g_stats = false;
 std::string g_trace_path;
+std::string g_fault_spec;
+long g_deadline_us = 0;
 
-/// Routes --trace into the config of whichever session a subcommand is
-/// about to create.
+/// Routes --trace/--fault/--deadline-us into the config of whichever
+/// session a subcommand is about to create.
 void apply_globals(SessionConfig& config) {
   if (!g_trace_path.empty()) config.trace_path(g_trace_path);
+  if (!g_fault_spec.empty()) config.fault_spec(g_fault_spec);
+  if (g_deadline_us > 0) config.frame_deadline_us(g_deadline_us);
+}
+
+/// Exit code for a run that completed but emitted degraded frames
+/// (identity fallbacks) — distinct from usage errors (2) and fatal
+/// errors (1) so scripts can tell "worked, degraded" from "failed".
+constexpr int kDegradedExit = 3;
+
+/// Reports one degraded frame's typed status on stderr
+/// ("frame 3 degraded [deadline-exceeded]: ...") and returns
+/// kDegradedExit for the caller to fold into its exit code.
+int report_degraded(std::size_t index, const FrameResult& r) {
+  std::fprintf(stderr, "frame %zu degraded [%s]: %s\n", index,
+               status_code_name(r.status.code()),
+               r.status.message().c_str());
+  return kDegradedExit;
 }
 
 int usage() {
@@ -98,7 +117,14 @@ int usage() {
       "  hebs_cli list-backends\n"
       "global flags (any subcommand):\n"
       "  --trace <path>   write a Chrome/Perfetto trace JSON of the run\n"
-      "  --stats          dump the observability counters on exit\n");
+      "  --stats          dump the observability counters on exit\n"
+      "  --fault <spec>   arm deterministic fault injection\n"
+      "                   (\"point[:key=val,...];...\", e.g.\n"
+      "                   worker-task:first=2 — see SessionConfig::\n"
+      "                   fault_spec); degraded frames are reported with\n"
+      "                   their typed status and exit code 3\n"
+      "  --deadline-us <n> soft per-frame deadline; a frame past it\n"
+      "                   degrades to the identity fallback (exit code 3)\n");
   return 2;
 }
 
@@ -204,6 +230,7 @@ int cmd_transform(int argc, char** argv) {
                 session->config().color_mode().c_str());
     image::write_ppm(to_rgb(result->displayed_rgb), out_path);
     std::printf("wrote %s\n", out_path.c_str());
+    if (result->degraded) return report_degraded(0, *result);
     return 0;
   }
 
@@ -213,6 +240,10 @@ int cmd_transform(int argc, char** argv) {
   report(*result);
   image::write_pgm(to_gray(result->displayed), out_path);
   std::printf("wrote %s\n", out_path.c_str());
+  // The single-frame path fails the call rather than degrading, but a
+  // session-wide fault spec can still mark batch-shaped internals; keep
+  // the exit-code contract uniform anyway.
+  if (result->degraded) return report_degraded(0, *result);
   return 0;
 }
 
@@ -327,12 +358,15 @@ int cmd_batch(int argc, char** argv) {
               session->thread_count());
   auto results = session->process_batch(frames, dmax);
   if (!results) return fail(results.status());
+  int rc = 0;
   for (std::size_t i = 0; i < results->size(); ++i) {
     const FrameResult& r = (*results)[i];
     std::printf("%-28s range [%d, %d]  beta %.3f  distortion %.2f%%  "
-                "saving %.2f%%\n",
+                "saving %.2f%%%s\n",
                 inputs[i].c_str(), r.g_min, r.g_max, r.beta,
-                r.distortion_percent, r.saving_percent);
+                r.distortion_percent, r.saving_percent,
+                r.degraded ? "  [degraded]" : "");
+    if (r.degraded) rc = report_degraded(i, r);
     if (!out_prefix.empty()) {
       // Index-prefixed flattened path: unique per input position, so no
       // two inputs (even identical paths) can overwrite each other.
@@ -344,7 +378,7 @@ int cmd_batch(int argc, char** argv) {
                        out_prefix + std::to_string(i) + "_" + base);
     }
   }
-  return 0;
+  return rc;
 }
 
 /// The synthetic video archetypes of bench_video_temporal, reproduced
@@ -435,6 +469,7 @@ int cmd_video(int argc, char** argv) {
   std::printf("video: %d frames at %dx%d per clip, D_max %.1f%%, "
               "%d thread(s)\n",
               frames, size, size, dmax, session->thread_count());
+  int rc = 0;
 
   for (const std::string& name : clip_names) {
     const auto clip = make_clip(name, frames, size);
@@ -452,20 +487,26 @@ int cmd_video(int argc, char** argv) {
     if (!results) return fail(results.status());
 
     int cuts = 0;
+    int degraded = 0;
     double beta_sum = 0.0;
     double saving_sum = 0.0;
-    for (const VideoFrameResult& r : *results) {
+    for (std::size_t i = 0; i < results->size(); ++i) {
+      const VideoFrameResult& r = (*results)[i];
       if (r.scene_cut) ++cuts;
+      if (r.frame.degraded) {
+        ++degraded;
+        rc = report_degraded(i, r.frame);
+      }
       beta_sum += r.beta;
       saving_sum += r.frame.saving_percent;
     }
     const auto count = static_cast<double>(results->size());
-    std::printf("  %-10s %zu frames  %d scene cut(s)  mean beta %.3f  "
-                "mean saving %.2f%%\n",
-                name.c_str(), results->size(), cuts, beta_sum / count,
-                saving_sum / count);
+    std::printf("  %-10s %zu frames  %d scene cut(s)  %d degraded  "
+                "mean beta %.3f  mean saving %.2f%%\n",
+                name.c_str(), results->size(), cuts, degraded,
+                beta_sum / count, saving_sum / count);
   }
-  return 0;
+  return rc;
 }
 
 }  // namespace
@@ -482,6 +523,12 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--trace") == 0) {
         if (i + 1 >= argc) return usage();
         g_trace_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--fault") == 0) {
+        if (i + 1 >= argc) return usage();
+        g_fault_spec = argv[++i];
+      } else if (std::strcmp(argv[i], "--deadline-us") == 0) {
+        if (i + 1 >= argc) return usage();
+        g_deadline_us = std::atol(argv[++i]);
       } else {
         args.push_back(argv[i]);
       }
@@ -524,12 +571,16 @@ int main(int argc, char** argv) {
       return usage();
     }
     // The session (and with it the trace file) is gone by now: the
-    // stats dump and the trace note describe a finished run.
-    if (rc == 0 && g_stats) {
+    // stats dump and the trace note describe a finished run.  A
+    // degraded run (exit 3) still completed, so its counters — the
+    // machine-readable record of what degraded and which fault points
+    // fired — are dumped too.
+    const bool completed = rc == 0 || rc == kDegradedExit;
+    if (completed && g_stats) {
       std::fputs(obs::counters_text(obs::snapshot_counters()).c_str(),
                  stdout);
     }
-    if (rc == 0 && !g_trace_path.empty()) {
+    if (completed && !g_trace_path.empty()) {
       std::fprintf(stderr, "trace written to %s\n", g_trace_path.c_str());
     }
     return rc;

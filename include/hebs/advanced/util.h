@@ -6,6 +6,7 @@
 
 #include "util/csv.h"  // IWYU pragma: export
 #include "util/error.h"  // IWYU pragma: export
+#include "util/faultpoint.h"  // IWYU pragma: export
 #include "util/mathutil.h"  // IWYU pragma: export
 #include "util/parallel.h"  // IWYU pragma: export
 #include "util/pool.h"  // IWYU pragma: export

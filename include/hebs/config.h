@@ -15,6 +15,7 @@
 // are resolved against the registries at Session::create time.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -139,14 +140,33 @@ class SessionConfig {
   }
   bool buffer_pool() const noexcept { return buffer_pool_; }
 
-  /// Cap on the bytes each buffer pool may retain on its free lists, in
-  /// MiB; 0 = unlimited.  Default 0 (a cap below the per-frame working
-  /// set reintroduces steady-state allocations).
+  /// Cap on each buffer pool, in MiB; 0 = unlimited.  Bounds both the
+  /// bytes a pool retains on its free lists and the bytes checked out
+  /// of it at once: exhaustion degrades to counted plain-heap blocks
+  /// (SessionStats::pool_heap_fallbacks) — it never fails a frame.
+  /// Default 0 (a cap below the per-frame working set reintroduces
+  /// steady-state allocations).
   SessionConfig& pool_max_mb(int mb) {
     pool_max_mb_ = mb;
     return *this;
   }
   int pool_max_mb() const noexcept { return pool_max_mb_; }
+
+  /// Soft per-frame deadline for batch/video processing, microseconds;
+  /// 0 = none.  A frame whose decision takes longer still completes,
+  /// but its result is replaced by the identity fallback (β = 1,
+  /// identity transform — zero distortion, zero saving) and marked
+  /// degraded with kDeadlineExceeded (FrameResult::status).  Soft: the
+  /// check runs after the frame's work, so an overrun is detected, not
+  /// preempted.  The single-frame process() path has no deadline (the
+  /// caller already observes its latency directly).  Default 0.
+  SessionConfig& frame_deadline_us(std::int64_t us) {
+    frame_deadline_us_ = us;
+    return *this;
+  }
+  std::int64_t frame_deadline_us() const noexcept {
+    return frame_deadline_us_;
+  }
 
   /// Temporal-coherence fast path for process_video: duplicate-frame
   /// reuse, incremental histogram updates, and warm-started searches
@@ -171,6 +191,26 @@ class SessionConfig {
   const std::string& curve_path() const noexcept { return curve_path_; }
 
   // ---------------------------------------------------- observability
+  /// Deterministic fault injection (testing/soak only): a
+  /// ';'-separated list of "point[:key=value,...]" specs arming the
+  /// library's named fault points, or "off"/"none" to disarm.  Points:
+  /// "pool-alloc", "worker-task", "frame-corrupt", "curve-io",
+  /// "trace-io", "stage-latency"; keys: first=N (1-based hit that fires
+  /// first, default 1), every=N (stride after that, default 1), count=N
+  /// (firing budget, 0 = unlimited, default 1), stall_us=N
+  /// (stage-latency only, default 1000).  Empty (default) = keep the
+  /// current process-global arming, or the HEBS_FAULT environment
+  /// variable when set.  Injection is process-global (like the kernel
+  /// backend) and installed at Session::create after everything else
+  /// can no longer fail; a malformed spec is a kInvalidOption there.
+  /// With no spec armed the fault machinery is a single predicted
+  /// branch per checkpoint — the zero-overhead off path.
+  SessionConfig& fault_spec(std::string spec) {
+    fault_spec_ = std::move(spec);
+    return *this;
+  }
+  const std::string& fault_spec() const noexcept { return fault_spec_; }
+
   /// Path to write a chrome://tracing / Perfetto JSON span trace of
   /// this session's processing.  Empty (default) = no tracing, unless
   /// the HEBS_TRACE environment variable names a path.  The file is
@@ -237,8 +277,10 @@ class SessionConfig {
   int threads_ = 0;
   bool buffer_pool_ = true;
   int pool_max_mb_ = 0;
+  std::int64_t frame_deadline_us_ = 0;
   bool temporal_reuse_ = true;
   std::string curve_path_;
+  std::string fault_spec_;
   std::string trace_path_;
   int characterization_size_ = 96;
   double max_beta_step_ = 0.04;

@@ -58,6 +58,20 @@ struct SessionStats {
   std::uint64_t dispatch_avx2 = 0;
   std::uint64_t dispatch_neon = 0;
 
+  // ---- failure containment & degradation (DESIGN.md §14)
+  std::uint64_t frames_degraded = 0;      ///< identity fallbacks emitted
+  std::uint64_t deadline_misses = 0;      ///< soft frame deadlines blown
+  std::uint64_t pool_heap_fallbacks = 0;  ///< pool-cap overflows to heap
+
+  // ---- injected faults fired, by fault point (testing/soak only;
+  //      all zero unless a fault spec is armed)
+  std::uint64_t fault_pool_alloc = 0;
+  std::uint64_t fault_worker_task = 0;
+  std::uint64_t fault_frame_corrupt = 0;
+  std::uint64_t fault_curve_io = 0;
+  std::uint64_t fault_trace_io = 0;
+  std::uint64_t fault_stage_latency = 0;
+
   /// Prometheus-style text dump: one "name value" line per field, names
   /// matching the library's counter registry
   /// ("hebs_frames_decided_total 12", ...).

@@ -26,6 +26,8 @@ enum class StatusCode {
   kUnknownBackend, ///< kernel backend name not usable on this machine
   kIoError,        ///< loading/saving an external resource failed
   kInternal,       ///< unexpected failure inside the library
+  kDeadlineExceeded,  ///< a frame blew its soft deadline; identity
+                      ///< fallback emitted (see FrameResult::degraded)
 };
 
 /// Stable kebab-case name of a status code ("invalid-option", ...).

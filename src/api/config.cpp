@@ -53,6 +53,13 @@ Status SessionConfig::validate() const {
     return invalid("pool_max_mb", ">= 0 (0 = unlimited)",
                    std::to_string(pool_max_mb_));
   }
+  if (frame_deadline_us_ < 0) {
+    return invalid("frame_deadline_us", ">= 0 (0 = no deadline)",
+                   std::to_string(frame_deadline_us_));
+  }
+  // The fault-spec grammar is validated at Session::create (where a
+  // violation can name the offending clause without this header pulling
+  // in the parser); the field itself has no domain to check here.
   if (characterization_size_ < 16) {
     return invalid("characterization_size", ">= 16",
                    std::to_string(characterization_size_));

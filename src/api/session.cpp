@@ -24,6 +24,7 @@
 #include "pipeline/engine.h"
 #include "power/lcd_power.h"
 #include "util/error.h"
+#include "util/faultpoint.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -131,12 +132,33 @@ Status check_budget(double d_max_percent) {
 
 /// Anything the internal layers still throw after facade-side
 /// validation is a library bug, surfaced as kInternal rather than a
-/// crash; I/O failures keep their own code.
-Status from_exception(const std::exception& e) {
-  if (dynamic_cast<const hebs::util::IoError*>(&e) != nullptr) {
-    return Status(StatusCode::kIoError, e.what());
-  }
-  return Status(StatusCode::kInternal, e.what());
+/// crash; I/O failures keep their own code.  `where` names the entry
+/// point (and, where known, the frame) so no kInternal ever reads as a
+/// bare "unexpected failure" — the message always says which call and
+/// which stage produced it.
+Status from_exception(const std::exception& e, const std::string& where) {
+  const StatusCode code =
+      dynamic_cast<const hebs::util::IoError*>(&e) != nullptr
+          ? StatusCode::kIoError
+          : StatusCode::kInternal;
+  return Status(code, where + ": " + e.what());
+}
+
+/// The typed per-frame status of a containment record (engine
+/// batch/stream paths): kOk for a computed frame, else the cause —
+/// deadline, I/O, or internal — with the engine's stage-and-frame
+/// message.
+Status fault_status(const pipeline::FrameFault& f) {
+  if (!f.degraded) return Status();
+  if (f.deadline) return Status(StatusCode::kDeadlineExceeded, f.message);
+  if (f.io) return Status(StatusCode::kIoError, f.message);
+  return Status(StatusCode::kInternal, f.message);
+}
+
+/// Copies one containment record onto the stable result type.
+void fill_fault(const pipeline::FrameFault& f, FrameResult& out) {
+  out.degraded = f.degraded;
+  out.status = fault_status(f);
 }
 
 /// The trace destination this config asks for: the explicit option, or
@@ -144,6 +166,15 @@ Status from_exception(const std::exception& e) {
 std::string resolve_trace_path(const SessionConfig& cfg) {
   if (!cfg.trace_path().empty()) return cfg.trace_path();
   const char* env = std::getenv("HEBS_TRACE");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+/// The fault-injection spec this config asks for: the explicit option,
+/// or the HEBS_FAULT environment variable as the fallback.  Empty =
+/// keep the current process-global arming.
+std::string resolve_fault_spec(const SessionConfig& cfg) {
+  if (!cfg.fault_spec().empty()) return cfg.fault_spec();
+  const char* env = std::getenv("HEBS_FAULT");
   return env != nullptr ? std::string(env) : std::string();
 }
 
@@ -228,9 +259,14 @@ struct Session::Impl {
     opts.num_threads = cfg.threads();
     opts.hebs = hebs_opts;
     opts.use_buffer_pool = cfg.buffer_pool();
+    // One MiB knob bounds both pool budgets: retention (free lists) and
+    // outstanding checkout (exhaustion degrades to counted heap blocks
+    // rather than failing a frame — see EngineOptions::pool_max_bytes).
     opts.pool_max_retained_bytes =
         static_cast<std::size_t>(cfg.pool_max_mb()) * 1024 * 1024;
+    opts.pool_max_bytes = opts.pool_max_retained_bytes;
     opts.temporal_reuse = cfg.temporal_reuse();
+    opts.frame_deadline_us = cfg.frame_deadline_us();
     return opts;
   }
 
@@ -244,6 +280,7 @@ struct Session::Impl {
     opts.num_threads = cfg.threads();
     opts.temporal_reuse = cfg.temporal_reuse();
     opts.use_buffer_pool = cfg.buffer_pool();
+    opts.frame_deadline_us = cfg.frame_deadline_us();
     return opts;
   }
 
@@ -286,7 +323,11 @@ struct Session::Impl {
                     .choose(img, d_max_percent);
         break;
       default:
-        return Status(StatusCode::kInternal, "unhandled baseline policy");
+        return Status(StatusCode::kInternal,
+                      "run_baseline: policy \"" + policy->entry.name +
+                          "\" (kind " +
+                          std::to_string(static_cast<int>(policy->kind)) +
+                          ") reached the baseline dispatcher unhandled");
     }
     return to_frame_result(
         core::evaluate_operating_point(img, point, model,
@@ -355,6 +396,18 @@ Expected<Session> Session::create(SessionConfig config) {
                       "\" is report-only (attached to color results as "
                       "hue_error) and cannot drive the decision loop");
   }
+  // Validate the requested fault-injection spec up front, but only
+  // install it once nothing else can fail — like the kernel backend,
+  // arming is process-global state a failed create must not disturb.
+  const std::string fault_spec = resolve_fault_spec(config);
+  if (!fault_spec.empty() && fault_spec != "off" && fault_spec != "none") {
+    std::vector<util::fault::Spec> parsed;
+    std::string parse_error;
+    if (!util::fault::parse_spec_list(fault_spec, &parsed, &parse_error)) {
+      return Status(StatusCode::kInvalidOption,
+                    "fault_spec \"" + fault_spec + "\": " + parse_error);
+    }
+  }
   // Validate the requested kernel backend up front, but only switch the
   // process-global selection once nothing else can fail — a failed
   // create must leave the process state untouched.
@@ -411,6 +464,13 @@ Expected<Session> Session::create(SessionConfig config) {
     // changes throughput, never results.  Validated above: cannot fail.
     kernels::set_backend(requested_backend->name);
   }
+  if (!fault_spec.empty()) {
+    // Parsed above: cannot fail here.  Installed while the process is
+    // quiescent for this session (nothing has run yet), per the
+    // faultpoint install contract; "off"/"none" disarms every point.
+    std::string install_error;
+    (void)util::fault::install_from_string(fault_spec, &install_error);
+  }
   if (!trace_path.empty()) {
     // Ring buffers are allocated here, at session setup — the record
     // path never allocates (the zero-alloc steady-state contract).
@@ -452,6 +512,15 @@ SessionStats Session::stats() const noexcept {
   s.dispatch_sse42 = d[obs::Counter::kDispatchSse42];
   s.dispatch_avx2 = d[obs::Counter::kDispatchAvx2];
   s.dispatch_neon = d[obs::Counter::kDispatchNeon];
+  s.frames_degraded = d[obs::Counter::kFramesDegraded];
+  s.deadline_misses = d[obs::Counter::kDeadlineMiss];
+  s.pool_heap_fallbacks = d[obs::Counter::kPoolHeapFallback];
+  s.fault_pool_alloc = d[obs::Counter::kFaultPoolAlloc];
+  s.fault_worker_task = d[obs::Counter::kFaultWorkerTask];
+  s.fault_frame_corrupt = d[obs::Counter::kFaultFrameCorrupt];
+  s.fault_curve_io = d[obs::Counter::kFaultCurveIo];
+  s.fault_trace_io = d[obs::Counter::kFaultTraceIo];
+  s.fault_stage_latency = d[obs::Counter::kFaultStageLatency];
   return s;
 }
 
@@ -504,7 +573,7 @@ Expected<FrameResult> Session::process(const FrameRequest& request) {
     fill_breakdown(counters_before, elapsed_ms(), *result);
     return result;
   } catch (const std::exception& e) {
-    return from_exception(e);
+    return from_exception(e, "process: frame 0");
   }
 }
 
@@ -525,16 +594,20 @@ Expected<std::vector<FrameResult>> Session::process_batch(
     }
     std::vector<FrameResult> out;
     out.reserve(images.size());
+    std::vector<pipeline::FrameFault> faults;
     switch (impl_->policy->kind) {
       case PolicyKind::kHebsExact:
-        for (auto& r : impl_->engine.process_batch(images, d_max_percent)) {
+        for (auto& r :
+             impl_->engine.process_batch(images, d_max_percent, &faults)) {
           out.push_back(to_frame_result(r));
+          fill_fault(faults[out.size() - 1], out.back());
         }
         break;
       case PolicyKind::kHebsCurve:
         for (auto& r : impl_->engine.process_batch_with_curve(
-                 images, d_max_percent, impl_->ensure_curve())) {
+                 images, d_max_percent, impl_->ensure_curve(), &faults)) {
           out.push_back(to_frame_result(r));
+          fill_fault(faults[out.size() - 1], out.back());
         }
         break;
       default:
@@ -549,7 +622,7 @@ Expected<std::vector<FrameResult>> Session::process_batch(
     }
     return out;
   } catch (const std::exception& e) {
-    return from_exception(e);
+    return from_exception(e, "process_batch");
   }
 }
 
@@ -570,15 +643,17 @@ Expected<std::vector<FrameResult>> Session::process_batch_color(
     }
     std::vector<FrameResult> out;
     out.reserve(rgbs.size());
+    std::vector<pipeline::FrameFault> faults;
     switch (impl_->policy->kind) {
       case PolicyKind::kHebsExact:
         // The engine runs the color stage on the worker that decided
         // the frame, so batch color scales with the pool like gray
         // batches.
         for (auto& r : impl_->engine.process_batch_color(
-                 rgbs, d_max_percent, impl_->color_mode)) {
+                 rgbs, d_max_percent, impl_->color_mode, &faults)) {
           FrameResult fr = to_frame_result(r.luma);
           fill_color(r.color.displayed, r.color.hue_error, fr);
+          fill_fault(faults[out.size()], fr);
           out.push_back(std::move(fr));
         }
         break;
@@ -591,10 +666,11 @@ Expected<std::vector<FrameResult>> Session::process_batch_color(
         lumas.reserve(rgbs.size());
         for (const auto& rgb : rgbs) lumas.push_back(rgb.to_luma());
         auto results = impl_->engine.process_batch_with_curve(
-            lumas, d_max_percent, impl_->ensure_curve());
+            lumas, d_max_percent, impl_->ensure_curve(), &faults);
         for (std::size_t i = 0; i < results.size(); ++i) {
           FrameResult fr = to_frame_result(results[i]);
           impl_->render_color(rgbs[i], lumas[i], fr);
+          fill_fault(faults[i], fr);
           out.push_back(std::move(fr));
         }
         break;
@@ -614,7 +690,7 @@ Expected<std::vector<FrameResult>> Session::process_batch_color(
     }
     return out;
   } catch (const std::exception& e) {
-    return from_exception(e);
+    return from_exception(e, "process_batch_color");
   }
 }
 
@@ -639,16 +715,19 @@ Expected<std::vector<VideoFrameResult>> Session::process_video(
     for (const ImageView& view : frames) {
       images.push_back(api::materialize_gray(view));
     }
+    std::vector<pipeline::FrameFault> faults;
     const auto decisions = impl_->engine.process_stream(
-        images, impl_->make_video_options(d_max_percent));
+        images, impl_->make_video_options(d_max_percent), &faults);
     std::vector<VideoFrameResult> out;
     out.reserve(decisions.size());
-    for (const auto& d : decisions) {
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+      const auto& d = decisions[i];
       out.push_back({d.raw_beta, d.beta, d.scene_cut, to_frame_result(d)});
+      fill_fault(faults[i], out.back().frame);
     }
     return out;
   } catch (const std::exception& e) {
-    return from_exception(e);
+    return from_exception(e, "process_video");
   }
 }
 
@@ -673,19 +752,23 @@ Expected<std::vector<VideoFrameResult>> Session::process_video_color(
     for (const ImageView& view : frames) {
       rgbs.push_back(api::materialize_rgb(view));
     }
+    std::vector<pipeline::FrameFault> faults;
     const auto results = impl_->engine.process_stream_color(
-        rgbs, impl_->make_video_options(d_max_percent), impl_->color_mode);
+        rgbs, impl_->make_video_options(d_max_percent), impl_->color_mode,
+        &faults);
     std::vector<VideoFrameResult> out;
     out.reserve(results.size());
-    for (const auto& r : results) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
       VideoFrameResult v{r.decision.raw_beta, r.decision.beta,
                          r.decision.scene_cut, to_frame_result(r.decision)};
       fill_color(r.color.displayed, r.color.hue_error, v.frame);
+      fill_fault(faults[i], v.frame);
       out.push_back(std::move(v));
     }
     return out;
   } catch (const std::exception& e) {
-    return from_exception(e);
+    return from_exception(e, "process_video_color");
   }
 }
 

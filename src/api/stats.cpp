@@ -54,6 +54,18 @@ std::string SessionStats::to_text() const {
   append_line(out, counter_name(Counter::kDispatchSse42), dispatch_sse42);
   append_line(out, counter_name(Counter::kDispatchAvx2), dispatch_avx2);
   append_line(out, counter_name(Counter::kDispatchNeon), dispatch_neon);
+  append_line(out, counter_name(Counter::kFramesDegraded), frames_degraded);
+  append_line(out, counter_name(Counter::kDeadlineMiss), deadline_misses);
+  append_line(out, counter_name(Counter::kPoolHeapFallback),
+              pool_heap_fallbacks);
+  append_line(out, counter_name(Counter::kFaultPoolAlloc), fault_pool_alloc);
+  append_line(out, counter_name(Counter::kFaultWorkerTask), fault_worker_task);
+  append_line(out, counter_name(Counter::kFaultFrameCorrupt),
+              fault_frame_corrupt);
+  append_line(out, counter_name(Counter::kFaultCurveIo), fault_curve_io);
+  append_line(out, counter_name(Counter::kFaultTraceIo), fault_trace_io);
+  append_line(out, counter_name(Counter::kFaultStageLatency),
+              fault_stage_latency);
   return out;
 }
 

@@ -14,6 +14,7 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kUnknownBackend: return "unknown-backend";
     case StatusCode::kIoError: return "io-error";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }

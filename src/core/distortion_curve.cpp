@@ -8,6 +8,7 @@
 #include "pipeline/frame_context.h"
 #include "util/csv.h"
 #include "util/error.h"
+#include "util/faultpoint.h"
 #include "util/mathutil.h"
 
 namespace hebs::core {
@@ -78,6 +79,9 @@ double DistortionCurve::worst_distortion(int range) const {
 }
 
 void DistortionCurve::save(const std::string& path) const {
+  // Curve persistence fault point (an injected IoError behaves exactly
+  // like an unwritable destination).
+  util::fault::maybe_fail(util::fault::Point::kCurveIo);
   util::CsvWriter csv(path);
   csv.write_row({"curve", "range_lo", "range_hi", "c0", "c1", "c2"});
   auto row = [&csv, this](const char* name, const fit::Poly& poly) {
@@ -94,6 +98,9 @@ void DistortionCurve::save(const std::string& path) const {
 }
 
 DistortionCurve DistortionCurve::load(const std::string& path) {
+  // Curve-load fault point (an injected IoError behaves exactly like an
+  // unreadable/corrupt CSV).
+  util::fault::maybe_fail(util::fault::Point::kCurveIo);
   std::ifstream in(path);
   if (!in) throw util::IoError("cannot open distortion curve: " + path);
   std::string line;

@@ -89,6 +89,21 @@ FrameDecision VideoBacklightController::apply_flicker_control(
   return decision;
 }
 
+FrameDecision VideoBacklightController::apply_degraded(
+    const HebsResult& fallback) {
+  FrameDecision decision;
+  decision.raw_beta = fallback.point.beta;  // 1.0: the identity fallback
+  decision.beta = fallback.point.beta;
+  decision.scene_cut = false;
+  decision.point = fallback.point;
+  decision.evaluation = fallback.evaluation;
+  // Stream discontinuity: forget the β/histogram history so the next
+  // frame starts the stream cold (bit-identical to a fresh controller).
+  prev_beta_.reset();
+  prev_hist_.reset();
+  return decision;
+}
+
 std::vector<FrameDecision> VideoBacklightController::process_clip(
     const std::vector<hebs::image::GrayImage>& frames) {
   // Stream mode takes its HebsOptions from this controller's
@@ -97,6 +112,7 @@ std::vector<FrameDecision> VideoBacklightController::process_clip(
   engine_opts.num_threads = opts_.num_threads;
   engine_opts.temporal_reuse = opts_.temporal_reuse;
   engine_opts.use_buffer_pool = opts_.use_buffer_pool;
+  engine_opts.frame_deadline_us = opts_.frame_deadline_us;
   hebs::pipeline::PipelineEngine engine(engine_opts, power_model_);
   return engine.process_stream(frames, *this);
 }

@@ -10,6 +10,7 @@
 // consecutive frames.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -48,6 +49,9 @@ struct VideoOptions {
   /// Per-slot recycling buffer pools in process_clip (zero-allocation
   /// steady state).  Decisions are identical either way.
   bool use_buffer_pool = true;
+  /// Soft per-frame deadline for process_clip's engine-backed search,
+  /// microseconds; 0 = none.  See EngineOptions::frame_deadline_us.
+  std::int64_t frame_deadline_us = 0;
 };
 
 /// What the controller decided for one frame.
@@ -105,6 +109,16 @@ class VideoBacklightController {
   friend class hebs::pipeline::PipelineEngine;
   FrameDecision apply_flicker_control(hebs::pipeline::FrameContext& ctx,
                                       const HebsResult& raw);
+
+  /// The ordered post-stage for a frame whose search was contained as a
+  /// fault (engine stream mode): emits the identity decision carried by
+  /// `fallback` (β = 1 — the provably-safe point; dimming through a
+  /// rate-limited β would need the quarantined frame state to re-derive
+  /// Λ) and resets the flicker history, treating the degraded frame as
+  /// a stream discontinuity.  This is what makes every frame after a
+  /// fault bit-identical to a cold run started there: the controller
+  /// restarts exactly as it would at a clip boundary.
+  FrameDecision apply_degraded(const HebsResult& fallback);
 
   VideoOptions opts_;
   hebs::power::LcdSubsystemPower power_model_;

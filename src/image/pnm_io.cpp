@@ -77,6 +77,21 @@ std::uint8_t scale_to_255(int raw, int maxval) {
   return static_cast<std::uint8_t>((raw * 255 + maxval / 2) / maxval);
 }
 
+/// Validates one binary (P5/P6) sample against the header's maxval.
+/// The ASCII paths already reject out-of-range samples; without this
+/// the binary paths would scale an over-maxval byte past 255 and wrap
+/// silently through the uint8_t cast — corrupt data accepted as pixels.
+std::uint8_t scale_binary(unsigned char raw, int maxval,
+                          const std::string& path, const char* kind) {
+  if (static_cast<int>(raw) > maxval) {
+    throw util::IoError(std::string(kind) + " binary sample " +
+                        std::to_string(static_cast<int>(raw)) +
+                        " exceeds maxval " + std::to_string(maxval) + " in " +
+                        path);
+  }
+  return scale_to_255(raw, maxval);
+}
+
 }  // namespace
 
 void write_pgm(const GrayImage& img, const std::string& path) {
@@ -129,7 +144,8 @@ GrayImage read_pgm(const std::string& path) {
       throw util::IoError("truncated PGM pixel data in " + path);
     }
     for (std::size_t i = 0; i < buf.size(); ++i) {
-      dst[i] = scale_to_255(static_cast<std::uint8_t>(buf[i]), h.maxval);
+      dst[i] = scale_binary(static_cast<unsigned char>(buf[i]), h.maxval,
+                            path, "PGM");
     }
   } else {
     for (std::size_t i = 0; i < img.size(); ++i) {
@@ -159,7 +175,8 @@ RgbImage read_ppm(const std::string& path) {
       throw util::IoError("truncated PPM pixel data in " + path);
     }
     for (std::size_t i = 0; i < buf.size(); ++i) {
-      dst[i] = scale_to_255(static_cast<std::uint8_t>(buf[i]), h.maxval);
+      dst[i] = scale_binary(static_cast<unsigned char>(buf[i]), h.maxval,
+                            path, "PPM");
     }
   } else {
     for (std::size_t i = 0; i < dst.size(); ++i) {

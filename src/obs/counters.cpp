@@ -59,6 +59,24 @@ const char* counter_name(Counter c) noexcept {
       return "hebs_parallel_for_items_total";
     case Counter::kParallelForQueued:
       return "hebs_parallel_for_queued_total";
+    case Counter::kFaultPoolAlloc:
+      return "hebs_fault_injected_pool_alloc_total";
+    case Counter::kFaultWorkerTask:
+      return "hebs_fault_injected_worker_task_total";
+    case Counter::kFaultFrameCorrupt:
+      return "hebs_fault_injected_frame_corrupt_total";
+    case Counter::kFaultCurveIo:
+      return "hebs_fault_injected_curve_io_total";
+    case Counter::kFaultTraceIo:
+      return "hebs_fault_injected_trace_io_total";
+    case Counter::kFaultStageLatency:
+      return "hebs_fault_injected_stage_latency_total";
+    case Counter::kFramesDegraded:
+      return "hebs_frames_degraded_total";
+    case Counter::kDeadlineMiss:
+      return "hebs_deadline_miss_total";
+    case Counter::kPoolHeapFallback:
+      return "hebs_pool_heap_fallback_total";
     case Counter::kCounterCount_:
       break;
   }

@@ -64,6 +64,23 @@ enum class Counter : std::size_t {
   kParallelForCalls,
   kParallelForItems,
   kParallelForQueued,
+  // Fault injection (util/faultpoint.h): firings per registered point.
+  // Zero in production — nonzero only under an installed HEBS_FAULT /
+  // SessionConfig::fault_spec spec, where tests match them against the
+  // expected injection count.
+  kFaultPoolAlloc,
+  kFaultWorkerTask,
+  kFaultFrameCorrupt,
+  kFaultCurveIo,
+  kFaultTraceIo,
+  kFaultStageLatency,
+  // Graceful degradation: frames that emitted the identity fallback
+  // (contained fault or blown deadline), frames that specifically blew
+  // the soft per-frame deadline, and pool allocations served as counted
+  // heap fallbacks because the pool's byte cap was exhausted.
+  kFramesDegraded,
+  kDeadlineMiss,
+  kPoolHeapFallback,
   kCounterCount_,
 };
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "util/error.h"
+#include "util/faultpoint.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -222,6 +223,9 @@ std::vector<CollectedSpan> collect_trace() {
 }
 
 void write_chrome_trace(const std::string& path) {
+  // Trace-write fault point (an injected IoError behaves exactly like a
+  // destination that vanished between create and write).
+  hebs::util::fault::maybe_fail(hebs::util::fault::Point::kTraceIo);
   const auto spans = collect_trace();
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {

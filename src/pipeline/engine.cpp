@@ -1,16 +1,20 @@
 #include "pipeline/engine.h"
 
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/distortion_curve.h"
+#include "obs/counters.h"
 #include "obs/trace.h"
 #include "pipeline/stages.h"
 #include "pipeline/temporal.h"
 #include "util/error.h"
+#include "util/faultpoint.h"
 #include "util/parallel.h"
 #include "util/pool.h"
 
@@ -27,7 +31,64 @@ namespace {
 std::unique_ptr<util::BufferPool> make_pool(const EngineOptions& opts) {
   if (!opts.use_buffer_pool) return nullptr;  // null scope = plain heap
   return std::make_unique<util::BufferPool>(
-      util::PoolOptions{opts.pool_max_retained_bytes});
+      util::PoolOptions{opts.pool_max_retained_bytes, opts.pool_max_bytes});
+}
+
+// ---- fault containment helpers (DESIGN.md §14) ------------------------
+
+/// The provably-safe result a degraded frame emits: β = 1 and the
+/// identity LUT — the display shows the unmodified frame (zero
+/// distortion) at full backlight (zero saving).  Power reports stay
+/// zero: power accounting is not available for a frame whose pipeline
+/// never completed.  Runs under a SuppressScope so a persistent
+/// injected fault (e.g. pool-alloc:count=0) cannot re-fire inside its
+/// own containment handler.
+core::HebsResult identity_fallback(const hebs::image::GrayImage& frame) {
+  util::fault::SuppressScope no_refire;
+  core::HebsResult r;
+  r.point = core::identity_operating_point();
+  r.lambda = r.point.luminance_transform;
+  r.target = {0, hebs::image::kMaxPixel};
+  r.evaluation.point = r.point;
+  r.evaluation.transformed = frame;  // identity: displayed == input
+  return r;
+}
+
+bool is_io_error(const std::exception& e) noexcept {
+  return dynamic_cast<const util::IoError*>(&e) != nullptr;
+}
+
+std::string fault_message(const char* stage, std::size_t frame,
+                          const char* what) {
+  return "frame " + std::to_string(frame) + ": " + stage + " stage: " + what;
+}
+
+std::string deadline_message(const char* stage, std::size_t frame,
+                             std::int64_t deadline_us) {
+  return "frame " + std::to_string(frame) + ": " + stage +
+         " stage: frame deadline " + std::to_string(deadline_us) +
+         " us exceeded; identity fallback emitted";
+}
+
+void record_fault(std::vector<FrameFault>* faults, std::size_t i, bool io,
+                  std::string message, bool deadline = false) {
+  obs::add(obs::Counter::kFramesDegraded);
+  if (faults == nullptr) return;
+  FrameFault& f = (*faults)[i];
+  f.degraded = true;
+  f.io = io;
+  f.deadline = deadline;
+  f.message = std::move(message);
+}
+
+using DeadlineClock = std::chrono::steady_clock;
+
+bool deadline_blown(const EngineOptions& opts,
+                    DeadlineClock::time_point start) {
+  if (opts.frame_deadline_us <= 0) return false;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             DeadlineClock::now() - start)
+             .count() > opts.frame_deadline_us;
 }
 
 /// RowExecutor backed by the engine's ThreadPool: fans one frame's
@@ -76,12 +137,57 @@ class PoolRowExecutor final : public util::RowExecutor {
 /// rebound FrameContext drawing from its own recycling buffer pool.
 /// Results land at their frame's index, so output order never depends
 /// on scheduling.
-template <typename Result, typename PerFrame>
+///
+/// Containment: a frame whose work throws (or blows the frame deadline)
+/// lands `fallback(i)` at its index instead of failing the batch, and
+/// the worker's context is discarded — its memo state may be mid-update,
+/// and no later frame may read poisoned caches.  The next frame on that
+/// worker starts from a fresh context, so post-fault frames are
+/// bit-identical to a cold run.
+template <typename Result, typename PerFrame, typename Fallback>
 std::vector<Result> map_frames(ThreadPool& pool, const EngineOptions& opts,
                                std::span<const hebs::image::GrayImage> images,
                                const hebs::power::LcdSubsystemPower& model,
-                               PerFrame&& per_frame) {
+                               PerFrame&& per_frame, Fallback&& fallback,
+                               std::vector<FrameFault>* faults) {
+  if (faults != nullptr) {
+    faults->clear();
+    faults->resize(images.size());
+  }
   std::vector<Result> results(images.size());
+  // The per-frame containment body, shared by the inline single-frame
+  // path and the fan-out.  The SuppressScope around the fallback keeps
+  // a persistent injected fault from re-firing inside the handler.
+  const auto run_contained = [&](std::unique_ptr<FrameContext>& ctx,
+                                 std::size_t i) {
+    const auto start = DeadlineClock::now();
+    try {
+      util::fault::maybe_fail(util::fault::Point::kWorkerTask);
+      if (!ctx) ctx = std::make_unique<FrameContext>(opts.hebs, model);
+      ctx->rebind(images[i]);
+      results[i] = per_frame(*ctx, i);
+    } catch (const util::InvalidArgument&) {
+      // Precondition violations are caller bugs, not runtime faults:
+      // degrading would hide them, so they propagate out of the batch
+      // (the pool rethrows the first one after the barrier).
+      throw;
+    } catch (const std::exception& e) {
+      ctx.reset();  // quarantine
+      util::fault::SuppressScope no_refire;
+      results[i] = fallback(i);
+      record_fault(faults, i, is_io_error(e),
+                   fault_message("search", i, e.what()));
+      return;
+    }
+    if (deadline_blown(opts, start)) {
+      obs::add(obs::Counter::kDeadlineMiss);
+      util::fault::SuppressScope no_refire;
+      results[i] = fallback(i);
+      record_fault(faults, i, /*io=*/false,
+                   deadline_message("search", i, opts.frame_deadline_us),
+                   /*deadline=*/true);
+    }
+  };
   if (images.size() == 1) {
     // Single frame: frame-level fan-out cannot help, so run inline on
     // the calling thread (no pool wake) and repurpose the idle workers
@@ -95,10 +201,9 @@ std::vector<Result> map_frames(ThreadPool& pool, const EngineOptions& opts,
       rows.emplace(pool);
       rows_scope.emplace(&*rows);
     }
-    FrameContext ctx(opts.hebs, model);
+    std::unique_ptr<FrameContext> ctx;
     obs::ScopedSpan frame_span(obs::Span::kFrame, 0);
-    ctx.rebind(images[0]);
-    results[0] = per_frame(ctx, std::size_t{0});
+    run_contained(ctx, 0);
     return results;
   }
   const auto workers = static_cast<std::size_t>(pool.thread_count());
@@ -110,10 +215,7 @@ std::vector<Result> map_frames(ThreadPool& pool, const EngineOptions& opts,
     util::PoolScope scope(pools[w].get());
     obs::ScopedSpan frame_span(obs::Span::kFrame,
                                static_cast<std::int32_t>(i));
-    auto& ctx = contexts[w];
-    if (!ctx) ctx = std::make_unique<FrameContext>(opts.hebs, model);
-    ctx->rebind(images[i]);
-    results[i] = per_frame(*ctx, i);
+    run_contained(contexts[w], i);
   });
   // Contexts must release their pooled caches before the pools detach
   // (detached blocks go back to the heap instead of recycling — only a
@@ -125,37 +227,50 @@ std::vector<Result> map_frames(ThreadPool& pool, const EngineOptions& opts,
 }  // namespace
 
 std::vector<core::HebsResult> PipelineEngine::process_batch(
-    std::span<const hebs::image::GrayImage> images, double d_max_percent) {
+    std::span<const hebs::image::GrayImage> images, double d_max_percent,
+    std::vector<FrameFault>* faults) {
   return map_frames<core::HebsResult>(
       pool_, opts_, images, model_,
       [d_max_percent](FrameContext& ctx, std::size_t) {
         return run_exact(ctx, d_max_percent);
-      });
+      },
+      [&images](std::size_t i) { return identity_fallback(images[i]); },
+      faults);
 }
 
 std::vector<core::HebsResult> PipelineEngine::process_batch_at_range(
-    std::span<const hebs::image::GrayImage> images, int range) {
+    std::span<const hebs::image::GrayImage> images, int range,
+    std::vector<FrameFault>* faults) {
   return map_frames<core::HebsResult>(
       pool_, opts_, images, model_,
       [range](FrameContext& ctx, std::size_t) {
         return ctx.at_range(range);
-      });
+      },
+      [&images](std::size_t i) { return identity_fallback(images[i]); },
+      faults);
 }
 
 std::vector<core::HebsResult> PipelineEngine::process_batch_with_curve(
     std::span<const hebs::image::GrayImage> images, double d_max_percent,
-    const core::DistortionCurve& curve) {
+    const core::DistortionCurve& curve, std::vector<FrameFault>* faults) {
   return map_frames<core::HebsResult>(
       pool_, opts_, images, model_,
       [d_max_percent, &curve](FrameContext& ctx, std::size_t) {
         return run_with_curve(ctx, d_max_percent, curve);
-      });
+      },
+      [&images](std::size_t i) { return identity_fallback(images[i]); },
+      faults);
 }
 
 std::vector<core::FrameDecision> PipelineEngine::process_stream(
     std::span<const hebs::image::GrayImage> frames,
-    core::VideoBacklightController& controller) {
+    core::VideoBacklightController& controller,
+    std::vector<FrameFault>* faults) {
   const core::VideoOptions& vopts = controller.options();
+  if (faults != nullptr) {
+    faults->clear();
+    faults->resize(frames.size());
+  }
 
   // Optional sampling front end: estimate per-frame histograms with the
   // decimating estimator.  Ingestion is ordered (the estimator is
@@ -210,6 +325,21 @@ std::vector<core::FrameDecision> PipelineEngine::process_stream(
   std::vector<core::FrameDecision> decisions;
   decisions.reserve(frames.size());
 
+  // Per-round containment flags: degraded[k] marks slot k's frame of
+  // the current round as carrying the identity fallback.  Written by
+  // the slot's worker, read by the ordered post-stage after the round's
+  // barrier.
+  std::vector<std::uint8_t> degraded(slots, 0);
+
+  // Full quarantine of a faulted slot: its context's memo state and its
+  // temporal chain may be poisoned (mid-update when the fault unwound),
+  // so both are discarded — the slot's next frame runs the cold path on
+  // a fresh context, exactly as a cold run started there would.
+  const auto quarantine = [](Slot& s) {
+    s.ctx.reset();
+    s.reuse.reset();
+  };
+
   // One callable for the whole clip (constructing a std::function per
   // round would put an allocation back into the steady state).
   std::size_t begin = 0;
@@ -220,18 +350,48 @@ std::vector<core::FrameDecision> PipelineEngine::process_stream(
         util::PoolScope scope(s.pool.get());
         obs::ScopedSpan frame_span(obs::Span::kFrame,
                                    static_cast<std::int32_t>(i));
-        if (!s.ctx) {
-          s.ctx = std::make_unique<FrameContext>(vopts.hebs,
-                                                 controller.power_model());
+        degraded[k] = 0;
+        const auto start = DeadlineClock::now();
+        try {
+          util::fault::maybe_fail(util::fault::Point::kWorkerTask);
+          if (!s.ctx) {
+            s.ctx = std::make_unique<FrameContext>(vopts.hebs,
+                                                   controller.power_model());
+          }
+          if (!estimates.empty()) {
+            s.ctx->rebind(frames[i]);
+            s.ctx->set_histogram_estimate(estimates[i]);
+            s.raw = run_exact(*s.ctx, vopts.d_max_percent);
+          } else {
+            // TemporalReuse handles both modes: disabled, it degrades to
+            // rebind + run_exact (the cold path).
+            s.raw = s.reuse.process(*s.ctx, frames[i], vopts.d_max_percent);
+          }
+        } catch (const util::InvalidArgument&) {
+          throw;  // caller bug, not a runtime fault — see map_frames
+        } catch (const std::exception& e) {
+          quarantine(s);
+          util::fault::SuppressScope no_refire;
+          s.raw = identity_fallback(frames[i]);
+          degraded[k] = 1;
+          record_fault(faults, i, is_io_error(e),
+                       fault_message("stream search", i, e.what()));
+          return;
         }
-        if (!estimates.empty()) {
-          s.ctx->rebind(frames[i]);
-          s.ctx->set_histogram_estimate(estimates[i]);
-          s.raw = run_exact(*s.ctx, vopts.d_max_percent);
-        } else {
-          // TemporalReuse handles both modes: disabled, it degrades to
-          // rebind + run_exact (the cold path).
-          s.raw = s.reuse.process(*s.ctx, frames[i], vopts.d_max_percent);
+        if (deadline_blown(opts_, start)) {
+          obs::add(obs::Counter::kDeadlineMiss);
+          // The computed state is valid, merely late — but the emitted
+          // decision is the fallback and the controller treats it as a
+          // discontinuity, so the slot restarts cold too (uniform
+          // degradation contract: one recovery story for every fault).
+          quarantine(s);
+          util::fault::SuppressScope no_refire;
+          s.raw = identity_fallback(frames[i]);
+          degraded[k] = 1;
+          record_fault(
+              faults, i, /*io=*/false,
+              deadline_message("stream search", i, opts_.frame_deadline_us),
+              /*deadline=*/true);
         }
       };
 
@@ -247,13 +407,35 @@ std::vector<core::FrameDecision> PipelineEngine::process_stream(
     pool_.parallel_for(count, search_round);
 
     // Ordered post-stage: flicker control advances the controller's
-    // state exactly as serial per-frame processing would.
+    // state exactly as serial per-frame processing would.  A frame
+    // degraded in the search stage bypasses flicker control (its slot
+    // context is gone) and resets the controller's history instead; a
+    // fault inside the post-stage itself is contained the same way.
     util::PoolScope scope(post_pool.get());
     for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t i = begin + k;
+      Slot& s = slot_states[k];
       obs::ScopedSpan post_span(obs::Span::kFlickerPost,
-                                static_cast<std::int32_t>(begin + k));
-      decisions.push_back(controller.apply_flicker_control(
-          *slot_states[k].ctx, slot_states[k].raw));
+                                static_cast<std::int32_t>(i));
+      if (degraded[k]) {
+        // Containment path: copying the pooled fallback result must not
+        // re-fire a persistent injected allocation fault.
+        util::fault::SuppressScope no_refire;
+        decisions.push_back(controller.apply_degraded(s.raw));
+        continue;
+      }
+      try {
+        decisions.push_back(controller.apply_flicker_control(*s.ctx, s.raw));
+      } catch (const util::InvalidArgument&) {
+        throw;  // caller bug, not a runtime fault — see map_frames
+      } catch (const std::exception& e) {
+        quarantine(s);
+        util::fault::SuppressScope no_refire;
+        s.raw = identity_fallback(frames[i]);
+        decisions.push_back(controller.apply_degraded(s.raw));
+        record_fault(faults, i, is_io_error(e),
+                     fault_message("flicker post-stage", i, e.what()));
+      }
     }
   }
   // Release pooled caches before their pools detach (see map_frames).
@@ -263,9 +445,9 @@ std::vector<core::FrameDecision> PipelineEngine::process_stream(
 
 std::vector<core::FrameDecision> PipelineEngine::process_stream(
     std::span<const hebs::image::GrayImage> frames,
-    const core::VideoOptions& opts) {
+    const core::VideoOptions& opts, std::vector<FrameFault>* faults) {
   core::VideoBacklightController controller(opts, model_);
-  return process_stream(frames, controller);
+  return process_stream(frames, controller, faults);
 }
 
 namespace {
@@ -306,7 +488,7 @@ bool same_bytes(const hebs::image::RgbImage& a,
 
 std::vector<ColorBatchResult> PipelineEngine::process_batch_color(
     std::span<const hebs::image::RgbImage> images, double d_max_percent,
-    core::ColorMode mode) {
+    core::ColorMode mode, std::vector<FrameFault>* faults) {
   // Luma extraction is ordered-independent but cheap (one dispatched
   // kernel sweep per frame); done up front so the lumas outlive every
   // context binding.
@@ -319,14 +501,31 @@ std::vector<ColorBatchResult> PipelineEngine::process_batch_color(
         r.luma = run_exact(ctx, d_max_percent);
         r.color = run_color_stage(images[i], lumas[i], r.luma.point, mode);
         return r;
-      });
+      },
+      [&images, &lumas](std::size_t i) {
+        // Degraded color frame: identity decision, and the displayed
+        // raster is the unmodified input (β = 1 + identity LUT changes
+        // no pixel, so the chromaticity drift is exactly zero).
+        ColorBatchResult r;
+        r.luma = identity_fallback(lumas[i]);
+        r.color.displayed = images[i];
+        r.color.hue_error = 0.0;
+        return r;
+      },
+      faults);
 }
 
 std::vector<ColorStreamResult> PipelineEngine::process_stream_color(
     std::span<const hebs::image::RgbImage> frames,
-    const core::VideoOptions& opts, core::ColorMode mode) {
+    const core::VideoOptions& opts, core::ColorMode mode,
+    std::vector<FrameFault>* faults) {
   const auto lumas = materialize_lumas(frames);
-  auto decisions = process_stream(lumas, opts);
+  // Containment records are needed locally even when the caller passed
+  // no sink: the color stage below must know which decisions carry the
+  // identity fallback (their slot rendering is the unmodified input)
+  // and which previous frames are ineligible as reuse sources.
+  std::vector<FrameFault> stream_faults;
+  auto decisions = process_stream(lumas, opts, &stream_faults);
 
   // Ordered color post-stage.  Rendering is a deterministic function of
   // (frame bytes, applied point, mode), so when both match the previous
@@ -341,17 +540,50 @@ std::vector<ColorStreamResult> PipelineEngine::process_stream_color(
   for (std::size_t i = 0; i < decisions.size(); ++i) {
     ColorStreamResult r;
     r.decision = std::move(decisions[i]);
+    if (stream_faults[i].degraded) {
+      // The stream already emitted the identity decision for this
+      // frame; its rendering is the unmodified input (β = 1 + identity
+      // LUT change no pixel → zero chromaticity drift), no per-pixel
+      // work and no chance of a second fault in the color stage.
+      r.color.displayed = frames[i];
+      r.color.hue_error = 0.0;
+      out.push_back(std::move(r));
+      continue;
+    }
     const bool reuse = opts.temporal_reuse && i > 0 &&
+                       !stream_faults[i - 1].degraded &&
                        same_point(r.decision.point, out.back().decision.point) &&
                        same_bytes(frames[i], frames[i - 1]);
     if (reuse) {
       r.color.displayed = out.back().color.displayed;
       r.color.hue_error = out.back().color.hue_error;
     } else {
-      r.color = run_color_stage(frames[i], lumas[i], r.decision.point, mode);
+      try {
+        r.color = run_color_stage(frames[i], lumas[i], r.decision.point, mode);
+      } catch (const util::InvalidArgument&) {
+        throw;  // caller bug, not a runtime fault — see map_frames
+      } catch (const std::exception& e) {
+        // Color-stage containment: the whole frame degrades to the
+        // identity fallback — decision and rendering stay consistent
+        // (displaying the untouched raster at the computed β < 1 would
+        // dim the frame, which is a visible artifact, not a fallback).
+        // The stage is stateless per frame, so nothing needs quarantine.
+        util::fault::SuppressScope no_refire;
+        const core::HebsResult fb = identity_fallback(lumas[i]);
+        r.decision.raw_beta = fb.point.beta;
+        r.decision.beta = fb.point.beta;
+        r.decision.scene_cut = false;
+        r.decision.point = fb.point;
+        r.decision.evaluation = fb.evaluation;
+        r.color.displayed = frames[i];
+        r.color.hue_error = 0.0;
+        record_fault(&stream_faults, i, is_io_error(e),
+                     fault_message("color render", i, e.what()));
+      }
     }
     out.push_back(std::move(r));
   }
+  if (faults != nullptr) *faults = std::move(stream_faults);
   return out;
 }
 

@@ -18,7 +18,9 @@
 // would.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/color.h"
@@ -66,6 +68,39 @@ struct EngineOptions {
   /// use_streaming_histogram is set (the stateful estimator makes
   /// consecutive frames non-comparable).
   bool temporal_reuse = true;
+  /// Cap on bytes checked out of each per-worker pool at once; 0 =
+  /// unlimited.  Exhaustion degrades to counted plain-heap blocks
+  /// (obs kPoolHeapFallback) — it never fails a frame.
+  std::size_t pool_max_bytes = 0;
+  /// Soft per-frame deadline, microseconds; 0 = none.  A frame whose
+  /// decision (rebind + search; color batches include the color stage)
+  /// takes longer still completes, but its result is replaced by the
+  /// identity fallback (β = 1, identity LUT — zero distortion, zero
+  /// saving) and kDeadlineMiss/kFramesDegraded count it.  Soft: the
+  /// check runs after the frame's work, so an overrun is detected, not
+  /// preempted.
+  std::int64_t frame_deadline_us = 0;
+};
+
+/// Per-frame containment record, parallel to a batch/stream result
+/// vector (see the `faults` out-parameters below).  When a frame's
+/// pipeline work throws or blows the frame deadline, the engine emits
+/// the identity fallback for that frame instead of failing the call,
+/// quarantines the worker/slot state that computed it (so poisoned
+/// memoization never feeds a later frame), and records what happened
+/// here.
+struct FrameFault {
+  /// This frame carries the identity fallback, not a computed decision.
+  bool degraded = false;
+  /// The contained exception was a util::IoError (the facade keeps
+  /// kIoError for these; everything else maps to kInternal).
+  bool io = false;
+  /// The frame degraded because it blew the soft frame deadline, not
+  /// because its work threw (the facade maps this to kDeadlineExceeded).
+  bool deadline = false;
+  /// Names the stage, the frame index and — for injected faults — the
+  /// fault point.
+  std::string message;
 };
 
 /// What the post-decision color stage produced for one frame.
@@ -104,31 +139,51 @@ class PipelineEngine {
 
   /// Exact-search HEBS (the Table 1 protocol) for every image.
   /// result[i] corresponds to images[i].
+  ///
+  /// Fault containment (all batch/stream entry points): a frame whose
+  /// work throws — or misses opts.frame_deadline_us — yields the
+  /// identity fallback at its index rather than failing the call; when
+  /// `faults` is non-null it is resized to images.size() and frame i's
+  /// containment record lands at (*faults)[i].  Frames processed after
+  /// a contained fault are bit-identical to a cold run: the faulted
+  /// worker's FrameContext is discarded, never rebound.
   std::vector<core::HebsResult> process_batch(
-      std::span<const hebs::image::GrayImage> images, double d_max_percent);
+      std::span<const hebs::image::GrayImage> images, double d_max_percent,
+      std::vector<FrameFault>* faults = nullptr);
 
   /// Fixed-range HEBS for every image.
   std::vector<core::HebsResult> process_batch_at_range(
-      std::span<const hebs::image::GrayImage> images, int range);
+      std::span<const hebs::image::GrayImage> images, int range,
+      std::vector<FrameFault>* faults = nullptr);
 
   /// Deployed flow for every image: range looked up from the distortion
   /// characteristic curve, no metric in the decision loop.
   std::vector<core::HebsResult> process_batch_with_curve(
       std::span<const hebs::image::GrayImage> images, double d_max_percent,
-      const core::DistortionCurve& curve);
+      const core::DistortionCurve& curve,
+      std::vector<FrameFault>* faults = nullptr);
 
   /// Frame-adaptive video: per-frame raw operating points are searched
   /// concurrently, then `controller` applies flicker control strictly in
   /// frame order (its state advances exactly as if it had processed the
   /// clip serially).
+  ///
+  /// Fault containment: a faulted frame emits the identity decision
+  /// (β = 1, identity LUT) and is treated as a stream discontinuity —
+  /// the slot's FrameContext and TemporalReuse state are quarantined
+  /// (rebuilt cold) and the controller's flicker history resets, so
+  /// every frame after the fault is bit-identical to a cold run started
+  /// there (DESIGN.md §14).
   std::vector<core::FrameDecision> process_stream(
       std::span<const hebs::image::GrayImage> frames,
-      core::VideoBacklightController& controller);
+      core::VideoBacklightController& controller,
+      std::vector<FrameFault>* faults = nullptr);
 
   /// Same, with a fresh controller built from `opts`.
   std::vector<core::FrameDecision> process_stream(
       std::span<const hebs::image::GrayImage> frames,
-      const core::VideoOptions& opts);
+      const core::VideoOptions& opts,
+      std::vector<FrameFault>* faults = nullptr);
 
   /// Color batch: the exact-search decision runs on each frame's
   /// BT.601 luma (bit-identical to process_batch on pre-converted
@@ -136,7 +191,7 @@ class PipelineEngine {
   /// operating point to the RGB raster in `mode` on the same worker.
   std::vector<ColorBatchResult> process_batch_color(
       std::span<const hebs::image::RgbImage> images, double d_max_percent,
-      core::ColorMode mode);
+      core::ColorMode mode, std::vector<FrameFault>* faults = nullptr);
 
   /// Color stream: luma decisions through the full stream machinery
   /// (flicker control, temporal fast path, pools — bit-identical to
@@ -148,7 +203,8 @@ class PipelineEngine {
   /// identical either way).
   std::vector<ColorStreamResult> process_stream_color(
       std::span<const hebs::image::RgbImage> frames,
-      const core::VideoOptions& opts, core::ColorMode mode);
+      const core::VideoOptions& opts, core::ColorMode mode,
+      std::vector<FrameFault>* faults = nullptr);
 
  private:
   EngineOptions opts_;

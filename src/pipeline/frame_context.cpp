@@ -11,6 +11,7 @@
 #include "pipeline/stages.h"
 #include "transform/lut.h"
 #include "util/error.h"
+#include "util/faultpoint.h"
 #include "util/mathutil.h"
 
 namespace hebs::pipeline {
@@ -27,6 +28,10 @@ FrameContext::FrameContext(const hebs::image::GrayImage& image,
 }
 
 void FrameContext::rebind(const hebs::image::GrayImage& image) {
+  // The frame-ingestion fault point: an installed frame-corrupt spec
+  // simulates corrupt/truncated frame bytes arriving at the binding
+  // boundary (the engine's containment turns it into a degraded frame).
+  util::fault::maybe_fail(util::fault::Point::kFrameCorrupt);
   image_ = &image;
   estimate_.reset();
   exact_hist_.reset();

@@ -12,6 +12,7 @@
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/faultpoint.h"
 
 namespace hebs::pipeline {
 
@@ -149,7 +150,13 @@ core::HebsResult run_stages_at_range_lean(const FrameContext& ctx,
   const Stage* const stages[] = {&histogram_stage, &range_stage, &ghe_stage,
                                  &plc_stage, &evaluate_stage};
   core::HebsResult result;
-  for (const Stage* stage : stages) stage->run(ctx, result);
+  for (const Stage* stage : stages) {
+    // The per-stage latency fault point: an installed stage-latency
+    // spec stalls here, making deadline-miss behavior provokable with a
+    // deterministic clock lever (off = one relaxed load per stage).
+    util::fault::maybe_stall(util::fault::Point::kStageLatency);
+    stage->run(ctx, result);
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "obs/counters.h"
+#include "util/faultpoint.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -62,9 +63,11 @@ struct PoolCore {
       HEBS_GUARDED_BY(mu);
   std::size_t retained_bytes HEBS_GUARDED_BY(mu) = 0;
   std::size_t outstanding HEBS_GUARDED_BY(mu) = 0;
+  std::size_t outstanding_bytes HEBS_GUARDED_BY(mu) = 0;
   bool detached HEBS_GUARDED_BY(mu) = false;
   std::size_t hits HEBS_GUARDED_BY(mu) = 0;
   std::size_t misses HEBS_GUARDED_BY(mu) = 0;
+  std::size_t heap_fallbacks HEBS_GUARDED_BY(mu) = 0;
 
   /// Frees every cached block.
   void release_cached_locked() HEBS_REQUIRES(mu) {
@@ -89,14 +92,36 @@ void* pool_allocate(std::size_t bytes) {
   const std::size_t rounded = round_bucket(bytes);
   PoolCore* core = t_current;
   if (core != nullptr) {
+    // The registered allocation-failure fault point: every draw from an
+    // installed BufferPool crosses this boundary, so a pool-alloc spec
+    // fails allocations exactly where a genuinely exhausted pool would.
+    // Scope-less (plain heap) draws are outside the boundary on
+    // purpose: pools are installed around the engine's per-frame work,
+    // which is where the containment contract (DESIGN.md §14) holds —
+    // firing on a caller thread's setup allocations would escape it.
+    // Off = one relaxed load.
+    fault::maybe_fail(fault::Point::kPoolAlloc);
     {
       hebs::util::MutexLock lock(core->mu);
+      const std::size_t cap = core->opts.max_pool_bytes;
+      if (cap != 0 && core->outstanding_bytes + rounded > cap) {
+        // Pool exhausted: degrade to a counted plain-heap block rather
+        // than fail.  The block carries a null origin, so its free goes
+        // straight back to the heap and the pool's accounting (and the
+        // detached-core refcount) never sees it.
+        ++core->heap_fallbacks;
+        obs::add(obs::Counter::kPoolHeapFallback);
+        void* raw = ::operator new(kHeaderSize + rounded);
+        *static_cast<BlockHeader*>(raw) = {nullptr, rounded};
+        return payload_of(raw);
+      }
       auto it = core->free_.find(rounded);
       if (it != core->free_.end() && !it->second.empty()) {
         void* raw = it->second.back();
         it->second.pop_back();
         core->retained_bytes -= rounded;
         ++core->outstanding;
+        core->outstanding_bytes += rounded;
         ++core->hits;
         // Process-global aggregates alongside the per-core fields:
         // pools are per-worker and ephemeral, the registry outlives
@@ -113,6 +138,7 @@ void* pool_allocate(std::size_t bytes) {
     {
       hebs::util::MutexLock lock(core->mu);
       ++core->outstanding;
+      core->outstanding_bytes += rounded;
       ++core->misses;
     }
     obs::add(obs::Counter::kPoolFresh);
@@ -138,6 +164,7 @@ void pool_deallocate(void* p) noexcept {
   {
     hebs::util::MutexLock lock(core->mu);
     --core->outstanding;
+    core->outstanding_bytes -= header->bytes;
     const std::size_t cap = core->opts.max_retained_bytes;
     if (!core->detached &&
         (cap == 0 || core->retained_bytes + header->bytes <= cap)) {
@@ -172,7 +199,7 @@ BufferPool::~BufferPool() {
 BufferPool::Stats BufferPool::stats() const {
   hebs::util::MutexLock lock(core_->mu);
   return {core_->hits, core_->misses, core_->outstanding,
-          core_->retained_bytes};
+          core_->retained_bytes, core_->heap_fallbacks};
 }
 
 void BufferPool::trim() {

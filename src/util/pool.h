@@ -60,6 +60,12 @@ struct PoolOptions {
   /// per-frame working set would break the zero-allocation steady
   /// state).
   std::size_t max_retained_bytes = 0;
+  /// Cap on bytes checked out of the pool at once; 0 = unlimited.  An
+  /// allocation that would exceed the cap degrades to a counted
+  /// plain-heap block (Stats::heap_fallbacks, obs kPoolHeapFallback)
+  /// instead of failing — pool exhaustion never throws, it only costs
+  /// the recycling benefit for the overflowing blocks.
+  std::size_t max_pool_bytes = 0;
 };
 
 /// A recycling arena: size-bucketed free lists of heap blocks.
@@ -77,6 +83,8 @@ class BufferPool {
     std::size_t misses = 0;       ///< allocations that hit the heap
     std::size_t outstanding = 0;  ///< blocks currently alive
     std::size_t retained_bytes = 0;  ///< bytes cached on the free lists
+    std::size_t heap_fallbacks = 0;  ///< allocations degraded past the
+                                     ///< max_pool_bytes cap
   };
   Stats stats() const;
 

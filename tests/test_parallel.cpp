@@ -262,4 +262,65 @@ TEST(ThreadPool, OrderedReductionIsBitIdenticalAcrossWorkerCounts) {
   EXPECT_EQ(serial, eight);
 }
 
+// -------------------------------------------------------- unwind safety
+// DESIGN.md §14: a throwing body must neither wedge the pool nor poison
+// the next fan-out — the first exception is rethrown to the caller, the
+// remaining indices are abandoned, and the pool is immediately reusable.
+
+TEST(ThreadPool, BodyExceptionRethrowsToCaller) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(16,
+                          [&](std::size_t i, int) {
+                            if (i == 5) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, PoolSurvivesAndReusesAfterBodyException) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.parallel_for(
+                     32, [&](std::size_t, int) { throw std::logic_error("x"); }),
+                 std::logic_error);
+    // The very next fan-out on the same pool must run every index.
+    std::atomic<int> runs{0};
+    pool.parallel_for(32, [&](std::size_t, int) {
+      runs.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(runs.load(), 32);
+  }
+}
+
+TEST(ThreadPool, ExceptionStopsFurtherClaims) {
+  // After the first failure workers stop claiming fresh indices: the
+  // count of executed bodies never reaches n (with slack for indices
+  // already claimed when the failure landed).
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallel_for(10'000,
+                                 [&](std::size_t i, int) {
+                                   executed.fetch_add(
+                                       1, std::memory_order_relaxed);
+                                   if (i == 0) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), 10'000);
+}
+
+TEST(ThreadPool, EveryWorkerThrowingStillUnwindsOnce) {
+  ThreadPool pool(8);
+  EXPECT_THROW(pool.parallel_for(
+                   64, [&](std::size_t, int) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> runs{0};
+  pool.parallel_for(8, [&](std::size_t, int) {
+    runs.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(runs.load(), 8);
+}
+
 }  // namespace

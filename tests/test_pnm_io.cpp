@@ -134,6 +134,71 @@ TEST(PnmIo, AsciiPixelOutOfRangeThrows) {
   std::remove(path.c_str());
 }
 
+TEST(PnmIo, TruncatedPpmPixelDataThrows) {
+  const auto path = temp_path("truncated.ppm");
+  // 4 of the 12 bytes a 2x2 P6 raster needs.
+  write_text(path, "P6\n2 2\n255\nabcd");
+  EXPECT_THROW(read_ppm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, TruncatedAsciiPixelDataThrows) {
+  const auto path = temp_path("truncated_ascii.pgm");
+  write_text(path, "P2\n3 2\n255\n1 2 3\n");  // 3 of 6 samples
+  EXPECT_THROW(read_pgm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, TruncatedHeaderThrows) {
+  const auto path = temp_path("truncated_header.pgm");
+  write_text(path, "P5\n4");  // cut off mid-dimensions
+  EXPECT_THROW(read_pgm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, EmptyFileThrows) {
+  const auto path = temp_path("empty.pgm");
+  write_text(path, "");
+  EXPECT_THROW(read_pgm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, BinaryPgmSampleAboveMaxvalThrows) {
+  const auto path = temp_path("oob_binary.pgm");
+  // maxval 100 with a raw byte of 200: the ASCII path has always
+  // rejected this; the binary path used to scale it past 255 and wrap
+  // silently through the uint8_t cast.
+  std::string data = "P5\n2 1\n100\n";
+  data += static_cast<char>(50);
+  data += static_cast<char>(200);
+  write_text(path, data);
+  EXPECT_THROW(read_pgm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, BinaryPpmSampleAboveMaxvalThrows) {
+  const auto path = temp_path("oob_binary.ppm");
+  std::string data = "P6\n1 1\n100\n";
+  data += static_cast<char>(10);
+  data += static_cast<char>(101);
+  data += static_cast<char>(10);
+  write_text(path, data);
+  EXPECT_THROW(read_ppm(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, BinarySamplesAtMaxvalStillScale) {
+  const auto path = temp_path("at_maxval.pgm");
+  std::string data = "P5\n2 1\n100\n";
+  data += static_cast<char>(100);
+  data += static_cast<char>(0);
+  write_text(path, data);
+  const GrayImage img = read_pgm(path);
+  EXPECT_EQ(img(0, 0), 255);
+  EXPECT_EQ(img(1, 0), 0);
+  std::remove(path.c_str());
+}
+
 TEST(PnmIo, WritingEmptyImageThrows) {
   GrayImage empty;
   EXPECT_THROW(write_pgm(empty, temp_path("never.pgm")),

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -117,6 +118,91 @@ TEST(BufferPool, TrimReleasesCachedBlocks) {
   EXPECT_GT(pool.stats().retained_bytes, 0u);
   pool.trim();
   EXPECT_EQ(pool.stats().retained_bytes, 0u);
+}
+
+// -------------------------------------------------------- unwind safety
+
+TEST(BufferPool, ScopeUnwindsCleanlyThroughAnException) {
+  // DESIGN.md §14: pooled blocks allocated before a throw free back to
+  // the pool during unwind, the scope uninstalls, and the accounting
+  // balances — nothing outstanding, nothing leaked (the ASan job seals
+  // the leak half).
+  BufferPool pool;
+  try {
+    PoolScope scope(&pool);
+    PoolVector<double> a(256);
+    PoolVector<std::uint8_t> b(1024);
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_GT(pool.stats().retained_bytes, 0u);  // freed to the free list
+  // The pool is immediately reusable and recycles the unwound blocks.
+  PoolScope scope(&pool);
+  PoolVector<double> again(256);
+  EXPECT_GT(pool.stats().hits, 0u);
+}
+
+TEST(BufferPool, NestedScopeUnwindRestoresOuterPool) {
+  BufferPool outer;
+  BufferPool inner;
+  PoolScope outer_scope(&outer);
+  try {
+    PoolScope inner_scope(&inner);
+    PoolVector<double> v(64);
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  // The unwound inner scope restored the outer pool as the arena.
+  { PoolVector<double> v(64); }
+  EXPECT_EQ(inner.stats().outstanding, 0u);
+  EXPECT_GT(outer.stats().misses, 0u);
+}
+
+// ------------------------------------------------ exhaustion degradation
+
+TEST(BufferPool, ByteCapDegradesToCountedHeapFallback) {
+  // A pool capped below the request must not fail the allocation: it
+  // serves a plain-heap block and counts the degradation.
+  BufferPool pool(PoolOptions{/*max_retained_bytes=*/0,
+                              /*max_pool_bytes=*/1024});
+  PoolScope scope(&pool);
+  {
+    PoolVector<double> big(4096);  // 32 KiB, far past the 1 KiB cap
+    big[4095] = 7.0;               // the block is real and writable
+    EXPECT_EQ(big[4095], 7.0);
+    EXPECT_EQ(pool.stats().heap_fallbacks, 1u);
+    // Fallback blocks bypass the pool's outstanding accounting.
+    EXPECT_EQ(pool.stats().outstanding, 0u);
+  }
+  // Frees cleanly (straight back to the heap; ASan seals this).
+  EXPECT_EQ(pool.stats().heap_fallbacks, 1u);
+}
+
+TEST(BufferPool, UnderCapAllocationsStillPool) {
+  BufferPool pool(PoolOptions{/*max_retained_bytes=*/0,
+                              /*max_pool_bytes=*/1 << 20});
+  PoolScope scope(&pool);
+  { PoolVector<double> v(128); }
+  EXPECT_EQ(pool.stats().heap_fallbacks, 0u);
+  { PoolVector<double> v(128); }
+  EXPECT_GT(pool.stats().hits, 0u);  // recycled, not degraded
+}
+
+TEST(BufferPool, CapAppliesToOutstandingBytesNotTraffic) {
+  // Sequential allocations under the cap never degrade, no matter how
+  // many: the cap bounds simultaneous checkout, not cumulative traffic.
+  BufferPool pool(PoolOptions{/*max_retained_bytes=*/0,
+                              /*max_pool_bytes=*/64 * 1024});
+  PoolScope scope(&pool);
+  for (int i = 0; i < 100; ++i) {
+    PoolVector<std::uint8_t> v(16 * 1024);
+  }
+  EXPECT_EQ(pool.stats().heap_fallbacks, 0u);
+  // Holding two such blocks at once blows the cap: the second degrades.
+  PoolVector<std::uint8_t> a(48 * 1024);
+  PoolVector<std::uint8_t> b(48 * 1024);
+  EXPECT_EQ(pool.stats().heap_fallbacks, 1u);
 }
 
 }  // namespace
