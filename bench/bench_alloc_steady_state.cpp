@@ -161,6 +161,59 @@ int main(int argc, char** argv) {
   }
 
   {
+    // Deep-pixel cold loop: the depth-generalized path (N-bin
+    // histograms, pool-backed 1024-entry scratch, u16 kernels) must hold
+    // the same zero-alloc steady state.  The widened clip is built
+    // outside the measured window.
+    std::vector<hebs::image::GrayImage16> clip16;
+    clip16.reserve(clip.size());
+    for (const auto& frame : clip) {
+      clip16.push_back(hebs::image::GrayImage16::widen(frame, 1024));
+    }
+    hebs::util::BufferPool pool;
+    hebs::util::PoolScope scope(&pool);
+    hebs::pipeline::FrameContext ctx(hebs::core::HebsOptions{}, model);
+    const auto run16 = [&](int loops) {
+      const std::uint64_t before =
+          g_allocations.load(std::memory_order_relaxed);
+      for (int pass = 0; pass < loops; ++pass) {
+        for (const auto& frame : clip16) {
+          ctx.rebind(frame);
+          (void)hebs::pipeline::run_exact(ctx, kBudget);
+        }
+      }
+      return g_allocations.load(std::memory_order_relaxed) - before;
+    };
+    (void)run16(2);
+    report("deep 10-bit run_exact", run16(3), 3 * frames_per_pass);
+  }
+
+  {
+    // BBHE (the depth-generic policy) on the same 10-bit clip.
+    std::vector<hebs::image::GrayImage16> clip16;
+    clip16.reserve(clip.size());
+    for (const auto& frame : clip) {
+      clip16.push_back(hebs::image::GrayImage16::widen(frame, 1024));
+    }
+    hebs::util::BufferPool pool;
+    hebs::util::PoolScope scope(&pool);
+    hebs::pipeline::FrameContext ctx(hebs::core::HebsOptions{}, model);
+    const auto run16 = [&](int loops) {
+      const std::uint64_t before =
+          g_allocations.load(std::memory_order_relaxed);
+      for (int pass = 0; pass < loops; ++pass) {
+        for (const auto& frame : clip16) {
+          ctx.rebind(frame);
+          (void)hebs::pipeline::run_bbhe(ctx, kBudget);
+        }
+      }
+      return g_allocations.load(std::memory_order_relaxed) - before;
+    };
+    (void)run16(2);
+    report("deep 10-bit bbhe", run16(3), 3 * frames_per_pass);
+  }
+
+  {
     // The observability contract: counters are always on (every config
     // above already counts), and span tracing must not add allocations
     // either — rings are pre-sized by start_tracing (the one allocating

@@ -2,9 +2,10 @@
 // compiled-in, CPU-supported backend against the scalar reference.
 //
 // Measures the per-pixel primitives the pipeline dispatches through
-// src/kernels/ (histogram accumulation, 8-bit/f64 LUT apply, BT.601
-// luma, byte sums, elementwise f64 ops, blur rows/columns) on a
-// realistic synthetic frame, prints a speedup table, verifies that
+// src/kernels/ (histogram accumulation, 8-bit/16-bit/f64 LUT apply,
+// BT.601 luma, byte/sample sums, elementwise f64 ops, blur
+// rows/columns) on a realistic synthetic frame, prints a speedup
+// table, verifies that
 // every backend's output is bit-identical to scalar on the bench data,
 // and writes BENCH_kernels.json ({bench, config, ns_per_frame,
 // mpix_per_s, backend} records) for cross-PR perf tracking.
@@ -117,6 +118,17 @@ int main(int argc, char** argv) {
     lut8[i] = static_cast<std::uint8_t>((i * 150) / 255);
     lut64[i] = static_cast<double>(i) / 255.0 * 0.8;
   }
+
+  // Deep-pixel bench data: the photo frame ratio-widened onto the
+  // 10-bit lattice (the depth the Session's deep path targets first),
+  // with the same backlight-scaling LUT shape.
+  constexpr int kDeepLevels = 1024;
+  const image::GrayImage16 frame16 =
+      image::GrayImage16::widen(frame, kDeepLevels);
+  std::vector<std::uint16_t> lut16(kDeepLevels);
+  for (int i = 0; i < kDeepLevels; ++i) {
+    lut16[i] = static_cast<std::uint16_t>((i * 600) / (kDeepLevels - 1));
+  }
   const int radius = 2;
   const double taps[5] = {0.05, 0.25, 0.4, 0.25, 0.05};
 
@@ -124,8 +136,10 @@ int main(int argc, char** argv) {
   // freshly captured scalar outputs).
   std::vector<std::uint8_t> out8(n);
   std::vector<std::uint8_t> out8rgb(3 * n);
+  std::vector<std::uint16_t> out16(n);
   std::vector<double> outf(n);
   std::uint64_t counts[256];
+  std::vector<std::uint64_t> counts16(kDeepLevels);
   volatile std::uint64_t sink = 0;
 
   struct KernelCase {
@@ -162,6 +176,23 @@ int main(int argc, char** argv) {
       {"sum_u8", n,
        [&](const kernels::KernelSet& k) {
          sink = sink + k.sum_u8(frame.pixels().data(), n);
+       }},
+      {"histogram_u16", n,
+       [&](const kernels::KernelSet& k) {
+         std::memset(counts16.data(), 0,
+                     counts16.size() * sizeof(std::uint64_t));
+         k.histogram_u16(frame16.pixels().data(), n, counts16.data());
+         sink = sink + counts16[kDeepLevels / 2];
+       }},
+      {"lut_apply_u16", n,
+       [&](const kernels::KernelSet& k) {
+         k.lut_apply_u16(frame16.pixels().data(), n, lut16.data(),
+                         out16.data());
+         sink = sink + out16[n / 2];
+       }},
+      {"sum_u16", n,
+       [&](const kernels::KernelSet& k) {
+         sink = sink + k.sum_u16(frame16.pixels().data(), n);
        }},
       {"lut_apply_f64", n,
        [&](const kernels::KernelSet& k) {
@@ -278,6 +309,14 @@ int main(int argc, char** argv) {
     std::vector<std::uint8_t> ref_rgb(3 * n);
     kernels::scalar_kernels().lut_apply_rgb8(rgb.data().data(), n, lut8,
                                              ref_rgb.data());
+    std::vector<std::uint64_t> ref_counts16(kDeepLevels, 0);
+    std::vector<std::uint16_t> ref16(n);
+    kernels::scalar_kernels().histogram_u16(frame16.pixels().data(), n,
+                                            ref_counts16.data());
+    kernels::scalar_kernels().lut_apply_u16(frame16.pixels().data(), n,
+                                            lut16.data(), ref16.data());
+    const std::uint64_t ref_sum16 =
+        kernels::scalar_kernels().sum_u16(frame16.pixels().data(), n);
     for (const auto* s : sets) {
       std::memset(counts, 0, sizeof(counts));
       s->histogram_u8(frame.pixels().data(), n, counts);
@@ -288,6 +327,20 @@ int main(int argc, char** argv) {
       if (std::memcmp(out8rgb.data(), ref_rgb.data(), 3 * n) != 0) {
         ++mismatches;
       }
+      std::memset(counts16.data(), 0,
+                  counts16.size() * sizeof(std::uint64_t));
+      s->histogram_u16(frame16.pixels().data(), n, counts16.data());
+      if (std::memcmp(counts16.data(), ref_counts16.data(),
+                      counts16.size() * sizeof(std::uint64_t)) != 0) {
+        ++mismatches;
+      }
+      s->lut_apply_u16(frame16.pixels().data(), n, lut16.data(),
+                       out16.data());
+      if (std::memcmp(out16.data(), ref16.data(),
+                      n * sizeof(std::uint16_t)) != 0) {
+        ++mismatches;
+      }
+      if (s->sum_u16(frame16.pixels().data(), n) != ref_sum16) ++mismatches;
     }
   }
   std::printf("backend parity on bench frame: %s\n",

@@ -5,11 +5,15 @@
 //   transform <in.pgm|in.ppm> <out.pgm|out.ppm> [--dmax P | --range R]
 //             [--segments M] [--policy NAME] [--metric NAME]
 //             [--color-mode shared-curve|luma-ratio]
+//             [--bit-depth 8|10|16]
 //       Backlight-scale one image; prints the operating point.  A .ppm
 //       input runs the color pipeline: the decision is made on BT.601
 //       luma, the RGB raster is rendered per --color-mode, and the
 //       hue-error of the rendering is reported next to the luma
 //       distortion (run both modes to compare their chroma drift).
+//       --bit-depth 10|16 reads a deep PGM (maxval up to 65535,
+//       big-endian two-byte samples) and decides on the frame's own
+//       level lattice; the output PGM keeps the session's maxval.
 //   characterize <curve.csv> [--size N]
 //       Runs the offline characterization on the synthetic album and
 //       writes the distortion characteristic curve.
@@ -104,6 +108,7 @@ int usage() {
       "           [--dmax P | --range R] [--segments M] [--policy NAME]\n"
       "           [--metric NAME] [--kernel-backend NAME]\n"
       "           [--color-mode shared-curve|luma-ratio]  (.ppm inputs)\n"
+      "           [--bit-depth 8|10|16]  (deep PGM in/out)\n"
       "  hebs_cli characterize <curve.csv> [--size N]\n"
       "  hebs_cli apply-curve <in.pgm> <out.pgm> <curve.csv> --dmax P\n"
       "  hebs_cli batch <in1.pgm> [in2.pgm ...] [--dmax P] [--threads N]\n"
@@ -191,6 +196,7 @@ int cmd_transform(int argc, char** argv) {
   const std::string out_path = argv[3];
   double dmax = 10.0;
   int range = 0;
+  int bit_depth = 8;
   SessionConfig config;
   for (int i = 4; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -208,6 +214,9 @@ int cmd_transform(int argc, char** argv) {
       config.kernel_backend(argv[++i]);
     } else if (flag == "--color-mode" && i + 1 < argc) {
       config.color_mode(argv[++i]);
+    } else if (flag == "--bit-depth" && i + 1 < argc) {
+      bit_depth = std::atoi(argv[++i]);
+      config.bit_depth(bit_depth);
     } else {
       return usage();
     }
@@ -215,6 +224,37 @@ int cmd_transform(int argc, char** argv) {
   apply_globals(config);
   auto session = Session::create(config);
   if (!session) return fail(session.status());
+
+  if (bit_depth != 8) {
+    if (in_path.ends_with(".ppm")) {
+      std::fprintf(stderr, "error: --bit-depth applies to .pgm inputs only\n");
+      return 2;
+    }
+    // Deep workload: raw samples on the session's level lattice end to
+    // end — read, decide, write, all without rescaling.
+    const int levels = 1 << bit_depth;
+    const auto file = image::read_pgm16(in_path);
+    if (file.levels() > levels) {
+      std::fprintf(stderr, "error: %s has maxval %d, above --bit-depth %d\n",
+                   in_path.c_str(), file.max_pixel(), bit_depth);
+      return 2;
+    }
+    const auto img = image::GrayImage16::from_pixels(
+        file.width(), file.height(), levels, file.pixels());
+    auto result = session->process(
+        {ImageView::gray16(img.pixels().data(), img.width(), img.height()),
+         dmax, range});
+    if (!result) return fail(result.status());
+    report(*result);
+    image::write_pgm16(
+        image::GrayImage16::from_pixels(
+            result->displayed16.width(), result->displayed16.height(),
+            result->displayed16.levels(), result->displayed16.pixels()),
+        out_path);
+    std::printf("wrote %s (maxval %d)\n", out_path.c_str(), levels - 1);
+    if (result->degraded) return report_degraded(0, *result);
+    return 0;
+  }
 
   if (in_path.ends_with(".ppm")) {
     // Color workload: decision on luma, RGB rendering per --color-mode.

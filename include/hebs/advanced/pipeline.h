@@ -4,6 +4,7 @@
 // not covered by the API version contract.
 #pragma once
 
+#include "pipeline/bbhe.h"  // IWYU pragma: export
 #include "pipeline/engine.h"  // IWYU pragma: export
 #include "pipeline/executor.h"  // IWYU pragma: export
 #include "pipeline/frame_context.h"  // IWYU pragma: export

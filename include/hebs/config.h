@@ -73,6 +73,20 @@ class SessionConfig {
   }
   const std::string& color_mode() const noexcept { return color_mode_; }
 
+  /// Pixel bit depth of the session's frames: 8 (gray8/rgb8 views,
+  /// the default), or 10/16 for deep-pixel gray16 views.  A deep
+  /// session decides on the frame's own level lattice (1024 or 65536
+  /// histogram bins) with the same staged pipeline; supported policies
+  /// are "hebs-exact" and "bbhe" (plus fixed_range requests), and
+  /// frames must arrive as ImageView::gray16 whose samples stay below
+  /// 2^bit_depth.  Mismatched view/depth combinations are typed errors
+  /// (kUnknownDepth / kInvalidImage), never silent rescales.
+  SessionConfig& bit_depth(int bits) {
+    bit_depth_ = bits;
+    return *this;
+  }
+  int bit_depth() const noexcept { return bit_depth_; }
+
   // ------------------------------------------------- pipeline tunables
   /// PLC segment budget m, >= 1.  Default 8.
   SessionConfig& segments(int m) {
@@ -268,6 +282,7 @@ class SessionConfig {
   std::string metric_ = "uiqi-hvs";
   std::string kernel_backend_;
   std::string color_mode_ = "shared-curve";
+  int bit_depth_ = 8;
   int segments_ = 8;
   int g_min_floor_ = 0;
   int min_range_ = 16;

@@ -60,6 +60,43 @@ class OwnedImage {
   std::vector<std::uint8_t> pixels_;
 };
 
+/// An owned deep-pixel grayscale raster returned by the facade's
+/// 10/16-bit path (the caller may view() it to feed it back in without
+/// copying).  `levels` is the representable level count (1024 for
+/// 10-bit, 65536 for 16-bit); every sample is < levels.
+class OwnedImage16 {
+ public:
+  OwnedImage16() = default;
+  OwnedImage16(int width, int height, int levels,
+               std::vector<std::uint16_t> pixels)
+      : width_(width),
+        height_(height),
+        levels_(levels),
+        pixels_(std::move(pixels)) {}
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  int levels() const noexcept { return levels_; }
+  bool empty() const noexcept { return pixels_.empty(); }
+  /// Native-order uint16 samples, row-major, width * height of them.
+  const std::vector<std::uint16_t>& pixels() const noexcept {
+    return pixels_;
+  }
+
+  /// Zero-copy gray16 view of this raster (valid while *this lives).
+  ImageView view() const noexcept {
+    return ImageView::gray16(pixels_.data(), width_, height_);
+  }
+
+  bool operator==(const OwnedImage16&) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int levels_ = 0;
+  std::vector<std::uint16_t> pixels_;
+};
+
 /// An owned interleaved-RGB8 raster returned by the facade's color
 /// path (the caller may view() it to feed it back in without copying).
 class OwnedRgbImage {
@@ -91,12 +128,15 @@ class OwnedRgbImage {
 struct FrameRequest {
   /// The input pixels; gray8 or interleaved rgb8 (BT.601 luma is
   /// extracted for RGB, bit-identical to a pre-converted gray frame).
+  /// Deep sessions (SessionConfig::bit_depth 10/16) take gray16 views
+  /// instead; the view format must match the session depth.
   ImageView image;
   /// Maximum tolerable distortion, percent in [0, 100].
   double d_max_percent = 10.0;
   /// When > 0: skip the budget search and run the HEBS pipeline at
-  /// this fixed dynamic range, in [2, 255 - g_min_floor] (supported by
-  /// the hebs-* policies only).
+  /// this fixed dynamic range, in [2, max_pixel - g_min_floor] where
+  /// max_pixel is 2^bit_depth - 1 (255 for the default 8-bit session).
+  /// Supported by the hebs-* policies only.
   int fixed_range = 0;
   /// Request a color rendering: the result additionally carries the
   /// transformed RGB raster (displayed_rgb, applied per the session's
@@ -154,8 +194,13 @@ struct FrameResult {
   /// Power at the chosen operating point / at the reference point.
   PowerReport power;
   PowerReport reference_power;
-  /// The displayed frame ψ(F), quantized to 8 bits.
+  /// The displayed frame ψ(F), quantized to 8 bits (8-bit sessions;
+  /// empty on the deep-pixel path).
   OwnedImage displayed;
+  /// Deep-pixel sessions (bit_depth 10/16): the displayed frame
+  /// quantized on the session's own level lattice.  Empty for 8-bit
+  /// sessions.
+  OwnedImage16 displayed16;
   /// Color path only (rgb8 input processed with color output): the
   /// displayed RGB raster, transformed per the session's color mode
   /// ("shared-curve": the shared ψ per sub-pixel channel, §2 of the

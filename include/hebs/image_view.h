@@ -20,13 +20,18 @@ namespace hebs {
 
 /// Supported in-memory pixel layouts.
 enum class PixelFormat {
-  kGray8,  ///< one byte per pixel
-  kRgb8,   ///< three bytes per pixel, interleaved R,G,B
+  kGray8,   ///< one byte per pixel
+  kRgb8,    ///< three bytes per pixel, interleaved R,G,B
+  kGray16,  ///< one native-order uint16 sample per pixel (10/16-bit)
 };
 
 /// Bytes per pixel of a format.
 constexpr int bytes_per_pixel(PixelFormat format) noexcept {
-  return format == PixelFormat::kRgb8 ? 3 : 1;
+  switch (format) {
+    case PixelFormat::kRgb8: return 3;
+    case PixelFormat::kGray16: return 2;
+    default: return 1;
+  }
 }
 
 class ImageView {
@@ -46,6 +51,18 @@ class ImageView {
   static ImageView rgb8(const std::uint8_t* data, int width, int height,
                         std::ptrdiff_t stride_bytes = 0) noexcept {
     return ImageView(data, width, height, stride_bytes, PixelFormat::kRgb8);
+  }
+
+  /// A deep-pixel grayscale view: native-order uint16 samples, one per
+  /// pixel.  Only sessions configured with SessionConfig::bit_depth 10
+  /// or 16 accept gray16 views, and every sample must stay below
+  /// 2^bit_depth — an over-depth sample is a kInvalidImage at process
+  /// time, never a silent clamp.  0 stride means tightly packed
+  /// (2 * width bytes).
+  static ImageView gray16(const std::uint16_t* data, int width, int height,
+                          std::ptrdiff_t stride_bytes = 0) noexcept {
+    return ImageView(reinterpret_cast<const std::uint8_t*>(data), width,
+                     height, stride_bytes, PixelFormat::kGray16);
   }
 
   const std::uint8_t* data() const noexcept { return data_; }

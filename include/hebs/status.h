@@ -24,6 +24,7 @@ enum class StatusCode {
   kUnknownPolicy,  ///< policy name not present in the PolicyRegistry
   kUnknownMetric,  ///< metric name not present in the MetricRegistry
   kUnknownBackend, ///< kernel backend name not usable on this machine
+  kUnknownDepth,   ///< bit depth not supported, or view/config mismatch
   kIoError,        ///< loading/saving an external resource failed
   kInternal,       ///< unexpected failure inside the library
   kDeadlineExceeded,  ///< a frame blew its soft deadline; identity

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "image/image.h"
+#include "image/pixel_traits.h"
 
 namespace hebs {
 
@@ -28,6 +29,13 @@ Status SessionConfig::validate() const {
   if (color_mode_ != "shared-curve" && color_mode_ != "luma-ratio") {
     return invalid("color_mode", "\"shared-curve\" or \"luma-ratio\"",
                    "\"" + color_mode_ + "\"");
+  }
+  if (!hebs::image::supported_bit_depth(bit_depth())) {
+    // Unsupported depths get their own code so callers can distinguish
+    // "this build cannot decide that lattice" from an ordinary typo.
+    return Status(StatusCode::kUnknownDepth,
+                  "bit_depth must be 8, 10 or 16 (got " +
+                      std::to_string(bit_depth()) + ")");
   }
   if (segments_ < 1) {
     return invalid("segments", ">= 1", std::to_string(segments_));

@@ -6,6 +6,7 @@
 
 #include "api/view_convert.h"
 #include "kernels/kernels.h"
+#include "util/error.h"
 
 namespace hebs {
 
@@ -71,6 +72,26 @@ hebs::image::GrayImage materialize_gray(const ImageView& view) {
   for (int y = 0; y < view.height(); ++y) {
     kernels.luma_bt601_rgb8(view.row(y), static_cast<std::size_t>(w),
                             &out(0, y));
+  }
+  return out;
+}
+
+hebs::image::GrayImage16 materialize_gray16(const ImageView& view,
+                                            int levels) {
+  hebs::image::GrayImage16 out(view.width(), view.height(), levels);
+  const std::size_t row_bytes = static_cast<std::size_t>(view.width()) * 2;
+  auto dst = out.pixels();
+  for (int y = 0; y < view.height(); ++y) {
+    // memcpy per row: the view's rows may be strided or unaligned; the
+    // owned raster is packed native-order uint16.
+    std::memcpy(dst.data() + static_cast<std::size_t>(y) * view.width(),
+                view.row(y), row_bytes);
+  }
+  const std::uint16_t max_sample =
+      static_cast<std::uint16_t>(out.max_pixel());
+  for (std::uint16_t v : out.pixels()) {
+    HEBS_REQUIRE(v <= max_sample,
+                 "gray16 sample exceeds the session's bit depth");
   }
   return out;
 }

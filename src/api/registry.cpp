@@ -27,6 +27,11 @@ const std::vector<PolicyInfo>& policy_table() {
         "CBCS baseline [5]: histogram band truncation + concurrent "
         "brightness/contrast scaling, grid-searched"},
        PolicyKind::kCbcs},
+      {{"bbhe",
+        "brightness-preserving bi-histogram equalization (Kim 1997): "
+        "mean-split per-half equalization, backlight bisected against "
+        "the measured distortion budget; depth-generic (8/10/16-bit)"},
+       PolicyKind::kBbhe},
   };
   return table;
 }

@@ -19,6 +19,7 @@ enum class PolicyKind {
   kDls,          ///< DLS brightness compensation [4]
   kDlsContrast,  ///< DLS contrast enhancement [4]
   kCbcs,         ///< CBCS band grid search [5]
+  kBbhe,         ///< brightness-preserving bi-histogram equalization
 };
 
 struct PolicyInfo {

@@ -19,9 +19,12 @@
 #include "core/video.h"
 #include "image/synthetic.h"
 #include "kernels/kernels.h"
+#include "image/pixel_traits.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "pipeline/bbhe.h"
 #include "pipeline/engine.h"
+#include "pipeline/stages.h"
 #include "power/lcd_power.h"
 #include "util/error.h"
 #include "util/faultpoint.h"
@@ -55,6 +58,12 @@ OwnedRgbImage to_owned(const hebs::image::RgbImage& img) {
                        std::vector<std::uint8_t>(span.begin(), span.end()));
 }
 
+OwnedImage16 to_owned(const hebs::image::GrayImage16& img) {
+  const auto span = img.pixels();
+  return OwnedImage16(img.width(), img.height(), img.levels(),
+                      std::vector<std::uint16_t>(span.begin(), span.end()));
+}
+
 /// The operating point a FrameResult describes: its deployed curve Λ
 /// and β.  Reconstructing from the result's own points keeps the color
 /// stage a pure post-decision consumer of the stable result type.
@@ -75,8 +84,11 @@ Status require_rgb8(const ImageView& view, const char* what) {
   if (Status s = view.validate(); !s.ok()) return s;
   if (view.format() != PixelFormat::kRgb8) {
     return Status(StatusCode::kInvalidOption,
-                  std::string(what) +
-                      " requires an interleaved rgb8 view (got gray8)");
+                  std::string(what) + " requires an interleaved rgb8 view "
+                                      "(got " +
+                      (view.format() == PixelFormat::kGray16 ? "gray16"
+                                                             : "gray8") +
+                      ")");
   }
   return Status();
 }
@@ -91,7 +103,13 @@ void fill_evaluation(const core::EvaluatedPoint& eval, FrameResult& out) {
   out.saving_percent = eval.saving_percent;
   out.power = to_report(eval.power);
   out.reference_power = to_report(eval.reference_power);
-  out.displayed = to_owned(eval.transformed);
+  // Exactly one of the displayed rasters is populated, matching the
+  // evaluation's depth (transformed16 is set iff the frame was deep).
+  if (!eval.transformed16.empty()) {
+    out.displayed16 = to_owned(eval.transformed16);
+  } else {
+    out.displayed = to_owned(eval.transformed);
+  }
 }
 
 FrameResult to_frame_result(const core::HebsResult& r) {
@@ -302,6 +320,46 @@ struct Session::Impl {
            policy->kind == PolicyKind::kHebsCurve;
   }
 
+  /// Deep-pixel session: frames arrive as gray16 views and decisions
+  /// run on the configured level lattice instead of the 8-bit one.
+  bool deep() const noexcept { return cfg.bit_depth() != 8; }
+  int levels() const noexcept {
+    return hebs::image::levels_for_bit_depth(cfg.bit_depth());
+  }
+  int max_pixel() const noexcept { return levels() - 1; }
+
+  /// Policies a deep session can dispatch (the depth-generic ones).
+  bool deep_capable_policy() const noexcept {
+    return policy->kind == PolicyKind::kHebsExact ||
+           policy->kind == PolicyKind::kBbhe;
+  }
+
+  Status unsupported_deep_policy() const {
+    return Status(StatusCode::kInvalidOption,
+                  "policy \"" + policy->entry.name +
+                      "\" does not support deep-pixel sessions; bit_depth " +
+                      std::to_string(cfg.bit_depth()) +
+                      " requires \"hebs-exact\" or \"bbhe\"");
+  }
+
+  /// The typed view/depth contract: a deep session takes exactly gray16
+  /// views, an 8-bit session never does.  `what` names the entry point.
+  Status check_view_depth(const ImageView& view, const char* what) const {
+    if (deep() && view.format() != PixelFormat::kGray16) {
+      return Status(StatusCode::kUnknownDepth,
+                    std::string(what) + ": session bit_depth is " +
+                        std::to_string(cfg.bit_depth()) +
+                        " and requires gray16 views");
+    }
+    if (!deep() && view.format() == PixelFormat::kGray16) {
+      return Status(StatusCode::kUnknownDepth,
+                    std::string(what) +
+                        ": gray16 views require a session configured with "
+                        "bit_depth 10 or 16 (session bit_depth is 8)");
+    }
+    return Status();
+  }
+
   Expected<FrameResult> run_baseline(const hebs::image::GrayImage& img,
                                      double d_max_percent) {
     core::OperatingPoint point;
@@ -353,9 +411,74 @@ struct Session::Impl {
       case PolicyKind::kHebsCurve:
         return to_frame_result(core::hebs_with_curve(
             img, request.d_max_percent, ensure_curve(), hebs_opts, model));
+      case PolicyKind::kBbhe: {
+        pipeline::FrameContext ctx(img, hebs_opts, model);
+        return to_frame_result(
+            pipeline::run_bbhe(ctx, request.d_max_percent));
+      }
       default:
         return run_baseline(img, request.d_max_percent);
     }
+  }
+
+  /// Deep-pixel twin of run_one: the same staged pipeline through a
+  /// FrameContext bound on the frame's own level lattice.
+  Expected<FrameResult> run_one16(const FrameRequest& request,
+                                  const hebs::image::GrayImage16& img) {
+    if (request.fixed_range > 0 && policy->kind != PolicyKind::kHebsExact) {
+      return Status(StatusCode::kInvalidOption,
+                    "fixed_range on a deep session is only supported by "
+                    "\"hebs-exact\" (policy is \"" +
+                        policy->entry.name + "\")");
+    }
+    pipeline::FrameContext ctx(img, hebs_opts, model);
+    if (request.fixed_range > 0) {
+      return to_frame_result(ctx.at_range(request.fixed_range));
+    }
+    switch (policy->kind) {
+      case PolicyKind::kHebsExact:
+        return to_frame_result(
+            pipeline::run_exact(ctx, request.d_max_percent));
+      case PolicyKind::kBbhe:
+        return to_frame_result(
+            pipeline::run_bbhe(ctx, request.d_max_percent));
+      default:
+        return unsupported_deep_policy();
+    }
+  }
+
+  /// Deep-pixel arm of process_batch (views already validated and
+  /// depth-checked; policy already known deep-capable).  hebs-exact
+  /// fans out over the engine's pool exactly like the 8-bit batch;
+  /// bbhe loops serially over one reused context.
+  Expected<std::vector<FrameResult>> batch16(
+      const std::vector<ImageView>& frames, double d_max_percent) {
+    std::vector<hebs::image::GrayImage16> images;
+    images.reserve(frames.size());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      try {
+        images.push_back(api::materialize_gray16(frames[i], levels()));
+      } catch (const util::InvalidArgument& e) {
+        return Status(StatusCode::kInvalidImage,
+                      "frame " + std::to_string(i) + ": " + e.what());
+      }
+    }
+    std::vector<FrameResult> out;
+    out.reserve(images.size());
+    if (policy->kind == PolicyKind::kHebsExact) {
+      std::vector<pipeline::FrameFault> faults;
+      for (auto& r : engine.process_batch16(images, d_max_percent, &faults)) {
+        out.push_back(to_frame_result(r));
+        fill_fault(faults[out.size() - 1], out.back());
+      }
+      return out;
+    }
+    pipeline::FrameContext ctx(hebs_opts, model);
+    for (const auto& img : images) {
+      ctx.rebind(img);
+      out.push_back(to_frame_result(pipeline::run_bbhe(ctx, d_max_percent)));
+    }
+    return out;
   }
 
   /// Post-decision color stage for the serial facade paths: runs the
@@ -525,6 +648,12 @@ SessionStats Session::stats() const noexcept {
 }
 
 Expected<FrameResult> Session::process(const FrameRequest& request) {
+  if (impl_->deep() && request.color_output) {
+    return Status(StatusCode::kInvalidOption,
+                  "color_output is not supported on deep-pixel sessions "
+                  "(bit_depth " +
+                      std::to_string(impl_->cfg.bit_depth()) + ")");
+  }
   if (request.color_output) {
     if (Status s = require_rgb8(request.image, "color_output"); !s.ok()) {
       return s;
@@ -532,16 +661,22 @@ Expected<FrameResult> Session::process(const FrameRequest& request) {
   } else if (Status s = request.image.validate(); !s.ok()) {
     return s;
   }
+  if (Status s = impl_->check_view_depth(request.image, "process"); !s.ok()) {
+    return s;
+  }
   if (request.fixed_range == 0) {
     if (Status s = check_budget(request.d_max_percent); !s.ok()) return s;
   } else if (request.fixed_range < 2 ||
              request.fixed_range >
-                 hebs::image::kMaxPixel - impl_->cfg.g_min_floor()) {
+                 impl_->max_pixel() - impl_->cfg.g_min_floor()) {
     // Same floor as SessionConfig::min_range: a one-level range
-    // degenerates the PLC coarsening.
+    // degenerates the PLC coarsening.  The ceiling is the session
+    // depth's own pixel domain (255 for the default 8-bit session).
     return Status(StatusCode::kInvalidOption,
                   "fixed_range must be >= 2 and leave [g_min_floor, "
-                  "g_min_floor + range] inside the 8-bit domain (got " +
+                  "g_min_floor + range] inside the " +
+                      std::to_string(impl_->cfg.bit_depth()) +
+                      "-bit domain (got " +
                       std::to_string(request.fixed_range) + ")");
   }
   try {
@@ -567,6 +702,20 @@ Expected<FrameResult> Session::process(const FrameRequest& request) {
       fill_breakdown(counters_before, elapsed_ms(), *result);
       return result;
     }
+    if (impl_->deep()) {
+      hebs::image::GrayImage16 img;
+      try {
+        img = api::materialize_gray16(request.image, impl_->levels());
+      } catch (const util::InvalidArgument& e) {
+        // A sample above the declared depth is the caller's frame, not
+        // a library failure.
+        return Status(StatusCode::kInvalidImage, e.what());
+      }
+      auto result = impl_->run_one16(request, img);
+      if (!result) return result.status();
+      fill_breakdown(counters_before, elapsed_ms(), *result);
+      return result;
+    }
     const hebs::image::GrayImage img = api::materialize_gray(request.image);
     auto result = impl_->run_one(request, img);
     if (!result) return result.status();
@@ -585,8 +734,17 @@ Expected<std::vector<FrameResult>> Session::process_batch(
       return Status(s.code(),
                     "frame " + std::to_string(i) + ": " + s.message());
     }
+    if (Status s = impl_->check_view_depth(frames[i], "process_batch");
+        !s.ok()) {
+      return Status(s.code(),
+                    "frame " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  if (impl_->deep() && !impl_->deep_capable_policy()) {
+    return impl_->unsupported_deep_policy();
   }
   try {
+    if (impl_->deep()) return impl_->batch16(frames, d_max_percent);
     std::vector<hebs::image::GrayImage> images;
     images.reserve(frames.size());
     for (const ImageView& view : frames) {
@@ -610,6 +768,18 @@ Expected<std::vector<FrameResult>> Session::process_batch(
           fill_fault(faults[out.size() - 1], out.back());
         }
         break;
+      case PolicyKind::kBbhe: {
+        // BBHE's decision is cheap (no range search); a serial loop
+        // over one reused context keeps it allocation-friendly without
+        // engine fan-out.
+        pipeline::FrameContext ctx(impl_->hebs_opts, impl_->model);
+        for (const auto& img : images) {
+          ctx.rebind(img);
+          out.push_back(
+              to_frame_result(pipeline::run_bbhe(ctx, d_max_percent)));
+        }
+        break;
+      }
       default:
         // The engine's fan-out is HEBS-specific; the baselines' own grid
         // and bisection searches run per image on the calling thread.
@@ -626,9 +796,16 @@ Expected<std::vector<FrameResult>> Session::process_batch(
   }
 }
 
+
 Expected<std::vector<FrameResult>> Session::process_batch_color(
     const std::vector<ImageView>& frames, double d_max_percent) {
   if (Status s = check_budget(d_max_percent); !s.ok()) return s;
+  if (impl_->deep()) {
+    return Status(StatusCode::kInvalidOption,
+                  "color processing is not supported on deep-pixel sessions "
+                  "(bit_depth " +
+                      std::to_string(impl_->cfg.bit_depth()) + ")");
+  }
   for (std::size_t i = 0; i < frames.size(); ++i) {
     if (Status s = require_rgb8(frames[i], "process_batch_color"); !s.ok()) {
       return Status(s.code(),
@@ -675,6 +852,22 @@ Expected<std::vector<FrameResult>> Session::process_batch_color(
         }
         break;
       }
+      case PolicyKind::kBbhe: {
+        // Serial like the gray bbhe batch; the color stage renders each
+        // decided operating point on the calling thread.
+        pipeline::FrameContext ctx(impl_->hebs_opts, impl_->model);
+        std::vector<hebs::image::GrayImage> lumas;
+        lumas.reserve(rgbs.size());
+        for (const auto& rgb : rgbs) lumas.push_back(rgb.to_luma());
+        for (std::size_t i = 0; i < rgbs.size(); ++i) {
+          ctx.rebind(lumas[i]);
+          FrameResult fr =
+              to_frame_result(pipeline::run_bbhe(ctx, d_max_percent));
+          impl_->render_color(rgbs[i], lumas[i], fr);
+          out.push_back(std::move(fr));
+        }
+        break;
+      }
       default:
         // The baselines' own grid and bisection searches run per image
         // on the calling thread (as in process_batch); the color stage
@@ -697,6 +890,12 @@ Expected<std::vector<FrameResult>> Session::process_batch_color(
 Expected<std::vector<VideoFrameResult>> Session::process_video(
     const std::vector<ImageView>& frames, double d_max_percent) {
   if (Status s = check_budget(d_max_percent); !s.ok()) return s;
+  if (impl_->deep()) {
+    return Status(StatusCode::kInvalidOption,
+                  "video processing is not supported on deep-pixel sessions "
+                  "(bit_depth " +
+                      std::to_string(impl_->cfg.bit_depth()) + ")");
+  }
   if (impl_->policy->kind != PolicyKind::kHebsExact) {
     return Status(StatusCode::kInvalidOption,
                   "video processing runs the per-frame exact search and "
@@ -705,6 +904,11 @@ Expected<std::vector<VideoFrameResult>> Session::process_video(
   }
   for (std::size_t i = 0; i < frames.size(); ++i) {
     if (Status s = frames[i].validate(); !s.ok()) {
+      return Status(s.code(),
+                    "frame " + std::to_string(i) + ": " + s.message());
+    }
+    if (Status s = impl_->check_view_depth(frames[i], "process_video");
+        !s.ok()) {
       return Status(s.code(),
                     "frame " + std::to_string(i) + ": " + s.message());
     }
@@ -734,6 +938,12 @@ Expected<std::vector<VideoFrameResult>> Session::process_video(
 Expected<std::vector<VideoFrameResult>> Session::process_video_color(
     const std::vector<ImageView>& frames, double d_max_percent) {
   if (Status s = check_budget(d_max_percent); !s.ok()) return s;
+  if (impl_->deep()) {
+    return Status(StatusCode::kInvalidOption,
+                  "video processing is not supported on deep-pixel sessions "
+                  "(bit_depth " +
+                      std::to_string(impl_->cfg.bit_depth()) + ")");
+  }
   if (impl_->policy->kind != PolicyKind::kHebsExact) {
     return Status(StatusCode::kInvalidOption,
                   "video processing runs the per-frame exact search and "

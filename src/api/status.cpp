@@ -12,6 +12,7 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kUnknownPolicy: return "unknown-policy";
     case StatusCode::kUnknownMetric: return "unknown-metric";
     case StatusCode::kUnknownBackend: return "unknown-backend";
+    case StatusCode::kUnknownDepth: return "unknown-depth";
     case StatusCode::kIoError: return "io-error";
     case StatusCode::kInternal: return "internal";
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";

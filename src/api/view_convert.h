@@ -18,4 +18,12 @@ hebs::image::GrayImage materialize_gray(const ImageView& view);
 /// raster.  Precondition: view.validate().ok() and format == kRgb8.
 hebs::image::RgbImage materialize_rgb(const ImageView& view);
 
+/// Copies a gray16 view into an owned deep-pixel raster of `levels`
+/// representable levels.  Throws util::InvalidArgument when any sample
+/// is >= levels (the facade maps this to kInvalidImage — a deep view
+/// must fit the session's declared bit depth, never be clamped).
+/// Precondition: view.validate().ok() and format == kGray16.
+hebs::image::GrayImage16 materialize_gray16(const ImageView& view,
+                                            int levels);
+
 }  // namespace hebs::api

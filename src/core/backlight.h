@@ -14,23 +14,25 @@
 namespace hebs::core {
 
 /// β for a transformed image whose brightest level is `g_max_level`.
-/// `min_beta` guards the CCFL's lower operating limit.
-inline double beta_for_gmax(int g_max_level, double min_beta = 0.0) {
-  HEBS_REQUIRE(g_max_level >= 1 && g_max_level <= hebs::image::kMaxPixel,
-               "g_max must be in [1, 255]");
+/// `min_beta` guards the CCFL's lower operating limit.  `max_pixel` is
+/// the frame's level ceiling (255 for the paper's 8-bit path; the
+/// depth-generalized pipeline passes levels-1).
+inline double beta_for_gmax(int g_max_level, double min_beta = 0.0,
+                            int max_pixel = hebs::image::kMaxPixel) {
+  HEBS_REQUIRE(g_max_level >= 1 && g_max_level <= max_pixel,
+               "g_max must be in [1, max_pixel]");
   HEBS_REQUIRE(min_beta >= 0.0 && min_beta <= 1.0,
                "min_beta must be in [0, 1]");
-  const double beta =
-      static_cast<double>(g_max_level) / hebs::image::kMaxPixel;
+  const double beta = static_cast<double>(g_max_level) / max_pixel;
   return beta < min_beta ? min_beta : beta;
 }
 
 /// Largest brightest-level a backlight factor can display without
 /// clipping: the inverse of beta_for_gmax.
-inline int gmax_for_beta(double beta) {
+inline int gmax_for_beta(double beta,
+                         int max_pixel = hebs::image::kMaxPixel) {
   HEBS_REQUIRE(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
-  const int level =
-      static_cast<int>(beta * hebs::image::kMaxPixel);
+  const int level = static_cast<int>(beta * max_pixel);
   return level < 1 ? 1 : level;
 }
 

@@ -19,6 +19,14 @@ hebs::transform::FloatLut displayed_levels(const OperatingPoint& point) {
   });
 }
 
+hebs::transform::FloatLut displayed_levels(const OperatingPoint& point,
+                                           int levels) {
+  return point.luminance_transform.sample_levels(levels).map(
+      [&point](double y) {
+        return std::min(point.beta, util::clamp01(y));
+      });
+}
+
 EvaluatedPoint evaluate_operating_point(
     const hebs::image::GrayImage& original, const OperatingPoint& point,
     const hebs::power::LcdSubsystemPower& power_model,

@@ -42,11 +42,20 @@ OperatingPoint identity_operating_point();
 /// share.
 hebs::transform::FloatLut displayed_levels(const OperatingPoint& point);
 
+/// Depth-generalized sampling: ψ at the `levels` level centers.
+/// displayed_levels(point) is exactly displayed_levels(point, 256).
+hebs::transform::FloatLut displayed_levels(const OperatingPoint& point,
+                                           int levels);
+
 /// Everything measured about an operating point on a concrete image.
 struct EvaluatedPoint {
   OperatingPoint point;
   /// ψ(F) quantized to 8 bits — the paper's transformed image F'.
+  /// Empty when the evaluation ran on a deep-pixel frame.
   hebs::image::GrayImage transformed;
+  /// ψ(F) quantized on the frame's own level lattice for deep-pixel
+  /// evaluations; empty on the 8-bit path.
+  hebs::image::GrayImage16 transformed16;
   double distortion_percent = 0.0;
   double saving_percent = 0.0;
   hebs::power::PowerBreakdown power;   ///< power at the operating point

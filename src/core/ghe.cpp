@@ -9,13 +9,17 @@ namespace hebs::core {
 hebs::transform::PwlCurve ghe_transform(
     const hebs::histogram::Histogram& hist, const GheTarget& target) {
   HEBS_REQUIRE(!hist.empty(), "GHE of an empty histogram");
-  HEBS_REQUIRE(target.g_min >= 0 && target.g_max <= hebs::image::kMaxPixel &&
+  // Depth-generic: the level lattice is the histogram's own bin count
+  // (256 for the 8-bit path, where maxv is exactly the old kMaxPixel).
+  const int bins = hist.bins();
+  const int maxv = bins - 1;
+  HEBS_REQUIRE(target.g_min >= 0 && target.g_max <= maxv &&
                    target.g_min < target.g_max,
                "invalid GHE target range");
 
   const auto cum = hist.cumulative_counts();
-  const double lo = static_cast<double>(target.g_min) / hebs::image::kMaxPixel;
-  const double hi = static_cast<double>(target.g_max) / hebs::image::kMaxPixel;
+  const double lo = static_cast<double>(target.g_min) / maxv;
+  const double hi = static_cast<double>(target.g_max) / maxv;
 
   // Eq. 7 uses the *exclusive* cumulative sum Σ_{k<i} h(x_k): the darkest
   // populated level maps exactly to g_min and the slope after level i is
@@ -30,9 +34,9 @@ hebs::transform::PwlCurve ghe_transform(
       total - static_cast<double>(hist.count(max_level));
 
   hebs::transform::PwlCurve::PointList pts;
-  pts.reserve(static_cast<std::size_t>(hebs::image::kLevels));
-  for (int level = 0; level < hebs::image::kLevels; ++level) {
-    const double x = static_cast<double>(level) / hebs::image::kMaxPixel;
+  pts.reserve(static_cast<std::size_t>(bins));
+  for (int level = 0; level < bins; ++level) {
+    const double x = static_cast<double>(level) / maxv;
     double rank;
     if (denom <= 0.0) {
       // Degenerate single-level histogram: send the populated level (and

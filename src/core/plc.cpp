@@ -65,6 +65,15 @@ class ChordError {
   hebs::util::PoolVector<double> sx_, sy_, sxx_, syy_, sxy_;
 };
 
+/// Candidate-count ceiling for the DP.  The program is O(m n²) (with
+/// pruning) in the breakpoint candidates, which is fine on the 8-bit
+/// (257-point) and 10-bit (1025-point) lattices but takes tens of
+/// seconds on a dense 16-bit curve (65536 points per ghe_transform).
+/// Above the cap the candidate set is uniformly decimated — endpoints
+/// always kept — before the DP runs.  Lattices at or below the cap are
+/// untouched, so u8/u10 results stay byte-for-byte identical.
+constexpr std::size_t kMaxDpPoints = 4096;
+
 }  // namespace
 
 PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
@@ -72,6 +81,21 @@ PlcResult plc_coarsen(const hebs::transform::PwlCurve& exact, int segments) {
   const auto& pts = exact.points();
   const std::size_t n = pts.size();
   HEBS_REQUIRE(n >= 2, "cannot coarsen a degenerate curve");
+
+  if (n > kMaxDpPoints) {
+    const std::size_t stride = (n - 2) / (kMaxDpPoints - 1) + 1;
+    hebs::util::PoolVector<std::size_t> sel;
+    sel.reserve(kMaxDpPoints + 1);
+    for (std::size_t i = 0; i + 1 < n; i += stride) sel.push_back(i);
+    sel.push_back(n - 1);
+    hebs::transform::PwlCurve::PointList sub;
+    sub.reserve(sel.size());
+    for (std::size_t idx : sel) sub.push_back(pts[idx]);
+    PlcResult result =
+        plc_coarsen(hebs::transform::PwlCurve(std::move(sub)), segments);
+    for (std::size_t& idx : result.breakpoint_indices) idx = sel[idx];
+    return result;
+  }
 
   PlcResult result;
   if (static_cast<std::size_t>(segments) >= n - 1) {

@@ -1,30 +1,50 @@
 // Image histogram and cumulative-distribution machinery.
 //
 // The paper's GHE formulation (Eqs. 4-7) works on the marginal histogram
-// h(x) and the cumulative histogram H(x) of 8-bit pixel values.  This
-// class owns the 256-bin counts and provides the statistics every other
+// h(x) and the cumulative histogram H(x) of pixel values.  This class
+// owns the per-bin counts and provides the statistics every other
 // module needs (CDF lookups, percentiles, dynamic range, entropy).
+//
+// Depth model: the bin count is a runtime property (bins()) set by the
+// frame the histogram was built from — 256 for the paper's 8-bit path,
+// 1024/65536 for deep-pixel frames.  Every statistic iterates bins()
+// entries; at 256 bins the arithmetic is exactly what the old
+// fixed-array implementation produced, which is what keeps the u8
+// pipeline bit-identical.  kBins remains the 8-bit constant for the
+// u8-only callers (streaming scaler, LHE, fixed-point GHE LUT).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "image/image.h"
+#include "util/pool.h"
 
 namespace hebs::histogram {
 
-/// A 256-bin histogram of 8-bit pixel values.
+/// An N-bin histogram of pixel values (N = 256 unless built from a
+/// deep-pixel frame).
 class Histogram {
  public:
+  /// The 8-bit bin count; the default for histograms not built from a
+  /// deep-pixel image.
   static constexpr int kBins = hebs::image::kLevels;
 
-  /// All-zero histogram.
-  Histogram() = default;
+  /// All-zero 256-bin histogram.
+  Histogram() : Histogram(kBins) {}
 
-  /// Builds the histogram of a grayscale image.
+  /// All-zero histogram of `bins` bins (bins in [2, 65536]).
+  explicit Histogram(int bins);
+
+  /// Number of bins (== the level count of the source frame).
+  int bins() const noexcept { return bins_; }
+
+  /// Builds the histogram of an 8-bit grayscale image (256 bins).
   static Histogram from_image(const hebs::image::GrayImage& img);
+
+  /// Builds the histogram of a deep-pixel image (img.levels() bins).
+  static Histogram from_image(const hebs::image::GrayImage16& img);
 
   /// Incremental update for temporally coherent frames: refreshes this
   /// histogram — which must be the histogram of `prev` — into the
@@ -40,10 +60,18 @@ class Histogram {
                           std::size_t max_changed,
                           std::size_t* changed_out = nullptr);
 
-  /// Builds from explicit per-bin counts (size must be kBins).
+  /// Deep-pixel twin of the delta refresh (same contract; the frames
+  /// must share this histogram's level count).
+  bool refresh_from_delta(const hebs::image::GrayImage16& prev,
+                          const hebs::image::GrayImage16& cur,
+                          std::size_t max_changed,
+                          std::size_t* changed_out = nullptr);
+
+  /// Builds from explicit per-bin counts (one bin per entry; size must
+  /// be in [2, 65536]).
   static Histogram from_counts(std::span<const std::uint64_t> counts);
 
-  /// Count in one bin; `level` must be in [0, 255].
+  /// Count in one bin; `level` must be in [0, bins()).
   std::uint64_t count(int level) const;
 
   /// Adds `n` samples at `level`.
@@ -61,10 +89,10 @@ class Histogram {
   /// Zero for an empty histogram.
   double cdf(int level) const;
 
-  /// Raw cumulative counts, one entry per level.  Returned by value as a
-  /// fixed array — the per-target GHE solve calls this every probe, and
-  /// an array keeps it off the heap.
-  std::array<std::uint64_t, kBins> cumulative_counts() const;
+  /// Raw cumulative counts, one entry per level.  Pool-backed so the
+  /// per-target GHE solve (which calls this every probe) recycles the
+  /// worker's BufferPool instead of the heap.
+  hebs::util::PoolVector<std::uint64_t> cumulative_counts() const;
 
   /// Mean pixel level.
   double mean() const;
@@ -93,7 +121,13 @@ class Histogram {
   bool operator==(const Histogram& other) const = default;
 
  private:
-  std::array<std::uint64_t, kBins> counts_{};
+  template <typename Image>
+  bool refresh_from_delta_impl(const Image& prev, const Image& cur,
+                               std::size_t max_changed,
+                               std::size_t* changed_out);
+
+  int bins_ = kBins;
+  hebs::util::PoolVector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
 };
 

@@ -11,15 +11,16 @@
 #include <span>
 #include <vector>
 
+#include "image/pixel_traits.h"
 #include "util/pool.h"
 
 namespace hebs::image {
 
 /// Number of representable grayscale levels for 8-bit pixels.
-inline constexpr int kLevels = 256;
+inline constexpr int kLevels = PixelTraits<std::uint8_t>::kLevels;
 
 /// Maximum 8-bit pixel value.
-inline constexpr int kMaxPixel = 255;
+inline constexpr int kMaxPixel = PixelTraits<std::uint8_t>::kMaxValue;
 
 /// An 8-bit single-channel raster image, row-major.
 class GrayImage {
@@ -89,6 +90,92 @@ class GrayImage {
   hebs::util::PoolVector<std::uint8_t> pixels_;
 };
 
+/// A deep-pixel (> 8-bit) single-channel raster, row-major, stored as
+/// 16-bit samples.  Unlike GrayImage, the level count is a runtime
+/// property carried by the image: 10-bit video holds 1024 levels and
+/// 16-bit stills 65536, both in the same storage type (every sample is
+/// < levels()).  The HEBS pipeline reads levels() wherever the 8-bit
+/// path reads kLevels.
+class GrayImage16 {
+ public:
+  /// Empty 0x0 image (levels defaults to the full 16-bit ceiling).
+  GrayImage16() = default;
+
+  /// Creates a width x height image of `levels` representable levels
+  /// (every pixel set to `fill`, which must be < levels).
+  GrayImage16(int width, int height, int levels,
+              std::uint16_t fill = 0);
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+  /// Representable level count (1024 for 10-bit, 65536 for 16-bit).
+  int levels() const noexcept { return levels_; }
+
+  /// Largest representable sample value, levels() - 1.
+  int max_pixel() const noexcept { return levels_ - 1; }
+
+  /// Total number of pixels.
+  std::size_t size() const noexcept { return pixels_.size(); }
+  bool empty() const noexcept { return pixels_.empty(); }
+
+  /// Unchecked pixel access (x = column, y = row).
+  std::uint16_t operator()(int x, int y) const noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  std::uint16_t& operator()(int x, int y) noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Bounds-checked pixel access; throws InvalidArgument when outside.
+  std::uint16_t at(int x, int y) const;
+  void set(int x, int y, std::uint16_t v);
+
+  /// True when (x, y) lies inside the raster.
+  bool contains(int x, int y) const noexcept {
+    return x >= 0 && y >= 0 && x < width_ && y < height_;
+  }
+
+  /// Raw pixel storage, row-major.
+  std::span<const std::uint16_t> pixels() const noexcept { return pixels_; }
+  std::span<std::uint16_t> pixels() noexcept { return pixels_; }
+
+  /// Builds an image by copying a row-major sample buffer; `pixels`
+  /// must hold exactly width * height samples, all < levels.
+  static GrayImage16 from_pixels(int width, int height, int levels,
+                                 std::span<const std::uint16_t> pixels);
+
+  /// Widens an 8-bit image into `levels` levels by exact ratio scaling
+  /// (v * (levels-1) / 255 — 255 always divides for the supported
+  /// level counts' companions, but the rounding division is exact
+  /// regardless).  An 8-bit frame widened to 16 bits maps v -> 257 v.
+  static GrayImage16 widen(const GrayImage& g, int levels);
+
+  /// Sets every pixel to `v`.
+  void fill(std::uint16_t v) noexcept;
+
+  /// Mean pixel value in [0, max_pixel()]; 0 for an empty image.
+  double mean() const noexcept;
+
+  /// Minimum and maximum pixel values; {0, 0} for an empty image.
+  struct MinMax {
+    std::uint16_t min = 0;
+    std::uint16_t max = 0;
+  };
+  MinMax min_max() const noexcept;
+
+  /// Dynamic range max - min; 0 for an empty image.
+  int dynamic_range() const noexcept;
+
+  bool operator==(const GrayImage16& other) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int levels_ = PixelTraits<std::uint16_t>::kLevels;
+  hebs::util::PoolVector<std::uint16_t> pixels_;
+};
+
 /// A normalized-luminance raster (values nominally in [0, 1]), row-major.
 class FloatImage {
  public:
@@ -116,8 +203,17 @@ class FloatImage {
   /// Converts normalized pixel values X/255 into a FloatImage.
   static FloatImage from_gray(const GrayImage& g);
 
+  /// Converts normalized deep-pixel values X/(levels-1) into a
+  /// FloatImage — the depth-generalized twin of from_gray (at 256
+  /// levels the per-level normalization table holds the same doubles).
+  static FloatImage from_gray16(const GrayImage16& g);
+
   /// Quantizes back to 8 bits with rounding and clamping.
   GrayImage to_gray() const;
+
+  /// Quantizes to a deep-pixel raster of `levels` levels:
+  /// lround(clamp01(v) * (levels-1)).
+  GrayImage16 to_gray16(int levels) const;
 
  private:
   int width_ = 0;

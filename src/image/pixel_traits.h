@@ -1,0 +1,54 @@
+// Pixel-depth traits: the one place the level count of a sample type is
+// defined.
+//
+// The paper's machinery (GHE, PLC, backlight scaling) is depth-agnostic:
+// every formula works on normalized levels x/(L-1) and N-bin histograms.
+// Only the storage type and the level count L differ between the 8-bit
+// path the paper assumes and the 10/16-bit content modern panels carry.
+// `PixelTraits` names that pair per sample type; the runtime `levels`
+// values threaded through Histogram/FloatLut/FrameContext all originate
+// here (or from a PNM maxval / SessionConfig::bit_depth, clamped to
+// these bounds).
+#pragma once
+
+#include <cstdint>
+
+namespace hebs::image {
+
+template <typename T>
+struct PixelTraits;
+
+/// 8-bit samples: the paper's depth.  256 levels, frozen semantics —
+/// every 256-leveled constant in the codebase (kLevels/kMaxPixel) is
+/// this specialization's value by definition.
+template <>
+struct PixelTraits<std::uint8_t> {
+  using value_type = std::uint8_t;
+  static constexpr int kBitDepth = 8;
+  static constexpr int kLevels = 256;
+  static constexpr int kMaxValue = 255;
+};
+
+/// 16-bit samples: the storage type for everything above 8 bits.
+/// 10-bit video and 16-bit stills both live here; the *effective* level
+/// count is a runtime property of the image (GrayImage16::levels()),
+/// bounded by this trait's ceiling.
+template <>
+struct PixelTraits<std::uint16_t> {
+  using value_type = std::uint16_t;
+  static constexpr int kBitDepth = 16;
+  static constexpr int kLevels = 65536;
+  static constexpr int kMaxValue = 65535;
+};
+
+/// Level count of a bit depth (8 -> 256, 10 -> 1024, 16 -> 65536).
+constexpr int levels_for_bit_depth(int bit_depth) noexcept {
+  return 1 << bit_depth;
+}
+
+/// True when `bit_depth` is one of the supported session depths.
+constexpr bool supported_bit_depth(int bit_depth) noexcept {
+  return bit_depth == 8 || bit_depth == 10 || bit_depth == 16;
+}
+
+}  // namespace hebs::image

@@ -67,10 +67,20 @@ PnmHeader read_header(std::istream& in, const std::string& path) {
   if (h.width <= 0 || h.height <= 0) {
     throw util::IoError("non-positive PNM dimensions in " + path);
   }
-  if (h.maxval <= 0 || h.maxval > 255) {
-    throw util::IoError("unsupported PNM maxval (must be 1..255) in " + path);
+  if (h.maxval <= 0 || h.maxval > 65535) {
+    throw util::IoError("unsupported PNM maxval (must be 1..65535) in " +
+                        path);
   }
   return h;
+}
+
+/// The 8-bit readers' depth gate: they keep their historical contract
+/// (and message) of rejecting deep files; read_pgm16 is the entry
+/// point that accepts them.
+void require_8bit_maxval(const PnmHeader& h, const std::string& path) {
+  if (h.maxval > 255) {
+    throw util::IoError("unsupported PNM maxval (must be 1..255) in " + path);
+  }
 }
 
 std::uint8_t scale_to_255(int raw, int maxval) {
@@ -135,6 +145,7 @@ GrayImage read_pgm(const std::string& path) {
   if (h.magic != "P2" && h.magic != "P5") {
     throw util::IoError("not a PGM file: " + path);
   }
+  require_8bit_maxval(h, path);
   GrayImage img(h.width, h.height);
   auto dst = img.pixels();
   if (h.magic == "P5") {
@@ -159,6 +170,68 @@ GrayImage read_pgm(const std::string& path) {
   return img;
 }
 
+void write_pgm16(const GrayImage16& img, const std::string& path) {
+  HEBS_REQUIRE(!img.empty(), "cannot write an empty image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
+  out << "P5\n" << img.width() << ' ' << img.height() << '\n'
+      << img.max_pixel() << '\n';
+  if (img.max_pixel() <= 255) {
+    for (std::uint16_t v : img.pixels()) {
+      out.put(static_cast<char>(v));
+    }
+  } else {
+    // Two bytes per sample, most significant first (the PGM byte order
+    // for maxval > 255), independent of host endianness.
+    for (std::uint16_t v : img.pixels()) {
+      out.put(static_cast<char>(v >> 8));
+      out.put(static_cast<char>(v & 0xff));
+    }
+  }
+  if (!out) throw util::IoError("write failed: " + path);
+}
+
+GrayImage16 read_pgm16(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open for reading: " + path);
+  const PnmHeader h = read_header(in, path);
+  if (h.magic != "P2" && h.magic != "P5") {
+    throw util::IoError("not a PGM file: " + path);
+  }
+  GrayImage16 img(h.width, h.height, h.maxval + 1);
+  auto dst = img.pixels();
+  if (h.magic == "P5") {
+    const int bytes_per_sample = h.maxval > 255 ? 2 : 1;
+    std::vector<char> buf(img.size() * bytes_per_sample);
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (in.gcount() != static_cast<std::streamsize>(buf.size())) {
+      throw util::IoError("truncated PGM pixel data in " + path);
+    }
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      const int v =
+          bytes_per_sample == 2
+              ? (static_cast<unsigned char>(buf[2 * i]) << 8) |
+                    static_cast<unsigned char>(buf[2 * i + 1])
+              : static_cast<unsigned char>(buf[i]);
+      if (v > h.maxval) {
+        throw util::IoError("PGM binary sample " + std::to_string(v) +
+                            " exceeds maxval " + std::to_string(h.maxval) +
+                            " in " + path);
+      }
+      dst[i] = static_cast<std::uint16_t>(v);
+    }
+  } else {
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      const int v = parse_int(in, "pixel");
+      if (v < 0 || v > h.maxval) {
+        throw util::IoError("PGM pixel out of range in " + path);
+      }
+      dst[i] = static_cast<std::uint16_t>(v);
+    }
+  }
+  return img;
+}
+
 RgbImage read_ppm(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw util::IoError("cannot open for reading: " + path);
@@ -166,6 +239,7 @@ RgbImage read_ppm(const std::string& path) {
   if (h.magic != "P3" && h.magic != "P6") {
     throw util::IoError("not a PPM file: " + path);
   }
+  require_8bit_maxval(h, path);
   RgbImage img(h.width, h.height);
   auto dst = img.data();
   if (h.magic == "P6") {

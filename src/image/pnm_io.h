@@ -27,4 +27,18 @@ GrayImage read_pgm(const std::string& path);
 /// Reads a PPM file (P3 or P6). Throws IoError on malformed input.
 RgbImage read_ppm(const std::string& path);
 
+/// Writes a deep-pixel grayscale image as binary PGM (P5) with
+/// maxval = img.max_pixel().  Per the PGM specification, a maxval above
+/// 255 stores each sample as two bytes, most significant first
+/// (big-endian).  Samples are written raw — no rescaling.
+void write_pgm16(const GrayImage16& img, const std::string& path);
+
+/// Reads a PGM file (P2 or P5) of any maxval in [1, 65535] into a
+/// deep-pixel image of maxval + 1 levels, preserving the raw samples
+/// (no rescaling; an 8-bit file yields a 256-level GrayImage16).
+/// Binary files with maxval > 255 carry big-endian two-byte samples.
+/// Throws IoError on malformed input, truncated pixel data, or any
+/// sample above maxval.
+GrayImage16 read_pgm16(const std::string& path);
+
 }  // namespace hebs::image

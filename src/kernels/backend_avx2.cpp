@@ -38,6 +38,53 @@ void histogram_u8_avx2(const std::uint8_t* src, std::size_t n,
   });
 }
 
+// Uniformity probe over 16 u16 samples (one 256-bit vector): the
+// sample value when all sixteen equal p[0], else -1.
+int uniform16_avx2(const std::uint16_t* p) {
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m256i first = _mm256_set1_epi16(static_cast<short>(p[0]));
+  const int mask = _mm256_movemask_epi8(_mm256_cmpeq_epi16(v, first));
+  return mask == -1 ? static_cast<int>(p[0]) : -1;
+}
+
+void histogram_u16_avx2(const std::uint16_t* src, std::size_t n,
+                        std::uint64_t* counts) {
+  tuned::histogram_u16_runs<16>(src, n, counts, &uniform16_avx2);
+}
+
+void lut_apply_u16_avx2(const std::uint16_t* src, std::size_t n,
+                        const std::uint16_t* lut, std::uint16_t* dst) {
+  tuned::lut_apply_u16_blocks<16>(
+      src, n, lut, dst, &uniform16_avx2,
+      [](std::uint16_t* out, std::uint16_t value) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                            _mm256_set1_epi16(static_cast<short>(value)));
+      });
+}
+
+std::uint64_t sum_u16_avx2(const std::uint16_t* src, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  const std::size_t vec_end = n - n % 16;
+  while (i < vec_end) {
+    // 32-bit lane accumulators: each iteration adds at most 2 * 65535
+    // per lane, so draining every 2^14 iterations stays far below 2^32.
+    const std::size_t stop = std::min(vec_end, i + std::size_t{16384} * 16);
+    __m256i acc = _mm256_setzero_si256();
+    for (; i < stop; i += 16) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      acc = _mm256_add_epi32(acc, _mm256_unpacklo_epi16(v, zero));
+      acc = _mm256_add_epi32(acc, _mm256_unpackhi_epi16(v, zero));
+    }
+    alignas(32) std::uint32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (const std::uint32_t lane : lanes) total += lane;
+  }
+  return total + ref::sum_u16(src + i, n - i);
+}
+
 /// Smallest/largest byte across four 256-bit vectors, via lane folds.
 inline void minmax_epu8_4(__m256i v0, __m256i v1, __m256i v2, __m256i v3,
                           int* out_min, int* out_max) {
@@ -427,6 +474,9 @@ const KernelSet* kernelset_avx2() {
       &lut_apply_rgb8_avx2,
       &luma_bt601_rgb8_avx2,
       &sum_u8_avx2,
+      &histogram_u16_avx2,
+      &lut_apply_u16_avx2,
+      &sum_u16_avx2,
       &ref::lut_apply_f64,
       &ref::mul_f64,
       &ref::saxpy_f64,

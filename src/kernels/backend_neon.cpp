@@ -27,6 +27,43 @@ void histogram_u8_neon(const std::uint8_t* src, std::size_t n,
   });
 }
 
+// Uniformity probe over 16 u16 samples (two 128-bit vectors): the
+// sample value when all sixteen equal p[0], else -1.
+int uniform16_neon(const std::uint16_t* p) {
+  const uint16x8_t a = vld1q_u16(p);
+  const uint16x8_t b = vld1q_u16(p + 8);
+  const uint16x8_t mn = vminq_u16(a, b);
+  const uint16x8_t mx = vmaxq_u16(a, b);
+  const std::uint16_t lo = vminvq_u16(mn);
+  const std::uint16_t hi = vmaxvq_u16(mx);
+  return lo == hi ? static_cast<int>(lo) : -1;
+}
+
+void histogram_u16_neon(const std::uint16_t* src, std::size_t n,
+                        std::uint64_t* counts) {
+  tuned::histogram_u16_runs<16>(src, n, counts, &uniform16_neon);
+}
+
+void lut_apply_u16_neon(const std::uint16_t* src, std::size_t n,
+                        const std::uint16_t* lut, std::uint16_t* dst) {
+  tuned::lut_apply_u16_blocks<16>(
+      src, n, lut, dst, &uniform16_neon,
+      [](std::uint16_t* out, std::uint16_t value) {
+        const uint16x8_t v = vdupq_n_u16(value);
+        vst1q_u16(out, v);
+        vst1q_u16(out + 8, v);
+      });
+}
+
+std::uint64_t sum_u16_neon(const std::uint16_t* src, std::size_t n) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    total += vaddlvq_u16(vld1q_u16(src + i));
+  }
+  return total + ref::sum_u16(src + i, n - i);
+}
+
 void luma_bt601_rgb8_neon(const std::uint8_t* rgb, std::size_t n,
                           std::uint8_t* dst) {
   const float64x2_t cr = vdupq_n_f64(0.299);
@@ -138,6 +175,9 @@ const KernelSet* kernelset_neon() {
       &ref::lut_apply_rgb8,
       &luma_bt601_rgb8_neon,
       &sum_u8_neon,
+      &histogram_u16_neon,
+      &lut_apply_u16_neon,
+      &sum_u16_neon,
       &ref::lut_apply_f64,
       &ref::mul_f64,
       &ref::saxpy_f64,

@@ -15,6 +15,9 @@ const KernelSet* kernelset_scalar() {
       &ref::lut_apply_rgb8,
       &ref::luma_bt601_rgb8,
       &ref::sum_u8,
+      &ref::histogram_u16,
+      &ref::lut_apply_u16,
+      &ref::sum_u16,
       &ref::lut_apply_f64,
       &ref::mul_f64,
       &ref::saxpy_f64,

@@ -28,6 +28,56 @@ void histogram_u8_sse42(const std::uint8_t* src, std::size_t n,
   });
 }
 
+// Uniformity probe over 16 u16 samples (two 128-bit vectors): the
+// sample value when all sixteen equal p[0], else -1.
+int uniform16_sse42(const std::uint16_t* p) {
+  const __m128i first = _mm_set1_epi16(static_cast<short>(p[0]));
+  const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 8));
+  const __m128i eq =
+      _mm_and_si128(_mm_cmpeq_epi16(a, first), _mm_cmpeq_epi16(b, first));
+  return _mm_movemask_epi8(eq) == 0xFFFF ? static_cast<int>(p[0]) : -1;
+}
+
+void histogram_u16_sse42(const std::uint16_t* src, std::size_t n,
+                         std::uint64_t* counts) {
+  tuned::histogram_u16_runs<16>(src, n, counts, &uniform16_sse42);
+}
+
+void lut_apply_u16_sse42(const std::uint16_t* src, std::size_t n,
+                         const std::uint16_t* lut, std::uint16_t* dst) {
+  tuned::lut_apply_u16_blocks<16>(
+      src, n, lut, dst, &uniform16_sse42,
+      [](std::uint16_t* out, std::uint16_t value) {
+        const __m128i v = _mm_set1_epi16(static_cast<short>(value));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 8), v);
+      });
+}
+
+std::uint64_t sum_u16_sse42(const std::uint16_t* src, std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  const std::size_t vec_end = n - n % 8;
+  while (i < vec_end) {
+    // 32-bit lane accumulators: each iteration adds at most 2 * 65535
+    // per lane, so draining every 2^14 iterations stays far below 2^32.
+    const std::size_t stop = std::min(vec_end, i + std::size_t{16384} * 8);
+    __m128i acc = _mm_setzero_si128();
+    for (; i < stop; i += 8) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      acc = _mm_add_epi32(acc, _mm_unpacklo_epi16(v, zero));
+      acc = _mm_add_epi32(acc, _mm_unpackhi_epi16(v, zero));
+    }
+    alignas(16) std::uint32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    total += std::uint64_t{lanes[0]} + lanes[1] + lanes[2] + lanes[3];
+  }
+  return total + ref::sum_u16(src + i, n - i);
+}
+
 void luma_bt601_rgb8_sse42(const std::uint8_t* rgb, std::size_t n,
                            std::uint8_t* dst) {
   const __m128d cr = _mm_set1_pd(0.299);
@@ -140,6 +190,9 @@ const KernelSet* kernelset_sse42() {
       &ref::lut_apply_rgb8,
       &luma_bt601_rgb8_sse42,
       &sum_u8_sse42,
+      &histogram_u16_sse42,
+      &lut_apply_u16_sse42,
+      &sum_u16_sse42,
       &ref::lut_apply_f64,
       &ref::mul_f64,
       &ref::saxpy_f64,

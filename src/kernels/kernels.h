@@ -77,6 +77,24 @@ struct KernelSet {
   /// Sum of n bytes (exact in 64 bits for any raster < 2^56 pixels).
   std::uint64_t (*sum_u8)(const std::uint8_t* src, std::size_t n);
 
+  // -------------------------------------- deep-pixel integer kernels
+  // The u16 twins of the three per-pixel primitives the depth-
+  // generalized pipeline needs (10/16-bit content stored as 16-bit
+  // samples).  Same shape as the u8 entries: the caller sizes the
+  // counts / lut arrays to the frame's level count; every sample is
+  // < that count by the GrayImage16 invariant.  All three are pure
+  // integer kernels, so backends are trivially bit-identical.
+  /// counts[v] += number of occurrences of v in src[0..n)
+  /// (caller-sized bins; counts is accumulated into, not cleared).
+  void (*histogram_u16)(const std::uint16_t* src, std::size_t n,
+                        std::uint64_t* counts);
+  /// dst[i] = lut[src[i]] for a caller-sized 16-bit table.
+  void (*lut_apply_u16)(const std::uint16_t* src, std::size_t n,
+                        const std::uint16_t* lut, std::uint16_t* dst);
+  /// Sum of n 16-bit samples (exact in 64 bits for any raster
+  /// < 2^48 pixels).
+  std::uint64_t (*sum_u16)(const std::uint16_t* src, std::size_t n);
+
   // ------------------------- float kernels (elementwise, bit-exact)
   /// dst[i] = lut[src[i]] for a 256-entry double table.
   void (*lut_apply_f64)(const std::uint8_t* src, std::size_t n,

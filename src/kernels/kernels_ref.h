@@ -55,6 +55,22 @@ inline std::uint64_t sum_u8(const std::uint8_t* src, std::size_t n) {
   return acc;
 }
 
+inline void histogram_u16(const std::uint16_t* src, std::size_t n,
+                          std::uint64_t* counts) {
+  for (std::size_t i = 0; i < n; ++i) ++counts[src[i]];
+}
+
+inline void lut_apply_u16(const std::uint16_t* src, std::size_t n,
+                          const std::uint16_t* lut, std::uint16_t* dst) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = lut[src[i]];
+}
+
+inline std::uint64_t sum_u16(const std::uint16_t* src, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += src[i];
+  return acc;
+}
+
 inline void lut_apply_f64(const std::uint8_t* src, std::size_t n,
                           const double* lut, double* dst) {
   for (std::size_t i = 0; i < n; ++i) dst[i] = lut[src[i]];

@@ -1,0 +1,151 @@
+#include "pipeline/bbhe.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/error.h"
+#include "util/pool.h"
+
+namespace hebs::pipeline {
+
+namespace {
+
+/// BBHE's split point Xm: the highest populated level at or below the
+/// histogram's mean.  Both the mean and the candidate levels are
+/// compared in normalized [0, 1] space, and the split is anchored at a
+/// *populated* level, which makes the choice depth-invariant: a u16
+/// frame holding ratio-widened u8 content (257 v / 65535 == v / 255
+/// exactly in IEEE doubles) partitions its populated levels identically
+/// to the u8 frame.  A lattice-space integer mean would not — the
+/// floored division lands between widened lattice points.
+int mean_split_level(const hebs::histogram::Histogram& hist) {
+  const double maxv = static_cast<double>(hist.bins() - 1);
+  double weighted = 0.0;
+  for (int level = 0; level < hist.bins(); ++level) {
+    weighted += static_cast<double>(level) / maxv *
+                static_cast<double>(hist.count(level));
+  }
+  const double mean = weighted / static_cast<double>(hist.total());
+  int xm = hist.min_level();
+  for (int level = hist.min_level(); level <= hist.max_level(); ++level) {
+    if (hist.count(level) == 0) continue;
+    if (static_cast<double>(level) / maxv <= mean) xm = level;
+  }
+  return xm;
+}
+
+/// Equalizes one histogram half [first..last] into the normalized band
+/// [y_lo, y_hi], writing y[first..last].  Uses the exclusive-rank
+/// normalization of the repo's GHE (DESIGN.md §3): the half's lowest
+/// populated level maps exactly to y_lo and its highest exactly to
+/// y_hi, so the composite transform preserves the native endpoints.
+/// Unpopulated levels inherit the running value (flat segments), which
+/// keeps the curve monotone.  A half with all its mass on one level
+/// maps that level to y_lo (denominator zero — nothing to spread).
+void equalize_half(const hebs::histogram::Histogram& hist, int first,
+                   int last, double y_lo, double y_hi,
+                   hebs::util::PoolVector<double>& y) {
+  std::uint64_t n = 0;
+  for (int level = first; level <= last; ++level) n += hist.count(level);
+  int top = last;
+  while (top > first && hist.count(top) == 0) --top;
+  const std::uint64_t denom = n - hist.count(top);
+  std::uint64_t below = 0;  // samples strictly below `level` in the half
+  for (int level = first; level <= last; ++level) {
+    const double frac =
+        denom > 0 ? static_cast<double>(below) / static_cast<double>(denom)
+                  : 0.0;
+    y[static_cast<std::size_t>(level)] =
+        y_lo + (y_hi - y_lo) * std::min(1.0, frac);
+    below += hist.count(level);
+  }
+}
+
+constexpr int kBetaIters = 12;
+
+}  // namespace
+
+hebs::transform::PwlCurve bbhe_transform(const FrameContext& ctx) {
+  const auto& hist = ctx.histogram();
+  HEBS_REQUIRE(hist.total() > 0, "BBHE of an empty histogram");
+  const int bins = hist.bins();
+  const double maxv = static_cast<double>(bins - 1);
+  const int lo = hist.min_level();
+  const int hi = hist.max_level();
+  const int xm = mean_split_level(hist);
+
+  hebs::util::PoolVector<double> y(static_cast<std::size_t>(bins));
+  // Lower half [lo..Xm] equalizes into its own band; the upper half
+  // (Xm..hi] into the band starting at its own first populated level,
+  // so the two maps never cross, the mean's position is preserved, and
+  // every band endpoint sits on a populated level (depth-invariant
+  // normalization — see mean_split_level).
+  equalize_half(hist, lo, xm, lo / maxv, xm / maxv, y);
+  if (xm < hi) {
+    int u_lo = xm + 1;
+    while (u_lo < hi && hist.count(u_lo) == 0) ++u_lo;
+    equalize_half(hist, xm + 1, hi, u_lo / maxv, hi / maxv, y);
+  }
+  for (int level = 0; level < lo; ++level) {
+    y[static_cast<std::size_t>(level)] = lo / maxv;
+  }
+  for (int level = hi + 1; level < bins; ++level) {
+    y[static_cast<std::size_t>(level)] = hi / maxv;
+  }
+
+  hebs::transform::PwlCurve::PointList pts;
+  pts.reserve(static_cast<std::size_t>(bins));
+  for (int level = 0; level < bins; ++level) {
+    pts.push_back({level / maxv, y[static_cast<std::size_t>(level)]});
+  }
+  return hebs::transform::PwlCurve(std::move(pts));
+}
+
+core::HebsResult run_bbhe(const FrameContext& ctx, double d_max_percent) {
+  HEBS_REQUIRE(d_max_percent >= 0.0, "distortion budget must be >= 0");
+  obs::ScopedSpan span(obs::Span::kRangeSearch);
+  core::HebsResult result;
+  result.target = {ctx.histogram().min_level(), ctx.histogram().max_level()};
+  result.phi = bbhe_transform(ctx);
+  result.lambda = result.phi;
+
+  const double min_beta = ctx.options().min_beta;
+  auto eval_at = [&](double beta) {
+    return ctx.evaluate_lean(core::OperatingPoint{result.lambda, beta});
+  };
+
+  // Feasibility (measured distortion within budget) is weakly monotone
+  // in β — dimming clips more of the displayed range — so the dimmest
+  // feasible backlight is found by bisection, exactly the structure of
+  // the exact pipeline's β refinement.
+  core::EvaluatedPoint best = eval_at(1.0);
+  if (best.distortion_percent <= d_max_percent) {
+    const auto at_floor = eval_at(min_beta);
+    if (at_floor.distortion_percent <= d_max_percent) {
+      best = at_floor;
+    } else {
+      double feasible = 1.0;
+      double infeasible = min_beta;
+      for (int i = 0; i < kBetaIters; ++i) {
+        const double mid = (feasible + infeasible) / 2.0;
+        const auto eval = eval_at(mid);
+        if (eval.distortion_percent <= d_max_percent) {
+          feasible = mid;
+          best = eval;
+        } else {
+          infeasible = mid;
+        }
+      }
+    }
+  }
+  // Even β = 1 over budget: keep the least-distorted point (the same
+  // containment run_exact applies to infeasible budgets).
+
+  result.point = best.point;
+  result.evaluation = std::move(best);
+  ctx.materialize_transformed(result);
+  return result;
+}
+
+}  // namespace hebs::pipeline

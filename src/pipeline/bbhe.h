@@ -1,0 +1,41 @@
+// Brightness-preserving bi-histogram equalization (BBHE) as a DBS
+// policy — the pipeline's first fully depth-generic policy.
+//
+// BBHE (Kim, 1997) splits the image histogram at the mean level Xm and
+// equalizes the two halves independently, each into its own native
+// subrange: [min..Xm] stays below the mean, (Xm..max] stays above it.
+// The composite transform preserves the image's mean brightness (the
+// property the original paper proves), so it pairs naturally with
+// backlight scaling: the displayed range is the image's own [min..max]
+// and β follows from the brightest preserved level, then is bisected
+// down against the measured distortion budget exactly like the exact
+// pipeline's concurrent-scaling refinement.
+//
+// Everything here reads the frame through the FrameContext's memoized
+// products (histogram, evaluator) and derives every quantity from
+// hist.bins() — the same code path decides 8-, 10- and 16-bit frames on
+// their own level lattices.
+#pragma once
+
+#include "core/hebs.h"
+#include "pipeline/frame_context.h"
+
+namespace hebs::pipeline {
+
+/// The BBHE per-level transform for the context's histogram: one
+/// breakpoint per level (x = level/(bins-1)), the lower half equalized
+/// into [min..Xm], the upper half into (Xm..max].  Monotone by
+/// construction.  Exposed separately for tests.
+hebs::transform::PwlCurve bbhe_transform(const FrameContext& ctx);
+
+/// Runs the full BBHE decision on the bound frame: builds the
+/// transform, then bisects β in [min_beta, 1] to the dimmest backlight
+/// whose measured distortion stays within `d_max_percent` (feasibility
+/// is weakly monotone in β: dimmer can only distort more).  When even
+/// β = 1 misses the budget the least-distorted point (β = 1) is
+/// returned — the same containment contract run_exact uses for
+/// infeasible budgets.  The result's phi and lambda are both the BBHE
+/// curve (there is no PLC stage); target is the image's native range.
+core::HebsResult run_bbhe(const FrameContext& ctx, double d_max_percent);
+
+}  // namespace hebs::pipeline

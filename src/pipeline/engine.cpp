@@ -54,6 +54,18 @@ core::HebsResult identity_fallback(const hebs::image::GrayImage& frame) {
   return r;
 }
 
+/// Deep-pixel twin of identity_fallback, on the frame's own lattice.
+core::HebsResult identity_fallback(const hebs::image::GrayImage16& frame) {
+  util::fault::SuppressScope no_refire;
+  core::HebsResult r;
+  r.point = core::identity_operating_point();
+  r.lambda = r.point.luminance_transform;
+  r.target = {0, frame.max_pixel()};
+  r.evaluation.point = r.point;
+  r.evaluation.transformed16 = frame;  // identity: displayed == input
+  return r;
+}
+
 bool is_io_error(const std::exception& e) noexcept {
   return dynamic_cast<const util::IoError*>(&e) != nullptr;
 }
@@ -144,9 +156,10 @@ class PoolRowExecutor final : public util::RowExecutor {
 /// and no later frame may read poisoned caches.  The next frame on that
 /// worker starts from a fresh context, so post-fault frames are
 /// bit-identical to a cold run.
-template <typename Result, typename PerFrame, typename Fallback>
+template <typename Result, typename Image, typename PerFrame,
+          typename Fallback>
 std::vector<Result> map_frames(ThreadPool& pool, const EngineOptions& opts,
-                               std::span<const hebs::image::GrayImage> images,
+                               std::span<const Image> images,
                                const hebs::power::LcdSubsystemPower& model,
                                PerFrame&& per_frame, Fallback&& fallback,
                                std::vector<FrameFault>* faults) {
@@ -257,6 +270,30 @@ std::vector<core::HebsResult> PipelineEngine::process_batch_with_curve(
       pool_, opts_, images, model_,
       [d_max_percent, &curve](FrameContext& ctx, std::size_t) {
         return run_with_curve(ctx, d_max_percent, curve);
+      },
+      [&images](std::size_t i) { return identity_fallback(images[i]); },
+      faults);
+}
+
+std::vector<core::HebsResult> PipelineEngine::process_batch16(
+    std::span<const hebs::image::GrayImage16> images, double d_max_percent,
+    std::vector<FrameFault>* faults) {
+  return map_frames<core::HebsResult>(
+      pool_, opts_, images, model_,
+      [d_max_percent](FrameContext& ctx, std::size_t) {
+        return run_exact(ctx, d_max_percent);
+      },
+      [&images](std::size_t i) { return identity_fallback(images[i]); },
+      faults);
+}
+
+std::vector<core::HebsResult> PipelineEngine::process_batch_at_range16(
+    std::span<const hebs::image::GrayImage16> images, int range,
+    std::vector<FrameFault>* faults) {
+  return map_frames<core::HebsResult>(
+      pool_, opts_, images, model_,
+      [range](FrameContext& ctx, std::size_t) {
+        return ctx.at_range(range);
       },
       [&images](std::size_t i) { return identity_fallback(images[i]); },
       faults);
@@ -494,7 +531,7 @@ std::vector<ColorBatchResult> PipelineEngine::process_batch_color(
   // context binding.
   const auto lumas = materialize_lumas(images);
   return map_frames<ColorBatchResult>(
-      pool_, opts_, lumas, model_,
+      pool_, opts_, std::span<const hebs::image::GrayImage>(lumas), model_,
       [&images, &lumas, d_max_percent, mode](FrameContext& ctx,
                                              std::size_t i) {
         ColorBatchResult r;

@@ -156,6 +156,18 @@ class PipelineEngine {
       std::span<const hebs::image::GrayImage> images, int range,
       std::vector<FrameFault>* faults = nullptr);
 
+  /// Deep-pixel twin of process_batch: the same exact-search decision on
+  /// each frame's own level lattice (images[i].levels() histogram bins).
+  /// Mixed-depth batches are not supported — each call is one depth.
+  std::vector<core::HebsResult> process_batch16(
+      std::span<const hebs::image::GrayImage16> images, double d_max_percent,
+      std::vector<FrameFault>* faults = nullptr);
+
+  /// Deep-pixel twin of process_batch_at_range.
+  std::vector<core::HebsResult> process_batch_at_range16(
+      std::span<const hebs::image::GrayImage16> images, int range,
+      std::vector<FrameFault>* faults = nullptr);
+
   /// Deployed flow for every image: range looked up from the distortion
   /// characteristic curve, no metric in the decision loop.
   std::vector<core::HebsResult> process_batch_with_curve(

@@ -27,12 +27,14 @@ FrameContext::FrameContext(const hebs::image::GrayImage& image,
   rebind(image);
 }
 
-void FrameContext::rebind(const hebs::image::GrayImage& image) {
-  // The frame-ingestion fault point: an installed frame-corrupt spec
-  // simulates corrupt/truncated frame bytes arriving at the binding
-  // boundary (the engine's containment turns it into a degraded frame).
-  util::fault::maybe_fail(util::fault::Point::kFrameCorrupt);
-  image_ = &image;
+FrameContext::FrameContext(const hebs::image::GrayImage16& image,
+                           core::HebsOptions opts,
+                           hebs::power::LcdSubsystemPower model)
+    : opts_(std::move(opts)), model_(std::move(model)) {
+  rebind(image);
+}
+
+void FrameContext::clear_caches() {
   estimate_.reset();
   exact_hist_.reset();
   evaluator_.reset();
@@ -42,6 +44,25 @@ void FrameContext::rebind(const hebs::image::GrayImage& image) {
   by_target_.clear();
   approx_.reset();
   approx_by_target_.clear();
+}
+
+void FrameContext::rebind(const hebs::image::GrayImage& image) {
+  // The frame-ingestion fault point: an installed frame-corrupt spec
+  // simulates corrupt/truncated frame bytes arriving at the binding
+  // boundary (the engine's containment turns it into a degraded frame).
+  util::fault::maybe_fail(util::fault::Point::kFrameCorrupt);
+  image_ = &image;
+  image16_ = nullptr;
+  levels_ = hebs::image::kLevels;
+  clear_caches();
+}
+
+void FrameContext::rebind(const hebs::image::GrayImage16& image) {
+  util::fault::maybe_fail(util::fault::Point::kFrameCorrupt);
+  image_ = nullptr;
+  image16_ = &image;
+  levels_ = image.levels();
+  clear_caches();
 }
 
 void FrameContext::rebind_unchanged(const hebs::image::GrayImage& image) {
@@ -54,15 +75,25 @@ void FrameContext::rebind_unchanged(const hebs::image::GrayImage& image) {
 }
 
 void FrameContext::set_exact_histogram(hebs::histogram::Histogram hist) {
-  HEBS_REQUIRE(image_ != nullptr, "FrameContext is not bound to a frame");
-  HEBS_REQUIRE(hist.total() == image_->size(),
+  HEBS_REQUIRE(bound(), "FrameContext is not bound to a frame");
+  const std::size_t frame_size =
+      image_ != nullptr ? image_->size() : image16_->size();
+  HEBS_REQUIRE(hist.total() == frame_size,
                "seeded histogram does not cover the frame");
+  HEBS_REQUIRE(hist.bins() == levels_,
+               "seeded histogram does not match the frame's level count");
   exact_hist_ = std::move(hist);
 }
 
 const hebs::image::GrayImage& FrameContext::image() const {
-  HEBS_REQUIRE(image_ != nullptr, "FrameContext is not bound to a frame");
+  HEBS_REQUIRE(image_ != nullptr, "FrameContext is not bound to an 8-bit frame");
   return *image_;
+}
+
+const hebs::image::GrayImage16& FrameContext::image16() const {
+  HEBS_REQUIRE(image16_ != nullptr,
+               "FrameContext is not bound to a deep-pixel frame");
+  return *image16_;
 }
 
 const hebs::histogram::Histogram& FrameContext::histogram() const {
@@ -75,7 +106,9 @@ const hebs::histogram::Histogram& FrameContext::exact_histogram() const {
     // The full recount (delta-refreshed histograms arrive via
     // set_exact_histogram and never reach this branch).
     obs::ScopedSpan span(obs::Span::kHistogram);
-    exact_hist_ = hebs::histogram::Histogram::from_image(image());
+    exact_hist_ = bound16()
+                      ? hebs::histogram::Histogram::from_image(image16())
+                      : hebs::histogram::Histogram::from_image(image());
   }
   return *exact_hist_;
 }
@@ -102,7 +135,9 @@ const hebs::quality::DistortionEvaluator& FrameContext::evaluator() const {
     // The raster is built as a prvalue and moved into the evaluator —
     // the context stores the reference exactly once (the evaluator also
     // exposes it via reference()).
-    evaluator_.emplace(hebs::image::FloatImage::from_gray(image()),
+    evaluator_.emplace(bound16()
+                           ? hebs::image::FloatImage::from_gray16(image16())
+                           : hebs::image::FloatImage::from_gray(image()),
                        opts_.distortion);
   }
   return *evaluator_;
@@ -183,13 +218,25 @@ hebs::image::GrayImage quantize_displayed(const hebs::image::GrayImage& img,
   return lum.quantize().apply(img);
 }
 
+/// Deep-pixel twin: F' on the frame's own level lattice.
+hebs::image::GrayImage16 quantize_displayed16(
+    const hebs::image::GrayImage16& img,
+    const hebs::transform::FloatLut& lum) {
+  obs::ScopedSpan span(obs::Span::kLutApply);
+  return lum.quantize16().apply(img);
+}
+
 }  // namespace
 
 core::EvaluatedPoint FrameContext::evaluate(
     const core::OperatingPoint& point) const {
-  const hebs::transform::FloatLut lum = displayed_levels(point);
+  const hebs::transform::FloatLut lum = displayed_levels(point, levels_);
   core::EvaluatedPoint out = evaluate_levels(point, lum);
-  out.transformed = quantize_displayed(image(), lum);
+  if (bound16()) {
+    out.transformed16 = quantize_displayed16(image16(), lum);
+  } else {
+    out.transformed = quantize_displayed(image(), lum);
+  }
   return out;
 }
 
@@ -199,14 +246,20 @@ void FrameContext::materialize_transformed(core::HebsResult& result) const {
 
 void FrameContext::materialize_transformed(
     core::EvaluatedPoint& evaluation) const {
+  if (bound16()) {
+    if (!evaluation.transformed16.empty()) return;
+    evaluation.transformed16 = quantize_displayed16(
+        image16(), displayed_levels(evaluation.point, levels_));
+    return;
+  }
   if (!evaluation.transformed.empty()) return;
   evaluation.transformed =
-      quantize_displayed(image(), displayed_levels(evaluation.point));
+      quantize_displayed(image(), displayed_levels(evaluation.point, levels_));
 }
 
 core::EvaluatedPoint FrameContext::evaluate_lean(
     const core::OperatingPoint& point) const {
-  return evaluate_levels(point, displayed_levels(point));
+  return evaluate_levels(point, displayed_levels(point, levels_));
 }
 
 namespace {
@@ -268,22 +321,38 @@ int approx_min_dim(const hebs::quality::DistortionOptions& d) {
 const FrameContext::ApproxState& FrameContext::approx() const {
   if (!approx_.has_value()) {
     ApproxState st;
-    const auto& img = image();
-    const int k = std::min(img.width(), img.height()) / kProxyShortSideSamples;
+    const int width = bound16() ? image16().width() : image().width();
+    const int height = bound16() ? image16().height() : image().height();
+    const int k = std::min(width, height) / kProxyShortSideSamples;
     if (k >= 2) {
-      const int pw = (img.width() - 1) / k + 1;
-      const int ph = (img.height() - 1) / k + 1;
+      const int pw = (width - 1) / k + 1;
+      const int ph = (height - 1) / k + 1;
       const int min_dim = approx_min_dim(opts_.distortion);
       if (pw >= min_dim && ph >= min_dim) {
-        hebs::image::GrayImage proxy(pw, ph);
-        for (int y = 0; y < ph; ++y) {
-          for (int x = 0; x < pw; ++x) {
-            proxy(x, y) = img(x * k, y * k);
+        if (bound16()) {
+          const auto& img = image16();
+          hebs::image::GrayImage16 proxy(pw, ph, levels_);
+          for (int y = 0; y < ph; ++y) {
+            for (int x = 0; x < pw; ++x) {
+              proxy(x, y) = img(x * k, y * k);
+            }
           }
+          st.proxy16 = std::move(proxy);
+          st.evaluator.emplace(
+              hebs::image::FloatImage::from_gray16(st.proxy16),
+              opts_.distortion);
+        } else {
+          const auto& img = image();
+          hebs::image::GrayImage proxy(pw, ph);
+          for (int y = 0; y < ph; ++y) {
+            for (int x = 0; x < pw; ++x) {
+              proxy(x, y) = img(x * k, y * k);
+            }
+          }
+          st.proxy = std::move(proxy);
+          st.evaluator.emplace(
+              hebs::image::FloatImage::from_gray(st.proxy), opts_.distortion);
         }
-        st.proxy = std::move(proxy);
-        st.evaluator.emplace(
-            hebs::image::FloatImage::from_gray(st.proxy), opts_.distortion);
         st.usable = true;
       }
     }
@@ -296,6 +365,7 @@ std::optional<double> FrameContext::approx_distortion_mapped(
     const hebs::transform::FloatLut& levels) const {
   const ApproxState& ap = approx();
   if (!ap.usable) return std::nullopt;
+  if (bound16()) return ap.evaluator->percent_mapped(ap.proxy16, levels);
   return ap.evaluator->percent_mapped(ap.proxy, levels);
 }
 
@@ -309,10 +379,12 @@ std::optional<double> FrameContext::approx_distortion_at_range(
   if (it == approx_by_target_.end()) {
     const core::OperatingPoint point{
         proxy_lambda(phi_for_target(*this, target), opts_.segments),
-        core::beta_for_gmax(target.g_max, opts_.min_beta)};
+        core::beta_for_gmax(target.g_max, opts_.min_beta, max_pixel())};
+    const hebs::transform::FloatLut lum = displayed_levels(point, levels_);
     it = approx_by_target_
-             .emplace(key, ap.evaluator->percent_mapped(
-                               ap.proxy, displayed_levels(point)))
+             .emplace(key, bound16()
+                               ? ap.evaluator->percent_mapped(ap.proxy16, lum)
+                               : ap.evaluator->percent_mapped(ap.proxy, lum))
              .first;
   }
   return it->second;
@@ -321,7 +393,8 @@ std::optional<double> FrameContext::approx_distortion_at_range(
 core::EvaluatedPoint FrameContext::evaluate_levels(
     const core::OperatingPoint& point,
     const hebs::transform::FloatLut& lum) const {
-  HEBS_REQUIRE(!image().empty(), "cannot evaluate on an empty image");
+  HEBS_REQUIRE(bound16() ? !image16().empty() : !image().empty(),
+               "cannot evaluate on an empty image");
   HEBS_REQUIRE(point.beta > 0.0 && point.beta <= 1.0,
                "beta must be in (0, 1]");
 
@@ -330,13 +403,15 @@ core::EvaluatedPoint FrameContext::evaluate_levels(
 
   // Distortion through the cached evaluator's per-level fast path (the
   // displayed raster is a per-level map of the original).
-  out.distortion_percent = evaluator().percent_mapped(image(), lum);
+  out.distortion_percent = bound16()
+                               ? evaluator().percent_mapped(image16(), lum)
+                               : evaluator().percent_mapped(image(), lum);
 
   // Power: CCFL at β plus panel power at the driven transmittances
   // t(x) = ψ(x)/β, weighted by the original histogram.
   const auto& hist = exact_histogram();
   double panel_watts = 0.0;
-  for (int level = 0; level < hebs::histogram::Histogram::kBins; ++level) {
+  for (int level = 0; level < hist.bins(); ++level) {
     const double t = util::clamp01(lum[level] / point.beta);
     panel_watts += model_.panel().pixel_power(t) *
                    static_cast<double>(hist.count(level));

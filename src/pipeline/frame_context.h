@@ -41,6 +41,11 @@ class FrameContext {
   FrameContext(const hebs::image::GrayImage& image, core::HebsOptions opts,
                hebs::power::LcdSubsystemPower model);
 
+  /// Deep-pixel binding: the context runs the same stages on the
+  /// frame's own level lattice (image.levels() bins).
+  FrameContext(const hebs::image::GrayImage16& image, core::HebsOptions opts,
+               hebs::power::LcdSubsystemPower model);
+
   // Not copyable: by_range_ holds pointers into by_target_'s nodes, so a
   // copy would alias (and later dangle into) the source's memo.  Moves
   // are fine — map nodes are stable across moves.
@@ -55,6 +60,10 @@ class FrameContext {
   /// installed, the dropped caches recycle through it instead of hitting
   /// the heap — rebind() recycles, it does not free.
   void rebind(const hebs::image::GrayImage& image);
+
+  /// Deep-pixel rebind (same contract; the context's level count
+  /// becomes image.levels()).
+  void rebind(const hebs::image::GrayImage16& image);
 
   /// Points the context at a new frame whose pixels are byte-identical
   /// to the currently bound one, KEEPING every frame-derived cache.
@@ -71,8 +80,20 @@ class FrameContext {
   /// the full recount.
   void set_exact_histogram(hebs::histogram::Histogram hist);
 
-  bool bound() const noexcept { return image_ != nullptr; }
+  bool bound() const noexcept {
+    return image_ != nullptr || image16_ != nullptr;
+  }
+  /// True when the bound frame is a deep-pixel (GrayImage16) raster.
+  bool bound16() const noexcept { return image16_ != nullptr; }
   const hebs::image::GrayImage& image() const;
+  const hebs::image::GrayImage16& image16() const;
+
+  /// Level count of the bound frame (256 for 8-bit bindings) and its
+  /// largest representable level — the depth parameter every stage
+  /// reads instead of the baked-in kLevels/kMaxPixel.
+  int levels() const noexcept { return levels_; }
+  int max_pixel() const noexcept { return levels_ - 1; }
+
   const core::HebsOptions& options() const noexcept { return opts_; }
   const hebs::power::LcdSubsystemPower& power_model() const noexcept {
     return model_;
@@ -171,11 +192,17 @@ class FrameContext {
   struct ApproxState {
     bool usable = false;
     hebs::image::GrayImage proxy;
+    hebs::image::GrayImage16 proxy16;  ///< used for deep-pixel bindings
     std::optional<hebs::quality::DistortionEvaluator> evaluator;
   };
   const ApproxState& approx() const;
 
+  /// Clears every frame-derived cache (shared by both rebind depths).
+  void clear_caches();
+
   const hebs::image::GrayImage* image_ = nullptr;
+  const hebs::image::GrayImage16* image16_ = nullptr;
+  int levels_ = hebs::image::kLevels;
   core::HebsOptions opts_;
   hebs::power::LcdSubsystemPower model_;
 

@@ -23,16 +23,16 @@ namespace {
 /// populated levels (contrast-preserving when the widths match, identity
 /// when the intervals coincide), clamped outside.
 hebs::transform::PwlCurve affine_placement(int lo, int hi, int g_min,
-                                           int g_max) {
-  const double xn_lo = static_cast<double>(lo) / hebs::image::kMaxPixel;
-  const double xn_hi = static_cast<double>(hi) / hebs::image::kMaxPixel;
-  const double yn_lo = static_cast<double>(g_min) / hebs::image::kMaxPixel;
-  const double yn_hi = static_cast<double>(g_max) / hebs::image::kMaxPixel;
+                                           int g_max, int max_pixel) {
+  const double xn_lo = static_cast<double>(lo) / max_pixel;
+  const double xn_hi = static_cast<double>(hi) / max_pixel;
+  const double yn_lo = static_cast<double>(g_min) / max_pixel;
+  const double yn_hi = static_cast<double>(g_max) / max_pixel;
   hebs::transform::PwlCurve::PointList pts;
   if (lo > 0) pts.push_back({0.0, yn_lo});
   pts.push_back({xn_lo, yn_lo});
   pts.push_back({xn_hi, yn_hi});
-  if (hi < hebs::image::kMaxPixel) pts.push_back({1.0, yn_hi});
+  if (hi < max_pixel) pts.push_back({1.0, yn_hi});
   return hebs::transform::PwlCurve(std::move(pts));
 }
 
@@ -40,13 +40,14 @@ hebs::transform::PwlCurve affine_placement(int lo, int hi, int g_min,
 /// result has the same per-level resolution as the exact GHE curve.
 hebs::transform::PwlCurve blend_curves(const hebs::transform::PwlCurve& a,
                                        const hebs::transform::PwlCurve& b,
-                                       double w) {
-  const hebs::transform::FloatLut sa = a.sample_levels();
-  const hebs::transform::FloatLut sb = b.sample_levels();
+                                       double w, int levels) {
+  const hebs::transform::FloatLut sa = a.sample_levels(levels);
+  const hebs::transform::FloatLut sb = b.sample_levels(levels);
+  const double maxv = static_cast<double>(levels - 1);
   hebs::transform::PwlCurve::PointList pts;
-  pts.reserve(static_cast<std::size_t>(hebs::image::kLevels));
-  for (int level = 0; level < hebs::image::kLevels; ++level) {
-    const double x = static_cast<double>(level) / hebs::image::kMaxPixel;
+  pts.reserve(static_cast<std::size_t>(levels));
+  for (int level = 0; level < levels; ++level) {
+    const double x = static_cast<double>(level) / maxv;
     pts.push_back({x, w * sa[level] + (1.0 - w) * sb[level]});
   }
   return hebs::transform::PwlCurve(std::move(pts));
@@ -54,10 +55,12 @@ hebs::transform::PwlCurve blend_curves(const hebs::transform::PwlCurve& a,
 
 void validate(const FrameContext& ctx, int range) {
   const core::HebsOptions& opts = ctx.options();
-  HEBS_REQUIRE(ctx.bound() && !ctx.image().empty(), "HEBS of an empty image");
+  HEBS_REQUIRE(ctx.bound() && (ctx.bound16() ? !ctx.image16().empty()
+                                             : !ctx.image().empty()),
+               "HEBS of an empty image");
   HEBS_REQUIRE(range >= 1, "dynamic range must be positive");
-  HEBS_REQUIRE(opts.g_min >= 0 && opts.g_min + range <= hebs::image::kMaxPixel,
-               "target range exceeds the 8-bit domain");
+  HEBS_REQUIRE(opts.g_min >= 0 && opts.g_min + range <= ctx.max_pixel(),
+               "target range exceeds the frame's pixel domain");
   HEBS_REQUIRE(opts.segments >= 1, "segment budget must be positive");
   HEBS_REQUIRE(opts.min_range >= 2,
                "min_range below 2 degenerates the PLC dynamic program");
@@ -118,8 +121,9 @@ hebs::transform::PwlCurve phi_for_target(const FrameContext& ctx,
   return w >= 1.0 ? ghe
                   : blend_curves(ghe,
                                  affine_placement(lo, hi, target.g_min,
-                                                  target.g_max),
-                                 w);
+                                                  target.g_max,
+                                                  ctx.max_pixel()),
+                                 w, ctx.levels());
 }
 
 void GheStage::run(const FrameContext& ctx, core::HebsResult& result) const {
@@ -134,8 +138,8 @@ void PlcStage::run(const FrameContext& ctx, core::HebsResult& result) const {
 
 void EvaluateStage::run(const FrameContext& ctx,
                         core::HebsResult& result) const {
-  const double beta =
-      core::beta_for_gmax(result.target.g_max, ctx.options().min_beta);
+  const double beta = core::beta_for_gmax(
+      result.target.g_max, ctx.options().min_beta, ctx.max_pixel());
   result.point = core::OperatingPoint{result.lambda, beta};
   result.evaluation = ctx.evaluate_lean(result.point);
 }
@@ -171,7 +175,7 @@ core::HebsResult run_with_curve(const FrameContext& ctx, double d_max_percent,
   HEBS_REQUIRE(d_max_percent >= 0.0, "distortion budget must be >= 0");
   int range = curve.min_range_for(d_max_percent, /*worst_case=*/true);
   range = std::max(range, ctx.options().min_range);
-  range = std::min(range, hebs::image::kMaxPixel - ctx.options().g_min);
+  range = std::min(range, ctx.max_pixel() - ctx.options().g_min);
   return ctx.at_range(range);
 }
 
@@ -435,7 +439,7 @@ core::HebsResult run_exact_traced(const FrameContext& ctx,
   // The decision span covers the range search and the nested β
   // refinement; per-probe evaluations open their own child spans.
   obs::ScopedSpan decide_span(obs::Span::kRangeSearch);
-  const int hi = hebs::image::kMaxPixel - ctx.options().g_min;
+  const int hi = ctx.max_pixel() - ctx.options().g_min;
   const int lo = std::min(ctx.options().min_range, hi);
   if (trace != nullptr) *trace = SearchTrace{};
 

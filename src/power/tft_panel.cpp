@@ -32,10 +32,12 @@ double TftPanelModel::image_power(const hebs::image::GrayImage& img) const {
 double TftPanelModel::image_power(
     const hebs::histogram::Histogram& hist) const {
   HEBS_REQUIRE(!hist.empty(), "panel power of an empty histogram");
+  // Depth-generic: normalize levels on the histogram's own lattice
+  // (at 256 bins the divisor is exactly the old kMaxPixel).
+  const int maxv = hist.bins() - 1;
   double acc = 0.0;
-  for (int level = 0; level < hebs::histogram::Histogram::kBins; ++level) {
-    const double x =
-        static_cast<double>(level) / hebs::image::kMaxPixel;
+  for (int level = 0; level < hist.bins(); ++level) {
+    const double x = static_cast<double>(level) / maxv;
     acc += pixel_power(x) * static_cast<double>(hist.count(level));
   }
   return acc / static_cast<double>(hist.total());

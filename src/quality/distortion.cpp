@@ -126,6 +126,25 @@ double DistortionEvaluator::percent_mapped(
   return percent(levels.apply(original));
 }
 
+double DistortionEvaluator::percent_mapped(
+    const hebs::image::GrayImage16& original,
+    const hebs::transform::FloatLut& levels) const {
+  HEBS_REQUIRE(original.width() == reference_.width() &&
+                   original.height() == reference_.height(),
+               "distortion needs equal-size images");
+  if (opts_.metric == Metric::kUiqiHvs) {
+    const auto hvs_test = hvs_transform_mapped(original, levels, opts_.hvs);
+    const PairStats stats(*ref_stats_, hvs_reference_.values(),
+                          hvs_test.values(), hvs_reference_.width(),
+                          hvs_reference_.height());
+    return index_to_percent(
+        uiqi_from_stats(stats, hvs_reference_.width(),
+                        hvs_reference_.height(), opts_.uiqi,
+                        ref_moments_ ? &*ref_moments_ : nullptr));
+  }
+  return percent(levels.apply16(original));
+}
+
 double distortion_percent(const hebs::image::FloatImage& reference,
                           const hebs::image::FloatImage& test,
                           const DistortionOptions& opts) {

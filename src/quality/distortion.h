@@ -85,6 +85,12 @@ class DistortionEvaluator {
   double percent_mapped(const hebs::image::GrayImage& original,
                         const hebs::transform::FloatLut& levels) const;
 
+  /// Deep-pixel twin (levels.size() must equal original.levels()); same
+  /// per-level shortcut, same bit-identity to
+  /// percent(levels.apply16(original)).
+  double percent_mapped(const hebs::image::GrayImage16& original,
+                        const hebs::transform::FloatLut& levels) const;
+
   const hebs::image::FloatImage& reference() const noexcept {
     return reference_;
   }

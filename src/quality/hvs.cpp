@@ -107,4 +107,18 @@ hebs::image::FloatImage hvs_transform_mapped(
   return out;
 }
 
+hebs::image::FloatImage hvs_transform_mapped(
+    const hebs::image::GrayImage16& img,
+    const hebs::transform::FloatLut& levels, const HvsOptions& opts) {
+  const hebs::transform::FloatLut mapped =
+      levels.map([&opts](double y) {
+        return opts.lightness_mapping ? lightness(y) : util::clamp01(y);
+      });
+  hebs::image::FloatImage out = mapped.apply16(img);
+  if (opts.csf_sigma > 0.0) {
+    out = gaussian_blur(out, opts.csf_sigma);
+  }
+  return out;
+}
+
 }  // namespace hebs::quality

@@ -47,6 +47,12 @@ hebs::image::FloatImage hvs_transform_mapped(
     const hebs::image::GrayImage& img,
     const hebs::transform::FloatLut& levels, const HvsOptions& opts = {});
 
+/// Deep-pixel twin of hvs_transform_mapped (levels.size() must equal
+/// img.levels()); same per-level evaluation, same bit-identity.
+hebs::image::FloatImage hvs_transform_mapped(
+    const hebs::image::GrayImage16& img,
+    const hebs::transform::FloatLut& levels, const HvsOptions& opts = {});
+
 /// CIE L* lightness of a normalized luminance value, scaled to [0, 1].
 double lightness(double y) noexcept;
 

@@ -49,15 +49,18 @@ double PwlCurve::max_y() const noexcept {
   return m;
 }
 
-FloatLut PwlCurve::sample_levels() const {
+FloatLut PwlCurve::sample_levels() const { return sample_levels(FloatLut::kSize); }
+
+FloatLut PwlCurve::sample_levels(int levels) const {
   HEBS_REQUIRE(points_.size() >= 2, "sampling an empty PWL curve");
-  FloatLut out;
+  FloatLut out(levels);
+  const double maxv = static_cast<double>(levels - 1);
   // Walk levels and segments together.  `seg` is the index such that
   // points_[seg] is the first breakpoint with x > level position — the
   // same breakpoint upper_bound would find in operator().
   std::size_t seg = 1;
-  for (int i = 0; i < FloatLut::kSize; ++i) {
-    const double x = static_cast<double>(i) / hebs::image::kMaxPixel;
+  for (int i = 0; i < levels; ++i) {
+    const double x = static_cast<double>(i) / maxv;
     if (x <= points_.front().x) {
       out[i] = points_.front().y;
       continue;

@@ -66,6 +66,10 @@ class PwlCurve {
   /// interpolation arithmetic) without a binary search per level.
   FloatLut sample_levels() const;
 
+  /// Depth-generalized sampling at the `levels` level centers
+  /// x = i/(levels-1); sample_levels() is exactly sample_levels(256).
+  FloatLut sample_levels(int levels) const;
+
   /// Quantizes the curve to a 256-entry lookup table.
   Lut to_lut() const;
 

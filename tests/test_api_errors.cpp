@@ -39,7 +39,8 @@ TEST(Status, EveryCodeHasAName) {
        {StatusCode::kOk, StatusCode::kInvalidOption, StatusCode::kInvalidImage,
         StatusCode::kInvalidStride, StatusCode::kInvalidBudget,
         StatusCode::kUnknownPolicy, StatusCode::kUnknownMetric,
-        StatusCode::kIoError, StatusCode::kInternal}) {
+        StatusCode::kUnknownDepth, StatusCode::kIoError,
+        StatusCode::kInternal}) {
     EXPECT_STRNE(hebs::status_code_name(code), "unknown");
   }
 }
@@ -224,14 +225,14 @@ TEST(SessionErrors, MissingCurveFileIsIoError) {
 // ------------------------------------------------------- registries
 
 TEST(Registries, CreateRejectsUnknownNames) {
-  EXPECT_EQ(Session::create(SessionConfig().policy("bbhe")).status().code(),
+  EXPECT_EQ(Session::create(SessionConfig().policy("mbbhe")).status().code(),
             StatusCode::kUnknownPolicy);
   EXPECT_EQ(Session::create(SessionConfig().metric("psnr")).status().code(),
             StatusCode::kUnknownMetric);
 }
 
 TEST(Registries, LaunchEntriesArePresent) {
-  for (const char* name : {"hebs-exact", "hebs-curve", "dls", "cbcs"}) {
+  for (const char* name : {"hebs-exact", "hebs-curve", "dls", "cbcs", "bbhe"}) {
     EXPECT_TRUE(hebs::PolicyRegistry::contains(name)) << name;
   }
   for (const char* name : {"uiqi-hvs", "percent-mapped"}) {

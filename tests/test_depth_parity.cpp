@@ -1,0 +1,465 @@
+// Cross-depth parity for the depth-generalized pipeline.
+//
+// The depth refactor's contract (DESIGN.md §15) is that nothing in the
+// decision machinery depends on the 8-bit lattice: a u16 frame holding
+// 8-bit content — every sample an exact ratio-widened copy of a u8
+// sample — must normalize to the *same doubles* (257 v / 65535 == v / 255
+// exactly in IEEE arithmetic, since 65535 = 257 * 255 and division is
+// correctly rounded), and therefore every measurement taken from it
+// (histogram mass, distortion, power, β) must be bit-identical to the
+// u8 path.  These tests pin that invariant end to end: the widening
+// identity itself, histogram mirroring, the evaluator, the BBHE
+// decision (the first fully depth-generic policy), the deep Session
+// facade with its typed error surface, and backend bit-identity of a
+// deep decision under every compiled SIMD backend.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hebs/advanced/core.h"
+#include "hebs/advanced/histogram.h"
+#include "hebs/advanced/image.h"
+#include "hebs/advanced/kernels.h"
+#include "hebs/advanced/pipeline.h"
+#include "hebs/advanced/util.h"
+#include "hebs/hebs.h"
+
+namespace hebs::pipeline {
+namespace {
+
+using hebs::ImageView;
+using hebs::Session;
+using hebs::SessionConfig;
+using hebs::StatusCode;
+using hebs::image::GrayImage;
+using hebs::image::GrayImage16;
+using hebs::image::UsidId;
+
+const hebs::power::LcdSubsystemPower& model() {
+  static const auto m = hebs::power::LcdSubsystemPower::lp064v1();
+  return m;
+}
+
+/// Widens to the full 16-bit lattice, where the ratio is the exact
+/// integer 257 and normalization is double-for-double identical.
+GrayImage16 widen16(const GrayImage& g) {
+  return GrayImage16::widen(g, 65536);
+}
+
+GrayImage random_gray(int w, int h, std::uint64_t seed) {
+  util::Rng rng(seed);
+  GrayImage img(w, h);
+  for (auto& p : img.pixels()) {
+    p = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return img;
+}
+
+// ---------------------------------------------------------------- widening
+
+TEST(DepthParity, WidenTo16BitIsExactRatioAndNormalizationInvariant) {
+  for (int v = 0; v < 256; ++v) {
+    const GrayImage src(1, 1, static_cast<std::uint8_t>(v));
+    const GrayImage16 wide = widen16(src);
+    ASSERT_EQ(wide(0, 0), v * 257);
+    // The load-bearing identity: both depths normalize a widened
+    // sample to the bit-identical double.
+    const double x8 = static_cast<double>(v) / 255.0;
+    const double x16 = static_cast<double>(v * 257) / 65535.0;
+    ASSERT_EQ(x8, x16) << "level " << v;
+  }
+}
+
+TEST(DepthParity, WidenedHistogramMirrorsU8) {
+  const auto img = hebs::image::make_usid(UsidId::kPeppers, 48);
+  const auto hist8 = hebs::histogram::Histogram::from_image(img);
+  const auto hist16 = hebs::histogram::Histogram::from_image(widen16(img));
+  ASSERT_EQ(hist16.bins(), 65536);
+  EXPECT_EQ(hist16.total(), hist8.total());
+  EXPECT_EQ(hist16.min_level(), hist8.min_level() * 257);
+  EXPECT_EQ(hist16.max_level(), hist8.max_level() * 257);
+  std::uint64_t mirrored = 0;
+  for (int v = 0; v < 256; ++v) {
+    EXPECT_EQ(hist16.count(v * 257), hist8.count(v)) << "level " << v;
+    mirrored += hist16.count(v * 257);
+  }
+  // No mass leaks onto off-lattice levels.
+  EXPECT_EQ(mirrored, hist16.total());
+}
+
+// --------------------------------------------------------------- evaluator
+
+/// The exact pipeline's decision on the u8 frame, re-measured on the
+/// widened frame at the *same operating point*, must reproduce every
+/// number bit-identically: distortion, panel/CCFL power, saving.
+TEST(DepthParity, EvaluatorIsBitIdenticalAtTheSameOperatingPoint) {
+  for (UsidId id : {UsidId::kLena, UsidId::kPout, UsidId::kSplash}) {
+    const auto img = hebs::image::make_usid(id, 48);
+    FrameContext ctx8(img, {}, model());
+    const core::HebsResult r8 = run_exact(ctx8, 10.0);
+
+    const GrayImage16 wide = widen16(img);  // FrameContext borrows the image
+    FrameContext ctx16(wide, {}, model());
+    const core::EvaluatedPoint e16 = ctx16.evaluate_lean(r8.point);
+    EXPECT_EQ(e16.distortion_percent, r8.evaluation.distortion_percent);
+    EXPECT_EQ(e16.saving_percent, r8.evaluation.saving_percent);
+    EXPECT_EQ(e16.power.ccfl_watts, r8.evaluation.power.ccfl_watts);
+    EXPECT_EQ(e16.power.panel_watts, r8.evaluation.power.panel_watts);
+    EXPECT_EQ(e16.reference_power.total(), r8.evaluation.reference_power.total());
+  }
+}
+
+// -------------------------------------------------------------------- bbhe
+
+TEST(Bbhe, TransformIsMonotoneAndPreservesNativeEndpoints) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 48);
+  FrameContext ctx(img, {}, model());
+  const auto curve = bbhe_transform(ctx);
+  const auto& hist = ctx.histogram();
+  const double maxv = static_cast<double>(hist.bins() - 1);
+
+  double prev = -1.0;
+  for (const auto& pt : curve.points()) {
+    EXPECT_GE(pt.y, prev);
+    prev = pt.y;
+  }
+  const double lo = static_cast<double>(hist.min_level()) / maxv;
+  const double hi = static_cast<double>(hist.max_level()) / maxv;
+  EXPECT_EQ(curve(lo), lo);
+  EXPECT_EQ(curve(hi), hi);
+}
+
+TEST(Bbhe, ApproximatelyPreservesMeanBrightness) {
+  // Kim's property: the equalized output mean stays near the input
+  // mean (exactly at the mean for the ideal continuous histogram; a
+  // discrete raster lands close).  A plain GHE drags a dark image's
+  // mean toward mid-gray; BBHE must not.
+  const auto img = hebs::image::make_usid(UsidId::kPout, 64);
+  FrameContext ctx(img, {}, model());
+  const auto curve = bbhe_transform(ctx);
+  double in_mean = 0.0;
+  double out_mean = 0.0;
+  for (const std::uint8_t p : img.pixels()) {
+    in_mean += p / 255.0;
+    out_mean += curve(p / 255.0);
+  }
+  in_mean /= static_cast<double>(img.size());
+  out_mean /= static_cast<double>(img.size());
+  EXPECT_NEAR(out_mean, in_mean, 0.08);
+}
+
+TEST(Bbhe, HonorsTheDistortionBudgetOrPinsBetaAtOne) {
+  for (const double budget : {0.5, 5.0, 20.0}) {
+    for (UsidId id : {UsidId::kLena, UsidId::kPeppers}) {
+      const auto img = hebs::image::make_usid(id, 48);
+      FrameContext ctx(img, {}, model());
+      const core::HebsResult r = run_bbhe(ctx, budget);
+      if (r.point.beta < 1.0) {
+        EXPECT_LE(r.evaluation.distortion_percent, budget);
+      }
+      EXPECT_GT(r.point.beta, 0.0);
+      EXPECT_LE(r.point.beta, 1.0);
+      EXPECT_FALSE(r.evaluation.transformed.empty());
+    }
+  }
+}
+
+TEST(Bbhe, InfeasibleBudgetContainsAtBetaOne) {
+  const auto img = hebs::image::make_usid(UsidId::kLena, 48);
+  FrameContext ctx(img, {}, model());
+  const core::HebsResult r = run_bbhe(ctx, 0.0);
+  EXPECT_EQ(r.point.beta, 1.0);
+}
+
+TEST(Bbhe, RunsOnTheTenBitLattice) {
+  const auto img = GrayImage16::widen(hebs::image::make_usid(UsidId::kPeppers, 48), 1024);
+  FrameContext ctx(img, {}, model());
+  const core::HebsResult r = run_bbhe(ctx, 10.0);
+  EXPECT_GT(r.point.beta, 0.0);
+  EXPECT_LE(r.point.beta, 1.0);
+  EXPECT_FALSE(r.evaluation.transformed16.empty());
+  EXPECT_EQ(r.evaluation.transformed16.levels(), 1024);
+}
+
+/// The cross-depth parity fuzz the satellite asks for: u16 frames
+/// holding 8-bit content decide bit-identically (β, distortion,
+/// saving, power, mean-split target after level scaling) and render to
+/// the same physical luminances on their own lattice.
+TEST(DepthParity, BbheDecisionFuzzU16MirrorsU8) {
+  util::Rng rng(20260808);
+  for (int iter = 0; iter < 12; ++iter) {
+    // Floor of 8: the UIQI distortion window needs block_size pixels.
+    const int w = static_cast<int>(rng.uniform_int(8, 40));
+    const int h = static_cast<int>(rng.uniform_int(8, 40));
+    const GrayImage img = random_gray(w, h, rng.uniform_int(0, 1 << 30));
+    const double budget = iter % 3 == 0 ? 2.0 : (iter % 3 == 1 ? 10.0 : 30.0);
+    const std::string what =
+        "iter " + std::to_string(iter) + " " + std::to_string(w) + "x" +
+        std::to_string(h) + " budget " + std::to_string(budget);
+
+    FrameContext ctx8(img, {}, model());
+    const core::HebsResult r8 = run_bbhe(ctx8, budget);
+    const GrayImage16 wide = widen16(img);  // FrameContext borrows the image
+    FrameContext ctx16(wide, {}, model());
+    const core::HebsResult r16 = run_bbhe(ctx16, budget);
+
+    EXPECT_EQ(r16.point.beta, r8.point.beta) << what;
+    EXPECT_EQ(r16.target.g_min, r8.target.g_min * 257) << what;
+    EXPECT_EQ(r16.target.g_max, r8.target.g_max * 257) << what;
+    EXPECT_EQ(r16.evaluation.distortion_percent,
+              r8.evaluation.distortion_percent)
+        << what;
+    EXPECT_EQ(r16.evaluation.saving_percent, r8.evaluation.saving_percent)
+        << what;
+    EXPECT_EQ(r16.evaluation.power.ccfl_watts, r8.evaluation.power.ccfl_watts)
+        << what;
+    EXPECT_EQ(r16.evaluation.power.panel_watts,
+              r8.evaluation.power.panel_watts)
+        << what;
+
+    // The composite curves agree as functions: sampled at every u8
+    // breakpoint position they produce the same double.
+    for (int v = 0; v < 256; ++v) {
+      const double x = static_cast<double>(v) / 255.0;
+      ASSERT_EQ(r16.lambda(x), r8.lambda(x)) << what << " level " << v;
+    }
+
+    // Rendered rasters quantize the same real luminance onto their own
+    // lattices — equal to within half a u8 step plus half a u16 step.
+    const auto& d8 = r8.evaluation.transformed;
+    const auto& d16 = r16.evaluation.transformed16;
+    ASSERT_EQ(d16.width(), d8.width()) << what;
+    ASSERT_EQ(d16.levels(), 65536) << what;
+    constexpr double kHalfSteps = 0.5 / 255.0 + 0.5 / 65535.0;
+    for (std::size_t i = 0; i < d8.size(); ++i) {
+      ASSERT_NEAR(d16.pixels()[i] / 65535.0, d8.pixels()[i] / 255.0,
+                  kHalfSteps)
+          << what << " pixel " << i;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- session
+
+ImageView view_of(const GrayImage& img) {
+  return ImageView::gray8(img.pixels().data(), img.width(), img.height());
+}
+
+ImageView view_of(const GrayImage16& img) {
+  return ImageView::gray16(img.pixels().data(), img.width(), img.height());
+}
+
+/// A 10-bit synthetic clip: the album widened onto the 1024-level
+/// lattice with deterministic off-lattice noise so the content
+/// genuinely exercises levels no 8-bit frame can hold.
+std::vector<GrayImage16> ten_bit_clip(int size) {
+  std::vector<GrayImage16> clip;
+  util::Rng rng(77);
+  for (UsidId id : {UsidId::kLena, UsidId::kPeppers, UsidId::kPout}) {
+    GrayImage16 frame =
+        GrayImage16::widen(hebs::image::make_usid(id, size), 1024);
+    for (auto& p : frame.pixels()) {
+      const int jitter = static_cast<int>(rng.uniform_int(0, 6)) - 3;
+      const int v = std::max(0, std::min(1023, static_cast<int>(p) + jitter));
+      p = static_cast<std::uint16_t>(v);
+    }
+    clip.push_back(std::move(frame));
+  }
+  return clip;
+}
+
+Session make_session(SessionConfig config) {
+  auto session = Session::create(std::move(config));
+  EXPECT_TRUE(session.has_value()) << session.status().to_string();
+  return std::move(session).value();
+}
+
+TEST(DeepSession, ProcessesTenBitFramesEndToEnd) {
+  for (const char* policy : {"hebs-exact", "bbhe"}) {
+    auto session = make_session(SessionConfig().bit_depth(10).policy(policy));
+    for (const GrayImage16& frame : ten_bit_clip(48)) {
+      auto result = session.process({view_of(frame), 10.0});
+      ASSERT_TRUE(result.has_value())
+          << policy << ": " << result.status().to_string();
+      EXPECT_TRUE(result->displayed.empty()) << policy;
+      ASSERT_FALSE(result->displayed16.empty()) << policy;
+      EXPECT_EQ(result->displayed16.levels(), 1024) << policy;
+      EXPECT_EQ(result->displayed16.width(), frame.width()) << policy;
+      EXPECT_GT(result->beta, 0.0) << policy;
+      EXPECT_LE(result->beta, 1.0) << policy;
+      for (const std::uint16_t p : result->displayed16.pixels()) {
+        EXPECT_LT(p, 1024) << policy;
+      }
+    }
+  }
+}
+
+TEST(DeepSession, BatchMatchesSingleFrameDecisions) {
+  for (const char* policy : {"hebs-exact", "bbhe"}) {
+    auto session = make_session(SessionConfig().bit_depth(10).policy(policy));
+    const auto clip = ten_bit_clip(32);
+    std::vector<ImageView> views;
+    views.reserve(clip.size());
+    for (const auto& f : clip) views.push_back(view_of(f));
+    auto batch = session.process_batch(views, 10.0);
+    ASSERT_TRUE(batch.has_value())
+        << policy << ": " << batch.status().to_string();
+    ASSERT_EQ(batch->size(), clip.size());
+    for (std::size_t i = 0; i < clip.size(); ++i) {
+      auto single = session.process({view_of(clip[i]), 10.0});
+      ASSERT_TRUE(single.has_value()) << policy;
+      EXPECT_EQ((*batch)[i].beta, single->beta) << policy << " frame " << i;
+      EXPECT_EQ((*batch)[i].displayed16.pixels(),
+                single->displayed16.pixels())
+          << policy << " frame " << i;
+    }
+  }
+}
+
+TEST(DeepSession, FixedRangeWorksWithHebsExactOnly) {
+  const auto clip = ten_bit_clip(32);
+  auto exact = make_session(SessionConfig().bit_depth(10));
+  auto result = exact.process({view_of(clip[0]), 10.0, 600});
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  EXPECT_LE(result->g_max, 1023);
+  EXPECT_FALSE(result->displayed16.empty());
+
+  auto bbhe = make_session(SessionConfig().bit_depth(10).policy("bbhe"));
+  EXPECT_EQ(bbhe.process({view_of(clip[0]), 10.0, 600}).status().code(),
+            StatusCode::kInvalidOption);
+}
+
+TEST(DeepSession, SixteenBitSessionAcceptsFullLattice) {
+  // BBHE, a fixed-range hebs-exact run and the unconstrained hebs-exact
+  // *search* all cover the full 65536-level lattice end to end.  The
+  // search is tier-1-affordable only because plc_coarsen caps its DP
+  // candidates (kMaxDpPoints) — without the cap each probed range costs
+  // ~30 s on a dense 16-bit GHE curve.
+  const auto img = widen16(hebs::image::make_usid(UsidId::kLena, 32));
+
+  auto bbhe = make_session(SessionConfig().bit_depth(16).policy("bbhe"));
+  auto result = bbhe.process({view_of(img), 10.0});
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  EXPECT_EQ(result->displayed16.levels(), 65536);
+
+  auto exact = make_session(SessionConfig().bit_depth(16));
+  auto fixed = exact.process({view_of(img), 10.0, 40000});
+  ASSERT_TRUE(fixed.has_value()) << fixed.status().to_string();
+  EXPECT_EQ(fixed->displayed16.levels(), 65536);
+  EXPECT_LE(fixed->g_max, 65535);
+
+  auto searched = exact.process({view_of(img), 10.0});
+  ASSERT_TRUE(searched.has_value()) << searched.status().to_string();
+  EXPECT_EQ(searched->displayed16.levels(), 65536);
+  EXPECT_LE(searched->distortion_percent, 10.0 + 1e-9);
+}
+
+// ------------------------------------------------------------ typed errors
+
+TEST(DeepSession, RejectsUnsupportedBitDepthAtCreate) {
+  for (const int bits : {0, 7, 12, 24}) {
+    auto session = Session::create(SessionConfig().bit_depth(bits));
+    ASSERT_FALSE(session.has_value()) << bits;
+    EXPECT_EQ(session.status().code(), StatusCode::kUnknownDepth) << bits;
+  }
+}
+
+TEST(DeepSession, DepthMismatchedViewsAreTypedErrors) {
+  const auto img8 = hebs::image::make_usid(UsidId::kLena, 32);
+  const auto img16 = GrayImage16::widen(img8, 1024);
+
+  auto shallow = make_session(SessionConfig());
+  EXPECT_EQ(shallow.process({view_of(img16), 10.0}).status().code(),
+            StatusCode::kUnknownDepth);
+
+  auto deep = make_session(SessionConfig().bit_depth(10));
+  EXPECT_EQ(deep.process({view_of(img8), 10.0}).status().code(),
+            StatusCode::kUnknownDepth);
+  const std::vector<ImageView> mixed = {view_of(img16), view_of(img8)};
+  EXPECT_EQ(deep.process_batch(mixed, 10.0).status().code(),
+            StatusCode::kUnknownDepth);
+}
+
+TEST(DeepSession, OverDepthSampleIsInvalidImage) {
+  GrayImage16 img(4, 4, 65536, 1024);  // sample 1024 overflows 10-bit
+  auto deep = make_session(SessionConfig().bit_depth(10));
+  EXPECT_EQ(deep.process({view_of(img), 10.0}).status().code(),
+            StatusCode::kInvalidImage);
+}
+
+TEST(DeepSession, NonDepthGenericPoliciesAreRejected) {
+  for (const char* policy : {"dls", "cbcs", "hebs-curve"}) {
+    auto session =
+        make_session(SessionConfig().bit_depth(10).policy(policy));
+    const auto img = GrayImage16::widen(
+        hebs::image::make_usid(UsidId::kLena, 32), 1024);
+    EXPECT_EQ(session.process({view_of(img), 10.0}).status().code(),
+              StatusCode::kInvalidOption)
+        << policy;
+  }
+}
+
+TEST(DeepSession, ColorAndVideoAreRejected) {
+  auto session = make_session(SessionConfig().bit_depth(10));
+  const auto img = GrayImage16::widen(
+      hebs::image::make_usid(UsidId::kLena, 32), 1024);
+  const std::vector<ImageView> frames = {view_of(img)};
+  EXPECT_EQ(session.process_video(frames, 10.0).status().code(),
+            StatusCode::kInvalidOption);
+  EXPECT_EQ(session.process_batch_color(frames, 10.0).status().code(),
+            StatusCode::kInvalidOption);
+}
+
+// -------------------------------------------------------- backend identity
+
+/// Restores the process-global kernel backend when a test switches it.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(hebs::kernels::active().name) {}
+  ~BackendGuard() { hebs::kernels::set_backend(saved_); }
+
+ private:
+  std::string saved_;
+};
+
+/// A deep Session decision must be bit-identical under every compiled
+/// SIMD backend — the u16 kernels inherit the §8 contract.
+TEST(DeepSession, DecisionIsBitIdenticalAcrossBackends) {
+  const BackendGuard guard;
+  const auto clip = ten_bit_clip(40);
+
+  ASSERT_EQ(hebs::kernels::set_backend("scalar"),
+            hebs::kernels::SetBackendResult::kOk);
+  std::vector<hebs::FrameResult> reference;
+  {
+    auto session = make_session(SessionConfig().bit_depth(10));
+    for (const auto& f : clip) {
+      auto r = session.process({view_of(f), 10.0});
+      ASSERT_TRUE(r.has_value()) << r.status().to_string();
+      reference.push_back(std::move(*r));
+    }
+  }
+
+  for (const auto& info : hebs::kernels::backends()) {
+    if (!info.supported) continue;
+    ASSERT_EQ(hebs::kernels::set_backend(info.set->name),
+              hebs::kernels::SetBackendResult::kOk);
+    auto session = make_session(SessionConfig().bit_depth(10));
+    for (std::size_t i = 0; i < clip.size(); ++i) {
+      auto r = session.process({view_of(clip[i]), 10.0});
+      ASSERT_TRUE(r.has_value()) << info.set->name;
+      EXPECT_EQ(r->beta, reference[i].beta) << info.set->name;
+      EXPECT_EQ(r->distortion_percent, reference[i].distortion_percent)
+          << info.set->name;
+      EXPECT_EQ(r->displayed16.pixels(), reference[i].displayed16.pixels())
+          << info.set->name << " frame " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hebs::pipeline

@@ -56,11 +56,19 @@ TEST(Histogram, LevelRangeIsValidated) {
 }
 
 TEST(Histogram, FromCountsValidatesSize) {
-  std::vector<std::uint64_t> wrong(100, 0);
-  EXPECT_THROW(Histogram::from_counts(wrong), hebs::util::InvalidArgument);
+  std::vector<std::uint64_t> empty;
+  EXPECT_THROW(Histogram::from_counts(empty), hebs::util::InvalidArgument);
+  std::vector<std::uint64_t> single(1, 0);
+  EXPECT_THROW(Histogram::from_counts(single), hebs::util::InvalidArgument);
   std::vector<std::uint64_t> right(256, 1);
   const auto h = Histogram::from_counts(right);
   EXPECT_EQ(h.total(), 256u);
+  EXPECT_EQ(h.bins(), 256);
+  // Deep-pixel bin counts are a first-class size now.
+  std::vector<std::uint64_t> deep(1024, 2);
+  const auto h16 = Histogram::from_counts(deep);
+  EXPECT_EQ(h16.bins(), 1024);
+  EXPECT_EQ(h16.total(), 2048u);
 }
 
 TEST(Histogram, PdfSumsToOne) {

@@ -307,6 +307,78 @@ TEST(KernelParity, FuzzAllBackendsBitIdenticalToScalar) {
 // (shortcut fires on every block), alternating run/noise stripes
 // (shortcut fires and misses within one call), few-value clusters
 // (sub-table merge under same-bin pressure) and full-range noise.
+// Deep-pixel (u16) kernels: histogram_u16 / lut_apply_u16 / sum_u16
+// are pure integer kernels, so every backend must match scalar
+// bit-for-bit.  The fuzz covers both histogram regimes (n < 2048 runs
+// the reference loop, n >= 2048 the uniform-block probe), both
+// supported deep lattices (1024 and 65536 levels), and content shapes
+// the probe cares about: fully uniform blocks, few-value clusters, and
+// full-range noise.
+TEST(KernelParity, FuzzU16KernelsBitIdenticalToScalar) {
+  const auto sets = supported_backends();
+  ASSERT_FALSE(sets.empty());
+  const KernelSet& ref = scalar_kernels();
+  std::mt19937 rng(20260808);
+
+  for (int iter = 0; iter < 60; ++iter) {
+    const int levels = (iter % 2 == 0) ? 1024 : 65536;
+    const std::uint32_t maxv = static_cast<std::uint32_t>(levels - 1);
+    // Half the cases sit below the histogram probe threshold, half
+    // well above it (up to ~64k samples).
+    const std::size_t n = (iter % 2 == 0)
+                              ? 1 + rng() % 2047
+                              : 2048 + rng() % 62000;
+    std::vector<std::uint16_t> src(n);
+    const int mode = static_cast<int>(rng() % 4);
+    const std::uint16_t flat = static_cast<std::uint16_t>(rng() % levels);
+    const std::uint16_t lo =
+        static_cast<std::uint16_t>(rng() % (levels / 2));
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (mode) {
+        case 0: src[i] = flat; break;  // uniform blocks end to end
+        case 1: src[i] = static_cast<std::uint16_t>(lo + rng() % 3); break;
+        case 2:
+          // Long uniform runs with rare breaks — the probe's fast path
+          // with occasional fallback recounts.
+          src[i] = (i % 700 == 123)
+                       ? static_cast<std::uint16_t>(rng() % levels)
+                       : flat;
+          break;
+        default: src[i] = static_cast<std::uint16_t>(rng() % levels); break;
+      }
+    }
+    std::vector<std::uint16_t> lut(static_cast<std::size_t>(levels));
+    for (int v = 0; v < levels; ++v) {
+      lut[static_cast<std::size_t>(v)] =
+          static_cast<std::uint16_t>((static_cast<std::uint32_t>(v) * 191 +
+                                      13) % (maxv + 1));
+    }
+
+    std::vector<std::uint64_t> counts_ref(static_cast<std::size_t>(levels),
+                                          7);  // accumulate contract
+    ref.histogram_u16(src.data(), n, counts_ref.data());
+    std::vector<std::uint16_t> lut_ref(n);
+    ref.lut_apply_u16(src.data(), n, lut.data(), lut_ref.data());
+    const std::uint64_t sum_ref = ref.sum_u16(src.data(), n);
+
+    for (const KernelSet* set : sets) {
+      std::vector<std::uint64_t> counts(static_cast<std::size_t>(levels), 7);
+      set->histogram_u16(src.data(), n, counts.data());
+      expect_bytes_eq(counts, counts_ref, "histogram_u16", *set,
+                      static_cast<int>(n), levels);
+
+      std::vector<std::uint16_t> lut_out(n);
+      set->lut_apply_u16(src.data(), n, lut.data(), lut_out.data());
+      expect_bytes_eq(lut_out, lut_ref, "lut_apply_u16", *set,
+                      static_cast<int>(n), levels);
+
+      EXPECT_EQ(set->sum_u16(src.data(), n), sum_ref)
+          << "sum_u16 diverges from scalar on backend " << set->name
+          << " (n=" << n << ", levels=" << levels << ")";
+    }
+  }
+}
+
 TEST(KernelParity, LargeRasterHistogramAcrossBackends) {
   const auto sets = supported_backends();
   const KernelSet& ref = scalar_kernels();

@@ -210,5 +210,133 @@ TEST(PnmIo, WriteToBadPathThrows) {
   EXPECT_THROW(write_pgm(img, "/no/such/dir/x.pgm"), util::IoError);
 }
 
+// ---------------------------------------------------------------------------
+// Deep-pixel (maxval > 255) PGM I/O.
+
+GrayImage16 random_image16(int w, int h, int levels, std::uint64_t seed) {
+  util::Rng rng(seed);
+  GrayImage16 img(w, h, levels);
+  for (auto& p : img.pixels()) {
+    p = static_cast<std::uint16_t>(rng.uniform_int(0, levels - 1));
+  }
+  return img;
+}
+
+TEST(PnmIo16, SixteenBitRoundTripPreservesRawSamples) {
+  const auto img = random_image16(23, 11, 65536, 11);
+  const auto path = temp_path("roundtrip16.pgm");
+  write_pgm16(img, path);
+  const GrayImage16 back = read_pgm16(path);
+  EXPECT_EQ(back.levels(), 65536);
+  EXPECT_EQ(back, img);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo16, TenBitRoundTripKeepsMaxval1023) {
+  const auto img = random_image16(16, 9, 1024, 12);
+  const auto path = temp_path("roundtrip10.pgm");
+  write_pgm16(img, path);
+  const GrayImage16 back = read_pgm16(path);
+  EXPECT_EQ(back.levels(), 1024);
+  EXPECT_EQ(back, img);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo16, DeepSamplesAreBigEndianOnDisk) {
+  GrayImage16 img(2, 1, 1024);
+  img.pixels()[0] = 0x0123;
+  img.pixels()[1] = 0x03ff;
+  const auto path = temp_path("bigendian.pgm");
+  write_pgm16(img, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string header;
+  // Magic, dims, maxval: "P5\n2 1\n1023\n" = 12 bytes.
+  header.resize(12);
+  in.read(header.data(), 12);
+  EXPECT_EQ(header, "P5\n2 1\n1023\n");
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  EXPECT_EQ(bytes[0], 0x01);  // most significant byte first
+  EXPECT_EQ(bytes[1], 0x23);
+  EXPECT_EQ(bytes[2], 0x03);
+  EXPECT_EQ(bytes[3], 0xff);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo16, ReadsEightBitFileAsOneBytePerSample) {
+  const auto img = random_image(7, 5, 13);
+  const auto path = temp_path("legacy8to16.pgm");
+  write_pgm(img, path);
+  const GrayImage16 deep = read_pgm16(path);
+  EXPECT_EQ(deep.levels(), 256);
+  ASSERT_EQ(deep.width(), img.width());
+  ASSERT_EQ(deep.height(), img.height());
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_EQ(deep.pixels()[i], img.pixels()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo16, AsciiDeepSamplesReadRaw) {
+  const auto path = temp_path("ascii16.pgm");
+  write_text(path, "P2\n2 2\n1023\n0 512\n1023 7\n");
+  const GrayImage16 img = read_pgm16(path);
+  EXPECT_EQ(img.levels(), 1024);
+  EXPECT_EQ(img(0, 0), 0);
+  EXPECT_EQ(img(1, 0), 512);
+  EXPECT_EQ(img(0, 1), 1023);
+  EXPECT_EQ(img(1, 1), 7);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo16, TruncatedDeepPixelDataThrows) {
+  const auto path = temp_path("trunc16.pgm");
+  // 2x2 at maxval 1023 needs 8 bytes of pixel data; provide 5.
+  write_text(path, std::string("P5\n2 2\n1023\n") + "\x01\x02\x03\x04\x05");
+  EXPECT_THROW(read_pgm16(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo16, BinarySampleAboveMaxvalThrows) {
+  const auto path = temp_path("oob16.pgm");
+  // Big-endian 0x0500 = 1280 > maxval 1023.
+  write_text(path, std::string("P5\n1 1\n1023\n") + '\x05' + '\x00');
+  EXPECT_THROW(read_pgm16(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo16, AsciiSampleAboveMaxvalThrows) {
+  const auto path = temp_path("oob16_ascii.pgm");
+  write_text(path, "P2\n1 1\n1023\n1024\n");
+  EXPECT_THROW(read_pgm16(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo16, MaxvalAbove65535Throws) {
+  const auto path = temp_path("hugemaxval.pgm");
+  write_text(path, "P2\n1 1\n65536\n0\n");
+  EXPECT_THROW(read_pgm16(path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo16, LegacyReaderStillRejectsDeepFiles) {
+  const auto img = random_image16(3, 3, 1024, 14);
+  const auto path = temp_path("deep_for_legacy.pgm");
+  write_pgm16(img, path);
+  try {
+    read_pgm(path);
+    FAIL() << "read_pgm accepted a deep file";
+  } catch (const util::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("must be 1..255"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo16, WritingEmptyDeepImageThrows) {
+  GrayImage16 empty;
+  EXPECT_THROW(write_pgm16(empty, temp_path("never16.pgm")),
+               util::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace hebs::image
